@@ -1,0 +1,197 @@
+// Microbenchmarks for the core computational kernels (google-benchmark).
+// These quantify the costs behind the experiment harnesses: tree
+// construction, flux accumulation, model evaluation, Gram-space NNLS, the
+// conditional candidate evaluation, and whole SMC rounds.
+
+#include <benchmark/benchmark.h>
+
+#include "core/localizer.hpp"
+#include "core/nls.hpp"
+#include "core/smc.hpp"
+#include "eval/experiment.hpp"
+#include "net/deployment.hpp"
+#include "net/flux.hpp"
+#include "net/routing.hpp"
+#include "numeric/hungarian.hpp"
+#include "sim/measurement.hpp"
+#include "sim/sniffer.hpp"
+
+namespace {
+
+using namespace fluxfp;
+
+const geom::RectField& field() {
+  static const geom::RectField f(30.0, 30.0);
+  return f;
+}
+
+const net::UnitDiskGraph& graph() {
+  static const net::UnitDiskGraph g = [] {
+    geom::Rng rng(1);
+    return eval::build_connected_network({}, field(), rng);
+  }();
+  return g;
+}
+
+core::SparseObjective make_objective(std::size_t n_samples,
+                                     std::size_t users) {
+  geom::Rng rng(2);
+  const core::FluxModel model(field(), 1.2);
+  const sim::FluxEngine engine(graph());
+  std::vector<sim::Collection> window;
+  for (std::size_t j = 0; j < users; ++j) {
+    window.push_back({j, geom::uniform_in_field(field(), rng), 2.0});
+  }
+  const net::FluxMap flux = engine.measure(window, rng);
+  const auto samples = sim::sample_nodes(graph().size(), n_samples, rng);
+  return eval::make_objective(model, graph(), flux, samples);
+}
+
+void BM_BuildGraph900(benchmark::State& state) {
+  geom::Rng rng(3);
+  const auto positions = net::perturbed_grid(field(), 30, 30, 0.5, rng);
+  for (auto _ : state) {
+    net::UnitDiskGraph g(positions, 2.4);
+    benchmark::DoNotOptimize(g.average_degree());
+  }
+}
+BENCHMARK(BM_BuildGraph900);
+
+void BM_CollectionTree900(benchmark::State& state) {
+  geom::Rng rng(4);
+  for (auto _ : state) {
+    const net::CollectionTree t =
+        net::build_collection_tree(graph(), {15.0, 15.0}, rng);
+    benchmark::DoNotOptimize(t.root);
+  }
+}
+BENCHMARK(BM_CollectionTree900);
+
+void BM_TreeFlux900(benchmark::State& state) {
+  geom::Rng rng(5);
+  const net::CollectionTree t =
+      net::build_collection_tree(graph(), {15.0, 15.0}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::tree_flux(t, 2.0));
+  }
+}
+BENCHMARK(BM_TreeFlux900);
+
+void BM_SmoothFlux900(benchmark::State& state) {
+  geom::Rng rng(6);
+  const net::CollectionTree t =
+      net::build_collection_tree(graph(), {15.0, 15.0}, rng);
+  const net::FluxMap flux = net::tree_flux(t, 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::smooth_flux(graph(), flux));
+  }
+}
+BENCHMARK(BM_SmoothFlux900);
+
+void BM_ShapeColumn(benchmark::State& state) {
+  const core::SparseObjective obj =
+      make_objective(static_cast<std::size_t>(state.range(0)), 1);
+  std::vector<double> col;
+  geom::Rng rng(7);
+  for (auto _ : state) {
+    obj.shape_column(geom::uniform_in_field(field(), rng), col);
+    benchmark::DoNotOptimize(col.data());
+  }
+}
+BENCHMARK(BM_ShapeColumn)->Arg(90)->Arg(360);
+
+void BM_ConditionalFitEvaluate(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const core::SparseObjective obj = make_objective(90, k);
+  geom::Rng rng(8);
+  std::vector<std::vector<double>> cols(k - 1);
+  std::vector<const std::vector<double>*> fixed;
+  for (std::size_t j = 0; j + 1 < k; ++j) {
+    obj.shape_column(geom::uniform_in_field(field(), rng), cols[j]);
+    fixed.push_back(&cols[j]);
+  }
+  const core::ConditionalFit cond(obj, fixed, 0);
+  std::vector<double> cand;
+  obj.shape_column(geom::uniform_in_field(field(), rng), cand);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cond.evaluate(cand).residual);
+  }
+}
+BENCHMARK(BM_ConditionalFitEvaluate)->Arg(1)->Arg(3)->Arg(8)->Arg(20);
+
+void BM_NnlsFromGram(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  geom::Rng rng(9);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  const std::size_t n = 90;
+  std::vector<std::vector<double>> a(k, std::vector<double>(n));
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = u(rng);
+    for (std::size_t j = 0; j < k; ++j) {
+      a[j][i] = u(rng);
+    }
+  }
+  std::vector<double> g(k * k, 0.0);
+  std::vector<double> c(k, 0.0);
+  double b2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    b2 += b[i] * b[i];
+    for (std::size_t x = 0; x < k; ++x) {
+      c[x] += a[x][i] * b[i];
+      for (std::size_t y = 0; y < k; ++y) {
+        g[x * k + y] += a[x][i] * a[y][i];
+      }
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::nnls_from_gram(g, k, c, b2).residual);
+  }
+}
+BENCHMARK(BM_NnlsFromGram)->Arg(2)->Arg(4)->Arg(12)->Arg(24);
+
+void BM_LocalizeOneUser(benchmark::State& state) {
+  const core::SparseObjective obj = make_objective(90, 1);
+  core::LocalizerConfig cfg;
+  cfg.candidates_per_user = static_cast<std::size_t>(state.range(0));
+  const core::InstantLocalizer loc(field(), cfg);
+  geom::Rng rng(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(loc.localize(obj, 1, rng).residual);
+  }
+}
+BENCHMARK(BM_LocalizeOneUser)->Arg(1000)->Arg(10000);
+
+void BM_SmcStepTwoUsers(benchmark::State& state) {
+  const core::SparseObjective obj = make_objective(90, 2);
+  geom::Rng rng(11);
+  core::SmcConfig cfg;
+  cfg.num_predictions = static_cast<std::size_t>(state.range(0));
+  core::SmcTracker tracker(field(), 2, cfg, rng);
+  double time = 0.0;
+  for (auto _ : state) {
+    time += 1.0;
+    benchmark::DoNotOptimize(tracker.step(time, obj, rng).residual);
+  }
+}
+BENCHMARK(BM_SmcStepTwoUsers)->Arg(200)->Arg(1000);
+
+void BM_Hungarian(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  geom::Rng rng(12);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  numeric::Matrix cost(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      cost(r, c) = u(rng);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(numeric::hungarian_assign(cost));
+  }
+}
+BENCHMARK(BM_Hungarian)->Arg(4)->Arg(20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

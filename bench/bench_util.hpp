@@ -1,0 +1,77 @@
+#pragma once
+
+// Shared fixtures for the experiment harnesses. Each exp_* binary
+// regenerates one of the paper's figures as a printed table; absolute
+// numbers come from our simulator, the *shape* (who wins, where the knees
+// are) is what reproduces the paper. All binaries are deterministic for a
+// fixed --seed.
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/flux_model.hpp"
+#include "eval/table.hpp"
+#include "eval/experiment.hpp"
+#include "geom/field.hpp"
+
+namespace fluxfp::bench {
+
+/// Command-line options shared by every experiment binary.
+struct Options {
+  std::uint64_t seed = 2010;
+  /// Scales trial counts down for smoke runs (--quick).
+  bool quick = false;
+  /// When set (--csv DIR), sweep tables are also written to DIR/<name>.csv.
+  std::string csv_dir;
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      opts.quick = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      opts.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      opts.csv_dir = argv[++i];
+    }
+  }
+  return opts;
+}
+
+/// Prints the table and, when --csv was given, also dumps it to
+/// <csv_dir>/<name>.csv for plotting.
+inline void emit_table(const eval::Table& table, const Options& opts,
+                       const char* name) {
+  table.print(std::cout);
+  if (!opts.csv_dir.empty()) {
+    const std::string path = opts.csv_dir + "/" + name + ".csv";
+    std::ofstream out(path);
+    if (out) {
+      table.write_csv(out);
+      std::cout << "  [csv written to " << path << "]\n";
+    } else {
+      std::cerr << "  [failed to open " << path << "]\n";
+    }
+  }
+}
+
+/// The paper's standard field (30 x 30, §5.A).
+inline geom::RectField paper_field() { return geom::RectField(30.0, 30.0); }
+
+/// Builds the standard network and a matching flux model in one go.
+struct Testbed {
+  net::UnitDiskGraph graph;
+  core::FluxModel model;
+
+  Testbed(const eval::NetworkSpec& spec, const geom::Field& field,
+          geom::Rng& rng)
+      : graph(eval::build_connected_network(spec, field, rng)),
+        model(field, eval::estimate_d_min(graph, field, rng)) {}
+};
+
+}  // namespace fluxfp::bench

@@ -1,0 +1,667 @@
+// Ablation bench — the design choices DESIGN.md calls out:
+//
+//  1. SMC tracker vs instant-NLS vs EKF baseline (is sequential filtering
+//     needed?).
+//  2. Importance sampling (§4.D) on vs off.
+//  3. Neighborhood flux smoothing (§3.B) on vs off for localization.
+//  4. Conditional sweeps 1 vs 3 for multi-user search.
+//  5. Countermeasures (§6 future work): how much traffic reshaping breaks
+//     the attack, and at what overhead.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/baseline.hpp"
+#include "core/smooth_localizer.hpp"
+#include "core/trajectory.hpp"
+#include "core/smc.hpp"
+#include "eval/metrics.hpp"
+#include "net/routing.hpp"
+#include "eval/table.hpp"
+#include "numeric/stats.hpp"
+#include "privacy/countermeasure.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sniffer.hpp"
+
+using namespace fluxfp;
+
+namespace {
+
+std::vector<sim::SimUser> two_line_users(int rounds) {
+  auto mk = [&](geom::Vec2 from, geom::Vec2 to, double stretch) {
+    sim::SimUser u;
+    u.stretch = stretch;
+    u.mobility = std::make_shared<sim::PathMobility>(
+        geom::Polyline({from, to}), geom::distance(from, to) / rounds);
+    return u;
+  };
+  return {mk({3, 8}, {27, 8}, 2.0), mk({27, 22}, {3, 22}, 2.5)};
+}
+
+struct TrackStats {
+  double mean = 0.0;
+  double final = 0.0;
+};
+
+template <typename StepFn>
+TrackStats run_tracked(const bench::Testbed& tb,
+                       const std::vector<sim::RoundObservation>& obs,
+                       std::span<const std::size_t> samples, StepFn step) {
+  numeric::RunningStats all;
+  double final_err = 0.0;
+  for (const auto& o : obs) {
+    const core::SparseObjective obj =
+        eval::make_objective(tb.model, tb.graph, o.flux, samples);
+    const std::vector<geom::Vec2> est = step(o, obj);
+    final_err = eval::matched_mean_error(est, o.true_positions);
+    all.add(final_err);
+  }
+  return {all.mean(), final_err};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opts = bench::parse_options(argc, argv);
+  const int trials = opts.quick ? 2 : 5;
+  const int rounds = 10;
+  const geom::RectField field = bench::paper_field();
+
+  // ------------------------------------------------------------------
+  eval::print_banner(std::cout,
+                     "Ablation 1+2: tracker comparison, 2 moving users "
+                     "(mean / final identity-free error)");
+  eval::Table t1({"tracker", "sampling", "mean err", "final err"});
+  struct Agg {
+    numeric::RunningStats mean, fin;
+  };
+  for (const double fraction : {0.10, 0.03}) {
+  Agg smc, smc_noimp, instant, ekf;
+  for (int t = 0; t < trials; ++t) {
+    geom::Rng rng(eval::derive_seed(
+        opts.seed, {1, (std::uint64_t)t, (std::uint64_t)(fraction * 100)}));
+    const bench::Testbed tb({}, field, rng);
+    const auto users = two_line_users(rounds);
+    sim::ScenarioConfig scfg;
+    scfg.rounds = rounds;
+    const auto obs = sim::run_scenario(tb.graph, users, scfg, rng);
+    const auto samples =
+        sim::sample_nodes_fraction(tb.graph.size(), fraction, rng);
+
+    {
+      core::SmcConfig cfg;
+      core::SmcTracker tracker(field, 2, cfg, rng);
+      const TrackStats s = run_tracked(
+          tb, obs, samples, [&](const auto& o, const auto& obj) {
+            tracker.step(o.time, obj, rng);
+            return std::vector<geom::Vec2>{tracker.estimate(0),
+                                           tracker.estimate(1)};
+          });
+      smc.mean.add(s.mean);
+      smc.fin.add(s.final);
+    }
+    {
+      core::SmcConfig cfg;
+      cfg.importance_sampling = false;
+      core::SmcTracker tracker(field, 2, cfg, rng);
+      const TrackStats s = run_tracked(
+          tb, obs, samples, [&](const auto& o, const auto& obj) {
+            tracker.step(o.time, obj, rng);
+            return std::vector<geom::Vec2>{tracker.estimate(0),
+                                           tracker.estimate(1)};
+          });
+      smc_noimp.mean.add(s.mean);
+      smc_noimp.fin.add(s.final);
+    }
+    {
+      core::LocalizerConfig lcfg;
+      lcfg.candidates_per_user = 4000;
+      core::InstantNlsTracker tracker(field, 2, lcfg);
+      const TrackStats s = run_tracked(
+          tb, obs, samples, [&](const auto&, const auto& obj) {
+            return tracker.step(obj, rng);
+          });
+      instant.mean.add(s.mean);
+      instant.fin.add(s.final);
+    }
+    {
+      core::EkfConfig ecfg;
+      ecfg.localizer.candidates_per_user = 4000;
+      core::EkfTracker tracker(field, 2, ecfg);
+      const TrackStats s = run_tracked(
+          tb, obs, samples, [&](const auto&, const auto& obj) {
+            return tracker.step(obj, 1.0, rng);
+          });
+      ekf.mean.add(s.mean);
+      ekf.fin.add(s.final);
+    }
+  }
+  auto add = [&](const char* name, const Agg& a) {
+    t1.add_row({name, eval::Table::fmt(100.0 * fraction, 0) + "%",
+                eval::Table::fmt(a.mean.mean()),
+                eval::Table::fmt(a.fin.mean())});
+  };
+  add("SMC (Alg. 4.1)", smc);
+  add("SMC, no importance sampling", smc_noimp);
+  add("instant NLS (no filtering)", instant);
+  add("EKF on instant NLS", ekf);
+  }
+  t1.print(std::cout);
+
+  // ------------------------------------------------------------------
+  eval::print_banner(std::cout,
+                     "Ablation 1b: offline trajectory smoothing — Viterbi "
+                     "over per-round top-10 lists vs per-round best "
+                     "(1 user, sparse 3% sampling, mean error)");
+  eval::Table t1b({"estimator", "mean err"});
+  {
+    numeric::RunningStats naive_err, smooth_err;
+    for (int t = 0; t < trials; ++t) {
+      geom::Rng rng(eval::derive_seed(opts.seed, {11, (std::uint64_t)t}));
+      const bench::Testbed tb({}, field, rng);
+      sim::SimUser u;
+      u.stretch = 2.0;
+      u.mobility = std::make_shared<sim::PathMobility>(
+          geom::Polyline({{4, 8}, {26, 20}}), 2.5);
+      sim::ScenarioConfig scfg;
+      scfg.rounds = rounds;
+      const auto obs = sim::run_scenario(tb.graph, {u}, scfg, rng);
+      const auto samples =
+          sim::sample_nodes_fraction(tb.graph.size(), 0.03, rng);
+      core::LocalizerConfig lcfg;
+      lcfg.candidates_per_user = 4000;
+      const core::InstantLocalizer loc(field, lcfg);
+      std::vector<core::RoundCandidates> cand_rounds;
+      numeric::RunningStats naive_run;
+      for (const auto& o : obs) {
+        const core::SparseObjective obj =
+            eval::make_objective(tb.model, tb.graph, o.flux, samples);
+        const core::LocalizationResult res = loc.localize(obj, 1, rng);
+        core::RoundCandidates rc;
+        rc.time = o.time;
+        rc.positions = res.top_positions[0];
+        rc.residuals = res.top_residuals[0];
+        cand_rounds.push_back(std::move(rc));
+        naive_run.add(
+            geom::distance(res.positions[0], o.true_positions[0]));
+      }
+      core::TrajectoryConfig tcfg;
+      const auto path = core::smooth_trajectory(cand_rounds, tcfg);
+      numeric::RunningStats smooth_run;
+      for (std::size_t r2 = 0; r2 < path.size(); ++r2) {
+        smooth_run.add(geom::distance(path[r2], obs[r2].true_positions[0]));
+      }
+      naive_err.add(naive_run.mean());
+      smooth_err.add(smooth_run.mean());
+    }
+    t1b.add_row({"per-round best (no memory)",
+                 eval::Table::fmt(naive_err.mean())});
+    t1b.add_row({"Viterbi smoother (offline)",
+                 eval::Table::fmt(smooth_err.mean())});
+  }
+  t1b.print(std::cout);
+  std::puts("(with all rounds in hand, time consistency repairs the "
+            "outliers an online estimator must commit to)");
+
+  // ------------------------------------------------------------------
+  eval::print_banner(std::cout,
+                     "Ablation 3+4: localization design choices (3 users, "
+                     "10% sampling)");
+  eval::Table t2({"variant", "mean err"});
+  struct Variant {
+    const char* name;
+    bool smooth;
+    int sweeps;
+  };
+  const std::vector<Variant> variants{
+      Variant{"smoothing on, 3 sweeps", true, 3},
+      Variant{"smoothing off, 3 sweeps", false, 3},
+      Variant{"smoothing on, 1 sweep", true, 1}};
+  std::vector<numeric::RunningStats> variant_errs(variants.size());
+  for (int t = 0; t < trials; ++t) {
+    // Every variant sees the identical instance (network, users, samples);
+    // only the objective/search configuration differs.
+    geom::Rng rng(eval::derive_seed(opts.seed, {2, (std::uint64_t)t}));
+    const bench::Testbed tb({}, field, rng);
+    std::uniform_real_distribution<double> stretch(1.0, 3.0);
+    std::vector<geom::Vec2> sinks;
+    std::vector<sim::Collection> window;
+    for (std::size_t j = 0; j < 3; ++j) {
+      sinks.push_back(geom::uniform_in_field(field, rng));
+      window.push_back({j, sinks[j], stretch(rng)});
+    }
+    const sim::FluxEngine engine(tb.graph);
+    const net::FluxMap flux = engine.measure(window, rng);
+    const auto samples =
+        sim::sample_nodes_fraction(tb.graph.size(), 0.10, rng);
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      geom::Rng search_rng(
+          eval::derive_seed(opts.seed, {20, (std::uint64_t)t, v}));
+      const core::SparseObjective obj = eval::make_objective(
+          tb.model, tb.graph, flux, samples, variants[v].smooth);
+      core::LocalizerConfig lcfg;
+      lcfg.sweeps = variants[v].sweeps;
+      const core::InstantLocalizer loc(field, lcfg);
+      const auto res = loc.localize(obj, 3, search_rng);
+      variant_errs[v].add(eval::matched_mean_error(res.positions, sinks));
+    }
+  }
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    t2.add_row({variants[v].name,
+                eval::Table::fmt(variant_errs[v].mean())});
+  }
+  t2.print(std::cout);
+
+  // ------------------------------------------------------------------
+  eval::print_banner(std::cout,
+                     "Ablation 5: countermeasures (§6) — localization "
+                     "error vs reshaping overhead (1 user, 10% sampling)");
+  eval::Table t3({"countermeasure", "localization err",
+                  "overhead (x user traffic)"});
+  struct Cm {
+    const char* name;
+    privacy::CountermeasureConfig cfg;
+  };
+  std::vector<Cm> cms;
+  cms.push_back({"none", {}});
+  {
+    privacy::CountermeasureConfig c;
+    c.kind = privacy::CountermeasureKind::kConstantPadding;
+    c.pad_level = 30.0;
+    cms.push_back({"padding to 30", c});
+    c.pad_level = 120.0;
+    cms.push_back({"padding to 120", c});
+  }
+  {
+    privacy::CountermeasureConfig c;
+    c.kind = privacy::CountermeasureKind::kDummyTrees;
+    c.dummy_count = 1;
+    c.dummy_stretch = 2.0;
+    cms.push_back({"1 dummy tree", c});
+    c.dummy_count = 4;
+    cms.push_back({"4 dummy trees", c});
+  }
+  {
+    privacy::CountermeasureConfig c;
+    c.kind = privacy::CountermeasureKind::kStretchJitter;
+    c.jitter_sigma = 0.5;
+    cms.push_back({"jitter sigma 0.5", c});
+    c.jitter_sigma = 1.5;
+    cms.push_back({"jitter sigma 1.5", c});
+  }
+  for (const Cm& cm : cms) {
+    numeric::RunningStats errs;
+    numeric::RunningStats overheads;
+    for (int t = 0; t < trials; ++t) {
+      geom::Rng rng(eval::derive_seed(
+          opts.seed,
+          {3, (std::uint64_t)t, (std::uint64_t)cm.cfg.kind}));
+      const bench::Testbed tb({}, field, rng);
+      const geom::Vec2 truth = geom::uniform_in_field(field, rng);
+      const sim::FluxEngine engine(tb.graph);
+      const std::vector<sim::Collection> window{{0, truth, 2.0}};
+      net::FluxMap flux = engine.measure(window, rng);
+      const double user_traffic =
+          numeric::sum(std::span<const double>(flux));
+      const privacy::Countermeasure defense(cm.cfg);
+      defense.apply(flux, tb.graph, rng);
+      overheads.add(defense.last_overhead() / user_traffic);
+      const auto samples =
+          sim::sample_nodes_fraction(tb.graph.size(), 0.10, rng);
+      const core::SparseObjective obj =
+          eval::make_objective(tb.model, tb.graph, flux, samples);
+      core::LocalizerConfig lcfg;
+      lcfg.candidates_per_user = 5000;
+      const core::InstantLocalizer loc(field, lcfg);
+      const auto res = loc.localize(obj, 1, rng);
+      errs.add(geom::distance(res.positions[0], truth));
+    }
+    t3.add_row({cm.name, eval::Table::fmt(errs.mean()),
+                eval::Table::fmt(overheads.mean())});
+  }
+  // Routing-layer defense: multipath splitting. Zero overhead by design —
+  // and, as the flux-field argument predicts, zero protection: splitting
+  // only removes the variance that neighborhood smoothing removes anyway.
+  {
+    numeric::RunningStats errs;
+    for (int t = 0; t < trials; ++t) {
+      geom::Rng rng(eval::derive_seed(opts.seed, {33, (std::uint64_t)t}));
+      const bench::Testbed tb({}, field, rng);
+      const geom::Vec2 truth = geom::uniform_in_field(field, rng);
+      const std::size_t root = tb.graph.nearest_node(truth);
+      const auto hop = net::hop_distances(tb.graph, root);
+      const net::FluxMap flux =
+          net::multipath_flux(tb.graph, hop, root, 2.0);
+      const auto samples =
+          sim::sample_nodes_fraction(tb.graph.size(), 0.10, rng);
+      const core::SparseObjective obj =
+          eval::make_objective(tb.model, tb.graph, flux, samples);
+      core::LocalizerConfig lcfg;
+      lcfg.candidates_per_user = 5000;
+      const core::InstantLocalizer loc(field, lcfg);
+      errs.add(geom::distance(loc.localize(obj, 1, rng).positions[0],
+                              truth));
+    }
+    t3.add_row({"multipath routing", eval::Table::fmt(errs.mean()),
+                eval::Table::fmt(0.0)});
+  }
+  t3.print(std::cout);
+  std::puts("(larger localization error = better privacy; overhead is the "
+            "defense's extra traffic relative to the user's own)");
+
+  // ------------------------------------------------------------------
+  eval::print_banner(std::cout,
+                     "Ablation 5b: chaff vs tracker capacity — dummy trees "
+                     "against attackers of different K "
+                     "(1 moving user, 10 rounds, 10% sampling)");
+  eval::Table t3b({"attacker", "defense", "final err"});
+  for (const bool use_chaff : {false, true}) {
+    numeric::RunningStats smc_err;
+    numeric::RunningStats smc3_err;
+    numeric::RunningStats inst_err;
+    for (int t = 0; t < trials; ++t) {
+      geom::Rng rng(eval::derive_seed(
+          opts.seed, {7, (std::uint64_t)t, (std::uint64_t)use_chaff}));
+      const bench::Testbed tb({}, field, rng);
+      sim::SimUser u;
+      u.stretch = 2.0;
+      u.mobility = std::make_shared<sim::PathMobility>(
+          geom::Polyline({{4, 9}, {26, 21}}), 2.5);
+      sim::ScenarioConfig scfg;
+      scfg.rounds = rounds;
+      const auto obs = sim::run_scenario(tb.graph, {u}, scfg, rng);
+      const auto samples =
+          sim::sample_nodes_fraction(tb.graph.size(), 0.10, rng);
+      privacy::CountermeasureConfig dcfg;
+      if (use_chaff) {
+        dcfg.kind = privacy::CountermeasureKind::kDummyTrees;
+        dcfg.dummy_count = 2;
+        dcfg.dummy_stretch = 2.0;
+      }
+      const privacy::Countermeasure defense(dcfg);
+
+      core::SmcConfig smc_cfg;
+      smc_cfg.num_predictions = 600;
+      core::SmcTracker smc_tracker(field, 1, smc_cfg, rng);
+      core::SmcTracker smc3_tracker(field, 3, smc_cfg, rng);
+      core::LocalizerConfig lcfg;
+      lcfg.candidates_per_user = 4000;
+      const core::InstantLocalizer inst(field, lcfg);
+      double smc_last = 0.0;
+      double smc3_last = 0.0;
+      double inst_last = 0.0;
+      for (const auto& o : obs) {
+        net::FluxMap flux = o.flux;
+        defense.apply(flux, tb.graph, rng);
+        const core::SparseObjective obj =
+            eval::make_objective(tb.model, tb.graph, flux, samples);
+        smc_tracker.step(o.time, obj, rng);
+        smc_last =
+            geom::distance(smc_tracker.estimate(0), o.true_positions[0]);
+        // Conservative-K adversary: track 3 slots (user + chaff capacity)
+        // and score the slot that ends up on the persistent user.
+        smc3_tracker.step(o.time, obj, rng);
+        smc3_last = field.diameter();
+        for (std::size_t s = 0; s < 3; ++s) {
+          smc3_last = std::min(
+              smc3_last, geom::distance(smc3_tracker.estimate(s),
+                                        o.true_positions[0]));
+        }
+        inst_last = geom::distance(inst.localize(obj, 1, rng).positions[0],
+                                   o.true_positions[0]);
+      }
+      smc_err.add(smc_last);
+      smc3_err.add(smc3_last);
+      inst_err.add(inst_last);
+    }
+    const char* d = use_chaff ? "2 dummy trees" : "none";
+    t3b.add_row({"instant NLS (K=1)", d, eval::Table::fmt(inst_err.mean())});
+    t3b.add_row({"SMC tracker (K=1)", d, eval::Table::fmt(smc_err.mean())});
+    t3b.add_row({"SMC tracker (K=3, best slot)", d,
+                 eval::Table::fmt(smc3_err.mean())});
+  }
+  t3b.print(std::cout);
+  std::puts("(random chaff captures K=1 attackers — the single SMC slot "
+            "even sticks to a dummy once captured; a conservative-K "
+            "adversary keeps one slot on the persistent user, so chaff "
+            "must outnumber the attacker's K budget to protect)");
+
+  // ------------------------------------------------------------------
+  eval::print_banner(std::cout,
+                     "Ablation 6: derivative-based fitting (§4.A) — "
+                     "Levenberg–Marquardt vs candidate search by boundary "
+                     "shape (1 user, 10% sampling)");
+  eval::Table t4({"field / method", "mean err", "converged"});
+  {
+    const geom::CircleField circle({15.0, 15.0}, 15.0);
+    const geom::RectField rect(30.0, 30.0);
+    struct Setup {
+      const char* name;
+      const geom::Field* field;
+      bool use_lm;
+    };
+    const Setup setups[] = {
+        {"circle / LM", &circle, true},
+        {"circle / candidate search", &circle, false},
+        {"rectangle / LM", &rect, true},
+        {"rectangle / candidate search", &rect, false},
+    };
+    for (const Setup& s : setups) {
+      numeric::RunningStats errs;
+      int converged = 0;
+      for (int t = 0; t < trials; ++t) {
+        geom::Rng rng(eval::derive_seed(
+            opts.seed, {4, (std::uint64_t)t, (std::uint64_t)s.use_lm,
+                        (std::uint64_t)(s.field == &circle)}));
+        eval::NetworkSpec spec;
+        spec.kind = net::DeploymentKind::kUniformRandom;
+        const bench::Testbed tb(spec, *s.field, rng);
+        const geom::Vec2 truth = geom::uniform_in_field(*s.field, rng);
+        const sim::FluxEngine engine(tb.graph);
+        const std::vector<sim::Collection> window{{0, truth, 2.0}};
+        const net::FluxMap flux = engine.measure(window, rng);
+        const auto samples =
+            sim::sample_nodes_fraction(tb.graph.size(), 0.10, rng);
+        const core::SparseObjective obj =
+            eval::make_objective(tb.model, tb.graph, flux, samples);
+        if (s.use_lm) {
+          core::SmoothLocalizerConfig scfg;
+          scfg.restarts = 8;
+          const core::SmoothLocalizer loc(*s.field, scfg);
+          const auto res = loc.localize(obj, 1, rng);
+          errs.add(geom::distance(res.positions[0], truth));
+          converged += res.converged ? 1 : 0;
+        } else {
+          core::LocalizerConfig lcfg;
+          lcfg.candidates_per_user = 5000;
+          const core::InstantLocalizer loc(*s.field, lcfg);
+          const auto res = loc.localize(obj, 1, rng);
+          errs.add(geom::distance(res.positions[0], truth));
+          ++converged;
+        }
+      }
+      t4.add_row({s.name, eval::Table::fmt(errs.mean()),
+                  std::to_string(converged) + "/" + std::to_string(trials)});
+    }
+  }
+  t4.print(std::cout);
+  std::puts("(§4.A: classical LM applies on the smooth circular boundary; "
+            "the rectangle's kinked objective favors candidate search)");
+
+  // ------------------------------------------------------------------
+  eval::print_banner(std::cout,
+                     "Ablation 7: heading-aware prediction (§4.C "
+                     "refinement) — 1 user on a straight track, sparse "
+                     "3% sampling");
+  eval::Table t5({"prediction", "mean err", "final err"});
+  for (const bool heading : {false, true}) {
+    numeric::RunningStats mean_err;
+    numeric::RunningStats fin_err;
+    for (int t = 0; t < trials; ++t) {
+      geom::Rng rng(eval::derive_seed(opts.seed, {5, (std::uint64_t)t}));
+      const bench::Testbed tb({}, field, rng);
+      sim::SimUser u;
+      u.stretch = 2.0;
+      u.mobility = std::make_shared<sim::PathMobility>(
+          geom::Polyline({{3, 10}, {27, 20}}), 2.6);
+      sim::ScenarioConfig scfg;
+      scfg.rounds = rounds;
+      const auto obs = sim::run_scenario(tb.graph, {u}, scfg, rng);
+      const auto samples =
+          sim::sample_nodes_fraction(tb.graph.size(), 0.03, rng);
+      geom::Rng track_rng(
+          eval::derive_seed(opts.seed, {6, (std::uint64_t)t}));
+      core::SmcConfig cfg;
+      cfg.heading_aware = heading;
+      core::SmcTracker tracker(field, 1, cfg, track_rng);
+      numeric::RunningStats errs;
+      double last = 0.0;
+      for (const auto& o : obs) {
+        const core::SparseObjective obj =
+            eval::make_objective(tb.model, tb.graph, o.flux, samples);
+        tracker.step(o.time, obj, track_rng);
+        last = geom::distance(tracker.estimate(0), o.true_positions[0]);
+        errs.add(last);
+      }
+      mean_err.add(errs.mean());
+      fin_err.add(last);
+    }
+    t5.add_row({heading ? "heading cone (§4.C)" : "uniform disc (Eq. 4.2)",
+                eval::Table::fmt(mean_err.mean()),
+                eval::Table::fmt(fin_err.mean())});
+  }
+  t5.print(std::cout);
+
+  // ------------------------------------------------------------------
+  eval::print_banner(std::cout,
+                     "Ablation 8: search strategy for the NLS fit "
+                     "(1 user, 10% sampling)");
+  eval::Table t6({"strategy", "mean err"});
+  {
+    numeric::RunningStats random_err, grid_err, centroid_err;
+    for (int t = 0; t < trials; ++t) {
+      geom::Rng rng(eval::derive_seed(opts.seed, {8, (std::uint64_t)t}));
+      const bench::Testbed tb({}, field, rng);
+      const geom::Vec2 truth = geom::uniform_in_field(field, rng);
+      const sim::FluxEngine engine(tb.graph);
+      const std::vector<sim::Collection> window{{0, truth, 2.0}};
+      const net::FluxMap flux = engine.measure(window, rng);
+      const auto samples =
+          sim::sample_nodes_fraction(tb.graph.size(), 0.10, rng);
+      const core::SparseObjective obj =
+          eval::make_objective(tb.model, tb.graph, flux, samples);
+
+      const core::InstantLocalizer rand_loc(field);  // 10k random
+      random_err.add(geom::distance(
+          rand_loc.localize(obj, 1, rng).positions[0], truth));
+      const core::GridLocalizer grid_loc(field);  // deterministic 24x24 x4
+      grid_err.add(
+          geom::distance(grid_loc.localize(obj, 1).positions[0], truth));
+      centroid_err.add(geom::distance(
+          core::CentroidLocalizer{}.localize(obj), truth));
+    }
+    t6.add_row({"random candidates (10k, paper)",
+                eval::Table::fmt(random_err.mean())});
+    t6.add_row({"grid refinement (24^2 x 4 levels)",
+                eval::Table::fmt(grid_err.mean())});
+    t6.add_row({"weighted centroid (no model)",
+                eval::Table::fmt(centroid_err.mean())});
+  }
+  t6.print(std::cout);
+  std::puts("(model fitting beats the model-free heuristic; grid and "
+            "random search are interchangeable given equal budgets)");
+
+  // ------------------------------------------------------------------
+  eval::print_banner(std::cout,
+                     "Ablation 9: deployment irregularity — localization "
+                     "error by node layout (1 user, 10% sampling)");
+  eval::Table t7({"deployment", "avg degree", "mean err"});
+  for (const net::DeploymentKind kind :
+       {net::DeploymentKind::kPerturbedGrid,
+        net::DeploymentKind::kUniformRandom,
+        net::DeploymentKind::kClustered}) {
+    numeric::RunningStats errs;
+    numeric::RunningStats degs;
+    for (int t = 0; t < trials; ++t) {
+      geom::Rng rng(eval::derive_seed(
+          opts.seed, {9, (std::uint64_t)t, (std::uint64_t)kind}));
+      eval::NetworkSpec spec;
+      spec.kind = kind;
+      // Clustered layouts need a larger radius to stay connected.
+      if (kind == net::DeploymentKind::kClustered) {
+        spec.radius = 4.5;
+      }
+      const bench::Testbed tb(spec, field, rng);
+      degs.add(tb.graph.average_degree());
+      const geom::Vec2 truth = geom::uniform_in_field(field, rng);
+      const sim::FluxEngine engine(tb.graph);
+      const std::vector<sim::Collection> window{{0, truth, 2.0}};
+      const net::FluxMap flux = engine.measure(window, rng);
+      const auto samples =
+          sim::sample_nodes_fraction(tb.graph.size(), 0.10, rng);
+      const core::SparseObjective obj =
+          eval::make_objective(tb.model, tb.graph, flux, samples);
+      core::LocalizerConfig lcfg;
+      lcfg.candidates_per_user = 5000;
+      const core::InstantLocalizer loc(field, lcfg);
+      errs.add(geom::distance(loc.localize(obj, 1, rng).positions[0],
+                              truth));
+    }
+    t7.add_row({net::to_string(kind), eval::Table::fmt(degs.mean(), 1),
+                eval::Table::fmt(errs.mean())});
+  }
+  t7.print(std::cout);
+  std::puts("(the flux model assumes quasi-uniform density; clustered "
+            "layouts strain it the most — the paper's grid-vs-random gap, "
+            "extended)");
+
+  // ------------------------------------------------------------------
+  eval::print_banner(std::cout,
+                     "Ablation 10: sniffer placement at sparse budgets "
+                     "(1 user) — random vs spatially stratified");
+  eval::Table t8({"budget", "random", "stratified"});
+  for (const double fraction : {0.05, 0.02}) {
+    numeric::RunningStats rand_err, strat_err;
+    for (int t = 0; t < trials * 2; ++t) {
+      geom::Rng rng(eval::derive_seed(
+          opts.seed, {10, (std::uint64_t)t, (std::uint64_t)(fraction * 100)}));
+      const bench::Testbed tb({}, field, rng);
+      const geom::Vec2 truth = geom::uniform_in_field(field, rng);
+      const sim::FluxEngine engine(tb.graph);
+      const std::vector<sim::Collection> window{{0, truth, 2.0}};
+      const net::FluxMap flux = engine.measure(window, rng);
+      const auto count = static_cast<std::size_t>(
+          fraction * static_cast<double>(tb.graph.size()));
+      const auto rand_nodes = sim::sample_nodes(tb.graph.size(), count, rng);
+      const auto strat_nodes =
+          sim::sample_nodes_stratified(tb.graph, count, rng);
+      core::LocalizerConfig lcfg;
+      lcfg.candidates_per_user = 5000;
+      const core::InstantLocalizer loc(field, lcfg);
+      {
+        const core::SparseObjective obj =
+            eval::make_objective(tb.model, tb.graph, flux, rand_nodes);
+        rand_err.add(geom::distance(loc.localize(obj, 1, rng).positions[0],
+                                    truth));
+      }
+      {
+        const core::SparseObjective obj =
+            eval::make_objective(tb.model, tb.graph, flux, strat_nodes);
+        strat_err.add(geom::distance(loc.localize(obj, 1, rng).positions[0],
+                                     truth));
+      }
+    }
+    t8.add_row({eval::Table::fmt(100.0 * fraction, 0) + "%",
+                eval::Table::fmt(rand_err.mean()),
+                eval::Table::fmt(strat_err.mean())});
+  }
+  t8.print(std::cout);
+  std::puts("(honest negative: placement barely matters — the flux field "
+            "is global, every node's reading constrains the sink through "
+            "l and d, so the attack needs no coverage planning; this is "
+            "the structural reason sparse sampling suffices at all, §4)");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Figure 7 — instant tracking cases (§5.B).
+//
+// Mobile users move along straight trajectories through the 900-node
+// network; the SMC tracker (N=1000, M=10, v_max=5/round) estimates their
+// positions every round from 10% flux samples. Per-round identity-free
+// errors are printed for (a) one user, (b) two users, (c) three users,
+// and (d) two users whose trajectories cross — where identities may mix
+// while positions stay accurate.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/smc.hpp"
+#include "eval/metrics.hpp"
+#include "eval/table.hpp"
+#include "numeric/stats.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sniffer.hpp"
+
+using namespace fluxfp;
+
+namespace {
+
+sim::SimUser line_user(geom::Vec2 from, geom::Vec2 to, double stretch,
+                       int rounds) {
+  sim::SimUser u;
+  u.stretch = stretch;
+  u.mobility = std::make_shared<sim::PathMobility>(
+      geom::Polyline({from, to}), geom::distance(from, to) / rounds);
+  return u;
+}
+
+struct Case {
+  const char* name;
+  std::vector<sim::SimUser> users;
+};
+
+/// Per-round identity-free errors, averaged over trials.
+std::vector<double> run_case(const Case& c, const geom::RectField& field,
+                             int rounds, int trials, std::uint64_t seed) {
+  std::vector<double> per_round(static_cast<std::size_t>(rounds), 0.0);
+  for (int t = 0; t < trials; ++t) {
+    geom::Rng rng(eval::derive_seed(seed, {(std::uint64_t)t}));
+    const bench::Testbed tb({}, field, rng);
+    sim::ScenarioConfig scfg;
+    scfg.rounds = rounds;
+    const auto obs = sim::run_scenario(tb.graph, c.users, scfg, rng);
+    const auto samples =
+        sim::sample_nodes_fraction(tb.graph.size(), 0.10, rng);
+    core::SmcConfig tcfg;  // paper: N=1000, M=10, vmax=5
+    core::SmcTracker tracker(field, c.users.size(), tcfg, rng);
+    for (std::size_t roundI = 0; roundI < obs.size(); ++roundI) {
+      const core::SparseObjective obj = eval::make_objective(
+          tb.model, tb.graph, obs[roundI].flux, samples);
+      tracker.step(obs[roundI].time, obj, rng);
+      std::vector<geom::Vec2> est;
+      for (std::size_t u = 0; u < c.users.size(); ++u) {
+        est.push_back(tracker.estimate(u));
+      }
+      per_round[roundI] +=
+          eval::matched_mean_error(est, obs[roundI].true_positions);
+    }
+  }
+  for (double& v : per_round) {
+    v /= trials;
+  }
+  return per_round;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opts = bench::parse_options(argc, argv);
+  const int trials = opts.quick ? 2 : 6;
+  const int rounds = 10;
+  const geom::RectField field = bench::paper_field();
+
+  std::vector<Case> cases;
+  cases.push_back({"(a) 1 user",
+                   {line_user({4, 6}, {26, 24}, 2.0, rounds)}});
+  cases.push_back({"(b) 2 users",
+                   {line_user({3, 8}, {27, 8}, 2.0, rounds),
+                    line_user({27, 22}, {3, 22}, 2.5, rounds)}});
+  cases.push_back({"(c) 3 users",
+                   {line_user({3, 5}, {27, 5}, 2.0, rounds),
+                    line_user({27, 15}, {3, 15}, 1.5, rounds),
+                    line_user({3, 25}, {27, 25}, 2.5, rounds)}});
+  cases.push_back({"(d) 2 users crossing",
+                   {line_user({3, 3}, {27, 27}, 2.0, rounds),
+                    line_user({27, 3}, {3, 27}, 2.0, rounds)}});
+
+  eval::print_banner(std::cout,
+                     "Figure 7: SMC tracking (N=1000, M=10, vmax=5, 10 "
+                     "rounds, 10% sampling) — identity-free error per "
+                     "round");
+  eval::Table table({"round", "(a) 1 user", "(b) 2 users", "(c) 3 users",
+                     "(d) crossing"});
+  std::vector<std::vector<double>> series;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    series.push_back(run_case(cases[i], field, rounds, trials,
+                              eval::derive_seed(opts.seed, {i})));
+  }
+  for (int roundI = 0; roundI < rounds; ++roundI) {
+    std::vector<std::string> row{std::to_string(roundI + 1)};
+    for (const auto& s : series) {
+      row.push_back(
+          eval::Table::fmt(s[static_cast<std::size_t>(roundI)]));
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  std::puts("(paper: estimates converge from initial deviations; final "
+            "error below ~2; in (d) identities mix at the intersection "
+            "but positions stay accurate)");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Briefing demo (§3.C, Figures 1 & 4): three users collect data
+// simultaneously; their traffic cumulates into one flux pattern. With the
+// *full* flux map, the recursive briefing detects the dominant traffic
+// peak, fits and subtracts that user's modeled flux, and repeats — printing
+// an ASCII heat map of the shrinking residual after each extraction.
+//
+// Run: ./flux_briefing [seed]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/briefing.hpp"
+#include "eval/experiment.hpp"
+#include "eval/metrics.hpp"
+#include "net/routing.hpp"
+#include "sim/measurement.hpp"
+
+namespace {
+
+using namespace fluxfp;
+
+/// Renders the flux map as a 15x15 ASCII heat map (cells aggregate nodes).
+void print_heatmap(const net::UnitDiskGraph& graph,
+                   const geom::RectField& field, const net::FluxMap& flux,
+                   const std::vector<geom::Vec2>& marks) {
+  constexpr int kCells = 15;
+  double cell_sum[kCells][kCells] = {};
+  int cell_cnt[kCells][kCells] = {};
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const geom::Vec2 p = graph.position(i);
+    const int cx = std::min(kCells - 1,
+                            static_cast<int>(p.x / field.width() * kCells));
+    const int cy = std::min(kCells - 1,
+                            static_cast<int>(p.y / field.height() * kCells));
+    cell_sum[cy][cx] += flux[i];
+    cell_cnt[cy][cx] += 1;
+  }
+  double peak = 1e-9;
+  for (auto& row : cell_sum) {
+    for (double v : row) {
+      peak = std::max(peak, v);
+    }
+  }
+  const char* shades = " .:-=+*#%@";
+  for (int y = kCells - 1; y >= 0; --y) {
+    std::fputs("  |", stdout);
+    for (int x = 0; x < kCells; ++x) {
+      bool marked = false;
+      for (const geom::Vec2& m : marks) {
+        if (static_cast<int>(m.x / field.width() * kCells) == x &&
+            static_cast<int>(m.y / field.height() * kCells) == y) {
+          marked = true;
+        }
+      }
+      if (marked) {
+        std::putchar('X');
+        continue;
+      }
+      const double v = cell_cnt[y][x] > 0 ? cell_sum[y][x] : 0.0;
+      const int shade =
+          std::min(9, static_cast<int>(v / peak * 9.999));
+      std::putchar(shades[shade]);
+    }
+    std::puts("|");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
+  geom::Rng rng(seed);
+
+  const geom::RectField field(30.0, 30.0);
+  const net::UnitDiskGraph graph =
+      eval::build_connected_network({}, field, rng);
+  const core::FluxModel model(field,
+                              eval::estimate_d_min(graph, field, rng));
+
+  // Three users collecting simultaneously (the Fig. 1 scenario).
+  const std::vector<geom::Vec2> sinks{{6, 7}, {24, 10}, {13, 24}};
+  const std::vector<double> stretches{2.0, 2.5, 1.5};
+  const sim::FluxEngine engine(graph);
+  std::vector<sim::Collection> window;
+  for (std::size_t j = 0; j < sinks.size(); ++j) {
+    window.push_back({j, sinks[j], stretches[j]});
+  }
+  net::FluxMap working = engine.measure(window, rng);
+
+  std::puts("combined network flux of 3 users (X = true user positions):");
+  print_heatmap(graph, field, working, sinks);
+
+  core::BriefingConfig bcfg;
+  bcfg.max_users = 3;
+  const core::FluxBriefing briefing(graph, model, bcfg);
+
+  std::vector<geom::Vec2> found;
+  for (int round = 1; round <= 3; ++round) {
+    const core::BriefedUser user = briefing.extract_dominant(working);
+    found.push_back(user.position);
+    std::printf("\nround %d: peak user at (%.1f, %.1f), s/r = %.2f — "
+                "residual map after subtraction:\n",
+                round, user.position.x, user.position.y,
+                user.stretch_over_r);
+    print_heatmap(graph, field, working, found);
+  }
+
+  const double err = fluxfp::eval::matched_mean_error(found, sinks);
+  std::printf("\nall three users identified; mean position error %.2f\n",
+              err);
+  return 0;
+}

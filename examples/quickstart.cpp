@@ -1,0 +1,71 @@
+// Quickstart: the complete attack in ~60 lines.
+//
+// 1. Deploy a 900-node sensor network on a 30x30 field (the paper's §5.A
+//    setting) and let one mobile user collect data over a collection tree.
+// 2. Passively sniff the traffic *amount* at just 10% of the nodes.
+// 3. Fit the flux model by NLS candidate search and recover the user's
+//    position — no packet contents needed.
+//
+// Run: ./quickstart [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/localizer.hpp"
+#include "eval/experiment.hpp"
+#include "sim/measurement.hpp"
+#include "sim/sniffer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fluxfp;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2010;
+  geom::Rng rng(seed);
+
+  // -- The victim network and user ------------------------------------
+  const geom::RectField field(30.0, 30.0);
+  const net::UnitDiskGraph graph =
+      eval::build_connected_network({}, field, rng);
+  std::printf("network: %zu nodes, avg degree %.1f\n", graph.size(),
+              graph.average_degree());
+
+  const geom::Vec2 true_position = geom::uniform_in_field(field, rng);
+  std::uniform_real_distribution<double> stretch_dist(1.0, 3.0);
+  const double stretch = stretch_dist(rng);
+  std::printf("mobile user at (%.2f, %.2f), traffic stretch %.2f\n",
+              true_position.x, true_position.y, stretch);
+
+  // The user collects data: every node forwards toward it along a
+  // collection tree, producing the network flux pattern.
+  const sim::FluxEngine engine(graph);
+  const std::vector<sim::Collection> window{{0, true_position, stretch}};
+  const net::FluxMap flux = engine.measure(window, rng);
+
+  // -- The adversary ---------------------------------------------------
+  // Sniff traffic amounts at 10% of the nodes, picked at random.
+  const auto sniffed = sim::sample_nodes_fraction(graph.size(), 0.10, rng);
+  std::printf("adversary sniffs %zu of %zu nodes (10%%)\n", sniffed.size(),
+              graph.size());
+
+  const core::FluxModel model(field,
+                              eval::estimate_d_min(graph, field, rng));
+  const core::SparseObjective objective =
+      eval::make_objective(model, graph, flux, sniffed);
+
+  const core::InstantLocalizer localizer(field);  // 10,000 candidates
+  const core::LocalizationResult result =
+      localizer.localize(objective, /*num_users=*/1, rng);
+
+  // -- Result ----------------------------------------------------------
+  const double err = geom::distance(result.positions[0], true_position);
+  std::printf("estimated position (%.2f, %.2f)  |  error %.2f "
+              "(%.1f%% of field diameter)\n",
+              result.positions[0].x, result.positions[0].y, err,
+              100.0 * err / field.diameter());
+  std::printf("fitted s/r %.2f, fit residual %.1f\n", result.stretches[0],
+              result.residual);
+  std::puts(err < 3.0 ? "attack succeeded: user located from traffic "
+                        "volumes alone"
+                      : "attack imprecise this run; try another seed");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Tracking demo: two mobile users walk through the network while an
+// adversary, sniffing 10% of the nodes, runs the Sequential Monte Carlo
+// tracker (Algorithm 4.1) on the windowed flux observations. Prints a
+// per-round table of true vs estimated positions — the Fig. 7 scenario,
+// including the trajectory-crossing case where identities may swap while
+// positions remain accurate.
+//
+// Run: ./track_intruders [seed] [--cross]
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "core/smc.hpp"
+#include "eval/experiment.hpp"
+#include "eval/metrics.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sniffer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fluxfp;
+  std::uint64_t seed = 7;
+  bool cross = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cross") == 0) {
+      cross = true;
+    } else {
+      seed = std::strtoull(argv[i], nullptr, 10);
+    }
+  }
+  geom::Rng rng(seed);
+
+  const geom::RectField field(30.0, 30.0);
+  const net::UnitDiskGraph graph =
+      eval::build_connected_network({}, field, rng);
+  const core::FluxModel model(field,
+                              eval::estimate_d_min(graph, field, rng));
+
+  // Two users on straight trajectories; with --cross they intersect
+  // mid-field (the Fig. 7(d) identity-mixing case).
+  auto make_user = [](geom::Vec2 from, geom::Vec2 to, double stretch) {
+    sim::SimUser u;
+    u.stretch = stretch;
+    u.mobility = std::make_shared<sim::PathMobility>(
+        geom::Polyline({from, to}), geom::distance(from, to) / 10.0);
+    return u;
+  };
+  std::vector<sim::SimUser> users;
+  if (cross) {
+    users.push_back(make_user({3, 3}, {27, 27}, 2.0));
+    users.push_back(make_user({27, 3}, {3, 27}, 2.0));
+    std::puts("scenario: two users on crossing diagonals");
+  } else {
+    users.push_back(make_user({3, 8}, {27, 8}, 2.0));
+    users.push_back(make_user({27, 22}, {3, 22}, 2.0));
+    std::puts("scenario: two users on parallel opposite tracks");
+  }
+
+  sim::ScenarioConfig scfg;
+  scfg.rounds = 10;
+  const auto observations = sim::run_scenario(graph, users, scfg, rng);
+
+  const auto sniffed = sim::sample_nodes_fraction(graph.size(), 0.10, rng);
+  core::SmcConfig tcfg;  // paper: N=1000, M=10, vmax=5 per round
+  core::SmcTracker tracker(field, users.size(), tcfg, rng);
+
+  std::printf("%-6s %-18s %-18s %-18s %-18s %-8s\n", "round", "true A",
+              "est A", "true B", "est B", "err");
+  for (const auto& obs : observations) {
+    const core::SparseObjective objective =
+        eval::make_objective(model, graph, obs.flux, sniffed);
+    tracker.step(obs.time, objective, rng);
+    const std::vector<geom::Vec2> est{tracker.estimate(0),
+                                      tracker.estimate(1)};
+    const double err = eval::matched_mean_error(est, obs.true_positions);
+    auto fmt = [](geom::Vec2 p) {
+      static char buf[4][32];
+      static int slot = 0;
+      slot = (slot + 1) % 4;
+      std::snprintf(buf[slot], sizeof(buf[slot]), "(%5.1f,%5.1f)", p.x, p.y);
+      return buf[slot];
+    };
+    std::printf("%-6.0f %-18s %-18s %-18s %-18s %-8.2f\n", obs.time,
+                fmt(obs.true_positions[0]), fmt(est[0]),
+                fmt(obs.true_positions[1]), fmt(est[1]), err);
+  }
+  std::puts("\n(err = identity-free mean matched error; estimates converge "
+            "to the trajectories as flux inputs accumulate)");
+  return 0;
+}

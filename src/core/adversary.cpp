@@ -1,0 +1,53 @@
+#include "core/adversary.hpp"
+
+#include <stdexcept>
+
+#include "core/nls.hpp"
+#include "net/routing.hpp"
+#include "sim/sniffer.hpp"
+
+namespace fluxfp::core {
+namespace {
+
+/// d_min calibration: half the average hop length of one probe tree (see
+/// eval::estimate_d_min for the rationale; duplicated here to keep the
+/// core library independent of the eval helpers).
+double calibrate_d_min(const net::UnitDiskGraph& graph,
+                       const geom::Field& field, geom::Rng& rng) {
+  const net::CollectionTree probe =
+      net::build_collection_tree(graph, field.center(), rng);
+  const double r = net::average_hop_length(graph, probe);
+  return r > 0.0 ? 0.5 * r : graph.radius() / 4.0;
+}
+
+}  // namespace
+
+Adversary::Adversary(const geom::Field& field,
+                     const net::UnitDiskGraph& graph, AdversaryConfig config,
+                     geom::Rng& rng)
+    : field_(&field),
+      graph_(&graph),
+      config_(config),
+      sniffed_(sim::sample_nodes_fraction(graph.size(),
+                                          config.sniff_fraction, rng)),
+      model_(field, calibrate_d_min(graph, field, rng)),
+      tracker_(field, config.num_users, config.tracker, rng) {}
+
+SmcStepResult Adversary::observe(double time, const net::FluxMap& flux,
+                                 geom::Rng& rng) {
+  if (flux.size() != graph_->size()) {
+    throw std::invalid_argument("Adversary::observe: flux size mismatch");
+  }
+  const net::FluxMap& readings =
+      config_.smooth ? net::smooth_flux(*graph_, flux) : flux;
+  std::vector<geom::Vec2> positions;
+  positions.reserve(sniffed_.size());
+  for (std::size_t i : sniffed_) {
+    positions.push_back(graph_->position(i));
+  }
+  const SparseObjective objective(model_, std::move(positions),
+                                  sim::gather(readings, sniffed_));
+  return tracker_.step(time, objective, rng);
+}
+
+}  // namespace fluxfp::core

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <vector>
+
+#include "core/flux_model.hpp"
+#include "core/smc.hpp"
+#include "net/flux.hpp"
+#include "net/graph.hpp"
+
+namespace fluxfp::core {
+
+/// Configuration of the high-level adversary facade.
+struct AdversaryConfig {
+  /// Fraction of nodes passively sniffed (the paper's robust operating
+  /// point is 0.10).
+  double sniff_fraction = 0.10;
+  /// Number of mobile users tracked (choose conservatively large when
+  /// unknown; phantom slots fit s/r ~ 0 and never update).
+  std::size_t num_users = 1;
+  /// Tracker parameters (Algorithm 4.1).
+  SmcConfig tracker;
+  /// Apply §3.B neighborhood smoothing to the sniffed readings (a sniffer
+  /// physically overhears its whole radio neighborhood).
+  bool smooth = true;
+};
+
+/// Everything the paper's adversary does, behind one object: pick the
+/// sniffed nodes, calibrate the flux model's d_min from the observed
+/// topology, and run the Sequential Monte Carlo tracker over the windowed
+/// flux observations.
+///
+///   core::Adversary adversary(field, graph, {}, rng);
+///   for (each window) adversary.observe(t, window_flux, rng);
+///   adversary.estimate(0);  // where user 0 is
+class Adversary {
+ public:
+  /// Samples the sniffed node set and calibrates d_min (one probe tree).
+  /// `field` and `graph` must outlive the adversary. Throws
+  /// std::invalid_argument on a bad config.
+  Adversary(const geom::Field& field, const net::UnitDiskGraph& graph,
+            AdversaryConfig config, geom::Rng& rng);
+
+  /// Consumes one observation window ending at `time`: reads the sniffed
+  /// nodes out of `flux` (a full per-node map; only the sniffed entries
+  /// are used — the adversary never sees the rest) and advances the
+  /// tracker.
+  SmcStepResult observe(double time, const net::FluxMap& flux,
+                        geom::Rng& rng);
+
+  /// Current position estimate for `user`.
+  geom::Vec2 estimate(std::size_t user) const {
+    return tracker_.estimate(user);
+  }
+
+  const std::vector<std::size_t>& sniffed_nodes() const { return sniffed_; }
+  const FluxModel& model() const { return model_; }
+  const SmcTracker& tracker() const { return tracker_; }
+  std::size_t num_users() const { return tracker_.num_users(); }
+
+ private:
+  const geom::Field* field_;
+  const net::UnitDiskGraph* graph_;
+  AdversaryConfig config_;
+  std::vector<std::size_t> sniffed_;
+  FluxModel model_;
+  SmcTracker tracker_;
+};
+
+}  // namespace fluxfp::core

@@ -1,0 +1,277 @@
+#include "core/baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "numeric/hungarian.hpp"
+#include "numeric/matrix.hpp"
+
+namespace fluxfp::core {
+namespace {
+
+/// Reorders `fresh` so that fresh[i] is the estimate matched to anchor[i].
+std::vector<geom::Vec2> match_to_anchors(const std::vector<geom::Vec2>& fresh,
+                                         const std::vector<geom::Vec2>& anchor) {
+  const std::size_t k = anchor.size();
+  numeric::Matrix cost(k, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      cost(i, j) = geom::distance(anchor[i], fresh[j]);
+    }
+  }
+  const std::vector<std::size_t> assign = numeric::hungarian_assign(cost);
+  std::vector<geom::Vec2> out(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    out[i] = fresh[assign[i]];
+  }
+  return out;
+}
+
+}  // namespace
+
+InstantNlsTracker::InstantNlsTracker(const geom::Field& field,
+                                     std::size_t num_users,
+                                     LocalizerConfig config)
+    : localizer_(field, config), num_users_(num_users) {}
+
+std::vector<geom::Vec2> InstantNlsTracker::step(
+    const SparseObjective& objective, geom::Rng& rng) {
+  const LocalizationResult res =
+      localizer_.localize(objective, num_users_, rng);
+  if (!has_previous_) {
+    estimates_ = res.positions;
+    has_previous_ = true;
+  } else {
+    estimates_ = match_to_anchors(res.positions, estimates_);
+  }
+  return estimates_;
+}
+
+CentroidLocalizer::CentroidLocalizer(double gamma) : gamma_(gamma) {
+  if (gamma < 0.0) {
+    throw std::invalid_argument("CentroidLocalizer: negative gamma");
+  }
+}
+
+geom::Vec2 CentroidLocalizer::localize(
+    const SparseObjective& objective) const {
+  geom::Vec2 acc;
+  double wsum = 0.0;
+  for (std::size_t i = 0; i < objective.sample_count(); ++i) {
+    const double w = std::pow(objective.measured()[i], gamma_);
+    acc += objective.sample_positions()[i] * w;
+    wsum += w;
+  }
+  if (wsum <= 0.0) {
+    throw std::logic_error("CentroidLocalizer: no traffic in the window");
+  }
+  return acc / wsum;
+}
+
+GridLocalizer::GridLocalizer(const geom::Field& field,
+                             GridLocalizerConfig config)
+    : field_(&field), config_(config) {
+  if (config_.grid < 2 || config_.refinements < 0 || config_.sweeps <= 0) {
+    throw std::invalid_argument("GridLocalizer: bad config");
+  }
+}
+
+LocalizationResult GridLocalizer::localize(const SparseObjective& objective,
+                                           std::size_t num_users) const {
+  if (num_users == 0 || num_users > kMaxGramUsers) {
+    throw std::invalid_argument("GridLocalizer: bad user count");
+  }
+  const double g = static_cast<double>(config_.grid);
+
+  // Current combination: start every user at the field center and let the
+  // first coarse sweep spread them out.
+  std::vector<geom::Vec2> positions(num_users, field_->center());
+  std::vector<std::vector<double>> columns(num_users);
+  for (std::size_t j = 0; j < num_users; ++j) {
+    objective.shape_column(positions[j], columns[j]);
+  }
+
+  // Candidate grid centered at `center` with half-extent `half` (clamped
+  // into the field).
+  std::vector<double> cand_col;
+  auto sweep_user = [&](std::size_t j, geom::Vec2 center, double half) {
+    std::vector<const std::vector<double>*> fixed;
+    for (std::size_t o = 0; o < num_users; ++o) {
+      if (o != j) {
+        fixed.push_back(&columns[o]);
+      }
+    }
+    const ConditionalFit cond(objective, fixed, fixed.size());
+    double best = std::numeric_limits<double>::infinity();
+    geom::Vec2 best_p = positions[j];
+    for (std::size_t iy = 0; iy < config_.grid; ++iy) {
+      for (std::size_t ix = 0; ix < config_.grid; ++ix) {
+        const geom::Vec2 p = field_->clamp(
+            {center.x - half + (2.0 * half) * (ix + 0.5) / g,
+             center.y - half + (2.0 * half) * (iy + 0.5) / g});
+        objective.shape_column(p, cand_col);
+        const double r = cond.evaluate(cand_col).residual;
+        if (r < best) {
+          best = r;
+          best_p = p;
+        }
+      }
+    }
+    positions[j] = best_p;
+    objective.shape_column(best_p, columns[j]);
+    return best;
+  };
+
+  double half = field_->diameter() / 2.0;
+  for (int level = 0; level <= config_.refinements; ++level) {
+    const int sweeps = level == 0 ? config_.sweeps : 1;
+    for (int s = 0; s < sweeps; ++s) {
+      for (std::size_t j = 0; j < num_users; ++j) {
+        const geom::Vec2 center =
+            level == 0 ? field_->center() : positions[j];
+        sweep_user(j, center, half);
+      }
+    }
+    half /= 3.0;
+  }
+
+  LocalizationResult out;
+  out.positions = positions;
+  StretchFit fit = objective.fit(positions);
+  out.stretches = std::move(fit.stretches);
+  out.residual = fit.residual;
+  out.top_positions.assign(num_users, {});
+  out.top_residuals.assign(num_users, {});
+  for (std::size_t j = 0; j < num_users; ++j) {
+    out.top_positions[j].push_back(positions[j]);
+    out.top_residuals[j].push_back(out.residual);
+  }
+  return out;
+}
+
+EkfTracker::EkfTracker(const geom::Field& field, std::size_t num_users,
+                       EkfConfig config)
+    : field_(&field),
+      localizer_(field, config.localizer),
+      config_(config),
+      states_(num_users) {}
+
+void EkfTracker::predict_state(State& s, double dt) const {
+  // x' = F x with F the constant-velocity transition.
+  s.x[0] += dt * s.x[2];
+  s.x[1] += dt * s.x[3];
+  // P' = F P F^T + Q (white-accel Q, block-diagonal per axis).
+  const double q = config_.process_noise;
+  double p[16];
+  std::copy(s.p, s.p + 16, p);
+  auto P = [&](int r, int c) -> double& { return p[r * 4 + c]; };
+  auto Pn = [&](int r, int c) -> double& { return s.p[r * 4 + c]; };
+  // F P F^T computed directly for F = [[1,0,dt,0],[0,1,0,dt],[0,0,1,0],[0,0,0,1]].
+  for (int axis = 0; axis < 2; ++axis) {
+    const int pos = axis;       // 0 or 1
+    const int vel = axis + 2;   // 2 or 3
+    const double ppp = P(pos, pos);
+    const double ppv = P(pos, vel);
+    const double pvv = P(vel, vel);
+    Pn(pos, pos) = ppp + 2.0 * dt * ppv + dt * dt * pvv +
+                   q * dt * dt * dt / 3.0;
+    Pn(pos, vel) = ppv + dt * pvv + q * dt * dt / 2.0;
+    Pn(vel, pos) = Pn(pos, vel);
+    Pn(vel, vel) = pvv + q * dt;
+  }
+}
+
+void EkfTracker::update_state(State& s, geom::Vec2 obs) const {
+  auto P = [&](int r, int c) -> double& { return s.p[r * 4 + c]; };
+  const double r = config_.observation_noise * config_.observation_noise;
+  // H = [I2 0]; innovation covariance S = H P H^T + R (2x2).
+  const double s00 = P(0, 0) + r;
+  const double s01 = P(0, 1);
+  const double s11 = P(1, 1) + r;
+  const double det = s00 * s11 - s01 * s01;
+  if (det <= 0.0) {
+    return;  // numerically degenerate; skip the update
+  }
+  const double i00 = s11 / det;
+  const double i01 = -s01 / det;
+  const double i11 = s00 / det;
+  // Kalman gain K = P H^T S^-1 (4x2).
+  double k[8];
+  for (int row = 0; row < 4; ++row) {
+    const double ph0 = P(row, 0);
+    const double ph1 = P(row, 1);
+    k[row * 2 + 0] = ph0 * i00 + ph1 * i01;
+    k[row * 2 + 1] = ph0 * i01 + ph1 * i11;
+  }
+  const double inn0 = obs.x - s.x[0];
+  const double inn1 = obs.y - s.x[1];
+  for (int row = 0; row < 4; ++row) {
+    s.x[row] += k[row * 2 + 0] * inn0 + k[row * 2 + 1] * inn1;
+  }
+  // P = (I - K H) P.
+  double pnew[16];
+  for (int row = 0; row < 4; ++row) {
+    for (int col = 0; col < 4; ++col) {
+      pnew[row * 4 + col] = P(row, col) - k[row * 2 + 0] * P(0, col) -
+                            k[row * 2 + 1] * P(1, col);
+    }
+  }
+  std::copy(pnew, pnew + 16, s.p);
+}
+
+std::vector<geom::Vec2> EkfTracker::step(const SparseObjective& objective,
+                                         double dt, geom::Rng& rng) {
+  const LocalizationResult res =
+      localizer_.localize(objective, states_.size(), rng);
+
+  // Predict all users forward.
+  for (State& s : states_) {
+    if (s.initialized) {
+      predict_state(s, dt);
+    }
+  }
+
+  // Match observations to predicted positions (or initialize).
+  std::vector<geom::Vec2> anchors;
+  anchors.reserve(states_.size());
+  bool all_init = true;
+  for (const State& s : states_) {
+    anchors.push_back({s.x[0], s.x[1]});
+    all_init = all_init && s.initialized;
+  }
+  std::vector<geom::Vec2> obs = res.positions;
+  if (all_init) {
+    obs = match_to_anchors(obs, anchors);
+  }
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    State& s = states_[i];
+    if (!s.initialized) {
+      s.x[0] = obs[i].x;
+      s.x[1] = obs[i].y;
+      s.x[2] = s.x[3] = 0.0;
+      const double r2 =
+          config_.observation_noise * config_.observation_noise;
+      std::fill(s.p, s.p + 16, 0.0);
+      s.p[0] = s.p[5] = r2;
+      const double vmax2 = field_->diameter() * field_->diameter() / 100.0;
+      s.p[10] = s.p[15] = vmax2;
+      s.initialized = true;
+    } else {
+      update_state(s, obs[i]);
+    }
+  }
+  return estimates();
+}
+
+std::vector<geom::Vec2> EkfTracker::estimates() const {
+  std::vector<geom::Vec2> out;
+  out.reserve(states_.size());
+  for (const State& s : states_) {
+    out.push_back(field_->clamp({s.x[0], s.x[1]}));
+  }
+  return out;
+}
+
+}  // namespace fluxfp::core

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/localizer.hpp"
+#include "core/nls.hpp"
+#include "geom/sampling.hpp"
+
+namespace fluxfp::core {
+
+/// Memoryless baseline: localizes every window independently with the
+/// instant NLS localizer and keeps identities consistent across rounds by
+/// minimum-cost matching of the new estimates to the previous ones. No
+/// motion model, no sample reuse — the straw man the SMC tracker is
+/// compared against in the ablation bench.
+class InstantNlsTracker {
+ public:
+  InstantNlsTracker(const geom::Field& field, std::size_t num_users,
+                    LocalizerConfig config = {});
+
+  /// Processes one observation window; returns the per-user estimates.
+  std::vector<geom::Vec2> step(const SparseObjective& objective,
+                               geom::Rng& rng);
+
+  const std::vector<geom::Vec2>& estimates() const { return estimates_; }
+
+ private:
+  InstantLocalizer localizer_;
+  std::size_t num_users_;
+  std::vector<geom::Vec2> estimates_;
+  bool has_previous_ = false;
+};
+
+/// Configuration of the extended-Kalman-filter baseline.
+struct EkfConfig {
+  LocalizerConfig localizer;     ///< produces raw position observations
+  double process_noise = 1.0;    ///< accel. spectral density of the CV model
+  double observation_noise = 2.0;  ///< std-dev of the instant NLS estimate
+};
+
+/// The naive attacker: no flux model at all — estimate the sink as the
+/// flux-weighted centroid of the sniffed nodes, with weights F'^gamma
+/// (gamma > 1 emphasizes the traffic peak). Works only for a single user
+/// and biases toward the field center; the ablation bench quantifies how
+/// much the model-fitting attack gains over this heuristic.
+class CentroidLocalizer {
+ public:
+  /// gamma >= 0 is the weight exponent (2 by default).
+  explicit CentroidLocalizer(double gamma = 2.0);
+
+  /// Single-user estimate; throws std::logic_error if all readings are 0.
+  geom::Vec2 localize(const SparseObjective& objective) const;
+
+  double gamma() const { return gamma_; }
+
+ private:
+  double gamma_;
+};
+
+/// Deterministic coarse-to-fine search: evaluate the objective on a g x g
+/// grid of the field's bounding structure, then repeatedly re-grid around
+/// the incumbent at 1/3 scale. An alternative to random candidates with
+/// reproducible output and no RNG; supports multiple users through the
+/// same conditional-sweep structure as InstantLocalizer.
+struct GridLocalizerConfig {
+  std::size_t grid = 24;        ///< cells per side at every level
+  int refinements = 3;          ///< zoom levels after the coarse pass
+  int sweeps = 2;               ///< conditional sweeps over users (K > 1)
+};
+
+class GridLocalizer {
+ public:
+  /// `field` must outlive the localizer.
+  explicit GridLocalizer(const geom::Field& field,
+                         GridLocalizerConfig config = {});
+
+  /// Localizes `num_users` sinks. Throws std::invalid_argument for
+  /// num_users == 0 or > kMaxGramUsers.
+  LocalizationResult localize(const SparseObjective& objective,
+                              std::size_t num_users) const;
+
+ private:
+  const geom::Field* field_;
+  GridLocalizerConfig config_;
+};
+
+/// Constant-velocity Kalman tracker over instant-NLS observations — the
+/// classical remote-tracking recipe the related work (§2) applies (CNLS +
+/// EKF). State per user: [x y vx vy]. Observations are matched to predicted
+/// positions by minimum-cost assignment before the update.
+class EkfTracker {
+ public:
+  EkfTracker(const geom::Field& field, std::size_t num_users,
+             EkfConfig config = {});
+
+  /// One predict-update cycle over the window ending Δt after the previous
+  /// one; returns per-user position estimates.
+  std::vector<geom::Vec2> step(const SparseObjective& objective, double dt,
+                               geom::Rng& rng);
+
+  std::vector<geom::Vec2> estimates() const;
+
+ private:
+  struct State {
+    double x[4] = {0, 0, 0, 0};    // x, y, vx, vy
+    double p[16] = {0};            // covariance, row-major 4x4
+    bool initialized = false;
+  };
+
+  const geom::Field* field_;
+  InstantLocalizer localizer_;
+  EkfConfig config_;
+  std::vector<State> states_;
+
+  void predict_state(State& s, double dt) const;
+  void update_state(State& s, geom::Vec2 obs) const;
+};
+
+}  // namespace fluxfp::core

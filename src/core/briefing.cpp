@@ -1,0 +1,90 @@
+#include "core/briefing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "numeric/nnls.hpp"
+
+namespace fluxfp::core {
+
+FluxBriefing::FluxBriefing(const net::UnitDiskGraph& graph,
+                           const FluxModel& model, BriefingConfig config)
+    : graph_(&graph), model_(model), config_(config) {
+  if (config_.max_users == 0 || config_.stop_fraction < 0.0 ||
+      config_.exclusion_radius < 0.0) {
+    throw std::invalid_argument("FluxBriefing: bad config");
+  }
+}
+
+BriefedUser FluxBriefing::extract_dominant(net::FluxMap& working) const {
+  const net::FluxMap& peak_map =
+      config_.smooth ? net::smooth_flux(*graph_, working) : working;
+  const auto peak_it = std::max_element(peak_map.begin(), peak_map.end());
+  const auto peak_idx =
+      static_cast<std::size_t>(peak_it - peak_map.begin());
+
+  BriefedUser user;
+  user.peak_flux = *peak_it;
+  // Refine the peak position as the flux-weighted centroid of the peak's
+  // 1-hop neighborhood — the traffic concentration point of §3.C.
+  geom::Vec2 centroid = graph_->position(peak_idx) * peak_map[peak_idx];
+  double weight = peak_map[peak_idx];
+  for (std::size_t nb : graph_->neighbors(peak_idx)) {
+    centroid += graph_->position(nb) * peak_map[nb];
+    weight += peak_map[nb];
+  }
+  user.position =
+      weight > 0.0 ? centroid / weight : graph_->position(peak_idx);
+
+  // Fit s/r for this user against the *current* working map. Nodes inside
+  // the near-sink exclusion disc are left out of the fit: the model cannot
+  // represent the traffic funnel at the sink itself (cf. Fig. 3(b)).
+  const double excl = config_.exclusion_radius * model_.d_min();
+  std::vector<double> shape(graph_->size());
+  std::vector<double> fit_shape;
+  std::vector<double> fit_measured;
+  for (std::size_t i = 0; i < graph_->size(); ++i) {
+    shape[i] = model_.shape(user.position, graph_->position(i));
+    if (geom::distance(user.position, graph_->position(i)) >= excl) {
+      fit_shape.push_back(shape[i]);
+      fit_measured.push_back(working[i]);
+    }
+  }
+  user.stretch_over_r = fit_shape.empty()
+                            ? numeric::nnls_single(shape, working)
+                            : numeric::nnls_single(fit_shape, fit_measured);
+  // Subtract the modeled flux; residual inside the exclusion disc belongs
+  // to the extracted user, so clear it outright.
+  for (std::size_t i = 0; i < graph_->size(); ++i) {
+    if (geom::distance(user.position, graph_->position(i)) < excl) {
+      working[i] = 0.0;
+    } else {
+      working[i] = std::max(0.0, working[i] - user.stretch_over_r * shape[i]);
+    }
+  }
+  return user;
+}
+
+std::vector<BriefedUser> FluxBriefing::brief(const net::FluxMap& flux) const {
+  if (flux.size() != graph_->size()) {
+    throw std::invalid_argument("FluxBriefing::brief: size mismatch");
+  }
+  net::FluxMap working = flux;
+  const double original_peak =
+      working.empty() ? 0.0 : *std::max_element(working.begin(), working.end());
+  std::vector<BriefedUser> users;
+  if (original_peak <= 0.0) {
+    return users;
+  }
+  for (std::size_t round = 0; round < config_.max_users; ++round) {
+    const double current_peak =
+        *std::max_element(working.begin(), working.end());
+    if (current_peak < config_.stop_fraction * original_peak) {
+      break;
+    }
+    users.push_back(extract_dominant(working));
+  }
+  return users;
+}
+
+}  // namespace fluxfp::core

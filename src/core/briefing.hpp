@@ -1,0 +1,61 @@
+#pragma once
+
+#include <vector>
+
+#include "core/flux_model.hpp"
+#include "net/flux.hpp"
+#include "net/graph.hpp"
+
+namespace fluxfp::core {
+
+/// One user recovered by the briefing recursion.
+struct BriefedUser {
+  geom::Vec2 position;
+  double stretch_over_r = 0.0;  ///< fitted integrated factor s/r
+  double peak_flux = 0.0;       ///< (smoothed) flux at the detected peak
+};
+
+/// Configuration of the recursive flux briefing (§3.C).
+struct BriefingConfig {
+  /// Upper bound on users to extract (choose conservatively large when the
+  /// true count is unknown — extraction stops at the stop_fraction anyway).
+  std::size_t max_users = 8;
+  /// Stop when the current peak falls below this fraction of the original
+  /// map's peak (residual noise floor).
+  double stop_fraction = 0.12;
+  /// Smooth the map over 1-hop neighborhoods before each peak detection
+  /// (§3.B recommends this to damp tree-construction randomness).
+  bool smooth = true;
+  /// Radius of the near-sink exclusion disc, in multiples of the model's
+  /// d_min. The flux model intentionally cannot represent the traffic
+  /// funnel right at the sink (§3.B's Fig. 3(b) box excludes the innermost
+  /// hops), so the stretch fit ignores nodes inside this disc and the
+  /// residual there is attributed to the extracted user and cleared.
+  double exclusion_radius = 3.0;
+};
+
+/// Recursive briefing of a *full* network flux map: detect the global
+/// traffic peak, place a user there, fit its s/r against the current map,
+/// subtract its modeled flux, and repeat. Requires flux readings at every
+/// node — the expensive full-information method that motivates the sparse
+/// NLS approach of §4.
+class FluxBriefing {
+ public:
+  /// `graph` and `model`'s field must outlive the briefing object.
+  FluxBriefing(const net::UnitDiskGraph& graph, const FluxModel& model,
+               BriefingConfig config = {});
+
+  /// Extracts users from `flux` (size must match the graph).
+  std::vector<BriefedUser> brief(const net::FluxMap& flux) const;
+
+  /// Single round on a working map: detect + fit the dominant user and
+  /// subtract its modeled flux in place (clamped at 0). Returns the user.
+  BriefedUser extract_dominant(net::FluxMap& working) const;
+
+ private:
+  const net::UnitDiskGraph* graph_;
+  FluxModel model_;
+  BriefingConfig config_;
+};
+
+}  // namespace fluxfp::core

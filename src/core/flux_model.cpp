@@ -1,0 +1,40 @@
+#include "core/flux_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fluxfp::core {
+
+FluxModel::FluxModel(const geom::Field& field, double d_min)
+    : field_(&field), d_min_(d_min) {
+  if (!(d_min > 0.0)) {
+    throw std::invalid_argument("FluxModel: d_min must be positive");
+  }
+}
+
+double FluxModel::shape(geom::Vec2 sink, geom::Vec2 node) const {
+  const double d = geom::distance(sink, node);
+  // Clamp the sink into the field (candidate positions may sit on the
+  // boundary within rounding); boundary_distance_through handles the
+  // degenerate node == sink ray internally.
+  const double l = field_->boundary_distance_through(field_->clamp(sink), node);
+  // l is measured from the sink through the node to the boundary, so for a
+  // node inside the field l >= d; guard against clamping artifacts anyway.
+  const double l2_minus_d2 = std::max(l * l - d * d, 0.0);
+  return l2_minus_d2 / (2.0 * std::max(d, d_min_));
+}
+
+double FluxModel::continuous_flux(geom::Vec2 sink, geom::Vec2 node,
+                                  double s) const {
+  return s * shape(sink, node);
+}
+
+double FluxModel::discrete_flux(geom::Vec2 sink, geom::Vec2 node, double s,
+                                double r) const {
+  if (!(r > 0.0)) {
+    throw std::invalid_argument("FluxModel::discrete_flux: r must be > 0");
+  }
+  return (s / r) * shape(sink, node);
+}
+
+}  // namespace fluxfp::core

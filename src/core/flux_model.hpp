@@ -1,0 +1,46 @@
+#pragma once
+
+#include "geom/field.hpp"
+#include "geom/vec2.hpp"
+
+namespace fluxfp::core {
+
+/// The parameterized network-flux model of §3.B.
+///
+/// Continuous form (Eq. 3.2): a sink at p induces, at a point q at distance
+/// d = |p-q| whose boundary distance along the ray p->q is l, the flux
+///     F = s * (l^2 - d^2) / (2 d).
+/// Discrete form (Eq. 3.4) divides by the average hop length r:
+///     F ≈ (s/r) * (l^2 - d^2) / (2 d).
+///
+/// The model diverges as d -> 0 (all traffic funnels through the sink's
+/// immediate neighbors), so predictions clamp d at `d_min` — typically the
+/// average hop length. The paper's own accuracy analysis (Fig. 3(b))
+/// likewise excludes the innermost hops.
+class FluxModel {
+ public:
+  /// `d_min` > 0 is the distance clamp. The field reference must outlive
+  /// the model.
+  FluxModel(const geom::Field& field, double d_min);
+
+  /// The unit-stretch "shape" phi(p, q) = (l^2 - d^2) / (2 max(d, d_min)).
+  /// Multiply by s (continuous) or s/r (discrete) to get a flux amount.
+  /// Always >= 0 for q inside the field.
+  double shape(geom::Vec2 sink, geom::Vec2 node) const;
+
+  /// Continuous-model flux (Eq. 3.2): s * shape.
+  double continuous_flux(geom::Vec2 sink, geom::Vec2 node, double s) const;
+
+  /// Discrete-model flux (Eq. 3.4): (s/r) * shape.
+  double discrete_flux(geom::Vec2 sink, geom::Vec2 node, double s,
+                       double r) const;
+
+  const geom::Field& field() const { return *field_; }
+  double d_min() const { return d_min_; }
+
+ private:
+  const geom::Field* field_;
+  double d_min_;
+};
+
+}  // namespace fluxfp::core

@@ -1,0 +1,80 @@
+#include "core/identity.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/hungarian.hpp"
+#include "numeric/matrix.hpp"
+
+namespace fluxfp::core {
+
+IdentityMaintainer::IdentityMaintainer(std::size_t num_tracks,
+                                       IdentityConfig config)
+    : config_(config),
+      positions_(num_tracks),
+      fingerprints_(num_tracks, 0.0),
+      initialized_(num_tracks, false) {
+  if (num_tracks == 0 || config_.stretch_weight < 0.0 ||
+      config_.stretch_smoothing < 0.0 || config_.stretch_smoothing > 1.0) {
+    throw std::invalid_argument("IdentityMaintainer: bad config");
+  }
+}
+
+std::vector<std::size_t> IdentityMaintainer::assign(
+    const std::vector<Detection>& detections) {
+  const std::size_t k = num_tracks();
+  if (detections.size() != k) {
+    throw std::invalid_argument("IdentityMaintainer: detection count");
+  }
+
+  // First round: adopt detections in order.
+  bool any_initialized = false;
+  for (bool b : initialized_) {
+    any_initialized = any_initialized || b;
+  }
+  std::vector<std::size_t> order(k);
+  if (!any_initialized) {
+    for (std::size_t t = 0; t < k; ++t) {
+      order[t] = t;
+      positions_[t] = detections[t].position;
+      fingerprints_[t] = detections[t].stretch;
+      initialized_[t] = true;
+    }
+    return order;
+  }
+
+  // Min-cost assignment on position distance + fingerprint disagreement.
+  numeric::Matrix cost(k, k);
+  for (std::size_t t = 0; t < k; ++t) {
+    for (std::size_t d = 0; d < k; ++d) {
+      double c = geom::distance(positions_[t], detections[d].position);
+      if (detections[d].updated && detections[d].stretch > 0.0) {
+        c += config_.stretch_weight *
+             std::abs(fingerprints_[t] - detections[d].stretch);
+      }
+      cost(t, d) = c;
+    }
+  }
+  order = numeric::hungarian_assign(cost);
+
+  for (std::size_t t = 0; t < k; ++t) {
+    const Detection& det = detections[order[t]];
+    positions_[t] = det.position;
+    if (det.updated && det.stretch > 0.0) {
+      fingerprints_[t] =
+          (1.0 - config_.stretch_smoothing) * fingerprints_[t] +
+          config_.stretch_smoothing * det.stretch;
+    }
+  }
+  return order;
+}
+
+geom::Vec2 IdentityMaintainer::position(std::size_t track) const {
+  return positions_.at(track);
+}
+
+double IdentityMaintainer::fingerprint(std::size_t track) const {
+  return fingerprints_.at(track);
+}
+
+}  // namespace fluxfp::core

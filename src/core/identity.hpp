@@ -1,0 +1,61 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace fluxfp::core {
+
+/// Options for the identity maintainer.
+struct IdentityConfig {
+  /// Relative weight of stretch disagreement vs position distance in the
+  /// association cost (field-units per unit of s/r difference).
+  double stretch_weight = 3.0;
+  /// Exponential smoothing factor for each track's stretch fingerprint
+  /// (0 = frozen first estimate, 1 = always the latest observation).
+  double stretch_smoothing = 0.3;
+};
+
+/// Resolves the identity-mixing problem the paper leaves open (Fig. 7(d):
+/// "our algorithm ... can only detect the locations of them but cannot
+/// distinguish their identities"). Pure flux observations carry no IDs —
+/// but each user's *traffic stretch* is a behavioral fingerprint. This
+/// post-processor maintains stable track identities by min-cost matching
+/// of per-round detections (position, fitted s/r) against the tracks'
+/// smoothed fingerprints: when two users cross paths, their distinct
+/// stretches keep the tracks from swapping; with identical stretches it
+/// degrades gracefully to nearest-position matching (which may swap, as
+/// the paper observes).
+class IdentityMaintainer {
+ public:
+  /// `num_tracks` identities to maintain. Throws std::invalid_argument on
+  /// a bad config.
+  IdentityMaintainer(std::size_t num_tracks, IdentityConfig config = {});
+
+  /// One detection as produced by the tracker for a round.
+  struct Detection {
+    geom::Vec2 position;
+    double stretch = 0.0;  ///< fitted s/r this round
+    bool updated = true;   ///< false: the slot did not move this round
+  };
+
+  /// Consumes one round of detections (size must equal num_tracks) and
+  /// returns `order` with order[track] = detection index assigned to that
+  /// track. Non-updated detections keep their previous assignment
+  /// preference (zero extra cost at their last position).
+  std::vector<std::size_t> assign(const std::vector<Detection>& detections);
+
+  /// Position of `track` after the last assign().
+  geom::Vec2 position(std::size_t track) const;
+  /// Smoothed stretch fingerprint of `track`.
+  double fingerprint(std::size_t track) const;
+  std::size_t num_tracks() const { return positions_.size(); }
+
+ private:
+  IdentityConfig config_;
+  std::vector<geom::Vec2> positions_;
+  std::vector<double> fingerprints_;
+  std::vector<bool> initialized_;
+};
+
+}  // namespace fluxfp::core

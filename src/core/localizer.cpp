@@ -1,0 +1,137 @@
+#include "core/localizer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace fluxfp::core {
+namespace {
+
+struct ScoredCandidate {
+  geom::Vec2 position;
+  double residual;
+  double stretch;  ///< fitted s/r of the candidate's own user
+};
+
+/// Keeps the `m` lowest-residual candidates, best first. Candidates whose
+/// fitted stretch collapsed to ~0 are dropped first (when possible): their
+/// residual is insensitive to position, so they rank arbitrarily — the
+/// "outlier reports" the paper filters out by majority (§5.A).
+void keep_top(std::vector<ScoredCandidate>& cands, std::size_t m) {
+  double max_stretch = 0.0;
+  for (const ScoredCandidate& c : cands) {
+    max_stretch = std::max(max_stretch, c.stretch);
+  }
+  const double floor = 0.02 * max_stretch;
+  std::vector<ScoredCandidate> filtered;
+  filtered.reserve(cands.size());
+  for (const ScoredCandidate& c : cands) {
+    if (c.stretch > floor) {
+      filtered.push_back(c);
+    }
+  }
+  if (!filtered.empty()) {
+    cands = std::move(filtered);
+  }
+  const std::size_t keep = std::min(m, cands.size());
+  std::partial_sort(cands.begin(), cands.begin() + static_cast<long>(keep),
+                    cands.end(), [](const auto& a, const auto& b) {
+                      return a.residual < b.residual;
+                    });
+  cands.resize(keep);
+}
+
+}  // namespace
+
+InstantLocalizer::InstantLocalizer(const geom::Field& field,
+                                   LocalizerConfig config)
+    : field_(&field), config_(config) {
+  if (config_.candidates_per_user == 0 || config_.top_m == 0 ||
+      config_.sweeps <= 0 || config_.restarts <= 0) {
+    throw std::invalid_argument("InstantLocalizer: bad config");
+  }
+}
+
+LocalizationResult InstantLocalizer::localize(
+    const SparseObjective& objective, std::size_t num_users,
+    geom::Rng& rng) const {
+  if (num_users == 0 || num_users > kMaxGramUsers) {
+    throw std::invalid_argument("InstantLocalizer: bad user count");
+  }
+
+  LocalizationResult best_result;
+  best_result.residual = std::numeric_limits<double>::infinity();
+
+  const int restarts = num_users == 1 ? 1 : config_.restarts;
+  const int sweeps = num_users == 1 ? 1 : config_.sweeps;
+  const std::size_t per_sweep =
+      std::max<std::size_t>(config_.candidates_per_user /
+                                static_cast<std::size_t>(sweeps),
+                            1);
+
+  std::vector<double> candidate_col;
+  for (int restart = 0; restart < restarts; ++restart) {
+    // Current combination and cached shape columns.
+    std::vector<geom::Vec2> positions(num_users);
+    std::vector<std::vector<double>> columns(num_users);
+    for (std::size_t j = 0; j < num_users; ++j) {
+      positions[j] = geom::uniform_in_field(*field_, rng);
+      objective.shape_column(positions[j], columns[j]);
+    }
+
+    std::vector<std::vector<ScoredCandidate>> last_scores(num_users);
+    double current_residual = std::numeric_limits<double>::infinity();
+
+    for (int sweep = 0; sweep < sweeps; ++sweep) {
+      for (std::size_t j = 0; j < num_users; ++j) {
+        // Fix all other users' columns; sweep user j's candidates.
+        std::vector<const std::vector<double>*> fixed;
+        fixed.reserve(num_users - 1);
+        for (std::size_t o = 0; o < num_users; ++o) {
+          if (o != j) {
+            fixed.push_back(&columns[o]);
+          }
+        }
+        const ConditionalFit cond(objective, fixed, j);
+
+        std::vector<ScoredCandidate> scored;
+        scored.reserve(per_sweep + 1);
+        // Keep the incumbent so a sweep can never regress.
+        const StretchFit inc = cond.evaluate(columns[j]);
+        scored.push_back({positions[j], inc.residual, inc.stretches[j]});
+        for (std::size_t c = 0; c < per_sweep; ++c) {
+          const geom::Vec2 p = geom::uniform_in_field(*field_, rng);
+          objective.shape_column(p, candidate_col);
+          const StretchFit fit = cond.evaluate(candidate_col);
+          scored.push_back({p, fit.residual, fit.stretches[j]});
+        }
+        keep_top(scored, std::max(config_.top_m, std::size_t{1}));
+
+        positions[j] = scored.front().position;
+        objective.shape_column(positions[j], columns[j]);
+        current_residual = scored.front().residual;
+        if (sweep == sweeps - 1) {
+          last_scores[j] = std::move(scored);
+        }
+      }
+    }
+
+    if (current_residual < best_result.residual) {
+      StretchFit fit = objective.fit(positions);
+      best_result.positions = positions;
+      best_result.stretches = std::move(fit.stretches);
+      best_result.residual = fit.residual;
+      best_result.top_positions.assign(num_users, {});
+      best_result.top_residuals.assign(num_users, {});
+      for (std::size_t j = 0; j < num_users; ++j) {
+        for (const ScoredCandidate& s : last_scores[j]) {
+          best_result.top_positions[j].push_back(s.position);
+          best_result.top_residuals[j].push_back(s.residual);
+        }
+      }
+    }
+  }
+  return best_result;
+}
+
+}  // namespace fluxfp::core

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <vector>
+
+#include "core/nls.hpp"
+#include "geom/sampling.hpp"
+
+namespace fluxfp::core {
+
+/// Configuration of the instant (single-window) localizer.
+struct LocalizerConfig {
+  /// Random location samples tested per user (paper §5.A uses 10,000).
+  std::size_t candidates_per_user = 10000;
+  /// Size of the kept top list per user (paper: top 10 combinations).
+  std::size_t top_m = 10;
+  /// Conditional sweeps over users for K > 1 (each sweep spends
+  /// candidates_per_user / sweeps samples per user).
+  int sweeps = 3;
+  /// Independent random restarts for K > 1; the best-residual restart wins.
+  int restarts = 3;
+};
+
+/// Output of one localization: the best position/stretch combination plus
+/// the per-user top-M candidate lists (best first) from the final sweep.
+struct LocalizationResult {
+  std::vector<geom::Vec2> positions;               ///< best combination
+  std::vector<double> stretches;                   ///< fitted s_j/r
+  double residual = 0.0;                           ///< ||F - F'|| at best
+  std::vector<std::vector<geom::Vec2>> top_positions;  ///< per user, <= top_m
+  std::vector<std::vector<double>> top_residuals;      ///< aligned with above
+};
+
+/// Instant localization by NLS candidate search (§4.A, evaluated in §5.A):
+/// draws uniform candidate positions per user, profiles out the stretch
+/// factors with the exact Gram-space NNLS, and — for multiple users —
+/// refines by iterated conditional sweeps (the tractable stand-in for the
+/// paper's N^K combination ranking; exact for K = 1).
+class InstantLocalizer {
+ public:
+  /// `field` must outlive the localizer.
+  InstantLocalizer(const geom::Field& field, LocalizerConfig config = {});
+
+  /// Localizes `num_users` sinks against the sampled flux in `objective`.
+  /// Throws std::invalid_argument for num_users == 0 or
+  /// num_users > kMaxGramUsers.
+  LocalizationResult localize(const SparseObjective& objective,
+                              std::size_t num_users, geom::Rng& rng) const;
+
+  const LocalizerConfig& config() const { return config_; }
+
+ private:
+  const geom::Field* field_;
+  LocalizerConfig config_;
+};
+
+}  // namespace fluxfp::core

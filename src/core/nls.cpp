@@ -1,0 +1,428 @@
+#include "core/nls.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/matrix.hpp"
+#include "numeric/nnls.hpp"
+
+namespace fluxfp::core {
+
+SparseObjective::SparseObjective(const FluxModel& model,
+                                 std::vector<geom::Vec2> sample_positions,
+                                 std::vector<double> measured)
+    : model_(model),
+      sample_positions_(std::move(sample_positions)),
+      measured_(std::move(measured)) {
+  if (sample_positions_.empty() ||
+      sample_positions_.size() != measured_.size()) {
+    throw std::invalid_argument(
+        "SparseObjective: samples empty or size mismatch");
+  }
+  measured_norm_ = numeric::norm(measured_);
+}
+
+std::vector<double> SparseObjective::shape_column(geom::Vec2 sink) const {
+  std::vector<double> col;
+  shape_column(sink, col);
+  return col;
+}
+
+void SparseObjective::shape_column(geom::Vec2 sink,
+                                   std::vector<double>& out) const {
+  out.resize(sample_positions_.size());
+  for (std::size_t i = 0; i < sample_positions_.size(); ++i) {
+    out[i] = model_.shape(sink, sample_positions_[i]);
+  }
+}
+
+StretchFit SparseObjective::fit(std::span<const geom::Vec2> sinks) const {
+  std::vector<std::vector<double>> cols(sinks.size());
+  std::vector<const std::vector<double>*> ptrs(sinks.size());
+  for (std::size_t j = 0; j < sinks.size(); ++j) {
+    shape_column(sinks[j], cols[j]);
+    ptrs[j] = &cols[j];
+  }
+  return fit_columns(ptrs);
+}
+
+StretchFit SparseObjective::fit_columns(
+    std::span<const std::vector<double>* const> columns) const {
+  const std::size_t n = sample_positions_.size();
+  const std::size_t k = columns.size();
+  StretchFit out;
+  if (k == 0) {
+    out.residual = measured_norm_;
+    return out;
+  }
+  if (k == 1) {
+    const std::vector<double>& f = *columns[0];
+    const double s = numeric::nnls_single(f, measured_);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = s * f[i] - measured_[i];
+      acc += d * d;
+    }
+    out.residual = std::sqrt(acc);
+    out.stretches = {s};
+    return out;
+  }
+  numeric::Matrix a(n, k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::vector<double>& col = *columns[j];
+    if (col.size() != n) {
+      throw std::invalid_argument("fit_columns: column length mismatch");
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      a(i, j) = col[i];
+    }
+  }
+  numeric::NnlsResult r = numeric::nnls(a, measured_);
+  out.residual = r.residual;
+  out.stretches = std::move(r.x);
+  return out;
+}
+
+namespace {
+
+/// Cholesky solve of the dense k x k system g x = c restricted to the
+/// columns in idx[0..m); returns false if the submatrix is not
+/// (numerically) SPD. On success writes the m support values to z.
+bool solve_support(std::span<const double> g, std::size_t k,
+                   std::span<const double> c, const std::size_t* idx,
+                   std::size_t m, double* z) {
+  double l[kMaxGramUsers * kMaxGramUsers];
+  // Cholesky of the m x m submatrix.
+  for (std::size_t j = 0; j < m; ++j) {
+    double diag = g[idx[j] * k + idx[j]];
+    for (std::size_t t = 0; t < j; ++t) {
+      diag -= l[j * m + t] * l[j * m + t];
+    }
+    if (!(diag > 1e-14)) {
+      return false;
+    }
+    l[j * m + j] = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < m; ++i) {
+      double v = g[idx[i] * k + idx[j]];
+      for (std::size_t t = 0; t < j; ++t) {
+        v -= l[i * m + t] * l[j * m + t];
+      }
+      l[i * m + j] = v / l[j * m + j];
+    }
+  }
+  double y[kMaxGramUsers];
+  for (std::size_t i = 0; i < m; ++i) {
+    double v = c[idx[i]];
+    for (std::size_t t = 0; t < i; ++t) {
+      v -= l[i * m + t] * y[t];
+    }
+    y[i] = v / l[i * m + i];
+  }
+  for (std::size_t ii = m; ii-- > 0;) {
+    double v = y[ii];
+    for (std::size_t t = ii + 1; t < m; ++t) {
+      v -= l[t * m + ii] * z[t];
+    }
+    z[ii] = v / l[ii * m + ii];
+  }
+  return true;
+}
+
+/// Subset solve used by the exhaustive enumeration: like solve_support but
+/// additionally rejects solutions with a negative entry and reports the
+/// full-size solution plus s^T c.
+bool solve_subset(std::span<const double> g, std::size_t k,
+                  std::span<const double> c, unsigned mask,
+                  std::span<double> x, double& sc) {
+  std::size_t idx[kMaxGramUsers];
+  std::size_t m = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    if (mask & (1u << j)) {
+      idx[m++] = j;
+    }
+  }
+  double l[kMaxGramUsers * kMaxGramUsers];
+  // Cholesky of the m x m submatrix.
+  for (std::size_t j = 0; j < m; ++j) {
+    double diag = g[idx[j] * k + idx[j]];
+    for (std::size_t t = 0; t < j; ++t) {
+      diag -= l[j * m + t] * l[j * m + t];
+    }
+    if (!(diag > 1e-14)) {
+      return false;
+    }
+    l[j * m + j] = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < m; ++i) {
+      double v = g[idx[i] * k + idx[j]];
+      for (std::size_t t = 0; t < j; ++t) {
+        v -= l[i * m + t] * l[j * m + t];
+      }
+      l[i * m + j] = v / l[j * m + j];
+    }
+  }
+  double y[kMaxGramUsers];
+  for (std::size_t i = 0; i < m; ++i) {
+    double v = c[idx[i]];
+    for (std::size_t t = 0; t < i; ++t) {
+      v -= l[i * m + t] * y[t];
+    }
+    y[i] = v / l[i * m + i];
+  }
+  double z[kMaxGramUsers];
+  for (std::size_t ii = m; ii-- > 0;) {
+    double v = y[ii];
+    for (std::size_t t = ii + 1; t < m; ++t) {
+      v -= l[t * m + ii] * z[t];
+    }
+    z[ii] = v / l[ii * m + ii];
+    if (z[ii] < 0.0) {
+      return false;
+    }
+  }
+  for (std::size_t j = 0; j < k; ++j) {
+    x[j] = 0.0;
+  }
+  sc = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    x[idx[j]] = z[j];
+    sc += z[j] * c[idx[j]];
+  }
+  return true;
+}
+
+}  // namespace
+
+namespace {
+
+/// Lawson–Hanson active-set NNLS on the normal equations: minimizes
+/// 0.5 s^T G s - c^T s over s >= 0. Used for k above the enumeration limit.
+void nnls_gram_active_set(std::span<const double> g, std::size_t k,
+                          std::span<const double> c,
+                          std::vector<double>& s) {
+  s.assign(k, 0.0);
+  bool passive[kMaxGramUsers] = {};
+  std::size_t idx[kMaxGramUsers];
+  double z[kMaxGramUsers];
+  double cnorm = 0.0;
+  for (std::size_t j = 0; j < k; ++j) {
+    cnorm = std::max(cnorm, std::abs(c[j]));
+  }
+  const double tol = 1e-10 * (1.0 + cnorm);
+  const int max_iter = static_cast<int>(3 * k) + 10;
+
+  for (int iter = 0; iter < max_iter; ++iter) {
+    // Gradient of the residual objective: w = c - G s.
+    double wmax = tol;
+    std::size_t jmax = k;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (passive[j]) {
+        continue;
+      }
+      double w = c[j];
+      for (std::size_t t = 0; t < k; ++t) {
+        w -= g[j * k + t] * s[t];
+      }
+      if (w > wmax) {
+        wmax = w;
+        jmax = j;
+      }
+    }
+    if (jmax == k) {
+      return;  // KKT satisfied
+    }
+    passive[jmax] = true;
+
+    for (int inner = 0; inner < max_iter; ++inner) {
+      std::size_t m = 0;
+      for (std::size_t j = 0; j < k; ++j) {
+        if (passive[j]) {
+          idx[m++] = j;
+        }
+      }
+      if (m == 0) {
+        break;
+      }
+      if (!solve_support(g, k, c, idx, m, z)) {
+        passive[jmax] = false;  // near-singular: drop the newest column
+        break;
+      }
+      bool feasible = true;
+      double alpha = 1.0;
+      for (std::size_t t = 0; t < m; ++t) {
+        if (z[t] <= 0.0) {
+          feasible = false;
+          const double denom = s[idx[t]] - z[t];
+          if (denom > 0.0) {
+            alpha = std::min(alpha, s[idx[t]] / denom);
+          }
+        }
+      }
+      if (feasible) {
+        for (std::size_t j = 0; j < k; ++j) {
+          s[j] = 0.0;
+        }
+        for (std::size_t t = 0; t < m; ++t) {
+          s[idx[t]] = z[t];
+        }
+        break;
+      }
+      for (std::size_t t = 0; t < m; ++t) {
+        s[idx[t]] += alpha * (z[t] - s[idx[t]]);
+        if (s[idx[t]] <= tol) {
+          s[idx[t]] = 0.0;
+          passive[idx[t]] = false;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+StretchFit nnls_from_gram(std::span<const double> g, std::size_t k,
+                          std::span<const double> c, double b2) {
+  if (k == 0 || k > kMaxGramUsers || g.size() != k * k || c.size() != k) {
+    throw std::invalid_argument("nnls_from_gram: bad dimensions");
+  }
+  StretchFit out;
+  out.stretches.assign(k, 0.0);
+
+  if (k > kGramEnumerationLimit) {
+    nnls_gram_active_set(g, k, c, out.stretches);
+    // residual^2 = b2 - 2 s^T c + s^T G s.
+    double sc = 0.0;
+    double sgs = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      sc += out.stretches[i] * c[i];
+      double gi = 0.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        gi += g[i * k + j] * out.stretches[j];
+      }
+      sgs += out.stretches[i] * gi;
+    }
+    out.residual = std::sqrt(std::max(b2 - 2.0 * sc + sgs, 0.0));
+    return out;
+  }
+
+  // Fast path: if the unconstrained optimum over all k columns is already
+  // non-negative it *is* the NNLS optimum — one Cholesky instead of the
+  // subset sweep. This covers the common well-separated-columns case.
+  double best_r2 = b2;
+  double x[kMaxGramUsers];
+  const unsigned full = (1u << k) - 1;
+  {
+    double sc = 0.0;
+    if (solve_subset(g, k, c, full, std::span<double>(x, k), sc)) {
+      for (std::size_t j = 0; j < k; ++j) {
+        out.stretches[j] = x[j];
+      }
+      out.residual = std::sqrt(std::max(b2 - sc, 0.0));
+      return out;
+    }
+  }
+  // Empty support: s = 0, residual^2 = b2. For a subset solution solving
+  // exactly on its support, residual^2 = b2 - s^T c.
+  for (unsigned mask = 1; mask < full; ++mask) {
+    double sc = 0.0;
+    if (!solve_subset(g, k, c, mask, std::span<double>(x, k), sc)) {
+      continue;
+    }
+    const double r2 = b2 - sc;
+    if (r2 < best_r2) {
+      best_r2 = r2;
+      for (std::size_t j = 0; j < k; ++j) {
+        out.stretches[j] = x[j];
+      }
+    }
+  }
+  out.residual = std::sqrt(std::max(best_r2, 0.0));
+  return out;
+}
+
+ConditionalFit::ConditionalFit(
+    const SparseObjective& obj,
+    std::span<const std::vector<double>* const> fixed_columns,
+    std::size_t vary_index)
+    : obj_(&obj),
+      fixed_(fixed_columns.begin(), fixed_columns.end()),
+      vary_index_(vary_index) {
+  const std::size_t kf = fixed_.size();
+  if (kf + 1 > kMaxGramUsers || vary_index > kf) {
+    throw std::invalid_argument("ConditionalFit: bad dimensions");
+  }
+  const std::size_t n = obj.sample_count();
+  for (const auto* col : fixed_columns) {
+    if (col->size() != n) {
+      throw std::invalid_argument("ConditionalFit: column length mismatch");
+    }
+  }
+  fixed_gram_.assign(kf * kf, 0.0);
+  fixed_c_.assign(kf, 0.0);
+  const std::vector<double>& b = obj.measured();
+  for (std::size_t a = 0; a < kf; ++a) {
+    for (std::size_t bI = a; bI < kf; ++bI) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        acc += (*fixed_[a])[i] * (*fixed_[bI])[i];
+      }
+      fixed_gram_[a * kf + bI] = acc;
+      fixed_gram_[bI * kf + a] = acc;
+    }
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += (*fixed_[a])[i] * b[i];
+    }
+    fixed_c_[a] = acc;
+  }
+}
+
+StretchFit ConditionalFit::evaluate(
+    std::span<const double> candidate_column) const {
+  const std::size_t kf = fixed_.size();
+  const std::size_t k = kf + 1;
+  const std::size_t n = obj_->sample_count();
+  const std::vector<double>& b = obj_->measured();
+
+  // Cross terms of the candidate with the fixed columns, itself, and b.
+  double cross[kMaxGramUsers];
+  for (std::size_t a = 0; a < kf; ++a) {
+    double acc = 0.0;
+    const std::vector<double>& fa = *fixed_[a];
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += fa[i] * candidate_column[i];
+    }
+    cross[a] = acc;
+  }
+  double self = 0.0;
+  double cb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    self += candidate_column[i] * candidate_column[i];
+    cb += candidate_column[i] * b[i];
+  }
+
+  // Assemble the K x K Gram with the candidate inserted at vary_index_.
+  // Slot mapping: output index vary_index_ -> candidate; fixed column a
+  // keeps its relative order around it.
+  double g[kMaxGramUsers * kMaxGramUsers];
+  double c[kMaxGramUsers];
+  auto slot_of_fixed = [&](std::size_t a) {
+    return a < vary_index_ ? a : a + 1;
+  };
+  for (std::size_t a = 0; a < kf; ++a) {
+    const std::size_t sa = slot_of_fixed(a);
+    c[sa] = fixed_c_[a];
+    for (std::size_t bI = 0; bI < kf; ++bI) {
+      g[sa * k + slot_of_fixed(bI)] = fixed_gram_[a * kf + bI];
+    }
+    g[sa * k + vary_index_] = cross[a];
+    g[vary_index_ * k + sa] = cross[a];
+  }
+  g[vary_index_ * k + vary_index_] = self;
+  c[vary_index_] = cb;
+
+  const double b2 = obj_->measured_norm() * obj_->measured_norm();
+  return nnls_from_gram(std::span<const double>(g, k * k), k,
+                        std::span<const double>(c, k), b2);
+}
+
+}  // namespace fluxfp::core

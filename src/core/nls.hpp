@@ -1,0 +1,108 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/flux_model.hpp"
+#include "geom/vec2.hpp"
+
+namespace fluxfp::core {
+
+/// Result of fitting stretch factors for one candidate set of sink
+/// positions.
+struct StretchFit {
+  double residual = 0.0;             ///< ||F - F'||_2 at the optimum
+  std::vector<double> stretches;     ///< fitted s_j / r, all >= 0
+};
+
+/// The sparse-sampling NLS objective of §4.A.
+///
+/// Fix n sniffed nodes with positions q_1..q_n and measured flux F'. For
+/// candidate sink positions p_1..p_K, the model predicts
+///   F_i = Σ_j (s_j/r) * phi(p_j, q_i)
+/// which is *linear* in the integrated factors s_j/r. The objective
+/// therefore profiles them out: for any candidate position set the optimal
+/// non-negative stretches solve an n x K NNLS, and the candidate's score is
+/// the remaining residual ||F - F'||. The position search on top of this is
+/// what the localizer / SMC tracker implement.
+class SparseObjective {
+ public:
+  /// `model` is copied; `sample_positions` are the sniffed nodes' positions;
+  /// `measured` is F' (same length). Throws std::invalid_argument on
+  /// size mismatch or empty samples.
+  SparseObjective(const FluxModel& model,
+                  std::vector<geom::Vec2> sample_positions,
+                  std::vector<double> measured);
+
+  std::size_t sample_count() const { return sample_positions_.size(); }
+  const std::vector<geom::Vec2>& sample_positions() const {
+    return sample_positions_;
+  }
+  const std::vector<double>& measured() const { return measured_; }
+  double measured_norm() const { return measured_norm_; }
+  const FluxModel& model() const { return model_; }
+
+  /// The model shape column [phi(sink, q_1) ... phi(sink, q_n)].
+  std::vector<double> shape_column(geom::Vec2 sink) const;
+  /// In-place variant (out resized to n) to avoid allocation in hot loops.
+  void shape_column(geom::Vec2 sink, std::vector<double>& out) const;
+
+  /// Full fit for K candidate sinks.
+  StretchFit fit(std::span<const geom::Vec2> sinks) const;
+
+  /// Fit from precomputed shape columns (all length n). Used by the search
+  /// loops where K-1 columns stay fixed while one candidate varies.
+  StretchFit fit_columns(
+      std::span<const std::vector<double>* const> columns) const;
+
+ private:
+  FluxModel model_;
+  std::vector<geom::Vec2> sample_positions_;
+  std::vector<double> measured_;
+  double measured_norm_ = 0.0;
+};
+
+/// Maximum K supported by the Gram-space NNLS.
+inline constexpr std::size_t kMaxGramUsers = 32;
+/// Up to this K, support subsets are enumerated exhaustively (2^K - 1
+/// Cholesky solves — exact and branch-free); above it, a Lawson–Hanson
+/// active-set iteration in Gram space takes over.
+inline constexpr std::size_t kGramEnumerationLimit = 6;
+
+/// NNLS in Gram space: minimizes ||A s - b|| over s >= 0 given
+/// G = A^T A (k x k), c = A^T b, and b2 = ||b||^2. For k <=
+/// kGramEnumerationLimit every support subset is solved (the global
+/// optimum's support is one of them, so the minimum-residual feasible
+/// subset solution is the global optimum); for larger k a Lawson–Hanson
+/// active-set loop is used. Throws std::invalid_argument for
+/// k > kMaxGramUsers.
+StretchFit nnls_from_gram(std::span<const double> g, std::size_t k,
+                          std::span<const double> c, double b2);
+
+/// Incremental candidate evaluator for the conditional search loops: K-1
+/// shape columns stay fixed while the column of one user sweeps over
+/// candidates. Precomputes the fixed Gram block and fixed c entries so each
+/// candidate costs O(n*K) flops plus a tiny Gram-space NNLS.
+class ConditionalFit {
+ public:
+  /// `fixed_columns` are the K-1 other users' shape columns (each length
+  /// n); `vary_index` in [0, K) is the slot of the varying user in the
+  /// output stretch vector. The objective and columns must outlive this.
+  ConditionalFit(const SparseObjective& obj,
+                 std::span<const std::vector<double>* const> fixed_columns,
+                 std::size_t vary_index);
+
+  /// Fit with the varying user's column = `candidate_column` (length n).
+  StretchFit evaluate(std::span<const double> candidate_column) const;
+
+  std::size_t user_count() const { return fixed_.size() + 1; }
+
+ private:
+  const SparseObjective* obj_;
+  std::vector<const std::vector<double>*> fixed_;
+  std::size_t vary_index_;
+  std::vector<double> fixed_gram_;  // (K-1)^2 row-major
+  std::vector<double> fixed_c_;     // K-1
+};
+
+}  // namespace fluxfp::core

@@ -1,0 +1,287 @@
+#include "core/smc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace fluxfp::core {
+
+SmcTracker::SmcTracker(const geom::Field& field, std::size_t num_users,
+                       SmcConfig config, geom::Rng& rng)
+    : field_(&field), config_(config) {
+  if (num_users == 0 || num_users > kMaxGramUsers) {
+    throw std::invalid_argument("SmcTracker: bad user count");
+  }
+  if (config_.num_predictions == 0 || config_.num_keep == 0 ||
+      config_.sweeps <= 0 || !(config_.vmax > 0.0)) {
+    throw std::invalid_argument("SmcTracker: bad config");
+  }
+  if (config_.heading_mix < 0.0 || config_.heading_mix > 1.0 ||
+      config_.heading_half_angle <= 0.0) {
+    throw std::invalid_argument("SmcTracker: bad heading config");
+  }
+  particles_.resize(num_users);
+  t_last_.assign(num_users, 0.0);
+  prev_estimate_.assign(num_users, geom::Vec2{});
+  heading_.assign(num_users, geom::Vec2{});
+  const double w0 = 1.0 / static_cast<double>(config_.num_keep);
+  for (auto& set : particles_) {
+    set.reserve(config_.num_keep);
+    for (std::size_t i = 0; i < config_.num_keep; ++i) {
+      set.push_back({geom::uniform_in_field(*field_, rng), w0});
+    }
+  }
+}
+
+geom::Vec2 SmcTracker::estimate(std::size_t user) const {
+  const auto& set = particles_.at(user);
+  geom::Vec2 acc;
+  double wsum = 0.0;
+  for (const Particle& p : set) {
+    acc += p.position * p.weight;
+    wsum += p.weight;
+  }
+  return wsum > 0.0 ? acc / wsum : set.front().position;
+}
+
+std::array<double, 4> SmcTracker::covariance(std::size_t user) const {
+  const auto& set = particles_.at(user);
+  const geom::Vec2 mean = estimate(user);
+  double xx = 0.0, xy = 0.0, yy = 0.0, wsum = 0.0;
+  for (const Particle& p : set) {
+    const geom::Vec2 d = p.position - mean;
+    xx += p.weight * d.x * d.x;
+    xy += p.weight * d.x * d.y;
+    yy += p.weight * d.y * d.y;
+    wsum += p.weight;
+  }
+  if (wsum <= 0.0) {
+    return {0.0, 0.0, 0.0, 0.0};
+  }
+  return {xx / wsum, xy / wsum, xy / wsum, yy / wsum};
+}
+
+double SmcTracker::spread(std::size_t user) const {
+  const std::array<double, 4> c = covariance(user);
+  return std::sqrt(std::max(c[0] + c[3], 0.0));
+}
+
+std::vector<SmcTracker::Prediction> SmcTracker::predict(std::size_t user,
+                                                        double radius,
+                                                        geom::Rng& rng) const {
+  const auto& set = particles_[user];
+  std::vector<double> weights(set.size());
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    weights[i] = config_.importance_sampling ? set[i].weight : 1.0;
+  }
+  std::discrete_distribution<std::size_t> origin_dist(weights.begin(),
+                                                      weights.end());
+  const geom::Vec2 h = heading_[user];
+  const bool use_cone =
+      config_.heading_aware && h.norm2() > 0.0 && config_.heading_mix > 0.0;
+  const double base_angle = std::atan2(h.y, h.x);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  std::vector<Prediction> out;
+  out.reserve(config_.num_predictions);
+  for (std::size_t i = 0; i < config_.num_predictions; ++i) {
+    const std::size_t o = origin_dist(rng);
+    geom::Vec2 p;
+    if (use_cone && unit(rng) < config_.heading_mix) {
+      // Area-uniform sample in the cone of half-angle around the heading.
+      const double r = radius * std::sqrt(unit(rng));
+      const double a =
+          base_angle + (2.0 * unit(rng) - 1.0) * config_.heading_half_angle;
+      p = field_->clamp(set[o].position +
+                        geom::Vec2{r * std::cos(a), r * std::sin(a)});
+    } else {
+      p = geom::uniform_in_disc_clipped(set[o].position, radius, *field_,
+                                        rng);
+    }
+    out.push_back({p, o});
+  }
+  return out;
+}
+
+SmcStepResult SmcTracker::step(double time, const SparseObjective& objective,
+                               geom::Rng& rng) {
+  const std::size_t k = num_users();
+  SmcStepResult result;
+  result.updated.assign(k, false);
+  result.stretches.assign(k, 0.0);
+  result.best.resize(k);
+
+  // Empty window: nothing to fit, nobody moves.
+  if (objective.measured_norm() < config_.empty_measurement_tol) {
+    for (std::size_t j = 0; j < k; ++j) {
+      result.best[j] = estimate(j);
+    }
+    result.residual = objective.measured_norm();
+    return result;
+  }
+
+  // --- Prediction (Eq. 4.2) ---
+  std::vector<std::vector<Prediction>> predictions(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const double dt = std::max(time - t_last_[j], 0.0);
+    const double radius =
+        std::clamp(config_.vmax * dt, 1e-6, field_->diameter());
+    predictions[j] = predict(j, radius, rng);
+  }
+
+  // --- Filtering: conditional sweeps over users ---
+  std::vector<geom::Vec2> reps(k);
+  std::vector<std::vector<double>> rep_cols(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    reps[j] = estimate(j);
+    objective.shape_column(reps[j], rep_cols[j]);
+  }
+
+  // Per-user scores of the *last* sweep; index into predictions[j].
+  //
+  // Scaling note: the conditional NNLS is pruned to the joint fit's
+  // *support* — the users whose fitted s/r is currently non-zero. With
+  // asynchronous schedules (20 tracked users, 2-4 active per window, §5.C)
+  // this turns each candidate evaluation from a K-dimensional NNLS into a
+  // (active+1)-dimensional one; columns outside the support are zero in
+  // the full fit anyway, so the pruned fit is exact at the current point.
+  std::vector<std::vector<double>> last_residuals(k);
+  // Candidate shape columns are fixed for the round; compute them once
+  // (flat n-strided buffer per user) instead of per sweep.
+  const std::size_t n = objective.sample_count();
+  std::vector<std::vector<double>> cand_cols(k);
+  std::vector<double> cand_col;
+  for (std::size_t j = 0; j < k; ++j) {
+    cand_cols[j].resize(predictions[j].size() * n);
+    for (std::size_t c = 0; c < predictions[j].size(); ++c) {
+      objective.shape_column(predictions[j][c].position, cand_col);
+      std::copy(cand_col.begin(), cand_col.end(),
+                cand_cols[j].begin() + static_cast<long>(c * n));
+    }
+  }
+  for (int sweep = 0; sweep < config_.sweeps; ++sweep) {
+    // Support of the joint fit at the current representatives. Columns
+    // whose stretch is a sliver of the largest are noise-absorbers (stale
+    // reps soaking up model misfit), not users — drop them too.
+    const StretchFit sweep_fit = objective.fit(reps);
+    double max_stretch = 0.0;
+    for (double s : sweep_fit.stretches) {
+      max_stretch = std::max(max_stretch, s);
+    }
+    std::vector<std::size_t> support;
+    for (std::size_t o = 0; o < k; ++o) {
+      if (sweep_fit.stretches[o] > 0.02 * max_stretch) {
+        support.push_back(o);
+      }
+    }
+    for (std::size_t j = 0; j < k; ++j) {
+      std::vector<const std::vector<double>*> fixed;
+      fixed.reserve(support.size());
+      for (std::size_t o : support) {
+        if (o != j) {
+          fixed.push_back(&rep_cols[o]);
+        }
+      }
+      // Candidate column sits in the last slot of the pruned fit.
+      const ConditionalFit cond(objective, fixed, fixed.size());
+      std::vector<double>& residuals = last_residuals[j];
+      residuals.assign(predictions[j].size(), 0.0);
+      double best_res = std::numeric_limits<double>::infinity();
+      std::size_t best_idx = 0;
+      for (std::size_t c = 0; c < predictions[j].size(); ++c) {
+        const std::span<const double> col(cand_cols[j].data() + c * n, n);
+        residuals[c] = cond.evaluate(col).residual;
+        if (residuals[c] < best_res) {
+          best_res = residuals[c];
+          best_idx = c;
+        }
+      }
+      reps[j] = predictions[j][best_idx].position;
+      const std::span<const double> best_col(
+          cand_cols[j].data() + best_idx * n, n);
+      rep_cols[j].assign(best_col.begin(), best_col.end());
+    }
+  }
+
+  // --- Joint stretch fit at the best combination (asynchronism test) ---
+  StretchFit joint = objective.fit(reps);
+  result.stretches = joint.stretches;
+  result.residual = joint.residual;
+  result.best = reps;
+
+  // --- Asynchronous updating + importance sampling (Eq. 4.3) ---
+  for (std::size_t j = 0; j < k; ++j) {
+    // Leave-one-out activity test: how much worse does the fit get without
+    // user j's column? Users outside the joint fit's support contribute
+    // nothing (dropping their zero-stretch column leaves the residual
+    // unchanged), so only support members need the refit.
+    double improvement = 0.0;
+    if (joint.stretches[j] > 0.0) {
+      std::vector<const std::vector<double>*> without;
+      without.reserve(k - 1);
+      for (std::size_t o = 0; o < k; ++o) {
+        if (o != j && joint.stretches[o] > 0.0) {
+          without.push_back(&rep_cols[o]);
+        }
+      }
+      const double residual_without =
+          objective.fit_columns(without).residual;
+      improvement =
+          (residual_without - joint.residual) / objective.measured_norm();
+    }
+    const bool active = improvement > config_.inactive_improvement_tol;
+    if (!active) {
+      continue;  // s/r -> 0: leave samples and t_last untouched (§4.E)
+    }
+
+    // Rank this user's predictions by the last sweep's residuals, keep M.
+    std::vector<std::size_t> order(predictions[j].size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    const std::size_t keep = std::min(config_.num_keep, order.size());
+    std::partial_sort(order.begin(), order.begin() + static_cast<long>(keep),
+                      order.end(), [&](std::size_t a, std::size_t b) {
+                        return last_residuals[j][a] < last_residuals[j][b];
+                      });
+
+    const double eps = 1e-9 * (1.0 + objective.measured_norm());
+    std::vector<Particle> next;
+    next.reserve(keep);
+    double wsum = 0.0;
+    for (std::size_t t = 0; t < keep; ++t) {
+      const Prediction& pred = predictions[j][order[t]];
+      double w = 1.0;
+      if (config_.importance_sampling) {
+        const double w_origin = particles_[j][pred.origin].weight;
+        w = w_origin / (last_residuals[j][order[t]] + eps);
+      }
+      next.push_back({pred.position, w});
+      wsum += w;
+    }
+    if (wsum <= 0.0) {
+      // Degenerate weights (all origins at weight 0): fall back to uniform.
+      for (Particle& p : next) {
+        p.weight = 1.0 / static_cast<double>(next.size());
+      }
+    } else {
+      for (Particle& p : next) {
+        p.weight /= wsum;
+      }
+    }
+    particles_[j] = std::move(next);
+    const bool had_prior_update = t_last_[j] > 0.0;
+    t_last_[j] = time;
+    result.updated[j] = true;
+    if (config_.heading_aware) {
+      const geom::Vec2 now = estimate(j);
+      if (had_prior_update) {
+        heading_[j] = (now - prev_estimate_[j]).normalized();
+      }
+      prev_estimate_[j] = now;
+    }
+  }
+  return result;
+}
+
+}  // namespace fluxfp::core

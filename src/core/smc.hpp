@@ -1,0 +1,118 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/nls.hpp"
+#include "geom/sampling.hpp"
+
+namespace fluxfp::core {
+
+/// A weighted position sample <P(i), w(i)> (§4.D).
+struct Particle {
+  geom::Vec2 position;
+  double weight = 0.0;
+};
+
+/// Configuration of the Sequential Monte Carlo tracker (Algorithm 4.1).
+struct SmcConfig {
+  std::size_t num_predictions = 1000;  ///< N samples drawn per user per round
+  std::size_t num_keep = 10;           ///< M samples kept after filtering
+  double vmax = 5.0;                   ///< max speed (distance per unit time)
+  int sweeps = 2;                      ///< conditional sweeps in filtering
+  /// Asynchronous-updating test (§4.E): a user is "active" in a round only
+  /// if removing its column from the joint fit worsens the residual by more
+  /// than this fraction of the measured norm. This detects the paper's
+  /// "best fit s/r -> 0" users and additionally phantom users that merely
+  /// duplicate another user's position (whose marginal contribution is 0).
+  double inactive_improvement_tol = 0.02;
+  /// Absolute floor: when the measured flux norm is below this the whole
+  /// round is considered empty.
+  double empty_measurement_tol = 1e-9;
+  /// Importance weights w_t = w_{t-1} * 1/||F-F'|| (Eq. 4.3). When false,
+  /// kept samples get equal weights (ablation of §4.D).
+  bool importance_sampling = true;
+  /// §4.C's suggested refinement: once a user's heading can be estimated
+  /// from its last two accepted updates, bias part of the prediction
+  /// samples into a cone around that heading instead of the full disc.
+  bool heading_aware = false;
+  /// Fraction of predictions drawn from the heading cone (rest stay
+  /// uniform in the disc, keeping the filter able to recover from turns).
+  double heading_mix = 0.5;
+  /// Half-angle of the heading cone, radians.
+  double heading_half_angle = 0.7;
+};
+
+/// Per-round output of the tracker.
+struct SmcStepResult {
+  std::vector<bool> updated;       ///< per user: did this round move its samples
+  std::vector<double> stretches;   ///< fitted s_j/r at the best combination
+  double residual = 0.0;           ///< ||F - F'|| at the best combination
+  std::vector<geom::Vec2> best;    ///< best filtered position per user
+};
+
+/// Sequential Monte Carlo estimation of mobile-user positions from a time
+/// series of sparse flux observations (§4.B–E, Algorithm 4.1):
+///
+///  * prediction — N samples per user drawn uniformly from discs of radius
+///    v_max * Δt_i around (weight-sampled) previous samples (Eq. 4.2);
+///  * filtering — candidates ranked by the NLS objective with the other
+///    users held at their current best (conditional sweeps stand in for
+///    the paper's N^K combination enumeration); the top M survive;
+///  * importance sampling — surviving samples weighted by the reciprocal
+///    objective value, cumulated over rounds (Eq. 4.3);
+///  * asynchronous updating — users whose best-fit s/r ≈ 0 are left
+///    untouched and their Δt keeps growing until their next collection.
+class SmcTracker {
+ public:
+  /// Initializes each user's sample set with `config.num_keep` uniform
+  /// positions at weight 1/M (the "no knowledge" prior). `field` must
+  /// outlive the tracker. Throws std::invalid_argument on a bad config or
+  /// num_users outside (0, kMaxGramUsers].
+  SmcTracker(const geom::Field& field, std::size_t num_users,
+             SmcConfig config, geom::Rng& rng);
+
+  /// Processes the observation window ending at `time` (must increase
+  /// across calls). `objective` wraps this window's sniffed flux.
+  SmcStepResult step(double time, const SparseObjective& objective,
+                     geom::Rng& rng);
+
+  std::size_t num_users() const { return particles_.size(); }
+  const SmcConfig& config() const { return config_; }
+
+  /// Current weighted-mean position estimate for `user`.
+  geom::Vec2 estimate(std::size_t user) const;
+  /// Weighted 2x2 sample covariance of the user's particle set, row-major
+  /// [xx, xy, yx, yy]. Shrinks as the filter converges.
+  std::array<double, 4> covariance(std::size_t user) const;
+  /// Scalar uncertainty: RMS particle spread around the estimate
+  /// (sqrt of the covariance trace).
+  double spread(std::size_t user) const;
+  /// Current sample set for `user` (weights sum to 1).
+  const std::vector<Particle>& particles(std::size_t user) const {
+    return particles_[user];
+  }
+  /// Time of the user's last accepted update (0 before the first).
+  double last_update_time(std::size_t user) const { return t_last_[user]; }
+
+  /// Unit heading estimated from the last two accepted updates; zero
+  /// vector while unknown. Only maintained when config().heading_aware.
+  geom::Vec2 heading(std::size_t user) const { return heading_[user]; }
+
+ private:
+  const geom::Field* field_;
+  SmcConfig config_;
+  std::vector<std::vector<Particle>> particles_;
+  std::vector<double> t_last_;
+  std::vector<geom::Vec2> prev_estimate_;  // estimate at the last update
+  std::vector<geom::Vec2> heading_;        // unit heading, zero if unknown
+
+  struct Prediction {
+    geom::Vec2 position;
+    std::size_t origin;  // index of the particle it was drawn from
+  };
+  std::vector<Prediction> predict(std::size_t user, double radius,
+                                  geom::Rng& rng) const;
+};
+
+}  // namespace fluxfp::core

@@ -1,0 +1,82 @@
+#include "core/smooth_localizer.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace fluxfp::core {
+
+SmoothLocalizer::SmoothLocalizer(const geom::Field& field,
+                                 SmoothLocalizerConfig config)
+    : field_(&field), config_(config) {
+  if (config_.restarts <= 0) {
+    throw std::invalid_argument("SmoothLocalizer: restarts must be > 0");
+  }
+}
+
+SmoothLocalizationResult SmoothLocalizer::localize(
+    const SparseObjective& objective, std::size_t num_users,
+    geom::Rng& rng) const {
+  if (num_users == 0 || num_users > kMaxGramUsers) {
+    throw std::invalid_argument("SmoothLocalizer: bad user count");
+  }
+  const std::size_t n = objective.sample_count();
+
+  // Variable-projection residual: theta = [x1 y1 ... xK yK]; the stretch
+  // factors are profiled out by the exact NNLS at every evaluation, so the
+  // residual vector is F(theta, s*(theta)) - F'.
+  const auto residual_fn =
+      [&](const std::vector<double>& theta) -> std::vector<double> {
+    std::vector<geom::Vec2> sinks(num_users);
+    for (std::size_t j = 0; j < num_users; ++j) {
+      sinks[j] = field_->clamp({theta[2 * j], theta[2 * j + 1]});
+    }
+    std::vector<std::vector<double>> cols(num_users);
+    std::vector<const std::vector<double>*> ptrs(num_users);
+    for (std::size_t j = 0; j < num_users; ++j) {
+      objective.shape_column(sinks[j], cols[j]);
+      ptrs[j] = &cols[j];
+    }
+    const StretchFit fit = objective.fit_columns(ptrs);
+    std::vector<double> r(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      double predicted = 0.0;
+      for (std::size_t j = 0; j < num_users; ++j) {
+        predicted += fit.stretches[j] * cols[j][i];
+      }
+      r[i] = predicted - objective.measured()[i];
+    }
+    return r;
+  };
+
+  SmoothLocalizationResult best;
+  best.residual = std::numeric_limits<double>::infinity();
+  for (int restart = 0; restart < config_.restarts; ++restart) {
+    std::vector<double> theta;
+    theta.reserve(2 * num_users);
+    for (std::size_t j = 0; j < num_users; ++j) {
+      const geom::Vec2 p = geom::uniform_in_field(*field_, rng);
+      theta.push_back(p.x);
+      theta.push_back(p.y);
+    }
+    const numeric::LmResult run =
+        config_.use_gauss_newton
+            ? numeric::gauss_newton(residual_fn, std::move(theta))
+            : numeric::levenberg_marquardt(residual_fn, std::move(theta),
+                                           config_.lm);
+    const double res_norm = std::sqrt(2.0 * run.cost);
+    if (res_norm < best.residual) {
+      best.residual = res_norm;
+      best.converged = run.converged;
+      best.positions.clear();
+      for (std::size_t j = 0; j < num_users; ++j) {
+        best.positions.push_back(
+            field_->clamp({run.params[2 * j], run.params[2 * j + 1]}));
+      }
+      best.stretches = objective.fit(best.positions).stretches;
+    }
+  }
+  return best;
+}
+
+}  // namespace fluxfp::core

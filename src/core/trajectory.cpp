@@ -1,0 +1,88 @@
+#include "core/trajectory.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace fluxfp::core {
+
+std::vector<geom::Vec2> smooth_trajectory(
+    const std::vector<RoundCandidates>& rounds,
+    const TrajectoryConfig& config) {
+  if (rounds.empty()) {
+    throw std::invalid_argument("smooth_trajectory: no rounds");
+  }
+  if (!(config.vmax > 0.0) || config.motion_weight < 0.0 ||
+      config.emission_weight < 0.0) {
+    throw std::invalid_argument("smooth_trajectory: bad config");
+  }
+  for (std::size_t t = 0; t < rounds.size(); ++t) {
+    if (rounds[t].positions.empty() ||
+        rounds[t].positions.size() != rounds[t].residuals.size()) {
+      throw std::invalid_argument(
+          "smooth_trajectory: empty or mismatched candidate round");
+    }
+    if (t > 0 && !(rounds[t].time > rounds[t - 1].time)) {
+      throw std::invalid_argument(
+          "smooth_trajectory: times must be increasing");
+    }
+  }
+
+  // Hard-ish speed bound: infeasible steps cost this much per unit of
+  // excess so that some path always exists but violations lose to any
+  // feasible alternative.
+  constexpr double kInfeasiblePenalty = 1e9;
+
+  const std::size_t r = rounds.size();
+  // cost[i] = best cost of a path ending at candidate i of the current
+  // round; from[t][i] = argmin predecessor for backtracking.
+  std::vector<double> cost(rounds[0].positions.size());
+  for (std::size_t i = 0; i < cost.size(); ++i) {
+    cost[i] = config.emission_weight * rounds[0].residuals[i];
+  }
+  std::vector<std::vector<std::size_t>> from(r);
+
+  for (std::size_t t = 1; t < r; ++t) {
+    const double dt = rounds[t].time - rounds[t - 1].time;
+    const double reach = config.vmax * dt;
+    const std::size_t m = rounds[t].positions.size();
+    std::vector<double> next(m, std::numeric_limits<double>::infinity());
+    from[t].assign(m, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < cost.size(); ++j) {
+        const double step = geom::distance(rounds[t].positions[i],
+                                           rounds[t - 1].positions[j]);
+        const double normalized = step / reach;
+        double trans = config.motion_weight * normalized * normalized;
+        if (step > reach) {
+          trans += kInfeasiblePenalty * (step - reach);
+        }
+        const double total = cost[j] + trans;
+        if (total < next[i]) {
+          next[i] = total;
+          from[t][i] = j;
+        }
+      }
+      next[i] += config.emission_weight * rounds[t].residuals[i];
+    }
+    cost = std::move(next);
+  }
+
+  // Backtrack from the best terminal candidate.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < cost.size(); ++i) {
+    if (cost[i] < cost[best]) {
+      best = i;
+    }
+  }
+  std::vector<geom::Vec2> path(r);
+  std::size_t cur = best;
+  for (std::size_t t = r; t-- > 0;) {
+    path[t] = rounds[t].positions[cur];
+    if (t > 0) {
+      cur = from[t][cur];
+    }
+  }
+  return path;
+}
+
+}  // namespace fluxfp::core

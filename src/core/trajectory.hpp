@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace fluxfp::core {
+
+/// One observation round's candidate set for a single user: the top-M
+/// positions the NLS search kept, with their objective values (exactly
+/// what InstantLocalizer/SmcTracker produce per round).
+struct RoundCandidates {
+  double time = 0.0;
+  std::vector<geom::Vec2> positions;
+  std::vector<double> residuals;  ///< ||F - F'|| per candidate
+};
+
+/// Options for the offline trajectory smoother.
+struct TrajectoryConfig {
+  /// Maximum speed; transitions longer than vmax * Δt are infeasible.
+  double vmax = 5.0;
+  /// Soft penalty per unit of squared normalized step length (favors
+  /// smooth paths among feasible ones).
+  double motion_weight = 1.0;
+  /// Weight of the per-round objective values against the motion terms.
+  double emission_weight = 1.0;
+};
+
+/// Offline trajectory recovery by dynamic programming: given each round's
+/// top-M candidate positions and objective values, find the single
+/// time-consistent path minimizing
+///   Σ_t emission_weight * residual_t(i_t)
+///   + Σ_t motion_weight * (|p_{i_t} - p_{i_{t-1}}| / (vmax Δt))^2
+/// subject to the per-step speed bound (violations incur a large but
+/// finite penalty so a path always exists).
+///
+/// This is the batch counterpart of the online SMC tracker — the classic
+/// constrained-NLS smoothing the related work (§2) applies to remote
+/// tracking: with all rounds in hand, an early outlier that the online
+/// filter had to commit to is repaired by the consistency of the rest of
+/// the trajectory. Throws std::invalid_argument on empty input, empty
+/// rounds, mismatched sizes, non-increasing times, or a bad config.
+std::vector<geom::Vec2> smooth_trajectory(
+    const std::vector<RoundCandidates>& rounds,
+    const TrajectoryConfig& config = {});
+
+}  // namespace fluxfp::core

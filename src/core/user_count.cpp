@@ -1,0 +1,67 @@
+#include "core/user_count.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fluxfp::core {
+
+UserCountEstimate estimate_user_count(const SparseObjective& objective,
+                                      const InstantLocalizer& localizer,
+                                      const UserCountConfig& config,
+                                      geom::Rng& rng) {
+  if (config.k_max == 0 || config.k_max > kMaxGramUsers ||
+      config.stretch_floor < 0.0 || config.stretch_floor >= 1.0 ||
+      config.merge_radius < 0.0) {
+    throw std::invalid_argument("estimate_user_count: bad config");
+  }
+
+  const LocalizationResult fit =
+      localizer.localize(objective, config.k_max, rng);
+
+  // Drop phantoms: slots whose fitted s/r collapsed toward zero.
+  double max_stretch = 0.0;
+  for (double s : fit.stretches) {
+    max_stretch = std::max(max_stretch, s);
+  }
+  struct Slot {
+    geom::Vec2 position;
+    double stretch;
+  };
+  std::vector<Slot> survivors;
+  for (std::size_t j = 0; j < fit.positions.size(); ++j) {
+    if (max_stretch > 0.0 &&
+        fit.stretches[j] > config.stretch_floor * max_stretch) {
+      survivors.push_back({fit.positions[j], fit.stretches[j]});
+    }
+  }
+
+  // Greedy merge of co-located survivors (stretch-weighted centroids).
+  UserCountEstimate out;
+  std::vector<bool> used(survivors.size(), false);
+  // Heaviest first, so cluster centers anchor on dominant users.
+  std::sort(survivors.begin(), survivors.end(),
+            [](const Slot& a, const Slot& b) { return a.stretch > b.stretch; });
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    if (used[i]) {
+      continue;
+    }
+    geom::Vec2 centroid = survivors[i].position * survivors[i].stretch;
+    double weight = survivors[i].stretch;
+    used[i] = true;
+    for (std::size_t j = i + 1; j < survivors.size(); ++j) {
+      if (!used[j] && geom::distance(survivors[i].position,
+                                     survivors[j].position) <=
+                          config.merge_radius) {
+        centroid += survivors[j].position * survivors[j].stretch;
+        weight += survivors[j].stretch;
+        used[j] = true;
+      }
+    }
+    out.positions.push_back(centroid / weight);
+    out.stretches.push_back(weight);
+  }
+  out.count = out.positions.size();
+  return out;
+}
+
+}  // namespace fluxfp::core

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "core/localizer.hpp"
+
+namespace fluxfp::core {
+
+/// Result of user-count estimation.
+struct UserCountEstimate {
+  std::size_t count = 0;                ///< estimated number of mobile users
+  std::vector<geom::Vec2> positions;    ///< one representative per user
+  std::vector<double> stretches;        ///< merged s/r per user
+};
+
+/// Options for estimate_user_count.
+struct UserCountConfig {
+  /// The conservative upper bound K the fit is run with (§4.A: "we can
+  /// conservatively choose a K large enough, and after the optimization
+  /// the K coordinates will converge at the actual positions").
+  std::size_t k_max = 6;
+  /// Fitted users whose stretch is below this fraction of the largest are
+  /// phantoms (their s/r converged to ~0) and are discarded.
+  double stretch_floor = 0.10;
+  /// Surviving positions closer than this merge into one user (several
+  /// slots converging onto the same sink).
+  double merge_radius = 3.0;
+};
+
+/// Estimates how many mobile users are active in a window, with their
+/// positions, without knowing K in advance: run the localizer at a
+/// conservative K_max, drop zero-stretch phantoms, and merge co-located
+/// slots. Throws std::invalid_argument on a bad config.
+UserCountEstimate estimate_user_count(const SparseObjective& objective,
+                                      const InstantLocalizer& localizer,
+                                      const UserCountConfig& config,
+                                      geom::Rng& rng);
+
+}  // namespace fluxfp::core

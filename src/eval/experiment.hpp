@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/nls.hpp"
+#include "geom/field.hpp"
+#include "geom/sampling.hpp"
+#include "net/deployment.hpp"
+#include "net/flux.hpp"
+#include "net/graph.hpp"
+
+namespace fluxfp::eval {
+
+/// The paper's standard simulation setting (§5.A): 900 nodes on a 30 x 30
+/// field in perturbed grids, communication radius 2.4 (average degree 18).
+struct NetworkSpec {
+  net::DeploymentKind kind = net::DeploymentKind::kPerturbedGrid;
+  std::size_t nodes = 900;
+  double radius = 2.4;
+};
+
+/// Deploys a network per `spec` and retries (up to `max_tries` fresh
+/// deployments) until the communication graph is connected. Throws
+/// std::runtime_error when no connected deployment is found.
+net::UnitDiskGraph build_connected_network(const NetworkSpec& spec,
+                                           const geom::Field& field,
+                                           geom::Rng& rng, int max_tries = 20);
+
+/// Estimates the flux model's distance clamp d_min ~ the average hop length
+/// r, by probing one collection tree rooted at the field center.
+double estimate_d_min(const net::UnitDiskGraph& graph,
+                      const geom::Field& field, geom::Rng& rng);
+
+/// Builds the sparse NLS objective from a window's flux map and a set of
+/// sniffed node indices. With `smooth` (the default), readings are the
+/// 1-hop neighborhood averages of the flux map — §3.B's smoothing, which
+/// both damps tree-construction randomness and matches what a passive
+/// sniffer physically overhears (every transmission in its radio range).
+core::SparseObjective make_objective(const core::FluxModel& model,
+                                     const net::UnitDiskGraph& graph,
+                                     const net::FluxMap& flux,
+                                     std::span<const std::size_t> samples,
+                                     bool smooth = true);
+
+/// Deterministic per-experiment seed derivation: combines a base seed with
+/// salt values (trial index, sweep value, ...) so experiments are
+/// reproducible yet decorrelated.
+std::uint64_t derive_seed(std::uint64_t base,
+                          std::initializer_list<std::uint64_t> salts);
+
+}  // namespace fluxfp::eval

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fluxfp::eval {
+
+/// A fixed-width plain-text table for the experiment harnesses: the bench
+/// binaries print the same rows/series the paper's figures report.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Writes the table as CSV (header + rows). Cells containing commas or
+  /// quotes are quoted per RFC 4180.
+  void write_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Formats a double with fixed precision.
+  static std::string fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner ("== title ==") used to delimit experiments in
+/// bench output.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace fluxfp::eval

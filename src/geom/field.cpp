@@ -1,0 +1,117 @@
+#include "geom/field.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <ostream>
+
+namespace fluxfp::geom {
+
+std::ostream& operator<<(std::ostream& os, Vec2 v) {
+  return os << '(' << v.x << ", " << v.y << ')';
+}
+
+RectField::RectField(double width, double height)
+    : width_(width), height_(height) {
+  if (!(width > 0.0) || !(height > 0.0)) {
+    throw std::invalid_argument("RectField: dimensions must be positive");
+  }
+}
+
+double RectField::diameter() const { return std::hypot(width_, height_); }
+
+bool RectField::contains(Vec2 p, double eps) const {
+  return p.x >= -eps && p.x <= width_ + eps && p.y >= -eps &&
+         p.y <= height_ + eps;
+}
+
+Vec2 RectField::clamp(Vec2 p) const {
+  return {std::clamp(p.x, 0.0, width_), std::clamp(p.y, 0.0, height_)};
+}
+
+double RectField::boundary_distance(Vec2 origin, Vec2 dir) const {
+  if (!contains(origin, 1e-9)) {
+    throw std::invalid_argument(
+        "RectField::boundary_distance: origin outside field");
+  }
+  const double n = dir.norm();
+  if (n == 0.0) {
+    throw std::invalid_argument(
+        "RectField::boundary_distance: zero direction");
+  }
+  const Vec2 u = dir / n;
+  // Ray/slab exit parameter: smallest positive t where origin + t*u leaves
+  // [0,width] x [0,height].
+  double t_exit = std::numeric_limits<double>::infinity();
+  if (u.x > 0.0) {
+    t_exit = std::min(t_exit, (width_ - origin.x) / u.x);
+  } else if (u.x < 0.0) {
+    t_exit = std::min(t_exit, -origin.x / u.x);
+  }
+  if (u.y > 0.0) {
+    t_exit = std::min(t_exit, (height_ - origin.y) / u.y);
+  } else if (u.y < 0.0) {
+    t_exit = std::min(t_exit, -origin.y / u.y);
+  }
+  return std::max(t_exit, 0.0);
+}
+
+double RectField::nearest_boundary_distance(Vec2 p) const {
+  const Vec2 q = clamp(p);
+  return std::min(std::min(q.x, width_ - q.x), std::min(q.y, height_ - q.y));
+}
+
+CircleField::CircleField(Vec2 center, double radius)
+    : center_(center), radius_(radius) {
+  if (!(radius > 0.0)) {
+    throw std::invalid_argument("CircleField: radius must be positive");
+  }
+}
+
+bool CircleField::contains(Vec2 p, double eps) const {
+  return distance(p, center_) <= radius_ + eps;
+}
+
+Vec2 CircleField::clamp(Vec2 p) const {
+  const Vec2 d = p - center_;
+  const double n = d.norm();
+  return n <= radius_ ? p : center_ + d * (radius_ / n);
+}
+
+double CircleField::boundary_distance(Vec2 origin, Vec2 dir) const {
+  if (!contains(origin, 1e-9)) {
+    throw std::invalid_argument(
+        "CircleField::boundary_distance: origin outside field");
+  }
+  const double n = dir.norm();
+  if (n == 0.0) {
+    throw std::invalid_argument(
+        "CircleField::boundary_distance: zero direction");
+  }
+  const Vec2 u = dir / n;
+  // Exit parameter of |origin + t u - center|^2 = R^2: the positive root
+  // t = -b + sqrt(b^2 - c) with b = u . (origin - center),
+  // c = |origin - center|^2 - R^2 (<= 0 inside the field).
+  const Vec2 oc = origin - center_;
+  const double b = dot(u, oc);
+  const double c = oc.norm2() - radius_ * radius_;
+  const double disc = std::max(b * b - c, 0.0);
+  return std::max(-b + std::sqrt(disc), 0.0);
+}
+
+double CircleField::nearest_boundary_distance(Vec2 p) const {
+  return std::max(radius_ - distance(clamp(p), center_), 0.0);
+}
+
+double CircleField::area() const {
+  return std::numbers::pi * radius_ * radius_;
+}
+
+Vec2 CircleField::from_unit_square(double u, double v) const {
+  const double r = radius_ * std::sqrt(u);
+  const double theta = 2.0 * std::numbers::pi * v;
+  return center_ + Vec2{r * std::cos(theta), r * std::sin(theta)};
+}
+
+}  // namespace fluxfp::geom

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <stdexcept>
+
+#include "geom/vec2.hpp"
+
+namespace fluxfp::geom {
+
+/// A bounded deployment region. The flux model's geometric input is the
+/// distance `l` from a sink to the field boundary along a ray (Eq. 3.2/3.4
+/// of the paper); everything else the algorithms need from the region is
+/// collected here.
+///
+/// The paper points out (§4.A) that the *shape* of the boundary decides
+/// whether the NLS objective is differentiable: a rectangle makes l(·)
+/// piecewise and the objective non-smooth (classical Gauss–Newton /
+/// Levenberg–Marquardt inapplicable), while a smooth boundary like a
+/// circle keeps it differentiable. Both implementations are provided:
+/// RectField (the paper's evaluation setting) and CircleField (the smooth
+/// comparator used by the LM-based localizer).
+class Field {
+ public:
+  virtual ~Field() = default;
+
+  /// True if `p` lies inside the field (boundary inclusive, within eps).
+  virtual bool contains(Vec2 p, double eps = 0.0) const = 0;
+
+  /// Closest point inside the field.
+  virtual Vec2 clamp(Vec2 p) const = 0;
+
+  /// Distance from `origin` (inside the field) to the boundary along
+  /// direction `dir` (need not be normalized). Throws std::invalid_argument
+  /// on a zero direction or an origin outside the field.
+  virtual double boundary_distance(Vec2 origin, Vec2 dir) const = 0;
+
+  /// Distance from `p` to the nearest boundary point (the infimum of
+  /// boundary_distance over directions).
+  virtual double nearest_boundary_distance(Vec2 p) const = 0;
+
+  /// Largest distance between two field points.
+  virtual double diameter() const = 0;
+  virtual double area() const = 0;
+  /// A reference interior point (centroid).
+  virtual Vec2 center() const = 0;
+
+  /// Area-uniform map from the unit square onto the field: feeding two
+  /// i.i.d. U(0,1) variates yields a uniform field point. Lets the sampling
+  /// helpers stay ignorant of the concrete shape.
+  virtual Vec2 from_unit_square(double u, double v) const = 0;
+
+  /// Convenience: boundary distance from `origin` along the ray through
+  /// `through`; for the degenerate origin == through ray, falls back to
+  /// the nearest-boundary distance.
+  double boundary_distance_through(Vec2 origin, Vec2 through) const {
+    const Vec2 d = through - origin;
+    if (d.norm2() > 0.0) {
+      return boundary_distance(origin, d);
+    }
+    return nearest_boundary_distance(clamp(origin));
+  }
+};
+
+/// An axis-aligned rectangular field [0,width] x [0,height] — the paper's
+/// evaluation setting (30 x 30 in §5). Its boundary-distance function is
+/// piecewise linear in the direction, making the NLS objective
+/// non-differentiable.
+class RectField final : public Field {
+ public:
+  /// Constructs a `width` x `height` field. Throws std::invalid_argument on
+  /// non-positive dimensions.
+  RectField(double width, double height);
+
+  double width() const { return width_; }
+  double height() const { return height_; }
+
+  bool contains(Vec2 p, double eps = 0.0) const override;
+  Vec2 clamp(Vec2 p) const override;
+  double boundary_distance(Vec2 origin, Vec2 dir) const override;
+  double nearest_boundary_distance(Vec2 p) const override;
+  double diameter() const override;
+  double area() const override { return width_ * height_; }
+  Vec2 center() const override { return {width_ / 2.0, height_ / 2.0}; }
+  Vec2 from_unit_square(double u, double v) const override {
+    return {u * width_, v * height_};
+  }
+
+ private:
+  double width_;
+  double height_;
+};
+
+/// A circular field of radius `radius` around `center` — the smooth
+/// boundary for which the NLS objective is differentiable and classical
+/// Levenberg–Marquardt fitting applies (§4.A's contrast case).
+class CircleField final : public Field {
+ public:
+  /// Throws std::invalid_argument for radius <= 0.
+  CircleField(Vec2 center, double radius);
+
+  double radius() const { return radius_; }
+
+  bool contains(Vec2 p, double eps = 0.0) const override;
+  Vec2 clamp(Vec2 p) const override;
+  double boundary_distance(Vec2 origin, Vec2 dir) const override;
+  double nearest_boundary_distance(Vec2 p) const override;
+  double diameter() const override { return 2.0 * radius_; }
+  double area() const override;
+  Vec2 center() const override { return center_; }
+  Vec2 from_unit_square(double u, double v) const override;
+
+ private:
+  Vec2 center_;
+  double radius_;
+};
+
+}  // namespace fluxfp::geom

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+
+namespace fluxfp::geom {
+
+/// A 2-D point/vector with double coordinates. Value type, trivially
+/// copyable; all arithmetic is component-wise.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2& operator+=(Vec2 rhs) {
+    x += rhs.x;
+    y += rhs.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 rhs) {
+    x -= rhs.x;
+    y -= rhs.y;
+    return *this;
+  }
+  constexpr Vec2& operator*=(double k) {
+    x *= k;
+    y *= k;
+    return *this;
+  }
+  constexpr Vec2& operator/=(double k) {
+    x /= k;
+    y /= k;
+    return *this;
+  }
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) { return a += b; }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) { return a -= b; }
+  friend constexpr Vec2 operator*(Vec2 a, double k) { return a *= k; }
+  friend constexpr Vec2 operator*(double k, Vec2 a) { return a *= k; }
+  friend constexpr Vec2 operator/(Vec2 a, double k) { return a /= k; }
+  friend constexpr Vec2 operator-(Vec2 a) { return {-a.x, -a.y}; }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) {
+    return a.x == b.x && a.y == b.y;
+  }
+
+  /// Dot product.
+  friend constexpr double dot(Vec2 a, Vec2 b) { return a.x * b.x + a.y * b.y; }
+  /// z-component of the 3-D cross product (signed parallelogram area).
+  friend constexpr double cross(Vec2 a, Vec2 b) {
+    return a.x * b.y - a.y * b.x;
+  }
+
+  /// Squared Euclidean norm.
+  constexpr double norm2() const { return x * x + y * y; }
+  /// Euclidean norm. Plain sqrt, not std::hypot: coordinates in this
+  /// library are field-scale (no overflow risk) and this sits in the
+  /// innermost model-evaluation loops.
+  double norm() const { return std::sqrt(x * x + y * y); }
+
+  /// Unit vector in the same direction; returns (0,0) for the zero vector.
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+};
+
+/// Euclidean distance between two points.
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+/// Squared Euclidean distance between two points.
+constexpr double distance2(Vec2 a, Vec2 b) { return (a - b).norm2(); }
+
+/// Linear interpolation: `a` at t=0, `b` at t=1.
+constexpr Vec2 lerp(Vec2 a, Vec2 b, double t) { return a + (b - a) * t; }
+
+std::ostream& operator<<(std::ostream& os, Vec2 v);
+
+}  // namespace fluxfp::geom

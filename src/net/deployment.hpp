@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/field.hpp"
+#include "geom/sampling.hpp"
+#include "geom/vec2.hpp"
+
+namespace fluxfp::net {
+
+/// How sensor nodes are laid out in the field. The paper evaluates both:
+/// perturbed grids (§5.A, after Bruck/Gao/Jiang MobiCom'05) for regular
+/// conditions and purely random placement for variability (§5.C).
+enum class DeploymentKind {
+  kPerturbedGrid,
+  kUniformRandom,
+  /// Gaussian clusters around uniform centers — an irregular-density
+  /// stressor beyond the paper's two settings (buildings on a campus).
+  kClustered,
+};
+
+/// Grid of `rows` x `cols` cells over the field, one node per cell,
+/// uniformly jittered within `jitter_fraction` of the cell around the cell
+/// center (0 = exact grid, 1 = anywhere in the cell).
+std::vector<geom::Vec2> perturbed_grid(const geom::RectField& field,
+                                       std::size_t rows, std::size_t cols,
+                                       double jitter_fraction, geom::Rng& rng);
+
+/// `count` i.i.d. uniform node positions (any field shape).
+std::vector<geom::Vec2> uniform_random(const geom::Field& field,
+                                       std::size_t count, geom::Rng& rng);
+
+/// `count` nodes in `clusters` Gaussian clusters of std-dev `spread`
+/// around uniformly placed centers, clamped into the field. Cluster
+/// membership is balanced round-robin so no cluster is empty.
+std::vector<geom::Vec2> clustered(const geom::Field& field,
+                                  std::size_t count, std::size_t clusters,
+                                  double spread, geom::Rng& rng);
+
+/// Deploys approximately `count` nodes of the given kind. For perturbed
+/// grids the row/column counts are chosen to match the field aspect ratio
+/// and the exact size may differ slightly from `count`; perturbed grids
+/// require a RectField (throws std::invalid_argument otherwise).
+std::vector<geom::Vec2> deploy(DeploymentKind kind, const geom::Field& field,
+                               std::size_t count, geom::Rng& rng);
+
+const char* to_string(DeploymentKind kind);
+
+}  // namespace fluxfp::net

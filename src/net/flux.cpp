@@ -1,0 +1,107 @@
+#include "net/flux.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fluxfp::net {
+
+FluxMap tree_flux(const CollectionTree& tree, double stretch) {
+  if (!(stretch >= 0.0)) {
+    throw std::invalid_argument("tree_flux: negative stretch");
+  }
+  FluxMap flux(tree.size(), 0.0);
+  const std::vector<std::size_t> sizes = subtree_sizes(tree);
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    flux[i] = stretch * static_cast<double>(sizes[i]);
+  }
+  return flux;
+}
+
+void accumulate(FluxMap& a, const FluxMap& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("accumulate: size mismatch");
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] += b[i];
+  }
+}
+
+FluxMap smooth_flux(const UnitDiskGraph& graph, const FluxMap& flux) {
+  if (flux.size() != graph.size()) {
+    throw std::invalid_argument("smooth_flux: size mismatch");
+  }
+  FluxMap out(flux.size(), 0.0);
+  for (std::size_t i = 0; i < flux.size(); ++i) {
+    double acc = flux[i];
+    for (std::size_t nb : graph.neighbors(i)) {
+      acc += flux[nb];
+    }
+    out[i] = acc / static_cast<double>(graph.degree(i) + 1);
+  }
+  return out;
+}
+
+FluxMap multipath_flux(const UnitDiskGraph& graph,
+                       const std::vector<int>& hop, std::size_t root,
+                       double stretch) {
+  if (hop.size() != graph.size() || root >= graph.size()) {
+    throw std::invalid_argument("multipath_flux: bad inputs");
+  }
+  if (!(stretch >= 0.0)) {
+    throw std::invalid_argument("multipath_flux: negative stretch");
+  }
+  // Process nodes farthest-first; each node's load (own data + received)
+  // is divided equally among its hop-1 neighbors.
+  std::vector<std::size_t> order;
+  order.reserve(graph.size());
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    if (hop[i] >= 0) {
+      order.push_back(i);
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return hop[a] > hop[b];
+  });
+
+  FluxMap incoming(graph.size(), 0.0);
+  FluxMap flux(graph.size(), 0.0);
+  for (std::size_t i : order) {
+    const double load = stretch + incoming[i];
+    flux[i] = load;
+    if (i == root) {
+      continue;  // the root hands data to the sink
+    }
+    std::vector<std::size_t> next;
+    for (std::size_t nb : graph.neighbors(i)) {
+      if (hop[nb] == hop[i] - 1) {
+        next.push_back(nb);
+      }
+    }
+    const double share = load / static_cast<double>(next.size());
+    for (std::size_t nb : next) {
+      incoming[nb] += share;
+    }
+  }
+  return flux;
+}
+
+double flux_energy_fraction_beyond(const CollectionTree& tree,
+                                   const FluxMap& flux, int min_hop) {
+  if (flux.size() != tree.size()) {
+    throw std::invalid_argument("flux_energy_fraction_beyond: size mismatch");
+  }
+  double total = 0.0;
+  double beyond = 0.0;
+  for (std::size_t i = 0; i < flux.size(); ++i) {
+    if (!tree.reachable(i)) {
+      continue;
+    }
+    total += flux[i];
+    if (tree.hop[i] >= min_hop) {
+      beyond += flux[i];
+    }
+  }
+  return total > 0.0 ? beyond / total : 0.0;
+}
+
+}  // namespace fluxfp::net

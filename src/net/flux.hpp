@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "net/graph.hpp"
+#include "net/routing.hpp"
+
+namespace fluxfp::net {
+
+/// A network flux map: per-node traffic amounts (generated + relayed)
+/// observed over one measurement window. Index-aligned with the graph's
+/// node set.
+using FluxMap = std::vector<double>;
+
+/// Ground-truth flux induced by one data collection over `tree` with
+/// traffic stretch `stretch`: each reachable node contributes `stretch`
+/// units and relays everything generated in its subtree, so
+/// flux[i] = stretch * |subtree(i)|. Unreachable nodes carry 0.
+FluxMap tree_flux(const CollectionTree& tree, double stretch);
+
+/// Adds `b` into `a` element-wise (flux of concurrent collections
+/// cumulates, Eq. at the end of §3.A). Throws std::invalid_argument on
+/// size mismatch.
+void accumulate(FluxMap& a, const FluxMap& b);
+
+/// Neighborhood-averaged flux: value at node i becomes the mean over
+/// {i} ∪ neighbors(i). The paper notes (§3.B) this smooths the randomness
+/// of tree construction and improves model fit.
+FluxMap smooth_flux(const UnitDiskGraph& graph, const FluxMap& flux);
+
+/// Fraction of total flux "energy" (sum of values) carried by nodes at
+/// `min_hop` hops or more from the tree root. §3.B: nodes >= 3 hops away
+/// keep > 70% of the energy while fitting the model much better.
+double flux_energy_fraction_beyond(const CollectionTree& tree,
+                                   const FluxMap& flux, int min_hop);
+
+/// Flux of a *multipath* collection: instead of one parent per node, every
+/// node splits its outgoing load equally across ALL neighbors one hop
+/// closer to the sink. A candidate routing-layer defense against flux
+/// fingerprinting ("reshape the network traffics", §6) — and a deliberate
+/// negative result: splitting changes which node carries which packet but
+/// leaves the *expected* spatial flux field (what the model fits) intact,
+/// so it only removes the tree-construction variance that smoothing
+/// removes anyway. The ablation bench quantifies this.
+/// `hop` must come from hop_distances(graph, root).
+FluxMap multipath_flux(const UnitDiskGraph& graph,
+                       const std::vector<int>& hop, std::size_t root,
+                       double stretch);
+
+}  // namespace fluxfp::net

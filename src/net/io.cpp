@@ -1,0 +1,111 @@
+#include "net/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fluxfp::net {
+namespace {
+
+/// Splits a CSV line and validates the leading id against `expected`.
+std::vector<std::string> split_checked(const std::string& line,
+                                       std::size_t expected,
+                                       std::size_t fields,
+                                       std::size_t lineno) {
+  std::vector<std::string> cells;
+  std::istringstream ss(line);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) {
+    cells.push_back(cell);
+  }
+  if (cells.size() != fields) {
+    throw std::runtime_error("csv: wrong field count on line " +
+                             std::to_string(lineno));
+  }
+  std::size_t id = 0;
+  try {
+    id = static_cast<std::size_t>(std::stoul(cells[0]));
+  } catch (const std::exception&) {
+    throw std::runtime_error("csv: bad id on line " + std::to_string(lineno));
+  }
+  if (id != expected) {
+    throw std::runtime_error("csv: ids must be contiguous from 0 (line " +
+                             std::to_string(lineno) + ")");
+  }
+  return cells;
+}
+
+double parse_double(const std::string& s, std::size_t lineno) {
+  try {
+    return std::stod(s);
+  } catch (const std::exception&) {
+    throw std::runtime_error("csv: bad number on line " +
+                             std::to_string(lineno));
+  }
+}
+
+}  // namespace
+
+void write_positions_csv(std::ostream& os,
+                         const std::vector<geom::Vec2>& positions) {
+  os << "id,x,y\n";
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    os << i << ',' << positions[i].x << ',' << positions[i].y << '\n';
+  }
+}
+
+std::vector<geom::Vec2> read_positions_csv(std::istream& is) {
+  std::vector<geom::Vec2> out;
+  std::string line;
+  std::size_t lineno = 0;
+  bool first = true;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) {
+      continue;
+    }
+    if (first) {
+      first = false;
+      if (line.rfind("id,", 0) == 0) {
+        continue;
+      }
+    }
+    const auto cells = split_checked(line, out.size(), 3, lineno);
+    out.push_back(
+        {parse_double(cells[1], lineno), parse_double(cells[2], lineno)});
+  }
+  return out;
+}
+
+void write_flux_csv(std::ostream& os, const FluxMap& flux) {
+  os << "id,flux\n";
+  for (std::size_t i = 0; i < flux.size(); ++i) {
+    os << i << ',' << flux[i] << '\n';
+  }
+}
+
+FluxMap read_flux_csv(std::istream& is) {
+  FluxMap out;
+  std::string line;
+  std::size_t lineno = 0;
+  bool first = true;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) {
+      continue;
+    }
+    if (first) {
+      first = false;
+      if (line.rfind("id,", 0) == 0) {
+        continue;
+      }
+    }
+    const auto cells = split_checked(line, out.size(), 2, lineno);
+    out.push_back(parse_double(cells[1], lineno));
+  }
+  return out;
+}
+
+}  // namespace fluxfp::net

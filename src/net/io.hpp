@@ -1,0 +1,27 @@
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "net/flux.hpp"
+
+namespace fluxfp::net {
+
+/// Writes node positions as CSV ("id,x,y", header included) so deployments
+/// can be shared and re-loaded across runs/tools.
+void write_positions_csv(std::ostream& os,
+                         const std::vector<geom::Vec2>& positions);
+
+/// Parses the CSV produced by write_positions_csv. Ids must be the
+/// contiguous 0..n-1 in order; throws std::runtime_error on malformed
+/// input or out-of-order ids.
+std::vector<geom::Vec2> read_positions_csv(std::istream& is);
+
+/// Writes a flux map as CSV ("id,flux").
+void write_flux_csv(std::ostream& os, const FluxMap& flux);
+
+/// Parses the CSV produced by write_flux_csv; same id rules as positions.
+FluxMap read_flux_csv(std::istream& is);
+
+}  // namespace fluxfp::net

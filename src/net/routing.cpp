@@ -1,0 +1,94 @@
+#include "net/routing.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace fluxfp::net {
+
+std::vector<int> hop_distances(const UnitDiskGraph& graph, std::size_t root) {
+  if (root >= graph.size()) {
+    throw std::invalid_argument("hop_distances: root out of range");
+  }
+  std::vector<int> hop(graph.size(), kUnreachableHop);
+  std::deque<std::size_t> queue{root};
+  hop[root] = 0;
+  while (!queue.empty()) {
+    const std::size_t cur = queue.front();
+    queue.pop_front();
+    for (std::size_t nb : graph.neighbors(cur)) {
+      if (hop[nb] == kUnreachableHop) {
+        hop[nb] = hop[cur] + 1;
+        queue.push_back(nb);
+      }
+    }
+  }
+  return hop;
+}
+
+CollectionTree build_collection_tree(const UnitDiskGraph& graph,
+                                     geom::Vec2 sink_position,
+                                     geom::Rng& rng) {
+  CollectionTree tree;
+  tree.sink_position = sink_position;
+  tree.root = graph.nearest_node(sink_position);
+  tree.hop = hop_distances(graph, tree.root);
+  tree.parent.assign(graph.size(), kNoNode);
+
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    if (i == tree.root || tree.hop[i] == kUnreachableHop) {
+      continue;
+    }
+    candidates.clear();
+    for (std::size_t nb : graph.neighbors(i)) {
+      if (tree.hop[nb] == tree.hop[i] - 1) {
+        candidates.push_back(nb);
+      }
+    }
+    // BFS guarantees at least one neighbor at hop-1 for reachable nodes.
+    std::uniform_int_distribution<std::size_t> pick(0, candidates.size() - 1);
+    tree.parent[i] = candidates[pick(rng)];
+  }
+  return tree;
+}
+
+std::vector<std::size_t> subtree_sizes(const CollectionTree& tree) {
+  std::vector<std::size_t> size(tree.size(), 0);
+  for (std::size_t i : bottom_up_order(tree)) {
+    size[i] += 1;  // self
+    if (tree.parent[i] != kNoNode) {
+      size[tree.parent[i]] += size[i];
+    }
+  }
+  return size;
+}
+
+double average_hop_length(const UnitDiskGraph& graph,
+                          const CollectionTree& tree) {
+  double acc = 0.0;
+  std::size_t edges = 0;
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    if (tree.parent[i] != kNoNode) {
+      acc += geom::distance(graph.position(i), graph.position(tree.parent[i]));
+      ++edges;
+    }
+  }
+  return edges > 0 ? acc / static_cast<double>(edges) : 0.0;
+}
+
+std::vector<std::size_t> bottom_up_order(const CollectionTree& tree) {
+  std::vector<std::size_t> order;
+  order.reserve(tree.size());
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    if (tree.reachable(i)) {
+      order.push_back(i);
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return tree.hop[a] > tree.hop[b];
+  });
+  return order;
+}
+
+}  // namespace fluxfp::net

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "geom/sampling.hpp"
+#include "net/graph.hpp"
+
+namespace fluxfp::net {
+
+/// Sentinel for "no parent" / "unreachable".
+inline constexpr std::size_t kNoNode = std::numeric_limits<std::size_t>::max();
+
+/// BFS hop counts from `root`; kUnreachableHop for disconnected nodes.
+inline constexpr int kUnreachableHop = -1;
+std::vector<int> hop_distances(const UnitDiskGraph& graph, std::size_t root);
+
+/// A data-collection tree rooted at the node nearest the mobile sink: every
+/// node forwards toward the sink along a shortest-hop path, choosing its
+/// parent uniformly at random among the neighbors one hop closer to the
+/// root (the randomized tie-break models the routing variability the paper
+/// smooths over in §3.B).
+struct CollectionTree {
+  std::size_t root = kNoNode;
+  geom::Vec2 sink_position;            ///< actual (off-grid) sink position
+  std::vector<std::size_t> parent;     ///< parent[i], kNoNode for root/unreachable
+  std::vector<int> hop;                ///< hop[i] from root, kUnreachableHop if cut off
+
+  std::size_t size() const { return parent.size(); }
+  bool reachable(std::size_t i) const { return hop[i] >= 0; }
+};
+
+/// Builds a collection tree for a sink at `sink_position`.
+CollectionTree build_collection_tree(const UnitDiskGraph& graph,
+                                     geom::Vec2 sink_position,
+                                     geom::Rng& rng);
+
+/// Subtree node counts (each node counts itself); 0 for unreachable nodes.
+std::vector<std::size_t> subtree_sizes(const CollectionTree& tree);
+
+/// Mean Euclidean length of the tree's parent-child edges — the empirical
+/// average hop distance `r` of the flux model (Eq. 3.4). Returns 0 for a
+/// single-node tree.
+double average_hop_length(const UnitDiskGraph& graph,
+                          const CollectionTree& tree);
+
+/// Nodes ordered by decreasing hop count (children strictly before
+/// parents), unreachable nodes excluded. Useful for bottom-up subtree
+/// accumulation.
+std::vector<std::size_t> bottom_up_order(const CollectionTree& tree);
+
+}  // namespace fluxfp::net

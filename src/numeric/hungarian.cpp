@@ -1,0 +1,80 @@
+#include "numeric/hungarian.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace fluxfp::numeric {
+
+// Classic O(n^2 m) potentials-based Hungarian algorithm (Jonker-style),
+// 1-indexed internally for the sentinel column 0.
+std::vector<std::size_t> hungarian_assign(const Matrix& cost) {
+  const std::size_t n = cost.rows();
+  const std::size_t m = cost.cols();
+  if (n == 0 || m == 0 || n > m) {
+    throw std::invalid_argument("hungarian_assign: need 0 < rows <= cols");
+  }
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0.0);
+  std::vector<double> v(m + 1, 0.0);
+  std::vector<std::size_t> way(m + 1, 0);
+  std::vector<std::size_t> match(m + 1, 0);  // match[col] = row (1-indexed)
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    match[0] = i;
+    std::size_t j0 = 0;
+    std::vector<double> minv(m + 1, inf);
+    std::vector<bool> used(m + 1, false);
+    do {
+      used[j0] = true;
+      const std::size_t i0 = match[j0];
+      double delta = inf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        const double cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[match[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[j0] != 0);
+    // Augment along the alternating path.
+    do {
+      const std::size_t j1 = way[j0];
+      match[j0] = match[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<std::size_t> assignment(n, 0);
+  for (std::size_t j = 1; j <= m; ++j) {
+    if (match[j] != 0) {
+      assignment[match[j] - 1] = j - 1;
+    }
+  }
+  return assignment;
+}
+
+double assignment_cost(const Matrix& cost,
+                       const std::vector<std::size_t>& assignment) {
+  double total = 0.0;
+  for (std::size_t r = 0; r < assignment.size(); ++r) {
+    total += cost(r, assignment[r]);
+  }
+  return total;
+}
+
+}  // namespace fluxfp::numeric

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <vector>
+
+#include "numeric/matrix.hpp"
+
+namespace fluxfp::numeric {
+
+/// Minimum-cost perfect assignment on an n x m cost matrix (n <= m):
+/// assigns each row to a distinct column minimizing total cost.
+/// Returns `assignment[row] = column`. Throws std::invalid_argument when
+/// rows > cols or the matrix is empty.
+///
+/// Used to score multi-user localization irrespective of identity: the
+/// paper's tracker may swap identities when trajectories cross (Fig. 7(d))
+/// but still reports positional accuracy.
+std::vector<std::size_t> hungarian_assign(const Matrix& cost);
+
+/// Total cost of an assignment under `cost`.
+double assignment_cost(const Matrix& cost,
+                       const std::vector<std::size_t>& assignment);
+
+}  // namespace fluxfp::numeric

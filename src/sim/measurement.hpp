@@ -1,0 +1,60 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/sampling.hpp"
+#include "net/flux.hpp"
+#include "net/graph.hpp"
+
+namespace fluxfp::sim {
+
+/// One data collection initiated inside a measurement window: a mobile sink
+/// at `position` pulls data over a fresh collection tree with traffic
+/// stretch `stretch`.
+struct Collection {
+  std::size_t user = 0;
+  geom::Vec2 position;
+  double stretch = 1.0;
+};
+
+/// Multiplicative-noise model for sniffed flux readings: each node's value
+/// is scaled by (1 + eps) with eps ~ N(0, relative_sigma), floored at 0,
+/// and dropped (set to 0) with probability `dropout_prob` — modeling missed
+/// frames at a passive sniffer.
+struct FluxNoise {
+  double relative_sigma = 0.0;
+  double dropout_prob = 0.0;
+};
+
+/// Produces ground-truth network flux for the collections falling into one
+/// observation window ΔT. Each collection builds its own randomized
+/// shortest-path tree; per-node amounts cumulate (§3.A: F = Σ F_i).
+class FluxEngine {
+ public:
+  /// `graph` must outlive the engine.
+  explicit FluxEngine(const net::UnitDiskGraph& graph) : graph_(&graph) {}
+
+  /// Flux map for the given window's collections (empty map of zeros when
+  /// no user collected in the window).
+  net::FluxMap measure(std::span<const Collection> collections,
+                       geom::Rng& rng) const;
+
+  /// Applies `noise` in place.
+  static void apply_noise(net::FluxMap& flux, const FluxNoise& noise,
+                          geom::Rng& rng);
+
+  const net::UnitDiskGraph& graph() const { return *graph_; }
+
+  /// Empirical average hop length of the last measured window's trees
+  /// (mean over collections); 0 before the first measure() call with a
+  /// non-empty window. Exposed so experiments can report the `r` that the
+  /// s/r factor folds away.
+  double last_average_hop_length() const { return last_hop_length_; }
+
+ private:
+  const net::UnitDiskGraph* graph_;
+  mutable double last_hop_length_ = 0.0;
+};
+
+}  // namespace fluxfp::sim

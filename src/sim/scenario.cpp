@@ -1,0 +1,43 @@
+#include "sim/scenario.hpp"
+
+#include <stdexcept>
+
+namespace fluxfp::sim {
+
+std::vector<RoundObservation> run_scenario(const net::UnitDiskGraph& graph,
+                                           const std::vector<SimUser>& users,
+                                           const ScenarioConfig& config,
+                                           geom::Rng& rng) {
+  for (const SimUser& u : users) {
+    if (!u.mobility) {
+      throw std::invalid_argument("run_scenario: user without mobility model");
+    }
+  }
+  FluxEngine engine(graph);
+  std::vector<RoundObservation> out;
+  out.reserve(static_cast<std::size_t>(std::max(config.rounds, 0)));
+
+  for (int round = 0; round < config.rounds; ++round) {
+    RoundObservation obs;
+    obs.time = config.start_time + static_cast<double>(round + 1) * config.dt;
+    obs.true_positions.reserve(users.size());
+    obs.active.reserve(users.size());
+    std::vector<Collection> collections;
+    for (std::size_t i = 0; i < users.size(); ++i) {
+      const SimUser& u = users[i];
+      const geom::Vec2 pos = u.mobility->position_at(obs.time);
+      const bool active = !u.is_active || u.is_active(obs.time);
+      obs.true_positions.push_back(pos);
+      obs.active.push_back(active);
+      if (active) {
+        collections.push_back({i, pos, u.stretch});
+      }
+    }
+    obs.flux = engine.measure(collections, rng);
+    FluxEngine::apply_noise(obs.flux, config.noise, rng);
+    out.push_back(std::move(obs));
+  }
+  return out;
+}
+
+}  // namespace fluxfp::sim

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "geom/sampling.hpp"
+#include "net/graph.hpp"
+#include "sim/measurement.hpp"
+#include "sim/mobility.hpp"
+
+namespace fluxfp::sim {
+
+/// One simulated mobile user: a stretch, a mobility model, and a schedule
+/// predicate telling whether the user initiates a data collection in the
+/// window starting at a given time. Default schedule: always active
+/// (the synchronous setting of §5.B).
+struct SimUser {
+  double stretch = 1.0;
+  std::shared_ptr<const MobilityModel> mobility;
+  std::function<bool(double time)> is_active;  ///< null = always active
+};
+
+/// Per-window output of a scenario run.
+struct RoundObservation {
+  double time = 0.0;
+  std::vector<geom::Vec2> true_positions;  ///< per user, even if inactive
+  std::vector<bool> active;                ///< per user
+  net::FluxMap flux;                       ///< ground-truth window flux
+};
+
+/// Configuration of a windowed simulation run.
+struct ScenarioConfig {
+  int rounds = 10;
+  double dt = 1.0;       ///< window length ΔT (time units per round)
+  double start_time = 0.0;
+  FluxNoise noise;       ///< applied to the window flux after accumulation
+};
+
+/// Runs `config.rounds` observation windows over `graph` with the given
+/// users; each active user contributes one collection tree per window.
+/// Throws std::invalid_argument when a user lacks a mobility model.
+std::vector<RoundObservation> run_scenario(const net::UnitDiskGraph& graph,
+                                           const std::vector<SimUser>& users,
+                                           const ScenarioConfig& config,
+                                           geom::Rng& rng);
+
+}  // namespace fluxfp::sim

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/ap.hpp"
+
+namespace fluxfp::trace {
+
+/// One syslog-style association record: at `time` (raw trace seconds),
+/// `user`'s network interface associated with AP `ap`.
+struct TraceEvent {
+  std::string user;
+  double time = 0.0;
+  std::size_t ap = 0;
+};
+
+/// A mobility trace: the AP landmark set plus a time-ordered event log.
+/// Mirrors the information content of the Dartmouth "movement" syslog
+/// extraction (user, timestamp, AP name).
+struct Trace {
+  std::vector<AccessPoint> aps;
+  std::vector<TraceEvent> events;
+
+  /// Distinct user names in first-appearance order.
+  std::vector<std::string> users() const;
+  /// All events of one user, time-ordered.
+  std::vector<TraceEvent> events_of(const std::string& user) const;
+};
+
+/// Serializes events as CSV lines "user,time,ap" (header included).
+void write_events_csv(std::ostream& os, const Trace& trace);
+
+/// Parses the CSV produced by write_events_csv into `trace.events`
+/// (the AP set must be supplied separately). Throws std::runtime_error on
+/// malformed input.
+std::vector<TraceEvent> read_events_csv(std::istream& is);
+
+}  // namespace fluxfp::trace

@@ -1,0 +1,109 @@
+#include "trace/replay.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace fluxfp::trace {
+
+TraceMobility::TraceMobility(std::vector<double> times,
+                             std::vector<geom::Vec2> positions)
+    : times_(std::move(times)), positions_(std::move(positions)) {
+  if (times_.empty() || times_.size() != positions_.size()) {
+    throw std::invalid_argument("TraceMobility: bad sequence");
+  }
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    if (!(times_[i] > times_[i - 1])) {
+      throw std::invalid_argument("TraceMobility: times not increasing");
+    }
+  }
+}
+
+geom::Vec2 TraceMobility::position_at(double time) const {
+  if (time <= times_.front()) {
+    return positions_.front();
+  }
+  if (time >= times_.back()) {
+    return positions_.back();
+  }
+  const auto it = std::upper_bound(times_.begin(), times_.end(), time);
+  const std::size_t i = static_cast<std::size_t>(it - times_.begin());
+  const double t0 = times_[i - 1];
+  const double t1 = times_[i];
+  const double frac = (time - t0) / (t1 - t0);
+  return geom::lerp(positions_[i - 1], positions_[i], frac);
+}
+
+std::vector<ReplayedUser> replay_users(const Trace& trace,
+                                       const ReplayConfig& config,
+                                       geom::Rng& rng) {
+  if (!(config.compression > 0.0) || !(config.window > 0.0) ||
+      config.stretch_hi < config.stretch_lo) {
+    throw std::invalid_argument("replay_users: bad config");
+  }
+  // Index AP ids to positions.
+  auto position_of = [&](std::size_t ap_id) -> geom::Vec2 {
+    for (const AccessPoint& ap : trace.aps) {
+      if (ap.id == ap_id) {
+        return ap.position;
+      }
+    }
+    throw std::invalid_argument("replay_users: event references unknown AP");
+  };
+
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const TraceEvent& e : trace.events) {
+    earliest = std::min(earliest, e.time);
+  }
+
+  std::uniform_real_distribution<double> stretch(config.stretch_lo,
+                                                 config.stretch_hi);
+  std::vector<ReplayedUser> out;
+  for (const std::string& name : trace.users()) {
+    const std::vector<TraceEvent> events = trace.events_of(name);
+    if (events.empty()) {
+      continue;
+    }
+    ReplayedUser user;
+    user.name = name;
+    std::vector<double> times;
+    std::vector<geom::Vec2> positions;
+    for (const TraceEvent& e : events) {
+      const double t = (e.time - earliest) / config.compression;
+      // Drop duplicate timestamps (same-second reassociations).
+      if (!times.empty() && !(t > times.back())) {
+        continue;
+      }
+      times.push_back(t);
+      positions.push_back(position_of(e.ap));
+      user.event_times.push_back(t);
+    }
+    if (times.empty()) {
+      continue;
+    }
+    user.sim.stretch = stretch(rng);
+    user.path = geom::Polyline(positions);
+    user.sim.mobility = std::make_shared<TraceMobility>(times, positions);
+    const std::vector<double> epochs = user.event_times;
+    const double window = config.window;
+    user.sim.is_active = [epochs, window](double t) {
+      // Any collection epoch inside (t - window, t]?
+      const auto it = std::upper_bound(epochs.begin(), epochs.end(), t);
+      return it != epochs.begin() && *(it - 1) > t - window;
+    };
+    out.push_back(std::move(user));
+  }
+  return out;
+}
+
+double compressed_end_time(const std::vector<ReplayedUser>& users) {
+  double end = 0.0;
+  for (const ReplayedUser& u : users) {
+    if (!u.event_times.empty()) {
+      end = std::max(end, u.event_times.back());
+    }
+  }
+  return end;
+}
+
+}  // namespace fluxfp::trace

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/mobility.hpp"
+#include "sim/scenario.hpp"
+#include "trace/format.hpp"
+
+namespace fluxfp::trace {
+
+/// Mobility derived from an AP association sequence: the user is assumed to
+/// move on straight lines between consecutive associated APs, arriving at
+/// each AP at its (compressed) association time. Before the first event it
+/// sits at the first AP; after the last, at the last AP. This is the
+/// "concatenate AP locations into a mobility path" reconstruction of §5.C.
+class TraceMobility final : public sim::MobilityModel {
+ public:
+  /// `times` strictly increasing, same length as `positions` (>= 1).
+  TraceMobility(std::vector<double> times, std::vector<geom::Vec2> positions);
+
+  geom::Vec2 position_at(double time) const override;
+
+ private:
+  std::vector<double> times_;
+  std::vector<geom::Vec2> positions_;
+};
+
+/// Options for turning a trace into simulation users.
+struct ReplayConfig {
+  /// Timeline compression factor (§5.C compresses by 100 to make compact
+  /// trajectories): compressed time = raw time / compression.
+  double compression = 100.0;
+  /// Traffic stretch range; each user draws uniformly from [lo, hi].
+  double stretch_lo = 1.0;
+  double stretch_hi = 3.0;
+  /// Window length ΔT used by the schedule: a user is active in the window
+  /// ending at t iff it has an association event in (t - window, t].
+  double window = 1.0;
+};
+
+/// One replayed user: mobility + asynchronous collection schedule.
+struct ReplayedUser {
+  std::string name;
+  sim::SimUser sim;                    ///< ready for run_scenario
+  std::vector<double> event_times;     ///< compressed collection epochs
+  geom::Polyline path;                 ///< AP-derived movement trajectory
+};
+
+/// Builds replayed users for every user in `trace`. Users with no events
+/// are skipped. Event times are compressed and shifted so the earliest
+/// event across users lands at time 0.
+std::vector<ReplayedUser> replay_users(const Trace& trace,
+                                       const ReplayConfig& config,
+                                       geom::Rng& rng);
+
+/// End of the compressed timeline (latest compressed event time).
+double compressed_end_time(const std::vector<ReplayedUser>& users);
+
+}  // namespace fluxfp::trace

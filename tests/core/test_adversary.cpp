@@ -1,0 +1,137 @@
+#include "core/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "eval/experiment.hpp"
+#include "sim/measurement.hpp"
+#include "sim/scenario.hpp"
+
+namespace fluxfp::core {
+namespace {
+
+struct World {
+  geom::RectField field{30.0, 30.0};
+  net::UnitDiskGraph graph;
+
+  explicit World(std::uint64_t seed) : graph(build(seed)) {}
+
+  static net::UnitDiskGraph build(std::uint64_t seed) {
+    geom::Rng rng(seed);
+    const geom::RectField f(30.0, 30.0);
+    return eval::build_connected_network({}, f, rng);
+  }
+};
+
+TEST(Adversary, PicksRequestedSniffFraction) {
+  const World w(600);
+  geom::Rng rng(601);
+  AdversaryConfig cfg;
+  cfg.sniff_fraction = 0.10;
+  const Adversary adv(w.field, w.graph, cfg, rng);
+  EXPECT_EQ(adv.sniffed_nodes().size(), 90u);
+  EXPECT_EQ(adv.num_users(), 1u);
+  EXPECT_GT(adv.model().d_min(), 0.0);
+}
+
+TEST(Adversary, RejectsMismatchedFlux) {
+  const World w(602);
+  geom::Rng rng(603);
+  Adversary adv(w.field, w.graph, {}, rng);
+  EXPECT_THROW(adv.observe(1.0, net::FluxMap(3, 1.0), rng),
+               std::invalid_argument);
+}
+
+TEST(Adversary, TracksAMovingUserEndToEnd) {
+  const World w(604);
+  geom::Rng rng(605);
+  AdversaryConfig cfg;
+  cfg.tracker.num_predictions = 600;
+  Adversary adv(w.field, w.graph, cfg, rng);
+
+  sim::SimUser user;
+  user.stretch = 2.0;
+  user.mobility = std::make_shared<sim::PathMobility>(
+      geom::Polyline({{5.0, 14.0}, {25.0, 18.0}}), 2.0);
+  sim::ScenarioConfig scfg;
+  scfg.rounds = 10;
+  const auto obs = sim::run_scenario(w.graph, {user}, scfg, rng);
+  for (const auto& o : obs) {
+    adv.observe(o.time, o.flux, rng);
+  }
+  EXPECT_LT(geom::distance(adv.estimate(0), obs.back().true_positions[0]),
+            3.0);
+}
+
+TEST(Adversary, MultiUserFacade) {
+  const World w(606);
+  geom::Rng rng(607);
+  AdversaryConfig cfg;
+  cfg.num_users = 2;
+  cfg.tracker.num_predictions = 500;
+  Adversary adv(w.field, w.graph, cfg, rng);
+
+  auto mk = [](geom::Vec2 from, geom::Vec2 to) {
+    sim::SimUser u;
+    u.stretch = 2.0;
+    u.mobility = std::make_shared<sim::PathMobility>(
+        geom::Polyline({from, to}), geom::distance(from, to) / 10.0);
+    return u;
+  };
+  sim::ScenarioConfig scfg;
+  scfg.rounds = 10;
+  const auto obs =
+      sim::run_scenario(w.graph, {mk({4, 7}, {26, 7}), mk({26, 23}, {4, 23})},
+                        scfg, rng);
+  SmcStepResult last;
+  for (const auto& o : obs) {
+    last = adv.observe(o.time, o.flux, rng);
+  }
+  ASSERT_EQ(last.stretches.size(), 2u);
+  // Both users were active in the final window.
+  EXPECT_TRUE(last.updated[0] || last.updated[1]);
+  // Identity-free: each estimate near one of the true positions.
+  for (std::size_t j = 0; j < 2; ++j) {
+    const double d0 =
+        geom::distance(adv.estimate(j), obs.back().true_positions[0]);
+    const double d1 =
+        geom::distance(adv.estimate(j), obs.back().true_positions[1]);
+    EXPECT_LT(std::min(d0, d1), 4.0) << "slot " << j;
+  }
+}
+
+TEST(Adversary, DeterministicGivenSeed) {
+  const World w(610);
+  auto run = [&]() {
+    geom::Rng rng(611);
+    AdversaryConfig cfg;
+    cfg.tracker.num_predictions = 200;
+    Adversary adv(w.field, w.graph, cfg, rng);
+    geom::Rng sim_rng(612);
+    const sim::FluxEngine engine(w.graph);
+    for (int round = 1; round <= 3; ++round) {
+      const std::vector<sim::Collection> window{
+          {0, {5.0 + 2.0 * round, 15.0}, 2.0}};
+      const net::FluxMap flux = engine.measure(window, sim_rng);
+      adv.observe(static_cast<double>(round), flux, rng);
+    }
+    return adv.estimate(0);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Adversary, SmoothingOffStillRuns) {
+  const World w(608);
+  geom::Rng rng(609);
+  AdversaryConfig cfg;
+  cfg.smooth = false;
+  cfg.tracker.num_predictions = 300;
+  Adversary adv(w.field, w.graph, cfg, rng);
+  net::FluxMap flux(w.graph.size(), 0.0);
+  const auto res = adv.observe(1.0, flux, rng);
+  EXPECT_FALSE(res.updated[0]);
+}
+
+}  // namespace
+}  // namespace fluxfp::core

@@ -1,0 +1,138 @@
+// Tests for the alternative attackers: the naive weighted-centroid
+// heuristic and the deterministic grid-refinement search.
+#include <gtest/gtest.h>
+
+#include "core/baseline.hpp"
+#include "eval/metrics.hpp"
+#include "geom/sampling.hpp"
+
+namespace fluxfp::core {
+namespace {
+
+struct Synthetic {
+  geom::RectField field{30.0, 30.0};
+  FluxModel model{field, 1.0};
+  std::vector<geom::Vec2> samples;
+  std::vector<geom::Vec2> sinks;
+  std::vector<double> measured;
+
+  Synthetic(std::uint64_t seed, std::size_t n, std::vector<geom::Vec2> s,
+            std::vector<double> stretches)
+      : sinks(std::move(s)) {
+    geom::Rng rng(seed);
+    samples = geom::uniform_points(field, n, rng);
+    measured.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < sinks.size(); ++j) {
+        measured[i] += stretches[j] * model.shape(sinks[j], samples[i]);
+      }
+    }
+  }
+
+  SparseObjective objective() const {
+    return SparseObjective(model, samples, measured);
+  }
+};
+
+TEST(CentroidLocalizer, RejectsNegativeGamma) {
+  EXPECT_THROW(CentroidLocalizer(-1.0), std::invalid_argument);
+}
+
+TEST(CentroidLocalizer, RoughSingleUserEstimate) {
+  const Synthetic syn(1, 120, {{15, 15}}, {2.0});
+  const CentroidLocalizer loc;
+  // A center-field user is the heuristic's best case.
+  EXPECT_LT(geom::distance(loc.localize(syn.objective()), {15, 15}), 4.0);
+}
+
+TEST(CentroidLocalizer, BiasedTowardFieldCenterForEdgeUsers) {
+  // The known flaw: for an off-center user the centroid pulls inward.
+  const Synthetic syn(2, 120, {{4, 4}}, {2.0});
+  const CentroidLocalizer loc;
+  const geom::Vec2 est = loc.localize(syn.objective());
+  const double err = geom::distance(est, {4, 4});
+  EXPECT_GT(err, 1.5);  // systematically biased
+  // ... and the bias points toward the center.
+  EXPECT_GT(est.x, 4.0);
+  EXPECT_GT(est.y, 4.0);
+}
+
+TEST(CentroidLocalizer, ThrowsOnAllZeroWindow) {
+  const geom::RectField field(30.0, 30.0);
+  const FluxModel model(field, 1.0);
+  geom::Rng rng(3);
+  const auto samples = geom::uniform_points(field, 20, rng);
+  const SparseObjective obj(model, samples,
+                            std::vector<double>(samples.size(), 0.0));
+  EXPECT_THROW(CentroidLocalizer{}.localize(obj), std::logic_error);
+}
+
+TEST(CentroidLocalizer, HigherGammaSharpensEstimate) {
+  const Synthetic syn(4, 150, {{9, 21}}, {2.0});
+  const SparseObjective obj = syn.objective();
+  const double e_flat = geom::distance(
+      CentroidLocalizer(1.0).localize(obj), {9, 21});
+  const double e_sharp = geom::distance(
+      CentroidLocalizer(4.0).localize(obj), {9, 21});
+  EXPECT_LT(e_sharp, e_flat);
+}
+
+TEST(GridLocalizer, RejectsBadConfig) {
+  const geom::RectField field(30.0, 30.0);
+  GridLocalizerConfig bad;
+  bad.grid = 1;
+  EXPECT_THROW(GridLocalizer(field, bad), std::invalid_argument);
+  bad = {};
+  bad.sweeps = 0;
+  EXPECT_THROW(GridLocalizer(field, bad), std::invalid_argument);
+}
+
+TEST(GridLocalizer, SingleUserConvergesToTruth) {
+  const Synthetic syn(5, 80, {{11, 19}}, {2.0});
+  const GridLocalizer loc(syn.field);
+  const LocalizationResult res = loc.localize(syn.objective(), 1);
+  EXPECT_LT(geom::distance(res.positions[0], {11, 19}), 1.0);
+  EXPECT_NEAR(res.stretches[0], 2.0, 0.4);
+}
+
+TEST(GridLocalizer, IsDeterministic) {
+  const Synthetic syn(6, 60, {{20, 8}}, {2.0});
+  const GridLocalizer loc(syn.field);
+  const LocalizationResult a = loc.localize(syn.objective(), 1);
+  const LocalizationResult b = loc.localize(syn.objective(), 1);
+  EXPECT_EQ(a.positions[0], b.positions[0]);
+  EXPECT_DOUBLE_EQ(a.residual, b.residual);
+}
+
+TEST(GridLocalizer, TwoUsersRecovered) {
+  const Synthetic syn(7, 100, {{6, 7}, {24, 22}}, {2.0, 2.5});
+  const GridLocalizer loc(syn.field);
+  const LocalizationResult res = loc.localize(syn.objective(), 2);
+  EXPECT_LT(eval::matched_mean_error(res.positions, syn.sinks), 2.0);
+}
+
+TEST(GridLocalizer, RefinementImprovesResolution) {
+  const Synthetic syn(8, 80, {{13.37, 17.73}}, {2.0});
+  GridLocalizerConfig coarse;
+  coarse.refinements = 0;
+  GridLocalizerConfig fine;
+  fine.refinements = 4;
+  const double e_coarse = geom::distance(
+      GridLocalizer(syn.field, coarse).localize(syn.objective(), 1)
+          .positions[0],
+      {13.37, 17.73});
+  const double e_fine = geom::distance(
+      GridLocalizer(syn.field, fine).localize(syn.objective(), 1)
+          .positions[0],
+      {13.37, 17.73});
+  EXPECT_LE(e_fine, e_coarse + 1e-9);
+}
+
+TEST(GridLocalizer, RejectsBadUserCount) {
+  const Synthetic syn(9, 40, {{15, 15}}, {2.0});
+  const GridLocalizer loc(syn.field);
+  EXPECT_THROW(loc.localize(syn.objective(), 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fluxfp::core

@@ -1,0 +1,123 @@
+#include "core/baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.hpp"
+
+namespace fluxfp::core {
+namespace {
+
+struct World {
+  geom::RectField field{30.0, 30.0};
+  FluxModel model{field, 1.0};
+  std::vector<geom::Vec2> samples;
+
+  explicit World(std::uint64_t seed, std::size_t n = 70) {
+    geom::Rng rng(seed);
+    samples = geom::uniform_points(field, n, rng);
+  }
+
+  SparseObjective observe(const std::vector<geom::Vec2>& sinks,
+                          const std::vector<double>& stretches) const {
+    std::vector<double> measured(samples.size(), 0.0);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      for (std::size_t j = 0; j < sinks.size(); ++j) {
+        measured[i] += stretches[j] * model.shape(sinks[j], samples[i]);
+      }
+    }
+    return SparseObjective(model, samples, measured);
+  }
+};
+
+LocalizerConfig fast_localizer() {
+  LocalizerConfig cfg;
+  cfg.candidates_per_user = 1500;
+  return cfg;
+}
+
+TEST(InstantNlsTracker, LocatesStaticUser) {
+  const World w(1);
+  InstantNlsTracker tracker(w.field, 1, fast_localizer());
+  geom::Rng rng(2);
+  const auto est = tracker.step(w.observe({{10, 20}}, {2.0}), rng);
+  ASSERT_EQ(est.size(), 1u);
+  EXPECT_LT(geom::distance(est[0], {10, 20}), 1.5);
+}
+
+TEST(InstantNlsTracker, IdentityContinuityAcrossRounds) {
+  const World w(3);
+  InstantNlsTracker tracker(w.field, 2, fast_localizer());
+  geom::Rng rng(4);
+  // Two well-separated users: estimates[i] should stay with "its" user.
+  const geom::Vec2 a0{5, 5};
+  const geom::Vec2 b0{25, 25};
+  auto est = tracker.step(w.observe({a0, b0}, {2.0, 2.0}), rng);
+  const bool zero_is_a = geom::distance(est[0], a0) < geom::distance(est[0], b0);
+  for (int round = 1; round <= 3; ++round) {
+    const geom::Vec2 a{5.0 + round, 5.0};
+    const geom::Vec2 b{25.0 - round, 25.0};
+    est = tracker.step(w.observe({a, b}, {2.0, 2.0}), rng);
+    const geom::Vec2 expect0 = zero_is_a ? a : b;
+    EXPECT_LT(geom::distance(est[0], expect0), 4.0) << "round " << round;
+  }
+}
+
+TEST(EkfTracker, LocatesStaticUser) {
+  const World w(5);
+  EkfConfig cfg;
+  cfg.localizer = fast_localizer();
+  EkfTracker tracker(w.field, 1, cfg);
+  geom::Rng rng(6);
+  std::vector<geom::Vec2> est;
+  for (int round = 0; round < 5; ++round) {
+    est = tracker.step(w.observe({{18, 9}}, {2.0}), 1.0, rng);
+  }
+  ASSERT_EQ(est.size(), 1u);
+  EXPECT_LT(geom::distance(est[0], {18, 9}), 1.5);
+}
+
+TEST(EkfTracker, EstimatesStayInField) {
+  const World w(7);
+  EkfConfig cfg;
+  cfg.localizer = fast_localizer();
+  EkfTracker tracker(w.field, 1, cfg);
+  geom::Rng rng(8);
+  for (int round = 0; round < 6; ++round) {
+    const geom::Vec2 truth{1.0, 1.0 + 0.5 * round};  // near the corner
+    const auto est = tracker.step(w.observe({truth}, {2.0}), 1.0, rng);
+    EXPECT_TRUE(w.field.contains(est[0]));
+  }
+}
+
+TEST(EkfTracker, VelocityLearnedForLinearMotion) {
+  const World w(9);
+  EkfConfig cfg;
+  cfg.localizer = fast_localizer();
+  cfg.observation_noise = 1.0;
+  EkfTracker tracker(w.field, 1, cfg);
+  geom::Rng rng(10);
+  geom::Vec2 truth;
+  std::vector<geom::Vec2> est;
+  for (int round = 0; round < 10; ++round) {
+    truth = {4.0 + 2.0 * round, 15.0};
+    est = tracker.step(w.observe({truth}, {2.0}), 1.0, rng);
+  }
+  EXPECT_LT(geom::distance(est[0], truth), 2.5);
+}
+
+TEST(EkfTracker, TwoUsersMatchedToStates) {
+  const World w(11);
+  EkfConfig cfg;
+  cfg.localizer = fast_localizer();
+  EkfTracker tracker(w.field, 2, cfg);
+  geom::Rng rng(12);
+  std::vector<geom::Vec2> truths{{6, 6}, {24, 22}};
+  std::vector<geom::Vec2> est;
+  for (int round = 0; round < 5; ++round) {
+    est = tracker.step(w.observe(truths, {2.0, 2.0}), 1.0, rng);
+  }
+  EXPECT_LT(eval::matched_mean_error(est, truths), 2.5);
+}
+
+}  // namespace
+}  // namespace fluxfp::core

@@ -1,0 +1,145 @@
+#include "core/briefing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "eval/metrics.hpp"
+#include "net/deployment.hpp"
+#include "net/routing.hpp"
+
+namespace fluxfp::core {
+namespace {
+
+struct Fixture {
+  geom::RectField field{30.0, 30.0};
+  net::UnitDiskGraph graph;
+  FluxModel model;
+
+  explicit Fixture(std::uint64_t seed, double d_min = 1.0)
+      : graph(make_graph(seed)), model(field, d_min) {}
+
+  static net::UnitDiskGraph make_graph(std::uint64_t seed) {
+    geom::Rng rng(seed);
+    const geom::RectField f(30.0, 30.0);
+    return net::UnitDiskGraph(net::perturbed_grid(f, 30, 30, 0.5, rng), 2.4);
+  }
+
+  net::FluxMap flux_for(const std::vector<geom::Vec2>& sinks,
+                        const std::vector<double>& stretches,
+                        std::uint64_t seed) const {
+    geom::Rng rng(seed);
+    net::FluxMap total(graph.size(), 0.0);
+    for (std::size_t j = 0; j < sinks.size(); ++j) {
+      const net::CollectionTree t =
+          net::build_collection_tree(graph, sinks[j], rng);
+      net::accumulate(total, net::tree_flux(t, stretches[j]));
+    }
+    return total;
+  }
+};
+
+TEST(FluxBriefing, RejectsBadConfig) {
+  const Fixture fx(1);
+  BriefingConfig bad;
+  bad.max_users = 0;
+  EXPECT_THROW(FluxBriefing(fx.graph, fx.model, bad), std::invalid_argument);
+}
+
+TEST(FluxBriefing, RejectsSizeMismatch) {
+  const Fixture fx(2);
+  const FluxBriefing b(fx.graph, fx.model);
+  EXPECT_THROW(b.brief(net::FluxMap{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(FluxBriefing, EmptyMapYieldsNoUsers) {
+  const Fixture fx(3);
+  const FluxBriefing b(fx.graph, fx.model);
+  EXPECT_TRUE(b.brief(net::FluxMap(fx.graph.size(), 0.0)).empty());
+}
+
+TEST(FluxBriefing, SingleUserPeakNearSink) {
+  const Fixture fx(4);
+  const geom::Vec2 sink{15.0, 15.0};
+  const net::FluxMap flux = fx.flux_for({sink}, {2.0}, 10);
+  BriefingConfig cfg;
+  cfg.max_users = 1;
+  const FluxBriefing b(fx.graph, fx.model, cfg);
+  const auto users = b.brief(flux);
+  ASSERT_EQ(users.size(), 1u);
+  EXPECT_LT(geom::distance(users[0].position, sink), 2.5);
+  EXPECT_GT(users[0].stretch_over_r, 0.0);
+}
+
+TEST(FluxBriefing, ExtractDominantReducesMap) {
+  const Fixture fx(5);
+  net::FluxMap working = fx.flux_for({{15, 15}}, {2.0}, 11);
+  const double before = *std::max_element(working.begin(), working.end());
+  const FluxBriefing b(fx.graph, fx.model);
+  (void)b.extract_dominant(working);
+  const double after = *std::max_element(working.begin(), working.end());
+  EXPECT_LT(after, 0.6 * before);
+  for (double v : working) {
+    EXPECT_GE(v, 0.0);  // subtraction clamps at zero
+  }
+}
+
+TEST(FluxBriefing, ThreeUsersRecovered) {
+  // The Fig. 1/4 scenario: three users, mixed traffic, recursive briefing.
+  const Fixture fx(6);
+  const std::vector<geom::Vec2> sinks{{6, 6}, {24, 9}, {13, 24}};
+  const net::FluxMap flux = fx.flux_for(sinks, {2.0, 2.5, 1.5}, 12);
+  BriefingConfig cfg;
+  cfg.max_users = 3;
+  const FluxBriefing b(fx.graph, fx.model, cfg);
+  const auto users = b.brief(flux);
+  ASSERT_EQ(users.size(), 3u);
+  std::vector<geom::Vec2> est;
+  for (const auto& u : users) {
+    est.push_back(u.position);
+  }
+  EXPECT_LT(eval::matched_mean_error(est, sinks), 3.5);
+}
+
+TEST(FluxBriefing, StopsAtNoiseFloor) {
+  // One real user but max_users = 5: the stop fraction should cut the
+  // recursion well before 5 phantom users.
+  const Fixture fx(7);
+  const net::FluxMap flux = fx.flux_for({{15, 15}}, {2.0}, 13);
+  BriefingConfig cfg;
+  cfg.max_users = 5;
+  cfg.stop_fraction = 0.3;
+  const FluxBriefing b(fx.graph, fx.model, cfg);
+  const auto users = b.brief(flux);
+  EXPECT_GE(users.size(), 1u);
+  EXPECT_LE(users.size(), 3u);
+}
+
+TEST(FluxBriefing, DominantUserExtractedFirst) {
+  const Fixture fx(8);
+  const std::vector<geom::Vec2> sinks{{7, 7}, {23, 23}};
+  // Second user has triple the traffic: must be found first.
+  const net::FluxMap flux = fx.flux_for(sinks, {1.0, 3.0}, 14);
+  BriefingConfig cfg;
+  cfg.max_users = 2;
+  const FluxBriefing b(fx.graph, fx.model, cfg);
+  const auto users = b.brief(flux);
+  ASSERT_EQ(users.size(), 2u);
+  EXPECT_LT(geom::distance(users[0].position, {23, 23}), 4.0);
+  EXPECT_LT(geom::distance(users[1].position, {7, 7}), 4.0);
+}
+
+TEST(FluxBriefing, SmoothingTogglesStillFindSingleUser) {
+  const Fixture fx(9);
+  const net::FluxMap flux = fx.flux_for({{10, 20}}, {2.0}, 15);
+  BriefingConfig no_smooth;
+  no_smooth.smooth = false;
+  no_smooth.max_users = 1;
+  const FluxBriefing b(fx.graph, fx.model, no_smooth);
+  const auto users = b.brief(flux);
+  ASSERT_EQ(users.size(), 1u);
+  EXPECT_LT(geom::distance(users[0].position, {10, 20}), 3.0);
+}
+
+}  // namespace
+}  // namespace fluxfp::core

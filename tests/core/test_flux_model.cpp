@@ -1,0 +1,106 @@
+#include "core/flux_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace fluxfp::core {
+namespace {
+
+TEST(FluxModel, RejectsBadDmin) {
+  const geom::RectField f(30.0, 30.0);
+  EXPECT_THROW(FluxModel(f, 0.0), std::invalid_argument);
+  EXPECT_THROW(FluxModel(f, -1.0), std::invalid_argument);
+}
+
+TEST(FluxModel, MatchesClosedFormOnAxis) {
+  // Sink at the center of a 30x30 field, node at (20,15): d = 5, the ray
+  // exits at x = 30 so l = 15. shape = (l^2 - d^2)/(2d) = 200/10 = 20.
+  const geom::RectField f(30.0, 30.0);
+  const FluxModel m(f, 1.0);
+  EXPECT_DOUBLE_EQ(m.shape({15, 15}, {20, 15}), 20.0);
+}
+
+TEST(FluxModel, ContinuousAndDiscreteScaling) {
+  const geom::RectField f(30.0, 30.0);
+  const FluxModel m(f, 1.0);
+  const double phi = m.shape({15, 15}, {20, 15});
+  EXPECT_DOUBLE_EQ(m.continuous_flux({15, 15}, {20, 15}, 2.0), 2.0 * phi);
+  EXPECT_DOUBLE_EQ(m.discrete_flux({15, 15}, {20, 15}, 2.0, 0.5),
+                   4.0 * phi);
+  EXPECT_THROW(m.discrete_flux({15, 15}, {20, 15}, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(FluxModel, ZeroAtBoundaryAlongRay) {
+  // Node on the boundary in the ray direction: l = d, shape = 0.
+  const geom::RectField f(30.0, 30.0);
+  const FluxModel m(f, 1.0);
+  EXPECT_DOUBLE_EQ(m.shape({15, 15}, {30, 15}), 0.0);
+}
+
+TEST(FluxModel, ClampsNearSink) {
+  const geom::RectField f(30.0, 30.0);
+  const FluxModel m(f, 2.0);
+  // d = 1 < d_min = 2: denominator uses d_min.
+  const double d = 1.0;
+  const double l = 15.0;  // ray from center through (16,15) exits at x=30
+  EXPECT_DOUBLE_EQ(m.shape({15, 15}, {16, 15}),
+                   (l * l - d * d) / (2.0 * 2.0));
+}
+
+TEST(FluxModel, DegenerateNodeAtSink) {
+  const geom::RectField f(30.0, 30.0);
+  const FluxModel m(f, 1.5);
+  // l falls back to the nearest-edge distance (15), d = 0 clamped to 1.5.
+  EXPECT_DOUBLE_EQ(m.shape({15, 15}, {15, 15}),
+                   (15.0 * 15.0) / (2.0 * 1.5));
+}
+
+TEST(FluxModel, NonNegativeEverywhere) {
+  const geom::RectField f(30.0, 20.0);
+  const FluxModel m(f, 1.0);
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<double> ux(0.0, 30.0);
+  std::uniform_real_distribution<double> uy(0.0, 20.0);
+  for (int i = 0; i < 500; ++i) {
+    const geom::Vec2 sink{ux(rng), uy(rng)};
+    const geom::Vec2 node{ux(rng), uy(rng)};
+    EXPECT_GE(m.shape(sink, node), 0.0);
+  }
+}
+
+TEST(FluxModel, SinkSlightlyOutsideFieldIsClamped) {
+  const geom::RectField f(30.0, 30.0);
+  const FluxModel m(f, 1.0);
+  const double inside = m.shape({0.0, 15.0}, {10, 15});
+  const double outside = m.shape({-1e-9, 15.0}, {10, 15});
+  EXPECT_NEAR(inside, outside, 1e-6);
+}
+
+// Property: along a fixed ray, the shape decreases with distance (traffic
+// thins toward the boundary) once beyond the clamp.
+class ShapeMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShapeMonotonicity, DecreasesAlongRay) {
+  std::mt19937_64 rng(static_cast<unsigned long>(GetParam()));
+  const geom::RectField f(30.0, 30.0);
+  const FluxModel m(f, 1.0);
+  std::uniform_real_distribution<double> u(5.0, 25.0);
+  const geom::Vec2 sink{u(rng), u(rng)};
+  std::uniform_real_distribution<double> angle(0.0, 6.28318);
+  const double a = angle(rng);
+  const geom::Vec2 dir{std::cos(a), std::sin(a)};
+  const double l = f.boundary_distance(sink, dir);
+  double prev = 1e18;
+  for (double d = 1.0; d < l; d += 0.5) {
+    const double cur = m.shape(sink, sink + dir * d);
+    EXPECT_LT(cur, prev + 1e-9) << "d=" << d;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShapeMonotonicity, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace fluxfp::core

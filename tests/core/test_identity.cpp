@@ -1,0 +1,135 @@
+#include "core/identity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/smc.hpp"
+#include "eval/experiment.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sniffer.hpp"
+
+namespace fluxfp::core {
+namespace {
+
+using Detection = IdentityMaintainer::Detection;
+
+TEST(IdentityMaintainer, RejectsBadConfig) {
+  EXPECT_THROW(IdentityMaintainer(0), std::invalid_argument);
+  IdentityConfig bad;
+  bad.stretch_smoothing = 1.5;
+  EXPECT_THROW(IdentityMaintainer(2, bad), std::invalid_argument);
+}
+
+TEST(IdentityMaintainer, FirstRoundAdoptsInOrder) {
+  IdentityMaintainer m(2);
+  const auto order = m.assign({{{1, 1}, 2.0, true}, {{9, 9}, 3.0, true}});
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(m.position(0), geom::Vec2(1, 1));
+  EXPECT_DOUBLE_EQ(m.fingerprint(1), 3.0);
+}
+
+TEST(IdentityMaintainer, RejectsWrongDetectionCount) {
+  IdentityMaintainer m(2);
+  EXPECT_THROW(m.assign({{{1, 1}, 2.0, true}}), std::invalid_argument);
+}
+
+TEST(IdentityMaintainer, FollowsByPositionWhenStretchesEqual) {
+  IdentityMaintainer m(2);
+  m.assign({{{0, 0}, 2.0, true}, {{10, 10}, 2.0, true}});
+  // Both move a little; detections arrive in swapped order.
+  const auto order = m.assign({{{9.5, 10}, 2.0, true}, {{0.5, 0}, 2.0, true}});
+  EXPECT_EQ(order[0], 1u);  // track 0 takes the detection near (0,0)
+  EXPECT_EQ(order[1], 0u);
+}
+
+TEST(IdentityMaintainer, StretchFingerprintResolvesCrossing) {
+  // Two users meet at the same spot; identical positions, different
+  // stretches. Position alone is ambiguous; the fingerprint decides.
+  IdentityConfig cfg;
+  cfg.stretch_weight = 3.0;
+  IdentityMaintainer m(2, cfg);
+  m.assign({{{5, 5}, 1.0, true}, {{15, 15}, 3.0, true}});
+  // At the crossing both detections sit at (10,10) but carry stretches in
+  // swapped order relative to the detection indices.
+  const auto order =
+      m.assign({{{10, 10}, 3.0, true}, {{10.1, 10}, 1.0, true}});
+  EXPECT_EQ(order[0], 1u);  // track 0 (fingerprint 1.0) takes stretch-1.0
+  EXPECT_EQ(order[1], 0u);
+}
+
+TEST(IdentityMaintainer, FingerprintSmoothingConverges) {
+  IdentityConfig cfg;
+  cfg.stretch_smoothing = 0.5;
+  IdentityMaintainer m(1, cfg);
+  m.assign({{{0, 0}, 2.0, true}});
+  for (int i = 0; i < 10; ++i) {
+    m.assign({{{0, 0}, 3.0, true}});
+  }
+  EXPECT_NEAR(m.fingerprint(0), 3.0, 0.01);
+}
+
+TEST(IdentityMaintainer, NonUpdatedDetectionKeepsFingerprint) {
+  IdentityMaintainer m(1);
+  m.assign({{{0, 0}, 2.0, true}});
+  m.assign({{{0, 0}, 0.0, false}});  // silent round
+  EXPECT_DOUBLE_EQ(m.fingerprint(0), 2.0);
+}
+
+TEST(IdentityMaintainer, EndToEndCrossingWithDistinctStretches) {
+  // Full pipeline: two users with very different stretches cross paths;
+  // the maintainer keeps each track on its own trajectory where raw SMC
+  // slots may swap.
+  geom::Rng rng(700);
+  const geom::RectField field(30.0, 30.0);
+  const net::UnitDiskGraph graph =
+      eval::build_connected_network({}, field, rng);
+  const core::FluxModel model(field,
+                              eval::estimate_d_min(graph, field, rng));
+
+  auto mk = [](geom::Vec2 from, geom::Vec2 to, double stretch) {
+    sim::SimUser u;
+    u.stretch = stretch;
+    u.mobility = std::make_shared<sim::PathMobility>(
+        geom::Polyline({from, to}), geom::distance(from, to) / 12.0);
+    return u;
+  };
+  // User A: stretch 1, diagonal up; user B: stretch 3, diagonal down.
+  const std::vector<sim::SimUser> users{mk({3, 3}, {27, 27}, 1.0),
+                                        mk({27, 3}, {3, 27}, 3.0)};
+  sim::ScenarioConfig scfg;
+  scfg.rounds = 12;
+  const auto obs = sim::run_scenario(graph, users, scfg, rng);
+  const auto samples = sim::sample_nodes_fraction(graph.size(), 0.15, rng);
+
+  core::SmcConfig tcfg;
+  tcfg.num_predictions = 600;
+  core::SmcTracker tracker(field, 2, tcfg, rng);
+  IdentityMaintainer ids(2);
+  std::vector<std::size_t> order{0, 1};
+  for (const auto& o : obs) {
+    const core::SparseObjective obj =
+        eval::make_objective(model, graph, o.flux, samples);
+    const auto res = tracker.step(o.time, obj, rng);
+    std::vector<Detection> dets(2);
+    for (std::size_t s = 0; s < 2; ++s) {
+      dets[s] = {tracker.estimate(s), res.stretches[s], res.updated[s]};
+    }
+    order = ids.assign(dets);
+  }
+  // Which track learned the light user's fingerprint is arbitrary (first
+  // detection order), but after the crossing the small-fingerprint track
+  // must sit near the stretch-1 user and the large-fingerprint track near
+  // the stretch-3 user: identities preserved via traffic fingerprints.
+  const std::size_t light =
+      ids.fingerprint(0) < ids.fingerprint(1) ? 0u : 1u;
+  const std::size_t heavy = 1u - light;
+  EXPECT_LT(ids.fingerprint(light), ids.fingerprint(heavy));
+  EXPECT_LT(geom::distance(ids.position(light),
+                           obs.back().true_positions[0]),
+            6.0);
+  EXPECT_LT(geom::distance(ids.position(heavy),
+                           obs.back().true_positions[1]),
+            6.0);
+}
+
+}  // namespace
+}  // namespace fluxfp::core

@@ -1,0 +1,293 @@
+#include "core/nls.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "geom/sampling.hpp"
+#include "numeric/matrix.hpp"
+#include "numeric/nnls.hpp"
+
+namespace fluxfp::core {
+namespace {
+
+/// Synthetic fixture: sample nodes + measured flux generated exactly from
+/// the model with known sinks and stretches.
+struct Synthetic {
+  geom::RectField field{30.0, 30.0};
+  FluxModel model{field, 1.0};
+  std::vector<geom::Vec2> samples;
+  std::vector<geom::Vec2> sinks;
+  std::vector<double> stretches;
+  std::vector<double> measured;
+
+  Synthetic(std::uint64_t seed, std::size_t n, std::vector<geom::Vec2> s,
+            std::vector<double> str)
+      : sinks(std::move(s)), stretches(std::move(str)) {
+    geom::Rng rng(seed);
+    samples = geom::uniform_points(field, n, rng);
+    measured.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < sinks.size(); ++j) {
+        measured[i] += stretches[j] * model.shape(sinks[j], samples[i]);
+      }
+    }
+  }
+
+  SparseObjective objective() const {
+    return SparseObjective(model, samples, measured);
+  }
+};
+
+TEST(SparseObjective, RejectsBadInputs) {
+  const geom::RectField f(30.0, 30.0);
+  const FluxModel m(f, 1.0);
+  EXPECT_THROW(SparseObjective(m, {}, {}), std::invalid_argument);
+  EXPECT_THROW(SparseObjective(m, {{1, 1}}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(SparseObjective, ShapeColumnMatchesModel) {
+  const Synthetic syn(1, 20, {{10, 10}}, {2.0});
+  const SparseObjective obj = syn.objective();
+  const auto col = obj.shape_column({7, 13});
+  ASSERT_EQ(col.size(), 20u);
+  for (std::size_t i = 0; i < col.size(); ++i) {
+    EXPECT_DOUBLE_EQ(col[i], syn.model.shape({7, 13}, syn.samples[i]));
+  }
+}
+
+TEST(SparseObjective, ZeroResidualAtTruthSingleUser) {
+  const Synthetic syn(2, 40, {{12, 18}}, {2.5});
+  const SparseObjective obj = syn.objective();
+  const StretchFit fit = obj.fit(std::vector<geom::Vec2>{{12, 18}});
+  EXPECT_NEAR(fit.residual, 0.0, 1e-9);
+  ASSERT_EQ(fit.stretches.size(), 1u);
+  EXPECT_NEAR(fit.stretches[0], 2.5, 1e-9);
+}
+
+TEST(SparseObjective, ZeroResidualAtTruthThreeUsers) {
+  const Synthetic syn(3, 60, {{5, 5}, {25, 10}, {15, 25}}, {1.0, 2.0, 3.0});
+  const SparseObjective obj = syn.objective();
+  const StretchFit fit = obj.fit(syn.sinks);
+  EXPECT_NEAR(fit.residual, 0.0, 1e-7);
+  ASSERT_EQ(fit.stretches.size(), 3u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(fit.stretches[j], syn.stretches[j], 1e-6);
+  }
+}
+
+TEST(SparseObjective, WrongPositionHasPositiveResidual) {
+  const Synthetic syn(4, 40, {{12, 18}}, {2.5});
+  const SparseObjective obj = syn.objective();
+  const StretchFit truth = obj.fit(std::vector<geom::Vec2>{{12, 18}});
+  const StretchFit wrong = obj.fit(std::vector<geom::Vec2>{{25, 4}});
+  EXPECT_GT(wrong.residual, truth.residual + 1.0);
+}
+
+TEST(SparseObjective, EmptySinkSetResidualIsMeasuredNorm) {
+  const Synthetic syn(5, 30, {{12, 18}}, {2.0});
+  const SparseObjective obj = syn.objective();
+  const StretchFit fit = obj.fit(std::vector<geom::Vec2>{});
+  EXPECT_DOUBLE_EQ(fit.residual, obj.measured_norm());
+}
+
+TEST(SparseObjective, FitColumnsMatchesFit) {
+  const Synthetic syn(6, 50, {{5, 5}, {20, 22}}, {1.5, 2.5});
+  const SparseObjective obj = syn.objective();
+  const std::vector<geom::Vec2> guess{{6, 4}, {21, 20}};
+  const StretchFit direct = obj.fit(guess);
+  const auto c0 = obj.shape_column(guess[0]);
+  const auto c1 = obj.shape_column(guess[1]);
+  const std::vector<const std::vector<double>*> cols{&c0, &c1};
+  const StretchFit via_cols = obj.fit_columns(cols);
+  EXPECT_NEAR(direct.residual, via_cols.residual, 1e-9);
+  EXPECT_NEAR(direct.stretches[0], via_cols.stretches[0], 1e-9);
+  EXPECT_NEAR(direct.stretches[1], via_cols.stretches[1], 1e-9);
+}
+
+TEST(NnlsFromGram, RejectsBadDims) {
+  EXPECT_THROW(nnls_from_gram(std::vector<double>{1.0}, 0,
+                              std::vector<double>{}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(nnls_from_gram(std::vector<double>{1.0, 2.0}, 1,
+                              std::vector<double>{1.0}, 1.0),
+               std::invalid_argument);
+}
+
+TEST(NnlsFromGram, MatchesDirectNnlsOnRandomInstances) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 15;
+    const std::size_t k = 1 + static_cast<std::size_t>(trial % 4);
+    numeric::Matrix a(n, k);
+    std::vector<double> b(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < k; ++c) {
+        a(r, c) = u(rng);
+      }
+      b[r] = u(rng);
+    }
+    // Build Gram inputs.
+    std::vector<double> g(k * k, 0.0);
+    std::vector<double> c(k, 0.0);
+    double b2 = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      b2 += b[r] * b[r];
+      for (std::size_t i = 0; i < k; ++i) {
+        c[i] += a(r, i) * b[r];
+        for (std::size_t j = 0; j < k; ++j) {
+          g[i * k + j] += a(r, i) * a(r, j);
+        }
+      }
+    }
+    const StretchFit gram = nnls_from_gram(g, k, c, b2);
+    const numeric::NnlsResult direct = numeric::nnls(a, b);
+    EXPECT_NEAR(gram.residual, direct.residual, 1e-7)
+        << "trial " << trial << " k=" << k;
+    for (std::size_t j = 0; j < k; ++j) {
+      EXPECT_NEAR(gram.stretches[j], direct.x[j], 1e-5)
+          << "trial " << trial << " col " << j;
+    }
+  }
+}
+
+TEST(NnlsFromGram, ActiveSetPathMatchesDirectNnlsForLargeK) {
+  // k above kGramEnumerationLimit exercises the Lawson–Hanson path.
+  std::mt19937_64 rng(17);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (std::size_t k : {8u, 12u, 20u}) {
+    const std::size_t n = 3 * k;
+    numeric::Matrix a(n, k);
+    std::vector<double> b(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < k; ++c) {
+        a(r, c) = u(rng);
+      }
+      b[r] = u(rng) - 0.3;  // mixed signs force active constraints
+    }
+    std::vector<double> g(k * k, 0.0);
+    std::vector<double> c(k, 0.0);
+    double b2 = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      b2 += b[r] * b[r];
+      for (std::size_t i = 0; i < k; ++i) {
+        c[i] += a(r, i) * b[r];
+        for (std::size_t j = 0; j < k; ++j) {
+          g[i * k + j] += a(r, i) * a(r, j);
+        }
+      }
+    }
+    const StretchFit gram = nnls_from_gram(g, k, c, b2);
+    const numeric::NnlsResult direct = numeric::nnls(a, b);
+    EXPECT_NEAR(gram.residual, direct.residual, 1e-6) << "k=" << k;
+    for (std::size_t j = 0; j < k; ++j) {
+      EXPECT_NEAR(gram.stretches[j], direct.x[j], 1e-4)
+          << "k=" << k << " col " << j;
+    }
+  }
+}
+
+TEST(ConditionalFit, MatchesFullFit) {
+  const Synthetic syn(8, 45, {{5, 5}, {20, 22}, {9, 27}}, {1.0, 2.0, 1.5});
+  const SparseObjective obj = syn.objective();
+  const auto c0 = obj.shape_column({6, 6});
+  const auto c2 = obj.shape_column({10, 26});
+  const std::vector<const std::vector<double>*> fixed{&c0, &c2};
+  const ConditionalFit cond(obj, fixed, 1);  // middle slot varies
+  const geom::Vec2 candidate{19, 23};
+  const auto c1 = obj.shape_column(candidate);
+  const StretchFit via_cond = cond.evaluate(c1);
+  const StretchFit direct =
+      obj.fit(std::vector<geom::Vec2>{{6, 6}, candidate, {10, 26}});
+  EXPECT_NEAR(via_cond.residual, direct.residual, 1e-7);
+  ASSERT_EQ(via_cond.stretches.size(), 3u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(via_cond.stretches[j], direct.stretches[j], 1e-5);
+  }
+}
+
+TEST(ConditionalFit, SingleUserNoFixedColumns) {
+  const Synthetic syn(9, 30, {{12, 18}}, {2.0});
+  const SparseObjective obj = syn.objective();
+  const ConditionalFit cond(obj, {}, 0);
+  const auto col = obj.shape_column({12, 18});
+  const StretchFit fit = cond.evaluate(col);
+  EXPECT_NEAR(fit.residual, 0.0, 1e-8);
+  EXPECT_NEAR(fit.stretches[0], 2.0, 1e-8);
+}
+
+TEST(SparseObjective, ScaleEquivariance) {
+  // Metamorphic check of the model math: scaling the whole geometry by c
+  // scales shapes, measurements, and residuals by c while the fitted
+  // stretch factors are unchanged (phi = (l^2-d^2)/2d is 1-homogeneous).
+  const double c = 2.5;
+  const geom::RectField field(30.0, 30.0);
+  const geom::RectField field_scaled(30.0 * c, 30.0 * c);
+  const FluxModel model(field, 1.0);
+  const FluxModel model_scaled(field_scaled, c);  // d_min scales too
+
+  geom::Rng rng(42);
+  const std::vector<geom::Vec2> samples =
+      geom::uniform_points(field, 40, rng);
+  std::vector<geom::Vec2> samples_scaled;
+  for (const geom::Vec2& p : samples) {
+    samples_scaled.push_back(p * c);
+  }
+  const geom::Vec2 sink{11, 17};
+  std::vector<double> measured(samples.size());
+  std::vector<double> measured_scaled(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    measured[i] = 2.0 * model.shape(sink, samples[i]);
+    measured_scaled[i] =
+        2.0 * model_scaled.shape(sink * c, samples_scaled[i]);
+    EXPECT_NEAR(measured_scaled[i], c * measured[i], 1e-9);
+  }
+  const SparseObjective obj(model, samples, measured);
+  const SparseObjective obj_scaled(model_scaled, samples_scaled,
+                                   measured_scaled);
+  // Fit at a wrong candidate: stretches agree, residual scales by c.
+  const geom::Vec2 wrong{20, 9};
+  const StretchFit f = obj.fit(std::vector<geom::Vec2>{wrong});
+  const StretchFit fs =
+      obj_scaled.fit(std::vector<geom::Vec2>{wrong * c});
+  EXPECT_NEAR(fs.stretches[0], f.stretches[0], 1e-6);
+  EXPECT_NEAR(fs.residual, c * f.residual, 1e-6);
+}
+
+TEST(SparseObjective, RotationInvarianceOnCenteredCircle) {
+  // Rotating sinks and samples about a circular field's center leaves
+  // every shape value unchanged (the boundary is rotation-symmetric).
+  const geom::CircleField field({0.0, 0.0}, 15.0);
+  const FluxModel model(field, 1.0);
+  geom::Rng rng(43);
+  const double theta = 1.234;
+  const double cs = std::cos(theta);
+  const double sn = std::sin(theta);
+  auto rot = [&](geom::Vec2 p) {
+    return geom::Vec2{cs * p.x - sn * p.y, sn * p.x + cs * p.y};
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    const geom::Vec2 sink = geom::uniform_in_field(field, rng);
+    const geom::Vec2 node = geom::uniform_in_field(field, rng);
+    EXPECT_NEAR(model.shape(sink, node),
+                model.shape(rot(sink), rot(node)), 1e-9);
+  }
+}
+
+TEST(ConditionalFit, RejectsTooManyUsers) {
+  const Synthetic syn(10, 10, {{12, 18}}, {2.0});
+  const SparseObjective obj = syn.objective();
+  std::vector<std::vector<double>> cols(kMaxGramUsers,
+                                        std::vector<double>(10, 1.0));
+  std::vector<const std::vector<double>*> ptrs;
+  for (const auto& c : cols) {
+    ptrs.push_back(&c);
+  }
+  EXPECT_THROW(ConditionalFit(obj, ptrs, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fluxfp::core

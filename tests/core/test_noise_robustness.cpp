@@ -1,0 +1,129 @@
+// Failure-injection tests: the attack pipeline under measurement noise and
+// sniffer dropout. The paper assumes clean flux counts; these tests pin
+// down that the implementation degrades gracefully rather than collapsing.
+#include <gtest/gtest.h>
+
+#include "core/localizer.hpp"
+#include "core/smc.hpp"
+#include "eval/experiment.hpp"
+#include "sim/measurement.hpp"
+#include "sim/sniffer.hpp"
+
+namespace fluxfp {
+namespace {
+
+struct NoisyWorld {
+  geom::RectField field{30.0, 30.0};
+  net::UnitDiskGraph graph;
+  core::FluxModel model;
+
+  explicit NoisyWorld(std::uint64_t seed)
+      : graph(build(seed)), model(field, 1.0) {
+    geom::Rng rng(seed + 1);
+    model = core::FluxModel(field, eval::estimate_d_min(graph, field, rng));
+  }
+
+  static net::UnitDiskGraph build(std::uint64_t seed) {
+    geom::Rng rng(seed);
+    const geom::RectField f(30.0, 30.0);
+    return eval::build_connected_network({}, f, rng);
+  }
+
+  double localize_with_noise(const sim::FluxNoise& noise, int trials,
+                             std::uint64_t salt) const {
+    double total = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      geom::Rng rng(eval::derive_seed(salt, {(std::uint64_t)t}));
+      const geom::Vec2 truth = geom::uniform_in_field(field, rng);
+      const sim::FluxEngine engine(graph);
+      const std::vector<sim::Collection> w{{0, truth, 2.0}};
+      net::FluxMap flux = engine.measure(w, rng);
+      sim::FluxEngine::apply_noise(flux, noise, rng);
+      const auto samples = sim::sample_nodes_fraction(graph.size(), 0.10, rng);
+      const core::SparseObjective obj =
+          eval::make_objective(model, graph, flux, samples);
+      core::LocalizerConfig cfg;
+      cfg.candidates_per_user = 4000;
+      const core::InstantLocalizer loc(field, cfg);
+      total += geom::distance(loc.localize(obj, 1, rng).positions[0], truth);
+    }
+    return total / trials;
+  }
+};
+
+TEST(NoiseRobustness, ModerateRelativeNoiseBarelyHurts) {
+  const NoisyWorld w(300);
+  const double clean = w.localize_with_noise({0.0, 0.0}, 4, 301);
+  const double noisy = w.localize_with_noise({0.10, 0.0}, 4, 301);
+  EXPECT_LT(clean, 2.5);
+  EXPECT_LT(noisy, clean + 2.0);  // 10% multiplicative noise: small impact
+}
+
+TEST(NoiseRobustness, HeavyNoiseDegradesButStaysBounded) {
+  const NoisyWorld w(310);
+  const double heavy = w.localize_with_noise({0.8, 0.0}, 4, 311);
+  EXPECT_LT(heavy, w.field.diameter());  // never worse than a blind guess
+}
+
+TEST(NoiseRobustness, ModerateDropoutTolerated) {
+  const NoisyWorld w(320);
+  const double dropped = w.localize_with_noise({0.0, 0.2}, 4, 321);
+  EXPECT_LT(dropped, 6.0);
+}
+
+TEST(NoiseRobustness, SmcSurvivesNoisyRounds) {
+  const NoisyWorld w(330);
+  geom::Rng rng(331);
+  core::SmcConfig cfg;
+  cfg.num_predictions = 400;
+  core::SmcTracker tracker(w.field, 1, cfg, rng);
+  const sim::FluxEngine engine(w.graph);
+  const auto samples = sim::sample_nodes_fraction(w.graph.size(), 0.10, rng);
+  geom::Vec2 truth;
+  for (int round = 1; round <= 10; ++round) {
+    truth = {3.0 + 2.4 * round, 16.0};
+    const std::vector<sim::Collection> window{{0, truth, 2.0}};
+    net::FluxMap flux = engine.measure(window, rng);
+    sim::FluxEngine::apply_noise(flux, {0.15, 0.05}, rng);
+    const core::SparseObjective obj =
+        eval::make_objective(w.model, w.graph, flux, samples);
+    tracker.step(static_cast<double>(round), obj, rng);
+  }
+  EXPECT_LT(geom::distance(tracker.estimate(0), truth), 4.0);
+}
+
+TEST(NoiseRobustness, AllZeroWindowFreezesTracker) {
+  const NoisyWorld w(340);
+  geom::Rng rng(341);
+  core::SmcConfig cfg;
+  cfg.num_predictions = 200;
+  core::SmcTracker tracker(w.field, 1, cfg, rng);
+  const auto samples = sim::sample_nodes_fraction(w.graph.size(), 0.10, rng);
+  // Total dropout: the observation vector is all zeros.
+  net::FluxMap flux(w.graph.size(), 0.0);
+  const core::SparseObjective obj =
+      eval::make_objective(w.model, w.graph, flux, samples);
+  const auto res = tracker.step(1.0, obj, rng);
+  EXPECT_FALSE(res.updated[0]);
+}
+
+TEST(NoiseRobustness, LocalizerHandlesUniformFluxGracefully) {
+  // A perfectly flat flux map (e.g. an aggressive padding defense) gives
+  // the objective no gradient; the localizer must still return finite,
+  // in-field output.
+  const NoisyWorld w(350);
+  geom::Rng rng(351);
+  net::FluxMap flux(w.graph.size(), 7.0);
+  const auto samples = sim::sample_nodes_fraction(w.graph.size(), 0.10, rng);
+  const core::SparseObjective obj =
+      eval::make_objective(w.model, w.graph, flux, samples);
+  core::LocalizerConfig cfg;
+  cfg.candidates_per_user = 1000;
+  const core::InstantLocalizer loc(w.field, cfg);
+  const auto res = loc.localize(obj, 1, rng);
+  EXPECT_TRUE(w.field.contains(res.positions[0]));
+  EXPECT_TRUE(std::isfinite(res.residual));
+}
+
+}  // namespace
+}  // namespace fluxfp

@@ -1,0 +1,324 @@
+#include "core/smc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.hpp"
+
+namespace fluxfp::core {
+namespace {
+
+/// Synthetic observation source: measured flux generated directly from the
+/// model for user positions that evolve per round.
+struct World {
+  geom::RectField field{30.0, 30.0};
+  FluxModel model{field, 1.0};
+  std::vector<geom::Vec2> samples;
+
+  explicit World(std::uint64_t seed, std::size_t n = 80) {
+    geom::Rng rng(seed);
+    samples = geom::uniform_points(field, n, rng);
+  }
+
+  SparseObjective observe(const std::vector<geom::Vec2>& sinks,
+                          const std::vector<double>& stretches) const {
+    std::vector<double> measured(samples.size(), 0.0);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      for (std::size_t j = 0; j < sinks.size(); ++j) {
+        measured[i] += stretches[j] * model.shape(sinks[j], samples[i]);
+      }
+    }
+    return SparseObjective(model, samples, measured);
+  }
+};
+
+SmcConfig fast_config() {
+  SmcConfig cfg;
+  cfg.num_predictions = 400;
+  cfg.num_keep = 10;
+  cfg.vmax = 5.0;
+  return cfg;
+}
+
+TEST(SmcTracker, RejectsBadConstruction) {
+  const geom::RectField f(30.0, 30.0);
+  geom::Rng rng(1);
+  EXPECT_THROW(SmcTracker(f, 0, fast_config(), rng), std::invalid_argument);
+  SmcConfig bad = fast_config();
+  bad.num_keep = 0;
+  EXPECT_THROW(SmcTracker(f, 1, bad, rng), std::invalid_argument);
+  bad = fast_config();
+  bad.vmax = 0.0;
+  EXPECT_THROW(SmcTracker(f, 1, bad, rng), std::invalid_argument);
+}
+
+TEST(SmcTracker, InitialParticlesUniformWeights) {
+  const geom::RectField f(30.0, 30.0);
+  geom::Rng rng(2);
+  const SmcTracker t(f, 2, fast_config(), rng);
+  for (std::size_t u = 0; u < 2; ++u) {
+    const auto& set = t.particles(u);
+    ASSERT_EQ(set.size(), 10u);
+    for (const Particle& p : set) {
+      EXPECT_DOUBLE_EQ(p.weight, 0.1);
+      EXPECT_TRUE(f.contains(p.position));
+    }
+  }
+}
+
+TEST(SmcTracker, ConvergesToStaticUser) {
+  const World w(3);
+  geom::Rng rng(4);
+  SmcTracker tracker(w.field, 1, fast_config(), rng);
+  const geom::Vec2 truth{11.0, 19.0};
+  double final_err = 1e18;
+  for (int round = 1; round <= 8; ++round) {
+    const SparseObjective obj = w.observe({truth}, {2.0});
+    tracker.step(static_cast<double>(round), obj, rng);
+    final_err = geom::distance(tracker.estimate(0), truth);
+  }
+  EXPECT_LT(final_err, 1.5);
+}
+
+TEST(SmcTracker, TracksMovingUser) {
+  const World w(5);
+  geom::Rng rng(6);
+  SmcTracker tracker(w.field, 1, fast_config(), rng);
+  // Straight line at speed 2.5 per round (< vmax = 5).
+  for (int round = 1; round <= 10; ++round) {
+    const geom::Vec2 truth{2.5 + 2.5 * round, 15.0};
+    const SparseObjective obj = w.observe({truth}, {2.0});
+    tracker.step(static_cast<double>(round), obj, rng);
+  }
+  const geom::Vec2 final_truth{2.5 + 2.5 * 10, 15.0};
+  EXPECT_LT(geom::distance(tracker.estimate(0), final_truth), 2.5);
+}
+
+TEST(SmcTracker, TracksTwoUsers) {
+  const World w(7);
+  geom::Rng rng(8);
+  SmcTracker tracker(w.field, 2, fast_config(), rng);
+  std::vector<geom::Vec2> truths;
+  for (int round = 1; round <= 10; ++round) {
+    truths = {{4.0 + 2.0 * round, 8.0}, {26.0 - 2.0 * round, 24.0}};
+    const SparseObjective obj = w.observe(truths, {2.0, 2.0});
+    tracker.step(static_cast<double>(round), obj, rng);
+  }
+  const std::vector<geom::Vec2> est{tracker.estimate(0), tracker.estimate(1)};
+  EXPECT_LT(eval::matched_mean_error(est, truths), 3.0);
+}
+
+TEST(SmcTracker, EmptyWindowUpdatesNobody) {
+  const World w(9);
+  geom::Rng rng(10);
+  SmcTracker tracker(w.field, 2, fast_config(), rng);
+  const SparseObjective obj = w.observe({}, {});
+  const SmcStepResult res = tracker.step(1.0, obj, rng);
+  EXPECT_FALSE(res.updated[0]);
+  EXPECT_FALSE(res.updated[1]);
+  EXPECT_DOUBLE_EQ(tracker.last_update_time(0), 0.0);
+}
+
+TEST(SmcTracker, AsynchronousInactiveUserNotUpdated) {
+  const World w(11);
+  geom::Rng rng(12);
+  SmcTracker tracker(w.field, 2, fast_config(), rng);
+  // Only user 0 collects; user 1's best-fit stretch ~ 0.
+  const SparseObjective obj = w.observe({{8, 8}}, {2.0});
+  const SmcStepResult res = tracker.step(1.0, obj, rng);
+  EXPECT_TRUE(res.updated[0]);
+  EXPECT_FALSE(res.updated[1]);
+  EXPECT_DOUBLE_EQ(tracker.last_update_time(0), 1.0);
+  EXPECT_DOUBLE_EQ(tracker.last_update_time(1), 0.0);
+}
+
+TEST(SmcTracker, AsynchronousUserResumesWithGrownRadius) {
+  const World w(13);
+  geom::Rng rng(14);
+  SmcConfig cfg = fast_config();
+  cfg.vmax = 2.0;
+  SmcTracker tracker(w.field, 1, cfg, rng);
+  // Rounds 1-4: user collects at (5,15); tracker locks on.
+  for (int round = 1; round <= 4; ++round) {
+    const SparseObjective obj = w.observe({{5, 15}}, {2.0});
+    tracker.step(static_cast<double>(round), obj, rng);
+  }
+  // Rounds 5-8: silent (moves meanwhile to (17,15), 12 units away — more
+  // than vmax per round but within vmax * accumulated dt = 2*5).
+  for (int round = 5; round <= 8; ++round) {
+    const SparseObjective obj = w.observe({}, {});
+    const auto res = tracker.step(static_cast<double>(round), obj, rng);
+    EXPECT_FALSE(res.updated[0]);
+  }
+  // Round 9: reappears far away; the enlarged disc must reach it.
+  const SparseObjective obj = w.observe({{17, 15}}, {2.0});
+  const auto res = tracker.step(9.0, obj, rng);
+  EXPECT_TRUE(res.updated[0]);
+  EXPECT_LT(geom::distance(tracker.estimate(0), {17, 15}), 4.0);
+}
+
+TEST(SmcTracker, WeightsNormalized) {
+  const World w(15);
+  geom::Rng rng(16);
+  SmcTracker tracker(w.field, 1, fast_config(), rng);
+  const SparseObjective obj = w.observe({{20, 10}}, {2.0});
+  tracker.step(1.0, obj, rng);
+  double sum = 0.0;
+  for (const Particle& p : tracker.particles(0)) {
+    sum += p.weight;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(SmcTracker, ImportanceSamplingOffGivesUniformWeights) {
+  const World w(17);
+  geom::Rng rng(18);
+  SmcConfig cfg = fast_config();
+  cfg.importance_sampling = false;
+  SmcTracker tracker(w.field, 1, cfg, rng);
+  const SparseObjective obj = w.observe({{20, 10}}, {2.0});
+  tracker.step(1.0, obj, rng);
+  for (const Particle& p : tracker.particles(0)) {
+    EXPECT_NEAR(p.weight, 0.1, 1e-12);
+  }
+}
+
+TEST(SmcTracker, HeadingEstimatedAfterTwoUpdates) {
+  const World w(21);
+  geom::Rng rng(22);
+  SmcConfig cfg = fast_config();
+  cfg.heading_aware = true;
+  SmcTracker tracker(w.field, 1, cfg, rng);
+  EXPECT_EQ(tracker.heading(0), geom::Vec2());
+  for (int round = 1; round <= 6; ++round) {
+    const geom::Vec2 truth{3.0 + 3.0 * round, 15.0};
+    const SparseObjective obj = w.observe({truth}, {2.0});
+    tracker.step(static_cast<double>(round), obj, rng);
+  }
+  const geom::Vec2 h = tracker.heading(0);
+  ASSERT_GT(h.norm(), 0.0);
+  EXPECT_NEAR(h.norm(), 1.0, 1e-9);
+  // Moving in +x: heading should point mostly along +x.
+  EXPECT_GT(h.x, 0.6);
+}
+
+TEST(SmcTracker, HeadingAwareTracksAtLeastAsWell) {
+  const World w(23);
+  auto final_error = [&](bool heading) {
+    geom::Rng rng(24);
+    SmcConfig cfg = fast_config();
+    cfg.heading_aware = heading;
+    SmcTracker tracker(w.field, 1, cfg, rng);
+    geom::Vec2 truth;
+    for (int round = 1; round <= 10; ++round) {
+      truth = {2.0 + 2.5 * round, 12.0};
+      const SparseObjective obj = w.observe({truth}, {2.0});
+      tracker.step(static_cast<double>(round), obj, rng);
+    }
+    return geom::distance(tracker.estimate(0), truth);
+  };
+  // Both configurations must track; the heading prior shouldn't hurt on a
+  // straight trajectory.
+  EXPECT_LT(final_error(false), 3.0);
+  EXPECT_LT(final_error(true), 3.0);
+}
+
+TEST(SmcTracker, HeadingConfigValidation) {
+  const geom::RectField f(30.0, 30.0);
+  geom::Rng rng(25);
+  SmcConfig bad = fast_config();
+  bad.heading_mix = 1.5;
+  EXPECT_THROW(SmcTracker(f, 1, bad, rng), std::invalid_argument);
+  bad = fast_config();
+  bad.heading_half_angle = 0.0;
+  EXPECT_THROW(SmcTracker(f, 1, bad, rng), std::invalid_argument);
+}
+
+TEST(SmcTracker, WorksOnCircleField) {
+  // The tracker is field-shape agnostic: same pipeline on a CircleField.
+  const geom::CircleField field({15, 15}, 15.0);
+  FluxModel model(field, 1.0);
+  geom::Rng srng(26);
+  const std::vector<geom::Vec2> samples =
+      geom::uniform_points(field, 80, srng);
+  auto observe = [&](geom::Vec2 sink) {
+    std::vector<double> measured(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      measured[i] = 2.0 * model.shape(sink, samples[i]);
+    }
+    return SparseObjective(model, samples, measured);
+  };
+  geom::Rng rng(27);
+  SmcTracker tracker(field, 1, fast_config(), rng);
+  geom::Vec2 truth;
+  for (int round = 1; round <= 8; ++round) {
+    truth = {6.0 + 2.0 * round, 15.0};
+    tracker.step(static_cast<double>(round), observe(truth), rng);
+  }
+  EXPECT_LT(geom::distance(tracker.estimate(0), truth), 3.0);
+  EXPECT_TRUE(field.contains(tracker.estimate(0), 1e-9));
+}
+
+TEST(SmcTracker, FullyDeterministicGivenSeed) {
+  // Reproducibility contract: identical seeds => identical trackers,
+  // bit for bit, across construction and every step.
+  const World w(32);
+  auto run = [&]() {
+    geom::Rng rng(33);
+    SmcTracker tracker(w.field, 2, fast_config(), rng);
+    for (int round = 1; round <= 5; ++round) {
+      const SparseObjective obj = w.observe(
+          {{5.0 + round, 10.0}, {25.0 - round, 20.0}}, {2.0, 2.5});
+      tracker.step(static_cast<double>(round), obj, rng);
+    }
+    return std::make_pair(tracker.estimate(0), tracker.estimate(1));
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(SmcTracker, CovarianceIsSymmetricPsd) {
+  const World w(28);
+  geom::Rng rng(29);
+  SmcTracker tracker(w.field, 1, fast_config(), rng);
+  const SparseObjective obj = w.observe({{12, 12}}, {2.0});
+  tracker.step(1.0, obj, rng);
+  const std::array<double, 4> c = tracker.covariance(0);
+  EXPECT_DOUBLE_EQ(c[1], c[2]);
+  EXPECT_GE(c[0], 0.0);
+  EXPECT_GE(c[3], 0.0);
+  // det >= 0 for a PSD 2x2.
+  EXPECT_GE(c[0] * c[3] - c[1] * c[2], -1e-9);
+}
+
+TEST(SmcTracker, SpreadShrinksAsFilterConverges) {
+  const World w(30);
+  geom::Rng rng(31);
+  SmcTracker tracker(w.field, 1, fast_config(), rng);
+  const double initial = tracker.spread(0);  // uniform prior: large
+  for (int round = 1; round <= 6; ++round) {
+    const SparseObjective obj = w.observe({{14, 16}}, {2.0});
+    tracker.step(static_cast<double>(round), obj, rng);
+  }
+  EXPECT_LT(tracker.spread(0), 0.8 * initial);
+  EXPECT_GT(initial, 5.0);  // uniform over a 30x30 field is wide
+}
+
+TEST(SmcTracker, StepReportsStretches) {
+  const World w(19);
+  geom::Rng rng(20);
+  SmcTracker tracker(w.field, 1, fast_config(), rng);
+  SmcStepResult res;
+  for (int round = 1; round <= 5; ++round) {
+    const SparseObjective obj = w.observe({{15, 15}}, {2.5});
+    res = tracker.step(static_cast<double>(round), obj, rng);
+  }
+  ASSERT_EQ(res.stretches.size(), 1u);
+  EXPECT_NEAR(res.stretches[0], 2.5, 0.8);
+}
+
+}  // namespace
+}  // namespace fluxfp::core

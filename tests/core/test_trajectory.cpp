@@ -1,0 +1,159 @@
+#include "core/trajectory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/localizer.hpp"
+#include "eval/experiment.hpp"
+#include "numeric/stats.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sniffer.hpp"
+
+namespace fluxfp::core {
+namespace {
+
+RoundCandidates round_at(double time,
+                         std::initializer_list<geom::Vec2> positions,
+                         std::initializer_list<double> residuals) {
+  RoundCandidates r;
+  r.time = time;
+  r.positions = positions;
+  r.residuals = residuals;
+  return r;
+}
+
+TEST(TrajectorySmoother, RejectsBadInputs) {
+  EXPECT_THROW(smooth_trajectory({}), std::invalid_argument);
+  const std::vector<RoundCandidates> mismatched{
+      round_at(1.0, {{0, 0}, {1, 1}}, {0.5})};
+  EXPECT_THROW(smooth_trajectory(mismatched), std::invalid_argument);
+  const std::vector<RoundCandidates> bad_times{
+      round_at(2.0, {{0, 0}}, {0.5}), round_at(1.0, {{0, 0}}, {0.5})};
+  EXPECT_THROW(smooth_trajectory(bad_times), std::invalid_argument);
+  TrajectoryConfig bad;
+  bad.vmax = 0.0;
+  EXPECT_THROW(
+      smooth_trajectory({round_at(1.0, {{0, 0}}, {0.5})}, bad),
+      std::invalid_argument);
+}
+
+TEST(TrajectorySmoother, SingleRoundPicksBestCandidate) {
+  const std::vector<RoundCandidates> rounds{
+      round_at(1.0, {{0, 0}, {5, 5}, {9, 9}}, {3.0, 1.0, 2.0})};
+  const auto path = smooth_trajectory(rounds);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], geom::Vec2(5, 5));
+}
+
+TEST(TrajectorySmoother, ConsistencyBeatsPerRoundBest) {
+  // Round 2's lowest-residual candidate is a far-away outlier; the
+  // smoother must prefer the slightly-worse candidate on the consistent
+  // path.
+  TrajectoryConfig cfg;
+  cfg.vmax = 3.0;
+  const std::vector<RoundCandidates> rounds{
+      round_at(1.0, {{0, 0}}, {1.0}),
+      round_at(2.0, {{20, 20}, {2, 0}}, {0.5, 0.8}),  // outlier is "best"
+      round_at(3.0, {{4, 0}}, {1.0}),
+  };
+  const auto path = smooth_trajectory(rounds, cfg);
+  EXPECT_EQ(path[1], geom::Vec2(2, 0));
+}
+
+TEST(TrajectorySmoother, RepairsEarlyOutlierFromLaterEvidence) {
+  // The very first round's best candidate is wrong; later rounds fix it
+  // retroactively — the defining advantage over online filtering.
+  TrajectoryConfig cfg;
+  cfg.vmax = 3.0;
+  const std::vector<RoundCandidates> rounds{
+      round_at(1.0, {{25, 25}, {1, 1}}, {0.2, 0.6}),
+      round_at(2.0, {{2, 2}}, {0.5}),
+      round_at(3.0, {{3, 3}}, {0.5}),
+  };
+  const auto path = smooth_trajectory(rounds, cfg);
+  EXPECT_EQ(path[0], geom::Vec2(1, 1));
+}
+
+TEST(TrajectorySmoother, RespectsSpeedBound) {
+  TrajectoryConfig cfg;
+  cfg.vmax = 2.0;
+  const std::vector<RoundCandidates> rounds{
+      round_at(1.0, {{0, 0}}, {0.5}),
+      round_at(2.0, {{10, 0}, {1.5, 0}}, {0.1, 0.9}),
+  };
+  const auto path = smooth_trajectory(rounds, cfg);
+  EXPECT_EQ(path[1], geom::Vec2(1.5, 0));
+}
+
+TEST(TrajectorySmoother, AsynchronousGapsEnlargeReach) {
+  // With a 5-unit time gap the 8-unit jump becomes feasible and its lower
+  // residual wins.
+  TrajectoryConfig cfg;
+  cfg.vmax = 2.0;
+  const std::vector<RoundCandidates> rounds{
+      round_at(1.0, {{0, 0}}, {0.5}),
+      round_at(6.0, {{8, 0}, {1, 0}}, {0.1, 0.9}),
+  };
+  const auto path = smooth_trajectory(rounds, cfg);
+  EXPECT_EQ(path[1], geom::Vec2(8, 0));
+}
+
+TEST(TrajectorySmoother, AllInfeasibleStillReturnsAPath) {
+  TrajectoryConfig cfg;
+  cfg.vmax = 0.5;
+  const std::vector<RoundCandidates> rounds{
+      round_at(1.0, {{0, 0}}, {0.5}),
+      round_at(2.0, {{20, 0}, {25, 0}}, {0.3, 0.1}),
+  };
+  const auto path = smooth_trajectory(rounds, cfg);
+  ASSERT_EQ(path.size(), 2u);
+  // Picks the lesser violation (20 < 25 away).
+  EXPECT_EQ(path[1], geom::Vec2(20, 0));
+}
+
+TEST(TrajectorySmoother, EndToEndBeatsOrMatchesPerRoundBest) {
+  // Full pipeline: per-round top-10 lists from the instant localizer on a
+  // simulated moving user; the smoothed path's mean error must not exceed
+  // the naive take-the-best-per-round estimate's.
+  geom::Rng rng(800);
+  const geom::RectField field(30.0, 30.0);
+  const net::UnitDiskGraph graph =
+      eval::build_connected_network({}, field, rng);
+  const core::FluxModel model(field,
+                              eval::estimate_d_min(graph, field, rng));
+  sim::SimUser user;
+  user.stretch = 2.0;
+  user.mobility = std::make_shared<sim::PathMobility>(
+      geom::Polyline({{4, 8}, {26, 20}}), 2.5);
+  sim::ScenarioConfig scfg;
+  scfg.rounds = 10;
+  const auto obs = sim::run_scenario(graph, {user}, scfg, rng);
+  const auto samples = sim::sample_nodes_fraction(graph.size(), 0.05, rng);
+
+  LocalizerConfig lcfg;
+  lcfg.candidates_per_user = 3000;
+  const InstantLocalizer loc(field, lcfg);
+  std::vector<RoundCandidates> rounds;
+  numeric::RunningStats naive_err;
+  for (const auto& o : obs) {
+    const SparseObjective obj =
+        eval::make_objective(model, graph, o.flux, samples);
+    const LocalizationResult res = loc.localize(obj, 1, rng);
+    RoundCandidates rc;
+    rc.time = o.time;
+    rc.positions = res.top_positions[0];
+    rc.residuals = res.top_residuals[0];
+    rounds.push_back(std::move(rc));
+    naive_err.add(geom::distance(res.positions[0], o.true_positions[0]));
+  }
+  TrajectoryConfig tcfg;
+  tcfg.vmax = 5.0;
+  const auto path = smooth_trajectory(rounds, tcfg);
+  numeric::RunningStats smooth_err;
+  for (std::size_t t = 0; t < path.size(); ++t) {
+    smooth_err.add(geom::distance(path[t], obs[t].true_positions[0]));
+  }
+  EXPECT_LE(smooth_err.mean(), naive_err.mean() + 0.3);
+}
+
+}  // namespace
+}  // namespace fluxfp::core

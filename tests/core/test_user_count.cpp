@@ -1,0 +1,143 @@
+#include "core/user_count.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.hpp"
+#include "geom/sampling.hpp"
+
+namespace fluxfp::core {
+namespace {
+
+struct Synthetic {
+  geom::RectField field{30.0, 30.0};
+  FluxModel model{field, 1.0};
+  std::vector<geom::Vec2> samples;
+  std::vector<geom::Vec2> sinks;
+  std::vector<double> measured;
+
+  Synthetic(std::uint64_t seed, std::size_t n, std::vector<geom::Vec2> s,
+            std::vector<double> stretches)
+      : sinks(std::move(s)) {
+    geom::Rng rng(seed);
+    samples = geom::uniform_points(field, n, rng);
+    measured.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < sinks.size(); ++j) {
+        measured[i] += stretches[j] * model.shape(sinks[j], samples[i]);
+      }
+    }
+  }
+
+  SparseObjective objective() const {
+    return SparseObjective(model, samples, measured);
+  }
+};
+
+InstantLocalizer make_localizer(const geom::Field& field) {
+  LocalizerConfig cfg;
+  cfg.candidates_per_user = 3000;
+  cfg.restarts = 4;
+  return InstantLocalizer(field, cfg);
+}
+
+TEST(UserCount, RejectsBadConfig) {
+  const Synthetic syn(1, 40, {{15, 15}}, {2.0});
+  const SparseObjective obj = syn.objective();
+  const InstantLocalizer loc = make_localizer(syn.field);
+  geom::Rng rng(2);
+  UserCountConfig bad;
+  bad.k_max = 0;
+  EXPECT_THROW(estimate_user_count(obj, loc, bad, rng),
+               std::invalid_argument);
+  bad = {};
+  bad.stretch_floor = 1.0;
+  EXPECT_THROW(estimate_user_count(obj, loc, bad, rng),
+               std::invalid_argument);
+}
+
+TEST(UserCount, OneUserDetectedWithConservativeK) {
+  const Synthetic syn(3, 70, {{12, 18}}, {2.0});
+  const SparseObjective obj = syn.objective();
+  const InstantLocalizer loc = make_localizer(syn.field);
+  geom::Rng rng(4);
+  UserCountConfig cfg;
+  cfg.k_max = 4;
+  const UserCountEstimate est = estimate_user_count(obj, loc, cfg, rng);
+  EXPECT_EQ(est.count, 1u);
+  ASSERT_EQ(est.positions.size(), 1u);
+  EXPECT_LT(geom::distance(est.positions[0], {12, 18}), 2.0);
+  EXPECT_NEAR(est.stretches[0], 2.0, 0.7);
+}
+
+TEST(UserCount, TwoSeparatedUsersDetected) {
+  const Synthetic syn(5, 90, {{6, 6}, {24, 23}}, {2.0, 2.5});
+  const SparseObjective obj = syn.objective();
+  const InstantLocalizer loc = make_localizer(syn.field);
+  geom::Rng rng(6);
+  UserCountConfig cfg;
+  cfg.k_max = 5;
+  const UserCountEstimate est = estimate_user_count(obj, loc, cfg, rng);
+  EXPECT_EQ(est.count, 2u);
+  EXPECT_LT(eval::matched_mean_error(est.positions, syn.sinks), 2.5);
+}
+
+TEST(UserCount, ThreeUsersDetected) {
+  const Synthetic syn(7, 110, {{5, 5}, {25, 8}, {14, 25}}, {2.0, 2.0, 2.0});
+  const SparseObjective obj = syn.objective();
+  const InstantLocalizer loc = make_localizer(syn.field);
+  geom::Rng rng(8);
+  UserCountConfig cfg;
+  cfg.k_max = 6;
+  const UserCountEstimate est = estimate_user_count(obj, loc, cfg, rng);
+  // Allow one miss or merge, but never phantom inflation above truth+1.
+  EXPECT_GE(est.count, 2u);
+  EXPECT_LE(est.count, 4u);
+}
+
+TEST(UserCount, CoLocatedSlotsMergeToOneUser) {
+  // Duplicate slots that converge on the same sink must merge.
+  const Synthetic syn(9, 70, {{15, 15}}, {3.0});
+  const SparseObjective obj = syn.objective();
+  const InstantLocalizer loc = make_localizer(syn.field);
+  geom::Rng rng(10);
+  UserCountConfig cfg;
+  cfg.k_max = 6;
+  cfg.merge_radius = 4.0;
+  const UserCountEstimate est = estimate_user_count(obj, loc, cfg, rng);
+  EXPECT_EQ(est.count, 1u);
+}
+
+TEST(UserCount, EmptyFluxYieldsZeroOrPhantomFree) {
+  const geom::RectField field(30.0, 30.0);
+  const FluxModel model(field, 1.0);
+  geom::Rng srng(11);
+  const std::vector<geom::Vec2> samples =
+      geom::uniform_points(field, 40, srng);
+  const std::vector<double> zeros(samples.size(), 0.0);
+  const SparseObjective obj(model, samples, zeros);
+  const InstantLocalizer loc = make_localizer(field);
+  geom::Rng rng(12);
+  UserCountConfig cfg;
+  cfg.k_max = 4;
+  const UserCountEstimate est = estimate_user_count(obj, loc, cfg, rng);
+  EXPECT_EQ(est.count, 0u);
+}
+
+TEST(UserCount, StretchesSumToTotalTraffic) {
+  // Merged stretches should approximate the total injected stretch.
+  const Synthetic syn(13, 90, {{7, 9}, {23, 22}}, {1.5, 2.5});
+  const SparseObjective obj = syn.objective();
+  const InstantLocalizer loc = make_localizer(syn.field);
+  geom::Rng rng(14);
+  UserCountConfig cfg;
+  cfg.k_max = 5;
+  const UserCountEstimate est = estimate_user_count(obj, loc, cfg, rng);
+  double total = 0.0;
+  for (double s : est.stretches) {
+    total += s;
+  }
+  EXPECT_NEAR(total, 4.0, 1.2);
+}
+
+}  // namespace
+}  // namespace fluxfp::core

@@ -1,0 +1,133 @@
+#include "eval/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace fluxfp::eval {
+namespace {
+
+TEST(Config, ParseStreamBasics) {
+  std::istringstream in(
+      "nodes = 900\n"
+      "radius=2.4\n"
+      "  deployment =  grid  \n"
+      "# full-line comment\n"
+      "users = 3   # trailing comment\n"
+      "\n");
+  const Config cfg = Config::parse_stream(in);
+  EXPECT_EQ(cfg.get_int("nodes", 0), 900);
+  EXPECT_DOUBLE_EQ(cfg.get_double("radius", 0.0), 2.4);
+  EXPECT_EQ(cfg.get_string("deployment"), "grid");
+  EXPECT_EQ(cfg.get_int("users", 0), 3);
+}
+
+TEST(Config, LaterKeysOverride) {
+  std::istringstream in("a = 1\na = 2\n");
+  EXPECT_EQ(Config::parse_stream(in).get_int("a", 0), 2);
+}
+
+TEST(Config, ParseStreamRejectsMalformed) {
+  std::istringstream missing_eq("novalue\n");
+  EXPECT_THROW(Config::parse_stream(missing_eq), std::runtime_error);
+  std::istringstream empty_key("= 3\n");
+  EXPECT_THROW(Config::parse_stream(empty_key), std::runtime_error);
+}
+
+TEST(Config, TypedGettersFallbacksAndErrors) {
+  std::istringstream in("x = abc\nn = 5\nf = 1.5\nb = yes\n");
+  const Config cfg = Config::parse_stream(in);
+  EXPECT_EQ(cfg.get_string("missing", "dflt"), "dflt");
+  EXPECT_EQ(cfg.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(cfg.get_double("missing", 2.5), 2.5);
+  EXPECT_TRUE(cfg.get_bool("missing", true));
+  EXPECT_THROW(cfg.get_int("x", 0), std::runtime_error);
+  EXPECT_THROW(cfg.get_double("x", 0.0), std::runtime_error);
+  EXPECT_THROW(cfg.get_bool("x", false), std::runtime_error);
+  EXPECT_EQ(cfg.get_int("n", 0), 5);
+  EXPECT_DOUBLE_EQ(cfg.get_double("n", 0.0), 5.0);
+  EXPECT_TRUE(cfg.get_bool("b", false));
+}
+
+TEST(Config, IntRejectsTrailingGarbage) {
+  std::istringstream in("n = 5x\n");
+  const Config cfg = Config::parse_stream(in);
+  EXPECT_THROW(cfg.get_int("n", 0), std::runtime_error);
+}
+
+TEST(Config, BooleanSpellings) {
+  std::istringstream in("a=1\nb=true\nc=ON\nd=0\ne=False\nf=off\n");
+  const Config cfg = Config::parse_stream(in);
+  EXPECT_TRUE(cfg.get_bool("a", false));
+  EXPECT_TRUE(cfg.get_bool("b", false));
+  EXPECT_TRUE(cfg.get_bool("c", false));
+  EXPECT_FALSE(cfg.get_bool("d", true));
+  EXPECT_FALSE(cfg.get_bool("e", true));
+  EXPECT_FALSE(cfg.get_bool("f", true));
+}
+
+TEST(Config, ParseArgs) {
+  // Note: a bare --flag greedily consumes a following non-option token as
+  // its value, so boolean flags should use --flag=true or come last.
+  const char* argv[] = {"prog",      "--nodes",  "900",
+                        "--radius=2.4", "input.cfg", "--verbose"};
+  const Config cfg = Config::parse_args(6, argv);
+  EXPECT_EQ(cfg.get_int("nodes", 0), 900);
+  EXPECT_DOUBLE_EQ(cfg.get_double("radius", 0.0), 2.4);
+  EXPECT_TRUE(cfg.get_bool("verbose", false));
+  ASSERT_EQ(cfg.positional().size(), 1u);
+  EXPECT_EQ(cfg.positional()[0], "input.cfg");
+}
+
+TEST(Config, ParseArgsFlagAtEnd) {
+  const char* argv[] = {"prog", "--quick"};
+  const Config cfg = Config::parse_args(2, argv);
+  EXPECT_TRUE(cfg.get_bool("quick", false));
+}
+
+TEST(Config, MergeOverrides) {
+  std::istringstream base_in("a = 1\nb = 2\n");
+  Config base = Config::parse_stream(base_in);
+  std::istringstream over_in("b = 3\nc = 4\n");
+  base.merge(Config::parse_stream(over_in));
+  EXPECT_EQ(base.get_int("a", 0), 1);
+  EXPECT_EQ(base.get_int("b", 0), 3);
+  EXPECT_EQ(base.get_int("c", 0), 4);
+}
+
+TEST(Config, KeysSorted) {
+  std::istringstream in("zeta = 1\nalpha = 2\nmid = 3\n");
+  const Config cfg = Config::parse_stream(in);
+  EXPECT_EQ(cfg.keys(),
+            (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+TEST(Config, ParseFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/fluxfp_config_test.cfg";
+  {
+    std::ofstream out(path);
+    out << "nodes = 1200\nfraction = 0.1\n";
+  }
+  const Config cfg = Config::parse_file(path);
+  EXPECT_EQ(cfg.get_int("nodes", 0), 1200);
+  EXPECT_DOUBLE_EQ(cfg.get_double("fraction", 0.0), 0.1);
+  std::remove(path.c_str());
+}
+
+TEST(Config, ParseFileMissingThrows) {
+  EXPECT_THROW(Config::parse_file("/nonexistent/definitely_missing.cfg"),
+               std::runtime_error);
+}
+
+TEST(Config, SetAndHas) {
+  Config cfg;
+  EXPECT_FALSE(cfg.has("k"));
+  cfg.set("k", "v");
+  EXPECT_TRUE(cfg.has("k"));
+  EXPECT_EQ(cfg.get_string("k"), "v");
+}
+
+}  // namespace
+}  // namespace fluxfp::eval

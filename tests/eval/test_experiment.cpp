@@ -1,0 +1,79 @@
+#include "eval/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/flux.hpp"
+#include "net/routing.hpp"
+#include "sim/measurement.hpp"
+#include "sim/sniffer.hpp"
+
+namespace fluxfp::eval {
+namespace {
+
+TEST(Experiment, BuildConnectedNetworkPaperSpec) {
+  const geom::RectField f(30.0, 30.0);
+  geom::Rng rng(1);
+  const net::UnitDiskGraph g = build_connected_network({}, f, rng);
+  EXPECT_EQ(g.size(), 900u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_NEAR(g.average_degree(), 15.0, 4.0);
+}
+
+TEST(Experiment, BuildConnectedNetworkThrowsWhenImpossible) {
+  const geom::RectField f(30.0, 30.0);
+  geom::Rng rng(2);
+  NetworkSpec spec;
+  spec.kind = net::DeploymentKind::kUniformRandom;
+  spec.nodes = 30;
+  spec.radius = 0.5;  // hopelessly sparse
+  EXPECT_THROW(build_connected_network(spec, f, rng, 3), std::runtime_error);
+}
+
+TEST(Experiment, EstimateDminWithinRadius) {
+  const geom::RectField f(30.0, 30.0);
+  geom::Rng rng(3);
+  const net::UnitDiskGraph g = build_connected_network({}, f, rng);
+  const double d = estimate_d_min(g, f, rng);
+  EXPECT_GT(d, 0.0);
+  EXPECT_LE(d, g.radius());
+}
+
+TEST(Experiment, MakeObjectiveGathersSampledNodes) {
+  const geom::RectField f(30.0, 30.0);
+  geom::Rng rng(4);
+  NetworkSpec spec;
+  spec.nodes = 225;
+  spec.radius = 4.0;
+  const net::UnitDiskGraph g = build_connected_network(spec, f, rng);
+  const sim::FluxEngine engine(g);
+  const std::vector<sim::Collection> cs{{0, {15, 15}, 2.0}};
+  const net::FluxMap flux = engine.measure(cs, rng);
+  const auto samples = sim::sample_nodes(g.size(), 40, rng);
+  const core::FluxModel model(f, 1.0);
+  const core::SparseObjective raw =
+      make_objective(model, g, flux, samples, /*smooth=*/false);
+  EXPECT_EQ(raw.sample_count(), 40u);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(raw.sample_positions()[i], g.position(samples[i]));
+    EXPECT_DOUBLE_EQ(raw.measured()[i], flux[samples[i]]);
+  }
+  // Default smoothing averages each reading over its 1-hop neighborhood.
+  const core::SparseObjective smoothed = make_objective(model, g, flux, samples);
+  const net::FluxMap expect = net::smooth_flux(g, flux);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(smoothed.measured()[i], expect[samples[i]]);
+  }
+}
+
+TEST(Experiment, DeriveSeedDeterministic) {
+  EXPECT_EQ(derive_seed(1, {2, 3}), derive_seed(1, {2, 3}));
+}
+
+TEST(Experiment, DeriveSeedSensitiveToSalts) {
+  EXPECT_NE(derive_seed(1, {2, 3}), derive_seed(1, {3, 2}));
+  EXPECT_NE(derive_seed(1, {2}), derive_seed(2, {2}));
+  EXPECT_NE(derive_seed(1, {}), derive_seed(1, {0}));
+}
+
+}  // namespace
+}  // namespace fluxfp::eval

@@ -1,0 +1,88 @@
+#include "eval/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fluxfp::eval {
+namespace {
+
+TEST(Table, RejectsEmptyHeaders) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsWrongCellCount) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(Table, CountsRows) {
+  Table t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "v"});
+  t.add_row({"x", "1.00"});
+  t.add_row({"longer", "2.50"});
+  std::ostringstream ss;
+  t.print(ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("2.50"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Every line has the same length (fixed-width columns).
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) {
+      width = line.size();
+    }
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, WriteCsvBasic) {
+  Table t({"a", "b"});
+  t.add_row({"1", "x"});
+  t.add_row({"2", "y"});
+  std::ostringstream ss;
+  t.write_csv(ss);
+  EXPECT_EQ(ss.str(), "a,b\n1,x\n2,y\n");
+}
+
+TEST(Table, WriteCsvQuotesSpecialCells) {
+  Table t({"name", "note"});
+  t.add_row({"alpha,beta", "he said \"hi\""});
+  std::ostringstream ss;
+  t.write_csv(ss);
+  EXPECT_EQ(ss.str(),
+            "name,note\n\"alpha,beta\",\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(Table, WriteCsvHeaderOnlyWhenEmpty) {
+  Table t({"col"});
+  std::ostringstream ss;
+  t.write_csv(ss);
+  EXPECT_EQ(ss.str(), "col\n");
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::fmt(1.0, 0), "1");
+  EXPECT_EQ(Table::fmt(-0.5, 1), "-0.5");
+}
+
+TEST(Table, BannerFormat) {
+  std::ostringstream ss;
+  print_banner(ss, "Figure 5");
+  EXPECT_EQ(ss.str(), "\n== Figure 5 ==\n");
+}
+
+}  // namespace
+}  // namespace fluxfp::eval

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "geom/field.hpp"
+#include "geom/sampling.hpp"
+
+namespace fluxfp::geom {
+namespace {
+
+TEST(CircleField, RejectsBadRadius) {
+  EXPECT_THROW(CircleField({0, 0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(CircleField({0, 0}, -2.0), std::invalid_argument);
+}
+
+TEST(CircleField, BasicProperties) {
+  const CircleField f({10, 10}, 5.0);
+  EXPECT_DOUBLE_EQ(f.radius(), 5.0);
+  EXPECT_DOUBLE_EQ(f.diameter(), 10.0);
+  EXPECT_NEAR(f.area(), 25.0 * std::numbers::pi, 1e-12);
+  EXPECT_EQ(f.center(), Vec2(10, 10));
+}
+
+TEST(CircleField, Contains) {
+  const CircleField f({0, 0}, 2.0);
+  EXPECT_TRUE(f.contains({0, 0}));
+  EXPECT_TRUE(f.contains({2, 0}));
+  EXPECT_FALSE(f.contains({2.01, 0}));
+  EXPECT_TRUE(f.contains({2.01, 0}, 0.02));
+}
+
+TEST(CircleField, ClampProjectsToDisc) {
+  const CircleField f({0, 0}, 2.0);
+  EXPECT_EQ(f.clamp({1, 0}), Vec2(1, 0));
+  const Vec2 p = f.clamp({10, 0});
+  EXPECT_NEAR(p.x, 2.0, 1e-12);
+  EXPECT_NEAR(p.y, 0.0, 1e-12);
+}
+
+TEST(CircleField, BoundaryDistanceFromCenter) {
+  const CircleField f({5, 5}, 3.0);
+  EXPECT_NEAR(f.boundary_distance({5, 5}, {1, 0}), 3.0, 1e-12);
+  EXPECT_NEAR(f.boundary_distance({5, 5}, {0.3, -0.9}), 3.0, 1e-12);
+}
+
+TEST(CircleField, BoundaryDistanceOffCenter) {
+  const CircleField f({0, 0}, 2.0);
+  EXPECT_NEAR(f.boundary_distance({1, 0}, {1, 0}), 1.0, 1e-12);
+  EXPECT_NEAR(f.boundary_distance({1, 0}, {-1, 0}), 3.0, 1e-12);
+}
+
+TEST(CircleField, BoundaryDistanceRejectsBadInputs) {
+  const CircleField f({0, 0}, 2.0);
+  EXPECT_THROW(f.boundary_distance({5, 5}, {1, 0}), std::invalid_argument);
+  EXPECT_THROW(f.boundary_distance({0, 0}, {0, 0}), std::invalid_argument);
+}
+
+TEST(CircleField, NearestBoundaryDistance) {
+  const CircleField f({0, 0}, 2.0);
+  EXPECT_DOUBLE_EQ(f.nearest_boundary_distance({0, 0}), 2.0);
+  EXPECT_DOUBLE_EQ(f.nearest_boundary_distance({1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(f.nearest_boundary_distance({5, 0}), 0.0);
+}
+
+TEST(CircleField, SamplingStaysInside) {
+  const CircleField f({3, 4}, 2.5);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(f.contains(uniform_in_field(f, rng), 1e-12));
+  }
+}
+
+TEST(CircleField, SamplingIsAreaUniform) {
+  // Half the samples land within radius/sqrt(2).
+  const CircleField f({0, 0}, 1.0);
+  Rng rng(2);
+  int inner = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (distance(uniform_in_field(f, rng), {0, 0}) <
+        1.0 / std::numbers::sqrt2) {
+      ++inner;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(inner) / n, 0.5, 0.02);
+}
+
+// Property: the boundary-exit point lies on the circle.
+class CircleBoundaryProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CircleBoundaryProperty, ExitPointOnCircle) {
+  std::mt19937_64 rng(static_cast<unsigned long>(GetParam()));
+  const CircleField f({5, 5}, 4.0);
+  const Vec2 origin = uniform_in_field(f, rng);
+  std::uniform_real_distribution<double> angle(0.0, 2.0 * std::numbers::pi);
+  const double a = angle(rng);
+  const Vec2 dir{std::cos(a), std::sin(a)};
+  const double l = f.boundary_distance(origin, dir);
+  const Vec2 exit = origin + dir * l;
+  EXPECT_NEAR(distance(exit, f.center()), 4.0, 1e-9);
+  // And l is never larger than the diameter.
+  EXPECT_LE(l, f.diameter() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CircleBoundaryProperty,
+                         ::testing::Range(0, 30));
+
+// The §4.A contrast: the boundary distance as a function of the direction
+// angle is smooth for a circle but kinked for a rectangle. Check via the
+// maximum second difference along the angle sweep.
+TEST(FieldSmoothness, CircleSmootherThanRectangle) {
+  const CircleField circle({15, 15}, 15.0);
+  const RectField rect(30.0, 30.0);
+  const Vec2 p{10.0, 7.0};
+  auto max_second_difference = [&](const Field& f) {
+    const int steps = 720;
+    double prev2 = 0.0, prev1 = 0.0, worst = 0.0;
+    for (int i = 0; i <= steps; ++i) {
+      const double a = 2.0 * std::numbers::pi * i / steps;
+      const double l = f.boundary_distance(p, {std::cos(a), std::sin(a)});
+      if (i >= 2) {
+        worst = std::max(worst, std::abs(l - 2.0 * prev1 + prev2));
+      }
+      prev2 = prev1;
+      prev1 = l;
+    }
+    return worst;
+  };
+  EXPECT_LT(max_second_difference(circle),
+            0.1 * max_second_difference(rect));
+}
+
+}  // namespace
+}  // namespace fluxfp::geom

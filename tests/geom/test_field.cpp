@@ -1,0 +1,118 @@
+#include "geom/field.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+namespace fluxfp::geom {
+namespace {
+
+TEST(RectField, RejectsNonPositiveDimensions) {
+  EXPECT_THROW(RectField(0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(RectField(10.0, -1.0), std::invalid_argument);
+}
+
+TEST(RectField, BasicProperties) {
+  const RectField f(30.0, 40.0);
+  EXPECT_DOUBLE_EQ(f.width(), 30.0);
+  EXPECT_DOUBLE_EQ(f.height(), 40.0);
+  EXPECT_DOUBLE_EQ(f.diameter(), 50.0);
+  EXPECT_DOUBLE_EQ(f.area(), 1200.0);
+  EXPECT_EQ(f.center(), Vec2(15, 20));
+}
+
+TEST(RectField, Contains) {
+  const RectField f(10.0, 10.0);
+  EXPECT_TRUE(f.contains({5, 5}));
+  EXPECT_TRUE(f.contains({0, 0}));
+  EXPECT_TRUE(f.contains({10, 10}));
+  EXPECT_FALSE(f.contains({10.01, 5}));
+  EXPECT_FALSE(f.contains({-0.01, 5}));
+  EXPECT_TRUE(f.contains({10.01, 5}, 0.02));
+}
+
+TEST(RectField, Clamp) {
+  const RectField f(10.0, 10.0);
+  EXPECT_EQ(f.clamp({-1, 5}), Vec2(0, 5));
+  EXPECT_EQ(f.clamp({11, 12}), Vec2(10, 10));
+  EXPECT_EQ(f.clamp({3, 4}), Vec2(3, 4));
+}
+
+TEST(RectField, BoundaryDistanceAlongAxes) {
+  const RectField f(30.0, 30.0);
+  const Vec2 p{10, 10};
+  EXPECT_DOUBLE_EQ(f.boundary_distance(p, {1, 0}), 20.0);
+  EXPECT_DOUBLE_EQ(f.boundary_distance(p, {-1, 0}), 10.0);
+  EXPECT_DOUBLE_EQ(f.boundary_distance(p, {0, 1}), 20.0);
+  EXPECT_DOUBLE_EQ(f.boundary_distance(p, {0, -1}), 10.0);
+}
+
+TEST(RectField, BoundaryDistanceDiagonal) {
+  const RectField f(10.0, 10.0);
+  // From the center toward the corner: half the diagonal.
+  EXPECT_NEAR(f.boundary_distance({5, 5}, {1, 1}),
+              5.0 * std::numbers::sqrt2, 1e-12);
+}
+
+TEST(RectField, BoundaryDistanceDirectionNeedNotBeNormalized) {
+  const RectField f(30.0, 30.0);
+  EXPECT_DOUBLE_EQ(f.boundary_distance({10, 10}, {100, 0}),
+                   f.boundary_distance({10, 10}, {0.001, 0}));
+}
+
+TEST(RectField, BoundaryDistanceFromBoundaryPointOutward) {
+  const RectField f(10.0, 10.0);
+  EXPECT_DOUBLE_EQ(f.boundary_distance({0, 5}, {-1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(f.boundary_distance({0, 5}, {1, 0}), 10.0);
+}
+
+TEST(RectField, BoundaryDistanceRejectsBadInputs) {
+  const RectField f(10.0, 10.0);
+  EXPECT_THROW(f.boundary_distance({20, 5}, {1, 0}), std::invalid_argument);
+  EXPECT_THROW(f.boundary_distance({5, 5}, {0, 0}), std::invalid_argument);
+}
+
+TEST(RectField, BoundaryDistanceThroughNode) {
+  const RectField f(30.0, 30.0);
+  // Ray from (10,10) through (20,10) exits at x=30: distance 20.
+  EXPECT_DOUBLE_EQ(f.boundary_distance_through({10, 10}, {20, 10}), 20.0);
+}
+
+TEST(RectField, BoundaryDistanceThroughDegenerateUsesNearestEdge) {
+  const RectField f(30.0, 30.0);
+  EXPECT_DOUBLE_EQ(f.boundary_distance_through({3, 10}, {3, 10}), 3.0);
+  EXPECT_DOUBLE_EQ(f.boundary_distance_through({15, 29}, {15, 29}), 1.0);
+}
+
+// Property: the exit point really lies on the boundary and the distance is
+// at least the distance to the through-point for interior nodes.
+class BoundaryDistanceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundaryDistanceProperty, ExitPointOnBoundaryAndBeyondNode) {
+  std::mt19937_64 rng(static_cast<unsigned long>(GetParam()));
+  const RectField f(30.0, 20.0);
+  std::uniform_real_distribution<double> ux(0.0, 30.0);
+  std::uniform_real_distribution<double> uy(0.0, 20.0);
+  const Vec2 origin{ux(rng), uy(rng)};
+  const Vec2 through{ux(rng), uy(rng)};
+  if (distance(origin, through) < 1e-9) {
+    GTEST_SKIP() << "degenerate pair";
+  }
+  const double l = f.boundary_distance_through(origin, through);
+  // l >= distance to the through point (node lies between sink & boundary).
+  EXPECT_GE(l, distance(origin, through) - 1e-9);
+  // The exit point lies on the boundary.
+  const Vec2 exit = origin + (through - origin).normalized() * l;
+  const bool on_x = std::abs(exit.x) < 1e-9 || std::abs(exit.x - 30.0) < 1e-9;
+  const bool on_y = std::abs(exit.y) < 1e-9 || std::abs(exit.y - 20.0) < 1e-9;
+  EXPECT_TRUE(on_x || on_y) << "exit " << exit;
+  EXPECT_TRUE(f.contains(exit, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundaryDistanceProperty,
+                         ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace fluxfp::geom

@@ -1,0 +1,117 @@
+#include "geom/vec2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <sstream>
+
+namespace fluxfp::geom {
+namespace {
+
+TEST(Vec2, DefaultIsZero) {
+  const Vec2 v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+}
+
+TEST(Vec2, Addition) {
+  EXPECT_EQ(Vec2(1, 2) + Vec2(3, 4), Vec2(4, 6));
+}
+
+TEST(Vec2, Subtraction) {
+  EXPECT_EQ(Vec2(5, 7) - Vec2(2, 3), Vec2(3, 4));
+}
+
+TEST(Vec2, ScalarMultiplyBothSides) {
+  EXPECT_EQ(Vec2(1, -2) * 3.0, Vec2(3, -6));
+  EXPECT_EQ(3.0 * Vec2(1, -2), Vec2(3, -6));
+}
+
+TEST(Vec2, ScalarDivide) {
+  EXPECT_EQ(Vec2(2, 4) / 2.0, Vec2(1, 2));
+}
+
+TEST(Vec2, Negation) {
+  EXPECT_EQ(-Vec2(1, -2), Vec2(-1, 2));
+}
+
+TEST(Vec2, CompoundAssignments) {
+  Vec2 v{1, 1};
+  v += {2, 3};
+  EXPECT_EQ(v, Vec2(3, 4));
+  v -= {1, 1};
+  EXPECT_EQ(v, Vec2(2, 3));
+  v *= 2.0;
+  EXPECT_EQ(v, Vec2(4, 6));
+  v /= 4.0;
+  EXPECT_EQ(v, Vec2(1, 1.5));
+}
+
+TEST(Vec2, DotProduct) {
+  EXPECT_DOUBLE_EQ(dot(Vec2(1, 2), Vec2(3, 4)), 11.0);
+  EXPECT_DOUBLE_EQ(dot(Vec2(1, 0), Vec2(0, 1)), 0.0);
+}
+
+TEST(Vec2, CrossProduct) {
+  EXPECT_DOUBLE_EQ(cross(Vec2(1, 0), Vec2(0, 1)), 1.0);
+  EXPECT_DOUBLE_EQ(cross(Vec2(0, 1), Vec2(1, 0)), -1.0);
+  EXPECT_DOUBLE_EQ(cross(Vec2(2, 3), Vec2(4, 6)), 0.0);
+}
+
+TEST(Vec2, Norm) {
+  EXPECT_DOUBLE_EQ(Vec2(3, 4).norm(), 5.0);
+  EXPECT_DOUBLE_EQ(Vec2(3, 4).norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(Vec2().norm(), 0.0);
+}
+
+TEST(Vec2, NormalizedUnitLength) {
+  const Vec2 u = Vec2(3, 4).normalized();
+  EXPECT_NEAR(u.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(u.x, 0.6, 1e-12);
+  EXPECT_NEAR(u.y, 0.8, 1e-12);
+}
+
+TEST(Vec2, NormalizedZeroVectorIsZero) {
+  EXPECT_EQ(Vec2().normalized(), Vec2());
+}
+
+TEST(Vec2, Distance) {
+  EXPECT_DOUBLE_EQ(distance(Vec2(0, 0), Vec2(3, 4)), 5.0);
+  EXPECT_DOUBLE_EQ(distance2(Vec2(1, 1), Vec2(4, 5)), 25.0);
+}
+
+TEST(Vec2, DistanceIsSymmetric) {
+  const Vec2 a{1.5, -2.25};
+  const Vec2 b{-0.5, 7.0};
+  EXPECT_DOUBLE_EQ(distance(a, b), distance(b, a));
+}
+
+TEST(Vec2, Lerp) {
+  EXPECT_EQ(lerp(Vec2(0, 0), Vec2(10, 20), 0.0), Vec2(0, 0));
+  EXPECT_EQ(lerp(Vec2(0, 0), Vec2(10, 20), 1.0), Vec2(10, 20));
+  EXPECT_EQ(lerp(Vec2(0, 0), Vec2(10, 20), 0.5), Vec2(5, 10));
+}
+
+TEST(Vec2, StreamOutput) {
+  std::ostringstream ss;
+  ss << Vec2{1.5, -2};
+  EXPECT_EQ(ss.str(), "(1.5, -2)");
+}
+
+class Vec2TriangleInequality : public ::testing::TestWithParam<int> {};
+
+TEST_P(Vec2TriangleInequality, Holds) {
+  std::mt19937_64 rng(static_cast<unsigned long>(GetParam()));
+  std::uniform_real_distribution<double> u(-100.0, 100.0);
+  const Vec2 a{u(rng), u(rng)};
+  const Vec2 b{u(rng), u(rng)};
+  const Vec2 c{u(rng), u(rng)};
+  EXPECT_LE(distance(a, c), distance(a, b) + distance(b, c) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Vec2TriangleInequality,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace fluxfp::geom

@@ -1,0 +1,165 @@
+// Cross-method validation: the independent implementations of the attack
+// (full-map briefing, sparse candidate search, smooth LM fitting) must
+// agree with each other on the same instances — a strong end-to-end check
+// that the model, objective, and searches are consistent.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/briefing.hpp"
+#include "core/localizer.hpp"
+#include "core/smooth_localizer.hpp"
+#include "eval/experiment.hpp"
+#include "eval/metrics.hpp"
+#include "sim/measurement.hpp"
+#include "sim/sniffer.hpp"
+
+namespace fluxfp {
+namespace {
+
+struct Instance {
+  geom::RectField field{30.0, 30.0};
+  net::UnitDiskGraph graph;
+  core::FluxModel model;
+  std::vector<geom::Vec2> sinks;
+  net::FluxMap flux;
+
+  Instance(std::uint64_t seed, std::vector<geom::Vec2> users,
+           std::vector<double> stretches)
+      : graph(build(seed)), model(field, 1.0), sinks(std::move(users)) {
+    geom::Rng rng(seed + 1);
+    model = core::FluxModel(field, eval::estimate_d_min(graph, field, rng));
+    const sim::FluxEngine engine(graph);
+    std::vector<sim::Collection> window;
+    for (std::size_t j = 0; j < sinks.size(); ++j) {
+      window.push_back({j, sinks[j], stretches[j]});
+    }
+    flux = engine.measure(window, rng);
+  }
+
+  static net::UnitDiskGraph build(std::uint64_t seed) {
+    geom::Rng rng(seed);
+    const geom::RectField f(30.0, 30.0);
+    return eval::build_connected_network({}, f, rng);
+  }
+};
+
+TEST(CrossValidation, BriefingAndSparseLocalizerAgree) {
+  const Instance inst(500, {{8, 9}, {22, 20}}, {2.0, 2.5});
+  geom::Rng rng(501);
+
+  // Full-map briefing.
+  core::BriefingConfig bcfg;
+  bcfg.max_users = 2;
+  const core::FluxBriefing briefing(inst.graph, inst.model, bcfg);
+  const auto briefed = briefing.brief(inst.flux);
+  ASSERT_EQ(briefed.size(), 2u);
+  std::vector<geom::Vec2> briefed_pos;
+  for (const auto& u : briefed) {
+    briefed_pos.push_back(u.position);
+  }
+
+  // Sparse candidate search on 15% of nodes.
+  const auto samples =
+      sim::sample_nodes_fraction(inst.graph.size(), 0.15, rng);
+  const core::SparseObjective obj =
+      eval::make_objective(inst.model, inst.graph, inst.flux, samples);
+  core::LocalizerConfig lcfg;
+  lcfg.candidates_per_user = 4000;
+  const core::InstantLocalizer loc(inst.field, lcfg);
+  const auto sparse = loc.localize(obj, 2, rng);
+
+  // Both methods near the truth, hence near each other.
+  EXPECT_LT(eval::matched_mean_error(briefed_pos, inst.sinks), 3.0);
+  EXPECT_LT(eval::matched_mean_error(sparse.positions, inst.sinks), 3.0);
+  EXPECT_LT(eval::matched_mean_error(sparse.positions, briefed_pos), 5.0);
+}
+
+TEST(CrossValidation, SparseAndSmoothLocalizerAgreeOnSyntheticData) {
+  // On model-generated (noise-free) measurements over a *smooth* boundary
+  // both searches find the same global optimum. (On the rectangle, LM may
+  // stall on the boundary-distance kinks — that is §4.A's point and is
+  // covered by the ablation bench instead.)
+  const geom::CircleField field({15.0, 15.0}, 16.0);
+  const core::FluxModel model(field, 1.0);
+  geom::Rng rng(502);
+  const std::vector<geom::Vec2> samples =
+      geom::uniform_points(field, 60, rng);
+  const geom::Vec2 truth{17.0, 12.0};
+  std::vector<double> measured(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    measured[i] = 2.0 * model.shape(truth, samples[i]);
+  }
+  const core::SparseObjective obj(model, samples, measured);
+
+  const core::InstantLocalizer cand(field);
+  const auto via_cand = cand.localize(obj, 1, rng);
+
+  core::SmoothLocalizerConfig scfg;
+  scfg.restarts = 12;
+  const core::SmoothLocalizer smooth(field, scfg);
+  const auto via_lm = smooth.localize(obj, 1, rng);
+
+  EXPECT_LT(geom::distance(via_cand.positions[0], truth), 1.0);
+  EXPECT_LT(geom::distance(via_lm.positions[0], truth), 1.0);
+  EXPECT_LT(geom::distance(via_cand.positions[0], via_lm.positions[0]), 1.5);
+}
+
+TEST(CrossValidation, FittedStretchOrderingMatchesTruth) {
+  // With two users of very different stretch, every method should assign
+  // the larger fitted stretch to the heavier user.
+  const Instance inst(510, {{7, 20}, {23, 9}}, {1.0, 3.0});
+  geom::Rng rng(511);
+  const auto samples =
+      sim::sample_nodes_fraction(inst.graph.size(), 0.20, rng);
+  const core::SparseObjective obj =
+      eval::make_objective(inst.model, inst.graph, inst.flux, samples);
+  core::LocalizerConfig lcfg;
+  lcfg.candidates_per_user = 4000;
+  const core::InstantLocalizer loc(inst.field, lcfg);
+  const auto res = loc.localize(obj, 2, rng);
+  // Identify which estimate corresponds to the heavy user by distance.
+  const auto assign = eval::match_estimates(res.positions, inst.sinks);
+  double heavy_stretch = 0.0;
+  double light_stretch = 0.0;
+  for (std::size_t j = 0; j < 2; ++j) {
+    if (assign[j] == 1) {
+      heavy_stretch = res.stretches[j];
+    } else {
+      light_stretch = res.stretches[j];
+    }
+  }
+  EXPECT_GT(heavy_stretch, light_stretch);
+}
+
+TEST(CrossValidation, ModelPredictedFluxCorrelatesWithSimulated) {
+  // Pearson correlation between model predictions (at the truth) and the
+  // simulated smoothed flux across sampled nodes should be strong.
+  const Instance inst(520, {{15, 15}}, {2.0});
+  geom::Rng rng(521);
+  const auto samples =
+      sim::sample_nodes_fraction(inst.graph.size(), 0.30, rng);
+  const core::SparseObjective obj =
+      eval::make_objective(inst.model, inst.graph, inst.flux, samples);
+  const std::vector<double> predicted = obj.shape_column({15, 15});
+  const std::vector<double>& measured = obj.measured();
+  const std::size_t n = predicted.size();
+  double mp = 0.0, mm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mp += predicted[i];
+    mm += measured[i];
+  }
+  mp /= n;
+  mm /= n;
+  double cov = 0.0, vp = 0.0, vm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cov += (predicted[i] - mp) * (measured[i] - mm);
+    vp += (predicted[i] - mp) * (predicted[i] - mp);
+    vm += (measured[i] - mm) * (measured[i] - mm);
+  }
+  const double pearson = cov / std::sqrt(vp * vm);
+  EXPECT_GT(pearson, 0.85);
+}
+
+}  // namespace
+}  // namespace fluxfp

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/deployment.hpp"
+#include "net/graph.hpp"
+
+namespace fluxfp::net {
+namespace {
+
+TEST(ClusteredDeployment, CountAndBounds) {
+  const geom::RectField f(30.0, 30.0);
+  geom::Rng rng(1);
+  const auto pts = clustered(f, 500, 6, 2.0, rng);
+  EXPECT_EQ(pts.size(), 500u);
+  for (const auto& p : pts) {
+    EXPECT_TRUE(f.contains(p));
+  }
+}
+
+TEST(ClusteredDeployment, RejectsBadArgs) {
+  const geom::RectField f(30.0, 30.0);
+  geom::Rng rng(2);
+  EXPECT_THROW(clustered(f, 100, 0, 2.0, rng), std::invalid_argument);
+  EXPECT_THROW(clustered(f, 100, 4, -1.0, rng), std::invalid_argument);
+}
+
+TEST(ClusteredDeployment, DensityIsActuallyClustered) {
+  // Mean nearest-neighbor distance is much smaller than for a uniform
+  // deployment of the same size.
+  const geom::RectField f(30.0, 30.0);
+  geom::Rng rng(3);
+  const auto clu = clustered(f, 300, 5, 1.5, rng);
+  const auto uni = uniform_random(f, 300, rng);
+  auto mean_nn = [](const std::vector<geom::Vec2>& pts) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      double best = 1e18;
+      for (std::size_t j = 0; j < pts.size(); ++j) {
+        if (j != i) {
+          best = std::min(best, geom::distance2(pts[i], pts[j]));
+        }
+      }
+      acc += std::sqrt(best);
+    }
+    return acc / static_cast<double>(pts.size());
+  };
+  EXPECT_LT(mean_nn(clu), 0.7 * mean_nn(uni));
+}
+
+TEST(ClusteredDeployment, ZeroSpreadCollapsesToCenters) {
+  const geom::RectField f(30.0, 30.0);
+  geom::Rng rng(4);
+  const auto pts = clustered(f, 40, 4, 0.0, rng);
+  // Only 4 distinct positions.
+  std::vector<geom::Vec2> distinct;
+  for (const auto& p : pts) {
+    bool seen = false;
+    for (const auto& q : distinct) {
+      seen = seen || (p == q);
+    }
+    if (!seen) {
+      distinct.push_back(p);
+    }
+  }
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(ClusteredDeployment, DeployDispatch) {
+  const geom::RectField f(30.0, 30.0);
+  geom::Rng rng(5);
+  const auto pts = deploy(DeploymentKind::kClustered, f, 400, rng);
+  EXPECT_EQ(pts.size(), 400u);
+  EXPECT_STREQ(to_string(DeploymentKind::kClustered), "clustered");
+}
+
+TEST(ClusteredDeployment, RoundRobinBalancesClusters) {
+  const geom::RectField f(30.0, 30.0);
+  geom::Rng rng(6);
+  const std::size_t clusters = 5;
+  const auto pts = clustered(f, 100, clusters, 0.0, rng);
+  // With zero spread, count points per distinct center: 20 each.
+  std::vector<geom::Vec2> centers;
+  std::vector<int> counts;
+  for (const auto& p : pts) {
+    bool found = false;
+    for (std::size_t c = 0; c < centers.size(); ++c) {
+      if (p == centers[c]) {
+        ++counts[c];
+        found = true;
+      }
+    }
+    if (!found) {
+      centers.push_back(p);
+      counts.push_back(1);
+    }
+  }
+  for (int c : counts) {
+    EXPECT_EQ(c, 20);
+  }
+}
+
+}  // namespace
+}  // namespace fluxfp::net

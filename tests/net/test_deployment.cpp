@@ -1,0 +1,87 @@
+#include "net/deployment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxfp::net {
+namespace {
+
+TEST(Deployment, PerturbedGridCountAndBounds) {
+  const geom::RectField f(30.0, 30.0);
+  geom::Rng rng(1);
+  const auto pts = perturbed_grid(f, 30, 30, 0.5, rng);
+  EXPECT_EQ(pts.size(), 900u);
+  for (const auto& p : pts) {
+    EXPECT_TRUE(f.contains(p));
+  }
+}
+
+TEST(Deployment, PerturbedGridZeroJitterIsExactGrid) {
+  const geom::RectField f(10.0, 10.0);
+  geom::Rng rng(2);
+  const auto pts = perturbed_grid(f, 2, 2, 0.0, rng);
+  ASSERT_EQ(pts.size(), 4u);
+  EXPECT_EQ(pts[0], geom::Vec2(2.5, 2.5));
+  EXPECT_EQ(pts[3], geom::Vec2(7.5, 7.5));
+}
+
+TEST(Deployment, PerturbedGridJitterStaysInCell) {
+  const geom::RectField f(10.0, 10.0);
+  geom::Rng rng(3);
+  const auto pts = perturbed_grid(f, 5, 5, 1.0, rng);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      const geom::Vec2 p = pts[r * 5 + c];
+      EXPECT_GE(p.x, static_cast<double>(c) * 2.0 - 1e-12);
+      EXPECT_LE(p.x, static_cast<double>(c + 1) * 2.0 + 1e-12);
+      EXPECT_GE(p.y, static_cast<double>(r) * 2.0 - 1e-12);
+      EXPECT_LE(p.y, static_cast<double>(r + 1) * 2.0 + 1e-12);
+    }
+  }
+}
+
+TEST(Deployment, PerturbedGridRejectsBadArgs) {
+  const geom::RectField f(10.0, 10.0);
+  geom::Rng rng(4);
+  EXPECT_THROW(perturbed_grid(f, 0, 5, 0.5, rng), std::invalid_argument);
+  EXPECT_THROW(perturbed_grid(f, 5, 5, 1.5, rng), std::invalid_argument);
+}
+
+TEST(Deployment, UniformRandomCountAndBounds) {
+  const geom::RectField f(30.0, 30.0);
+  geom::Rng rng(5);
+  const auto pts = uniform_random(f, 500, rng);
+  EXPECT_EQ(pts.size(), 500u);
+  for (const auto& p : pts) {
+    EXPECT_TRUE(f.contains(p));
+  }
+}
+
+TEST(Deployment, DeployGridApproximatesCount) {
+  const geom::RectField f(30.0, 30.0);
+  geom::Rng rng(6);
+  const auto pts = deploy(DeploymentKind::kPerturbedGrid, f, 900, rng);
+  EXPECT_EQ(pts.size(), 900u);  // 30x30 exactly on a square field
+}
+
+TEST(Deployment, DeployGridNonSquareField) {
+  const geom::RectField f(40.0, 10.0);
+  geom::Rng rng(7);
+  const auto pts = deploy(DeploymentKind::kPerturbedGrid, f, 400, rng);
+  // rows*cols within 15% of the request.
+  EXPECT_NEAR(static_cast<double>(pts.size()), 400.0, 60.0);
+}
+
+TEST(Deployment, DeployRandomExactCount) {
+  const geom::RectField f(30.0, 30.0);
+  geom::Rng rng(8);
+  EXPECT_EQ(deploy(DeploymentKind::kUniformRandom, f, 1234, rng).size(),
+            1234u);
+}
+
+TEST(Deployment, ToString) {
+  EXPECT_STREQ(to_string(DeploymentKind::kPerturbedGrid), "perturbed-grid");
+  EXPECT_STREQ(to_string(DeploymentKind::kUniformRandom), "random");
+}
+
+}  // namespace
+}  // namespace fluxfp::net

@@ -1,0 +1,137 @@
+#include "net/flux.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "net/deployment.hpp"
+
+namespace fluxfp::net {
+namespace {
+
+UnitDiskGraph paper_network(geom::Rng& rng) {
+  const geom::RectField f(30.0, 30.0);
+  return UnitDiskGraph(perturbed_grid(f, 30, 30, 0.5, rng), 2.4);
+}
+
+TEST(TreeFlux, RootCarriesAllTraffic) {
+  geom::Rng rng(1);
+  const UnitDiskGraph g = paper_network(rng);
+  const CollectionTree t = build_collection_tree(g, {15.0, 15.0}, rng);
+  const FluxMap flux = tree_flux(t, 2.0);
+  EXPECT_DOUBLE_EQ(flux[t.root], 2.0 * static_cast<double>(g.size()));
+}
+
+TEST(TreeFlux, LeafCarriesOwnShareOnly) {
+  geom::Rng rng(2);
+  const UnitDiskGraph g({{0, 0}, {1, 0}, {2, 0}}, 1.1);
+  const CollectionTree t = build_collection_tree(g, {0, 0}, rng);
+  const FluxMap flux = tree_flux(t, 1.5);
+  EXPECT_DOUBLE_EQ(flux[2], 1.5);
+}
+
+TEST(TreeFlux, ScalesLinearlyWithStretch) {
+  geom::Rng rng(3);
+  const UnitDiskGraph g = paper_network(rng);
+  const CollectionTree t = build_collection_tree(g, {5.0, 5.0}, rng);
+  const FluxMap f1 = tree_flux(t, 1.0);
+  const FluxMap f3 = tree_flux(t, 3.0);
+  for (std::size_t i = 0; i < f1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(f3[i], 3.0 * f1[i]);
+  }
+}
+
+TEST(TreeFlux, RejectsNegativeStretch) {
+  geom::Rng rng(4);
+  const UnitDiskGraph g({{0, 0}}, 1.0);
+  const CollectionTree t = build_collection_tree(g, {0, 0}, rng);
+  EXPECT_THROW(tree_flux(t, -1.0), std::invalid_argument);
+}
+
+TEST(TreeFlux, FluxDecreasesAlongPathToLeaves) {
+  // Flux at a child never exceeds its parent's (subtree nesting).
+  geom::Rng rng(5);
+  const UnitDiskGraph g = paper_network(rng);
+  const CollectionTree t = build_collection_tree(g, {15.0, 15.0}, rng);
+  const FluxMap flux = tree_flux(t, 1.0);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t.parent[i] != kNoNode) {
+      EXPECT_LT(flux[i], flux[t.parent[i]]);
+    }
+  }
+}
+
+TEST(Accumulate, SumsElementwise) {
+  FluxMap a{1, 2, 3};
+  accumulate(a, {10, 20, 30});
+  EXPECT_EQ(a, (FluxMap{11, 22, 33}));
+  EXPECT_THROW(accumulate(a, {1, 2}), std::invalid_argument);
+}
+
+TEST(Accumulate, MultiUserFluxIsSumOfTrees) {
+  geom::Rng rng(6);
+  const UnitDiskGraph g = paper_network(rng);
+  geom::Rng rng_a(77);
+  geom::Rng rng_b(77);
+  const CollectionTree t1 = build_collection_tree(g, {5.0, 5.0}, rng_a);
+  const CollectionTree t2 = build_collection_tree(g, {25.0, 25.0}, rng_a);
+  FluxMap total = tree_flux(build_collection_tree(g, {5.0, 5.0}, rng_b), 1.0);
+  accumulate(total,
+             tree_flux(build_collection_tree(g, {25.0, 25.0}, rng_b), 2.0));
+  const FluxMap f1 = tree_flux(t1, 1.0);
+  const FluxMap f2 = tree_flux(t2, 2.0);
+  for (std::size_t i = 0; i < total.size(); ++i) {
+    EXPECT_DOUBLE_EQ(total[i], f1[i] + f2[i]);
+  }
+}
+
+TEST(SmoothFlux, PreservesConstantMap) {
+  geom::Rng rng(7);
+  const UnitDiskGraph g = paper_network(rng);
+  const FluxMap flat(g.size(), 5.0);
+  const FluxMap smoothed = smooth_flux(g, flat);
+  for (double v : smoothed) {
+    EXPECT_DOUBLE_EQ(v, 5.0);
+  }
+}
+
+TEST(SmoothFlux, AveragesNeighborhood) {
+  const UnitDiskGraph g({{0, 0}, {1, 0}, {2, 0}}, 1.1);
+  const FluxMap smoothed = smooth_flux(g, {3.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(smoothed[0], 1.5);  // (3+0)/2
+  EXPECT_DOUBLE_EQ(smoothed[1], 1.0);  // (3+0+0)/3
+  EXPECT_DOUBLE_EQ(smoothed[2], 0.0);
+}
+
+TEST(SmoothFlux, RejectsSizeMismatch) {
+  const UnitDiskGraph g({{0, 0}}, 1.0);
+  EXPECT_THROW(smooth_flux(g, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(FluxEnergyFraction, PaperClaimBeyondThreeHops) {
+  // §3.B: nodes >= 3 hops from the sink still carry > 70% of flux energy.
+  geom::Rng rng(8);
+  const UnitDiskGraph g = paper_network(rng);
+  const CollectionTree t = build_collection_tree(g, {15.0, 15.0}, rng);
+  const FluxMap flux = tree_flux(t, 1.0);
+  const double frac = flux_energy_fraction_beyond(t, flux, 3);
+  EXPECT_GT(frac, 0.5);
+  EXPECT_LT(frac, 1.0);
+}
+
+TEST(FluxEnergyFraction, MonotoneInHopThreshold) {
+  geom::Rng rng(9);
+  const UnitDiskGraph g = paper_network(rng);
+  const CollectionTree t = build_collection_tree(g, {15.0, 15.0}, rng);
+  const FluxMap flux = tree_flux(t, 1.0);
+  double prev = 1.0;
+  for (int h = 0; h <= 8; ++h) {
+    const double cur = flux_energy_fraction_beyond(t, flux, h);
+    EXPECT_LE(cur, prev + 1e-12);
+    prev = cur;
+  }
+  EXPECT_DOUBLE_EQ(flux_energy_fraction_beyond(t, flux, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace fluxfp::net

@@ -1,0 +1,107 @@
+// Structural invariants of the network substrate, checked over randomized
+// instances (parameterized property sweeps).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "net/deployment.hpp"
+#include "net/flux.hpp"
+#include "net/routing.hpp"
+
+namespace fluxfp::net {
+namespace {
+
+class NetInvariant : public ::testing::TestWithParam<int> {
+ protected:
+  geom::RectField field{30.0, 30.0};
+  geom::Rng rng{static_cast<std::uint64_t>(GetParam()) * 7919 + 13};
+
+  UnitDiskGraph make_graph() {
+    return UnitDiskGraph(perturbed_grid(field, 20, 20, 0.5, rng), 3.0);
+  }
+};
+
+TEST_P(NetInvariant, TotalFluxEqualsGeneratedTimesPathLength) {
+  // flux_i = s * |subtree(i)|, and sum_i |subtree(i)| counts each node once
+  // per ancestor (incl. itself): sum flux = s * (n + sum_i hop_i).
+  const UnitDiskGraph g = make_graph();
+  const geom::Vec2 sink = geom::uniform_in_field(field, rng);
+  const CollectionTree t = build_collection_tree(g, sink, rng);
+  const double s = 1.75;
+  const FluxMap flux = tree_flux(t, s);
+  double hop_sum = 0.0;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    ASSERT_TRUE(t.reachable(i));
+    hop_sum += t.hop[i];
+  }
+  const double total = std::accumulate(flux.begin(), flux.end(), 0.0);
+  EXPECT_NEAR(total, s * (static_cast<double>(g.size()) + hop_sum), 1e-6);
+}
+
+TEST_P(NetInvariant, HopCountsAreLipschitzAlongEdges) {
+  // Adjacent nodes differ by at most one hop.
+  const UnitDiskGraph g = make_graph();
+  const CollectionTree t =
+      build_collection_tree(g, geom::uniform_in_field(field, rng), rng);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    for (std::size_t nb : g.neighbors(i)) {
+      EXPECT_LE(std::abs(t.hop[i] - t.hop[nb]), 1);
+    }
+  }
+}
+
+TEST_P(NetInvariant, HopLowerBoundedByDistance) {
+  // hop >= euclidean distance / radius (each hop covers at most radius).
+  const UnitDiskGraph g = make_graph();
+  const CollectionTree t =
+      build_collection_tree(g, geom::uniform_in_field(field, rng), rng);
+  const geom::Vec2 root_pos = g.position(t.root);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const double d = geom::distance(g.position(i), root_pos);
+    EXPECT_GE(static_cast<double>(t.hop[i]) + 1e-9, d / g.radius());
+  }
+}
+
+TEST_P(NetInvariant, SmoothingPreservesTotalApproximately) {
+  // Neighborhood averaging is not mass-preserving in general, but on a
+  // quasi-regular grid the total changes by a bounded factor.
+  const UnitDiskGraph g = make_graph();
+  const CollectionTree t =
+      build_collection_tree(g, geom::uniform_in_field(field, rng), rng);
+  const FluxMap flux = tree_flux(t, 1.0);
+  const FluxMap smoothed = smooth_flux(g, flux);
+  const double before = std::accumulate(flux.begin(), flux.end(), 0.0);
+  const double after =
+      std::accumulate(smoothed.begin(), smoothed.end(), 0.0);
+  EXPECT_GT(after, 0.5 * before);
+  EXPECT_LT(after, 2.0 * before);
+}
+
+TEST_P(NetInvariant, SmoothingReducesPeak) {
+  const UnitDiskGraph g = make_graph();
+  const CollectionTree t =
+      build_collection_tree(g, geom::uniform_in_field(field, rng), rng);
+  const FluxMap flux = tree_flux(t, 1.0);
+  const FluxMap smoothed = smooth_flux(g, flux);
+  EXPECT_LT(*std::max_element(smoothed.begin(), smoothed.end()),
+            *std::max_element(flux.begin(), flux.end()));
+}
+
+TEST_P(NetInvariant, TreeIsAcyclicSpanning) {
+  const UnitDiskGraph g = make_graph();
+  const CollectionTree t =
+      build_collection_tree(g, geom::uniform_in_field(field, rng), rng);
+  // n-1 parent edges for n reachable nodes (spanning tree).
+  std::size_t edges = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t.parent[i] != kNoNode) {
+      ++edges;
+    }
+  }
+  EXPECT_EQ(edges, g.size() - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetInvariant, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace fluxfp::net

@@ -1,0 +1,69 @@
+#include "net/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/deployment.hpp"
+
+namespace fluxfp::net {
+namespace {
+
+TEST(NetIo, PositionsRoundTrip) {
+  const geom::RectField f(30.0, 30.0);
+  geom::Rng rng(1);
+  const auto pts = uniform_random(f, 50, rng);
+  std::stringstream ss;
+  write_positions_csv(ss, pts);
+  const auto back = read_positions_csv(ss);
+  ASSERT_EQ(back.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_NEAR(back[i].x, pts[i].x, 1e-4);
+    EXPECT_NEAR(back[i].y, pts[i].y, 1e-4);
+  }
+}
+
+TEST(NetIo, PositionsHeaderWritten) {
+  std::stringstream ss;
+  write_positions_csv(ss, {{1, 2}});
+  std::string first;
+  std::getline(ss, first);
+  EXPECT_EQ(first, "id,x,y");
+}
+
+TEST(NetIo, PositionsRejectMalformed) {
+  std::stringstream wrong_fields("id,x,y\n0,1\n");
+  EXPECT_THROW(read_positions_csv(wrong_fields), std::runtime_error);
+  std::stringstream bad_num("0,abc,2\n");
+  EXPECT_THROW(read_positions_csv(bad_num), std::runtime_error);
+  std::stringstream bad_order("0,1,1\n2,2,2\n");
+  EXPECT_THROW(read_positions_csv(bad_order), std::runtime_error);
+}
+
+TEST(NetIo, FluxRoundTrip) {
+  const FluxMap flux{0.0, 1.5, 42.25, 900.0};
+  std::stringstream ss;
+  write_flux_csv(ss, flux);
+  const FluxMap back = read_flux_csv(ss);
+  ASSERT_EQ(back.size(), flux.size());
+  for (std::size_t i = 0; i < flux.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back[i], flux[i]);
+  }
+}
+
+TEST(NetIo, FluxWithoutHeaderAccepted) {
+  std::stringstream ss("0,1.5\n1,2.5\n");
+  const FluxMap back = read_flux_csv(ss);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_DOUBLE_EQ(back[1], 2.5);
+}
+
+TEST(NetIo, EmptyStreamsYieldEmpty) {
+  std::stringstream a(""), b("id,x,y\n"), c("id,flux\n");
+  EXPECT_TRUE(read_positions_csv(a).empty());
+  EXPECT_TRUE(read_positions_csv(b).empty());
+  EXPECT_TRUE(read_flux_csv(c).empty());
+}
+
+}  // namespace
+}  // namespace fluxfp::net

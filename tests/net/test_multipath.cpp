@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "net/deployment.hpp"
+#include "net/flux.hpp"
+#include "net/routing.hpp"
+#include "numeric/stats.hpp"
+
+namespace fluxfp::net {
+namespace {
+
+UnitDiskGraph grid_graph(geom::Rng& rng) {
+  const geom::RectField f(30.0, 30.0);
+  return UnitDiskGraph(perturbed_grid(f, 20, 20, 0.5, rng), 3.0);
+}
+
+TEST(MultipathFlux, RejectsBadInputs) {
+  geom::Rng rng(1);
+  const UnitDiskGraph g({{0, 0}, {1, 0}}, 1.5);
+  EXPECT_THROW(multipath_flux(g, {0}, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(multipath_flux(g, {0, 1}, 5, 1.0), std::invalid_argument);
+  EXPECT_THROW(multipath_flux(g, {0, 1}, 0, -1.0), std::invalid_argument);
+}
+
+TEST(MultipathFlux, RootCollectsEverything) {
+  geom::Rng rng(2);
+  const UnitDiskGraph g = grid_graph(rng);
+  const std::size_t root = g.nearest_node({15, 15});
+  const auto hop = hop_distances(g, root);
+  const FluxMap flux = multipath_flux(g, hop, root, 2.0);
+  EXPECT_NEAR(flux[root], 2.0 * static_cast<double>(g.size()), 1e-6);
+}
+
+TEST(MultipathFlux, EqualsTreeFluxOnPathGraph) {
+  // On a path every node has exactly one uphill neighbor: multipath and
+  // tree routing coincide.
+  geom::Rng rng(3);
+  const UnitDiskGraph g({{0, 0}, {1, 0}, {2, 0}, {3, 0}}, 1.1);
+  const CollectionTree t = build_collection_tree(g, {0, 0}, rng);
+  const auto hop = hop_distances(g, 0);
+  const FluxMap multi = multipath_flux(g, hop, 0, 1.5);
+  const FluxMap tree = tree_flux(t, 1.5);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_NEAR(multi[i], tree[i], 1e-9) << "node " << i;
+  }
+}
+
+TEST(MultipathFlux, LocallySmootherThanTreeRouting) {
+  // The defense's actual effect is on *local* roughness: a node's flux
+  // deviates less from its neighborhood mean than under single-parent
+  // trees (which concentrate whole subtrees on arbitrary winners). The
+  // ring-level geometric variation — what the model actually fits — is
+  // untouched (see SameTotalAsTreeRouting).
+  geom::Rng rng(4);
+  const UnitDiskGraph g = grid_graph(rng);
+  const std::size_t root = g.nearest_node({15, 15});
+  const auto hop = hop_distances(g, root);
+  const CollectionTree t = build_collection_tree(g, {15.0, 15.0}, rng);
+  const FluxMap multi = multipath_flux(g, hop, root, 1.0);
+  const FluxMap tree = tree_flux(t, 1.0);
+  auto roughness = [&](const FluxMap& flux) {
+    const FluxMap local_mean = smooth_flux(g, flux);
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      if (hop[i] >= 2) {  // skip the root funnel
+        acc += std::abs(flux[i] - local_mean[i]) /
+               std::max(local_mean[i], 1e-9);
+        ++n;
+      }
+    }
+    return acc / static_cast<double>(n);
+  };
+  EXPECT_LT(roughness(multi), 0.95 * roughness(tree));
+}
+
+TEST(MultipathFlux, SameTotalAsTreeRouting) {
+  // Same expected spatial field: the total transported volume matches the
+  // tree exactly (every packet still crosses every ring once per hop).
+  geom::Rng rng(5);
+  const UnitDiskGraph g = grid_graph(rng);
+  const std::size_t root = g.nearest_node({10, 20});
+  const auto hop = hop_distances(g, root);
+  const CollectionTree t = build_collection_tree(g, {10.0, 20.0}, rng);
+  const FluxMap multi = multipath_flux(g, hop, root, 1.0);
+  const FluxMap tree = tree_flux(t, 1.0);
+  // Per hop ring, the summed flux is identical (hop counts define both).
+  const int max_hop = *std::max_element(hop.begin(), hop.end());
+  for (int h = 0; h <= max_hop; ++h) {
+    double m = 0.0, tr = 0.0;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      if (hop[i] == h) {
+        m += multi[i];
+        tr += tree[i];
+      }
+    }
+    EXPECT_NEAR(m, tr, 1e-6) << "ring " << h;
+  }
+}
+
+TEST(MultipathFlux, UnreachableNodesCarryNothing) {
+  geom::Rng rng(6);
+  const UnitDiskGraph g({{0, 0}, {1, 0}, {9, 9}}, 1.5);
+  const auto hop = hop_distances(g, 0);
+  const FluxMap flux = multipath_flux(g, hop, 0, 1.0);
+  EXPECT_DOUBLE_EQ(flux[2], 0.0);
+}
+
+}  // namespace
+}  // namespace fluxfp::net

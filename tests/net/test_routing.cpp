@@ -1,0 +1,152 @@
+#include "net/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/deployment.hpp"
+
+namespace fluxfp::net {
+namespace {
+
+UnitDiskGraph paper_network(geom::Rng& rng) {
+  const geom::RectField f(30.0, 30.0);
+  return UnitDiskGraph(perturbed_grid(f, 30, 30, 0.5, rng), 2.4);
+}
+
+TEST(HopDistances, LineGraph) {
+  const UnitDiskGraph g({{0, 0}, {1, 0}, {2, 0}, {3, 0}}, 1.1);
+  const auto hop = hop_distances(g, 0);
+  EXPECT_EQ(hop, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(HopDistances, UnreachableMarked) {
+  const UnitDiskGraph g({{0, 0}, {1, 0}, {9, 9}}, 1.1);
+  const auto hop = hop_distances(g, 0);
+  EXPECT_EQ(hop[0], 0);
+  EXPECT_EQ(hop[1], 1);
+  EXPECT_EQ(hop[2], kUnreachableHop);
+}
+
+TEST(HopDistances, RejectsBadRoot) {
+  const UnitDiskGraph g({{0, 0}}, 1.0);
+  EXPECT_THROW(hop_distances(g, 5), std::invalid_argument);
+}
+
+TEST(CollectionTree, RootIsNearestNode) {
+  geom::Rng rng(1);
+  const UnitDiskGraph g({{0, 0}, {5, 5}, {10, 10}}, 8.0);
+  const CollectionTree t = build_collection_tree(g, {4.4, 4.4}, rng);
+  EXPECT_EQ(t.root, 1u);
+  EXPECT_EQ(t.parent[t.root], kNoNode);
+  EXPECT_EQ(t.hop[t.root], 0);
+}
+
+TEST(CollectionTree, ParentsAreOneHopCloser) {
+  geom::Rng rng(2);
+  const UnitDiskGraph g = paper_network(rng);
+  const CollectionTree t = build_collection_tree(g, {15.0, 15.0}, rng);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (i == t.root) {
+      continue;
+    }
+    ASSERT_TRUE(t.reachable(i));
+    ASSERT_NE(t.parent[i], kNoNode);
+    EXPECT_EQ(t.hop[t.parent[i]], t.hop[i] - 1);
+    // Parent must be a real communication neighbor.
+    EXPECT_LE(geom::distance(g.position(i), g.position(t.parent[i])),
+              g.radius() + 1e-12);
+  }
+}
+
+TEST(CollectionTree, EveryNodeReachesRootByParentChain) {
+  geom::Rng rng(3);
+  const UnitDiskGraph g = paper_network(rng);
+  const CollectionTree t = build_collection_tree(g, {3.0, 27.0}, rng);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    std::size_t cur = i;
+    int guard = 0;
+    while (cur != t.root) {
+      ASSERT_NE(t.parent[cur], kNoNode);
+      cur = t.parent[cur];
+      ASSERT_LT(++guard, 1000) << "parent chain loops";
+    }
+  }
+}
+
+TEST(CollectionTree, RandomTieBreakVariesParents) {
+  geom::Rng rng(4);
+  const UnitDiskGraph g = paper_network(rng);
+  const CollectionTree a = build_collection_tree(g, {15.0, 15.0}, rng);
+  const CollectionTree b = build_collection_tree(g, {15.0, 15.0}, rng);
+  EXPECT_EQ(a.root, b.root);
+  EXPECT_NE(a.parent, b.parent);  // randomized construction differs
+  EXPECT_EQ(a.hop, b.hop);        // but hop structure is deterministic
+}
+
+TEST(SubtreeSizes, LineGraphSizes) {
+  geom::Rng rng(5);
+  const UnitDiskGraph g({{0, 0}, {1, 0}, {2, 0}, {3, 0}}, 1.1);
+  const CollectionTree t = build_collection_tree(g, {0, 0}, rng);
+  const auto sizes = subtree_sizes(t);
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{4, 3, 2, 1}));
+}
+
+TEST(SubtreeSizes, RootCountsEveryReachableNode) {
+  geom::Rng rng(6);
+  const UnitDiskGraph g = paper_network(rng);
+  const CollectionTree t = build_collection_tree(g, {10.0, 20.0}, rng);
+  EXPECT_EQ(subtree_sizes(t)[t.root], g.size());
+}
+
+TEST(SubtreeSizes, ChildrenSumInvariant) {
+  geom::Rng rng(7);
+  const UnitDiskGraph g = paper_network(rng);
+  const CollectionTree t = build_collection_tree(g, {22.0, 8.0}, rng);
+  const auto sizes = subtree_sizes(t);
+  std::vector<std::size_t> child_sum(t.size(), 0);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t.parent[i] != kNoNode) {
+      child_sum[t.parent[i]] += sizes[i];
+    }
+  }
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t.reachable(i)) {
+      EXPECT_EQ(sizes[i], child_sum[i] + 1) << "node " << i;
+    }
+  }
+}
+
+TEST(AverageHopLength, BoundedByRadius) {
+  geom::Rng rng(8);
+  const UnitDiskGraph g = paper_network(rng);
+  const CollectionTree t = build_collection_tree(g, {15.0, 15.0}, rng);
+  const double r = average_hop_length(g, t);
+  EXPECT_GT(r, 0.5);
+  EXPECT_LE(r, g.radius());
+}
+
+TEST(AverageHopLength, SingleNodeIsZero) {
+  geom::Rng rng(9);
+  const UnitDiskGraph g({{0, 0}}, 1.0);
+  const CollectionTree t = build_collection_tree(g, {0, 0}, rng);
+  EXPECT_DOUBLE_EQ(average_hop_length(g, t), 0.0);
+}
+
+TEST(BottomUpOrder, ChildrenBeforeParents) {
+  geom::Rng rng(10);
+  const UnitDiskGraph g = paper_network(rng);
+  const CollectionTree t = build_collection_tree(g, {15.0, 15.0}, rng);
+  const auto order = bottom_up_order(t);
+  EXPECT_EQ(order.size(), g.size());
+  std::vector<std::size_t> rank(t.size(), 0);
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    rank[order[pos]] = pos;
+  }
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t.parent[i] != kNoNode) {
+      EXPECT_LT(rank[i], rank[t.parent[i]]) << "child after parent";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fluxfp::net

@@ -1,0 +1,88 @@
+#include "numeric/hungarian.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace fluxfp::numeric {
+namespace {
+
+TEST(Hungarian, TrivialSingle) {
+  const Matrix cost{{5}};
+  const auto a = hungarian_assign(cost);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0], 0u);
+}
+
+TEST(Hungarian, IdentityIsOptimalWhenDiagonalCheapest) {
+  const Matrix cost{{1, 10, 10}, {10, 1, 10}, {10, 10, 1}};
+  const auto a = hungarian_assign(cost);
+  EXPECT_EQ(a[0], 0u);
+  EXPECT_EQ(a[1], 1u);
+  EXPECT_EQ(a[2], 2u);
+  EXPECT_DOUBLE_EQ(assignment_cost(cost, a), 3.0);
+}
+
+TEST(Hungarian, AntiDiagonal) {
+  const Matrix cost{{10, 1}, {1, 10}};
+  const auto a = hungarian_assign(cost);
+  EXPECT_EQ(a[0], 1u);
+  EXPECT_EQ(a[1], 0u);
+}
+
+TEST(Hungarian, RectangularMoreColumns) {
+  const Matrix cost{{9, 1, 9}, {9, 9, 2}};
+  const auto a = hungarian_assign(cost);
+  EXPECT_EQ(a[0], 1u);
+  EXPECT_EQ(a[1], 2u);
+}
+
+TEST(Hungarian, RejectsBadShapes) {
+  EXPECT_THROW(hungarian_assign(Matrix(3, 2)), std::invalid_argument);
+  EXPECT_THROW(hungarian_assign(Matrix()), std::invalid_argument);
+}
+
+TEST(Hungarian, ColumnsAreDistinct) {
+  std::mt19937_64 rng(2);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  Matrix cost(6, 6);
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t c = 0; c < 6; ++c) {
+      cost(r, c) = u(rng);
+    }
+  }
+  auto a = hungarian_assign(cost);
+  std::sort(a.begin(), a.end());
+  EXPECT_EQ(std::unique(a.begin(), a.end()), a.end());
+}
+
+// Property: Hungarian matches brute force on random 4x4 instances.
+class HungarianVsBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(HungarianVsBruteForce, OptimalCost) {
+  std::mt19937_64 rng(static_cast<unsigned long>(GetParam()));
+  std::uniform_real_distribution<double> u(0.0, 10.0);
+  const std::size_t n = 4;
+  Matrix cost(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      cost(r, c) = u(rng);
+    }
+  }
+  const auto a = hungarian_assign(cost);
+  const double got = assignment_cost(cost, a);
+
+  std::vector<std::size_t> perm{0, 1, 2, 3};
+  double best = 1e18;
+  do {
+    best = std::min(best, assignment_cost(cost, perm));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_NEAR(got, best, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HungarianVsBruteForce,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace fluxfp::numeric

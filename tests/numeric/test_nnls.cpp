@@ -1,0 +1,125 @@
+#include "numeric/nnls.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "numeric/linalg.hpp"
+
+namespace fluxfp::numeric {
+namespace {
+
+TEST(NnlsSingle, PositiveOptimum) {
+  // min_s ||s*(1,1) - (2,2)|| -> s = 2.
+  EXPECT_DOUBLE_EQ(nnls_single({1, 1}, {2, 2}), 2.0);
+}
+
+TEST(NnlsSingle, ClampsNegativeOptimumToZero) {
+  EXPECT_DOUBLE_EQ(nnls_single({1, 1}, {-2, -2}), 0.0);
+}
+
+TEST(NnlsSingle, ZeroColumn) {
+  EXPECT_DOUBLE_EQ(nnls_single({0, 0}, {1, 2}), 0.0);
+}
+
+TEST(Nnls, UnconstrainedInteriorSolution) {
+  // Well-conditioned with positive solution: NNLS == plain LS.
+  const Matrix a{{1, 0}, {0, 1}, {1, 1}};
+  const std::vector<double> b{1, 2, 3};
+  const NnlsResult r = nnls(a, b);
+  const auto ls = qr_least_squares(a, b);
+  ASSERT_TRUE(ls.has_value());
+  EXPECT_NEAR(r.x[0], (*ls)[0], 1e-9);
+  EXPECT_NEAR(r.x[1], (*ls)[1], 1e-9);
+}
+
+TEST(Nnls, ActiveConstraintZerosOutColumn) {
+  // b points along -col1 direction; optimal s1 = 0.
+  const Matrix a{{1, 0}, {0, 1}};
+  const NnlsResult r = nnls(a, {-5, 3});
+  EXPECT_DOUBLE_EQ(r.x[0], 0.0);
+  EXPECT_NEAR(r.x[1], 3.0, 1e-9);
+  EXPECT_NEAR(r.residual, 5.0, 1e-9);
+}
+
+TEST(Nnls, AllZeroWhenBNegativeOrthant) {
+  const Matrix a{{1, 0}, {0, 1}};
+  const NnlsResult r = nnls(a, {-1, -2});
+  EXPECT_DOUBLE_EQ(r.x[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.x[1], 0.0);
+  EXPECT_NEAR(r.residual, norm({-1, -2}), 1e-12);
+}
+
+TEST(Nnls, SingleColumnFastPathMatchesGeneral) {
+  const Matrix a{{2}, {1}, {3}};
+  const NnlsResult r = nnls(a, {4, 2, 6});
+  ASSERT_EQ(r.x.size(), 1u);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-12);
+  EXPECT_NEAR(r.residual, 0.0, 1e-12);
+}
+
+TEST(Nnls, DimensionMismatchReturnsEmpty) {
+  const NnlsResult r = nnls(Matrix(2, 2), {1, 2, 3});
+  EXPECT_TRUE(r.x.empty());
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(Nnls, RecoverExactNonnegativeCombination) {
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  const std::size_t n = 20;
+  const std::size_t k = 4;
+  Matrix a(n, k);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < k; ++c) {
+      a(r, c) = u(rng);
+    }
+  }
+  const std::vector<double> truth{1.5, 0.0, 2.25, 0.75};
+  const std::vector<double> b = a * truth;
+  const NnlsResult r = nnls(a, b);
+  ASSERT_EQ(r.x.size(), k);
+  for (std::size_t c = 0; c < k; ++c) {
+    EXPECT_NEAR(r.x[c], truth[c], 1e-6) << "column " << c;
+  }
+  EXPECT_NEAR(r.residual, 0.0, 1e-8);
+}
+
+// Property: NNLS solutions satisfy the KKT conditions.
+class NnlsKkt : public ::testing::TestWithParam<int> {};
+
+TEST_P(NnlsKkt, SolutionSatisfiesKkt) {
+  std::mt19937_64 rng(static_cast<unsigned long>(GetParam()));
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  const std::size_t n = 12;
+  const std::size_t k = 3;
+  Matrix a(n, k);
+  std::vector<double> b(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < k; ++c) {
+      a(r, c) = u(rng);
+    }
+    b[r] = u(rng);
+  }
+  const NnlsResult r = nnls(a, b);
+  ASSERT_EQ(r.x.size(), k);
+  // Gradient g = A^T(Ax - b): g_j >= 0 for x_j = 0, g_j ~= 0 for x_j > 0.
+  const std::vector<double> res = subtract(a * r.x, b);
+  for (std::size_t j = 0; j < k; ++j) {
+    double g = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      g += a(i, j) * res[i];
+    }
+    EXPECT_GE(r.x[j], 0.0);
+    if (r.x[j] > 1e-9) {
+      EXPECT_NEAR(g, 0.0, 1e-6) << "active column " << j;
+    } else {
+      EXPECT_GE(g, -1e-6) << "inactive column " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NnlsKkt, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace fluxfp::numeric

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "sim/mobility.hpp"
+
+namespace fluxfp::sim {
+namespace {
+
+TEST(GaussMarkovMobility, RejectsBadParameters) {
+  const geom::RectField f(30.0, 30.0);
+  geom::Rng rng(1);
+  EXPECT_THROW(GaussMarkovMobility(f, {5, 5}, 2.0, 1.0, 0.5, 1.0, 10.0, rng),
+               std::invalid_argument);  // memory must be < 1
+  EXPECT_THROW(GaussMarkovMobility(f, {5, 5}, 2.0, 0.5, 0.5, 0.0, 10.0, rng),
+               std::invalid_argument);  // step_dt > 0
+  EXPECT_THROW(GaussMarkovMobility(f, {5, 5}, -1.0, 0.5, 0.5, 1.0, 10.0, rng),
+               std::invalid_argument);  // speed >= 0
+}
+
+TEST(GaussMarkovMobility, StaysInField) {
+  const geom::RectField f(30.0, 30.0);
+  geom::Rng rng(2);
+  const GaussMarkovMobility m(f, {15, 15}, 2.0, 0.8, 0.5, 0.5, 40.0, rng);
+  for (double t = 0.0; t <= 40.0; t += 0.25) {
+    EXPECT_TRUE(f.contains(m.position_at(t)));
+  }
+}
+
+TEST(GaussMarkovMobility, ClampsBeyondDuration) {
+  const geom::RectField f(30.0, 30.0);
+  geom::Rng rng(3);
+  const GaussMarkovMobility m(f, {15, 15}, 1.0, 0.5, 0.3, 1.0, 5.0, rng);
+  EXPECT_EQ(m.position_at(5.0), m.position_at(100.0));
+  EXPECT_EQ(m.position_at(-1.0), m.position_at(0.0));
+}
+
+TEST(GaussMarkovMobility, HighMemoryMovesRoughlyStraight) {
+  // With memory -> 1 and tiny noise, the trajectory is near-linear: the
+  // displacement over the full run is close to the path length.
+  const geom::RectField f(100.0, 100.0);
+  geom::Rng rng(4);
+  const GaussMarkovMobility m(f, {50, 50}, 1.0, 0.95, 0.05, 0.5, 20.0, rng);
+  double path_len = 0.0;
+  for (double t = 0.0; t < 20.0; t += 0.5) {
+    path_len += geom::distance(m.position_at(t), m.position_at(t + 0.5));
+  }
+  const double displacement =
+      geom::distance(m.position_at(0.0), m.position_at(20.0));
+  EXPECT_GT(displacement, 0.8 * path_len);
+}
+
+TEST(GaussMarkovMobility, ZeroMemoryIsDiffusive) {
+  // memory = 0 with large noise: displacement much shorter than path.
+  const geom::RectField f(100.0, 100.0);
+  geom::Rng rng(5);
+  const GaussMarkovMobility m(f, {50, 50}, 0.5, 0.0, 2.0, 0.5, 40.0, rng);
+  double path_len = 0.0;
+  for (double t = 0.0; t < 40.0; t += 0.5) {
+    path_len += geom::distance(m.position_at(t), m.position_at(t + 0.5));
+  }
+  const double displacement =
+      geom::distance(m.position_at(0.0), m.position_at(40.0));
+  EXPECT_LT(displacement, 0.6 * path_len);
+}
+
+TEST(GaussMarkovMobility, MeanSpeedApproximatelyRespected) {
+  const geom::RectField f(200.0, 200.0);
+  geom::Rng rng(6);
+  const GaussMarkovMobility m(f, {100, 100}, 2.0, 0.7, 0.2, 0.5, 30.0, rng);
+  double path_len = 0.0;
+  for (double t = 0.0; t < 30.0; t += 0.5) {
+    path_len += geom::distance(m.position_at(t), m.position_at(t + 0.5));
+  }
+  EXPECT_NEAR(path_len / 30.0, 2.0, 1.0);
+}
+
+}  // namespace
+}  // namespace fluxfp::sim

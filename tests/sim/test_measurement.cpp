@@ -1,0 +1,102 @@
+#include "sim/measurement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "net/deployment.hpp"
+
+namespace fluxfp::sim {
+namespace {
+
+net::UnitDiskGraph paper_network(geom::Rng& rng) {
+  const geom::RectField f(30.0, 30.0);
+  return net::UnitDiskGraph(net::perturbed_grid(f, 30, 30, 0.5, rng), 2.4);
+}
+
+TEST(FluxEngine, EmptyWindowIsAllZero) {
+  geom::Rng rng(1);
+  const net::UnitDiskGraph g = paper_network(rng);
+  const FluxEngine engine(g);
+  const net::FluxMap flux = engine.measure({}, rng);
+  EXPECT_EQ(flux.size(), g.size());
+  for (double v : flux) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(FluxEngine, SingleCollectionTotalGeneratedData) {
+  geom::Rng rng(2);
+  const net::UnitDiskGraph g = paper_network(rng);
+  const FluxEngine engine(g);
+  const std::vector<Collection> cs{{0, {15.0, 15.0}, 2.0}};
+  const net::FluxMap flux = engine.measure(cs, rng);
+  // The root relays everything: max flux = stretch * n.
+  const double peak = *std::max_element(flux.begin(), flux.end());
+  EXPECT_DOUBLE_EQ(peak, 2.0 * static_cast<double>(g.size()));
+}
+
+TEST(FluxEngine, TwoCollectionsCumulate) {
+  geom::Rng rng(3);
+  const net::UnitDiskGraph g = paper_network(rng);
+  const FluxEngine engine(g);
+  const std::vector<Collection> both{{0, {5.0, 5.0}, 1.0},
+                                     {1, {25.0, 25.0}, 1.0}};
+  const net::FluxMap flux = engine.measure(both, rng);
+  // Total flux across nodes >= each single tree's total (they sum).
+  const double total = std::accumulate(flux.begin(), flux.end(), 0.0);
+  geom::Rng rng2(4);
+  const net::FluxMap single =
+      engine.measure(std::vector<Collection>{{0, {5.0, 5.0}, 1.0}}, rng2);
+  const double single_total =
+      std::accumulate(single.begin(), single.end(), 0.0);
+  EXPECT_GT(total, single_total);
+}
+
+TEST(FluxEngine, TracksAverageHopLength) {
+  geom::Rng rng(5);
+  const net::UnitDiskGraph g = paper_network(rng);
+  const FluxEngine engine(g);
+  EXPECT_DOUBLE_EQ(engine.last_average_hop_length(), 0.0);
+  (void)engine.measure(std::vector<Collection>{{0, {15.0, 15.0}, 1.0}}, rng);
+  EXPECT_GT(engine.last_average_hop_length(), 0.0);
+  EXPECT_LE(engine.last_average_hop_length(), g.radius());
+}
+
+TEST(FluxNoise, NoopWhenZero) {
+  net::FluxMap flux{1, 2, 3};
+  geom::Rng rng(6);
+  FluxEngine::apply_noise(flux, {0.0, 0.0}, rng);
+  EXPECT_EQ(flux, (net::FluxMap{1, 2, 3}));
+}
+
+TEST(FluxNoise, DropoutZeroesSomeEntries) {
+  net::FluxMap flux(1000, 1.0);
+  geom::Rng rng(7);
+  FluxEngine::apply_noise(flux, {0.0, 0.3}, rng);
+  const std::size_t zeros = static_cast<std::size_t>(
+      std::count(flux.begin(), flux.end(), 0.0));
+  EXPECT_NEAR(static_cast<double>(zeros), 300.0, 60.0);
+}
+
+TEST(FluxNoise, RelativeNoiseKeepsNonNegativity) {
+  net::FluxMap flux(1000, 1.0);
+  geom::Rng rng(8);
+  FluxEngine::apply_noise(flux, {0.8, 0.0}, rng);
+  for (double v : flux) {
+    EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(FluxNoise, RelativeNoisePreservesMeanApproximately) {
+  net::FluxMap flux(5000, 2.0);
+  geom::Rng rng(9);
+  FluxEngine::apply_noise(flux, {0.1, 0.0}, rng);
+  const double mean =
+      std::accumulate(flux.begin(), flux.end(), 0.0) / 5000.0;
+  EXPECT_NEAR(mean, 2.0, 0.02);
+}
+
+}  // namespace
+}  // namespace fluxfp::sim

@@ -1,0 +1,180 @@
+#include "sim/packet_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "net/deployment.hpp"
+
+namespace fluxfp::sim {
+namespace {
+
+struct Fixture {
+  geom::RectField field{30.0, 30.0};
+  net::UnitDiskGraph graph;
+  net::CollectionTree tree;
+
+  explicit Fixture(std::uint64_t seed)
+      : graph(make_graph(seed)), tree(make_tree(graph, seed)) {}
+
+  static net::UnitDiskGraph make_graph(std::uint64_t seed) {
+    geom::Rng rng(seed);
+    const geom::RectField f(30.0, 30.0);
+    return net::UnitDiskGraph(net::perturbed_grid(f, 15, 15, 0.5, rng), 4.0);
+  }
+  static net::CollectionTree make_tree(const net::UnitDiskGraph& g,
+                                       std::uint64_t seed) {
+    geom::Rng rng(seed + 1);
+    return net::build_collection_tree(g, {15.0, 15.0}, rng);
+  }
+};
+
+TEST(PacketSim, RejectsBadConfig) {
+  PacketSimConfig bad;
+  bad.tx_time = 0.0;
+  EXPECT_THROW(PacketLevelSimulator{bad}, std::invalid_argument);
+  bad = {};
+  bad.loss_prob = 1.0;
+  EXPECT_THROW(PacketLevelSimulator{bad}, std::invalid_argument);
+  bad = {};
+  bad.max_retries = -1;
+  EXPECT_THROW(PacketLevelSimulator{bad}, std::invalid_argument);
+}
+
+TEST(PacketSim, RejectsBadInputs) {
+  const Fixture fx(1);
+  const PacketLevelSimulator sim;
+  geom::Rng rng(2);
+  EXPECT_THROW(sim.simulate(fx.graph, fx.tree, -1.0, rng),
+               std::invalid_argument);
+  net::CollectionTree small;
+  small.parent.resize(3);
+  small.hop.resize(3);
+  EXPECT_THROW(sim.simulate(fx.graph, small, 1.0, rng),
+               std::invalid_argument);
+}
+
+TEST(PacketSim, LosslessTxCountsMatchAnalyticTreeFlux) {
+  // The core equivalence claim: with no losses and integer stretch, the
+  // per-node frame counts reproduce stretch * |subtree| exactly for every
+  // non-root node; the root absorbs for the sink.
+  const Fixture fx(3);
+  const PacketLevelSimulator sim;
+  geom::Rng rng(4);
+  const PacketSimResult res = sim.simulate(fx.graph, fx.tree, 2.0, rng);
+  const net::FluxMap analytic = net::tree_flux(fx.tree, 2.0);
+  for (std::size_t i = 0; i < fx.graph.size(); ++i) {
+    if (i == fx.tree.root) {
+      EXPECT_DOUBLE_EQ(res.tx_counts[i], 0.0);
+    } else {
+      EXPECT_DOUBLE_EQ(res.tx_counts[i], analytic[i]) << "node " << i;
+    }
+  }
+}
+
+TEST(PacketSim, LosslessEverythingDelivered) {
+  const Fixture fx(5);
+  const PacketLevelSimulator sim;
+  geom::Rng rng(6);
+  const PacketSimResult res = sim.simulate(fx.graph, fx.tree, 1.0, rng);
+  EXPECT_EQ(res.generated, fx.graph.size());
+  EXPECT_EQ(res.delivered, res.generated);
+  EXPECT_EQ(res.dropped, 0u);
+}
+
+TEST(PacketSim, FractionalStretchGeneratesExpectedFrames) {
+  const Fixture fx(7);
+  const PacketLevelSimulator sim;
+  geom::Rng rng(8);
+  double total = 0.0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    total += static_cast<double>(
+        sim.simulate(fx.graph, fx.tree, 1.5, rng).generated);
+  }
+  const double expected = 1.5 * static_cast<double>(fx.graph.size());
+  EXPECT_NEAR(total / trials, expected, 0.05 * expected);
+}
+
+TEST(PacketSim, AccountingBalances) {
+  // generated = delivered + dropped, under any loss rate.
+  const Fixture fx(9);
+  PacketSimConfig cfg;
+  cfg.loss_prob = 0.2;
+  cfg.max_retries = 1;
+  const PacketLevelSimulator sim(cfg);
+  geom::Rng rng(10);
+  const PacketSimResult res = sim.simulate(fx.graph, fx.tree, 1.0, rng);
+  EXPECT_EQ(res.generated, res.delivered + res.dropped);
+  EXPECT_GT(res.dropped, 0u);
+}
+
+TEST(PacketSim, RetransmissionsInflateTxCounts) {
+  const Fixture fx(11);
+  PacketSimConfig lossy;
+  lossy.loss_prob = 0.3;
+  lossy.max_retries = 3;
+  geom::Rng rng_a(12);
+  geom::Rng rng_b(12);
+  const PacketSimResult clean =
+      PacketLevelSimulator{}.simulate(fx.graph, fx.tree, 1.0, rng_a);
+  const PacketSimResult noisy =
+      PacketLevelSimulator{lossy}.simulate(fx.graph, fx.tree, 1.0, rng_b);
+  const double clean_total =
+      std::accumulate(clean.tx_counts.begin(), clean.tx_counts.end(), 0.0);
+  const double noisy_total =
+      std::accumulate(noisy.tx_counts.begin(), noisy.tx_counts.end(), 0.0);
+  // Losses remove relayed frames but retransmissions add frames; with
+  // retries = 3 the per-link expected transmissions rise by ~1/(1-p)-ish.
+  EXPECT_NE(noisy_total, clean_total);
+}
+
+TEST(PacketSim, MakespanFitsSecondsLevelWindow) {
+  // §3.A: ΔT can be bounded at the seconds level. With 1 ms frames a full
+  // 225-node collection completes well within one second.
+  const Fixture fx(13);
+  const PacketLevelSimulator sim;
+  geom::Rng rng(14);
+  const PacketSimResult res = sim.simulate(fx.graph, fx.tree, 2.0, rng);
+  EXPECT_GT(res.makespan, 0.0);
+  EXPECT_LT(res.makespan, 1.0);
+}
+
+TEST(PacketSim, MakespanGrowsWithStretch) {
+  const Fixture fx(15);
+  const PacketLevelSimulator sim;
+  geom::Rng rng_a(16);
+  geom::Rng rng_b(16);
+  const double m1 = sim.simulate(fx.graph, fx.tree, 1.0, rng_a).makespan;
+  const double m3 = sim.simulate(fx.graph, fx.tree, 3.0, rng_b).makespan;
+  EXPECT_GT(m3, m1);
+}
+
+TEST(PacketSim, ZeroStretchNoTraffic) {
+  const Fixture fx(17);
+  const PacketLevelSimulator sim;
+  geom::Rng rng(18);
+  const PacketSimResult res = sim.simulate(fx.graph, fx.tree, 0.0, rng);
+  EXPECT_EQ(res.generated, 0u);
+  EXPECT_EQ(res.delivered, 0u);
+  for (double c : res.tx_counts) {
+    EXPECT_DOUBLE_EQ(c, 0.0);
+  }
+}
+
+TEST(PacketSim, HeavyLossReducesDeliveredFraction) {
+  const Fixture fx(19);
+  PacketSimConfig heavy;
+  heavy.loss_prob = 0.5;
+  heavy.max_retries = 0;
+  const PacketLevelSimulator sim(heavy);
+  geom::Rng rng(20);
+  const PacketSimResult res = sim.simulate(fx.graph, fx.tree, 1.0, rng);
+  // Multi-hop delivery through p=0.5 links without retries: most packets
+  // from distant nodes die; delivered fraction drops well below 1.
+  EXPECT_LT(static_cast<double>(res.delivered),
+            0.7 * static_cast<double>(res.generated));
+}
+
+}  // namespace
+}  // namespace fluxfp::sim

@@ -1,0 +1,135 @@
+#include "sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "net/deployment.hpp"
+
+namespace fluxfp::sim {
+namespace {
+
+net::UnitDiskGraph small_network(geom::Rng& rng) {
+  const geom::RectField f(30.0, 30.0);
+  return net::UnitDiskGraph(net::perturbed_grid(f, 15, 15, 0.5, rng), 4.0);
+}
+
+SimUser static_user(geom::Vec2 pos, double stretch) {
+  SimUser u;
+  u.stretch = stretch;
+  u.mobility = std::make_shared<StaticMobility>(pos);
+  return u;
+}
+
+TEST(Scenario, ProducesOneObservationPerRound) {
+  geom::Rng rng(1);
+  const net::UnitDiskGraph g = small_network(rng);
+  ScenarioConfig cfg;
+  cfg.rounds = 7;
+  const auto obs = run_scenario(g, {static_user({15, 15}, 1.0)}, cfg, rng);
+  ASSERT_EQ(obs.size(), 7u);
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_DOUBLE_EQ(obs[static_cast<std::size_t>(i)].time,
+                     static_cast<double>(i + 1));
+  }
+}
+
+TEST(Scenario, RecordsTruePositionsOfMovingUsers) {
+  geom::Rng rng(2);
+  const net::UnitDiskGraph g = small_network(rng);
+  SimUser u;
+  u.stretch = 1.0;
+  u.mobility = std::make_shared<PathMobility>(
+      geom::Polyline({{0, 15}, {30, 15}}), 3.0);
+  ScenarioConfig cfg;
+  cfg.rounds = 3;
+  const auto obs = run_scenario(g, {u}, cfg, rng);
+  EXPECT_EQ(obs[0].true_positions[0], geom::Vec2(3, 15));
+  EXPECT_EQ(obs[1].true_positions[0], geom::Vec2(6, 15));
+  EXPECT_EQ(obs[2].true_positions[0], geom::Vec2(9, 15));
+}
+
+TEST(Scenario, InactiveUsersContributeNoFlux) {
+  geom::Rng rng(3);
+  const net::UnitDiskGraph g = small_network(rng);
+  SimUser u = static_user({15, 15}, 1.0);
+  u.is_active = [](double) { return false; };
+  ScenarioConfig cfg;
+  cfg.rounds = 2;
+  const auto obs = run_scenario(g, {u}, cfg, rng);
+  for (const auto& o : obs) {
+    EXPECT_FALSE(o.active[0]);
+    EXPECT_DOUBLE_EQ(std::accumulate(o.flux.begin(), o.flux.end(), 0.0), 0.0);
+  }
+}
+
+TEST(Scenario, ScheduleControlsWindows) {
+  geom::Rng rng(4);
+  const net::UnitDiskGraph g = small_network(rng);
+  SimUser u = static_user({15, 15}, 1.0);
+  u.is_active = [](double t) { return t > 1.5; };  // skips round 1
+  ScenarioConfig cfg;
+  cfg.rounds = 3;
+  const auto obs = run_scenario(g, {u}, cfg, rng);
+  EXPECT_FALSE(obs[0].active[0]);
+  EXPECT_TRUE(obs[1].active[0]);
+  EXPECT_TRUE(obs[2].active[0]);
+  EXPECT_DOUBLE_EQ(
+      std::accumulate(obs[0].flux.begin(), obs[0].flux.end(), 0.0), 0.0);
+  EXPECT_GT(std::accumulate(obs[1].flux.begin(), obs[1].flux.end(), 0.0),
+            0.0);
+}
+
+TEST(Scenario, MultipleUsersAllObserved) {
+  geom::Rng rng(5);
+  const net::UnitDiskGraph g = small_network(rng);
+  const std::vector<SimUser> users{static_user({5, 5}, 1.0),
+                                   static_user({25, 25}, 2.0)};
+  ScenarioConfig cfg;
+  cfg.rounds = 1;
+  const auto obs = run_scenario(g, users, cfg, rng);
+  ASSERT_EQ(obs[0].true_positions.size(), 2u);
+  ASSERT_EQ(obs[0].active.size(), 2u);
+  // Peak flux equals total generated data of both users.
+  const double peak = *std::max_element(obs[0].flux.begin(),
+                                        obs[0].flux.end());
+  EXPECT_LE(peak, 3.0 * static_cast<double>(g.size()));
+  EXPECT_GT(peak, 2.0 * static_cast<double>(g.size()) - 1.0);
+}
+
+TEST(Scenario, RejectsUserWithoutMobility) {
+  geom::Rng rng(6);
+  const net::UnitDiskGraph g = small_network(rng);
+  SimUser bad;
+  bad.stretch = 1.0;
+  ScenarioConfig cfg;
+  EXPECT_THROW(run_scenario(g, {bad}, cfg, rng), std::invalid_argument);
+}
+
+TEST(Scenario, NoiseIsApplied) {
+  geom::Rng rng(7);
+  const net::UnitDiskGraph g = small_network(rng);
+  ScenarioConfig cfg;
+  cfg.rounds = 1;
+  cfg.noise.dropout_prob = 1.0;  // extreme: every reading dropped
+  const auto obs = run_scenario(g, {static_user({15, 15}, 1.0)}, cfg, rng);
+  for (double v : obs[0].flux) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(Scenario, CustomWindowLengthShiftsTimes) {
+  geom::Rng rng(8);
+  const net::UnitDiskGraph g = small_network(rng);
+  ScenarioConfig cfg;
+  cfg.rounds = 2;
+  cfg.dt = 0.5;
+  cfg.start_time = 10.0;
+  const auto obs = run_scenario(g, {static_user({15, 15}, 1.0)}, cfg, rng);
+  EXPECT_DOUBLE_EQ(obs[0].time, 10.5);
+  EXPECT_DOUBLE_EQ(obs[1].time, 11.0);
+}
+
+}  // namespace
+}  // namespace fluxfp::sim

@@ -1,0 +1,83 @@
+#include "trace/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fluxfp::trace {
+namespace {
+
+Trace sample_trace() {
+  Trace t;
+  const geom::RectField f(10.0, 10.0);
+  t.aps = grid_aps(f, 2, 2);
+  t.events = {{"alice", 0.0, 0},
+              {"bob", 1.5, 2},
+              {"alice", 3.0, 1},
+              {"bob", 4.25, 3}};
+  return t;
+}
+
+TEST(TraceFormat, UsersInFirstAppearanceOrder) {
+  const Trace t = sample_trace();
+  EXPECT_EQ(t.users(), (std::vector<std::string>{"alice", "bob"}));
+}
+
+TEST(TraceFormat, EventsOfUserTimeOrdered) {
+  Trace t = sample_trace();
+  t.events.push_back({"alice", 0.5, 3});
+  const auto ev = t.events_of("alice");
+  ASSERT_EQ(ev.size(), 3u);
+  EXPECT_DOUBLE_EQ(ev[0].time, 0.0);
+  EXPECT_DOUBLE_EQ(ev[1].time, 0.5);
+  EXPECT_DOUBLE_EQ(ev[2].time, 3.0);
+}
+
+TEST(TraceFormat, EventsOfUnknownUserEmpty) {
+  EXPECT_TRUE(sample_trace().events_of("nobody").empty());
+}
+
+TEST(TraceFormat, CsvRoundTrip) {
+  const Trace t = sample_trace();
+  std::stringstream ss;
+  write_events_csv(ss, t);
+  const auto events = read_events_csv(ss);
+  ASSERT_EQ(events.size(), t.events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].user, t.events[i].user);
+    EXPECT_DOUBLE_EQ(events[i].time, t.events[i].time);
+    EXPECT_EQ(events[i].ap, t.events[i].ap);
+  }
+}
+
+TEST(TraceFormat, CsvHeaderWritten) {
+  std::stringstream ss;
+  write_events_csv(ss, sample_trace());
+  std::string first;
+  std::getline(ss, first);
+  EXPECT_EQ(first, "user,time,ap");
+}
+
+TEST(TraceFormat, ReadSkipsEmptyLinesAndHeader) {
+  std::stringstream ss("user,time,ap\n\nalice,1.5,3\n\n");
+  const auto events = read_events_csv(ss);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].user, "alice");
+}
+
+TEST(TraceFormat, ReadWithoutHeader) {
+  std::stringstream ss("alice,1.5,3\n");
+  const auto events = read_events_csv(ss);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].ap, 3u);
+}
+
+TEST(TraceFormat, ReadRejectsMalformed) {
+  std::stringstream missing("alice,1.5\n");
+  EXPECT_THROW(read_events_csv(missing), std::runtime_error);
+  std::stringstream bad_number("alice,xyz,3\n");
+  EXPECT_THROW(read_events_csv(bad_number), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fluxfp::trace

@@ -1,0 +1,122 @@
+#include "trace/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace fluxfp::trace {
+namespace {
+
+Trace make_trace(std::uint64_t seed, TraceGenConfig cfg = {}) {
+  const geom::RectField f(30.0, 30.0);
+  geom::Rng rng(seed);
+  return generate_trace(grid_aps(f, 5, 10), cfg, rng);
+}
+
+TEST(TraceGenerator, ProducesAllUsers) {
+  TraceGenConfig cfg;
+  cfg.num_users = 20;
+  const Trace t = make_trace(1, cfg);
+  EXPECT_EQ(t.users().size(), 20u);
+}
+
+TEST(TraceGenerator, EventsAreTimeOrdered) {
+  const Trace t = make_trace(2);
+  for (std::size_t i = 1; i < t.events.size(); ++i) {
+    EXPECT_LE(t.events[i - 1].time, t.events[i].time);
+  }
+}
+
+TEST(TraceGenerator, EventsWithinDuration) {
+  TraceGenConfig cfg;
+  cfg.duration = 50000.0;
+  const Trace t = make_trace(3, cfg);
+  for (const TraceEvent& e : t.events) {
+    EXPECT_GE(e.time, 0.0);
+    EXPECT_LT(e.time, cfg.duration);
+  }
+}
+
+TEST(TraceGenerator, EveryUserHasAtLeastOneEvent) {
+  const Trace t = make_trace(4);
+  for (const std::string& u : t.users()) {
+    EXPECT_FALSE(t.events_of(u).empty());
+  }
+}
+
+TEST(TraceGenerator, ApIdsAreValid) {
+  const Trace t = make_trace(5);
+  for (const TraceEvent& e : t.events) {
+    EXPECT_LT(e.ap, t.aps.size());
+  }
+}
+
+TEST(TraceGenerator, MovementsPreferNearbyAps) {
+  TraceGenConfig cfg;
+  cfg.jump_prob = 0.0;
+  cfg.hop_radius = 8.0;
+  const Trace t = make_trace(6, cfg);
+  // With jump_prob 0 every consecutive hop of a user is within hop_radius.
+  for (const std::string& u : t.users()) {
+    const auto ev = t.events_of(u);
+    for (std::size_t i = 1; i < ev.size(); ++i) {
+      const double d = geom::distance(t.aps[ev[i - 1].ap].position,
+                                      t.aps[ev[i].ap].position);
+      EXPECT_LE(d, 8.0 + 1e-9);
+    }
+  }
+}
+
+TEST(TraceGenerator, UsersAreAsynchronous) {
+  // Distinct users should not share all event times.
+  const Trace t = make_trace(7);
+  const auto a = t.events_of("user0");
+  const auto b = t.events_of("user1");
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
+  EXPECT_NE(a.front().time, b.front().time);
+}
+
+TEST(TraceGenerator, DwellTimesAreHeavyTailed) {
+  TraceGenConfig cfg;
+  cfg.num_users = 5;
+  cfg.duration = 500000.0;
+  const Trace t = make_trace(8, cfg);
+  std::vector<double> dwells;
+  for (const std::string& u : t.users()) {
+    const auto ev = t.events_of(u);
+    for (std::size_t i = 1; i < ev.size(); ++i) {
+      dwells.push_back(ev[i].time - ev[i - 1].time);
+    }
+  }
+  ASSERT_GT(dwells.size(), 50u);
+  std::sort(dwells.begin(), dwells.end());
+  const double median = dwells[dwells.size() / 2];
+  const double p95 = dwells[dwells.size() * 95 / 100];
+  // Lognormal sigma=1.2: the 95th percentile is several times the median.
+  EXPECT_GT(p95, 2.5 * median);
+}
+
+TEST(TraceGenerator, Deterministic) {
+  const Trace a = make_trace(9);
+  const Trace b = make_trace(9);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].user, b.events[i].user);
+    EXPECT_DOUBLE_EQ(a.events[i].time, b.events[i].time);
+    EXPECT_EQ(a.events[i].ap, b.events[i].ap);
+  }
+}
+
+TEST(TraceGenerator, RejectsBadInputs) {
+  geom::Rng rng(10);
+  TraceGenConfig cfg;
+  EXPECT_THROW(generate_trace({}, cfg, rng), std::invalid_argument);
+  cfg.num_users = 0;
+  const geom::RectField f(10.0, 10.0);
+  EXPECT_THROW(generate_trace(grid_aps(f, 2, 2), cfg, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fluxfp::trace

@@ -1,0 +1,151 @@
+#include "trace/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.hpp"
+
+namespace fluxfp::trace {
+namespace {
+
+TEST(TraceMobility, InterpolatesBetweenAps) {
+  const TraceMobility m({0.0, 10.0}, {{0, 0}, {10, 0}});
+  EXPECT_EQ(m.position_at(-1.0), geom::Vec2(0, 0));
+  EXPECT_EQ(m.position_at(0.0), geom::Vec2(0, 0));
+  EXPECT_EQ(m.position_at(5.0), geom::Vec2(5, 0));
+  EXPECT_EQ(m.position_at(10.0), geom::Vec2(10, 0));
+  EXPECT_EQ(m.position_at(42.0), geom::Vec2(10, 0));
+}
+
+TEST(TraceMobility, SingleEventIsStatic) {
+  const TraceMobility m({5.0}, {{3, 4}});
+  EXPECT_EQ(m.position_at(0.0), geom::Vec2(3, 4));
+  EXPECT_EQ(m.position_at(99.0), geom::Vec2(3, 4));
+}
+
+TEST(TraceMobility, RejectsBadSequences) {
+  EXPECT_THROW(TraceMobility({}, {}), std::invalid_argument);
+  EXPECT_THROW(TraceMobility({0.0, 0.0}, {{0, 0}, {1, 1}}),
+               std::invalid_argument);
+  EXPECT_THROW(TraceMobility({1.0, 0.5}, {{0, 0}, {1, 1}}),
+               std::invalid_argument);
+}
+
+Trace synthetic_trace() {
+  const geom::RectField f(30.0, 30.0);
+  geom::Rng rng(11);
+  TraceGenConfig cfg;
+  cfg.num_users = 6;
+  cfg.duration = 100000.0;
+  return generate_trace(grid_aps(f, 5, 10), cfg, rng);
+}
+
+TEST(ReplayUsers, OnePerTraceUser) {
+  geom::Rng rng(1);
+  const auto users = replay_users(synthetic_trace(), {}, rng);
+  EXPECT_EQ(users.size(), 6u);
+}
+
+TEST(ReplayUsers, CompressionScalesTimes) {
+  const Trace t = synthetic_trace();
+  geom::Rng rng_a(2);
+  geom::Rng rng_b(2);
+  ReplayConfig c100;
+  c100.compression = 100.0;
+  ReplayConfig c50;
+  c50.compression = 50.0;
+  const auto u100 = replay_users(t, c100, rng_a);
+  const auto u50 = replay_users(t, c50, rng_b);
+  EXPECT_NEAR(compressed_end_time(u50), 2.0 * compressed_end_time(u100),
+              1e-6);
+}
+
+TEST(ReplayUsers, EarliestEventLandsAtZero) {
+  geom::Rng rng(3);
+  const auto users = replay_users(synthetic_trace(), {}, rng);
+  double earliest = 1e18;
+  for (const auto& u : users) {
+    ASSERT_FALSE(u.event_times.empty());
+    earliest = std::min(earliest, u.event_times.front());
+  }
+  EXPECT_NEAR(earliest, 0.0, 1e-9);
+}
+
+TEST(ReplayUsers, StretchesInRange) {
+  geom::Rng rng(4);
+  ReplayConfig cfg;
+  cfg.stretch_lo = 1.0;
+  cfg.stretch_hi = 3.0;
+  for (const auto& u : replay_users(synthetic_trace(), cfg, rng)) {
+    EXPECT_GE(u.sim.stretch, 1.0);
+    EXPECT_LE(u.sim.stretch, 3.0);
+  }
+}
+
+TEST(ReplayUsers, ScheduleMatchesEventWindows) {
+  geom::Rng rng(5);
+  ReplayConfig cfg;
+  cfg.window = 1.0;
+  const auto users = replay_users(synthetic_trace(), cfg, rng);
+  for (const auto& u : users) {
+    // Active exactly at a window that ends on an event time.
+    const double t0 = u.event_times.front();
+    EXPECT_TRUE(u.sim.is_active(t0));
+    EXPECT_TRUE(u.sim.is_active(t0 + 0.5));   // event in (t-1, t]
+    EXPECT_FALSE(u.sim.is_active(t0 - 0.01)); // event after window end
+  }
+}
+
+TEST(ReplayUsers, MobilityFollowsApPath) {
+  // Hand-built trace: alice goes AP0 (t=0s) -> AP3 (t=100s), compression 100
+  // puts the compressed trajectory between t=0 and t=1.
+  Trace t;
+  const geom::RectField f(10.0, 10.0);
+  t.aps = grid_aps(f, 2, 2);
+  t.events = {{"alice", 0.0, 0}, {"alice", 100.0, 3}};
+  geom::Rng rng(6);
+  ReplayConfig cfg;
+  cfg.compression = 100.0;
+  const auto users = replay_users(t, cfg, rng);
+  ASSERT_EQ(users.size(), 1u);
+  const auto& m = *users[0].sim.mobility;
+  EXPECT_EQ(m.position_at(0.0), t.aps[0].position);
+  EXPECT_EQ(m.position_at(1.0), t.aps[3].position);
+  const geom::Vec2 mid = m.position_at(0.5);
+  EXPECT_NEAR(mid.x, 5.0, 1e-9);
+  EXPECT_NEAR(mid.y, 5.0, 1e-9);
+}
+
+TEST(ReplayUsers, DuplicateTimestampsDropped) {
+  Trace t;
+  const geom::RectField f(10.0, 10.0);
+  t.aps = grid_aps(f, 2, 2);
+  t.events = {{"alice", 0.0, 0}, {"alice", 0.0, 1}, {"alice", 100.0, 3}};
+  geom::Rng rng(7);
+  const auto users = replay_users(t, {}, rng);
+  ASSERT_EQ(users.size(), 1u);
+  EXPECT_EQ(users[0].event_times.size(), 2u);
+}
+
+TEST(ReplayUsers, RejectsBadConfig) {
+  geom::Rng rng(8);
+  ReplayConfig bad;
+  bad.compression = 0.0;
+  EXPECT_THROW(replay_users(synthetic_trace(), bad, rng),
+               std::invalid_argument);
+}
+
+TEST(ReplayUsers, UnknownApThrows) {
+  Trace t;
+  const geom::RectField f(10.0, 10.0);
+  t.aps = grid_aps(f, 2, 2);
+  t.events = {{"alice", 0.0, 99}};
+  geom::Rng rng(9);
+  EXPECT_THROW(replay_users(t, {}, rng), std::invalid_argument);
+}
+
+TEST(CompressedEndTime, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(compressed_end_time({}), 0.0);
+}
+
+}  // namespace
+}  // namespace fluxfp::trace
