@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig10_trace_driven.dir/exp_fig10_trace_driven.cpp.o"
+  "CMakeFiles/exp_fig10_trace_driven.dir/exp_fig10_trace_driven.cpp.o.d"
+  "exp_fig10_trace_driven"
+  "exp_fig10_trace_driven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig10_trace_driven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig3_model_accuracy.dir/exp_fig3_model_accuracy.cpp.o"
+  "CMakeFiles/exp_fig3_model_accuracy.dir/exp_fig3_model_accuracy.cpp.o.d"
+  "exp_fig3_model_accuracy"
+  "exp_fig3_model_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig3_model_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig4_briefing.dir/exp_fig4_briefing.cpp.o"
+  "CMakeFiles/exp_fig4_briefing.dir/exp_fig4_briefing.cpp.o.d"
+  "exp_fig4_briefing"
+  "exp_fig4_briefing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig4_briefing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

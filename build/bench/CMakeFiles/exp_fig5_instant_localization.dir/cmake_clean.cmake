@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig5_instant_localization.dir/exp_fig5_instant_localization.cpp.o"
+  "CMakeFiles/exp_fig5_instant_localization.dir/exp_fig5_instant_localization.cpp.o.d"
+  "exp_fig5_instant_localization"
+  "exp_fig5_instant_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig5_instant_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

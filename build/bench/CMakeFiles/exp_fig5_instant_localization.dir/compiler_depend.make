@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_fig5_instant_localization.
+# This may be replaced when dependencies are built.

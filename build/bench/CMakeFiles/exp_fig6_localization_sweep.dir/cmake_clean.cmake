@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig6_localization_sweep.dir/exp_fig6_localization_sweep.cpp.o"
+  "CMakeFiles/exp_fig6_localization_sweep.dir/exp_fig6_localization_sweep.cpp.o.d"
+  "exp_fig6_localization_sweep"
+  "exp_fig6_localization_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig6_localization_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

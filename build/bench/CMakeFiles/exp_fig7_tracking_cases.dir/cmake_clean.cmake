@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig7_tracking_cases.dir/exp_fig7_tracking_cases.cpp.o"
+  "CMakeFiles/exp_fig7_tracking_cases.dir/exp_fig7_tracking_cases.cpp.o.d"
+  "exp_fig7_tracking_cases"
+  "exp_fig7_tracking_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig7_tracking_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_fig7_tracking_cases.
+# This may be replaced when dependencies are built.

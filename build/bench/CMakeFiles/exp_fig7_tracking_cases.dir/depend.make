@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_fig7_tracking_cases.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig8_tracking_sweep.dir/exp_fig8_tracking_sweep.cpp.o"
+  "CMakeFiles/exp_fig8_tracking_sweep.dir/exp_fig8_tracking_sweep.cpp.o.d"
+  "exp_fig8_tracking_sweep"
+  "exp_fig8_tracking_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig8_tracking_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

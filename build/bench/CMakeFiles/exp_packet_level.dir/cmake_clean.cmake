@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_packet_level.dir/exp_packet_level.cpp.o"
+  "CMakeFiles/exp_packet_level.dir/exp_packet_level.cpp.o.d"
+  "exp_packet_level"
+  "exp_packet_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_packet_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_trace.dir/campus_trace.cpp.o"
+  "CMakeFiles/campus_trace.dir/campus_trace.cpp.o.d"
+  "campus_trace"
+  "campus_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

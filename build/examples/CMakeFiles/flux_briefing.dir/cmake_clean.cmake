@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_briefing.dir/flux_briefing.cpp.o"
+  "CMakeFiles/flux_briefing.dir/flux_briefing.cpp.o.d"
+  "flux_briefing"
+  "flux_briefing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_briefing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

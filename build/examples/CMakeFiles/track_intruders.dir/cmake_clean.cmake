@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/track_intruders.dir/track_intruders.cpp.o"
+  "CMakeFiles/track_intruders.dir/track_intruders.cpp.o.d"
+  "track_intruders"
+  "track_intruders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/track_intruders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

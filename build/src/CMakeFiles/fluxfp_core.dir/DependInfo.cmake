@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adversary.cpp" "src/CMakeFiles/fluxfp_core.dir/core/adversary.cpp.o" "gcc" "src/CMakeFiles/fluxfp_core.dir/core/adversary.cpp.o.d"
+  "/root/repo/src/core/baseline.cpp" "src/CMakeFiles/fluxfp_core.dir/core/baseline.cpp.o" "gcc" "src/CMakeFiles/fluxfp_core.dir/core/baseline.cpp.o.d"
+  "/root/repo/src/core/briefing.cpp" "src/CMakeFiles/fluxfp_core.dir/core/briefing.cpp.o" "gcc" "src/CMakeFiles/fluxfp_core.dir/core/briefing.cpp.o.d"
+  "/root/repo/src/core/flux_model.cpp" "src/CMakeFiles/fluxfp_core.dir/core/flux_model.cpp.o" "gcc" "src/CMakeFiles/fluxfp_core.dir/core/flux_model.cpp.o.d"
+  "/root/repo/src/core/identity.cpp" "src/CMakeFiles/fluxfp_core.dir/core/identity.cpp.o" "gcc" "src/CMakeFiles/fluxfp_core.dir/core/identity.cpp.o.d"
+  "/root/repo/src/core/localizer.cpp" "src/CMakeFiles/fluxfp_core.dir/core/localizer.cpp.o" "gcc" "src/CMakeFiles/fluxfp_core.dir/core/localizer.cpp.o.d"
+  "/root/repo/src/core/nls.cpp" "src/CMakeFiles/fluxfp_core.dir/core/nls.cpp.o" "gcc" "src/CMakeFiles/fluxfp_core.dir/core/nls.cpp.o.d"
+  "/root/repo/src/core/smc.cpp" "src/CMakeFiles/fluxfp_core.dir/core/smc.cpp.o" "gcc" "src/CMakeFiles/fluxfp_core.dir/core/smc.cpp.o.d"
+  "/root/repo/src/core/smooth_localizer.cpp" "src/CMakeFiles/fluxfp_core.dir/core/smooth_localizer.cpp.o" "gcc" "src/CMakeFiles/fluxfp_core.dir/core/smooth_localizer.cpp.o.d"
+  "/root/repo/src/core/trajectory.cpp" "src/CMakeFiles/fluxfp_core.dir/core/trajectory.cpp.o" "gcc" "src/CMakeFiles/fluxfp_core.dir/core/trajectory.cpp.o.d"
+  "/root/repo/src/core/user_count.cpp" "src/CMakeFiles/fluxfp_core.dir/core/user_count.cpp.o" "gcc" "src/CMakeFiles/fluxfp_core.dir/core/user_count.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fluxfp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

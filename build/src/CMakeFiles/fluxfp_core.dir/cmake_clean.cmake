@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluxfp_core.dir/core/adversary.cpp.o"
+  "CMakeFiles/fluxfp_core.dir/core/adversary.cpp.o.d"
+  "CMakeFiles/fluxfp_core.dir/core/baseline.cpp.o"
+  "CMakeFiles/fluxfp_core.dir/core/baseline.cpp.o.d"
+  "CMakeFiles/fluxfp_core.dir/core/briefing.cpp.o"
+  "CMakeFiles/fluxfp_core.dir/core/briefing.cpp.o.d"
+  "CMakeFiles/fluxfp_core.dir/core/flux_model.cpp.o"
+  "CMakeFiles/fluxfp_core.dir/core/flux_model.cpp.o.d"
+  "CMakeFiles/fluxfp_core.dir/core/identity.cpp.o"
+  "CMakeFiles/fluxfp_core.dir/core/identity.cpp.o.d"
+  "CMakeFiles/fluxfp_core.dir/core/localizer.cpp.o"
+  "CMakeFiles/fluxfp_core.dir/core/localizer.cpp.o.d"
+  "CMakeFiles/fluxfp_core.dir/core/nls.cpp.o"
+  "CMakeFiles/fluxfp_core.dir/core/nls.cpp.o.d"
+  "CMakeFiles/fluxfp_core.dir/core/smc.cpp.o"
+  "CMakeFiles/fluxfp_core.dir/core/smc.cpp.o.d"
+  "CMakeFiles/fluxfp_core.dir/core/smooth_localizer.cpp.o"
+  "CMakeFiles/fluxfp_core.dir/core/smooth_localizer.cpp.o.d"
+  "CMakeFiles/fluxfp_core.dir/core/trajectory.cpp.o"
+  "CMakeFiles/fluxfp_core.dir/core/trajectory.cpp.o.d"
+  "CMakeFiles/fluxfp_core.dir/core/user_count.cpp.o"
+  "CMakeFiles/fluxfp_core.dir/core/user_count.cpp.o.d"
+  "libfluxfp_core.a"
+  "libfluxfp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluxfp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

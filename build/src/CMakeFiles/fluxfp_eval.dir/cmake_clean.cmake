@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluxfp_eval.dir/eval/config.cpp.o"
+  "CMakeFiles/fluxfp_eval.dir/eval/config.cpp.o.d"
+  "CMakeFiles/fluxfp_eval.dir/eval/experiment.cpp.o"
+  "CMakeFiles/fluxfp_eval.dir/eval/experiment.cpp.o.d"
+  "CMakeFiles/fluxfp_eval.dir/eval/metrics.cpp.o"
+  "CMakeFiles/fluxfp_eval.dir/eval/metrics.cpp.o.d"
+  "CMakeFiles/fluxfp_eval.dir/eval/table.cpp.o"
+  "CMakeFiles/fluxfp_eval.dir/eval/table.cpp.o.d"
+  "libfluxfp_eval.a"
+  "libfluxfp_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluxfp_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfluxfp_eval.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluxfp_geom.dir/geom/field.cpp.o"
+  "CMakeFiles/fluxfp_geom.dir/geom/field.cpp.o.d"
+  "CMakeFiles/fluxfp_geom.dir/geom/polyline.cpp.o"
+  "CMakeFiles/fluxfp_geom.dir/geom/polyline.cpp.o.d"
+  "CMakeFiles/fluxfp_geom.dir/geom/sampling.cpp.o"
+  "CMakeFiles/fluxfp_geom.dir/geom/sampling.cpp.o.d"
+  "libfluxfp_geom.a"
+  "libfluxfp_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluxfp_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

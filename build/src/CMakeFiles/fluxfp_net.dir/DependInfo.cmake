@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/deployment.cpp" "src/CMakeFiles/fluxfp_net.dir/net/deployment.cpp.o" "gcc" "src/CMakeFiles/fluxfp_net.dir/net/deployment.cpp.o.d"
+  "/root/repo/src/net/flux.cpp" "src/CMakeFiles/fluxfp_net.dir/net/flux.cpp.o" "gcc" "src/CMakeFiles/fluxfp_net.dir/net/flux.cpp.o.d"
+  "/root/repo/src/net/graph.cpp" "src/CMakeFiles/fluxfp_net.dir/net/graph.cpp.o" "gcc" "src/CMakeFiles/fluxfp_net.dir/net/graph.cpp.o.d"
+  "/root/repo/src/net/io.cpp" "src/CMakeFiles/fluxfp_net.dir/net/io.cpp.o" "gcc" "src/CMakeFiles/fluxfp_net.dir/net/io.cpp.o.d"
+  "/root/repo/src/net/routing.cpp" "src/CMakeFiles/fluxfp_net.dir/net/routing.cpp.o" "gcc" "src/CMakeFiles/fluxfp_net.dir/net/routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fluxfp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

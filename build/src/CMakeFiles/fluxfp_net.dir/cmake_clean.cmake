@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluxfp_net.dir/net/deployment.cpp.o"
+  "CMakeFiles/fluxfp_net.dir/net/deployment.cpp.o.d"
+  "CMakeFiles/fluxfp_net.dir/net/flux.cpp.o"
+  "CMakeFiles/fluxfp_net.dir/net/flux.cpp.o.d"
+  "CMakeFiles/fluxfp_net.dir/net/graph.cpp.o"
+  "CMakeFiles/fluxfp_net.dir/net/graph.cpp.o.d"
+  "CMakeFiles/fluxfp_net.dir/net/io.cpp.o"
+  "CMakeFiles/fluxfp_net.dir/net/io.cpp.o.d"
+  "CMakeFiles/fluxfp_net.dir/net/routing.cpp.o"
+  "CMakeFiles/fluxfp_net.dir/net/routing.cpp.o.d"
+  "libfluxfp_net.a"
+  "libfluxfp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluxfp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numeric/hungarian.cpp" "src/CMakeFiles/fluxfp_numeric.dir/numeric/hungarian.cpp.o" "gcc" "src/CMakeFiles/fluxfp_numeric.dir/numeric/hungarian.cpp.o.d"
+  "/root/repo/src/numeric/linalg.cpp" "src/CMakeFiles/fluxfp_numeric.dir/numeric/linalg.cpp.o" "gcc" "src/CMakeFiles/fluxfp_numeric.dir/numeric/linalg.cpp.o.d"
+  "/root/repo/src/numeric/lm.cpp" "src/CMakeFiles/fluxfp_numeric.dir/numeric/lm.cpp.o" "gcc" "src/CMakeFiles/fluxfp_numeric.dir/numeric/lm.cpp.o.d"
+  "/root/repo/src/numeric/matrix.cpp" "src/CMakeFiles/fluxfp_numeric.dir/numeric/matrix.cpp.o" "gcc" "src/CMakeFiles/fluxfp_numeric.dir/numeric/matrix.cpp.o.d"
+  "/root/repo/src/numeric/nnls.cpp" "src/CMakeFiles/fluxfp_numeric.dir/numeric/nnls.cpp.o" "gcc" "src/CMakeFiles/fluxfp_numeric.dir/numeric/nnls.cpp.o.d"
+  "/root/repo/src/numeric/stats.cpp" "src/CMakeFiles/fluxfp_numeric.dir/numeric/stats.cpp.o" "gcc" "src/CMakeFiles/fluxfp_numeric.dir/numeric/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

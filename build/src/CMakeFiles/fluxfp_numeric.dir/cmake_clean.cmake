@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluxfp_numeric.dir/numeric/hungarian.cpp.o"
+  "CMakeFiles/fluxfp_numeric.dir/numeric/hungarian.cpp.o.d"
+  "CMakeFiles/fluxfp_numeric.dir/numeric/linalg.cpp.o"
+  "CMakeFiles/fluxfp_numeric.dir/numeric/linalg.cpp.o.d"
+  "CMakeFiles/fluxfp_numeric.dir/numeric/lm.cpp.o"
+  "CMakeFiles/fluxfp_numeric.dir/numeric/lm.cpp.o.d"
+  "CMakeFiles/fluxfp_numeric.dir/numeric/matrix.cpp.o"
+  "CMakeFiles/fluxfp_numeric.dir/numeric/matrix.cpp.o.d"
+  "CMakeFiles/fluxfp_numeric.dir/numeric/nnls.cpp.o"
+  "CMakeFiles/fluxfp_numeric.dir/numeric/nnls.cpp.o.d"
+  "CMakeFiles/fluxfp_numeric.dir/numeric/stats.cpp.o"
+  "CMakeFiles/fluxfp_numeric.dir/numeric/stats.cpp.o.d"
+  "libfluxfp_numeric.a"
+  "libfluxfp_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluxfp_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluxfp_privacy.dir/privacy/countermeasure.cpp.o"
+  "CMakeFiles/fluxfp_privacy.dir/privacy/countermeasure.cpp.o.d"
+  "libfluxfp_privacy.a"
+  "libfluxfp_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluxfp_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

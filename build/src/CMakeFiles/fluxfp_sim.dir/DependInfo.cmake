@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/measurement.cpp" "src/CMakeFiles/fluxfp_sim.dir/sim/measurement.cpp.o" "gcc" "src/CMakeFiles/fluxfp_sim.dir/sim/measurement.cpp.o.d"
+  "/root/repo/src/sim/mobility.cpp" "src/CMakeFiles/fluxfp_sim.dir/sim/mobility.cpp.o" "gcc" "src/CMakeFiles/fluxfp_sim.dir/sim/mobility.cpp.o.d"
+  "/root/repo/src/sim/packet_sim.cpp" "src/CMakeFiles/fluxfp_sim.dir/sim/packet_sim.cpp.o" "gcc" "src/CMakeFiles/fluxfp_sim.dir/sim/packet_sim.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/CMakeFiles/fluxfp_sim.dir/sim/scenario.cpp.o" "gcc" "src/CMakeFiles/fluxfp_sim.dir/sim/scenario.cpp.o.d"
+  "/root/repo/src/sim/sniffer.cpp" "src/CMakeFiles/fluxfp_sim.dir/sim/sniffer.cpp.o" "gcc" "src/CMakeFiles/fluxfp_sim.dir/sim/sniffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fluxfp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluxfp_sim.dir/sim/measurement.cpp.o"
+  "CMakeFiles/fluxfp_sim.dir/sim/measurement.cpp.o.d"
+  "CMakeFiles/fluxfp_sim.dir/sim/mobility.cpp.o"
+  "CMakeFiles/fluxfp_sim.dir/sim/mobility.cpp.o.d"
+  "CMakeFiles/fluxfp_sim.dir/sim/packet_sim.cpp.o"
+  "CMakeFiles/fluxfp_sim.dir/sim/packet_sim.cpp.o.d"
+  "CMakeFiles/fluxfp_sim.dir/sim/scenario.cpp.o"
+  "CMakeFiles/fluxfp_sim.dir/sim/scenario.cpp.o.d"
+  "CMakeFiles/fluxfp_sim.dir/sim/sniffer.cpp.o"
+  "CMakeFiles/fluxfp_sim.dir/sim/sniffer.cpp.o.d"
+  "libfluxfp_sim.a"
+  "libfluxfp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluxfp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

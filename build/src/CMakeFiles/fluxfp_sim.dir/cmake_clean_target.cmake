@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfluxfp_sim.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/ap.cpp" "src/CMakeFiles/fluxfp_trace.dir/trace/ap.cpp.o" "gcc" "src/CMakeFiles/fluxfp_trace.dir/trace/ap.cpp.o.d"
+  "/root/repo/src/trace/format.cpp" "src/CMakeFiles/fluxfp_trace.dir/trace/format.cpp.o" "gcc" "src/CMakeFiles/fluxfp_trace.dir/trace/format.cpp.o.d"
+  "/root/repo/src/trace/generator.cpp" "src/CMakeFiles/fluxfp_trace.dir/trace/generator.cpp.o" "gcc" "src/CMakeFiles/fluxfp_trace.dir/trace/generator.cpp.o.d"
+  "/root/repo/src/trace/replay.cpp" "src/CMakeFiles/fluxfp_trace.dir/trace/replay.cpp.o" "gcc" "src/CMakeFiles/fluxfp_trace.dir/trace/replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fluxfp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluxfp_trace.dir/trace/ap.cpp.o"
+  "CMakeFiles/fluxfp_trace.dir/trace/ap.cpp.o.d"
+  "CMakeFiles/fluxfp_trace.dir/trace/format.cpp.o"
+  "CMakeFiles/fluxfp_trace.dir/trace/format.cpp.o.d"
+  "CMakeFiles/fluxfp_trace.dir/trace/generator.cpp.o"
+  "CMakeFiles/fluxfp_trace.dir/trace/generator.cpp.o.d"
+  "CMakeFiles/fluxfp_trace.dir/trace/replay.cpp.o"
+  "CMakeFiles/fluxfp_trace.dir/trace/replay.cpp.o.d"
+  "libfluxfp_trace.a"
+  "libfluxfp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluxfp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fluxfp_trace.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_adversary.cpp" "tests/CMakeFiles/test_core.dir/core/test_adversary.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_adversary.cpp.o.d"
+  "/root/repo/tests/core/test_alt_localizers.cpp" "tests/CMakeFiles/test_core.dir/core/test_alt_localizers.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_alt_localizers.cpp.o.d"
+  "/root/repo/tests/core/test_baseline.cpp" "tests/CMakeFiles/test_core.dir/core/test_baseline.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_baseline.cpp.o.d"
+  "/root/repo/tests/core/test_briefing.cpp" "tests/CMakeFiles/test_core.dir/core/test_briefing.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_briefing.cpp.o.d"
+  "/root/repo/tests/core/test_flux_model.cpp" "tests/CMakeFiles/test_core.dir/core/test_flux_model.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_flux_model.cpp.o.d"
+  "/root/repo/tests/core/test_identity.cpp" "tests/CMakeFiles/test_core.dir/core/test_identity.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_identity.cpp.o.d"
+  "/root/repo/tests/core/test_localizer.cpp" "tests/CMakeFiles/test_core.dir/core/test_localizer.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_localizer.cpp.o.d"
+  "/root/repo/tests/core/test_nls.cpp" "tests/CMakeFiles/test_core.dir/core/test_nls.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_nls.cpp.o.d"
+  "/root/repo/tests/core/test_noise_robustness.cpp" "tests/CMakeFiles/test_core.dir/core/test_noise_robustness.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_noise_robustness.cpp.o.d"
+  "/root/repo/tests/core/test_smc.cpp" "tests/CMakeFiles/test_core.dir/core/test_smc.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_smc.cpp.o.d"
+  "/root/repo/tests/core/test_smooth_localizer.cpp" "tests/CMakeFiles/test_core.dir/core/test_smooth_localizer.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_smooth_localizer.cpp.o.d"
+  "/root/repo/tests/core/test_trajectory.cpp" "tests/CMakeFiles/test_core.dir/core/test_trajectory.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_trajectory.cpp.o.d"
+  "/root/repo/tests/core/test_user_count.cpp" "tests/CMakeFiles/test_core.dir/core/test_user_count.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_user_count.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fluxfp_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_adversary.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_adversary.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_alt_localizers.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_alt_localizers.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_baseline.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_baseline.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_briefing.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_briefing.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_flux_model.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_flux_model.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_identity.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_identity.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_localizer.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_localizer.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_nls.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_nls.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_noise_robustness.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_noise_robustness.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_smc.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_smc.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_smooth_localizer.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_smooth_localizer.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_trajectory.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_trajectory.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_user_count.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_user_count.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom.dir/geom/test_circle_field.cpp.o"
+  "CMakeFiles/test_geom.dir/geom/test_circle_field.cpp.o.d"
+  "CMakeFiles/test_geom.dir/geom/test_field.cpp.o"
+  "CMakeFiles/test_geom.dir/geom/test_field.cpp.o.d"
+  "CMakeFiles/test_geom.dir/geom/test_polyline.cpp.o"
+  "CMakeFiles/test_geom.dir/geom/test_polyline.cpp.o.d"
+  "CMakeFiles/test_geom.dir/geom/test_sampling.cpp.o"
+  "CMakeFiles/test_geom.dir/geom/test_sampling.cpp.o.d"
+  "CMakeFiles/test_geom.dir/geom/test_vec2.cpp.o"
+  "CMakeFiles/test_geom.dir/geom/test_vec2.cpp.o.d"
+  "test_geom"
+  "test_geom.pdb"
+  "test_geom[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/test_clustered.cpp" "tests/CMakeFiles/test_net.dir/net/test_clustered.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_clustered.cpp.o.d"
+  "/root/repo/tests/net/test_deployment.cpp" "tests/CMakeFiles/test_net.dir/net/test_deployment.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_deployment.cpp.o.d"
+  "/root/repo/tests/net/test_flux.cpp" "tests/CMakeFiles/test_net.dir/net/test_flux.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_flux.cpp.o.d"
+  "/root/repo/tests/net/test_graph.cpp" "tests/CMakeFiles/test_net.dir/net/test_graph.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_graph.cpp.o.d"
+  "/root/repo/tests/net/test_invariants.cpp" "tests/CMakeFiles/test_net.dir/net/test_invariants.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_invariants.cpp.o.d"
+  "/root/repo/tests/net/test_io.cpp" "tests/CMakeFiles/test_net.dir/net/test_io.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_io.cpp.o.d"
+  "/root/repo/tests/net/test_multipath.cpp" "tests/CMakeFiles/test_net.dir/net/test_multipath.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_multipath.cpp.o.d"
+  "/root/repo/tests/net/test_routing.cpp" "tests/CMakeFiles/test_net.dir/net/test_routing.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fluxfp_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

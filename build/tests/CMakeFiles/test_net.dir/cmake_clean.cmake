@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/test_clustered.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_clustered.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_deployment.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_deployment.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_flux.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_flux.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_graph.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_graph.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_invariants.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_invariants.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_io.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_io.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_multipath.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_multipath.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_routing.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_routing.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/numeric/test_hungarian.cpp" "tests/CMakeFiles/test_numeric.dir/numeric/test_hungarian.cpp.o" "gcc" "tests/CMakeFiles/test_numeric.dir/numeric/test_hungarian.cpp.o.d"
+  "/root/repo/tests/numeric/test_linalg.cpp" "tests/CMakeFiles/test_numeric.dir/numeric/test_linalg.cpp.o" "gcc" "tests/CMakeFiles/test_numeric.dir/numeric/test_linalg.cpp.o.d"
+  "/root/repo/tests/numeric/test_lm.cpp" "tests/CMakeFiles/test_numeric.dir/numeric/test_lm.cpp.o" "gcc" "tests/CMakeFiles/test_numeric.dir/numeric/test_lm.cpp.o.d"
+  "/root/repo/tests/numeric/test_matrix.cpp" "tests/CMakeFiles/test_numeric.dir/numeric/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_numeric.dir/numeric/test_matrix.cpp.o.d"
+  "/root/repo/tests/numeric/test_nnls.cpp" "tests/CMakeFiles/test_numeric.dir/numeric/test_nnls.cpp.o" "gcc" "tests/CMakeFiles/test_numeric.dir/numeric/test_nnls.cpp.o.d"
+  "/root/repo/tests/numeric/test_properties.cpp" "tests/CMakeFiles/test_numeric.dir/numeric/test_properties.cpp.o" "gcc" "tests/CMakeFiles/test_numeric.dir/numeric/test_properties.cpp.o.d"
+  "/root/repo/tests/numeric/test_stats.cpp" "tests/CMakeFiles/test_numeric.dir/numeric/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_numeric.dir/numeric/test_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fluxfp_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

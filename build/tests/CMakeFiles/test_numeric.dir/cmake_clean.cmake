@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numeric.dir/numeric/test_hungarian.cpp.o"
+  "CMakeFiles/test_numeric.dir/numeric/test_hungarian.cpp.o.d"
+  "CMakeFiles/test_numeric.dir/numeric/test_linalg.cpp.o"
+  "CMakeFiles/test_numeric.dir/numeric/test_linalg.cpp.o.d"
+  "CMakeFiles/test_numeric.dir/numeric/test_lm.cpp.o"
+  "CMakeFiles/test_numeric.dir/numeric/test_lm.cpp.o.d"
+  "CMakeFiles/test_numeric.dir/numeric/test_matrix.cpp.o"
+  "CMakeFiles/test_numeric.dir/numeric/test_matrix.cpp.o.d"
+  "CMakeFiles/test_numeric.dir/numeric/test_nnls.cpp.o"
+  "CMakeFiles/test_numeric.dir/numeric/test_nnls.cpp.o.d"
+  "CMakeFiles/test_numeric.dir/numeric/test_properties.cpp.o"
+  "CMakeFiles/test_numeric.dir/numeric/test_properties.cpp.o.d"
+  "CMakeFiles/test_numeric.dir/numeric/test_stats.cpp.o"
+  "CMakeFiles/test_numeric.dir/numeric/test_stats.cpp.o.d"
+  "test_numeric"
+  "test_numeric.pdb"
+  "test_numeric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

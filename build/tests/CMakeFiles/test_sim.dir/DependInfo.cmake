@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_gauss_markov.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_gauss_markov.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_gauss_markov.cpp.o.d"
+  "/root/repo/tests/sim/test_measurement.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_measurement.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_measurement.cpp.o.d"
+  "/root/repo/tests/sim/test_mobility.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_mobility.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_mobility.cpp.o.d"
+  "/root/repo/tests/sim/test_packet_sim.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_packet_sim.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_packet_sim.cpp.o.d"
+  "/root/repo/tests/sim/test_scenario.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_scenario.cpp.o.d"
+  "/root/repo/tests/sim/test_sniffer.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_sniffer.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_sniffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fluxfp_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxfp_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

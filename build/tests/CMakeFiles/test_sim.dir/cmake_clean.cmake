@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_gauss_markov.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_gauss_markov.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_measurement.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_measurement.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_mobility.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_mobility.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_packet_sim.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_packet_sim.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_scenario.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_scenario.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_sniffer.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_sniffer.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
