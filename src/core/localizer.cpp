@@ -58,7 +58,33 @@ LocalizationResult InstantLocalizer::localize(
   if (num_users == 0 || num_users > kMaxGramUsers) {
     throw std::invalid_argument("InstantLocalizer: bad user count");
   }
+  LocalizationResult result = search(objective, num_users, rng);
+  if (config_.robust.loss == RobustLoss::kNone ||
+      objective.sample_count() == 0) {
+    return result;
+  }
+  // Robust refinement: downweight outlier readings at the current best and
+  // re-run the search on the reweighted objective. Byzantine sniffers get
+  // huge residuals at a near-correct fit, so a round or two of IRLS
+  // removes their pull on the position estimates.
+  for (int round = 0; round < config_.robust.reweight_rounds; ++round) {
+    const std::vector<double> r =
+        objective.residuals_at(result.positions, result.stretches);
+    const SparseObjective weighted =
+        objective.reweighted(robust_weights(r, config_.robust));
+    result = search(weighted, num_users, rng);
+  }
+  // Report stretches/residual on the unweighted objective for
+  // comparability; positions come from the robust search.
+  StretchFit plain = objective.fit(result.positions);
+  result.stretches = std::move(plain.stretches);
+  result.residual = plain.residual;
+  return result;
+}
 
+LocalizationResult InstantLocalizer::search(
+    const SparseObjective& objective, std::size_t num_users,
+    geom::Rng& rng) const {
   LocalizationResult best_result;
   best_result.residual = std::numeric_limits<double>::infinity();
 

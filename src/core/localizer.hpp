@@ -18,6 +18,11 @@ struct LocalizerConfig {
   int sweeps = 3;
   /// Independent random restarts for K > 1; the best-residual restart wins.
   int restarts = 3;
+  /// Optional robust refit: after the plain search, outlier readings are
+  /// downweighted (IRLS with the configured loss) and the search re-runs
+  /// on the reweighted objective. Guards the fit against byzantine
+  /// sniffers; a no-op at RobustLoss::kNone.
+  RobustFitConfig robust;
 };
 
 /// Output of one localization: the best position/stretch combination plus
@@ -41,14 +46,19 @@ class InstantLocalizer {
   InstantLocalizer(const geom::Field& field, LocalizerConfig config = {});
 
   /// Localizes `num_users` sinks against the sampled flux in `objective`.
-  /// Throws std::invalid_argument for num_users == 0 or
-  /// num_users > kMaxGramUsers.
+  /// With config().robust enabled, reweighted search passes follow the
+  /// plain one; the returned residual/stretches are evaluated on the
+  /// unweighted objective either way. Throws std::invalid_argument for
+  /// num_users == 0 or num_users > kMaxGramUsers.
   LocalizationResult localize(const SparseObjective& objective,
                               std::size_t num_users, geom::Rng& rng) const;
 
   const LocalizerConfig& config() const { return config_; }
 
  private:
+  LocalizationResult search(const SparseObjective& objective,
+                            std::size_t num_users, geom::Rng& rng) const;
+
   const geom::Field* field_;
   LocalizerConfig config_;
 };

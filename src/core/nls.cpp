@@ -1,24 +1,101 @@
 #include "core/nls.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "net/flux.hpp"
 #include "numeric/matrix.hpp"
 #include "numeric/nnls.hpp"
 
 namespace fluxfp::core {
 
+std::vector<double> robust_weights(std::span<const double> residuals,
+                                   const RobustFitConfig& config) {
+  std::vector<double> w(residuals.size(), 1.0);
+  if (residuals.empty() || config.loss == RobustLoss::kNone) {
+    return w;
+  }
+  std::vector<double> abs_r(residuals.size());
+  for (std::size_t i = 0; i < residuals.size(); ++i) {
+    abs_r[i] = std::abs(residuals[i]);
+  }
+  if (config.loss == RobustLoss::kTrimmed) {
+    const double trim = std::clamp(config.trim_fraction, 0.0, 0.9);
+    std::vector<double> sorted = abs_r;
+    const std::size_t kept = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil((1.0 - trim) * static_cast<double>(sorted.size()))));
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + static_cast<long>(kept - 1),
+                     sorted.end());
+    const double threshold = sorted[kept - 1];
+    for (std::size_t i = 0; i < abs_r.size(); ++i) {
+      w[i] = abs_r[i] <= threshold ? 1.0 : 0.0;
+    }
+    return w;
+  }
+  // Huber: robust scale from the normalized MAD about the median residual.
+  std::vector<double> tmp(residuals.begin(), residuals.end());
+  const std::size_t mid = tmp.size() / 2;
+  std::nth_element(tmp.begin(), tmp.begin() + static_cast<long>(mid),
+                   tmp.end());
+  const double med = tmp[mid];
+  for (std::size_t i = 0; i < residuals.size(); ++i) {
+    tmp[i] = std::abs(residuals[i] - med);
+  }
+  std::nth_element(tmp.begin(), tmp.begin() + static_cast<long>(mid),
+                   tmp.end());
+  const double sigma = 1.4826 * tmp[mid];
+  double max_abs = 0.0;
+  for (double a : abs_r) {
+    max_abs = std::max(max_abs, a);
+  }
+  if (!(sigma > 1e-12 * (1.0 + max_abs))) {
+    return w;  // degenerate scale: most residuals identical, nothing to clip
+  }
+  const double clip = config.huber_k * sigma;
+  for (std::size_t i = 0; i < abs_r.size(); ++i) {
+    w[i] = abs_r[i] > clip ? clip / abs_r[i] : 1.0;
+  }
+  return w;
+}
+
 SparseObjective::SparseObjective(const FluxModel& model,
                                  std::vector<geom::Vec2> sample_positions,
                                  std::vector<double> measured)
+    : SparseObjective(model, std::move(sample_positions), std::move(measured),
+                      std::vector<bool>()) {}
+
+SparseObjective::SparseObjective(const FluxModel& model,
+                                 std::vector<geom::Vec2> sample_positions,
+                                 std::vector<double> measured,
+                                 const std::vector<bool>& valid)
     : model_(model),
       sample_positions_(std::move(sample_positions)),
       measured_(std::move(measured)) {
   if (sample_positions_.empty() ||
-      sample_positions_.size() != measured_.size()) {
+      sample_positions_.size() != measured_.size() ||
+      (!valid.empty() && valid.size() != measured_.size())) {
     throw std::invalid_argument(
         "SparseObjective: samples empty or size mismatch");
   }
+  // Compact to live samples: masked-out or missing readings carry no
+  // evidence and are excluded from the fit entirely.
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < measured_.size(); ++i) {
+    const bool ok =
+        (valid.empty() || valid[i]) && !net::is_missing(measured_[i]);
+    if (!ok) {
+      continue;
+    }
+    sample_positions_[live] = sample_positions_[i];
+    measured_[live] = measured_[i];
+    ++live;
+  }
+  masked_count_ = measured_.size() - live;
+  sample_positions_.resize(live);
+  measured_.resize(live);
   measured_norm_ = numeric::norm(measured_);
 }
 
@@ -33,6 +110,9 @@ void SparseObjective::shape_column(geom::Vec2 sink,
   out.resize(sample_positions_.size());
   for (std::size_t i = 0; i < sample_positions_.size(); ++i) {
     out[i] = model_.shape(sink, sample_positions_[i]);
+    if (!row_scale_.empty()) {
+      out[i] *= row_scale_[i];
+    }
   }
 }
 
@@ -53,6 +133,11 @@ StretchFit SparseObjective::fit_columns(
   StretchFit out;
   if (k == 0) {
     out.residual = measured_norm_;
+    return out;
+  }
+  if (n == 0) {
+    // Every sample masked out: no evidence, zero residual, zero stretches.
+    out.stretches.assign(k, 0.0);
     return out;
   }
   if (k == 1) {
@@ -81,6 +166,67 @@ StretchFit SparseObjective::fit_columns(
   out.residual = r.residual;
   out.stretches = std::move(r.x);
   return out;
+}
+
+std::vector<double> SparseObjective::residuals_at(
+    std::span<const geom::Vec2> sinks,
+    std::span<const double> stretches) const {
+  if (sinks.size() != stretches.size()) {
+    throw std::invalid_argument("residuals_at: sinks/stretches mismatch");
+  }
+  const std::size_t n = sample_positions_.size();
+  std::vector<double> r(n, 0.0);
+  std::vector<double> col;
+  for (std::size_t j = 0; j < sinks.size(); ++j) {
+    shape_column(sinks[j], col);
+    for (std::size_t i = 0; i < n; ++i) {
+      r[i] += stretches[j] * col[i];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] -= measured_[i];
+  }
+  return r;
+}
+
+SparseObjective SparseObjective::reweighted(
+    std::span<const double> weights) const {
+  if (weights.size() != sample_positions_.size()) {
+    throw std::invalid_argument("reweighted: weight count mismatch");
+  }
+  SparseObjective out(*this);
+  if (out.row_scale_.empty()) {
+    out.row_scale_.assign(weights.size(), 1.0);
+  }
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (!(weights[i] >= 0.0)) {
+      throw std::invalid_argument("reweighted: negative weight");
+    }
+    const double s = std::sqrt(weights[i]);
+    out.row_scale_[i] *= s;
+    out.measured_[i] = measured_[i] * s;
+  }
+  out.measured_norm_ = numeric::norm(out.measured_);
+  return out;
+}
+
+StretchFit SparseObjective::fit_robust(std::span<const geom::Vec2> sinks,
+                                       const RobustFitConfig& config) const {
+  StretchFit fit = this->fit(sinks);
+  if (config.loss == RobustLoss::kNone || sample_positions_.empty()) {
+    return fit;
+  }
+  for (int round = 0; round < config.reweight_rounds; ++round) {
+    const std::vector<double> r = residuals_at(sinks, fit.stretches);
+    const std::vector<double> w = robust_weights(r, config);
+    const StretchFit weighted = reweighted(w).fit(sinks);
+    fit.stretches = weighted.stretches;
+  }
+  // Report the robust stretches at their *unweighted* residual so results
+  // stay comparable with plain fits.
+  const std::vector<double> r = residuals_at(sinks, fit.stretches);
+  fit.residual = numeric::norm(r);
+  return fit;
 }
 
 namespace {

@@ -15,6 +15,31 @@ struct StretchFit {
   std::vector<double> stretches;     ///< fitted s_j / r, all >= 0
 };
 
+/// Robust-fitting options: an optional IRLS reweighting of the NLS samples
+/// so a few wildly wrong readings (byzantine sniffers) cannot hijack the
+/// profiled NNLS fit.
+enum class RobustLoss {
+  kNone,     ///< plain least squares
+  kHuber,    ///< Huber weights w = min(1, k*sigma/|r|), sigma from the MAD
+  kTrimmed,  ///< hard-drop the worst trim_fraction of samples
+};
+
+struct RobustFitConfig {
+  RobustLoss loss = RobustLoss::kNone;
+  /// Huber clip point in multiples of the robust residual scale.
+  double huber_k = 1.345;
+  /// Fraction of worst-residual samples given zero weight (kTrimmed).
+  double trim_fraction = 0.15;
+  /// Reweight-and-refit iterations on top of the initial plain fit.
+  int reweight_rounds = 2;
+};
+
+/// Per-sample IRLS weights in [0, 1] for the given fit residuals. The
+/// residual scale is the normalized MAD; with a degenerate scale (more
+/// than half the residuals identical) all weights are 1.
+std::vector<double> robust_weights(std::span<const double> residuals,
+                                   const RobustFitConfig& config);
+
 /// The sparse-sampling NLS objective of §4.A.
 ///
 /// Fix n sniffed nodes with positions q_1..q_n and measured flux F'. For
@@ -25,16 +50,34 @@ struct StretchFit {
 /// non-negative stretches solve an n x K NNLS, and the candidate's score is
 /// the remaining residual ||F - F'||. The position search on top of this is
 /// what the localizer / SMC tracker implement.
+///
+/// Missingness is first-class: readings equal to net::kMissingReading (or
+/// masked out via the validity-vector constructor) are excluded from the
+/// fit entirely — the objective compacts itself to the live samples, so a
+/// failed sniffer contributes *no* evidence instead of a poisoned zero.
+/// An all-missing window is legal and behaves as an empty measurement
+/// (sample_count() == 0, measured_norm() == 0).
 class SparseObjective {
  public:
   /// `model` is copied; `sample_positions` are the sniffed nodes' positions;
-  /// `measured` is F' (same length). Throws std::invalid_argument on
-  /// size mismatch or empty samples.
+  /// `measured` is F' (same length). Readings that are missing
+  /// (net::is_missing) are masked out. Throws std::invalid_argument on
+  /// size mismatch or empty inputs.
   SparseObjective(const FluxModel& model,
                   std::vector<geom::Vec2> sample_positions,
                   std::vector<double> measured);
 
+  /// As above with an explicit observation mask: sample i participates in
+  /// the fit only when valid[i] is true AND the reading is not missing.
+  /// `valid` must match the sample count.
+  SparseObjective(const FluxModel& model,
+                  std::vector<geom::Vec2> sample_positions,
+                  std::vector<double> measured, const std::vector<bool>& valid);
+
+  /// Live (unmasked) samples — the n the fit actually uses.
   std::size_t sample_count() const { return sample_positions_.size(); }
+  /// Samples excluded as missing/invalid at construction.
+  std::size_t masked_count() const { return masked_count_; }
   const std::vector<geom::Vec2>& sample_positions() const {
     return sample_positions_;
   }
@@ -42,7 +85,8 @@ class SparseObjective {
   double measured_norm() const { return measured_norm_; }
   const FluxModel& model() const { return model_; }
 
-  /// The model shape column [phi(sink, q_1) ... phi(sink, q_n)].
+  /// The model shape column [phi(sink, q_1) ... phi(sink, q_n)] over the
+  /// live samples (scaled by the row weights for a reweighted objective).
   std::vector<double> shape_column(geom::Vec2 sink) const;
   /// In-place variant (out resized to n) to avoid allocation in hot loops.
   void shape_column(geom::Vec2 sink, std::vector<double>& out) const;
@@ -55,11 +99,33 @@ class SparseObjective {
   StretchFit fit_columns(
       std::span<const std::vector<double>* const> columns) const;
 
+  /// Per-live-sample signed residuals F(sinks, stretches) - F' (length
+  /// sample_count()). Throws std::invalid_argument on size mismatch.
+  std::vector<double> residuals_at(std::span<const geom::Vec2> sinks,
+                                   std::span<const double> stretches) const;
+
+  /// Weighted copy of this objective: row i of the least-squares system is
+  /// scaled by sqrt(weights[i]) (weights.size() == sample_count(), all
+  /// >= 0). Zero-weight rows stay present but contribute nothing. This is
+  /// how the robust IRLS loop downweights outlier readings while reusing
+  /// every fit path (Gram NNLS, ConditionalFit) unchanged.
+  SparseObjective reweighted(std::span<const double> weights) const;
+
+  /// Convenience robust fit: plain fit, then config.reweight_rounds of
+  /// (residuals -> robust_weights -> reweighted fit). The returned
+  /// residual/stretches are evaluated on the *unweighted* objective so
+  /// they stay comparable with plain fit() results.
+  StretchFit fit_robust(std::span<const geom::Vec2> sinks,
+                        const RobustFitConfig& config) const;
+
  private:
   FluxModel model_;
   std::vector<geom::Vec2> sample_positions_;
   std::vector<double> measured_;
   double measured_norm_ = 0.0;
+  std::size_t masked_count_ = 0;
+  /// sqrt of the per-row weights; empty means all-ones (unweighted).
+  std::vector<double> row_scale_;
 };
 
 /// Maximum K supported by the Gram-space NNLS.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 
 namespace fluxfp::core {
@@ -21,6 +22,12 @@ SmcTracker::SmcTracker(const geom::Field& field, std::size_t num_users,
   if (config_.heading_mix < 0.0 || config_.heading_mix > 1.0 ||
       config_.heading_half_angle <= 0.0) {
     throw std::invalid_argument("SmcTracker: bad heading config");
+  }
+  if (config_.divergence_recovery &&
+      (config_.divergence_fraction <= 0.0 ||
+       config_.divergence_fraction > 1.0 || config_.divergence_rounds <= 0 ||
+       config_.recovery_grid == 0)) {
+    throw std::invalid_argument("SmcTracker: bad divergence config");
   }
   particles_.resize(num_users);
   t_last_.assign(num_users, 0.0);
@@ -105,7 +112,7 @@ std::vector<SmcTracker::Prediction> SmcTracker::predict(std::size_t user,
   return out;
 }
 
-SmcStepResult SmcTracker::step(double time, const SparseObjective& objective,
+SmcStepResult SmcTracker::step(double time, const SparseObjective& raw_objective,
                                geom::Rng& rng) {
   const std::size_t k = num_users();
   SmcStepResult result;
@@ -113,14 +120,35 @@ SmcStepResult SmcTracker::step(double time, const SparseObjective& objective,
   result.stretches.assign(k, 0.0);
   result.best.resize(k);
 
-  // Empty window: nothing to fit, nobody moves.
-  if (objective.measured_norm() < config_.empty_measurement_tol) {
+  // Empty window (including all readings missing): nothing to fit, nobody
+  // moves, and divergence counting is suspended — no evidence either way.
+  if (raw_objective.measured_norm() < config_.empty_measurement_tol) {
     for (std::size_t j = 0; j < k; ++j) {
       result.best[j] = estimate(j);
     }
-    result.residual = objective.measured_norm();
+    result.residual = raw_objective.measured_norm();
     return result;
   }
+
+  // --- Optional robust reweighting against the current estimates ---
+  // Byzantine readings get large residuals at the incumbent fit; one IRLS
+  // pass removes most of their pull before the filtering sweeps see them.
+  std::optional<SparseObjective> robust_storage;
+  const SparseObjective* obj_ptr = &raw_objective;
+  if (config_.robust.loss != RobustLoss::kNone &&
+      raw_objective.sample_count() > 0) {
+    std::vector<geom::Vec2> current(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      current[j] = estimate(j);
+    }
+    const StretchFit incumbent = raw_objective.fit(current);
+    const std::vector<double> r =
+        raw_objective.residuals_at(current, incumbent.stretches);
+    robust_storage.emplace(
+        raw_objective.reweighted(robust_weights(r, config_.robust)));
+    obj_ptr = &*robust_storage;
+  }
+  const SparseObjective& objective = *obj_ptr;
 
   // --- Prediction (Eq. 4.2) ---
   std::vector<std::vector<Prediction>> predictions(k);
@@ -281,7 +309,87 @@ SmcStepResult SmcTracker::step(double time, const SparseObjective& objective,
       prev_estimate_[j] = now;
     }
   }
+
+  // --- Divergence detection + recovery ---
+  // A round is "bad" when the best combination still leaves most of the
+  // measured norm unexplained, or when nobody accepted an update despite a
+  // non-empty window. After divergence_rounds consecutive bad rounds the
+  // track is lost: re-acquire from a coarse grid scan instead of letting
+  // the per-round motion bound trap the filter on a dead track.
+  if (config_.divergence_recovery) {
+    bool any_updated = false;
+    for (std::size_t j = 0; j < k; ++j) {
+      any_updated = any_updated || result.updated[j];
+    }
+    const bool bad = result.residual > config_.divergence_fraction *
+                                           objective.measured_norm() ||
+                     !any_updated;
+    bad_rounds_ = bad ? bad_rounds_ + 1 : 0;
+    if (bad_rounds_ >= config_.divergence_rounds) {
+      reseed_from_grid(time, objective, reps, rep_cols);
+      const StretchFit refit = objective.fit(reps);
+      result.stretches = refit.stretches;
+      result.residual = refit.residual;
+      result.best = reps;
+      result.updated.assign(k, true);
+      result.recovered = true;
+      bad_rounds_ = 0;
+    }
+  }
   return result;
+}
+
+void SmcTracker::reseed_from_grid(double time,
+                                  const SparseObjective& objective,
+                                  std::vector<geom::Vec2>& reps,
+                                  std::vector<std::vector<double>>& rep_cols) {
+  const std::size_t g = config_.recovery_grid;
+  std::vector<geom::Vec2> grid;
+  grid.reserve(g * g);
+  for (std::size_t iy = 0; iy < g; ++iy) {
+    for (std::size_t ix = 0; ix < g; ++ix) {
+      grid.push_back(field_->from_unit_square(
+          (static_cast<double>(ix) + 0.5) / static_cast<double>(g),
+          (static_cast<double>(iy) + 0.5) / static_cast<double>(g)));
+    }
+  }
+  std::vector<std::vector<double>> grid_cols(grid.size());
+  for (std::size_t c = 0; c < grid.size(); ++c) {
+    objective.shape_column(grid[c], grid_cols[c]);
+  }
+  const std::size_t k = num_users();
+  std::vector<double> scores(grid.size());
+  for (std::size_t j = 0; j < k; ++j) {
+    std::vector<const std::vector<double>*> fixed;
+    fixed.reserve(k - 1);
+    for (std::size_t o = 0; o < k; ++o) {
+      if (o != j) {
+        fixed.push_back(&rep_cols[o]);
+      }
+    }
+    const ConditionalFit cond(objective, fixed, fixed.size());
+    for (std::size_t c = 0; c < grid.size(); ++c) {
+      scores[c] = cond.evaluate(grid_cols[c]).residual;
+    }
+    std::vector<std::size_t> order(grid.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    const std::size_t keep = std::min(config_.num_keep, order.size());
+    std::partial_sort(order.begin(), order.begin() + static_cast<long>(keep),
+                      order.end(), [&](std::size_t a, std::size_t b) {
+                        return scores[a] < scores[b];
+                      });
+    std::vector<Particle> next;
+    next.reserve(keep);
+    for (std::size_t t = 0; t < keep; ++t) {
+      next.push_back({grid[order[t]], 1.0 / static_cast<double>(keep)});
+    }
+    particles_[j] = std::move(next);
+    reps[j] = grid[order[0]];
+    rep_cols[j] = grid_cols[order[0]];
+    t_last_[j] = time;
+    heading_[j] = geom::Vec2{};
+    prev_estimate_[j] = estimate(j);
+  }
 }
 
 }  // namespace fluxfp::core

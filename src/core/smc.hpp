@@ -41,6 +41,21 @@ struct SmcConfig {
   double heading_mix = 0.5;
   /// Half-angle of the heading cone, radians.
   double heading_half_angle = 0.7;
+  /// Optional robust observation fit: each round, readings are IRLS-
+  /// reweighted against the fit at the current estimates before the
+  /// filtering sweeps, so byzantine sniffers can't steer the particles.
+  /// No-op at RobustLoss::kNone.
+  RobustFitConfig robust;
+  /// Divergence detection + recovery: when a round's best residual stays
+  /// above divergence_fraction * ||F'|| (or no user accepts an update on a
+  /// non-empty window) for divergence_rounds consecutive non-empty rounds,
+  /// the track is declared lost and every user's particle set is re-seeded
+  /// from a coarse recovery_grid x recovery_grid scan of the field —
+  /// instead of drifting forever on a dead track.
+  bool divergence_recovery = false;
+  double divergence_fraction = 0.5;
+  int divergence_rounds = 3;
+  std::size_t recovery_grid = 16;
 };
 
 /// Per-round output of the tracker.
@@ -49,6 +64,7 @@ struct SmcStepResult {
   std::vector<double> stretches;   ///< fitted s_j/r at the best combination
   double residual = 0.0;           ///< ||F - F'|| at the best combination
   std::vector<geom::Vec2> best;    ///< best filtered position per user
+  bool recovered = false;          ///< divergence recovery re-seeded this round
 };
 
 /// Sequential Monte Carlo estimation of mobile-user positions from a time
@@ -99,6 +115,10 @@ class SmcTracker {
   /// vector while unknown. Only maintained when config().heading_aware.
   geom::Vec2 heading(std::size_t user) const { return heading_[user]; }
 
+  /// Consecutive non-empty rounds the fit has looked divergent (resets to
+  /// 0 on a good round or after a recovery re-seed).
+  int consecutive_bad_rounds() const { return bad_rounds_; }
+
  private:
   const geom::Field* field_;
   SmcConfig config_;
@@ -106,6 +126,7 @@ class SmcTracker {
   std::vector<double> t_last_;
   std::vector<geom::Vec2> prev_estimate_;  // estimate at the last update
   std::vector<geom::Vec2> heading_;        // unit heading, zero if unknown
+  int bad_rounds_ = 0;
 
   struct Prediction {
     geom::Vec2 position;
@@ -113,6 +134,12 @@ class SmcTracker {
   };
   std::vector<Prediction> predict(std::size_t user, double radius,
                                   geom::Rng& rng) const;
+
+  /// Coarse-grid re-seed of every user's particle set against `objective`
+  /// (divergence recovery). Updates reps/rep_cols in place.
+  void reseed_from_grid(double time, const SparseObjective& objective,
+                        std::vector<geom::Vec2>& reps,
+                        std::vector<std::vector<double>>& rep_cols);
 };
 
 }  // namespace fluxfp::core

@@ -14,12 +14,49 @@ SmoothLocalizer::SmoothLocalizer(const geom::Field& field,
   }
 }
 
+namespace {
+
+/// One LM/GN multi-restart pass against `objective`.
+SmoothLocalizationResult smooth_search(const geom::Field& field,
+                                       const SmoothLocalizerConfig& config,
+                                       const SparseObjective& objective,
+                                       std::size_t num_users, geom::Rng& rng);
+
+}  // namespace
+
 SmoothLocalizationResult SmoothLocalizer::localize(
     const SparseObjective& objective, std::size_t num_users,
     geom::Rng& rng) const {
   if (num_users == 0 || num_users > kMaxGramUsers) {
     throw std::invalid_argument("SmoothLocalizer: bad user count");
   }
+  SmoothLocalizationResult result =
+      smooth_search(*field_, config_, objective, num_users, rng);
+  if (config_.robust.loss == RobustLoss::kNone ||
+      objective.sample_count() == 0) {
+    return result;
+  }
+  for (int round = 0; round < config_.robust.reweight_rounds; ++round) {
+    const std::vector<double> r =
+        objective.residuals_at(result.positions, result.stretches);
+    const SparseObjective weighted =
+        objective.reweighted(robust_weights(r, config_.robust));
+    result = smooth_search(*field_, config_, weighted, num_users, rng);
+  }
+  StretchFit plain = objective.fit(result.positions);
+  result.stretches = std::move(plain.stretches);
+  result.residual = plain.residual;
+  return result;
+}
+
+namespace {
+
+SmoothLocalizationResult smooth_search(const geom::Field& field,
+                                       const SmoothLocalizerConfig& config,
+                                       const SparseObjective& objective,
+                                       std::size_t num_users, geom::Rng& rng) {
+  const geom::Field* field_ = &field;
+  const SmoothLocalizerConfig& config_ = config;
   const std::size_t n = objective.sample_count();
 
   // Variable-projection residual: theta = [x1 y1 ... xK yK]; the stretch
@@ -78,5 +115,7 @@ SmoothLocalizationResult SmoothLocalizer::localize(
   }
   return best;
 }
+
+}  // namespace
 
 }  // namespace fluxfp::core

@@ -16,6 +16,9 @@ struct SmoothLocalizerConfig {
   numeric::LmOptions lm;
   /// Use undamped Gauss–Newton instead of LM (ablation; diverges more).
   bool use_gauss_newton = false;
+  /// Optional robust refit (see LocalizerConfig::robust): IRLS reweighting
+  /// of the samples after the plain LM runs.
+  RobustFitConfig robust;
 };
 
 /// Result of a smooth localization run.

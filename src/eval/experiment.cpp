@@ -50,6 +50,27 @@ core::SparseObjective make_objective(const core::FluxModel& model,
                                sim::gather(readings, samples));
 }
 
+std::vector<double> sniffed_readings(const net::UnitDiskGraph& graph,
+                                     const net::FluxMap& flux,
+                                     std::span<const std::size_t> samples,
+                                     bool smooth) {
+  const net::FluxMap& readings =
+      smooth ? net::smooth_flux(graph, flux) : flux;
+  return sim::gather(readings, samples);
+}
+
+core::SparseObjective make_objective_from_readings(
+    const core::FluxModel& model, const net::UnitDiskGraph& graph,
+    std::span<const std::size_t> samples, std::vector<double> readings) {
+  std::vector<geom::Vec2> positions;
+  positions.reserve(samples.size());
+  for (std::size_t i : samples) {
+    positions.push_back(graph.position(i));
+  }
+  return core::SparseObjective(model, std::move(positions),
+                               std::move(readings));
+}
+
 std::uint64_t derive_seed(std::uint64_t base,
                           std::initializer_list<std::uint64_t> salts) {
   // SplitMix64-style mixing.

@@ -44,6 +44,21 @@ core::SparseObjective make_objective(const core::FluxModel& model,
                                      std::span<const std::size_t> samples,
                                      bool smooth = true);
 
+/// The raw reading vector make_objective would fit (smoothed flux gathered
+/// at `samples`). Split out so fault injection (sim::FaultInjector::corrupt)
+/// can corrupt the readings between gathering and objective construction.
+std::vector<double> sniffed_readings(const net::UnitDiskGraph& graph,
+                                     const net::FluxMap& flux,
+                                     std::span<const std::size_t> samples,
+                                     bool smooth = true);
+
+/// Builds the objective from pre-gathered (possibly fault-corrupted)
+/// readings; missing readings (net::kMissingReading) are masked out by the
+/// objective itself.
+core::SparseObjective make_objective_from_readings(
+    const core::FluxModel& model, const net::UnitDiskGraph& graph,
+    std::span<const std::size_t> samples, std::vector<double> readings);
+
 /// Deterministic per-experiment seed derivation: combines a base seed with
 /// salt values (trial index, sweep value, ...) so experiments are
 /// reproducible yet decorrelated.

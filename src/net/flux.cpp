@@ -5,6 +5,27 @@
 
 namespace fluxfp::net {
 
+std::size_t count_missing(std::span<const double> values) {
+  std::size_t n = 0;
+  for (double v : values) {
+    if (is_missing(v)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t zero_fill_missing(std::vector<double>& values) {
+  std::size_t n = 0;
+  for (double& v : values) {
+    if (is_missing(v)) {
+      v = 0.0;
+      ++n;
+    }
+  }
+  return n;
+}
+
 FluxMap tree_flux(const CollectionTree& tree, double stretch) {
   if (!(stretch >= 0.0)) {
     throw std::invalid_argument("tree_flux: negative stretch");
@@ -32,11 +53,19 @@ FluxMap smooth_flux(const UnitDiskGraph& graph, const FluxMap& flux) {
   }
   FluxMap out(flux.size(), 0.0);
   for (std::size_t i = 0; i < flux.size(); ++i) {
-    double acc = flux[i];
-    for (std::size_t nb : graph.neighbors(i)) {
-      acc += flux[nb];
+    if (is_missing(flux[i])) {
+      out[i] = kMissingReading;  // the sniffer at i overheard nothing
+      continue;
     }
-    out[i] = acc / static_cast<double>(graph.degree(i) + 1);
+    double acc = flux[i];
+    std::size_t observed = 1;
+    for (std::size_t nb : graph.neighbors(i)) {
+      if (!is_missing(flux[nb])) {
+        acc += flux[nb];
+        ++observed;
+      }
+    }
+    out[i] = acc / static_cast<double>(observed);
   }
   return out;
 }

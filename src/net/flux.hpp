@@ -1,5 +1,8 @@
 #pragma once
 
+#include <cmath>
+#include <limits>
+#include <span>
 #include <vector>
 
 #include "net/graph.hpp"
@@ -11,6 +14,25 @@ namespace fluxfp::net {
 /// observed over one measurement window. Index-aligned with the graph's
 /// node set.
 using FluxMap = std::vector<double>;
+
+/// Sentinel for a reading that was never observed (sniffer outage, crashed
+/// node, burst loss). A missing reading is NOT a zero-flux measurement: a
+/// true zero is evidence about the sink positions, a missing reading is no
+/// evidence at all. Consumers (SparseObjective and everything above it)
+/// exclude missing entries from fits instead of trusting them.
+inline constexpr double kMissingReading =
+    std::numeric_limits<double>::quiet_NaN();
+
+/// True if `v` marks a missing reading.
+inline bool is_missing(double v) { return std::isnan(v); }
+
+/// Number of missing entries in `values`.
+std::size_t count_missing(std::span<const double> values);
+
+/// Replaces missing entries with literal 0 in place — the legacy
+/// "dropout poisons the fit with zeros" behaviour, kept for ablation
+/// against the masked representation. Returns the number replaced.
+std::size_t zero_fill_missing(std::vector<double>& values);
 
 /// Ground-truth flux induced by one data collection over `tree` with
 /// traffic stretch `stretch`: each reachable node contributes `stretch`
@@ -26,6 +48,10 @@ void accumulate(FluxMap& a, const FluxMap& b);
 /// Neighborhood-averaged flux: value at node i becomes the mean over
 /// {i} ∪ neighbors(i). The paper notes (§3.B) this smooths the randomness
 /// of tree construction and improves model fit.
+///
+/// Missing-aware: a missing entry at i stays missing (the sniffer at i
+/// overheard nothing), and missing neighbors are excluded from the other
+/// nodes' averages rather than dragging them toward NaN.
 FluxMap smooth_flux(const UnitDiskGraph& graph, const FluxMap& flux);
 
 /// Fraction of total flux "energy" (sum of values) carried by nodes at

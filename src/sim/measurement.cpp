@@ -31,7 +31,7 @@ void FluxEngine::apply_noise(net::FluxMap& flux, const FluxNoise& noise,
   std::uniform_real_distribution<double> unit(0.0, 1.0);
   for (double& v : flux) {
     if (noise.dropout_prob > 0.0 && unit(rng) < noise.dropout_prob) {
-      v = 0.0;
+      v = net::kMissingReading;
       continue;
     }
     if (noise.relative_sigma > 0.0) {

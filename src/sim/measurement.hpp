@@ -20,8 +20,11 @@ struct Collection {
 
 /// Multiplicative-noise model for sniffed flux readings: each node's value
 /// is scaled by (1 + eps) with eps ~ N(0, relative_sigma), floored at 0,
-/// and dropped (set to 0) with probability `dropout_prob` — modeling missed
-/// frames at a passive sniffer.
+/// and dropped with probability `dropout_prob` — modeling a sniffer that
+/// missed the whole window. A dropped reading becomes net::kMissingReading
+/// (NOT zero): a missed observation carries no evidence, while a literal 0
+/// would be fitted as a trusted zero-flux measurement and silently bias the
+/// NLS/SMC estimates toward the failed sniffers.
 struct FluxNoise {
   double relative_sigma = 0.0;
   double dropout_prob = 0.0;

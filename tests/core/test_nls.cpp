@@ -6,6 +6,7 @@
 #include <random>
 
 #include "geom/sampling.hpp"
+#include "net/flux.hpp"
 #include "numeric/matrix.hpp"
 #include "numeric/nnls.hpp"
 
@@ -105,6 +106,143 @@ TEST(SparseObjective, FitColumnsMatchesFit) {
   EXPECT_NEAR(direct.residual, via_cols.residual, 1e-9);
   EXPECT_NEAR(direct.stretches[0], via_cols.stretches[0], 1e-9);
   EXPECT_NEAR(direct.stretches[1], via_cols.stretches[1], 1e-9);
+}
+
+TEST(SparseObjective, MissingReadingsAreMaskedOut) {
+  const Synthetic syn(21, 30, {{10, 10}}, {2.0});
+  std::vector<double> holed = syn.measured;
+  holed[3] = net::kMissingReading;
+  holed[7] = net::kMissingReading;
+  holed[29] = net::kMissingReading;
+  const SparseObjective obj(syn.model, syn.samples, holed);
+  EXPECT_EQ(obj.sample_count(), 27u);
+  EXPECT_EQ(obj.masked_count(), 3u);
+  // The surviving samples are still exact model output: zero residual at
+  // the truth, same fitted stretch.
+  const StretchFit fit = obj.fit(syn.sinks);
+  EXPECT_NEAR(fit.residual, 0.0, 1e-9);
+  EXPECT_NEAR(fit.stretches[0], 2.0, 1e-9);
+}
+
+TEST(SparseObjective, ValidityMaskExcludesSamples) {
+  const Synthetic syn(22, 10, {{15, 15}}, {1.5});
+  std::vector<bool> valid(10, true);
+  valid[0] = false;
+  valid[9] = false;
+  const SparseObjective obj(syn.model, syn.samples, syn.measured, valid);
+  EXPECT_EQ(obj.sample_count(), 8u);
+  EXPECT_EQ(obj.masked_count(), 2u);
+  EXPECT_THROW(
+      SparseObjective(syn.model, syn.samples, syn.measured,
+                      std::vector<bool>(9, true)),
+      std::invalid_argument);
+}
+
+TEST(SparseObjective, AllMissingWindowActsAsEmptyMeasurement) {
+  const Synthetic syn(23, 5, {{15, 15}}, {1.0});
+  const std::vector<double> gone(5, net::kMissingReading);
+  const SparseObjective obj(syn.model, syn.samples, gone);
+  EXPECT_EQ(obj.sample_count(), 0u);
+  EXPECT_EQ(obj.masked_count(), 5u);
+  EXPECT_DOUBLE_EQ(obj.measured_norm(), 0.0);
+  const StretchFit fit = obj.fit(syn.sinks);
+  EXPECT_DOUBLE_EQ(fit.residual, 0.0);
+  EXPECT_DOUBLE_EQ(fit.stretches[0], 0.0);
+}
+
+TEST(SparseObjective, UnitWeightsLeaveFitUnchanged) {
+  const Synthetic syn(24, 25, {{8, 20}, {22, 9}}, {1.0, 3.0});
+  const SparseObjective obj = syn.objective();
+  const SparseObjective same = obj.reweighted(std::vector<double>(25, 1.0));
+  const std::vector<geom::Vec2> probe{{9, 19}, {21, 10}};
+  const StretchFit a = obj.fit(probe);
+  const StretchFit b = same.fit(probe);
+  EXPECT_NEAR(a.residual, b.residual, 1e-9);
+  EXPECT_NEAR(a.stretches[0], b.stretches[0], 1e-9);
+  EXPECT_NEAR(a.stretches[1], b.stretches[1], 1e-9);
+}
+
+TEST(SparseObjective, ZeroWeightDropsPoisonedSample) {
+  Synthetic syn(25, 30, {{10, 10}}, {2.0});
+  syn.measured[4] *= 50.0;  // wildly corrupted reading
+  const SparseObjective obj(syn.model, syn.samples, syn.measured);
+  EXPECT_GT(obj.fit(syn.sinks).residual, 1.0);
+  std::vector<double> w(30, 1.0);
+  w[4] = 0.0;
+  const StretchFit clean = obj.reweighted(w).fit(syn.sinks);
+  EXPECT_NEAR(clean.residual, 0.0, 1e-9);
+  EXPECT_NEAR(clean.stretches[0], 2.0, 1e-9);
+  EXPECT_THROW(obj.reweighted(std::vector<double>(30, -1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(obj.reweighted(std::vector<double>(29, 1.0)),
+               std::invalid_argument);
+}
+
+TEST(RobustWeights, DownweightsOutliersOnly) {
+  std::vector<double> r(50);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    r[i] = i % 2 == 0 ? -0.1 : 0.1;  // well inside the Huber clip
+  }
+  r[10] = 25.0;
+  r[40] = -30.0;
+  RobustFitConfig cfg;
+  cfg.loss = RobustLoss::kHuber;
+  const std::vector<double> w = robust_weights(r, cfg);
+  EXPECT_LT(w[10], 0.1);
+  EXPECT_LT(w[40], 0.1);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (i != 10 && i != 40) {
+      EXPECT_DOUBLE_EQ(w[i], 1.0);
+    }
+  }
+  cfg.loss = RobustLoss::kTrimmed;
+  cfg.trim_fraction = 0.05;
+  const std::vector<double> t = robust_weights(r, cfg);
+  EXPECT_DOUBLE_EQ(t[10], 0.0);
+  EXPECT_DOUBLE_EQ(t[40], 0.0);
+  EXPECT_DOUBLE_EQ(t[0], 1.0);
+}
+
+TEST(RobustWeights, DegenerateScaleLeavesAllWeightsAtOne) {
+  // More than half the residuals identical -> MAD collapses to 0; the
+  // guard returns all-ones instead of nuking every slightly-off sample.
+  std::vector<double> r(20, 0.5);
+  r[3] = 100.0;
+  RobustFitConfig cfg;
+  cfg.loss = RobustLoss::kHuber;
+  const std::vector<double> w = robust_weights(r, cfg);
+  for (double v : w) {
+    EXPECT_DOUBLE_EQ(v, 1.0);
+  }
+}
+
+TEST(SparseObjective, FitRobustRecoversFromOutliers) {
+  Synthetic syn(26, 40, {{12, 18}}, {2.0});
+  syn.measured[1] *= 20.0;
+  syn.measured[17] *= 20.0;
+  const SparseObjective obj(syn.model, syn.samples, syn.measured);
+  RobustFitConfig cfg;
+  cfg.loss = RobustLoss::kHuber;
+  const StretchFit plain = obj.fit(syn.sinks);
+  const StretchFit robust = obj.fit_robust(syn.sinks, cfg);
+  // The robust stretch is much closer to the true 2.0 than the plain one.
+  EXPECT_LT(std::abs(robust.stretches[0] - 2.0),
+            std::abs(plain.stretches[0] - 2.0));
+  EXPECT_NEAR(robust.stretches[0], 2.0, 0.2);
+}
+
+TEST(SparseObjective, ResidualsAtMatchesFitResidual) {
+  const Synthetic syn(27, 15, {{10, 10}, {20, 20}}, {1.0, 2.0});
+  const SparseObjective obj = syn.objective();
+  const std::vector<geom::Vec2> probe{{11, 9}, {19, 21}};
+  const StretchFit fit = obj.fit(probe);
+  const std::vector<double> r = obj.residuals_at(probe, fit.stretches);
+  ASSERT_EQ(r.size(), 15u);
+  double norm2 = 0.0;
+  for (double v : r) {
+    norm2 += v * v;
+  }
+  EXPECT_NEAR(std::sqrt(norm2), fit.residual, 1e-9);
 }
 
 TEST(NnlsFromGram, RejectsBadDims) {

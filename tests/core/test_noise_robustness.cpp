@@ -6,6 +6,7 @@
 #include "core/localizer.hpp"
 #include "core/smc.hpp"
 #include "eval/experiment.hpp"
+#include "sim/faults.hpp"
 #include "sim/measurement.hpp"
 #include "sim/sniffer.hpp"
 
@@ -105,6 +106,132 @@ TEST(NoiseRobustness, AllZeroWindowFreezesTracker) {
       eval::make_objective(w.model, w.graph, flux, samples);
   const auto res = tracker.step(1.0, obj, rng);
   EXPECT_FALSE(res.updated[0]);
+}
+
+TEST(NoiseRobustness, MaskedDropoutBeatsZeroPoisoning) {
+  // Regression for the dropout-as-zero bug: a sniffer that dropped out of
+  // the window used to report a literal 0, which the NLS fitted as a
+  // trusted zero-flux measurement. With 20% of the sniffed readings
+  // dropped, masking the missing readings out must beat zero-filling them.
+  const NoisyWorld w(900);
+  double masked_total = 0.0;
+  double zeroed_total = 0.0;
+  const int trials = 24;
+  for (int t = 0; t < trials; ++t) {
+    geom::Rng rng(eval::derive_seed(1000, {(std::uint64_t)t}));
+    const geom::Vec2 truth = geom::uniform_in_field(w.field, rng);
+    const sim::FluxEngine engine(w.graph);
+    const std::vector<sim::Collection> window{{0, truth, 2.0}};
+    net::FluxMap flux = engine.measure(window, rng);
+    const auto samples = sim::sample_nodes_fraction(w.graph.size(), 0.10, rng);
+    std::vector<double> readings =
+        eval::sniffed_readings(w.graph, flux, samples);
+    sim::FaultPlan plan;
+    plan.seed = eval::derive_seed(1001, {(std::uint64_t)t, 20});
+    plan.outage_prob = 0.2;
+    sim::FaultInjector inj(plan, w.graph.size(), samples);
+    inj.corrupt(readings);
+    std::vector<double> zero_filled = readings;
+    net::zero_fill_missing(zero_filled);
+    const auto masked_obj = eval::make_objective_from_readings(
+        w.model, w.graph, samples, readings);
+    const auto zeroed_obj = eval::make_objective_from_readings(
+        w.model, w.graph, samples, zero_filled);
+    core::LocalizerConfig cfg;
+    cfg.candidates_per_user = 4000;
+    const core::InstantLocalizer loc(w.field, cfg);
+    geom::Rng rng_m(eval::derive_seed(1002, {(std::uint64_t)t}));
+    geom::Rng rng_z(eval::derive_seed(1002, {(std::uint64_t)t}));
+    masked_total +=
+        geom::distance(loc.localize(masked_obj, 1, rng_m).positions[0], truth);
+    zeroed_total +=
+        geom::distance(loc.localize(zeroed_obj, 1, rng_z).positions[0], truth);
+  }
+  EXPECT_LT(masked_total / trials, zeroed_total / trials);
+  EXPECT_LT(masked_total / trials, 4.0);
+}
+
+TEST(NoiseRobustness, HuberRefitResistsByzantineSniffers) {
+  const NoisyWorld w(370);
+  double plain_total = 0.0;
+  double robust_total = 0.0;
+  const int trials = 6;
+  for (int t = 0; t < trials; ++t) {
+    geom::Rng rng(eval::derive_seed(371, {(std::uint64_t)t}));
+    const geom::Vec2 truth = geom::uniform_in_field(w.field, rng);
+    const sim::FluxEngine engine(w.graph);
+    const std::vector<sim::Collection> window{{0, truth, 2.0}};
+    net::FluxMap flux = engine.measure(window, rng);
+    const auto samples = sim::sample_nodes_fraction(w.graph.size(), 0.10, rng);
+    std::vector<double> readings =
+        eval::sniffed_readings(w.graph, flux, samples);
+    // 15% of the sniffers report 8x the true value.
+    sim::FaultPlan plan;
+    plan.seed = eval::derive_seed(372, {(std::uint64_t)t});
+    plan.byzantine_fraction = 0.15;
+    plan.byzantine_gain = 8.0;
+    sim::FaultInjector inj(plan, w.graph.size(), samples);
+    inj.corrupt(readings);
+    const auto obj = eval::make_objective_from_readings(w.model, w.graph,
+                                                        samples, readings);
+    core::LocalizerConfig plain_cfg;
+    plain_cfg.candidates_per_user = 4000;
+    core::LocalizerConfig robust_cfg = plain_cfg;
+    robust_cfg.robust.loss = core::RobustLoss::kHuber;
+    geom::Rng rng_p(eval::derive_seed(373, {(std::uint64_t)t}));
+    geom::Rng rng_r(eval::derive_seed(373, {(std::uint64_t)t}));
+    plain_total += geom::distance(
+        core::InstantLocalizer(w.field, plain_cfg)
+            .localize(obj, 1, rng_p).positions[0], truth);
+    robust_total += geom::distance(
+        core::InstantLocalizer(w.field, robust_cfg)
+            .localize(obj, 1, rng_r).positions[0], truth);
+  }
+  EXPECT_LT(robust_total / trials, plain_total / trials);
+  EXPECT_LT(robust_total / trials, 5.0);
+}
+
+TEST(NoiseRobustness, SmcRecoversTrackAfterBlackoutTeleport) {
+  // Three-round total sniffer blackout while the user relocates across the
+  // field. The per-round motion bound traps the plain tracker far from the
+  // user; divergence recovery's grid scan must re-acquire.
+  const NoisyWorld w(380);
+  geom::Rng rng(381);
+  core::SmcConfig base;
+  base.num_predictions = 500;
+  core::SmcConfig rec = base;
+  rec.divergence_recovery = true;
+  rec.divergence_rounds = 2;
+  core::SmcTracker plain(w.field, 1, base, rng);
+  core::SmcTracker recovering(w.field, 1, rec, rng);
+  const sim::FluxEngine engine(w.graph);
+  const auto samples = sim::sample_nodes_fraction(w.graph.size(), 0.10, rng);
+
+  bool recovered = false;
+  geom::Vec2 truth{2.0, 2.0};
+  for (int round = 1; round <= 11; ++round) {
+    const bool blackout = round >= 6 && round <= 8;
+    truth = round <= 5 ? geom::Vec2{2.0 + 0.5 * round, 2.0}
+                       : geom::Vec2{28.0, 28.0};  // relocated mid-blackout
+    std::vector<double> readings;
+    if (blackout) {
+      readings.assign(samples.size(), net::kMissingReading);
+    } else {
+      const std::vector<sim::Collection> window{{0, truth, 2.0}};
+      const net::FluxMap flux = engine.measure(window, rng);
+      readings = eval::sniffed_readings(w.graph, flux, samples);
+    }
+    const auto obj = eval::make_objective_from_readings(w.model, w.graph,
+                                                        samples, readings);
+    plain.step(static_cast<double>(round), obj, rng);
+    const auto res = recovering.step(static_cast<double>(round), obj, rng);
+    recovered = recovered || res.recovered;
+  }
+  const double rec_err = geom::distance(recovering.estimate(0), truth);
+  const double plain_err = geom::distance(plain.estimate(0), truth);
+  EXPECT_TRUE(recovered);
+  EXPECT_LT(rec_err, 4.0);
+  EXPECT_GT(plain_err, rec_err);
 }
 
 TEST(NoiseRobustness, LocalizerHandlesUniformFluxGracefully) {

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "net/deployment.hpp"
+#include "net/flux.hpp"
 
 namespace fluxfp::net {
 namespace {
@@ -80,6 +83,45 @@ TEST(CollectionTree, RandomTieBreakVariesParents) {
   EXPECT_EQ(a.root, b.root);
   EXPECT_NE(a.parent, b.parent);  // randomized construction differs
   EXPECT_EQ(a.hop, b.hop);        // but hop structure is deterministic
+}
+
+TEST(CollectionTree, PartitionedGraphDegradesToPartialTree) {
+  // Two clusters with no link between them; the sink lands in the minority
+  // cluster. The tree must cover that cluster and mark the rest
+  // unreachable — a partial tree, not a crash.
+  geom::Rng rng(5);
+  std::vector<geom::Vec2> positions;
+  for (int i = 0; i < 3; ++i) {
+    positions.push_back({static_cast<double>(i), 0.0});  // minority cluster
+  }
+  for (int i = 0; i < 9; ++i) {
+    positions.push_back({20.0 + static_cast<double>(i % 3),
+                         static_cast<double>(i / 3)});  // majority cluster
+  }
+  const UnitDiskGraph g(std::move(positions), 1.5);
+  ASSERT_FALSE(g.is_connected());
+
+  const CollectionTree t = build_collection_tree(g, {0.2, 0.1}, rng);
+  EXPECT_LT(t.root, 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(t.reachable(i));
+  }
+  for (std::size_t i = 3; i < g.size(); ++i) {
+    EXPECT_FALSE(t.reachable(i));
+    EXPECT_EQ(t.parent[i], kNoNode);
+  }
+
+  // The flux pipeline over the partial tree stays finite: reachable nodes
+  // carry subtree flux, unreachable nodes carry exactly zero.
+  const FluxMap flux = tree_flux(t, 2.0);
+  EXPECT_DOUBLE_EQ(flux[t.root], 6.0);  // 3 nodes * stretch 2
+  for (std::size_t i = 3; i < g.size(); ++i) {
+    EXPECT_DOUBLE_EQ(flux[i], 0.0);
+  }
+  const FluxMap smoothed = smooth_flux(g, flux);
+  for (double v : smoothed) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
 }
 
 TEST(SubtreeSizes, LineGraphSizes) {

@@ -1,0 +1,238 @@
+#include "sim/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/deployment.hpp"
+#include "net/routing.hpp"
+#include "sim/measurement.hpp"
+#include "sim/sniffer.hpp"
+
+namespace fluxfp::sim {
+namespace {
+
+net::UnitDiskGraph small_network(geom::Rng& rng) {
+  const geom::RectField f(30.0, 30.0);
+  return net::UnitDiskGraph(net::perturbed_grid(f, 15, 15, 0.5, rng), 4.0);
+}
+
+std::vector<std::size_t> iota_sniffers(std::size_t n) {
+  std::vector<std::size_t> s(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s[i] = i;
+  }
+  return s;
+}
+
+TEST(FaultInjector, IsDeterministicAcrossInstances) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.crash_fraction = 0.1;
+  plan.outage_prob = 0.2;
+  plan.byzantine_fraction = 0.1;
+  FaultInjector a(plan, 200, iota_sniffers(50));
+  FaultInjector b(plan, 200, iota_sniffers(50));
+  EXPECT_EQ(a.crashed(), b.crashed());
+  EXPECT_EQ(a.byzantine(), b.byzantine());
+  for (int round : {0, 3, 7}) {
+    a.begin_round(round);
+    b.begin_round(round);
+    std::vector<double> ra(50, 1.0), rb(50, 1.0);
+    a.corrupt(ra);
+    b.corrupt(rb);
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      if (net::is_missing(ra[i])) {
+        EXPECT_TRUE(net::is_missing(rb[i]));
+      } else {
+        EXPECT_DOUBLE_EQ(ra[i], rb[i]);
+      }
+    }
+  }
+}
+
+TEST(FaultInjector, RoundsAreReplayableInAnyOrder) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.outage_prob = 0.3;
+  FaultInjector inj(plan, 100, iota_sniffers(100));
+  inj.begin_round(5);
+  std::vector<double> first(100, 1.0);
+  inj.corrupt(first);
+  inj.begin_round(2);
+  inj.begin_round(5);  // revisit
+  std::vector<double> again(100, 1.0);
+  inj.corrupt(again);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(net::is_missing(first[i]), net::is_missing(again[i]));
+  }
+}
+
+TEST(FaultInjector, CrashesActivateAtCrashRound) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.crash_fraction = 0.25;
+  plan.crash_round = 4;
+  FaultInjector inj(plan, 400, iota_sniffers(10));
+  EXPECT_TRUE(inj.crashed().empty());
+  EXPECT_TRUE(inj.node_alive(0));
+  inj.begin_round(3);
+  EXPECT_TRUE(inj.crashed().empty());
+  inj.begin_round(4);
+  EXPECT_NEAR(static_cast<double>(inj.crashed().size()), 100.0, 1.0);
+  for (std::size_t i : inj.crashed()) {
+    EXPECT_FALSE(inj.node_alive(i));
+  }
+}
+
+TEST(FaultInjector, OutageAndBurstProduceMissingReadings) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.outage_prob = 0.5;
+  plan.burst_start = 2;
+  plan.burst_length = 2;
+  FaultInjector inj(plan, 1000, iota_sniffers(1000));
+
+  std::vector<double> readings(1000, 3.0);
+  inj.corrupt(readings);
+  const std::size_t missing = net::count_missing(readings);
+  EXPECT_NEAR(static_cast<double>(missing), 500.0, 60.0);
+  EXPECT_FALSE(inj.burst_active());
+
+  inj.begin_round(2);
+  EXPECT_TRUE(inj.burst_active());
+  std::vector<double> blackout(1000, 3.0);
+  inj.corrupt(blackout);
+  EXPECT_EQ(net::count_missing(blackout), blackout.size());
+
+  inj.begin_round(4);  // burst over
+  EXPECT_FALSE(inj.burst_active());
+}
+
+TEST(FaultInjector, ByzantineScalesSurvivingReadings) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.byzantine_fraction = 0.2;
+  plan.byzantine_gain = 10.0;
+  FaultInjector inj(plan, 500, iota_sniffers(500));
+  std::vector<double> readings(500, 2.0);
+  inj.corrupt(readings);
+  std::size_t scaled = 0;
+  for (std::size_t i = 0; i < readings.size(); ++i) {
+    if (readings[i] == 20.0) {
+      ++scaled;
+      EXPECT_TRUE(inj.byzantine()[i]);
+    } else {
+      EXPECT_DOUBLE_EQ(readings[i], 2.0);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(scaled), 100.0, 1.0);
+}
+
+TEST(FaultInjector, ComposesWithFluxNoiseDropout) {
+  // FluxNoise dropout marks readings missing; the injector must leave
+  // those missing (never scale a missing reading back into existence).
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.byzantine_fraction = 1.0;
+  plan.byzantine_gain = 4.0;
+  FaultInjector inj(plan, 100, iota_sniffers(100));
+  net::FluxMap flux(100, 1.0);
+  geom::Rng rng(1);
+  FluxEngine::apply_noise(flux, {0.0, 0.5}, rng);
+  std::vector<double> readings = flux;
+  inj.corrupt(readings);
+  for (std::size_t i = 0; i < readings.size(); ++i) {
+    if (net::is_missing(flux[i])) {
+      EXPECT_TRUE(net::is_missing(readings[i]));
+    } else {
+      EXPECT_DOUBLE_EQ(readings[i], 4.0 * flux[i]);
+    }
+  }
+}
+
+TEST(FaultInjector, RejectsBadInputs) {
+  FaultPlan plan;
+  plan.crash_fraction = 1.5;
+  EXPECT_THROW(FaultInjector(plan, 10, iota_sniffers(5)),
+               std::invalid_argument);
+  FaultPlan ok;
+  EXPECT_THROW(FaultInjector(ok, 0, {}), std::invalid_argument);
+  EXPECT_THROW(FaultInjector(ok, 10, {10}), std::invalid_argument);
+  FaultInjector inj(ok, 10, iota_sniffers(5));
+  std::vector<double> wrong_size(4, 1.0);
+  EXPECT_THROW(inj.corrupt(wrong_size), std::invalid_argument);
+}
+
+TEST(FaultInjector, NeverCrashesWholeNetwork) {
+  FaultPlan plan;
+  plan.seed = 2;
+  plan.crash_fraction = 1.0;
+  FaultInjector inj(plan, 20, {});
+  inj.begin_round(0);
+  EXPECT_LT(inj.crashed().size(), 20u);
+}
+
+TEST(SurvivingNetwork, MapsIndicesBothWays) {
+  geom::Rng rng(4);
+  const net::UnitDiskGraph g = small_network(rng);
+  const std::vector<std::size_t> crashed = {0, 5, 17, 5};  // dup ignored
+  const SurvivingNetwork s = surviving_network(g, crashed);
+  EXPECT_EQ(s.graph.size(), g.size() - 3);
+  EXPECT_EQ(s.from_original[0], net::kNoNode);
+  EXPECT_EQ(s.from_original[5], net::kNoNode);
+  EXPECT_EQ(s.from_original[17], net::kNoNode);
+  for (std::size_t sv = 0; sv < s.graph.size(); ++sv) {
+    const std::size_t orig = s.to_original[sv];
+    EXPECT_EQ(s.from_original[orig], sv);
+    EXPECT_DOUBLE_EQ(s.graph.position(sv).x, g.position(orig).x);
+    EXPECT_DOUBLE_EQ(s.graph.position(sv).y, g.position(orig).y);
+  }
+  EXPECT_THROW(surviving_network(g, std::vector<std::size_t>{g.size()}),
+               std::invalid_argument);
+}
+
+TEST(SurvivingNetwork, ExpandFillsCrashedNodesWithZeroFlux) {
+  geom::Rng rng(6);
+  const net::UnitDiskGraph g = small_network(rng);
+  const std::vector<std::size_t> crashed = {1, 2, 3};
+  const SurvivingNetwork s = surviving_network(g, crashed);
+  net::FluxMap sub(s.graph.size(), 7.0);
+  const net::FluxMap full = expand_to_original(s, sub);
+  ASSERT_EQ(full.size(), g.size());
+  EXPECT_DOUBLE_EQ(full[1], 0.0);
+  EXPECT_DOUBLE_EQ(full[2], 0.0);
+  EXPECT_DOUBLE_EQ(full[3], 0.0);
+  EXPECT_DOUBLE_EQ(full[0], 7.0);
+}
+
+TEST(SurvivingNetwork, CollectionTreeOverSurvivorsYieldsPartialFlux) {
+  // Crash a block of nodes; the surviving graph may be disconnected, but
+  // the collection tree + flux pipeline must degrade to partial coverage
+  // rather than fail.
+  geom::Rng rng(8);
+  const net::UnitDiskGraph g = small_network(rng);
+  std::vector<std::size_t> crashed;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const geom::Vec2 p = g.position(i);
+    if (p.x > 10.0 && p.x < 14.0) {
+      crashed.push_back(i);  // vertical dead strip
+    }
+  }
+  const SurvivingNetwork s = surviving_network(g, crashed);
+  const net::CollectionTree tree =
+      net::build_collection_tree(s.graph, {25.0, 15.0}, rng);
+  const net::FluxMap flux = net::tree_flux(tree, 1.0);
+  const net::FluxMap full = expand_to_original(s, flux);
+  EXPECT_EQ(full.size(), g.size());
+  double total = 0.0;
+  for (double v : full) {
+    EXPECT_TRUE(std::isfinite(v));
+    total += v;
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+}  // namespace
+}  // namespace fluxfp::sim

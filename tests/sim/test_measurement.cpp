@@ -71,13 +71,16 @@ TEST(FluxNoise, NoopWhenZero) {
   EXPECT_EQ(flux, (net::FluxMap{1, 2, 3}));
 }
 
-TEST(FluxNoise, DropoutZeroesSomeEntries) {
+TEST(FluxNoise, DropoutMarksEntriesMissing) {
   net::FluxMap flux(1000, 1.0);
   geom::Rng rng(7);
   FluxEngine::apply_noise(flux, {0.0, 0.3}, rng);
+  // A dropped reading is *missing* evidence, not a zero observation.
+  const std::size_t missing = net::count_missing(flux);
+  EXPECT_NEAR(static_cast<double>(missing), 300.0, 60.0);
   const std::size_t zeros = static_cast<std::size_t>(
       std::count(flux.begin(), flux.end(), 0.0));
-  EXPECT_NEAR(static_cast<double>(zeros), 300.0, 60.0);
+  EXPECT_EQ(zeros, 0u);
 }
 
 TEST(FluxNoise, RelativeNoiseKeepsNonNegativity) {

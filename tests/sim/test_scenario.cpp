@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "net/deployment.hpp"
+#include "net/flux.hpp"
 
 namespace fluxfp::sim {
 namespace {
@@ -115,7 +116,7 @@ TEST(Scenario, NoiseIsApplied) {
   cfg.noise.dropout_prob = 1.0;  // extreme: every reading dropped
   const auto obs = run_scenario(g, {static_user({15, 15}, 1.0)}, cfg, rng);
   for (double v : obs[0].flux) {
-    EXPECT_DOUBLE_EQ(v, 0.0);
+    EXPECT_TRUE(net::is_missing(v));
   }
 }
 

@@ -49,6 +49,15 @@ TEST(Sniffer, FractionRounding) {
   EXPECT_GE(sample_nodes_fraction(10, 0.01, rng).size(), 1u);
 }
 
+TEST(Sniffer, FullFractionIsAllNodes) {
+  geom::Rng rng(14);
+  const auto s = sample_nodes_fraction(37, 1.0, rng);
+  ASSERT_EQ(s.size(), 37u);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(s[i], i);
+  }
+}
+
 TEST(Sniffer, FractionRejectsBadInputs) {
   geom::Rng rng(6);
   EXPECT_THROW(sample_nodes_fraction(10, 0.0, rng), std::invalid_argument);
