@@ -13,6 +13,7 @@
 #include "net/flux.hpp"
 #include "net/routing.hpp"
 #include "numeric/hungarian.hpp"
+#include "numeric/parallel.hpp"
 #include "sim/measurement.hpp"
 #include "sim/sniffer.hpp"
 
@@ -161,6 +162,43 @@ void BM_LocalizeOneUser(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LocalizeOneUser)->Arg(1000)->Arg(10000);
+
+void BM_ShapeColumns(benchmark::State& state) {
+  const core::SparseObjective obj = make_objective(90, 1);
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  geom::Rng rng(13);
+  std::vector<geom::Vec2> sinks(batch);
+  for (geom::Vec2& s : sinks) {
+    s = geom::uniform_in_field(field(), rng);
+  }
+  core::ColumnBlock block;
+  for (auto _ : state) {
+    obj.shape_columns(sinks, block);
+    benchmark::DoNotOptimize(block.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_ShapeColumns)->Arg(1000)->Arg(10000);
+
+// One full SMC round (2 users, default 1000 predictions) at 1/2/4/8 worker
+// threads. Output is bit-identical across the thread counts (all RNG stays
+// on the calling thread); only the wall-clock should move.
+void BM_SmcRound(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  numeric::set_thread_count(threads);
+  const core::SparseObjective obj = make_objective(90, 2);
+  geom::Rng rng(11);
+  core::SmcConfig cfg;
+  core::SmcTracker tracker(field(), 2, cfg, rng);
+  double time = 0.0;
+  for (auto _ : state) {
+    time += 1.0;
+    benchmark::DoNotOptimize(tracker.step(time, obj, rng).residual);
+  }
+  numeric::set_thread_count(0);
+}
+BENCHMARK(BM_SmcRound)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_SmcStepTwoUsers(benchmark::State& state) {
   const core::SparseObjective obj = make_objective(90, 2);

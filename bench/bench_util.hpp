@@ -17,6 +17,7 @@
 #include "eval/table.hpp"
 #include "eval/experiment.hpp"
 #include "geom/field.hpp"
+#include "numeric/parallel.hpp"
 
 namespace fluxfp::bench {
 
@@ -38,6 +39,11 @@ inline Options parse_options(int argc, char** argv) {
       opts.seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       opts.csv_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      // Worker count for the candidate-evaluation engine (0 = hardware
+      // concurrency, 1 = serial). Results are bit-identical either way;
+      // this knob trades wall-clock only.
+      numeric::set_thread_count(std::strtoull(argv[++i], nullptr, 10));
     }
   }
   return opts;

@@ -64,14 +64,16 @@ int main(int argc, char** argv) {
   for (double pct : {40.0, 20.0, 10.0, 5.0, 2.0}) {
     std::vector<std::string> row{eval::Table::fmt(pct, 0)};
     for (std::size_t k = 1; k <= 4; ++k) {
-      std::vector<double> errs;
-      for (int t = 0; t < trials; ++t) {
-        errs.push_back(run_instance(
-            {}, field, k, pct / 100.0, 0,
-            eval::derive_seed(opts.seed,
-                              {(std::uint64_t)(pct * 10), k,
-                               (std::uint64_t)t})));
-      }
+      // Independent per-trial seeds: trials fan out over the thread pool
+      // and slot t keeps trial t's error, so the mean matches the serial
+      // loop at any thread count.
+      const std::vector<double> errs = eval::run_trials(
+          static_cast<std::size_t>(trials), [&](std::size_t t) {
+            return run_instance(
+                {}, field, k, pct / 100.0, 0,
+                eval::derive_seed(opts.seed,
+                                  {(std::uint64_t)(pct * 10), k, t}));
+          });
       row.push_back(eval::Table::fmt(numeric::mean(errs)));
     }
     a.add_row(row);
@@ -87,14 +89,13 @@ int main(int argc, char** argv) {
   for (std::size_t nodes : {900u, 1200u, 1500u, 1800u}) {
     std::vector<std::string> row{std::to_string(nodes)};
     for (std::size_t k = 1; k <= 4; ++k) {
-      std::vector<double> errs;
-      for (int t = 0; t < trials; ++t) {
-        eval::NetworkSpec spec;
-        spec.nodes = nodes;
-        errs.push_back(run_instance(
-            spec, field, k, 0.0, 90,
-            eval::derive_seed(opts.seed, {nodes, k, (std::uint64_t)t})));
-      }
+      const std::vector<double> errs = eval::run_trials(
+          static_cast<std::size_t>(trials), [&](std::size_t t) {
+            eval::NetworkSpec spec;
+            spec.nodes = nodes;
+            return run_instance(spec, field, k, 0.0, 90,
+                                eval::derive_seed(opts.seed, {nodes, k, t}));
+          });
       row.push_back(eval::Table::fmt(numeric::mean(errs)));
     }
     b.add_row(row);

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Builds bench_micro in Release and regenerates the benchmark-regression
+# baseline BENCH_micro.json at the repo root.
+#
+# Usage: bench/run_benchmarks.sh [extra --benchmark_* flags...]
+#
+# The baseline is machine-specific: compare candidate runs only against a
+# baseline produced on the same hardware (google-benchmark's
+# tools/compare.py does this well). The committed baseline records the
+# reference machine's numbers so regressions in the *shape* (e.g. BM_SmcRound
+# scaling across thread counts) are visible in review.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build-bench}"
+
+cmake -S "$repo_root" -B "$build_dir" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DFLUXFP_BUILD_TESTS=OFF \
+  -DFLUXFP_BUILD_EXAMPLES=OFF
+cmake --build "$build_dir" --target bench_micro -j "$(nproc)"
+
+"$build_dir/bench/bench_micro" \
+  --benchmark_out="$repo_root/BENCH_micro.json" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "Wrote $repo_root/BENCH_micro.json"

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "numeric/parallel.hpp"
+
 namespace fluxfp::core {
 namespace {
 
@@ -85,9 +87,6 @@ LocalizationResult InstantLocalizer::localize(
 LocalizationResult InstantLocalizer::search(
     const SparseObjective& objective, std::size_t num_users,
     geom::Rng& rng) const {
-  LocalizationResult best_result;
-  best_result.residual = std::numeric_limits<double>::infinity();
-
   const int restarts = num_users == 1 ? 1 : config_.restarts;
   const int sweeps = num_users == 1 ? 1 : config_.sweeps;
   const std::size_t per_sweep =
@@ -95,18 +94,60 @@ LocalizationResult InstantLocalizer::search(
                                 static_cast<std::size_t>(sweeps),
                             1);
 
-  std::vector<double> candidate_col;
-  for (int restart = 0; restart < restarts; ++restart) {
+  // Pre-draw every random position on the calling thread, in exactly the
+  // order the serial search historically consumed the stream (restart
+  // init, then sweep-by-sweep, user-by-user candidates). The draws never
+  // depended on evaluation results, so the pre-drawn plan reproduces the
+  // serial implementation's stream bit for bit — and frees the restarts
+  // to run in parallel with purely deterministic work.
+  struct RestartPlan {
+    std::vector<geom::Vec2> init;                     // one per user
+    std::vector<std::vector<geom::Vec2>> candidates;  // [sweep*K + j]
+  };
+  std::vector<RestartPlan> plans(restarts);
+  for (RestartPlan& plan : plans) {
+    plan.init.resize(num_users);
+    for (std::size_t j = 0; j < num_users; ++j) {
+      plan.init[j] = geom::uniform_in_field(*field_, rng);
+    }
+    plan.candidates.resize(static_cast<std::size_t>(sweeps) * num_users);
+    for (int sweep = 0; sweep < sweeps; ++sweep) {
+      for (std::size_t j = 0; j < num_users; ++j) {
+        std::vector<geom::Vec2>& cand =
+            plan.candidates[static_cast<std::size_t>(sweep) * num_users + j];
+        cand.resize(per_sweep);
+        for (std::size_t c = 0; c < per_sweep; ++c) {
+          cand[c] = geom::uniform_in_field(*field_, rng);
+        }
+      }
+    }
+  }
+
+  struct RestartOutcome {
+    std::vector<geom::Vec2> positions;
+    std::vector<std::vector<ScoredCandidate>> last_scores;
+    double residual = std::numeric_limits<double>::infinity();
+  };
+  std::vector<RestartOutcome> outcomes(restarts);
+
+  // Multi-start search: restarts fan out over the thread pool (nested
+  // batch evaluation degrades to serial inside a worker; with a single
+  // restart the inner candidate batches parallelize instead).
+  numeric::parallel_for(0, static_cast<std::size_t>(restarts),
+                        [&](std::size_t restart) {
+    const RestartPlan& plan = plans[restart];
+    RestartOutcome& outcome = outcomes[restart];
     // Current combination and cached shape columns.
-    std::vector<geom::Vec2> positions(num_users);
+    std::vector<geom::Vec2> positions = plan.init;
     std::vector<std::vector<double>> columns(num_users);
     for (std::size_t j = 0; j < num_users; ++j) {
-      positions[j] = geom::uniform_in_field(*field_, rng);
       objective.shape_column(positions[j], columns[j]);
     }
 
-    std::vector<std::vector<ScoredCandidate>> last_scores(num_users);
-    double current_residual = std::numeric_limits<double>::infinity();
+    outcome.last_scores.resize(num_users);
+    ColumnBlock block;
+    std::vector<double> residuals(per_sweep);
+    std::vector<double> stretches(per_sweep);
 
     for (int sweep = 0; sweep < sweeps; ++sweep) {
       for (std::size_t j = 0; j < num_users; ++j) {
@@ -120,37 +161,48 @@ LocalizationResult InstantLocalizer::search(
         }
         const ConditionalFit cond(objective, fixed, j);
 
+        const std::vector<geom::Vec2>& cand =
+            plan.candidates[static_cast<std::size_t>(sweep) * num_users + j];
+        objective.shape_columns(cand, block);
+        cond.evaluate_batch(block, residuals, stretches);
+
         std::vector<ScoredCandidate> scored;
         scored.reserve(per_sweep + 1);
         // Keep the incumbent so a sweep can never regress.
         const StretchFit inc = cond.evaluate(columns[j]);
         scored.push_back({positions[j], inc.residual, inc.stretches[j]});
         for (std::size_t c = 0; c < per_sweep; ++c) {
-          const geom::Vec2 p = geom::uniform_in_field(*field_, rng);
-          objective.shape_column(p, candidate_col);
-          const StretchFit fit = cond.evaluate(candidate_col);
-          scored.push_back({p, fit.residual, fit.stretches[j]});
+          scored.push_back({cand[c], residuals[c], stretches[c]});
         }
         keep_top(scored, std::max(config_.top_m, std::size_t{1}));
 
         positions[j] = scored.front().position;
         objective.shape_column(positions[j], columns[j]);
-        current_residual = scored.front().residual;
+        outcome.residual = scored.front().residual;
         if (sweep == sweeps - 1) {
-          last_scores[j] = std::move(scored);
+          outcome.last_scores[j] = std::move(scored);
         }
       }
     }
+    outcome.positions = std::move(positions);
+  });
 
-    if (current_residual < best_result.residual) {
-      StretchFit fit = objective.fit(positions);
-      best_result.positions = positions;
+  // Winner selection stays serial and in restart order — including the
+  // historical quirk that a restart's sweep residual is compared against
+  // the incumbent winner's *joint-fit* residual — so the selected restart
+  // matches the serial implementation exactly.
+  LocalizationResult best_result;
+  best_result.residual = std::numeric_limits<double>::infinity();
+  for (RestartOutcome& outcome : outcomes) {
+    if (outcome.residual < best_result.residual) {
+      StretchFit fit = objective.fit(outcome.positions);
+      best_result.positions = outcome.positions;
       best_result.stretches = std::move(fit.stretches);
       best_result.residual = fit.residual;
       best_result.top_positions.assign(num_users, {});
       best_result.top_residuals.assign(num_users, {});
       for (std::size_t j = 0; j < num_users; ++j) {
-        for (const ScoredCandidate& s : last_scores[j]) {
+        for (const ScoredCandidate& s : outcome.last_scores[j]) {
           best_result.top_positions[j].push_back(s.position);
           best_result.top_residuals[j].push_back(s.residual);
         }

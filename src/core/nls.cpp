@@ -7,14 +7,23 @@
 #include "net/flux.hpp"
 #include "numeric/matrix.hpp"
 #include "numeric/nnls.hpp"
+#include "numeric/parallel.hpp"
 
 namespace fluxfp::core {
 
 std::vector<double> robust_weights(std::span<const double> residuals,
                                    const RobustFitConfig& config) {
-  std::vector<double> w(residuals.size(), 1.0);
+  std::vector<double> w;
+  robust_weights(residuals, config, w);
+  return w;
+}
+
+void robust_weights(std::span<const double> residuals,
+                    const RobustFitConfig& config, std::vector<double>& out) {
+  std::vector<double>& w = out;
+  w.assign(residuals.size(), 1.0);
   if (residuals.empty() || config.loss == RobustLoss::kNone) {
-    return w;
+    return;
   }
   std::vector<double> abs_r(residuals.size());
   for (std::size_t i = 0; i < residuals.size(); ++i) {
@@ -33,7 +42,7 @@ std::vector<double> robust_weights(std::span<const double> residuals,
     for (std::size_t i = 0; i < abs_r.size(); ++i) {
       w[i] = abs_r[i] <= threshold ? 1.0 : 0.0;
     }
-    return w;
+    return;
   }
   // Huber: robust scale from the normalized MAD about the median residual.
   std::vector<double> tmp(residuals.begin(), residuals.end());
@@ -52,13 +61,12 @@ std::vector<double> robust_weights(std::span<const double> residuals,
     max_abs = std::max(max_abs, a);
   }
   if (!(sigma > 1e-12 * (1.0 + max_abs))) {
-    return w;  // degenerate scale: most residuals identical, nothing to clip
+    return;  // degenerate scale: most residuals identical, nothing to clip
   }
   const double clip = config.huber_k * sigma;
   for (std::size_t i = 0; i < abs_r.size(); ++i) {
     w[i] = abs_r[i] > clip ? clip / abs_r[i] : 1.0;
   }
-  return w;
 }
 
 SparseObjective::SparseObjective(const FluxModel& model,
@@ -108,6 +116,11 @@ std::vector<double> SparseObjective::shape_column(geom::Vec2 sink) const {
 void SparseObjective::shape_column(geom::Vec2 sink,
                                    std::vector<double>& out) const {
   out.resize(sample_positions_.size());
+  shape_column_into(sink, out);
+}
+
+void SparseObjective::shape_column_into(geom::Vec2 sink,
+                                        std::span<double> out) const {
   for (std::size_t i = 0; i < sample_positions_.size(); ++i) {
     out[i] = model_.shape(sink, sample_positions_[i]);
     if (!row_scale_.empty()) {
@@ -116,9 +129,25 @@ void SparseObjective::shape_column(geom::Vec2 sink,
   }
 }
 
+void SparseObjective::shape_columns(std::span<const geom::Vec2> sinks,
+                                    ColumnBlock& out) const {
+  out.resize(sample_positions_.size(), sinks.size());
+  numeric::parallel_for(0, sinks.size(), [&](std::size_t c) {
+    shape_column_into(sinks[c], out.column(c));
+  });
+}
+
 StretchFit SparseObjective::fit(std::span<const geom::Vec2> sinks) const {
-  std::vector<std::vector<double>> cols(sinks.size());
-  std::vector<const std::vector<double>*> ptrs(sinks.size());
+  // Scratch is thread-local: fit() runs inside parallel regions (smooth
+  // localizer restarts, experiment trials) where shared mutable members
+  // would race, while per-call vectors would re-pay the allocations this
+  // reuse exists to remove.
+  thread_local std::vector<std::vector<double>> cols;
+  thread_local std::vector<const std::vector<double>*> ptrs;
+  if (cols.size() < sinks.size()) {
+    cols.resize(sinks.size());
+  }
+  ptrs.resize(sinks.size());
   for (std::size_t j = 0; j < sinks.size(); ++j) {
     shape_column(sinks[j], cols[j]);
     ptrs[j] = &cols[j];
@@ -171,22 +200,29 @@ StretchFit SparseObjective::fit_columns(
 std::vector<double> SparseObjective::residuals_at(
     std::span<const geom::Vec2> sinks,
     std::span<const double> stretches) const {
+  std::vector<double> r;
+  residuals_at(sinks, stretches, r);
+  return r;
+}
+
+void SparseObjective::residuals_at(std::span<const geom::Vec2> sinks,
+                                   std::span<const double> stretches,
+                                   std::vector<double>& out) const {
   if (sinks.size() != stretches.size()) {
     throw std::invalid_argument("residuals_at: sinks/stretches mismatch");
   }
   const std::size_t n = sample_positions_.size();
-  std::vector<double> r(n, 0.0);
-  std::vector<double> col;
+  out.assign(n, 0.0);
+  thread_local std::vector<double> col;
   for (std::size_t j = 0; j < sinks.size(); ++j) {
     shape_column(sinks[j], col);
     for (std::size_t i = 0; i < n; ++i) {
-      r[i] += stretches[j] * col[i];
+      out[i] += stretches[j] * col[i];
     }
   }
   for (std::size_t i = 0; i < n; ++i) {
-    r[i] -= measured_[i];
+    out[i] -= measured_[i];
   }
-  return r;
 }
 
 SparseObjective SparseObjective::reweighted(
@@ -216,15 +252,19 @@ StretchFit SparseObjective::fit_robust(std::span<const geom::Vec2> sinks,
   if (config.loss == RobustLoss::kNone || sample_positions_.empty()) {
     return fit;
   }
+  // Residual/weight buffers live across the IRLS rounds instead of being
+  // reallocated inside each one.
+  std::vector<double> r;
+  std::vector<double> w;
   for (int round = 0; round < config.reweight_rounds; ++round) {
-    const std::vector<double> r = residuals_at(sinks, fit.stretches);
-    const std::vector<double> w = robust_weights(r, config);
+    residuals_at(sinks, fit.stretches, r);
+    robust_weights(r, config, w);
     const StretchFit weighted = reweighted(w).fit(sinks);
     fit.stretches = weighted.stretches;
   }
   // Report the robust stretches at their *unweighted* residual so results
   // stay comparable with plain fits.
-  const std::vector<double> r = residuals_at(sinks, fit.stretches);
+  residuals_at(sinks, fit.stretches, r);
   fit.residual = numeric::norm(r);
   return fit;
 }
@@ -342,10 +382,12 @@ namespace {
 
 /// Lawson–Hanson active-set NNLS on the normal equations: minimizes
 /// 0.5 s^T G s - c^T s over s >= 0. Used for k above the enumeration limit.
+/// `s` must hold k entries.
 void nnls_gram_active_set(std::span<const double> g, std::size_t k,
-                          std::span<const double> c,
-                          std::vector<double>& s) {
-  s.assign(k, 0.0);
+                          std::span<const double> c, double* s) {
+  for (std::size_t j = 0; j < k; ++j) {
+    s[j] = 0.0;
+  }
   bool passive[kMaxGramUsers] = {};
   std::size_t idx[kMaxGramUsers];
   double z[kMaxGramUsers];
@@ -423,31 +465,31 @@ void nnls_gram_active_set(std::span<const double> g, std::size_t k,
   }
 }
 
-}  // namespace
-
-StretchFit nnls_from_gram(std::span<const double> g, std::size_t k,
-                          std::span<const double> c, double b2) {
-  if (k == 0 || k > kMaxGramUsers || g.size() != k * k || c.size() != k) {
-    throw std::invalid_argument("nnls_from_gram: bad dimensions");
+/// Allocation-free core of nnls_from_gram: writes the k stretches to `s`
+/// (stack buffer of the caller) and returns the residual. The public
+/// wrapper and the per-candidate batch evaluator share this exact
+/// arithmetic, which is what makes parallel batch output bit-identical to
+/// serial StretchFit-returning calls.
+double nnls_from_gram_into(std::span<const double> g, std::size_t k,
+                           std::span<const double> c, double b2, double* s) {
+  for (std::size_t j = 0; j < k; ++j) {
+    s[j] = 0.0;
   }
-  StretchFit out;
-  out.stretches.assign(k, 0.0);
 
   if (k > kGramEnumerationLimit) {
-    nnls_gram_active_set(g, k, c, out.stretches);
+    nnls_gram_active_set(g, k, c, s);
     // residual^2 = b2 - 2 s^T c + s^T G s.
     double sc = 0.0;
     double sgs = 0.0;
     for (std::size_t i = 0; i < k; ++i) {
-      sc += out.stretches[i] * c[i];
+      sc += s[i] * c[i];
       double gi = 0.0;
       for (std::size_t j = 0; j < k; ++j) {
-        gi += g[i * k + j] * out.stretches[j];
+        gi += g[i * k + j] * s[j];
       }
-      sgs += out.stretches[i] * gi;
+      sgs += s[i] * gi;
     }
-    out.residual = std::sqrt(std::max(b2 - 2.0 * sc + sgs, 0.0));
-    return out;
+    return std::sqrt(std::max(b2 - 2.0 * sc + sgs, 0.0));
   }
 
   // Fast path: if the unconstrained optimum over all k columns is already
@@ -460,10 +502,9 @@ StretchFit nnls_from_gram(std::span<const double> g, std::size_t k,
     double sc = 0.0;
     if (solve_subset(g, k, c, full, std::span<double>(x, k), sc)) {
       for (std::size_t j = 0; j < k; ++j) {
-        out.stretches[j] = x[j];
+        s[j] = x[j];
       }
-      out.residual = std::sqrt(std::max(b2 - sc, 0.0));
-      return out;
+      return std::sqrt(std::max(b2 - sc, 0.0));
     }
   }
   // Empty support: s = 0, residual^2 = b2. For a subset solution solving
@@ -477,11 +518,24 @@ StretchFit nnls_from_gram(std::span<const double> g, std::size_t k,
     if (r2 < best_r2) {
       best_r2 = r2;
       for (std::size_t j = 0; j < k; ++j) {
-        out.stretches[j] = x[j];
+        s[j] = x[j];
       }
     }
   }
-  out.residual = std::sqrt(std::max(best_r2, 0.0));
+  return std::sqrt(std::max(best_r2, 0.0));
+}
+
+}  // namespace
+
+StretchFit nnls_from_gram(std::span<const double> g, std::size_t k,
+                          std::span<const double> c, double b2) {
+  if (k == 0 || k > kMaxGramUsers || g.size() != k * k || c.size() != k) {
+    throw std::invalid_argument("nnls_from_gram: bad dimensions");
+  }
+  StretchFit out;
+  double s[kMaxGramUsers];
+  out.residual = nnls_from_gram_into(g, k, c, b2, s);
+  out.stretches.assign(s, s + k);
   return out;
 }
 
@@ -524,6 +578,40 @@ ConditionalFit::ConditionalFit(
 
 StretchFit ConditionalFit::evaluate(
     std::span<const double> candidate_column) const {
+  const std::size_t k = fixed_.size() + 1;
+  StretchFit out;
+  double s[kMaxGramUsers];
+  out.residual = evaluate_into(candidate_column, s);
+  out.stretches.assign(s, s + k);
+  return out;
+}
+
+double ConditionalFit::evaluate_residual(
+    std::span<const double> candidate_column) const {
+  double s[kMaxGramUsers];
+  return evaluate_into(candidate_column, s);
+}
+
+void ConditionalFit::evaluate_batch(const ColumnBlock& block,
+                                    std::span<double> residuals_out,
+                                    std::span<double> vary_stretch_out) const {
+  if (block.rows() != obj_->sample_count() ||
+      residuals_out.size() != block.cols() ||
+      (!vary_stretch_out.empty() &&
+       vary_stretch_out.size() != block.cols())) {
+    throw std::invalid_argument("evaluate_batch: dimension mismatch");
+  }
+  numeric::parallel_for(0, block.cols(), [&](std::size_t c) {
+    double s[kMaxGramUsers];
+    residuals_out[c] = evaluate_into(block.column(c), s);
+    if (!vary_stretch_out.empty()) {
+      vary_stretch_out[c] = s[vary_index_];
+    }
+  });
+}
+
+double ConditionalFit::evaluate_into(std::span<const double> candidate_column,
+                                     double* stretches) const {
   const std::size_t kf = fixed_.size();
   const std::size_t k = kf + 1;
   const std::size_t n = obj_->sample_count();
@@ -567,8 +655,8 @@ StretchFit ConditionalFit::evaluate(
   c[vary_index_] = cb;
 
   const double b2 = obj_->measured_norm() * obj_->measured_norm();
-  return nnls_from_gram(std::span<const double>(g, k * k), k,
-                        std::span<const double>(c, k), b2);
+  return nnls_from_gram_into(std::span<const double>(g, k * k), k,
+                             std::span<const double>(c, k), b2, stretches);
 }
 
 }  // namespace fluxfp::core

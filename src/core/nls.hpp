@@ -8,6 +8,45 @@
 
 namespace fluxfp::core {
 
+/// Contiguous storage for a batch of shape columns: C columns of length n
+/// in one allocation, column c occupying data()[c * rows()] onward. The
+/// candidate-evaluation engine fills one block per user per round
+/// (SparseObjective::shape_columns) and scores it in cache-friendly chunks
+/// (ConditionalFit::evaluate_batch), replacing the per-candidate
+/// vector<vector<double>> heap churn of the serial implementation.
+class ColumnBlock {
+ public:
+  ColumnBlock() = default;
+  ColumnBlock(std::size_t rows, std::size_t cols) { resize(rows, cols); }
+
+  /// Reshapes to rows x cols; existing contents are unspecified afterwards.
+  /// Capacity is retained across shrinks, so a reused block stops
+  /// allocating once it has seen its largest batch.
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  std::span<double> column(std::size_t c) {
+    return {data_.data() + c * rows_, rows_};
+  }
+  std::span<const double> column(std::size_t c) const {
+    return {data_.data() + c * rows_, rows_};
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
 /// Result of fitting stretch factors for one candidate set of sink
 /// positions.
 struct StretchFit {
@@ -39,6 +78,9 @@ struct RobustFitConfig {
 /// than half the residuals identical) all weights are 1.
 std::vector<double> robust_weights(std::span<const double> residuals,
                                    const RobustFitConfig& config);
+/// In-place variant (out resized to residuals.size()) for the IRLS loops.
+void robust_weights(std::span<const double> residuals,
+                    const RobustFitConfig& config, std::vector<double>& out);
 
 /// The sparse-sampling NLS objective of §4.A.
 ///
@@ -91,6 +133,13 @@ class SparseObjective {
   /// In-place variant (out resized to n) to avoid allocation in hot loops.
   void shape_column(geom::Vec2 sink, std::vector<double>& out) const;
 
+  /// Batch column build: `out` is resized to n x sinks.size() and column c
+  /// is filled with shape_column(sinks[c]). The work fans out over the
+  /// thread pool (numeric::parallel_for); each column is a pure function
+  /// of its sink, so the block is bit-identical at any thread count.
+  void shape_columns(std::span<const geom::Vec2> sinks,
+                     ColumnBlock& out) const;
+
   /// Full fit for K candidate sinks.
   StretchFit fit(std::span<const geom::Vec2> sinks) const;
 
@@ -103,6 +152,10 @@ class SparseObjective {
   /// sample_count()). Throws std::invalid_argument on size mismatch.
   std::vector<double> residuals_at(std::span<const geom::Vec2> sinks,
                                    std::span<const double> stretches) const;
+  /// In-place variant (out resized to n) for the IRLS loops.
+  void residuals_at(std::span<const geom::Vec2> sinks,
+                    std::span<const double> stretches,
+                    std::vector<double>& out) const;
 
   /// Weighted copy of this objective: row i of the least-squares system is
   /// scaled by sqrt(weights[i]) (weights.size() == sample_count(), all
@@ -119,6 +172,9 @@ class SparseObjective {
                         const RobustFitConfig& config) const;
 
  private:
+  /// Fills exactly out.size() == sample_count() entries; no resize.
+  void shape_column_into(geom::Vec2 sink, std::span<double> out) const;
+
   FluxModel model_;
   std::vector<geom::Vec2> sample_positions_;
   std::vector<double> measured_;
@@ -161,9 +217,29 @@ class ConditionalFit {
   /// Fit with the varying user's column = `candidate_column` (length n).
   StretchFit evaluate(std::span<const double> candidate_column) const;
 
+  /// Residual-only evaluation — the hot-loop form. Identical arithmetic to
+  /// evaluate().residual with zero heap allocation.
+  double evaluate_residual(std::span<const double> candidate_column) const;
+
+  /// Scores every column of `block` (block.rows() must equal the
+  /// objective's sample count): residuals_out[c] receives the fit residual
+  /// of candidate column c, and — when non-empty — vary_stretch_out[c] the
+  /// varying user's fitted stretch. Both spans must have block.cols()
+  /// entries. Candidates fan out over the thread pool; each evaluation is
+  /// independent and writes only its own slot, so the outputs are
+  /// bit-identical to a serial evaluate() loop at any thread count.
+  void evaluate_batch(const ColumnBlock& block,
+                      std::span<double> residuals_out,
+                      std::span<double> vary_stretch_out = {}) const;
+
   std::size_t user_count() const { return fixed_.size() + 1; }
 
  private:
+  /// Shared core: fit with the candidate column, writing the full stretch
+  /// vector (user_count() entries) to `stretches`; returns the residual.
+  double evaluate_into(std::span<const double> candidate_column,
+                       double* stretches) const;
+
   const SparseObjective* obj_;
   std::vector<const std::vector<double>*> fixed_;
   std::size_t vary_index_;

@@ -15,8 +15,22 @@ SmcTracker::SmcTracker(const geom::Field& field, std::size_t num_users,
   if (num_users == 0 || num_users > kMaxGramUsers) {
     throw std::invalid_argument("SmcTracker: bad user count");
   }
-  if (config_.num_predictions == 0 || config_.num_keep == 0 ||
-      config_.sweeps <= 0 || !(config_.vmax > 0.0)) {
+  if (config_.num_predictions == 0) {
+    throw std::invalid_argument(
+        "SmcTracker: num_predictions (N) must be > 0 — an empty prediction "
+        "set leaves every filtering sweep with nothing to rank");
+  }
+  if (config_.num_keep == 0) {
+    throw std::invalid_argument(
+        "SmcTracker: num_keep (M) must be > 0 — the tracker needs at least "
+        "one surviving sample per user");
+  }
+  if (config_.num_keep > config_.num_predictions) {
+    throw std::invalid_argument(
+        "SmcTracker: num_keep (M) must not exceed num_predictions (N) — "
+        "filtering cannot keep more samples than were predicted");
+  }
+  if (config_.sweeps <= 0 || !(config_.vmax > 0.0)) {
     throw std::invalid_argument("SmcTracker: bad config");
   }
   if (config_.heading_mix < 0.0 || config_.heading_mix > 1.0 ||
@@ -176,17 +190,20 @@ SmcStepResult SmcTracker::step(double time, const SparseObjective& raw_objective
   // (active+1)-dimensional one; columns outside the support are zero in
   // the full fit anyway, so the pruned fit is exact at the current point.
   std::vector<std::vector<double>> last_residuals(k);
-  // Candidate shape columns are fixed for the round; compute them once
-  // (flat n-strided buffer per user) instead of per sweep.
-  const std::size_t n = objective.sample_count();
-  std::vector<std::vector<double>> cand_cols(k);
-  std::vector<double> cand_col;
-  for (std::size_t j = 0; j < k; ++j) {
-    cand_cols[j].resize(predictions[j].size() * n);
-    for (std::size_t c = 0; c < predictions[j].size(); ++c) {
-      objective.shape_column(predictions[j][c].position, cand_col);
-      std::copy(cand_col.begin(), cand_col.end(),
-                cand_cols[j].begin() + static_cast<long>(c * n));
+  // Candidate shape columns are fixed for the round; build them once per
+  // user into a contiguous ColumnBlock. The batch build and the per-sweep
+  // scoring below fan out over the thread pool, while every RNG draw
+  // (prediction sampling above, resampling below) stays on this thread —
+  // so step() output is bit-identical at any thread count.
+  std::vector<ColumnBlock> cand_cols(k);
+  {
+    std::vector<geom::Vec2> cand_pos;
+    for (std::size_t j = 0; j < k; ++j) {
+      cand_pos.resize(predictions[j].size());
+      for (std::size_t c = 0; c < predictions[j].size(); ++c) {
+        cand_pos[c] = predictions[j][c].position;
+      }
+      objective.shape_columns(cand_pos, cand_cols[j]);
     }
   }
   for (int sweep = 0; sweep < config_.sweeps; ++sweep) {
@@ -215,20 +232,20 @@ SmcStepResult SmcTracker::step(double time, const SparseObjective& raw_objective
       // Candidate column sits in the last slot of the pruned fit.
       const ConditionalFit cond(objective, fixed, fixed.size());
       std::vector<double>& residuals = last_residuals[j];
-      residuals.assign(predictions[j].size(), 0.0);
+      residuals.resize(predictions[j].size());
+      cond.evaluate_batch(cand_cols[j], residuals);
+      // Serial argmin in index order: ties break to the lowest candidate
+      // index exactly as the serial loop did.
       double best_res = std::numeric_limits<double>::infinity();
       std::size_t best_idx = 0;
-      for (std::size_t c = 0; c < predictions[j].size(); ++c) {
-        const std::span<const double> col(cand_cols[j].data() + c * n, n);
-        residuals[c] = cond.evaluate(col).residual;
+      for (std::size_t c = 0; c < residuals.size(); ++c) {
         if (residuals[c] < best_res) {
           best_res = residuals[c];
           best_idx = c;
         }
       }
       reps[j] = predictions[j][best_idx].position;
-      const std::span<const double> best_col(
-          cand_cols[j].data() + best_idx * n, n);
+      const std::span<const double> best_col = cand_cols[j].column(best_idx);
       rep_cols[j].assign(best_col.begin(), best_col.end());
     }
   }
@@ -353,10 +370,8 @@ void SmcTracker::reseed_from_grid(double time,
           (static_cast<double>(iy) + 0.5) / static_cast<double>(g)));
     }
   }
-  std::vector<std::vector<double>> grid_cols(grid.size());
-  for (std::size_t c = 0; c < grid.size(); ++c) {
-    objective.shape_column(grid[c], grid_cols[c]);
-  }
+  ColumnBlock grid_cols;
+  objective.shape_columns(grid, grid_cols);
   const std::size_t k = num_users();
   std::vector<double> scores(grid.size());
   for (std::size_t j = 0; j < k; ++j) {
@@ -368,9 +383,7 @@ void SmcTracker::reseed_from_grid(double time,
       }
     }
     const ConditionalFit cond(objective, fixed, fixed.size());
-    for (std::size_t c = 0; c < grid.size(); ++c) {
-      scores[c] = cond.evaluate(grid_cols[c]).residual;
-    }
+    cond.evaluate_batch(grid_cols, scores);
     std::vector<std::size_t> order(grid.size());
     std::iota(order.begin(), order.end(), std::size_t{0});
     const std::size_t keep = std::min(config_.num_keep, order.size());
@@ -385,7 +398,8 @@ void SmcTracker::reseed_from_grid(double time,
     }
     particles_[j] = std::move(next);
     reps[j] = grid[order[0]];
-    rep_cols[j] = grid_cols[order[0]];
+    const std::span<const double> best_col = grid_cols.column(order[0]);
+    rep_cols[j].assign(best_col.begin(), best_col.end());
     t_last_[j] = time;
     heading_[j] = geom::Vec2{};
     prev_estimate_[j] = estimate(j);

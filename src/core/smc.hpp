@@ -15,9 +15,15 @@ struct Particle {
 };
 
 /// Configuration of the Sequential Monte Carlo tracker (Algorithm 4.1).
+///
+/// Threading: candidate evaluation inside step() fans out over the process
+/// thread pool — set it with numeric::set_thread_count() or the
+/// FLUXFP_THREADS env var (0 = hardware concurrency, 1 = serial). All RNG
+/// draws stay on the calling thread, so tracker output is bit-identical at
+/// any thread count; the knob trades wall-clock only.
 struct SmcConfig {
   std::size_t num_predictions = 1000;  ///< N samples drawn per user per round
-  std::size_t num_keep = 10;           ///< M samples kept after filtering
+  std::size_t num_keep = 10;  ///< M samples kept after filtering (<= N)
   double vmax = 5.0;                   ///< max speed (distance per unit time)
   int sweeps = 2;                      ///< conditional sweeps in filtering
   /// Asynchronous-updating test (§4.E): a user is "active" in a round only
@@ -136,7 +142,8 @@ class SmcTracker {
                                   geom::Rng& rng) const;
 
   /// Coarse-grid re-seed of every user's particle set against `objective`
-  /// (divergence recovery). Updates reps/rep_cols in place.
+  /// (divergence recovery). Updates reps/rep_cols in place. Grid scoring
+  /// runs through the parallel batch evaluator; no RNG involved.
   void reseed_from_grid(double time, const SparseObjective& objective,
                         std::vector<geom::Vec2>& reps,
                         std::vector<std::vector<double>>& rep_cols);

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "numeric/parallel.hpp"
+
 namespace fluxfp::core {
 
 SmoothLocalizer::SmoothLocalizer(const geom::Field& field,
@@ -86,21 +88,36 @@ SmoothLocalizationResult smooth_search(const geom::Field& field,
     return r;
   };
 
-  SmoothLocalizationResult best;
-  best.residual = std::numeric_limits<double>::infinity();
-  for (int restart = 0; restart < config_.restarts; ++restart) {
-    std::vector<double> theta;
+  // Pre-draw every restart's initial theta on the calling thread, in the
+  // order the serial loop consumed the RNG stream; the LM/GN iterations
+  // themselves are deterministic, so the restarts can then fan out over
+  // the thread pool without changing any result bit.
+  const std::size_t restarts = static_cast<std::size_t>(config_.restarts);
+  std::vector<std::vector<double>> thetas(restarts);
+  for (std::vector<double>& theta : thetas) {
     theta.reserve(2 * num_users);
     for (std::size_t j = 0; j < num_users; ++j) {
       const geom::Vec2 p = geom::uniform_in_field(*field_, rng);
       theta.push_back(p.x);
       theta.push_back(p.y);
     }
-    const numeric::LmResult run =
+  }
+
+  std::vector<numeric::LmResult> runs(restarts);
+  numeric::parallel_for(0, restarts, [&](std::size_t restart) {
+    runs[restart] =
         config_.use_gauss_newton
-            ? numeric::gauss_newton(residual_fn, std::move(theta))
-            : numeric::levenberg_marquardt(residual_fn, std::move(theta),
+            ? numeric::gauss_newton(residual_fn, std::move(thetas[restart]))
+            : numeric::levenberg_marquardt(residual_fn,
+                                           std::move(thetas[restart]),
                                            config_.lm);
+  });
+
+  // Winner selection stays serial and in restart order (strict <, so ties
+  // keep resolving to the earliest restart, as in the serial loop).
+  SmoothLocalizationResult best;
+  best.residual = std::numeric_limits<double>::infinity();
+  for (const numeric::LmResult& run : runs) {
     const double res_norm = std::sqrt(2.0 * run.cost);
     if (res_norm < best.residual) {
       best.residual = res_norm;

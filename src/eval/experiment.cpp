@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "net/routing.hpp"
+#include "numeric/parallel.hpp"
 #include "sim/sniffer.hpp"
 
 namespace fluxfp::eval {
@@ -82,6 +83,14 @@ std::uint64_t derive_seed(std::uint64_t base,
     h = h ^ (h >> 31);
   }
   return h;
+}
+
+std::vector<double> run_trials(
+    std::size_t count, const std::function<double(std::size_t)>& trial) {
+  std::vector<double> results(count);
+  numeric::parallel_for(0, count,
+                        [&](std::size_t t) { results[t] = trial(t); });
+  return results;
 }
 
 }  // namespace fluxfp::eval

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -64,5 +65,15 @@ core::SparseObjective make_objective_from_readings(
 /// reproducible yet decorrelated.
 std::uint64_t derive_seed(std::uint64_t base,
                           std::initializer_list<std::uint64_t> salts);
+
+/// Runs `trial(t)` for t in [0, count) and returns the results in trial
+/// order. Trials fan out over the process thread pool (numeric::parallel_for
+/// — set FLUXFP_THREADS or numeric::set_thread_count), so `trial` must be
+/// self-contained: seed its own Rng from the trial index (derive_seed) and
+/// touch no shared mutable state. Because every trial owns its seed and
+/// slot t holds trial t's result, the returned vector — and any statistic
+/// aggregated from it in order — is bit-identical at any thread count.
+std::vector<double> run_trials(std::size_t count,
+                               const std::function<double(std::size_t)>& trial);
 
 }  // namespace fluxfp::eval

@@ -1,0 +1,216 @@
+#include "numeric/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fluxfp::numeric {
+namespace {
+
+/// True on pool workers, and on the calling thread while it executes
+/// chunks of a batch. Nested parallel_for calls observe it and degrade to
+/// serial inline execution instead of re-entering the pool.
+thread_local bool t_in_parallel_region = false;
+
+std::size_t hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+/// FLUXFP_THREADS env var, or hardware concurrency when unset/garbage.
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("FLUXFP_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0') {
+      return v == 0 ? hardware_threads() : static_cast<std::size_t>(v);
+    }
+  }
+  return hardware_threads();
+}
+
+/// 0 = unresolved (fall back to default_thread_count()).
+std::atomic<std::size_t> g_requested{0};
+
+/// One cooperative batch: workers and the caller pull chunk indices from
+/// `next` until the range drains. The struct lives on the caller's stack;
+/// the caller does not return from run() until every worker has finished
+/// touching it.
+struct Batch {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t chunk_size = 1;
+  std::size_t chunk_count = 0;
+  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> cancelled{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  void work() {
+    for (;;) {
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunk_count || cancelled.load(std::memory_order_relaxed)) {
+        return;
+      }
+      const std::size_t lo = begin + c * chunk_size;
+      const std::size_t hi = std::min(end, lo + chunk_size);
+      try {
+        (*fn)(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) {
+          error = std::current_exception();
+        }
+        cancelled.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+};
+
+/// Persistent worker pool. Batches are serialized: run() publishes one
+/// batch, every worker processes it exactly once (possibly finding no
+/// chunks left), and run() returns only after all workers have checked
+/// back in — so the stack-allocated Batch never outlives its region.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  void run(Batch& batch, std::size_t workers_wanted) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ensure_workers(workers_wanted);
+    current_ = &batch;
+    ++generation_;
+    active_ = workers_.size();
+    lock.unlock();
+    work_cv_.notify_all();
+
+    t_in_parallel_region = true;
+    batch.work();
+    t_in_parallel_region = false;
+
+    lock.lock();
+    done_cv_.wait(lock, [&] { return active_ == 0; });
+    current_ = nullptr;
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : workers_) {
+      t.join();
+    }
+  }
+
+ private:
+  Pool() = default;
+
+  /// Grows (never shrinks) the worker set under the held lock. Extra
+  /// workers beyond a batch's wanted count just find no chunks — keeping
+  /// the check-in protocol uniform across thread-count changes.
+  void ensure_workers(std::size_t wanted) {
+    while (workers_.size() < wanted) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  void worker_loop() {
+    t_in_parallel_region = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+      Batch* batch = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) {
+          return;
+        }
+        seen = generation_;
+        batch = current_;
+      }
+      if (batch != nullptr) {
+        batch->work();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--active_ == 0) {
+          done_cv_.notify_one();
+        }
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  Batch* current_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+std::size_t thread_count() {
+  const std::size_t requested = g_requested.load(std::memory_order_relaxed);
+  return requested != 0 ? requested : default_thread_count();
+}
+
+void set_thread_count(std::size_t count) {
+  g_requested.store(count == 0 ? default_thread_count() : count,
+                    std::memory_order_relaxed);
+}
+
+void parallel_for_ranges(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) {
+    return;
+  }
+  const std::size_t count = end - begin;
+  const std::size_t threads = thread_count();
+  if (threads <= 1 || count == 1 || t_in_parallel_region) {
+    fn(begin, end);
+    return;
+  }
+  Batch batch;
+  batch.begin = begin;
+  batch.end = end;
+  // ~4 chunks per thread balances scheduling slack against dispatch cost;
+  // chunk geometry never affects results, only which thread computes what.
+  batch.chunk_size = std::max<std::size_t>(1, count / (threads * 4));
+  batch.chunk_count =
+      (count + batch.chunk_size - 1) / batch.chunk_size;
+  batch.fn = &fn;
+  // The caller is one of the workers.
+  Pool::instance().run(batch, threads - 1);
+  if (batch.error) {
+    std::rethrow_exception(batch.error);
+  }
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn) {
+  parallel_for_ranges(begin, end, [&fn](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      fn(i);
+    }
+  });
+}
+
+}  // namespace fluxfp::numeric

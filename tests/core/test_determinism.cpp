@@ -1,0 +1,301 @@
+// Determinism of the parallel candidate-evaluation engine: everything the
+// thread pool touches must produce bit-identical results at any thread
+// count, because all RNG stays on the calling thread and merges are by
+// index. These tests pin that contract for the batch primitives and for
+// the full SMC / localizer pipelines under fault injection.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/localizer.hpp"
+#include "core/nls.hpp"
+#include "core/smc.hpp"
+#include "core/smooth_localizer.hpp"
+#include "numeric/parallel.hpp"
+#include "sim/faults.hpp"
+
+namespace fluxfp::core {
+namespace {
+
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { numeric::set_thread_count(0); }
+};
+
+/// Synthetic observation source (same idiom as test_smc.cpp): measured
+/// flux generated directly from the model at fixed sample positions.
+struct World {
+  geom::RectField field{30.0, 30.0};
+  FluxModel model{field, 1.0};
+  std::vector<geom::Vec2> samples;
+
+  explicit World(std::uint64_t seed, std::size_t n = 80) {
+    geom::Rng rng(seed);
+    samples = geom::uniform_points(field, n, rng);
+  }
+
+  std::vector<double> readings(const std::vector<geom::Vec2>& sinks,
+                               const std::vector<double>& stretches) const {
+    std::vector<double> measured(samples.size(), 0.0);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      for (std::size_t j = 0; j < sinks.size(); ++j) {
+        measured[i] += stretches[j] * model.shape(sinks[j], samples[i]);
+      }
+    }
+    return measured;
+  }
+
+  SparseObjective observe(const std::vector<geom::Vec2>& sinks,
+                          const std::vector<double>& stretches) const {
+    return SparseObjective(model, samples, readings(sinks, stretches));
+  }
+};
+
+TEST(ColumnBlock, LayoutAndSpans) {
+  ColumnBlock block(4, 3);
+  EXPECT_EQ(block.rows(), 4u);
+  EXPECT_EQ(block.cols(), 3u);
+  for (std::size_t c = 0; c < 3; ++c) {
+    auto col = block.column(c);
+    ASSERT_EQ(col.size(), 4u);
+    // Columns are contiguous slices of one allocation.
+    EXPECT_EQ(col.data(), block.data() + c * 4);
+    for (std::size_t i = 0; i < 4; ++i) {
+      col[i] = static_cast<double>(c * 10 + i);
+    }
+  }
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(block.column(c)[i], static_cast<double>(c * 10 + i));
+    }
+  }
+}
+
+TEST(ColumnBlock, ResizeRetainsCapacity) {
+  ColumnBlock block(10, 100);
+  const double* before = block.data();
+  block.resize(10, 5);
+  block.resize(10, 60);
+  // Shrinking then regrowing within the high-water mark must not
+  // reallocate — that is the whole point of reusing blocks across rounds.
+  EXPECT_EQ(block.data(), before);
+  EXPECT_EQ(block.rows(), 10u);
+  EXPECT_EQ(block.cols(), 60u);
+}
+
+TEST(BatchEvaluation, ShapeColumnsMatchesPerColumnCalls) {
+  ThreadCountGuard guard;
+  const World w(41);
+  const SparseObjective obj = w.observe({{12.0, 9.0}}, {2.0});
+  geom::Rng rng(42);
+  std::vector<geom::Vec2> sinks(257);
+  for (geom::Vec2& s : sinks) {
+    s = geom::uniform_in_field(w.field, rng);
+  }
+
+  numeric::set_thread_count(4);
+  ColumnBlock block;
+  obj.shape_columns(sinks, block);
+  ASSERT_EQ(block.rows(), obj.sample_count());
+  ASSERT_EQ(block.cols(), sinks.size());
+
+  std::vector<double> col;
+  for (std::size_t c = 0; c < sinks.size(); ++c) {
+    obj.shape_column(sinks[c], col);
+    for (std::size_t i = 0; i < col.size(); ++i) {
+      ASSERT_EQ(block.column(c)[i], col[i]) << "c=" << c << " i=" << i;
+    }
+  }
+}
+
+TEST(BatchEvaluation, EvaluateBatchMatchesSerialEvaluate) {
+  ThreadCountGuard guard;
+  const World w(43);
+  const SparseObjective obj =
+      w.observe({{8.0, 8.0}, {22.0, 20.0}}, {2.0, 2.5});
+  geom::Rng rng(44);
+
+  std::vector<double> fixed_col;
+  obj.shape_column({22.0, 20.0}, fixed_col);
+  const std::vector<const std::vector<double>*> fixed{&fixed_col};
+  const ConditionalFit cond(obj, fixed, 0);
+
+  std::vector<geom::Vec2> cands(123);
+  for (geom::Vec2& c : cands) {
+    c = geom::uniform_in_field(w.field, rng);
+  }
+  ColumnBlock block;
+  obj.shape_columns(cands, block);
+
+  numeric::set_thread_count(4);
+  std::vector<double> residuals(cands.size());
+  std::vector<double> stretches(cands.size());
+  cond.evaluate_batch(block, residuals, stretches);
+
+  for (std::size_t c = 0; c < cands.size(); ++c) {
+    const StretchFit single = cond.evaluate(block.column(c));
+    ASSERT_EQ(residuals[c], single.residual) << "c=" << c;
+    ASSERT_EQ(stretches[c], single.stretches[0]) << "c=" << c;
+    ASSERT_EQ(single.residual, cond.evaluate_residual(block.column(c)));
+  }
+}
+
+TEST(BatchEvaluation, EvaluateBatchRejectsBadDimensions) {
+  const World w(45);
+  const SparseObjective obj = w.observe({{10.0, 10.0}}, {2.0});
+  const ConditionalFit cond(obj, {}, 0);
+  ColumnBlock block(obj.sample_count(), 4);
+  std::vector<double> wrong(3);
+  EXPECT_THROW(cond.evaluate_batch(block, wrong), std::invalid_argument);
+  ColumnBlock bad_rows(obj.sample_count() + 1, 4);
+  std::vector<double> out(4);
+  EXPECT_THROW(cond.evaluate_batch(bad_rows, out), std::invalid_argument);
+}
+
+/// Full pipeline fingerprint of one fault-injected 50-round tracking run.
+struct TrackRun {
+  std::vector<geom::Vec2> estimates;  // 2 users x 50 rounds, interleaved
+  std::vector<double> residuals;
+  std::vector<char> recovered;
+};
+
+TrackRun run_faulty_tracking(std::size_t threads) {
+  numeric::set_thread_count(threads);
+  const World w(46);
+
+  sim::FaultPlan plan;
+  plan.seed = 77;
+  plan.outage_prob = 0.15;
+  plan.byzantine_fraction = 0.1;
+  plan.byzantine_gain = 4.0;
+  plan.burst_start = 20;
+  plan.burst_length = 3;
+  std::vector<std::size_t> sniffers(w.samples.size());
+  for (std::size_t i = 0; i < sniffers.size(); ++i) {
+    sniffers[i] = i;
+  }
+  sim::FaultInjector injector(plan, w.samples.size(), std::move(sniffers));
+
+  SmcConfig cfg;
+  cfg.num_predictions = 300;
+  cfg.num_keep = 10;
+  cfg.sweeps = 2;
+  cfg.divergence_recovery = true;
+  cfg.recovery_grid = 12;
+  cfg.robust.loss = RobustLoss::kHuber;
+  cfg.robust.reweight_rounds = 1;
+
+  geom::Rng rng(47);
+  SmcTracker tracker(w.field, 2, cfg, rng);
+
+  TrackRun out;
+  for (int round = 1; round <= 50; ++round) {
+    const double r = static_cast<double>(round);
+    const std::vector<geom::Vec2> truths{
+        {3.0 + 0.45 * r, 10.0 + 0.2 * r}, {27.0 - 0.45 * r, 22.0 - 0.15 * r}};
+    std::vector<double> readings = w.readings(truths, {2.0, 2.5});
+    injector.begin_round(round);
+    injector.corrupt(readings);
+    const SparseObjective obj(w.model, w.samples, std::move(readings));
+    const SmcStepResult res = tracker.step(r, obj, rng);
+    out.estimates.push_back(tracker.estimate(0));
+    out.estimates.push_back(tracker.estimate(1));
+    out.residuals.push_back(res.residual);
+    out.recovered.push_back(res.recovered ? 1 : 0);
+  }
+  return out;
+}
+
+TEST(PipelineDeterminism, SmcTrackerBitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  const TrackRun serial = run_faulty_tracking(1);
+  const TrackRun parallel = run_faulty_tracking(4);
+  ASSERT_EQ(serial.estimates.size(), parallel.estimates.size());
+  for (std::size_t i = 0; i < serial.estimates.size(); ++i) {
+    ASSERT_EQ(serial.estimates[i], parallel.estimates[i])
+        << "round " << i / 2 + 1 << " user " << i % 2;
+  }
+  EXPECT_EQ(serial.residuals, parallel.residuals);
+  EXPECT_EQ(serial.recovered, parallel.recovered);
+}
+
+TEST(PipelineDeterminism, InstantLocalizerBitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  const World w(48);
+  const SparseObjective obj =
+      w.observe({{7.0, 21.0}, {23.0, 9.0}}, {2.0, 2.5});
+  LocalizerConfig cfg;
+  cfg.candidates_per_user = 600;
+  cfg.sweeps = 2;
+  cfg.restarts = 3;
+  cfg.top_m = 5;
+  const InstantLocalizer loc(w.field, cfg);
+
+  const auto run = [&](std::size_t threads) {
+    numeric::set_thread_count(threads);
+    geom::Rng rng(49);
+    return loc.localize(obj, 2, rng);
+  };
+  const LocalizationResult serial = run(1);
+  const LocalizationResult parallel = run(4);
+  ASSERT_EQ(serial.positions.size(), parallel.positions.size());
+  for (std::size_t j = 0; j < serial.positions.size(); ++j) {
+    EXPECT_EQ(serial.positions[j], parallel.positions[j]);
+  }
+  EXPECT_EQ(serial.residual, parallel.residual);
+  EXPECT_EQ(serial.stretches, parallel.stretches);
+  ASSERT_EQ(serial.top_positions.size(), parallel.top_positions.size());
+  for (std::size_t j = 0; j < serial.top_positions.size(); ++j) {
+    ASSERT_EQ(serial.top_positions[j].size(),
+              parallel.top_positions[j].size());
+    for (std::size_t t = 0; t < serial.top_positions[j].size(); ++t) {
+      EXPECT_EQ(serial.top_positions[j][t], parallel.top_positions[j][t]);
+    }
+    EXPECT_EQ(serial.top_residuals[j], parallel.top_residuals[j]);
+  }
+}
+
+TEST(PipelineDeterminism, SmoothLocalizerBitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  const World w(50);
+  const SparseObjective obj =
+      w.observe({{10.0, 12.0}, {20.0, 18.0}}, {2.0, 3.0});
+  SmoothLocalizerConfig cfg;
+  cfg.restarts = 4;
+  const SmoothLocalizer loc(w.field, cfg);
+
+  const auto run = [&](std::size_t threads) {
+    numeric::set_thread_count(threads);
+    geom::Rng rng(51);
+    return loc.localize(obj, 2, rng);
+  };
+  const SmoothLocalizationResult serial = run(1);
+  const SmoothLocalizationResult parallel = run(4);
+  ASSERT_EQ(serial.positions.size(), parallel.positions.size());
+  for (std::size_t j = 0; j < serial.positions.size(); ++j) {
+    EXPECT_EQ(serial.positions[j], parallel.positions[j]);
+  }
+  EXPECT_EQ(serial.residual, parallel.residual);
+  EXPECT_EQ(serial.stretches, parallel.stretches);
+  EXPECT_EQ(serial.converged, parallel.converged);
+}
+
+TEST(SmcConfigValidation, RejectsZeroPredictionsAndKeepOverflow) {
+  const geom::RectField f(30.0, 30.0);
+  geom::Rng rng(52);
+  SmcConfig bad;
+  bad.num_predictions = 0;
+  EXPECT_THROW(SmcTracker(f, 1, bad, rng), std::invalid_argument);
+  bad = SmcConfig{};
+  bad.num_predictions = 5;
+  bad.num_keep = 6;
+  EXPECT_THROW(SmcTracker(f, 1, bad, rng), std::invalid_argument);
+  bad = SmcConfig{};
+  bad.num_predictions = 10;
+  bad.num_keep = 10;  // boundary: keep == predictions is legal
+  EXPECT_NO_THROW(SmcTracker(f, 1, bad, rng));
+}
+
+}  // namespace
+}  // namespace fluxfp::core
