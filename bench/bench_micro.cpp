@@ -16,6 +16,9 @@
 #include "numeric/parallel.hpp"
 #include "sim/measurement.hpp"
 #include "sim/sniffer.hpp"
+#include "stream/emit.hpp"
+#include "stream/event_queue.hpp"
+#include "stream/manager.hpp"
 
 namespace {
 
@@ -213,6 +216,81 @@ void BM_SmcStepTwoUsers(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SmcStepTwoUsers)->Arg(200)->Arg(1000);
+
+// Streaming ingestion overhead: bounded-queue push+pop cost per event,
+// excluding any filtering work.
+void BM_EventIngest(benchmark::State& state) {
+  stream::EventQueue queue(1024, stream::QueuePolicy::kBlock);
+  stream::FluxEvent out;
+  double time = 0.0;
+  for (auto _ : state) {
+    for (std::uint32_t i = 0; i < 512; ++i) {
+      time += 1e-3;
+      queue.push({time, 0, 0, i, 1.0});
+    }
+    for (std::uint32_t i = 0; i < 512; ++i) {
+      queue.try_pop(out);
+      benchmark::DoNotOptimize(out.reading);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 512);
+}
+BENCHMARK(BM_EventIngest);
+
+// One streaming service run (8 sessions x 4 epochs over 90 sniffers) at
+// 1/2/4/8 workers. The parallelism axis is sessions — per-session results
+// are bit-identical across the worker counts; only wall-clock should move
+// (it cannot on a single-core machine; see BENCH_micro.json notes).
+void BM_StreamEpoch(benchmark::State& state) {
+  const std::size_t workers = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kSessions = 8;
+  constexpr int kRounds = 4;
+  static const core::FluxModel model(field(), 1.2);
+  static const std::vector<std::size_t> sniffers = [] {
+    geom::Rng rng(14);
+    return sim::sample_nodes(graph().size(), 90, rng);
+  }();
+  static const std::vector<stream::FluxEvent> events = [] {
+    std::vector<std::vector<stream::FluxEvent>> streams;
+    for (std::uint32_t u = 0; u < kSessions; ++u) {
+      geom::Rng rng(15 + u);
+      const sim::FluxEngine engine(graph());
+      std::vector<stream::FluxEvent> mine;
+      for (int round = 0; round < kRounds; ++round) {
+        const std::vector<sim::Collection> window = {
+            {0, geom::uniform_in_field(field(), rng), 2.0}};
+        const net::FluxMap flux = engine.measure(window, rng);
+        const auto burst = stream::window_events(
+            graph(), flux, sniffers, u, static_cast<std::uint32_t>(round),
+            static_cast<double>(round) + 0.01 * u);
+        mine.insert(mine.end(), burst.begin(), burst.end());
+      }
+      streams.push_back(std::move(mine));
+    }
+    return stream::merge_by_time(streams);
+  }();
+  stream::StreamTrackerConfig tcfg;
+  tcfg.smc.num_predictions = 200;
+  tcfg.expected_readings = sniffers.size();
+  for (auto _ : state) {
+    stream::ManagerConfig mcfg;
+    mcfg.workers = workers;
+    stream::TrackerManager manager(mcfg);
+    for (std::uint32_t u = 0; u < kSessions; ++u) {
+      manager.add_session(u, stream::StreamTracker(model, graph(), sniffers,
+                                                   1, tcfg, 100 + u));
+    }
+    manager.start();
+    for (const stream::FluxEvent& e : events) {
+      manager.push(e);
+    }
+    manager.finish();
+    benchmark::DoNotOptimize(manager.stats().epochs_fired);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kSessions * kRounds);
+}
+BENCHMARK(BM_StreamEpoch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_Hungarian(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

@@ -11,6 +11,11 @@
 // (b) error vs the resampling radius (max speed v_max), 10% reports —
 //     robust, slight increase with radius.
 
+// The tracking loop runs through the streaming runtime (StreamTracker over
+// the windows' FluxEvent stream) and each sweep point fans its runs out
+// with eval::run_trials, so --threads N parallelizes the independent runs
+// while keeping the sweep bit-identical at any thread count.
+
 #include <cstdio>
 #include <iostream>
 #include <vector>
@@ -21,6 +26,8 @@
 #include "numeric/stats.hpp"
 #include "sim/scenario.hpp"
 #include "sim/sniffer.hpp"
+#include "stream/emit.hpp"
+#include "stream/stream_tracker.hpp"
 #include "trace/generator.hpp"
 #include "trace/replay.hpp"
 
@@ -59,24 +66,70 @@ double run_once(net::DeploymentKind kind, double fraction, double vmax,
   core::SmcConfig tcfg;
   tcfg.num_predictions = 400;
   tcfg.vmax = vmax;
-  core::SmcTracker tracker(field, users.size(), tcfg, rng);
+
+  // Consume the windows through the streaming runtime: readings as a
+  // FluxEvent stream folded by a one-session StreamTracker (all users
+  // jointly — the window flux is shared evidence).
+  stream::StreamTrackerConfig stcfg;
+  stcfg.smc = tcfg;
+  stcfg.expected_readings = samples.size();
+  stream::StreamTracker tracker(tb.model, tb.graph, samples, users.size(),
+                                stcfg, seed);
+  std::vector<stream::EpochResult> fired;
+  for (const stream::FluxEvent& e :
+       stream::scenario_events(tb.graph, obs, samples, /*user=*/0)) {
+    for (auto& r : tracker.on_event(e)) {
+      fired.push_back(std::move(r));
+    }
+  }
+  for (auto& r : tracker.flush()) {
+    fired.push_back(std::move(r));
+  }
 
   numeric::RunningStats err;
   std::vector<bool> seen(users.size(), false);
-  for (const auto& o : obs) {
-    const core::SparseObjective obj =
-        eval::make_objective(tb.model, tb.graph, o.flux, samples);
-    const auto res = tracker.step(o.time, obj, rng);
+  for (const stream::EpochResult& res : fired) {
     for (std::size_t u = 0; u < users.size(); ++u) {
-      if (res.updated[u]) {
+      if (res.step.updated[u]) {
         seen[u] = true;
       }
       if (seen[u]) {
-        err.add(replayed[u].path.distance_to(tracker.estimate(u)));
+        err.add(replayed[u].path.distance_to(res.estimates[u]));
       }
     }
   }
   return err.mean();
+}
+
+/// Runs `runs` independent repetitions of (grid, random) for one sweep
+/// point through eval::run_trials — trial t < runs is the perturbed grid,
+/// the rest are random deployments. Returns {grid mean, random mean};
+/// bit-identical at any --threads value.
+std::pair<double, double> sweep_point(int runs, double fraction, double vmax,
+                                      const geom::RectField& field,
+                                      std::uint64_t base_seed,
+                                      std::uint64_t salt,
+                                      std::uint64_t salt_offset) {
+  const auto n = static_cast<std::size_t>(runs);
+  const std::vector<double> results = eval::run_trials(
+      2 * n, [&](std::size_t t) {
+        const bool grid = t < n;
+        const std::uint64_t runI = t % n;
+        return run_once(grid ? net::DeploymentKind::kPerturbedGrid
+                             : net::DeploymentKind::kUniformRandom,
+                        fraction, vmax, field,
+                        eval::derive_seed(base_seed,
+                                          {salt,
+                                           salt_offset + (grid ? 0 : 1),
+                                           runI}));
+      });
+  double grid = 0.0;
+  double random = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    grid += results[t];
+    random += results[n + t];
+  }
+  return {grid / runs, random / runs};
 }
 
 }  // namespace
@@ -92,22 +145,11 @@ int main(int argc, char** argv) {
                      "asynchronous updating)");
   eval::Table a({"% nodes", "perturbed grid", "random"});
   for (double pct : {40.0, 20.0, 10.0, 5.0}) {
-    double grid = 0.0;
-    double random = 0.0;
-    for (int runI = 0; runI < runs; ++runI) {
-      grid += run_once(net::DeploymentKind::kPerturbedGrid, pct / 100.0, 5.0,
-                       field,
-                       eval::derive_seed(opts.seed,
-                                         {(std::uint64_t)(pct * 10), 0,
-                                          (std::uint64_t)runI}));
-      random += run_once(net::DeploymentKind::kUniformRandom, pct / 100.0,
-                         5.0, field,
-                         eval::derive_seed(opts.seed,
-                                           {(std::uint64_t)(pct * 10), 1,
-                                            (std::uint64_t)runI}));
-    }
-    a.add_row({eval::Table::fmt(pct, 0), eval::Table::fmt(grid / runs),
-               eval::Table::fmt(random / runs)});
+    const auto [grid, random] = sweep_point(
+        runs, pct / 100.0, 5.0, field, opts.seed, (std::uint64_t)(pct * 10),
+        0);
+    a.add_row({eval::Table::fmt(pct, 0), eval::Table::fmt(grid),
+               eval::Table::fmt(random)});
   }
   bench::emit_table(a, opts, "fig10a");
   std::puts("(paper: grid error < 3 at >= 10% reports; random deployment "
@@ -118,22 +160,11 @@ int main(int argc, char** argv) {
                      "resampling radius (10% reports)");
   eval::Table b({"radius (vmax)", "perturbed grid", "random"});
   for (double vmax : {4.0, 6.0, 8.0, 10.0, 12.0}) {
-    double grid = 0.0;
-    double random = 0.0;
-    for (int runI = 0; runI < runs; ++runI) {
-      grid += run_once(net::DeploymentKind::kPerturbedGrid, 0.10, vmax,
-                       field,
-                       eval::derive_seed(opts.seed,
-                                         {(std::uint64_t)vmax, 2,
-                                          (std::uint64_t)runI}));
-      random += run_once(net::DeploymentKind::kUniformRandom, 0.10, vmax,
-                         field,
-                         eval::derive_seed(opts.seed,
-                                           {(std::uint64_t)vmax, 3,
-                                            (std::uint64_t)runI}));
-    }
-    b.add_row({eval::Table::fmt(vmax, 0), eval::Table::fmt(grid / runs),
-               eval::Table::fmt(random / runs)});
+    const auto [grid, random] =
+        sweep_point(runs, 0.10, vmax, field, opts.seed, (std::uint64_t)vmax,
+                    2);
+    b.add_row({eval::Table::fmt(vmax, 0), eval::Table::fmt(grid),
+               eval::Table::fmt(random)});
   }
   bench::emit_table(b, opts, "fig10b");
   std::puts("(paper: robust to the enlarged resampling area — only a "

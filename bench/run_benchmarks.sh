@@ -9,6 +9,11 @@
 # tools/compare.py does this well). The committed baseline records the
 # reference machine's numbers so regressions in the *shape* (e.g. BM_SmcRound
 # scaling across thread counts) are visible in review.
+#
+# BM_SmcRound@1/2/4/8 and BM_StreamEpoch@1/2/4/8 sweep worker counts; on
+# the single-core reference container their wall-clock is flat across the
+# sweep (num_cpus=1 in the JSON) — the scaling shape only shows on
+# multicore hardware. Per-session results are bit-identical either way.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"

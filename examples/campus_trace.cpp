@@ -5,18 +5,28 @@
 // with asynchronous collections only a few users are active per window, so
 // 20 coexisting users stay tractable.
 //
+// The windows are consumed through the streaming runtime: sniffer readings
+// become a FluxEvent stream, recorded to an in-memory binary trace and
+// replayed through a TrackerManager session — the same estimates the batch
+// loop produced, now from a record/replay pipeline.
+//
 // Run: ./campus_trace [seed]
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 
 #include "core/smc.hpp"
 #include "eval/experiment.hpp"
+#include "eval/metrics.hpp"
 #include "numeric/hungarian.hpp"
 #include "numeric/stats.hpp"
 #include "sim/scenario.hpp"
 #include "sim/sniffer.hpp"
+#include "stream/emit.hpp"
+#include "stream/manager.hpp"
+#include "stream/trace_io.hpp"
 #include "trace/generator.hpp"
 #include "trace/replay.hpp"
 
@@ -69,7 +79,35 @@ int main(int argc, char** argv) {
   const auto sniffed = sim::sample_nodes_fraction(graph.size(), 0.10, rng);
   core::SmcConfig tcfg;
   tcfg.num_predictions = 600;
-  core::SmcTracker tracker(field, sim_users.size(), tcfg, rng);
+
+  // Streaming pipeline: emit each window's sniffer readings as events,
+  // record the interleaved stream to an (in-memory) binary trace, then
+  // replay the recording into a one-session tracking service. All 20 users
+  // are tracked jointly by the session — the window flux is shared
+  // evidence, so the session is the sharding unit, not the user.
+  const auto events = stream::scenario_events(graph, observations, sniffed,
+                                              /*user=*/0);
+  std::stringstream trace_buffer;
+  stream::TraceRecorder recorder(trace_buffer);
+  recorder.write(std::span<const stream::FluxEvent>(events));
+
+  stream::StreamTrackerConfig stcfg;
+  stcfg.smc = tcfg;
+  stcfg.expected_readings = sniffed.size();
+  stream::TrackerManager manager({});
+  manager.add_session(0, stream::StreamTracker(model, graph, sniffed,
+                                               sim_users.size(), stcfg,
+                                               seed));
+  manager.start();
+  stream::TraceReplayer replayer(trace_buffer);
+  stream::replay_trace(replayer, manager);
+  manager.finish();
+  const stream::ManagerStats mstats = manager.stats();
+  std::printf("replayed %llu recorded events (%.0f events/s, p99 filter "
+              "latency %.0f us)\n",
+              static_cast<unsigned long long>(mstats.events_processed),
+              mstats.events_per_second,
+              eval::summarize_latencies(mstats.filter_micros).p99);
 
   // Identity-free instant accuracy: per window, match the updated slots'
   // positions against the *active* users' true positions (min-cost
@@ -102,10 +140,8 @@ int main(int argc, char** argv) {
   std::vector<std::vector<double>> path_errors(sim_users.size());
   std::vector<double> window_errors;  // identity-free, per window
   int active_total = 0;
-  for (const auto& obs : observations) {
-    const core::SparseObjective objective =
-        eval::make_objective(model, graph, obs.flux, sniffed);
-    const auto res = tracker.step(obs.time, objective, rng);
+  for (const stream::EpochResult& res : manager.results(0)) {
+    const auto& obs = observations[res.epoch];
     std::vector<geom::Vec2> updated_est;
     std::vector<geom::Vec2> active_truth;
     for (std::size_t u = 0; u < sim_users.size(); ++u) {
@@ -113,15 +149,15 @@ int main(int argc, char** argv) {
       if (obs.active[u]) {
         active_truth.push_back(obs.true_positions[u]);
       }
-      if (res.updated[u]) {
+      if (res.step.updated[u]) {
         ++updates[u];
-        updated_est.push_back(tracker.estimate(u));
+        updated_est.push_back(res.estimates[u]);
         update_errors[u].push_back(
-            geom::distance(tracker.estimate(u), obs.true_positions[u]));
+            geom::distance(res.estimates[u], obs.true_positions[u]));
       }
       if (updates[u] > 0) {
         path_errors[u].push_back(
-            replayed[u].path.distance_to(tracker.estimate(u)));
+            replayed[u].path.distance_to(res.estimates[u]));
       }
     }
     const double we = identity_free_error(updated_est, active_truth);

@@ -1,0 +1,175 @@
+// Streaming tracking service demo: the full online pipeline of the
+// streaming runtime. A simulator drives several concurrent tracking
+// sessions (asynchronous collections, §4.E/§5.C); their sniffer reports
+// become a single interleaved FluxEvent stream, optionally mangled by
+// event-level transport faults (drops / duplicates / stragglers /
+// reordering), recorded to a binary trace, then replayed into a sharded
+// TrackerManager at a configurable speed. Because window deadlines are
+// virtual time, the same trace produces bit-identical estimates at any
+// replay speed and any worker count (under the blocking queue policy).
+//
+// Run: ./stream_daemon [--sessions N] [--rounds R] [--workers W]
+//                      [--speed S] [--seed X] [--trace PATH] [--faulty]
+//   --speed 0 (default) replays as fast as the service accepts;
+//   --speed 1 is real time, 8 is 8x real time.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/flux_model.hpp"
+#include "eval/experiment.hpp"
+#include "eval/metrics.hpp"
+#include "geom/field.hpp"
+#include "numeric/stats.hpp"
+#include "sim/faults.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sniffer.hpp"
+#include "stream/emit.hpp"
+#include "stream/manager.hpp"
+#include "stream/trace_io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fluxfp;
+
+  std::size_t sessions = 4;
+  int rounds = 30;
+  std::size_t workers = 2;
+  double speed = 0.0;
+  std::uint64_t seed = 42;
+  std::string trace_path = "stream_daemon.trace";
+  bool faulty = false;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--sessions")) {
+      sessions = std::strtoull(next("--sessions"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--rounds")) {
+      rounds = std::atoi(next("--rounds"));
+    } else if (!std::strcmp(argv[i], "--workers")) {
+      workers = std::strtoull(next("--workers"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--speed")) {
+      speed = std::atof(next("--speed"));
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      trace_path = next("--trace");
+    } else if (!std::strcmp(argv[i], "--faulty")) {
+      faulty = true;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (sessions == 0 || rounds <= 0 || workers == 0) {
+    std::fputs("need sessions/rounds/workers >= 1\n", stderr);
+    return 2;
+  }
+
+  // Shared deployment: one sensor field, one calibrated flux model, one
+  // sniffer set — the tracking service watches many users on it at once.
+  geom::Rng rng(seed);
+  const geom::RectField field(20.0, 20.0);
+  const net::UnitDiskGraph graph =
+      eval::build_connected_network({}, field, rng);
+  const core::FluxModel model(field, eval::estimate_d_min(graph, field, rng));
+  const auto sniffed = sim::sample_nodes_fraction(graph.size(), 0.12, rng);
+  std::printf("network: %zu nodes, %zu sniffers, field %.0fx%.0f\n",
+              graph.size(), sniffed.size(), 20.0, 20.0);
+
+  // Simulate each session independently with a staggered start so the
+  // merged stream interleaves sessions (asynchronous collections).
+  std::vector<std::vector<stream::FluxEvent>> per_session;
+  std::vector<std::vector<geom::Vec2>> truths(sessions);
+  for (std::size_t s = 0; s < sessions; ++s) {
+    geom::Rng srng(seed + 1000 * (s + 1));
+    sim::SimUser user;
+    user.mobility = std::make_shared<sim::RandomWaypointMobility>(
+        field, 0.8, static_cast<double>(rounds) + 1.0, srng);
+    sim::ScenarioConfig scfg;
+    scfg.rounds = rounds;
+    scfg.start_time = 0.13 * static_cast<double>(s);
+    const auto obs = sim::run_scenario(graph, {user}, scfg, srng);
+    for (const auto& o : obs) {
+      truths[s].push_back(o.true_positions[0]);
+    }
+    per_session.push_back(stream::scenario_events(
+        graph, obs, sniffed, static_cast<std::uint32_t>(s)));
+  }
+  std::vector<stream::FluxEvent> events =
+      stream::merge_by_time(per_session);
+
+  if (faulty) {
+    sim::EventFaultPlan fplan;
+    fplan.seed = seed + 7;
+    fplan.drop_prob = 0.02;
+    fplan.dup_prob = 0.05;
+    fplan.late_prob = 0.02;
+    fplan.jitter = 0.3;
+    events = sim::apply_event_faults(events, fplan);
+    std::puts("transport faults on: 2% drop, 5% dup, 2% late, 0.3 jitter");
+  }
+
+  stream::write_trace_file(trace_path, events);
+  std::printf("recorded %zu events to %s (%zu bytes)\n", events.size(),
+              trace_path.c_str(),
+              stream::kTraceHeaderBytes +
+                  events.size() * stream::kTraceRecordBytes);
+
+  stream::ManagerConfig mcfg;
+  mcfg.workers = workers;
+  stream::TrackerManager manager(mcfg);
+  stream::StreamTrackerConfig tcfg;
+  tcfg.expected_readings = sniffed.size();
+  for (std::size_t s = 0; s < sessions; ++s) {
+    manager.add_session(
+        static_cast<std::uint32_t>(s),
+        stream::StreamTracker(model, graph, sniffed, 1, tcfg,
+                              seed + 500 * (s + 1)));
+  }
+  manager.start();
+  const std::uint64_t pushed =
+      stream::replay_trace_file(trace_path, manager, speed);
+  manager.finish();
+
+  const stream::ManagerStats stats = manager.stats();
+  std::printf("\nreplayed %llu events at %s over %zu workers in %.3fs "
+              "(%.0f events/s)\n",
+              static_cast<unsigned long long>(pushed),
+              speed <= 0.0 ? "max speed" : "paced speed", manager.workers(),
+              stats.wall_seconds, stats.events_per_second);
+  const eval::LatencySummary lat =
+      eval::summarize_latencies(stats.filter_micros);
+  std::printf("epochs fired: %llu, filter latency us: p50 %.0f  p99 %.0f  "
+              "max %.0f\n",
+              static_cast<unsigned long long>(stats.epochs_fired), lat.p50,
+              lat.p99, lat.max);
+
+  std::puts("\nsession  epochs  dup  late  forced  mean-err");
+  for (std::size_t s = 0; s < sessions; ++s) {
+    const auto user = static_cast<std::uint32_t>(s);
+    const stream::StreamStats& ss = manager.session(user).stats();
+    std::vector<double> errors;
+    for (const stream::EpochResult& r : manager.results(user)) {
+      if (r.epoch < truths[s].size()) {
+        errors.push_back(
+            geom::distance(r.estimates[0], truths[s][r.epoch]));
+      }
+    }
+    std::printf("%7zu  %6llu  %3llu  %4llu  %6llu  %8.2f\n", s,
+                static_cast<unsigned long long>(ss.epochs_fired),
+                static_cast<unsigned long long>(ss.duplicates),
+                static_cast<unsigned long long>(ss.late),
+                static_cast<unsigned long long>(ss.forced_closes),
+                errors.empty() ? -1.0 : numeric::mean(errors));
+  }
+  return 0;
+}

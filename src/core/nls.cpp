@@ -89,12 +89,27 @@ SparseObjective::SparseObjective(const FluxModel& model,
         "SparseObjective: samples empty or size mismatch");
   }
   // Compact to live samples: masked-out or missing readings carry no
-  // evidence and are excluded from the fit entirely.
+  // evidence and are excluded from the fit entirely. A repeated sample
+  // position (the same sniffer reported twice in one snapshot — routine in
+  // the streaming runtime, where transports duplicate reports) keeps the
+  // LATEST live reading rather than double-counting the row.
   std::size_t live = 0;
   for (std::size_t i = 0; i < measured_.size(); ++i) {
     const bool ok =
         (valid.empty() || valid[i]) && !net::is_missing(measured_[i]);
     if (!ok) {
+      continue;
+    }
+    bool duplicate = false;
+    for (std::size_t j = 0; j < live; ++j) {
+      if (sample_positions_[j].x == sample_positions_[i].x &&
+          sample_positions_[j].y == sample_positions_[i].y) {
+        measured_[j] = measured_[i];
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) {
       continue;
     }
     sample_positions_[live] = sample_positions_[i];

@@ -103,8 +103,12 @@ class SparseObjective {
  public:
   /// `model` is copied; `sample_positions` are the sniffed nodes' positions;
   /// `measured` is F' (same length). Readings that are missing
-  /// (net::is_missing) are masked out. Throws std::invalid_argument on
-  /// size mismatch or empty inputs.
+  /// (net::is_missing) are masked out. Exact-duplicate sample positions
+  /// (one sniffer reported twice in a snapshot — duplicated delivery in
+  /// the streaming runtime) collapse to a single row carrying the LATEST
+  /// live reading, so a re-report updates the evidence instead of
+  /// double-weighting it. Throws std::invalid_argument on size mismatch
+  /// or empty inputs.
   SparseObjective(const FluxModel& model,
                   std::vector<geom::Vec2> sample_positions,
                   std::vector<double> measured);
@@ -118,7 +122,7 @@ class SparseObjective {
 
   /// Live (unmasked) samples — the n the fit actually uses.
   std::size_t sample_count() const { return sample_positions_.size(); }
-  /// Samples excluded as missing/invalid at construction.
+  /// Samples excluded as missing/invalid/duplicate at construction.
   std::size_t masked_count() const { return masked_count_; }
   const std::vector<geom::Vec2>& sample_positions() const {
     return sample_positions_;

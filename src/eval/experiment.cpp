@@ -45,19 +45,16 @@ core::SparseObjective make_objective(const core::FluxModel& model,
   for (std::size_t i : samples) {
     positions.push_back(graph.position(i));
   }
-  const net::FluxMap& readings =
-      smooth ? net::smooth_flux(graph, flux) : flux;
-  return core::SparseObjective(model, std::move(positions),
-                               sim::gather(readings, samples));
+  return core::SparseObjective(
+      model, std::move(positions),
+      net::gather_readings(graph, flux, samples, smooth));
 }
 
 std::vector<double> sniffed_readings(const net::UnitDiskGraph& graph,
                                      const net::FluxMap& flux,
                                      std::span<const std::size_t> samples,
                                      bool smooth) {
-  const net::FluxMap& readings =
-      smooth ? net::smooth_flux(graph, flux) : flux;
-  return sim::gather(readings, samples);
+  return net::gather_readings(graph, flux, samples, smooth);
 }
 
 core::SparseObjective make_objective_from_readings(

@@ -44,6 +44,19 @@ double matched_max_error(std::span<const geom::Vec2> estimates,
   return numeric::max_value(errors);
 }
 
+LatencySummary summarize_latencies(std::span<const double> samples) {
+  LatencySummary s;
+  s.count = samples.size();
+  if (samples.empty()) {
+    return s;
+  }
+  s.mean = numeric::mean(samples);
+  s.p50 = numeric::percentile(samples, 0.5);
+  s.p99 = numeric::percentile(samples, 0.99);
+  s.max = numeric::max_value(samples);
+  return s;
+}
+
 ErrorSummary summarize(std::span<const double> errors) {
   ErrorSummary s;
   s.count = errors.size();

@@ -1,6 +1,7 @@
 #include "eval/table.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -83,6 +84,15 @@ void Table::write_csv(std::ostream& os) const {
 }
 
 std::string Table::fmt(double v, int precision) {
+  // Pin the non-finite tokens: iostream prints "-nan"/"nan(...)" depending
+  // on the platform and the NaN's sign bit, which breaks CSV diffing of
+  // benchmark output across machines. One spelling each, always.
+  if (std::isnan(v)) {
+    return "nan";
+  }
+  if (std::isinf(v)) {
+    return v > 0 ? "inf" : "-inf";
+  }
   std::ostringstream ss;
   ss << std::fixed << std::setprecision(precision) << v;
   return ss.str();

@@ -70,6 +70,26 @@ FluxMap smooth_flux(const UnitDiskGraph& graph, const FluxMap& flux) {
   return out;
 }
 
+std::vector<double> gather_readings(const UnitDiskGraph& graph,
+                                    const FluxMap& flux,
+                                    std::span<const std::size_t> samples,
+                                    bool smooth) {
+  if (flux.size() != graph.size()) {
+    throw std::invalid_argument("gather_readings: size mismatch");
+  }
+  const FluxMap smoothed = smooth ? smooth_flux(graph, flux) : FluxMap();
+  const FluxMap& readings = smooth ? smoothed : flux;
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (std::size_t i : samples) {
+    if (i >= readings.size()) {
+      throw std::invalid_argument("gather_readings: sample out of range");
+    }
+    out.push_back(readings[i]);
+  }
+  return out;
+}
+
 FluxMap multipath_flux(const UnitDiskGraph& graph,
                        const std::vector<int>& hop, std::size_t root,
                        double stretch) {

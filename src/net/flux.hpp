@@ -54,6 +54,19 @@ void accumulate(FluxMap& a, const FluxMap& b);
 /// nodes' averages rather than dragging them toward NaN.
 FluxMap smooth_flux(const UnitDiskGraph& graph, const FluxMap& flux);
 
+/// The readings a sniffer set physically gathers from a window's flux map:
+/// the value at each node of `samples`, in order, optionally neighborhood-
+/// averaged first (`smooth`, §3.B — what a passive sniffer overhears is
+/// every transmission in its radio range, which IS the 1-hop average).
+/// Missing entries stay missing. This is the shared gathering primitive
+/// behind the batch harnesses (eval::sniffed_readings) and the streaming
+/// event emitter. Throws std::invalid_argument when the flux map's size
+/// differs from the graph's or a sample index is out of range.
+std::vector<double> gather_readings(const UnitDiskGraph& graph,
+                                    const FluxMap& flux,
+                                    std::span<const std::size_t> samples,
+                                    bool smooth = true);
+
 /// Fraction of total flux "energy" (sum of values) carried by nodes at
 /// `min_hop` hops or more from the tree root. §3.B: nodes >= 3 hops away
 /// keep > 70% of the energy while fitting the model much better.

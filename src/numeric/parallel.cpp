@@ -166,6 +166,12 @@ class Pool {
 
 }  // namespace
 
+SerialRegionGuard::SerialRegionGuard() : prev_(t_in_parallel_region) {
+  t_in_parallel_region = true;
+}
+
+SerialRegionGuard::~SerialRegionGuard() { t_in_parallel_region = prev_; }
+
 std::size_t thread_count() {
   const std::size_t requested = g_requested.load(std::memory_order_relaxed);
   return requested != 0 ? requested : default_thread_count();

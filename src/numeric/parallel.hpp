@@ -40,4 +40,24 @@ void parallel_for_ranges(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)>& fn);
 
+/// RAII: marks the calling thread as already inside a parallel region, so
+/// every parallel_for it issues degrades to serial inline execution instead
+/// of entering the shared pool (exactly as nested calls from pool workers
+/// do). Subsystems that own their own worker threads — the streaming
+/// TrackerManager — hold one per worker: the pool's run protocol admits a
+/// single external caller at a time, and such a worker's parallelism budget
+/// is already spent on cross-session sharding. Results are unaffected
+/// (the determinism contract makes serial and pooled execution
+/// bit-identical); only scheduling changes. Nests safely.
+class SerialRegionGuard {
+ public:
+  SerialRegionGuard();
+  ~SerialRegionGuard();
+  SerialRegionGuard(const SerialRegionGuard&) = delete;
+  SerialRegionGuard& operator=(const SerialRegionGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
 }  // namespace fluxfp::numeric

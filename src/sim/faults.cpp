@@ -164,4 +164,47 @@ void FaultInjector::corrupt(std::vector<double>& readings) const {
   }
 }
 
+std::vector<stream::FluxEvent> apply_event_faults(
+    std::span<const stream::FluxEvent> events, const EventFaultPlan& plan) {
+  geom::Rng rng(plan.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  // Delivery-order key per surviving event. Four draws per input event in
+  // a fixed sequence keep the fault pattern a pure function of (seed,
+  // event index) — independent of earlier outcomes.
+  struct Delivery {
+    stream::FluxEvent event;
+    double arrival;
+  };
+  std::vector<Delivery> deliveries;
+  deliveries.reserve(events.size());
+  for (const stream::FluxEvent& e : events) {
+    const double u_drop = unit(rng);
+    const double u_late = unit(rng);
+    const double u_jitter = unit(rng);
+    const double u_dup = unit(rng);
+    if (u_drop < plan.drop_prob) {
+      continue;
+    }
+    double arrival = e.time + u_jitter * plan.jitter;
+    if (u_late < plan.late_prob) {
+      arrival += plan.late_delay;
+    }
+    deliveries.push_back({e, arrival});
+    if (u_dup < plan.dup_prob) {
+      deliveries.push_back({e, arrival + plan.dup_delay});
+    }
+  }
+  std::stable_sort(deliveries.begin(), deliveries.end(),
+                   [](const Delivery& a, const Delivery& b) {
+                     return a.arrival < b.arrival;
+                   });
+  std::vector<stream::FluxEvent> out;
+  out.reserve(deliveries.size());
+  for (const Delivery& d : deliveries) {
+    out.push_back(d.event);
+  }
+  return out;
+}
+
 }  // namespace fluxfp::sim

@@ -7,6 +7,7 @@
 #include "geom/sampling.hpp"
 #include "net/flux.hpp"
 #include "net/graph.hpp"
+#include "stream/event.hpp"
 
 namespace fluxfp::sim {
 
@@ -117,5 +118,43 @@ class FaultInjector {
   std::vector<bool> outage_;            ///< per sniffer slot, this round
   int round_ = 0;
 };
+
+/// Event-level faults for the streaming runtime: the transport between the
+/// sniffers and the tracking service drops, duplicates, delays, and
+/// reorders individual reading reports. Complements the reading-level
+/// FaultPlan (which corrupts *values*): these faults corrupt *delivery*.
+/// All randomness derives from `seed`, per event in input order, so a plan
+/// applied to the same event sequence is always the same fault pattern.
+struct EventFaultPlan {
+  std::uint64_t seed = 0;
+
+  /// Per-event probability the report is lost entirely.
+  double drop_prob = 0.0;
+
+  /// Per-event probability the report is delivered twice (the duplicate
+  /// arrives `dup_delay` later in event time — usually still inside its
+  /// window, exercising the tracker's keep-latest folding).
+  double dup_prob = 0.0;
+  double dup_delay = 0.1;
+
+  /// Per-event probability the report straggles: delivery is delayed by
+  /// `late_delay` in event time. With late_delay beyond the tracker's
+  /// close_delay the event arrives after its window fired and must be
+  /// counted + dropped as late.
+  double late_prob = 0.0;
+  double late_delay = 2.0;
+
+  /// Uniform [0, jitter) delivery perturbation applied to every surviving
+  /// event — out-of-order arrival within a window.
+  double jitter = 0.0;
+};
+
+/// Applies `plan` to a time-ordered event sequence and returns the events
+/// in DELIVERY order (what the ingestion queue sees). Event timestamps are
+/// left untouched — lateness and reordering are expressed purely through
+/// sequence position, mirroring a transport that delays packets without
+/// rewriting them.
+std::vector<stream::FluxEvent> apply_event_faults(
+    std::span<const stream::FluxEvent> events, const EventFaultPlan& plan);
 
 }  // namespace fluxfp::sim

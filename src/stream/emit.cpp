@@ -1,0 +1,54 @@
+#include "stream/emit.hpp"
+
+#include <stdexcept>
+
+#include "net/flux.hpp"
+
+namespace fluxfp::stream {
+
+std::vector<FluxEvent> readings_events(std::span<const std::size_t> sniffers,
+                                       std::span<const double> readings,
+                                       std::uint32_t user,
+                                       std::uint32_t epoch, double time) {
+  if (sniffers.size() != readings.size()) {
+    throw std::invalid_argument("readings_events: size mismatch");
+  }
+  std::vector<FluxEvent> events;
+  events.reserve(readings.size());
+  for (std::size_t i = 0; i < readings.size(); ++i) {
+    if (net::is_missing(readings[i])) {
+      continue;  // an outage is the absence of an event
+    }
+    events.push_back({time, user, epoch,
+                      static_cast<std::uint32_t>(sniffers[i]), readings[i]});
+  }
+  return events;
+}
+
+std::vector<FluxEvent> window_events(const net::UnitDiskGraph& graph,
+                                     const net::FluxMap& flux,
+                                     std::span<const std::size_t> sniffers,
+                                     std::uint32_t user, std::uint32_t epoch,
+                                     double time, bool smooth) {
+  return readings_events(sniffers,
+                         net::gather_readings(graph, flux, sniffers, smooth),
+                         user, epoch, time);
+}
+
+std::vector<FluxEvent> scenario_events(
+    const net::UnitDiskGraph& graph,
+    std::span<const sim::RoundObservation> obs,
+    std::span<const std::size_t> sniffers, std::uint32_t user, bool smooth) {
+  std::vector<FluxEvent> events;
+  events.reserve(obs.size() * sniffers.size());
+  for (std::size_t round = 0; round < obs.size(); ++round) {
+    const auto burst =
+        window_events(graph, obs[round].flux, sniffers, user,
+                      static_cast<std::uint32_t>(round), obs[round].time,
+                      smooth);
+    events.insert(events.end(), burst.begin(), burst.end());
+  }
+  return events;
+}
+
+}  // namespace fluxfp::stream

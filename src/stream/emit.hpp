@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "sim/scenario.hpp"
+#include "stream/event.hpp"
+
+namespace fluxfp::stream {
+
+/// Turns one observation window's flux map into the event burst the
+/// session's sniffers would report: one FluxEvent per sniffer whose
+/// (optionally §3.B-smoothed, see net::gather_readings) reading is present.
+/// Sniffers whose reading is missing (net::kMissingReading — outage, burst
+/// loss) emit NOTHING: in the streaming model an outage is the *absence* of
+/// an event, and the window closes with that slot still missing. Events are
+/// stamped with `time` and ordered by sniffer-list position.
+std::vector<FluxEvent> window_events(const net::UnitDiskGraph& graph,
+                                     const net::FluxMap& flux,
+                                     std::span<const std::size_t> sniffers,
+                                     std::uint32_t user, std::uint32_t epoch,
+                                     double time, bool smooth = true);
+
+/// As window_events, but from pre-gathered (possibly fault-corrupted)
+/// readings aligned with `sniffers` — the streaming analogue of
+/// eval::make_objective_from_readings. Missing readings emit nothing.
+std::vector<FluxEvent> readings_events(std::span<const std::size_t> sniffers,
+                                       std::span<const double> readings,
+                                       std::uint32_t user,
+                                       std::uint32_t epoch, double time);
+
+/// The full event stream of one simulated session: every round of `obs`
+/// becomes an epoch (epoch id = round index), windows with no flux at all
+/// still emit their zero readings (a true zero is evidence). The result is
+/// time-ordered and ready for a TraceRecorder or a TrackerManager.
+std::vector<FluxEvent> scenario_events(const net::UnitDiskGraph& graph,
+                                       std::span<const sim::RoundObservation> obs,
+                                       std::span<const std::size_t> sniffers,
+                                       std::uint32_t user, bool smooth = true);
+
+}  // namespace fluxfp::stream

@@ -1,0 +1,119 @@
+#include "stream/event_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fluxfp::stream {
+
+std::vector<FluxEvent> merge_by_time(
+    std::span<const std::vector<FluxEvent>> streams) {
+  std::vector<FluxEvent> merged;
+  std::size_t total = 0;
+  for (const auto& s : streams) {
+    total += s.size();
+  }
+  merged.reserve(total);
+  // k-way merge by repeated minimum — k (session count) is small and the
+  // stability requirement (ties keep the earlier stream first) falls out
+  // of the strict < comparison in input order.
+  std::vector<std::size_t> cursor(streams.size(), 0);
+  for (std::size_t taken = 0; taken < total; ++taken) {
+    std::size_t best = streams.size();
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      if (cursor[s] >= streams[s].size()) {
+        continue;
+      }
+      if (best == streams.size() ||
+          streams[s][cursor[s]].time < streams[best][cursor[best]].time) {
+        best = s;
+      }
+    }
+    merged.push_back(streams[best][cursor[best]++]);
+  }
+  return merged;
+}
+
+EventQueue::EventQueue(std::size_t capacity, QueuePolicy policy)
+    : capacity_(capacity), policy_(policy) {
+  if (capacity == 0) {
+    throw std::invalid_argument("EventQueue: capacity must be >= 1");
+  }
+}
+
+bool EventQueue::push(const FluxEvent& event) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (policy_ == QueuePolicy::kBlock) {
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) {
+      return false;
+    }
+  } else {
+    if (closed_) {
+      return false;
+    }
+    if (items_.size() >= capacity_) {
+      items_.pop_front();
+      ++stats_.dropped;
+    }
+  }
+  items_.push_back(event);
+  ++stats_.pushed;
+  stats_.max_depth = std::max(stats_.max_depth, items_.size());
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool EventQueue::pop(FluxEvent& out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  if (items_.empty()) {
+    return false;  // closed and drained
+  }
+  out = items_.front();
+  items_.pop_front();
+  ++stats_.popped;
+  lock.unlock();
+  not_full_.notify_one();
+  return true;
+}
+
+bool EventQueue::try_pop(FluxEvent& out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (items_.empty()) {
+    return false;
+  }
+  out = items_.front();
+  items_.pop_front();
+  ++stats_.popped;
+  lock.unlock();
+  not_full_.notify_one();
+  return true;
+}
+
+void EventQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool EventQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t EventQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return items_.size();
+}
+
+QueueStats EventQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace fluxfp::stream

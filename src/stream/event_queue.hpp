@@ -1,0 +1,86 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "stream/event.hpp"
+
+namespace fluxfp::stream {
+
+/// What a full queue does to a producer.
+enum class QueuePolicy {
+  /// push() blocks until a consumer makes room — lossless backpressure.
+  /// This is the policy the determinism contract assumes: every event is
+  /// delivered, so replaying a trace yields the same folding at any worker
+  /// count.
+  kBlock,
+  /// push() evicts the oldest queued event and never blocks — bounded
+  /// latency under overload at the cost of losing the events least likely
+  /// to still matter. Every eviction is counted (QueueStats::dropped);
+  /// a tracker downstream sees the dropped readings as missing.
+  kDropOldest,
+};
+
+/// Monotonic counters describing a queue's life so far.
+struct QueueStats {
+  std::uint64_t pushed = 0;   ///< accepted events (includes later-evicted)
+  std::uint64_t popped = 0;   ///< events handed to consumers
+  std::uint64_t dropped = 0;  ///< evictions under kDropOldest
+  std::size_t max_depth = 0;  ///< high-water mark of the backlog
+};
+
+/// Bounded multi-producer/single-consumer event queue with an explicit
+/// overflow policy. Plain mutex + condition variables: the per-event cost
+/// is dwarfed by the filtering work downstream, and the simple protocol is
+/// trivially clean under TSan — this queue and the TrackerManager are the
+/// first cross-thread mutable state in the repo.
+///
+/// Any thread may push; pop is intended for one consumer (more would work,
+/// but per-user event ordering — the determinism anchor — is only
+/// guaranteed with a single consumer per queue).
+class EventQueue {
+ public:
+  /// `capacity` >= 1 bounds the backlog. Throws std::invalid_argument on 0.
+  explicit EventQueue(std::size_t capacity,
+                      QueuePolicy policy = QueuePolicy::kBlock);
+
+  /// Enqueues `event`. kBlock: waits for room (returns false only when the
+  /// queue was closed while waiting or before the call). kDropOldest:
+  /// always succeeds immediately, evicting the oldest event when full.
+  bool push(const FluxEvent& event);
+
+  /// Dequeues into `out`, waiting for an event. Returns false when the
+  /// queue is closed AND drained — the consumer's termination signal.
+  bool pop(FluxEvent& out);
+
+  /// Non-blocking pop; false when currently empty (queue may still be
+  /// open).
+  bool try_pop(FluxEvent& out);
+
+  /// Closes the queue: subsequent pushes fail, blocked producers and the
+  /// consumer wake up. Already-queued events remain poppable.
+  void close();
+
+  bool closed() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  QueuePolicy policy() const { return policy_; }
+
+  /// Snapshot of the counters (consistent, taken under the lock).
+  QueueStats stats() const;
+
+ private:
+  const std::size_t capacity_;
+  const QueuePolicy policy_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<FluxEvent> items_;
+  QueueStats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace fluxfp::stream

@@ -1,0 +1,151 @@
+#include "stream/manager.hpp"
+
+#include <stdexcept>
+
+#include "numeric/parallel.hpp"
+
+namespace fluxfp::stream {
+
+TrackerManager::TrackerManager(ManagerConfig config) : config_(config) {
+  if (config_.workers == 0) {
+    throw std::invalid_argument("TrackerManager: workers must be >= 1");
+  }
+  if (config_.queue_capacity == 0) {
+    throw std::invalid_argument(
+        "TrackerManager: queue_capacity must be >= 1");
+  }
+}
+
+TrackerManager::~TrackerManager() {
+  if (started_ && !finished_) {
+    finish();
+  }
+}
+
+void TrackerManager::add_session(std::uint32_t user, StreamTracker tracker) {
+  if (started_) {
+    throw std::logic_error(
+        "TrackerManager: sessions must be registered before start()");
+  }
+  if (!user_index_.emplace(user, sessions_.size()).second) {
+    throw std::invalid_argument("TrackerManager: duplicate user id");
+  }
+  sessions_.push_back({user, std::move(tracker), {}});
+}
+
+void TrackerManager::start() {
+  if (started_) {
+    throw std::logic_error("TrackerManager: already started");
+  }
+  if (sessions_.empty()) {
+    throw std::logic_error("TrackerManager: no sessions registered");
+  }
+  const std::size_t workers = std::min(config_.workers, sessions_.size());
+  config_.workers = workers;
+  queues_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    queues_.push_back(
+        std::make_unique<EventQueue>(config_.queue_capacity, config_.policy));
+  }
+  started_ = true;
+  start_time_ = std::chrono::steady_clock::now();
+  threads_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+bool TrackerManager::push(const FluxEvent& event) {
+  if (!started_ || finished_) {
+    return false;
+  }
+  const auto it = user_index_.find(event.user);
+  if (it == user_index_.end()) {
+    unknown_user_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return queues_[it->second % queues_.size()]->push(event);
+}
+
+void TrackerManager::worker_loop(std::size_t worker) {
+  // Candidate evaluation inside the SMC steps runs serially inline on this
+  // thread: the service's parallelism axis is sessions, not candidates,
+  // and the shared pool admits one external caller at a time.
+  numeric::SerialRegionGuard serial;
+  EventQueue& queue = *queues_[worker];
+  FluxEvent event;
+  while (queue.pop(event)) {
+    // Routing guarantees the session belongs to this worker.
+    Session& s = sessions_[user_index_.at(event.user)];
+    auto fired = s.tracker.on_event(event);
+    for (auto& r : fired) {
+      s.results.push_back(std::move(r));
+    }
+  }
+  // Stream over: fire every still-open window, in session order.
+  for (std::size_t i = worker; i < sessions_.size();
+       i += queues_.size()) {
+    Session& s = sessions_[i];
+    auto fired = s.tracker.flush();
+    for (auto& r : fired) {
+      s.results.push_back(std::move(r));
+    }
+  }
+}
+
+void TrackerManager::finish() {
+  if (!started_ || finished_) {
+    return;
+  }
+  for (auto& q : queues_) {
+    q->close();
+  }
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+  finished_ = true;
+  const auto end = std::chrono::steady_clock::now();
+  final_stats_.wall_seconds =
+      std::chrono::duration<double>(end - start_time_).count();
+  for (const auto& q : queues_) {
+    const QueueStats qs = q->stats();
+    final_stats_.events_routed += qs.pushed;
+    final_stats_.events_processed += qs.popped;
+    final_stats_.events_dropped += qs.dropped;
+  }
+  final_stats_.unknown_user = unknown_user_.load(std::memory_order_relaxed);
+  for (const Session& s : sessions_) {
+    const StreamStats& st = s.tracker.stats();
+    final_stats_.epochs_fired += st.epochs_fired;
+    final_stats_.filter_micros.insert(final_stats_.filter_micros.end(),
+                                      st.filter_micros.begin(),
+                                      st.filter_micros.end());
+  }
+  final_stats_.events_per_second =
+      final_stats_.wall_seconds > 0.0
+          ? static_cast<double>(final_stats_.events_processed) /
+                final_stats_.wall_seconds
+          : 0.0;
+}
+
+const TrackerManager::Session& TrackerManager::find_session(
+    std::uint32_t user) const {
+  const auto it = user_index_.find(user);
+  if (it == user_index_.end()) {
+    throw std::invalid_argument("TrackerManager: unknown user");
+  }
+  return sessions_[it->second];
+}
+
+const std::vector<EpochResult>& TrackerManager::results(
+    std::uint32_t user) const {
+  return find_session(user).results;
+}
+
+const StreamTracker& TrackerManager::session(std::uint32_t user) const {
+  return find_session(user).tracker;
+}
+
+ManagerStats TrackerManager::stats() const { return final_stats_; }
+
+}  // namespace fluxfp::stream

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/event_queue.hpp"
+#include "stream/stream_tracker.hpp"
+
+namespace fluxfp::stream {
+
+/// Sharding and backpressure policy of the tracking service.
+struct ManagerConfig {
+  /// Worker threads events are sharded over (>= 1). Each session is pinned
+  /// to one worker; per-session event order is preserved by routing, so
+  /// results are bit-identical at any worker count (under kBlock).
+  std::size_t workers = 1;
+  /// Per-worker ingest queue bound.
+  std::size_t queue_capacity = 256;
+  /// What a full ingest queue does to push() — see QueuePolicy. kDropOldest
+  /// trades the lossless-delivery half of the determinism contract for
+  /// bounded producer latency.
+  QueuePolicy policy = QueuePolicy::kBlock;
+};
+
+/// Service-level counters, valid after finish().
+struct ManagerStats {
+  std::uint64_t events_routed = 0;     ///< accepted by push()
+  std::uint64_t events_processed = 0;  ///< popped and folded by workers
+  std::uint64_t events_dropped = 0;    ///< queue evictions (kDropOldest)
+  std::uint64_t unknown_user = 0;      ///< pushes for unregistered sessions
+  std::uint64_t epochs_fired = 0;
+  double wall_seconds = 0.0;           ///< start() -> finish(), wall-clock
+  double events_per_second = 0.0;      ///< processed / wall_seconds
+  /// Per fired epoch, wall-clock filtering cost, merged across sessions in
+  /// registration order (feed to eval::summarize_latencies for p50/p99).
+  std::vector<double> filter_micros;
+};
+
+/// Shards many concurrent tracking sessions across worker threads: each
+/// registered user (session) is pinned to one worker, each worker owns a
+/// bounded ingest queue and folds its sessions' events through their
+/// StreamTrackers, flushing them when the stream ends.
+///
+/// Determinism contract (the streaming extension of PR 2's): every session
+/// owns its RNG (seeded at StreamTracker construction) and consumes its own
+/// events in push order — routing never reorders a session's events, and
+/// sessions never share mutable state. Under QueuePolicy::kBlock the same
+/// pushed sequence therefore yields bit-identical per-user estimates at ANY
+/// worker count. Worker threads hold a numeric::SerialRegionGuard, so the
+/// per-step candidate evaluation runs inline and the shared pool is left to
+/// single-threaded callers; the service's parallelism axis is sessions.
+class TrackerManager {
+ public:
+  explicit TrackerManager(ManagerConfig config);
+  /// Joins workers (as by finish()) if still running.
+  ~TrackerManager();
+
+  TrackerManager(const TrackerManager&) = delete;
+  TrackerManager& operator=(const TrackerManager&) = delete;
+
+  /// Registers a session before start(). Users are arbitrary ids; sessions
+  /// are assigned to workers round-robin in registration order. Throws
+  /// std::logic_error after start(), std::invalid_argument on a duplicate
+  /// user.
+  void add_session(std::uint32_t user, StreamTracker tracker);
+
+  /// Spins up the workers. Throws std::logic_error when already started or
+  /// no session is registered.
+  void start();
+
+  /// Routes one event to its session's worker. Returns false when the
+  /// user is unknown (counted) or the service is shut down; under kBlock
+  /// this call provides the backpressure. Any thread may push.
+  bool push(const FluxEvent& event);
+
+  /// Closes the ingest queues, drains and joins every worker (each worker
+  /// flushes its sessions' open windows), and freezes the stats. Safe to
+  /// call once; push() fails afterwards.
+  void finish();
+
+  bool started() const { return started_.load(); }
+  bool finished() const { return finished_.load(); }
+  std::size_t num_sessions() const { return sessions_.size(); }
+  std::size_t workers() const { return config_.workers; }
+
+  /// Per-epoch results of one session, in fired order. Valid after
+  /// finish(). Throws std::invalid_argument on an unknown user.
+  const std::vector<EpochResult>& results(std::uint32_t user) const;
+  /// The session's tracker (final estimates, ingestion stats).
+  const StreamTracker& session(std::uint32_t user) const;
+
+  /// Aggregated counters; meaningful after finish().
+  ManagerStats stats() const;
+
+ private:
+  struct Session {
+    std::uint32_t user = 0;
+    StreamTracker tracker;
+    std::vector<EpochResult> results;
+  };
+
+  void worker_loop(std::size_t worker);
+  const Session& find_session(std::uint32_t user) const;
+
+  ManagerConfig config_;
+  std::vector<Session> sessions_;
+  std::unordered_map<std::uint32_t, std::size_t> user_index_;
+  std::vector<std::unique_ptr<EventQueue>> queues_;  ///< one per worker
+  std::vector<std::thread> threads_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> finished_{false};
+  std::chrono::steady_clock::time_point start_time_;
+  ManagerStats final_stats_;
+  std::atomic<std::uint64_t> unknown_user_{0};
+};
+
+}  // namespace fluxfp::stream

@@ -1,0 +1,169 @@
+#include "stream/stream_tracker.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace fluxfp::stream {
+
+namespace {
+
+std::vector<geom::Vec2> positions_from_graph(
+    const net::UnitDiskGraph& graph,
+    const std::vector<std::size_t>& nodes) {
+  std::vector<geom::Vec2> out;
+  out.reserve(nodes.size());
+  for (std::size_t n : nodes) {
+    out.push_back(graph.position(n));
+  }
+  return out;
+}
+
+geom::Rng seeded_rng(std::uint64_t seed) { return geom::Rng(seed); }
+
+}  // namespace
+
+StreamTracker::StreamTracker(const core::FluxModel& model,
+                             std::vector<std::size_t> sniffer_nodes,
+                             std::vector<geom::Vec2> sniffer_positions,
+                             std::size_t num_users,
+                             StreamTrackerConfig config, std::uint64_t seed)
+    : model_(model),
+      sniffer_nodes_(std::move(sniffer_nodes)),
+      sniffer_positions_(std::move(sniffer_positions)),
+      config_(config),
+      rng_(seeded_rng(seed)),
+      smc_(model.field(), num_users, config.smc, rng_) {
+  if (sniffer_nodes_.empty() ||
+      sniffer_nodes_.size() != sniffer_positions_.size()) {
+    throw std::invalid_argument(
+        "StreamTracker: sniffer set empty or size mismatch");
+  }
+  if (!(config_.close_delay > 0.0) || config_.max_open_epochs == 0) {
+    throw std::invalid_argument("StreamTracker: bad window config");
+  }
+  if (config_.expected_readings > sniffer_nodes_.size()) {
+    throw std::invalid_argument(
+        "StreamTracker: expected_readings exceeds the sniffer count");
+  }
+  node_slot_.reserve(sniffer_nodes_.size());
+  for (std::size_t slot = 0; slot < sniffer_nodes_.size(); ++slot) {
+    const auto node = static_cast<std::uint32_t>(sniffer_nodes_[slot]);
+    if (!node_slot_.emplace(node, slot).second) {
+      throw std::invalid_argument("StreamTracker: duplicate sniffer node");
+    }
+  }
+}
+
+StreamTracker::StreamTracker(const core::FluxModel& model,
+                             const net::UnitDiskGraph& graph,
+                             std::vector<std::size_t> sniffer_nodes,
+                             std::size_t num_users,
+                             StreamTrackerConfig config, std::uint64_t seed)
+    : StreamTracker(model, sniffer_nodes,
+                    positions_from_graph(graph, sniffer_nodes), num_users,
+                    config, seed) {}
+
+std::vector<EpochResult> StreamTracker::on_event(const FluxEvent& event) {
+  std::vector<EpochResult> fired;
+  now_ = std::max(now_, event.time);
+
+  const auto slot_it = node_slot_.find(event.node);
+  if (slot_it == node_slot_.end()) {
+    ++stats_.unknown_node;
+    collect_ripe(fired);
+    return fired;
+  }
+  if (fired_any_ && event.epoch <= last_fired_epoch_) {
+    // Straggler for a window that already fired: the filtering step it
+    // missed cannot be revisited (the SMC has moved on), so count it and
+    // drop it — the paper's asynchronous updating tolerates the slot
+    // simply having carried less evidence.
+    ++stats_.late;
+    collect_ripe(fired);
+    return fired;
+  }
+
+  Window& w = open_[event.epoch];
+  if (w.readings.empty()) {
+    w.readings.assign(sniffer_nodes_.size(), net::kMissingReading);
+    w.seen.assign(sniffer_nodes_.size(), false);
+  }
+  const std::size_t slot = slot_it->second;
+  if (w.seen[slot]) {
+    ++stats_.duplicates;  // keep the latest report for the slot
+  } else {
+    w.seen[slot] = true;
+    ++w.seen_count;
+  }
+  w.readings[slot] = event.reading;
+  w.newest_time = std::max(w.newest_time, event.time);
+  ++stats_.events;
+
+  collect_ripe(fired);
+  return fired;
+}
+
+void StreamTracker::collect_ripe(std::vector<EpochResult>& out) {
+  while (!open_.empty()) {
+    const Window& oldest = open_.begin()->second;
+    const bool complete = config_.expected_readings > 0 &&
+                          oldest.seen_count >= config_.expected_readings;
+    const bool lapsed = now_ - oldest.newest_time > config_.close_delay;
+    const bool crowded = open_.size() > config_.max_open_epochs;
+    if (!complete && !lapsed && !crowded) {
+      return;
+    }
+    if (crowded && !complete && !lapsed) {
+      ++stats_.forced_closes;
+    }
+    out.push_back(fire_oldest());
+  }
+}
+
+EpochResult StreamTracker::fire_oldest() {
+  const auto it = open_.begin();
+  const std::uint32_t epoch = it->first;
+  Window window = std::move(it->second);
+  open_.erase(it);
+
+  EpochResult result;
+  result.epoch = epoch;
+  // Observation time: the window's newest reading. Clamped to stay
+  // strictly increasing across steps (SmcTracker's contract) even when
+  // reordering left an older epoch with a newer timestamp.
+  const double bump = 1e-9 * (1.0 + std::abs(last_step_time_));
+  result.time = std::max(window.newest_time, last_step_time_ + bump);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::SparseObjective objective(model_, sniffer_positions_,
+                                        std::move(window.readings));
+  result.readings = objective.sample_count();
+  result.step = smc_.step(result.time, objective, rng_);
+  const auto t1 = std::chrono::steady_clock::now();
+  result.filter_micros =
+      std::chrono::duration<double, std::micro>(t1 - t0).count();
+
+  result.estimates.resize(smc_.num_users());
+  for (std::size_t u = 0; u < smc_.num_users(); ++u) {
+    result.estimates[u] = smc_.estimate(u);
+  }
+
+  last_step_time_ = result.time;
+  fired_any_ = true;
+  last_fired_epoch_ = epoch;
+  ++stats_.epochs_fired;
+  stats_.filter_micros.push_back(result.filter_micros);
+  return result;
+}
+
+std::vector<EpochResult> StreamTracker::flush() {
+  std::vector<EpochResult> fired;
+  fired.reserve(open_.size());
+  while (!open_.empty()) {
+    fired.push_back(fire_oldest());
+  }
+  return fired;
+}
+
+}  // namespace fluxfp::stream

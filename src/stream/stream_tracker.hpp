@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "core/smc.hpp"
+#include "net/graph.hpp"
+#include "stream/event.hpp"
+
+namespace fluxfp::stream {
+
+/// Policy of one streaming tracking session.
+struct StreamTrackerConfig {
+  core::SmcConfig smc;
+
+  /// Event-time deadline: the oldest open epoch window fires once an event
+  /// arrives whose timestamp exceeds the window's newest reading by more
+  /// than this. Deadlines are *virtual time* (event timestamps), never
+  /// wall-clock — replaying a recorded trace at any speed, on any worker
+  /// layout, closes exactly the same windows with the same contents.
+  double close_delay = 0.5;
+
+  /// Distinct sniffers heard from that close a window immediately, without
+  /// waiting for the deadline (the happy path when no reading was lost).
+  /// 0 = count never closes a window; only the deadline / flush() do.
+  std::size_t expected_readings = 0;
+
+  /// Backstop on reordering: at most this many epoch windows stay open at
+  /// once; exceeding it force-closes the oldest (counted in
+  /// StreamStats::forced_closes).
+  std::size_t max_open_epochs = 4;
+};
+
+/// Output of one fired epoch window.
+struct EpochResult {
+  std::uint32_t epoch = 0;
+  double time = 0.0;         ///< observation time handed to the SMC step
+  std::size_t readings = 0;  ///< live (non-missing) readings in the window
+  core::SmcStepResult step;
+  std::vector<geom::Vec2> estimates;  ///< per tracked slot, after the step
+  double filter_micros = 0.0;         ///< wall-clock cost of the step
+};
+
+/// Ingestion + filtering counters of one session.
+struct StreamStats {
+  std::uint64_t events = 0;        ///< events folded into windows
+  std::uint64_t duplicates = 0;    ///< re-reports of a (epoch, node) slot
+  std::uint64_t late = 0;          ///< events for an already-fired epoch
+  std::uint64_t unknown_node = 0;  ///< events from nodes not in the set
+  std::uint64_t epochs_fired = 0;
+  std::uint64_t forced_closes = 0;       ///< closed by max_open_epochs
+  std::vector<double> filter_micros;     ///< per fired epoch, wall-clock
+};
+
+/// The paper's asynchronous-updating SMC tracker (§4.E, Algorithm 4.1)
+/// turned event-driven: readings arrive one at a time (in any order, with
+/// duplicates and stragglers) and are folded into per-epoch observation
+/// windows over the session's sniffer set; when a window closes — all
+/// expected readings in, event-time deadline lapsed, or reordering
+/// backstop — the window becomes a SparseObjective (never-heard-from slots
+/// stay net::kMissingReading and are masked) and one SmcTracker::step runs.
+///
+/// Folding rules:
+///  * duplicate — a (epoch, node) slot reported twice keeps the LATEST
+///    reading (mirrors SparseObjective's batch-side dedup);
+///  * late — events for an epoch that already fired are counted and
+///    dropped (windows fire in strictly ascending epoch order);
+///  * out-of-order — events for a future epoch open a new window; up to
+///    max_open_epochs windows accumulate concurrently.
+///
+/// Determinism: all state is driven by event *content and arrival order*
+/// only — same event sequence in, bit-identical estimates out, regardless
+/// of wall-clock pacing or what thread calls on_event(). The RNG is owned
+/// by the session and seeded at construction.
+class StreamTracker {
+ public:
+  /// `sniffer_nodes` are original-graph node indices, `sniffer_positions`
+  /// their positions (same length, non-empty). `num_users` is the number of
+  /// jointly tracked users in this session (usually 1). Throws
+  /// std::invalid_argument on size mismatch, empty sniffers, duplicate
+  /// sniffer nodes, or a bad config.
+  StreamTracker(const core::FluxModel& model,
+                std::vector<std::size_t> sniffer_nodes,
+                std::vector<geom::Vec2> sniffer_positions,
+                std::size_t num_users, StreamTrackerConfig config,
+                std::uint64_t seed);
+
+  /// Convenience: sniffer positions read off the graph.
+  StreamTracker(const core::FluxModel& model,
+                const net::UnitDiskGraph& graph,
+                std::vector<std::size_t> sniffer_nodes, std::size_t num_users,
+                StreamTrackerConfig config, std::uint64_t seed);
+
+  /// Folds one event; returns the results of every epoch window the event
+  /// caused to fire (usually none or one).
+  std::vector<EpochResult> on_event(const FluxEvent& event);
+
+  /// Fires all still-open windows in epoch order (end of stream).
+  std::vector<EpochResult> flush();
+
+  /// Current position estimate per tracked slot.
+  geom::Vec2 estimate(std::size_t user) const { return smc_.estimate(user); }
+  std::size_t num_users() const { return smc_.num_users(); }
+  std::size_t open_windows() const { return open_.size(); }
+  const StreamStats& stats() const { return stats_; }
+  const StreamTrackerConfig& config() const { return config_; }
+  const std::vector<std::size_t>& sniffer_nodes() const {
+    return sniffer_nodes_;
+  }
+
+ private:
+  struct Window {
+    std::vector<double> readings;  ///< per sniffer slot; missing until seen
+    std::vector<bool> seen;        ///< slot reported at least once
+    std::size_t seen_count = 0;
+    double newest_time = 0.0;  ///< max event time folded into this window
+  };
+
+  /// Fires the oldest open window (which must exist).
+  EpochResult fire_oldest();
+  /// Closes every window made eligible by the current virtual time.
+  void collect_ripe(std::vector<EpochResult>& out);
+
+  core::FluxModel model_;
+  std::vector<std::size_t> sniffer_nodes_;
+  std::vector<geom::Vec2> sniffer_positions_;
+  std::unordered_map<std::uint32_t, std::size_t> node_slot_;
+  StreamTrackerConfig config_;
+  geom::Rng rng_;
+  core::SmcTracker smc_;
+
+  std::map<std::uint32_t, Window> open_;  ///< epoch -> window, ordered
+  double now_ = 0.0;          ///< newest event time seen (virtual clock)
+  double last_step_time_ = 0.0;
+  bool fired_any_ = false;
+  std::uint32_t last_fired_epoch_ = 0;
+  StreamStats stats_;
+};
+
+}  // namespace fluxfp::stream

@@ -1,0 +1,164 @@
+#include "stream/trace_io.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+
+#include "stream/manager.hpp"
+
+namespace fluxfp::stream {
+
+namespace {
+
+void pack_u32(char* dst, std::uint32_t v) { std::memcpy(dst, &v, 4); }
+void pack_f64(char* dst, double v) { std::memcpy(dst, &v, 8); }
+std::uint32_t unpack_u32(const char* src) {
+  std::uint32_t v;
+  std::memcpy(&v, src, 4);
+  return v;
+}
+double unpack_f64(const char* src) {
+  double v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::ostream& os) : os_(&os) {
+  char header[kTraceHeaderBytes];
+  std::memcpy(header, kTraceMagic, sizeof(kTraceMagic));
+  pack_u32(header + 8, kTraceVersion);
+  pack_u32(header + 12, 0);
+  os_->write(header, sizeof(header));
+  if (!*os_) {
+    throw std::runtime_error("TraceRecorder: failed to write header");
+  }
+}
+
+void TraceRecorder::write(const FluxEvent& event) {
+  char record[kTraceRecordBytes];
+  pack_f64(record + 0, event.time);
+  pack_u32(record + 8, event.user);
+  pack_u32(record + 12, event.epoch);
+  pack_u32(record + 16, event.node);
+  pack_f64(record + 20, event.reading);
+  os_->write(record, sizeof(record));
+  if (!*os_) {
+    throw std::runtime_error("TraceRecorder: write failed");
+  }
+  ++written_;
+}
+
+void TraceRecorder::write(std::span<const FluxEvent> events) {
+  for (const FluxEvent& e : events) {
+    write(e);
+  }
+}
+
+TraceReplayer::TraceReplayer(std::istream& is) : is_(&is) {
+  char header[kTraceHeaderBytes];
+  is_->read(header, sizeof(header));
+  if (is_->gcount() != static_cast<std::streamsize>(sizeof(header)) ||
+      std::memcmp(header, kTraceMagic, sizeof(kTraceMagic)) != 0) {
+    throw std::runtime_error("TraceReplayer: not a fluxfp event trace");
+  }
+  const std::uint32_t version = unpack_u32(header + 8);
+  if (version != kTraceVersion) {
+    throw std::runtime_error("TraceReplayer: unsupported trace version " +
+                             std::to_string(version));
+  }
+}
+
+bool TraceReplayer::next(FluxEvent& out) {
+  char record[kTraceRecordBytes];
+  is_->read(record, sizeof(record));
+  const std::streamsize got = is_->gcount();
+  if (got == 0) {
+    return false;
+  }
+  if (got != static_cast<std::streamsize>(sizeof(record))) {
+    throw std::runtime_error("TraceReplayer: truncated record");
+  }
+  out.time = unpack_f64(record + 0);
+  out.user = unpack_u32(record + 8);
+  out.epoch = unpack_u32(record + 12);
+  out.node = unpack_u32(record + 16);
+  out.reading = unpack_f64(record + 20);
+  ++read_;
+  return true;
+}
+
+std::vector<FluxEvent> TraceReplayer::read_all() {
+  std::vector<FluxEvent> events;
+  FluxEvent e;
+  while (next(e)) {
+    events.push_back(e);
+  }
+  return events;
+}
+
+void write_trace_file(const std::string& path,
+                      std::span<const FluxEvent> events) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("write_trace_file: cannot open " + path);
+  }
+  TraceRecorder recorder(out);
+  recorder.write(events);
+}
+
+std::vector<FluxEvent> read_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("read_trace_file: cannot open " + path);
+  }
+  TraceReplayer replayer(in);
+  return replayer.read_all();
+}
+
+std::uint64_t replay_trace(TraceReplayer& replayer, TrackerManager& manager,
+                           double speed) {
+  std::uint64_t pushed = 0;
+  const auto wall_start = std::chrono::steady_clock::now();
+  bool have_origin = false;
+  double time_origin = 0.0;
+  FluxEvent event;
+  while (replayer.next(event)) {
+    if (speed > 0.0) {
+      if (!have_origin) {
+        time_origin = event.time;
+        have_origin = true;
+      }
+      // Deliver no earlier than the event's trace-time offset, scaled.
+      // Reordered traces (event-level faults) have non-monotonic times;
+      // a negative offset simply means "due already".
+      const auto due =
+          wall_start + std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(
+                               (event.time - time_origin) / speed));
+      std::this_thread::sleep_until(due);
+    }
+    if (manager.push(event)) {
+      ++pushed;
+    }
+  }
+  return pushed;
+}
+
+std::uint64_t replay_trace_file(const std::string& path,
+                                TrackerManager& manager, double speed) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("replay_trace_file: cannot open " + path);
+  }
+  TraceReplayer replayer(in);
+  return replay_trace(replayer, manager, speed);
+}
+
+}  // namespace fluxfp::stream

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stream/event.hpp"
+
+namespace fluxfp::stream {
+
+class TrackerManager;
+
+/// Binary event-trace format, version 1. Fixed 16-byte header
+///   bytes 0..7   magic "FLUXFPT1"
+///   bytes 8..11  u32 version (1)
+///   bytes 12..15 u32 reserved (0)
+/// followed by one 28-byte record per event:
+///   f64 time, u32 user, u32 epoch, u32 node, f64 reading
+/// Values are raw host-endian bytes (memcpy) — readings round-trip
+/// BIT-exactly, including the NaN payload of net::kMissingReading, so a
+/// recorded run replays into bit-identical estimates. The event count is
+/// implied by the stream length; a recorder can therefore stream records
+/// without seeking back.
+inline constexpr char kTraceMagic[8] = {'F', 'L', 'U', 'X',
+                                        'F', 'P', 'T', '1'};
+inline constexpr std::uint32_t kTraceVersion = 1;
+inline constexpr std::size_t kTraceHeaderBytes = 16;
+inline constexpr std::size_t kTraceRecordBytes = 28;
+
+/// Streams events into a binary trace. The header is written on
+/// construction; every write() appends one record. The recorder never
+/// seeks, so any ostream works (files, pipes, stringstreams).
+class TraceRecorder {
+ public:
+  /// Writes the header. Throws std::runtime_error on a bad stream.
+  explicit TraceRecorder(std::ostream& os);
+
+  /// Appends one event (or a batch, in order).
+  void write(const FluxEvent& event);
+  void write(std::span<const FluxEvent> events);
+
+  std::uint64_t written() const { return written_; }
+
+ private:
+  std::ostream* os_;
+  std::uint64_t written_ = 0;
+};
+
+/// Reads a binary trace back, either one event at a time (next()) or
+/// whole (read_all()). Throws std::runtime_error on a bad magic/version
+/// or a truncated record.
+class TraceReplayer {
+ public:
+  explicit TraceReplayer(std::istream& is);
+
+  /// Reads the next record into `out`; false at a clean end of stream.
+  bool next(FluxEvent& out);
+
+  /// Remaining records, in order.
+  std::vector<FluxEvent> read_all();
+
+  std::uint64_t read_count() const { return read_; }
+
+ private:
+  std::istream* is_;
+  std::uint64_t read_ = 0;
+};
+
+/// Convenience: records `events` to / reads a whole trace from a file.
+/// Throws std::runtime_error when the file cannot be opened.
+void write_trace_file(const std::string& path,
+                      std::span<const FluxEvent> events);
+std::vector<FluxEvent> read_trace_file(const std::string& path);
+
+/// Replays a trace into a running TrackerManager, pacing deliveries by the
+/// events' timestamps scaled by 1/`speed`:
+///   speed <= 0  — as fast as the manager accepts (benchmarking mode);
+///   speed == 1  — real-time (1 trace-time unit per wall second);
+///   speed == 8  — 8x faster than real time.
+/// Pacing affects wall-clock only — under QueuePolicy::kBlock the folding
+/// and estimates are bit-identical at every speed, which is what makes
+/// recorded runs a regression currency. Returns the number of events
+/// pushed (events for unknown users are skipped and not counted).
+std::uint64_t replay_trace(TraceReplayer& replayer, TrackerManager& manager,
+                           double speed = 0.0);
+
+/// File-path convenience for replay_trace.
+std::uint64_t replay_trace_file(const std::string& path,
+                                TrackerManager& manager, double speed = 0.0);
+
+}  // namespace fluxfp::stream

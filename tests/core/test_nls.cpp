@@ -124,6 +124,34 @@ TEST(SparseObjective, MissingReadingsAreMaskedOut) {
   EXPECT_NEAR(fit.stretches[0], 2.0, 1e-9);
 }
 
+TEST(SparseObjective, DuplicateSamplePositionKeepsLatestReading) {
+  const Synthetic syn(23, 20, {{10, 10}}, {2.0});
+  // Re-report node 4 twice more at the end of the snapshot: a stale value
+  // first, then the correct one. Only the LAST live reading must survive,
+  // as a single row.
+  std::vector<geom::Vec2> samples = syn.samples;
+  std::vector<double> measured = syn.measured;
+  samples.push_back(syn.samples[4]);
+  measured.push_back(syn.measured[4] + 100.0);
+  samples.push_back(syn.samples[4]);
+  measured.push_back(syn.measured[4]);
+  const SparseObjective obj(syn.model, samples, measured);
+  EXPECT_EQ(obj.sample_count(), 20u);
+  EXPECT_EQ(obj.masked_count(), 2u);
+  const StretchFit fit = obj.fit(syn.sinks);
+  EXPECT_NEAR(fit.residual, 0.0, 1e-9);
+  EXPECT_NEAR(fit.stretches[0], 2.0, 1e-9);
+
+  // A missing re-report does not clobber the earlier live reading.
+  std::vector<geom::Vec2> samples2 = syn.samples;
+  std::vector<double> measured2 = syn.measured;
+  samples2.push_back(syn.samples[4]);
+  measured2.push_back(net::kMissingReading);
+  const SparseObjective obj2(syn.model, samples2, measured2);
+  EXPECT_EQ(obj2.sample_count(), 20u);
+  EXPECT_NEAR(obj2.fit(syn.sinks).residual, 0.0, 1e-9);
+}
+
 TEST(SparseObjective, ValidityMaskExcludesSamples) {
   const Synthetic syn(22, 10, {{15, 15}}, {1.5});
   std::vector<bool> valid(10, true);

@@ -71,5 +71,22 @@ TEST(Metrics, SummarizeEmpty) {
   EXPECT_DOUBLE_EQ(s.mean, 0.0);
 }
 
+TEST(Metrics, SummarizeLatencies) {
+  std::vector<double> samples(100);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    samples[i] = static_cast<double>(99 - i);  // 99..0, unsorted input
+  }
+  const LatencySummary s = summarize_latencies(samples);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 49.5);
+  EXPECT_NEAR(s.p50, 49.5, 1e-12);
+  EXPECT_NEAR(s.p99, 98.01, 1e-9);
+  EXPECT_DOUBLE_EQ(s.max, 99.0);
+
+  const LatencySummary empty = summarize_latencies(std::vector<double>{});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.p99, 0.0);
+}
+
 }  // namespace
 }  // namespace fluxfp::eval

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 namespace fluxfp::eval {
@@ -76,6 +78,24 @@ TEST(Table, FmtPrecision) {
   EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
   EXPECT_EQ(Table::fmt(1.0, 0), "1");
   EXPECT_EQ(Table::fmt(-0.5, 1), "-0.5");
+}
+
+TEST(Table, FmtPinsNonFiniteTokens) {
+  // One spelling per special value, regardless of sign bit or platform —
+  // recorded CSVs must diff cleanly across machines.
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(Table::fmt(qnan), "nan");
+  EXPECT_EQ(Table::fmt(-qnan), "nan");
+  EXPECT_EQ(Table::fmt(std::copysign(qnan, -1.0), 5), "nan");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(Table::fmt(inf), "inf");
+  EXPECT_EQ(Table::fmt(-inf), "-inf");
+  // And the tokens survive the CSV writer untouched.
+  Table t({"a", "b"});
+  t.add_row({Table::fmt(qnan), Table::fmt(-inf)});
+  std::ostringstream ss;
+  t.write_csv(ss);
+  EXPECT_EQ(ss.str(), "a,b\nnan,-inf\n");
 }
 
 TEST(Table, BannerFormat) {

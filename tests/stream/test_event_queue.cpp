@@ -1,0 +1,142 @@
+#include "stream/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "net/flux.hpp"
+
+namespace fluxfp::stream {
+namespace {
+
+FluxEvent ev(double time, std::uint32_t node) {
+  return {time, 0, 0, node, 1.0};
+}
+
+TEST(EventQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(EventQueue(0, QueuePolicy::kBlock), std::invalid_argument);
+}
+
+TEST(EventQueue, FifoOrderAndStats) {
+  EventQueue q(8, QueuePolicy::kBlock);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(q.push(ev(i, static_cast<std::uint32_t>(i))));
+  }
+  FluxEvent out;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out.node, static_cast<std::uint32_t>(i));
+  }
+  EXPECT_FALSE(q.try_pop(out));
+  const QueueStats s = q.stats();
+  EXPECT_EQ(s.pushed, 5u);
+  EXPECT_EQ(s.popped, 5u);
+  EXPECT_EQ(s.dropped, 0u);
+  EXPECT_EQ(s.max_depth, 5u);
+}
+
+TEST(EventQueue, BlockPolicyIsLossless) {
+  EventQueue q(2, QueuePolicy::kBlock);
+  std::atomic<int> produced{0};
+  std::thread producer([&] {
+    for (int i = 0; i < 100; ++i) {
+      q.push(ev(i, static_cast<std::uint32_t>(i)));
+      produced.fetch_add(1);
+    }
+    q.close();
+  });
+  // Slow consumer: backpressure must keep every event.
+  std::vector<std::uint32_t> seen;
+  FluxEvent out;
+  while (q.pop(out)) {
+    seen.push_back(out.node);
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  producer.join();
+  ASSERT_EQ(seen.size(), 100u);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(seen[i], i);
+  }
+  EXPECT_EQ(q.stats().dropped, 0u);
+}
+
+TEST(EventQueue, BlockPolicyActuallyBlocksProducer) {
+  EventQueue q(1, QueuePolicy::kBlock);
+  ASSERT_TRUE(q.push(ev(0, 0)));
+  std::atomic<bool> second_done{false};
+  std::thread producer([&] {
+    q.push(ev(1, 1));
+    second_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_done.load());  // full queue held the producer
+  FluxEvent out;
+  ASSERT_TRUE(q.pop(out));
+  producer.join();
+  EXPECT_TRUE(second_done.load());
+}
+
+TEST(EventQueue, DropOldestEvictsAndCounts) {
+  EventQueue q(3, QueuePolicy::kDropOldest);
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_TRUE(q.push(ev(i, static_cast<std::uint32_t>(i))));
+  }
+  // Capacity 3: events 0..3 were evicted, 4..6 survive in order.
+  FluxEvent out;
+  for (std::uint32_t expect : {4u, 5u, 6u}) {
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out.node, expect);
+  }
+  const QueueStats s = q.stats();
+  EXPECT_EQ(s.pushed, 7u);
+  EXPECT_EQ(s.dropped, 4u);
+  EXPECT_EQ(s.popped, 3u);
+}
+
+TEST(EventQueue, CloseDrainsThenStops) {
+  EventQueue q(4, QueuePolicy::kBlock);
+  q.push(ev(0, 7));
+  q.close();
+  EXPECT_FALSE(q.push(ev(1, 8)));  // no new events after close
+  FluxEvent out;
+  EXPECT_TRUE(q.pop(out));  // but the backlog still drains
+  EXPECT_EQ(out.node, 7u);
+  EXPECT_FALSE(q.pop(out));
+}
+
+TEST(EventQueue, MultipleProducersLoseNothingUnderBlock) {
+  EventQueue q(4, QueuePolicy::kBlock);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 50;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        q.push(ev(i, static_cast<std::uint32_t>(p * kPerProducer + i)));
+      }
+    });
+  }
+  std::thread closer([&] {
+    for (auto& t : producers) {
+      t.join();
+    }
+    q.close();
+  });
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  FluxEvent out;
+  std::size_t total = 0;
+  while (q.pop(out)) {
+    EXPECT_FALSE(seen[out.node]);
+    seen[out.node] = true;
+    ++total;
+  }
+  closer.join();
+  EXPECT_EQ(total, static_cast<std::size_t>(kProducers * kPerProducer));
+}
+
+}  // namespace
+}  // namespace fluxfp::stream

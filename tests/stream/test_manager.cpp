@@ -1,0 +1,252 @@
+#include "stream/manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "net/deployment.hpp"
+#include "sim/faults.hpp"
+#include "sim/scenario.hpp"
+#include "stream/emit.hpp"
+#include "stream/trace_io.hpp"
+
+namespace fluxfp::stream {
+namespace {
+
+/// Small shared deployment: an 8x8 perturbed grid with every 7th node
+/// sniffed, and cheap SMC settings, so manager tests stay fast.
+struct Bed {
+  geom::RectField field{20.0, 20.0};
+  net::UnitDiskGraph graph;
+  core::FluxModel model;
+  std::vector<std::size_t> sniffers;
+
+  Bed() : graph(make_graph()), model(field, 1.0) {
+    for (std::size_t i = 0; i < graph.size(); i += 7) {
+      sniffers.push_back(i);
+    }
+  }
+
+  static net::UnitDiskGraph make_graph() {
+    geom::Rng rng(99);
+    const geom::RectField f(20.0, 20.0);
+    return net::UnitDiskGraph(net::perturbed_grid(f, 8, 8, 0.3, rng), 4.0);
+  }
+
+  StreamTracker tracker(std::uint64_t seed) const {
+    StreamTrackerConfig cfg;
+    cfg.smc.num_predictions = 30;
+    cfg.smc.num_keep = 4;
+    cfg.expected_readings = sniffers.size();
+    return StreamTracker(model, graph, sniffers, 1, cfg, seed);
+  }
+
+  std::vector<FluxEvent> session_events(std::uint32_t user, int rounds,
+                                        std::uint64_t seed) const {
+    geom::Rng rng(seed);
+    sim::SimUser su;
+    su.mobility = std::make_shared<sim::RandomWaypointMobility>(
+        field, 0.8, static_cast<double>(rounds) + 1.0, rng);
+    sim::ScenarioConfig cfg;
+    cfg.rounds = rounds;
+    cfg.start_time = 0.17 * static_cast<double>(user);
+    const auto obs = sim::run_scenario(graph, {su}, cfg, rng);
+    return scenario_events(graph, obs, sniffers, user);
+  }
+};
+
+/// Per-user fired (epoch, estimate) sequences — the bit-identity currency.
+using Fired = std::vector<std::vector<std::tuple<std::uint32_t, double,
+                                                 double>>>;
+
+Fired run_manager(const Bed& bed, std::size_t num_sessions,
+                  std::size_t workers,
+                  const std::vector<FluxEvent>& events) {
+  ManagerConfig mc;
+  mc.workers = workers;
+  TrackerManager m(mc);
+  for (std::uint32_t u = 0; u < num_sessions; ++u) {
+    m.add_session(u, bed.tracker(1000 + u));
+  }
+  m.start();
+  for (const FluxEvent& e : events) {
+    m.push(e);
+  }
+  m.finish();
+  Fired fired(num_sessions);
+  for (std::uint32_t u = 0; u < num_sessions; ++u) {
+    for (const EpochResult& r : m.results(u)) {
+      fired[u].emplace_back(r.epoch, r.estimates[0].x, r.estimates[0].y);
+    }
+  }
+  return fired;
+}
+
+TEST(TrackerManager, ValidatesConfigAndLifecycle) {
+  ManagerConfig bad;
+  bad.workers = 0;
+  EXPECT_THROW(TrackerManager m(bad), std::invalid_argument);
+  bad = {};
+  bad.queue_capacity = 0;
+  EXPECT_THROW(TrackerManager m(bad), std::invalid_argument);
+
+  const Bed bed;
+  TrackerManager m({});
+  EXPECT_THROW(m.start(), std::logic_error);  // no sessions
+  m.add_session(3, bed.tracker(1));
+  EXPECT_THROW(m.add_session(3, bed.tracker(2)), std::invalid_argument);
+  EXPECT_FALSE(m.push({0.0, 3, 0, 0, 1.0}));  // not started yet
+  m.start();
+  EXPECT_THROW(m.start(), std::logic_error);
+  EXPECT_THROW(m.add_session(4, bed.tracker(3)), std::logic_error);
+  EXPECT_FALSE(m.push({0.0, 9, 0, 0, 1.0}));  // unknown user
+  m.finish();
+  EXPECT_FALSE(m.push({0.0, 3, 0, 0, 1.0}));  // shut down
+  EXPECT_EQ(m.stats().unknown_user, 1u);
+  EXPECT_THROW(m.results(9), std::invalid_argument);
+}
+
+TEST(TrackerManager, WorkerCountDoesNotChangeEstimates) {
+  const Bed bed;
+  constexpr std::size_t kSessions = 4;
+  std::vector<std::vector<FluxEvent>> streams;
+  for (std::uint32_t u = 0; u < kSessions; ++u) {
+    streams.push_back(bed.session_events(u, 6, 77 + u));
+  }
+  const std::vector<FluxEvent> merged =
+      merge_by_time(std::span<const std::vector<FluxEvent>>(streams));
+  ASSERT_FALSE(merged.empty());
+
+  const Fired one = run_manager(bed, kSessions, 1, merged);
+  const Fired four = run_manager(bed, kSessions, 4, merged);
+  ASSERT_EQ(one.size(), four.size());
+  for (std::size_t u = 0; u < kSessions; ++u) {
+    ASSERT_FALSE(one[u].empty());
+    // Bit-identical per-session results at any worker count.
+    EXPECT_EQ(one[u], four[u]) << "session " << u;
+  }
+}
+
+TEST(TrackerManager, TraceReplayMatchesDirectPush) {
+  const Bed bed;
+  std::vector<std::vector<FluxEvent>> streams;
+  for (std::uint32_t u = 0; u < 2; ++u) {
+    streams.push_back(bed.session_events(u, 5, 31 + u));
+  }
+  const std::vector<FluxEvent> merged =
+      merge_by_time(std::span<const std::vector<FluxEvent>>(streams));
+
+  const Fired direct = run_manager(bed, 2, 2, merged);
+
+  std::stringstream buffer;
+  TraceRecorder rec(buffer);
+  rec.write(std::span<const FluxEvent>(merged));
+  ManagerConfig mc;
+  mc.workers = 2;
+  TrackerManager m(mc);
+  for (std::uint32_t u = 0; u < 2; ++u) {
+    m.add_session(u, bed.tracker(1000 + u));
+  }
+  m.start();
+  TraceReplayer rep(buffer);
+  EXPECT_EQ(replay_trace(rep, m), merged.size());
+  m.finish();
+  for (std::uint32_t u = 0; u < 2; ++u) {
+    std::vector<std::tuple<std::uint32_t, double, double>> replayed;
+    for (const EpochResult& r : m.results(u)) {
+      replayed.emplace_back(r.epoch, r.estimates[0].x, r.estimates[0].y);
+    }
+    EXPECT_EQ(replayed, direct[u]) << "session " << u;
+  }
+}
+
+TEST(TrackerManager, SurvivesFiftyFaultInjectedRounds) {
+  const Bed bed;
+  constexpr std::size_t kSessions = 2;
+  constexpr int kRounds = 50;
+  std::vector<std::vector<FluxEvent>> streams;
+  for (std::uint32_t u = 0; u < kSessions; ++u) {
+    streams.push_back(bed.session_events(u, kRounds, 55 + u));
+  }
+  const std::vector<FluxEvent> merged =
+      merge_by_time(std::span<const std::vector<FluxEvent>>(streams));
+
+  sim::EventFaultPlan plan;
+  plan.seed = 4;
+  plan.drop_prob = 0.05;
+  plan.dup_prob = 0.10;
+  plan.late_prob = 0.03;
+  plan.late_delay = 2.5;
+  plan.jitter = 0.3;
+  const std::vector<FluxEvent> faulty =
+      sim::apply_event_faults(merged, plan);
+
+  ManagerConfig mc;
+  mc.workers = 2;
+  mc.queue_capacity = 32;
+  TrackerManager m(mc);
+  for (std::uint32_t u = 0; u < kSessions; ++u) {
+    m.add_session(u, bed.tracker(1000 + u));
+  }
+  m.start();
+  std::uint64_t accepted = 0;
+  for (const FluxEvent& e : faulty) {
+    accepted += m.push(e) ? 1 : 0;
+  }
+  m.finish();
+
+  const ManagerStats stats = m.stats();
+  // kBlock is lossless: everything accepted was processed.
+  EXPECT_EQ(stats.events_routed, accepted);
+  EXPECT_EQ(stats.events_processed, accepted);
+  EXPECT_EQ(stats.events_dropped, 0u);
+  EXPECT_GT(stats.epochs_fired, 0u);
+  EXPECT_EQ(stats.filter_micros.size(), stats.epochs_fired);
+
+  std::uint64_t duplicates = 0;
+  std::uint64_t late = 0;
+  for (std::uint32_t u = 0; u < kSessions; ++u) {
+    const StreamStats& ss = m.session(u).stats();
+    duplicates += ss.duplicates;
+    late += ss.late;
+    // Most windows made it through despite the fault storm.
+    EXPECT_GT(ss.epochs_fired, static_cast<std::uint64_t>(kRounds / 2));
+    for (const EpochResult& r : m.results(u)) {
+      EXPECT_TRUE(std::isfinite(r.estimates[0].x));
+      EXPECT_TRUE(std::isfinite(r.estimates[0].y));
+    }
+  }
+  // The deterministic fault plan exercised both anomaly paths.
+  EXPECT_GT(duplicates, 0u);
+  EXPECT_GT(late, 0u);
+}
+
+TEST(TrackerManager, DropOldestKeepsConservation) {
+  const Bed bed;
+  const std::vector<FluxEvent> events = bed.session_events(0, 8, 13);
+  ManagerConfig mc;
+  mc.workers = 1;
+  mc.queue_capacity = 2;
+  mc.policy = QueuePolicy::kDropOldest;
+  TrackerManager m(mc);
+  m.add_session(0, bed.tracker(5));
+  m.start();
+  std::uint64_t accepted = 0;
+  for (const FluxEvent& e : events) {
+    accepted += m.push(e) ? 1 : 0;
+  }
+  m.finish();
+  const ManagerStats stats = m.stats();
+  EXPECT_EQ(stats.events_routed, accepted);
+  EXPECT_EQ(stats.events_processed + stats.events_dropped,
+            stats.events_routed);
+}
+
+}  // namespace
+}  // namespace fluxfp::stream

@@ -1,0 +1,137 @@
+#include "stream/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/flux.hpp"
+
+namespace fluxfp::stream {
+namespace {
+
+std::vector<FluxEvent> sample_events() {
+  return {
+      {0.0, 0, 0, 3, 1.25},
+      {0.5, 1, 0, 9, 0.0},
+      {1.0, 0, 1, 3, net::kMissingReading},
+      {1.0, 2, 1, 4, -7.5e-3},
+      {2.25, 0, 2, 1, 1e300},
+  };
+}
+
+TEST(TraceIo, RoundTripIsBitExact) {
+  const std::vector<FluxEvent> events = sample_events();
+  std::stringstream buffer;
+  TraceRecorder rec(buffer);
+  rec.write(std::span<const FluxEvent>(events));
+  EXPECT_EQ(rec.written(), events.size());
+  EXPECT_EQ(buffer.str().size(),
+            kTraceHeaderBytes + events.size() * kTraceRecordBytes);
+
+  TraceReplayer rep(buffer);
+  const std::vector<FluxEvent> back = rep.read_all();
+  ASSERT_EQ(back.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    // Bit-exact, including the NaN payload of a missing reading.
+    EXPECT_EQ(std::memcmp(&back[i].time, &events[i].time, sizeof(double)),
+              0);
+    EXPECT_EQ(back[i].user, events[i].user);
+    EXPECT_EQ(back[i].epoch, events[i].epoch);
+    EXPECT_EQ(back[i].node, events[i].node);
+    EXPECT_EQ(
+        std::memcmp(&back[i].reading, &events[i].reading, sizeof(double)),
+        0);
+  }
+  EXPECT_TRUE(net::is_missing(back[2].reading));
+}
+
+TEST(TraceIo, NextStreamsOneRecordAtATime) {
+  const std::vector<FluxEvent> events = sample_events();
+  std::stringstream buffer;
+  TraceRecorder rec(buffer);
+  for (const FluxEvent& e : events) {
+    rec.write(e);
+  }
+  TraceReplayer rep(buffer);
+  FluxEvent out;
+  std::size_t n = 0;
+  while (rep.next(out)) {
+    EXPECT_EQ(out.node, events[n].node);
+    ++n;
+  }
+  EXPECT_EQ(n, events.size());
+  EXPECT_EQ(rep.read_count(), events.size());
+}
+
+TEST(TraceIo, EmptyTraceIsLegal) {
+  std::stringstream buffer;
+  TraceRecorder rec(buffer);
+  TraceReplayer rep(buffer);
+  EXPECT_TRUE(rep.read_all().empty());
+}
+
+TEST(TraceIo, RejectsBadMagicAndVersion) {
+  {
+    std::stringstream buffer("not a trace at all, definitely");
+    EXPECT_THROW(TraceReplayer rep(buffer), std::runtime_error);
+  }
+  {
+    std::stringstream buffer;
+    TraceRecorder rec(buffer);
+    std::string bytes = buffer.str();
+    bytes[8] = 9;  // version field
+    std::stringstream bad(bytes);
+    EXPECT_THROW(TraceReplayer rep(bad), std::runtime_error);
+  }
+}
+
+TEST(TraceIo, RejectsTruncatedRecord) {
+  std::stringstream buffer;
+  TraceRecorder rec(buffer);
+  rec.write(sample_events()[0]);
+  const std::string bytes = buffer.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() - 5));
+  TraceReplayer rep(truncated);
+  FluxEvent out;
+  EXPECT_THROW(rep.next(out), std::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::vector<FluxEvent> events = sample_events();
+  const std::string path =
+      testing::TempDir() + "/fluxfp_trace_roundtrip.trace";
+  write_trace_file(path, events);
+  const std::vector<FluxEvent> back = read_trace_file(path);
+  ASSERT_EQ(back.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_TRUE(back[i] == events[i]);
+  }
+  std::remove(path.c_str());
+  EXPECT_THROW(read_trace_file(path), std::runtime_error);
+}
+
+TEST(TraceIo, MergeByTimeInterleavesStably) {
+  const std::vector<std::vector<FluxEvent>> streams = {
+      {{0.0, 0, 0, 1, 1.0}, {1.0, 0, 1, 1, 2.0}, {2.0, 0, 2, 1, 3.0}},
+      {{0.5, 1, 0, 2, 4.0}, {1.0, 1, 1, 2, 5.0}},
+  };
+  const std::vector<FluxEvent> merged =
+      merge_by_time(std::span<const std::vector<FluxEvent>>(streams));
+  ASSERT_EQ(merged.size(), 5u);
+  const std::vector<std::uint32_t> users = {0, 1, 0, 1, 0};
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].user, users[i]) << "position " << i;
+    if (i > 0) {
+      EXPECT_LE(merged[i - 1].time, merged[i].time);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fluxfp::stream
