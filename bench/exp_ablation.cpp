@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
   Agg smc, smc_noimp, instant, ekf;
   for (int t = 0; t < trials; ++t) {
     geom::Rng rng(eval::derive_seed(
-        opts.seed, {1, (std::uint64_t)t, (std::uint64_t)(fraction * 100)}));
+        opts.seed, {1, static_cast<std::uint64_t>(t), static_cast<std::uint64_t>(fraction * 100)}));
     const bench::Testbed tb({}, field, rng);
     const auto users = two_line_users(rounds);
     sim::ScenarioConfig scfg;
@@ -160,7 +160,7 @@ int main(int argc, char** argv) {
   {
     numeric::RunningStats naive_err, smooth_err;
     for (int t = 0; t < trials; ++t) {
-      geom::Rng rng(eval::derive_seed(opts.seed, {11, (std::uint64_t)t}));
+      geom::Rng rng(eval::derive_seed(opts.seed, {11, static_cast<std::uint64_t>(t)}));
       const bench::Testbed tb({}, field, rng);
       sim::SimUser u;
       u.stretch = 2.0;
@@ -224,7 +224,7 @@ int main(int argc, char** argv) {
   for (int t = 0; t < trials; ++t) {
     // Every variant sees the identical instance (network, users, samples);
     // only the objective/search configuration differs.
-    geom::Rng rng(eval::derive_seed(opts.seed, {2, (std::uint64_t)t}));
+    geom::Rng rng(eval::derive_seed(opts.seed, {2, static_cast<std::uint64_t>(t)}));
     const bench::Testbed tb({}, field, rng);
     std::uniform_real_distribution<double> stretch(1.0, 3.0);
     std::vector<geom::Vec2> sinks;
@@ -239,7 +239,7 @@ int main(int argc, char** argv) {
         sim::sample_nodes_fraction(tb.graph.size(), 0.10, rng);
     for (std::size_t v = 0; v < variants.size(); ++v) {
       geom::Rng search_rng(
-          eval::derive_seed(opts.seed, {20, (std::uint64_t)t, v}));
+          eval::derive_seed(opts.seed, {20, static_cast<std::uint64_t>(t), v}));
       const core::SparseObjective obj = eval::make_objective(
           tb.model, tb.graph, flux, samples, variants[v].smooth);
       core::LocalizerConfig lcfg;
@@ -298,7 +298,8 @@ int main(int argc, char** argv) {
     for (int t = 0; t < trials; ++t) {
       geom::Rng rng(eval::derive_seed(
           opts.seed,
-          {3, (std::uint64_t)t, (std::uint64_t)cm.cfg.kind}));
+          {3, static_cast<std::uint64_t>(t),
+           static_cast<std::uint64_t>(cm.cfg.kind)}));
       const bench::Testbed tb({}, field, rng);
       const geom::Vec2 truth = geom::uniform_in_field(field, rng);
       const sim::FluxEngine engine(tb.graph);
@@ -328,7 +329,7 @@ int main(int argc, char** argv) {
   {
     numeric::RunningStats errs;
     for (int t = 0; t < trials; ++t) {
-      geom::Rng rng(eval::derive_seed(opts.seed, {33, (std::uint64_t)t}));
+      geom::Rng rng(eval::derive_seed(opts.seed, {33, static_cast<std::uint64_t>(t)}));
       const bench::Testbed tb({}, field, rng);
       const geom::Vec2 truth = geom::uniform_in_field(field, rng);
       const std::size_t root = tb.graph.nearest_node(truth);
@@ -364,7 +365,7 @@ int main(int argc, char** argv) {
     numeric::RunningStats inst_err;
     for (int t = 0; t < trials; ++t) {
       geom::Rng rng(eval::derive_seed(
-          opts.seed, {7, (std::uint64_t)t, (std::uint64_t)use_chaff}));
+          opts.seed, {7, static_cast<std::uint64_t>(t), static_cast<std::uint64_t>(use_chaff)}));
       const bench::Testbed tb({}, field, rng);
       sim::SimUser u;
       u.stretch = 2.0;
@@ -454,8 +455,9 @@ int main(int argc, char** argv) {
       int converged = 0;
       for (int t = 0; t < trials; ++t) {
         geom::Rng rng(eval::derive_seed(
-            opts.seed, {4, (std::uint64_t)t, (std::uint64_t)s.use_lm,
-                        (std::uint64_t)(s.field == &circle)}));
+            opts.seed, {4, static_cast<std::uint64_t>(t),
+                        static_cast<std::uint64_t>(s.use_lm),
+                        static_cast<std::uint64_t>(s.field == &circle)}));
         eval::NetworkSpec spec;
         spec.kind = net::DeploymentKind::kUniformRandom;
         const bench::Testbed tb(spec, *s.field, rng);
@@ -501,7 +503,7 @@ int main(int argc, char** argv) {
     numeric::RunningStats mean_err;
     numeric::RunningStats fin_err;
     for (int t = 0; t < trials; ++t) {
-      geom::Rng rng(eval::derive_seed(opts.seed, {5, (std::uint64_t)t}));
+      geom::Rng rng(eval::derive_seed(opts.seed, {5, static_cast<std::uint64_t>(t)}));
       const bench::Testbed tb({}, field, rng);
       sim::SimUser u;
       u.stretch = 2.0;
@@ -513,7 +515,7 @@ int main(int argc, char** argv) {
       const auto samples =
           sim::sample_nodes_fraction(tb.graph.size(), 0.03, rng);
       geom::Rng track_rng(
-          eval::derive_seed(opts.seed, {6, (std::uint64_t)t}));
+          eval::derive_seed(opts.seed, {6, static_cast<std::uint64_t>(t)}));
       core::SmcConfig cfg;
       cfg.heading_aware = heading;
       core::SmcTracker tracker(field, 1, cfg, track_rng);
@@ -543,7 +545,7 @@ int main(int argc, char** argv) {
   {
     numeric::RunningStats random_err, grid_err, centroid_err;
     for (int t = 0; t < trials; ++t) {
-      geom::Rng rng(eval::derive_seed(opts.seed, {8, (std::uint64_t)t}));
+      geom::Rng rng(eval::derive_seed(opts.seed, {8, static_cast<std::uint64_t>(t)}));
       const bench::Testbed tb({}, field, rng);
       const geom::Vec2 truth = geom::uniform_in_field(field, rng);
       const sim::FluxEngine engine(tb.graph);
@@ -587,7 +589,7 @@ int main(int argc, char** argv) {
     numeric::RunningStats degs;
     for (int t = 0; t < trials; ++t) {
       geom::Rng rng(eval::derive_seed(
-          opts.seed, {9, (std::uint64_t)t, (std::uint64_t)kind}));
+          opts.seed, {9, static_cast<std::uint64_t>(t), static_cast<std::uint64_t>(kind)}));
       eval::NetworkSpec spec;
       spec.kind = kind;
       // Clustered layouts need a larger radius to stay connected.
@@ -627,7 +629,7 @@ int main(int argc, char** argv) {
     numeric::RunningStats rand_err, strat_err;
     for (int t = 0; t < trials * 2; ++t) {
       geom::Rng rng(eval::derive_seed(
-          opts.seed, {10, (std::uint64_t)t, (std::uint64_t)(fraction * 100)}));
+          opts.seed, {10, static_cast<std::uint64_t>(t), static_cast<std::uint64_t>(fraction * 100)}));
       const bench::Testbed tb({}, field, rng);
       const geom::Vec2 truth = geom::uniform_in_field(field, rng);
       const sim::FluxEngine engine(tb.graph);

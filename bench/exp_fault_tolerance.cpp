@@ -66,19 +66,19 @@ void sweep_outage(const bench::Options& opts, const bench::Testbed& tb,
     double masked = 0.0;
     double zeroed = 0.0;
     for (int t = 0; t < trials; ++t) {
-      geom::Rng rng(eval::derive_seed(opts.seed, {1, (std::uint64_t)t}));
+      geom::Rng rng(eval::derive_seed(opts.seed, {1, static_cast<std::uint64_t>(t)}));
       const TrialWorld w = clean_window(tb, field, rng);
       std::vector<double> corrupted = w.readings;
       sim::FaultPlan plan;
       plan.seed = eval::derive_seed(
-          opts.seed, {2, (std::uint64_t)t, (std::uint64_t)(outage * 100)});
+          opts.seed, {2, static_cast<std::uint64_t>(t), static_cast<std::uint64_t>(outage * 100)});
       plan.outage_prob = outage;
       sim::FaultInjector inj(plan, tb.graph.size(), w.samples);
       inj.corrupt(corrupted);
       std::vector<double> zero_filled = corrupted;
       net::zero_fill_missing(zero_filled);
-      geom::Rng rng_m(eval::derive_seed(opts.seed, {3, (std::uint64_t)t}));
-      geom::Rng rng_z(eval::derive_seed(opts.seed, {3, (std::uint64_t)t}));
+      geom::Rng rng_m(eval::derive_seed(opts.seed, {3, static_cast<std::uint64_t>(t)}));
+      geom::Rng rng_z(eval::derive_seed(opts.seed, {3, static_cast<std::uint64_t>(t)}));
       masked += localize_error(tb, field, w, corrupted, cfg, rng_m);
       zeroed += localize_error(tb, field, w, zero_filled, cfg, rng_z);
     }
@@ -98,13 +98,13 @@ void sweep_crashes(const bench::Options& opts, const bench::Testbed& tb,
     double err = 0.0;
     double masked_sniffers = 0.0;
     for (int t = 0; t < trials; ++t) {
-      geom::Rng rng(eval::derive_seed(opts.seed, {4, (std::uint64_t)t}));
+      geom::Rng rng(eval::derive_seed(opts.seed, {4, static_cast<std::uint64_t>(t)}));
       const geom::Vec2 truth = geom::uniform_in_field(field, rng);
       const auto samples =
           sim::sample_nodes_fraction(tb.graph.size(), 0.10, rng);
       sim::FaultPlan plan;
       plan.seed = eval::derive_seed(
-          opts.seed, {5, (std::uint64_t)t, (std::uint64_t)(crash * 100)});
+          opts.seed, {5, static_cast<std::uint64_t>(t), static_cast<std::uint64_t>(crash * 100)});
       plan.crash_fraction = crash;
       sim::FaultInjector inj(plan, tb.graph.size(), samples);
       // Flux is generated over the survivors only; a dead node's flux is a
@@ -121,7 +121,7 @@ void sweep_crashes(const bench::Options& opts, const bench::Testbed& tb,
       const auto obj = eval::make_objective_from_readings(tb.model, tb.graph,
                                                           samples, readings);
       masked_sniffers += static_cast<double>(obj.masked_count());
-      geom::Rng rng_l(eval::derive_seed(opts.seed, {6, (std::uint64_t)t}));
+      geom::Rng rng_l(eval::derive_seed(opts.seed, {6, static_cast<std::uint64_t>(t)}));
       const core::InstantLocalizer loc(field, cfg);
       err += geom::distance(loc.localize(obj, 1, rng_l).positions[0], truth);
     }
@@ -143,18 +143,18 @@ void sweep_byzantine(const bench::Options& opts, const bench::Testbed& tb,
     double plain = 0.0;
     double huber = 0.0;
     for (int t = 0; t < trials; ++t) {
-      geom::Rng rng(eval::derive_seed(opts.seed, {7, (std::uint64_t)t}));
+      geom::Rng rng(eval::derive_seed(opts.seed, {7, static_cast<std::uint64_t>(t)}));
       const TrialWorld w = clean_window(tb, field, rng);
       std::vector<double> corrupted = w.readings;
       sim::FaultPlan plan;
       plan.seed = eval::derive_seed(
-          opts.seed, {8, (std::uint64_t)t, (std::uint64_t)(byz * 100)});
+          opts.seed, {8, static_cast<std::uint64_t>(t), static_cast<std::uint64_t>(byz * 100)});
       plan.byzantine_fraction = byz;
       plan.byzantine_gain = 8.0;
       sim::FaultInjector inj(plan, tb.graph.size(), w.samples);
       inj.corrupt(corrupted);
-      geom::Rng rng_p(eval::derive_seed(opts.seed, {9, (std::uint64_t)t}));
-      geom::Rng rng_r(eval::derive_seed(opts.seed, {9, (std::uint64_t)t}));
+      geom::Rng rng_p(eval::derive_seed(opts.seed, {9, static_cast<std::uint64_t>(t)}));
+      geom::Rng rng_r(eval::derive_seed(opts.seed, {9, static_cast<std::uint64_t>(t)}));
       plain += localize_error(tb, field, w, corrupted, cfg, rng_p);
       huber += localize_error(tb, field, w, corrupted, robust_cfg, rng_r);
     }

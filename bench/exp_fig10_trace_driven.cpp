@@ -146,7 +146,7 @@ int main(int argc, char** argv) {
   eval::Table a({"% nodes", "perturbed grid", "random"});
   for (double pct : {40.0, 20.0, 10.0, 5.0}) {
     const auto [grid, random] = sweep_point(
-        runs, pct / 100.0, 5.0, field, opts.seed, (std::uint64_t)(pct * 10),
+        runs, pct / 100.0, 5.0, field, opts.seed, static_cast<std::uint64_t>(pct * 10),
         0);
     a.add_row({eval::Table::fmt(pct, 0), eval::Table::fmt(grid),
                eval::Table::fmt(random)});
@@ -161,7 +161,7 @@ int main(int argc, char** argv) {
   eval::Table b({"radius (vmax)", "perturbed grid", "random"});
   for (double vmax : {4.0, 6.0, 8.0, 10.0, 12.0}) {
     const auto [grid, random] =
-        sweep_point(runs, 0.10, vmax, field, opts.seed, (std::uint64_t)vmax,
+        sweep_point(runs, 0.10, vmax, field, opts.seed, static_cast<std::uint64_t>(vmax),
                     2);
     b.add_row({eval::Table::fmt(vmax, 0), eval::Table::fmt(grid),
                eval::Table::fmt(random)});

@@ -113,7 +113,7 @@ int main(int argc, char** argv) {
   for (std::size_t d = 0; d < degrees.size(); ++d) {
     for (int t = 0; t < trials; ++t) {
       const ErrorSample s = run_once(
-          degrees[d], eval::derive_seed(opts.seed, {d, (std::uint64_t)t}));
+          degrees[d], eval::derive_seed(opts.seed, {d, static_cast<std::uint64_t>(t)}));
       pooled[d].insert(pooled[d].end(), s.error_rates.begin(),
                        s.error_rates.end());
       if (d == 0) {

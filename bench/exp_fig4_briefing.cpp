@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   std::vector<std::vector<double>> peak_fraction(4);  // after round 0..3
   std::vector<std::vector<double>> round_err(3);
   for (int t = 0; t < trials; ++t) {
-    geom::Rng rng(eval::derive_seed(opts.seed, {(std::uint64_t)t}));
+    geom::Rng rng(eval::derive_seed(opts.seed, {static_cast<std::uint64_t>(t)}));
     const bench::Testbed tb({}, field, rng);
 
     // Three users at random well-separated positions, stretches U[1,3].

@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
     std::vector<double> all_errors;
     double worst = 0.0;
     for (int t = 0; t < trials; ++t) {
-      geom::Rng rng(eval::derive_seed(opts.seed, {k, (std::uint64_t)t}));
+      geom::Rng rng(eval::derive_seed(opts.seed, {k, static_cast<std::uint64_t>(t)}));
       const bench::Testbed tb({}, field, rng);
       std::uniform_real_distribution<double> stretch(1.0, 3.0);
       std::vector<geom::Vec2> sinks;

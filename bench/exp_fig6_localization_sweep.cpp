@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
             return run_instance(
                 {}, field, k, pct / 100.0, 0,
                 eval::derive_seed(opts.seed,
-                                  {(std::uint64_t)(pct * 10), k, t}));
+                                  {static_cast<std::uint64_t>(pct * 10), k, t}));
           });
       row.push_back(eval::Table::fmt(numeric::mean(errs)));
     }

@@ -43,7 +43,7 @@ std::vector<double> run_case(const Case& c, const geom::RectField& field,
                              int rounds, int trials, std::uint64_t seed) {
   std::vector<double> per_round(static_cast<std::size_t>(rounds), 0.0);
   for (int t = 0; t < trials; ++t) {
-    geom::Rng rng(eval::derive_seed(seed, {(std::uint64_t)t}));
+    geom::Rng rng(eval::derive_seed(seed, {static_cast<std::uint64_t>(t)}));
     const bench::Testbed tb({}, field, rng);
     sim::ScenarioConfig scfg;
     scfg.rounds = rounds;

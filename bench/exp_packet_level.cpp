@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
     numeric::RunningStats delivered;
     for (int t = 0; t < trials; ++t) {
       geom::Rng rng(eval::derive_seed(
-          opts.seed, {2, (std::uint64_t)t, (std::uint64_t)(loss * 100)}));
+          opts.seed, {2, static_cast<std::uint64_t>(t), static_cast<std::uint64_t>(loss * 100)}));
       const bench::Testbed tb({}, field, rng);
       const geom::Vec2 truth = geom::uniform_in_field(field, rng);
       const net::CollectionTree tree =

@@ -2,7 +2,12 @@
 # Builds bench_micro in Release and regenerates the benchmark-regression
 # baseline BENCH_micro.json at the repo root.
 #
-# Usage: bench/run_benchmarks.sh [extra --benchmark_* flags...]
+# Usage: bench/run_benchmarks.sh [--lint] [extra --benchmark_* flags...]
+#
+# --lint runs the static-analysis gate (fluxfp-lint, header hygiene,
+# clang-tidy when installed) first and refuses to measure a tree that
+# fails it: numbers from a tree that violates the determinism contracts
+# are not comparable to the committed baseline.
 #
 # The baseline is machine-specific: compare candidate runs only against a
 # baseline produced on the same hardware (google-benchmark's
@@ -19,10 +24,26 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${BUILD_DIR:-$repo_root/build-bench}"
 
+run_lint=0
+if [[ "${1:-}" == "--lint" ]]; then
+  run_lint=1
+  shift
+fi
+
 cmake -S "$repo_root" -B "$build_dir" \
   -DCMAKE_BUILD_TYPE=Release \
   -DFLUXFP_BUILD_TESTS=OFF \
   -DFLUXFP_BUILD_EXAMPLES=OFF
+
+if [[ "$run_lint" == 1 ]]; then
+  echo "== lint preflight =="
+  if ! cmake --build "$build_dir" --target lint -j "$(nproc)"; then
+    echo "run_benchmarks.sh: lint gate failed; refusing to measure a tree" \
+         "that violates the project invariants" >&2
+    exit 1
+  fi
+fi
+
 cmake --build "$build_dir" --target bench_micro -j "$(nproc)"
 
 "$build_dir/bench/bench_micro" \

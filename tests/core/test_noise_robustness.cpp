@@ -34,7 +34,7 @@ struct NoisyWorld {
                              std::uint64_t salt) const {
     double total = 0.0;
     for (int t = 0; t < trials; ++t) {
-      geom::Rng rng(eval::derive_seed(salt, {(std::uint64_t)t}));
+      geom::Rng rng(eval::derive_seed(salt, {static_cast<std::uint64_t>(t)}));
       const geom::Vec2 truth = geom::uniform_in_field(field, rng);
       const sim::FluxEngine engine(graph);
       const std::vector<sim::Collection> w{{0, truth, 2.0}};
@@ -118,7 +118,7 @@ TEST(NoiseRobustness, MaskedDropoutBeatsZeroPoisoning) {
   double zeroed_total = 0.0;
   const int trials = 24;
   for (int t = 0; t < trials; ++t) {
-    geom::Rng rng(eval::derive_seed(1000, {(std::uint64_t)t}));
+    geom::Rng rng(eval::derive_seed(1000, {static_cast<std::uint64_t>(t)}));
     const geom::Vec2 truth = geom::uniform_in_field(w.field, rng);
     const sim::FluxEngine engine(w.graph);
     const std::vector<sim::Collection> window{{0, truth, 2.0}};
@@ -127,7 +127,7 @@ TEST(NoiseRobustness, MaskedDropoutBeatsZeroPoisoning) {
     std::vector<double> readings =
         eval::sniffed_readings(w.graph, flux, samples);
     sim::FaultPlan plan;
-    plan.seed = eval::derive_seed(1001, {(std::uint64_t)t, 20});
+    plan.seed = eval::derive_seed(1001, {static_cast<std::uint64_t>(t), 20});
     plan.outage_prob = 0.2;
     sim::FaultInjector inj(plan, w.graph.size(), samples);
     inj.corrupt(readings);
@@ -140,8 +140,8 @@ TEST(NoiseRobustness, MaskedDropoutBeatsZeroPoisoning) {
     core::LocalizerConfig cfg;
     cfg.candidates_per_user = 4000;
     const core::InstantLocalizer loc(w.field, cfg);
-    geom::Rng rng_m(eval::derive_seed(1002, {(std::uint64_t)t}));
-    geom::Rng rng_z(eval::derive_seed(1002, {(std::uint64_t)t}));
+    geom::Rng rng_m(eval::derive_seed(1002, {static_cast<std::uint64_t>(t)}));
+    geom::Rng rng_z(eval::derive_seed(1002, {static_cast<std::uint64_t>(t)}));
     masked_total +=
         geom::distance(loc.localize(masked_obj, 1, rng_m).positions[0], truth);
     zeroed_total +=
@@ -157,7 +157,7 @@ TEST(NoiseRobustness, HuberRefitResistsByzantineSniffers) {
   double robust_total = 0.0;
   const int trials = 6;
   for (int t = 0; t < trials; ++t) {
-    geom::Rng rng(eval::derive_seed(371, {(std::uint64_t)t}));
+    geom::Rng rng(eval::derive_seed(371, {static_cast<std::uint64_t>(t)}));
     const geom::Vec2 truth = geom::uniform_in_field(w.field, rng);
     const sim::FluxEngine engine(w.graph);
     const std::vector<sim::Collection> window{{0, truth, 2.0}};
@@ -167,7 +167,7 @@ TEST(NoiseRobustness, HuberRefitResistsByzantineSniffers) {
         eval::sniffed_readings(w.graph, flux, samples);
     // 15% of the sniffers report 8x the true value.
     sim::FaultPlan plan;
-    plan.seed = eval::derive_seed(372, {(std::uint64_t)t});
+    plan.seed = eval::derive_seed(372, {static_cast<std::uint64_t>(t)});
     plan.byzantine_fraction = 0.15;
     plan.byzantine_gain = 8.0;
     sim::FaultInjector inj(plan, w.graph.size(), samples);
@@ -178,8 +178,8 @@ TEST(NoiseRobustness, HuberRefitResistsByzantineSniffers) {
     plain_cfg.candidates_per_user = 4000;
     core::LocalizerConfig robust_cfg = plain_cfg;
     robust_cfg.robust.loss = core::RobustLoss::kHuber;
-    geom::Rng rng_p(eval::derive_seed(373, {(std::uint64_t)t}));
-    geom::Rng rng_r(eval::derive_seed(373, {(std::uint64_t)t}));
+    geom::Rng rng_p(eval::derive_seed(373, {static_cast<std::uint64_t>(t)}));
+    geom::Rng rng_r(eval::derive_seed(373, {static_cast<std::uint64_t>(t)}));
     plain_total += geom::distance(
         core::InstantLocalizer(w.field, plain_cfg)
             .localize(obj, 1, rng_p).positions[0], truth);

@@ -34,7 +34,7 @@ struct DefenseWorld {
     const privacy::Countermeasure defense(cfg);
     double total = 0.0;
     for (int t = 0; t < trials; ++t) {
-      geom::Rng rng(eval::derive_seed(salt, {(std::uint64_t)t}));
+      geom::Rng rng(eval::derive_seed(salt, {static_cast<std::uint64_t>(t)}));
       const geom::Vec2 truth = geom::uniform_in_field(field, rng);
       const sim::FluxEngine engine(graph);
       const std::vector<sim::Collection> w{{0, truth, 2.0}};
@@ -101,7 +101,7 @@ TEST(Countermeasures, AdversaryWithLargerKSeesThroughChaff) {
   double total = 0.0;
   const int trials = 4;
   for (int t = 0; t < trials; ++t) {
-    geom::Rng rng(eval::derive_seed(441, {(std::uint64_t)t}));
+    geom::Rng rng(eval::derive_seed(441, {static_cast<std::uint64_t>(t)}));
     const geom::Vec2 truth = geom::uniform_in_field(w.field, rng);
     const sim::FluxEngine engine(w.graph);
     const std::vector<sim::Collection> window{{0, truth, 2.0}};

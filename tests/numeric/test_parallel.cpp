@@ -105,9 +105,12 @@ TEST(ParallelFor, PropagatesExceptionAndPoolSurvives) {
 TEST(ParallelFor, SingleThreadRunsInlineOnCaller) {
   ThreadCountGuard guard;
   set_thread_count(1);
+  // fluxfp-lint: allow(no-nondeterminism) -- the test's whole point is
+  // observing which thread ran; the id never feeds a result.
   const std::thread::id caller = std::this_thread::get_id();
   std::atomic<int> wrong_thread{0};
   parallel_for(0, 64, [&](std::size_t) {
+    // fluxfp-lint: allow(no-nondeterminism) -- see above.
     if (std::this_thread::get_id() != caller) {
       wrong_thread.fetch_add(1);
     }

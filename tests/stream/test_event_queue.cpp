@@ -42,6 +42,8 @@ TEST(EventQueue, FifoOrderAndStats) {
 TEST(EventQueue, BlockPolicyIsLossless) {
   EventQueue q(2, QueuePolicy::kBlock);
   std::atomic<int> produced{0};
+  // fluxfp-lint: allow(no-raw-thread) -- MPSC backpressure needs a real
+  // competing producer thread; parallel_for cannot model it.
   std::thread producer([&] {
     for (int i = 0; i < 100; ++i) {
       q.push(ev(i, static_cast<std::uint32_t>(i)));
@@ -68,6 +70,8 @@ TEST(EventQueue, BlockPolicyActuallyBlocksProducer) {
   EventQueue q(1, QueuePolicy::kBlock);
   ASSERT_TRUE(q.push(ev(0, 0)));
   std::atomic<bool> second_done{false};
+  // fluxfp-lint: allow(no-raw-thread) -- must observe a blocked push from
+  // outside; only a raw thread can be parked mid-call.
   std::thread producer([&] {
     q.push(ev(1, 1));
     second_done.store(true);
@@ -112,6 +116,8 @@ TEST(EventQueue, MultipleProducersLoseNothingUnderBlock) {
   EventQueue q(4, QueuePolicy::kBlock);
   constexpr int kProducers = 4;
   constexpr int kPerProducer = 50;
+  // fluxfp-lint: allow(no-raw-thread) -- multi-producer contention test;
+  // the queue's own contract is the thing under test.
   std::vector<std::thread> producers;
   for (int p = 0; p < kProducers; ++p) {
     producers.emplace_back([&q, p] {
@@ -120,6 +126,8 @@ TEST(EventQueue, MultipleProducersLoseNothingUnderBlock) {
       }
     });
   }
+  // fluxfp-lint: allow(no-raw-thread) -- closes the queue only after every
+  // producer exits; raw join ordering is the scenario itself.
   std::thread closer([&] {
     for (auto& t : producers) {
       t.join();

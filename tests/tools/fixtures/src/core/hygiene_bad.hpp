@@ -1,0 +1,11 @@
+// Fixture header: missing #pragma once (line 4 reports on the first
+// token) and a namespace-polluting using-directive (line 7).
+#include <vector>
+
+namespace fluxfp {
+
+using namespace std;
+
+inline vector<int> make() { return {}; }
+
+}  // namespace fluxfp

@@ -1,0 +1,10 @@
+#pragma once
+
+// Fixture header: well-behaved — #pragma once first, no using-directives.
+#include <vector>
+
+namespace fluxfp {
+
+inline std::vector<int> make() { return {}; }
+
+}  // namespace fluxfp

@@ -1,0 +1,40 @@
+// Fixture: every entropy/order source no-nondeterminism bans, in a
+// result-bearing directory (src/numeric).
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+namespace fluxfp {
+
+std::unordered_map<int, double> weights_;
+
+double entropy_seed() {
+  std::random_device rd;  // line 15: flagged
+  return static_cast<double>(rd());
+}
+
+double libc_rand() {
+  std::srand(42);            // line 20: flagged
+  return std::rand() / 2.0;  // line 21: flagged
+}
+
+unsigned long wall_clock_seed() {
+  return static_cast<unsigned long>(time(nullptr));  // line 25: flagged
+}
+
+bool on_first_thread() {
+  return std::this_thread::get_id() == std::thread::id{};  // line 29: flagged
+}
+
+double order_dependent_sum() {
+  double total = 0.0;
+  for (const auto& [k, v] : weights_) {  // line 34: flagged
+    total = total * 0.5 + v + k;
+  }
+  return total;
+}
+
+}  // namespace fluxfp

@@ -1,0 +1,18 @@
+// Fixture: range-for over an unordered container in src/sim — outside the
+// result-bearing directories, so no-nondeterminism stays quiet about the
+// iteration (the commutative fold below is order-safe).
+#include <unordered_set>
+
+namespace fluxfp {
+
+std::unordered_set<int> scratch_ids_;
+
+int count_ids() {
+  int n = 0;
+  for (int id : scratch_ids_) {
+    n += id > 0 ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace fluxfp

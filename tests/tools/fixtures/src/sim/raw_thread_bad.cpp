@@ -1,0 +1,22 @@
+// Fixture: raw parallelism outside the sanctioned directories.
+#include <future>
+#include <thread>
+
+namespace fluxfp {
+
+void spawn_worker() {
+  std::thread t([] {});  // line 8: flagged
+  t.join();
+}
+
+void spawn_async() {
+  auto f = std::async([] { return 1; });  // line 13: flagged
+  f.get();
+}
+
+unsigned query_is_fine() {
+  // A capability query, not a spawn: must NOT be flagged.
+  return std::thread::hardware_concurrency();
+}
+
+}  // namespace fluxfp

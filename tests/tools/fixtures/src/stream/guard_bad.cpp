@@ -1,0 +1,26 @@
+// Fixture: a worker thread that re-enters pool-using code without holding
+// numeric::SerialRegionGuard — the single-external-caller protocol breaks.
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace fluxfp {
+
+struct Tracker {
+  void on_event(int e);
+};
+
+struct Shard {
+  std::vector<Tracker> sessions_;
+  std::vector<std::thread> threads_;
+
+  void worker_loop(std::size_t w) {
+    sessions_[w].on_event(static_cast<int>(w));  // pool-reentrant, unguarded
+  }
+
+  void start() {
+    threads_.emplace_back([this] { worker_loop(0); });  // line 22: flagged
+  }
+};
+
+}  // namespace fluxfp

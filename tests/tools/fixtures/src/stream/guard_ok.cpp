@@ -1,0 +1,34 @@
+// Fixture: the sanctioned worker shape — the thread body (via one level of
+// same-file call expansion) holds a SerialRegionGuard before stepping.
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace fluxfp {
+
+namespace numeric {
+struct SerialRegionGuard {
+  SerialRegionGuard();
+  ~SerialRegionGuard();
+};
+}  // namespace numeric
+
+struct Tracker {
+  void on_event(int e);
+};
+
+struct Shard {
+  std::vector<Tracker> sessions_;
+  std::vector<std::thread> threads_;
+
+  void worker_loop(std::size_t w) {
+    numeric::SerialRegionGuard serial;
+    sessions_[w].on_event(static_cast<int>(w));
+  }
+
+  void start() {
+    threads_.emplace_back([this] { worker_loop(0); });  // guarded: clean
+  }
+};
+
+}  // namespace fluxfp

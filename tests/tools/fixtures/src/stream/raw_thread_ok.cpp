@@ -1,0 +1,16 @@
+// Fixture: src/stream/ owns its sharded workers — raw std::thread is
+// sanctioned here (no finding expected).
+#include <thread>
+#include <vector>
+
+namespace fluxfp {
+
+void sanctioned_workers() {
+  std::vector<std::thread> threads;
+  threads.emplace_back([] {});
+  for (std::thread& t : threads) {
+    t.join();
+  }
+}
+
+}  // namespace fluxfp

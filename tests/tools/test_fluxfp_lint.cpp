@@ -1,0 +1,245 @@
+// Tier-1 coverage for the linter itself: each rule has positive, negative,
+// and suppressed fixtures under tests/tools/fixtures/, laid out like the
+// real tree so directory-scoped rules scope the same way. The tests run
+// the actual fluxfp_lint binary (paths injected by CMake) and assert
+// exact `file:line: rule` output and exit codes.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#ifndef FLUXFP_LINT_BIN
+#error "FLUXFP_LINT_BIN must be defined by the build"
+#endif
+#ifndef FLUXFP_LINT_FIXTURES
+#error "FLUXFP_LINT_FIXTURES must be defined by the build"
+#endif
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+RunResult run_lint(const std::string& args) {
+  const std::string cmd =
+      std::string(FLUXFP_LINT_BIN) + " " + args + " 2>&1";
+  RunResult res;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    ADD_FAILURE() << "popen failed for: " << cmd;
+    return res;
+  }
+  std::array<char, 4096> buf{};
+  std::size_t n = 0;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    res.output.append(buf.data(), n);
+  }
+  const int status = pclose(pipe);
+  res.exit_code = (status >= 0 && WIFEXITED(status)) ? WEXITSTATUS(status)
+                                                     : -1;
+  return res;
+}
+
+std::string fixture_args(const std::string& paths) {
+  return "--root " + std::string(FLUXFP_LINT_FIXTURES) + " " + paths;
+}
+
+std::vector<std::string> lines_of(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == '\n') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) {
+    out.push_back(cur);
+  }
+  return out;
+}
+
+bool has_line_starting(const RunResult& r, const std::string& prefix) {
+  for (const std::string& line : lines_of(r.output)) {
+    if (line.rfind(prefix, 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+constexpr int kClean = 0;
+constexpr int kViolations = 1;
+constexpr int kUsage = 2;
+
+// ---------------------------------------------------------------------------
+// no-nan-compare
+// ---------------------------------------------------------------------------
+
+TEST(NoNanCompare, FlagsEqAndNeAgainstSentinel) {
+  const RunResult r = run_lint(fixture_args("src/core/nan_compare_bad.cpp"));
+  EXPECT_EQ(r.exit_code, kViolations) << r.output;
+  EXPECT_TRUE(has_line_starting(
+      r, "src/core/nan_compare_bad.cpp:11: no-nan-compare:"))
+      << r.output;
+  EXPECT_TRUE(has_line_starting(
+      r, "src/core/nan_compare_bad.cpp:15: no-nan-compare:"))
+      << r.output;
+  EXPECT_TRUE(has_line_starting(
+      r, "src/core/nan_compare_bad.cpp:19: no-nan-compare:"))
+      << r.output;
+}
+
+TEST(NoNanCompare, IsMissingAndAssignmentAreClean) {
+  const RunResult r = run_lint(fixture_args("src/core/nan_compare_ok.cpp"));
+  EXPECT_EQ(r.exit_code, kClean) << r.output;
+}
+
+TEST(NoNanCompare, InlineAllowSuppressesAndIsTallied) {
+  const RunResult r = run_lint(fixture_args("src/core/nan_compare_ok.cpp"));
+  EXPECT_NE(r.output.find("1 suppressions (no-nan-compare x1)"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(NoNanCompare, SuppressionBudgetZeroFailsTheRun) {
+  const RunResult r = run_lint(
+      fixture_args("--suppression-budget 0 src/core/nan_compare_ok.cpp"));
+  EXPECT_EQ(r.exit_code, kViolations) << r.output;
+  EXPECT_NE(r.output.find("suppression budget exceeded"), std::string::npos)
+      << r.output;
+}
+
+// ---------------------------------------------------------------------------
+// no-nondeterminism
+// ---------------------------------------------------------------------------
+
+TEST(NoNondeterminism, FlagsEveryEntropyAndOrderSource) {
+  const RunResult r = run_lint(fixture_args("src/numeric/nondet_bad.cpp"));
+  EXPECT_EQ(r.exit_code, kViolations) << r.output;
+  const char* expected[] = {
+      "src/numeric/nondet_bad.cpp:15: no-nondeterminism:",  // random_device
+      "src/numeric/nondet_bad.cpp:20: no-nondeterminism:",  // srand
+      "src/numeric/nondet_bad.cpp:21: no-nondeterminism:",  // rand
+      "src/numeric/nondet_bad.cpp:25: no-nondeterminism:",  // time(nullptr)
+      "src/numeric/nondet_bad.cpp:29: no-nondeterminism:",  // get_id
+      "src/numeric/nondet_bad.cpp:34: no-nondeterminism:",  // unordered for
+  };
+  for (const char* prefix : expected) {
+    EXPECT_TRUE(has_line_starting(r, prefix)) << prefix << "\n" << r.output;
+  }
+}
+
+TEST(NoNondeterminism, UnorderedIterationOutsideResultBearingDirsIsClean) {
+  const RunResult r = run_lint(fixture_args("src/sim/nondet_scope_ok.cpp"));
+  EXPECT_EQ(r.exit_code, kClean) << r.output;
+}
+
+// ---------------------------------------------------------------------------
+// no-raw-thread
+// ---------------------------------------------------------------------------
+
+TEST(NoRawThread, FlagsThreadAndAsyncOutsideSanctionedDirs) {
+  const RunResult r = run_lint(fixture_args("src/sim/raw_thread_bad.cpp"));
+  EXPECT_EQ(r.exit_code, kViolations) << r.output;
+  EXPECT_TRUE(has_line_starting(
+      r, "src/sim/raw_thread_bad.cpp:8: no-raw-thread:"))
+      << r.output;
+  EXPECT_TRUE(has_line_starting(
+      r, "src/sim/raw_thread_bad.cpp:13: no-raw-thread:"))
+      << r.output;
+  // hardware_concurrency() is a query, not a spawn.
+  EXPECT_FALSE(has_line_starting(
+      r, "src/sim/raw_thread_bad.cpp:19:"))
+      << r.output;
+}
+
+TEST(NoRawThread, StreamRuntimeIsSanctioned) {
+  const RunResult r = run_lint(fixture_args("src/stream/raw_thread_ok.cpp"));
+  EXPECT_EQ(r.exit_code, kClean) << r.output;
+}
+
+// ---------------------------------------------------------------------------
+// pool-serial-guard
+// ---------------------------------------------------------------------------
+
+TEST(PoolSerialGuard, FlagsUnguardedWorkerBody) {
+  const RunResult r = run_lint(fixture_args("src/stream/guard_bad.cpp"));
+  EXPECT_EQ(r.exit_code, kViolations) << r.output;
+  EXPECT_TRUE(has_line_starting(
+      r, "src/stream/guard_bad.cpp:22: pool-serial-guard:"))
+      << r.output;
+}
+
+TEST(PoolSerialGuard, GuardFoundThroughOneCallLevel) {
+  const RunResult r = run_lint(fixture_args("src/stream/guard_ok.cpp"));
+  EXPECT_EQ(r.exit_code, kClean) << r.output;
+}
+
+// ---------------------------------------------------------------------------
+// include-hygiene
+// ---------------------------------------------------------------------------
+
+TEST(IncludeHygiene, FlagsMissingPragmaOnceAndUsingNamespace) {
+  const RunResult r = run_lint(fixture_args("src/core/hygiene_bad.hpp"));
+  EXPECT_EQ(r.exit_code, kViolations) << r.output;
+  EXPECT_TRUE(has_line_starting(
+      r, "src/core/hygiene_bad.hpp:3: include-hygiene:"))
+      << r.output;
+  EXPECT_TRUE(has_line_starting(
+      r, "src/core/hygiene_bad.hpp:7: include-hygiene:"))
+      << r.output;
+}
+
+TEST(IncludeHygiene, WellFormedHeaderIsClean) {
+  const RunResult r = run_lint(fixture_args("src/core/hygiene_ok.hpp"));
+  EXPECT_EQ(r.exit_code, kClean) << r.output;
+}
+
+// ---------------------------------------------------------------------------
+// CLI contract
+// ---------------------------------------------------------------------------
+
+TEST(Cli, WholeFixtureTreeReportsEveryViolation) {
+  const RunResult r = run_lint(fixture_args("src"));
+  EXPECT_EQ(r.exit_code, kViolations) << r.output;
+  EXPECT_NE(r.output.find("14 violations"), std::string::npos) << r.output;
+}
+
+TEST(Cli, RuleFilterNarrowsFindings) {
+  const RunResult r = run_lint(fixture_args("--rule no-raw-thread src"));
+  EXPECT_EQ(r.exit_code, kViolations) << r.output;
+  EXPECT_TRUE(has_line_starting(
+      r, "src/sim/raw_thread_bad.cpp:8: no-raw-thread:"))
+      << r.output;
+  EXPECT_EQ(r.output.find("no-nan-compare:"), std::string::npos) << r.output;
+}
+
+TEST(Cli, ListRulesNamesAllFive) {
+  const RunResult r = run_lint("--list-rules");
+  EXPECT_EQ(r.exit_code, kClean) << r.output;
+  for (const char* rule :
+       {"no-nan-compare", "no-nondeterminism", "no-raw-thread",
+        "pool-serial-guard", "include-hygiene"}) {
+    EXPECT_NE(r.output.find(rule), std::string::npos) << r.output;
+  }
+}
+
+TEST(Cli, MissingPathExitsUsage) {
+  const RunResult r = run_lint(fixture_args("no/such/dir.cpp"));
+  EXPECT_EQ(r.exit_code, kUsage) << r.output;
+}
+
+TEST(Cli, UnknownRuleExitsUsage) {
+  const RunResult r = run_lint(fixture_args("--rule no-such-rule src"));
+  EXPECT_EQ(r.exit_code, kUsage) << r.output;
+}
+
+}  // namespace

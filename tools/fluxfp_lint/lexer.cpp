@@ -1,0 +1,270 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fluxfp::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_cont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuators, longest first so max-munch works. `::` in
+/// particular must stay one token or every qualified name would split.
+const char* kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "==", "!=", "<=", ">=", "&&", "||",
+    "<<", ">>", "->", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=", "^=", ".*",
+};
+
+/// Parses `fluxfp-lint: allow(rule-a, rule-b)` out of a comment body.
+/// Returns the rules named, empty if the comment is not a suppression.
+std::set<std::string> parse_allow(const std::string& comment) {
+  std::set<std::string> rules;
+  const std::string key = "fluxfp-lint:";
+  std::size_t at = comment.find(key);
+  if (at == std::string::npos) {
+    return rules;
+  }
+  std::size_t p = at + key.size();
+  while (p < comment.size() && std::isspace(static_cast<unsigned char>(comment[p]))) {
+    ++p;
+  }
+  const std::string verb = "allow(";
+  if (comment.compare(p, verb.size(), verb) != 0) {
+    return rules;
+  }
+  p += verb.size();
+  const std::size_t close = comment.find(')', p);
+  if (close == std::string::npos) {
+    return rules;
+  }
+  std::string name;
+  for (std::size_t i = p; i <= close; ++i) {
+    const char c = comment[i];
+    if (c == ',' || c == ')') {
+      if (!name.empty()) {
+        rules.insert(name);
+      }
+      name.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      name += c;
+    }
+  }
+  return rules;
+}
+
+}  // namespace
+
+LexedFile lex(const std::string& path, const std::string& text) {
+  LexedFile out;
+  out.path = path;
+
+  // Lines that carry at least one token; standalone suppression comments
+  // are re-targeted to the next such line after the main scan.
+  std::set<int> token_lines;
+  // (line, rules, had_tokens_before_comment_on_line)
+  struct PendingAllow {
+    int line;
+    std::set<std::string> rules;
+    bool trailing;
+  };
+  std::vector<PendingAllow> pending;
+
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  int line = 1;
+
+  auto push = [&](TokKind kind, std::string s) {
+    token_lines.insert(line);
+    out.tokens.push_back(Token{kind, std::move(s), line});
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && (text[i + 1] == '/' || text[i + 1] == '*')) {
+      const int start_line = line;
+      const bool trailing = token_lines.count(line) > 0;
+      std::string body;
+      if (text[i + 1] == '/') {
+        i += 2;
+        while (i < n && text[i] != '\n') {
+          body += text[i++];
+        }
+      } else {
+        i += 2;
+        while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+          if (text[i] == '\n') {
+            ++line;
+          }
+          body += text[i++];
+        }
+        i = (i + 1 < n) ? i + 2 : n;
+      }
+      std::set<std::string> rules = parse_allow(body);
+      if (!rules.empty()) {
+        pending.push_back({start_line, std::move(rules), trailing});
+      }
+      continue;
+    }
+    // Preprocessor directive: swallow the (possibly continued) line.
+    if (c == '#') {
+      std::string directive;
+      const int start_line = line;
+      while (i < n) {
+        if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
+          i += 2;
+          ++line;
+          directive += ' ';
+          continue;
+        }
+        if (text[i] == '\n') {
+          break;
+        }
+        // Strip trailing // comment inside the directive.
+        if (text[i] == '/' && i + 1 < n && text[i + 1] == '/') {
+          while (i < n && text[i] != '\n') {
+            ++i;
+          }
+          break;
+        }
+        directive += text[i++];
+      }
+      token_lines.insert(start_line);
+      out.tokens.push_back(Token{TokKind::kPreproc, directive, start_line});
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && text[j] != '(') {
+        delim += text[j++];
+      }
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = text.find(closer, j);
+      std::string body = text.substr(j + 1, end == std::string::npos
+                                                ? std::string::npos
+                                                : end - j - 1);
+      push(TokKind::kString, body);
+      for (char b : body) {
+        if (b == '\n') {
+          ++line;
+        }
+      }
+      i = (end == std::string::npos) ? n : end + closer.size();
+      continue;
+    }
+    // String / char literals.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::string body;
+      ++i;
+      while (i < n && text[i] != quote) {
+        if (text[i] == '\\' && i + 1 < n) {
+          body += text[i];
+          body += text[i + 1];
+          i += 2;
+          continue;
+        }
+        if (text[i] == '\n') {
+          // Unterminated literal; bail to keep line counts right.
+          break;
+        }
+        body += text[i++];
+      }
+      if (i < n && text[i] == quote) {
+        ++i;
+      }
+      push(TokKind::kString, body);
+      continue;
+    }
+    // Identifiers / keywords.
+    if (ident_start(c)) {
+      std::string s;
+      while (i < n && ident_cont(text[i])) {
+        s += text[i++];
+      }
+      push(TokKind::kIdent, s);
+      continue;
+    }
+    // Numbers (incl. hex, digit separators, floats).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      std::string s;
+      while (i < n && (ident_cont(text[i]) || text[i] == '.' ||
+                       text[i] == '\'' ||
+                       ((text[i] == '+' || text[i] == '-') && !s.empty() &&
+                        (s.back() == 'e' || s.back() == 'E' ||
+                         s.back() == 'p' || s.back() == 'P')))) {
+        s += text[i++];
+      }
+      push(TokKind::kNumber, s);
+      continue;
+    }
+    // Punctuation, max-munch.
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      const std::size_t len = std::char_traits<char>::length(p);
+      if (text.compare(i, len, p) == 0) {
+        push(TokKind::kPunct, p);
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      push(TokKind::kPunct, std::string(1, c));
+      ++i;
+    }
+  }
+
+  // Attach suppressions: trailing comments bind to their own line;
+  // standalone comments bind to the next line that has tokens.
+  for (PendingAllow& pa : pending) {
+    int target = pa.line;
+    if (!pa.trailing) {
+      auto it = token_lines.upper_bound(pa.line);
+      if (it != token_lines.end()) {
+        target = *it;
+      }
+    }
+    out.allows[target].insert(pa.rules.begin(), pa.rules.end());
+    // A suppression also covers its own line (multi-line statements).
+    if (target != pa.line) {
+      out.allows[pa.line].insert(pa.rules.begin(), pa.rules.end());
+    }
+  }
+  return out;
+}
+
+LexedFile lex_file(const std::string& path, const std::string& display_path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("fluxfp-lint: cannot read " + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return lex(display_path, ss.str());
+}
+
+}  // namespace fluxfp::lint

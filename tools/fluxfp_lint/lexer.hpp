@@ -1,0 +1,50 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fluxfp::lint {
+
+/// Token categories the rules care about. Comments never become tokens —
+/// they are routed to the suppression table instead — and a whole
+/// preprocessor line collapses into one Preproc token so that, e.g.,
+/// `#include <unordered_map>` cannot masquerade as a container
+/// declaration.
+enum class TokKind {
+  kIdent,
+  kNumber,
+  kString,   // string or char literal, text excludes quotes
+  kPunct,    // multi-char operators are max-munched: ::, ==, !=, ->, ...
+  kPreproc,  // full directive line, text starts with '#'
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;  // 1-based
+};
+
+/// One lexed translation unit plus the side tables rules need.
+struct LexedFile {
+  std::string path;  // as given to lex_file (repo-relative in practice)
+  std::vector<Token> tokens;
+
+  /// line -> rule names allowed on that line via
+  ///   // fluxfp-lint: allow(rule[, rule...]) -- optional justification
+  /// A suppression comment standing alone on its line applies to the next
+  /// line that carries tokens; a trailing comment applies to its own line.
+  std::map<int, std::set<std::string>> allows;
+};
+
+/// Lexes C++ source text. The lexer is deliberately approximate (no
+/// preprocessing, no template disambiguation) but handles comments,
+/// string/char literals including raw strings, and digit separators, so
+/// rule matching never fires inside a literal or comment.
+LexedFile lex(const std::string& path, const std::string& text);
+
+/// Reads and lexes a file. Throws std::runtime_error if unreadable.
+LexedFile lex_file(const std::string& path, const std::string& display_path);
+
+}  // namespace fluxfp::lint

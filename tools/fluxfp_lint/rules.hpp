@@ -1,0 +1,44 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace fluxfp::lint {
+
+/// One finding, printed as `path:line: rule: message`.
+struct Violation {
+  std::string path;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Cross-file state: rules that need to know what *other* files declared.
+/// Built in a first pass over every scanned file.
+struct GlobalCtx {
+  /// Variable / member names declared anywhere with an
+  /// std::unordered_{map,set,multimap,multiset} type. Range-for loops over
+  /// these names are order-nondeterministic wherever they appear.
+  std::set<std::string> unordered_names;
+};
+
+/// Per-run tally of inline suppressions actually exercised, keyed by rule.
+using SuppressionTally = std::map<std::string, int>;
+
+/// All rule names, in report order.
+const std::vector<std::string>& rule_names();
+
+/// First pass: harvest declarations from one file into the global context.
+void collect_declarations(const LexedFile& file, GlobalCtx& ctx);
+
+/// Second pass: run every rule over one file. Violations on lines carrying
+/// a matching `// fluxfp-lint: allow(rule)` are counted into `used`
+/// instead of reported.
+void check_file(const LexedFile& file, const GlobalCtx& ctx,
+                std::vector<Violation>& out, SuppressionTally& used);
+
+}  // namespace fluxfp::lint
