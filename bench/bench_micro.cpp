@@ -20,6 +20,10 @@
 #include "stream/event_queue.hpp"
 #include "stream/manager.hpp"
 
+#if defined(FLUXFP_OBS_ENABLED)
+#include "obs/obs.hpp"
+#endif
+
 namespace {
 
 using namespace fluxfp;
@@ -238,30 +242,33 @@ void BM_EventIngest(benchmark::State& state) {
 BENCHMARK(BM_EventIngest);
 
 // One streaming service run (8 sessions x 4 epochs over 90 sniffers) at
-// 1/2/4/8 workers. The parallelism axis is sessions — per-session results
-// are bit-identical across the worker counts; only wall-clock should move
-// (it cannot on a single-core machine; see BENCH_micro.json notes).
-void BM_StreamEpoch(benchmark::State& state) {
-  const std::size_t workers = static_cast<std::size_t>(state.range(0));
-  constexpr std::size_t kSessions = 8;
-  constexpr int kRounds = 4;
-  static const core::FluxModel model(field(), 1.2);
+// Shared fixture for the stream benchmarks: 8 sessions x 4 rounds over 90
+// sniffers, merged into one interleaved event stream.
+constexpr std::size_t kStreamSessions = 8;
+constexpr int kStreamRounds = 4;
+
+const std::vector<std::size_t>& stream_sniffers() {
   static const std::vector<std::size_t> sniffers = [] {
     geom::Rng rng(14);
     return sim::sample_nodes(graph().size(), 90, rng);
   }();
+  return sniffers;
+}
+
+const std::vector<stream::FluxEvent>& stream_events() {
   static const std::vector<stream::FluxEvent> events = [] {
     std::vector<std::vector<stream::FluxEvent>> streams;
-    for (std::uint32_t u = 0; u < kSessions; ++u) {
+    for (std::uint32_t u = 0; u < kStreamSessions; ++u) {
       geom::Rng rng(15 + u);
       const sim::FluxEngine engine(graph());
       std::vector<stream::FluxEvent> mine;
-      for (int round = 0; round < kRounds; ++round) {
+      for (int round = 0; round < kStreamRounds; ++round) {
         const std::vector<sim::Collection> window = {
             {0, geom::uniform_in_field(field(), rng), 2.0}};
         const net::FluxMap flux = engine.measure(window, rng);
         const auto burst = stream::window_events(
-            graph(), flux, sniffers, u, static_cast<std::uint32_t>(round),
+            graph(), flux, stream_sniffers(), u,
+            static_cast<std::uint32_t>(round),
             static_cast<double>(round) + 0.01 * u);
         mine.insert(mine.end(), burst.begin(), burst.end());
       }
@@ -269,28 +276,62 @@ void BM_StreamEpoch(benchmark::State& state) {
     }
     return stream::merge_by_time(streams);
   }();
+  return events;
+}
+
+/// One full replay of the fixture stream through a fresh TrackerManager.
+std::uint64_t run_stream_epochs(std::size_t workers) {
+  static const core::FluxModel model(field(), 1.2);
   stream::StreamTrackerConfig tcfg;
   tcfg.smc.num_predictions = 200;
-  tcfg.expected_readings = sniffers.size();
+  tcfg.expected_readings = stream_sniffers().size();
+  stream::ManagerConfig mcfg;
+  mcfg.workers = workers;
+  stream::TrackerManager manager(mcfg);
+  for (std::uint32_t u = 0; u < kStreamSessions; ++u) {
+    manager.add_session(
+        u, stream::StreamTracker(model, graph(), stream_sniffers(), 1, tcfg,
+                                 100 + u));
+  }
+  manager.start();
+  for (const stream::FluxEvent& e : stream_events()) {
+    manager.push(e);
+  }
+  manager.finish();
+  return manager.stats().epochs_fired;
+}
+
+// 1/2/4/8 workers. The parallelism axis is sessions — per-session results
+// are bit-identical across the worker counts; only wall-clock should move
+// (it cannot on a single-core machine; see BENCH_micro.json notes).
+void BM_StreamEpoch(benchmark::State& state) {
+  const std::size_t workers = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
-    stream::ManagerConfig mcfg;
-    mcfg.workers = workers;
-    stream::TrackerManager manager(mcfg);
-    for (std::uint32_t u = 0; u < kSessions; ++u) {
-      manager.add_session(u, stream::StreamTracker(model, graph(), sniffers,
-                                                   1, tcfg, 100 + u));
-    }
-    manager.start();
-    for (const stream::FluxEvent& e : events) {
-      manager.push(e);
-    }
-    manager.finish();
-    benchmark::DoNotOptimize(manager.stats().epochs_fired);
+    benchmark::DoNotOptimize(run_stream_epochs(workers));
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          kSessions * kRounds);
+                          kStreamSessions * kStreamRounds);
 }
 BENCHMARK(BM_StreamEpoch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// Arg(0) = obs runtime-disabled, Arg(1) = obs recording. Same binary, same
+// workload as BM_StreamEpoch at 2 workers: the pair quantifies the cost of
+// the instrumentation macros on the hottest path. The acceptance bar is
+// under 2% delta; with FLUXFP_OBS=OFF the macros compile away entirely and
+// this benchmark is not built.
+#if defined(FLUXFP_OBS_ENABLED)
+void BM_ObsOverhead(benchmark::State& state) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(state.range(0) != 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_stream_epochs(2));
+  }
+  obs::set_enabled(was_enabled);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kStreamSessions * kStreamRounds);
+}
+BENCHMARK(BM_ObsOverhead)->Arg(0)->Arg(1)->UseRealTime();
+#endif
 
 void BM_Hungarian(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

@@ -52,3 +52,29 @@ cmake --build "$build_dir" --target bench_micro -j "$(nproc)"
   "$@"
 
 echo "Wrote $repo_root/BENCH_micro.json"
+
+# Surface the observability-overhead delta recorded in the baseline:
+# BM_ObsOverhead/0 (obs disabled) vs BM_ObsOverhead/1 (obs recording) run
+# the BM_StreamEpoch workload in the same binary, so their ratio is the
+# instrumentation cost on the hottest path. The acceptance bar is < 2%.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$repo_root/BENCH_micro.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+times = {
+    b["name"]: b["real_time"]
+    for b in report.get("benchmarks", [])
+    if b["name"].startswith("BM_ObsOverhead")
+}
+off = times.get("BM_ObsOverhead/0/real_time")
+on = times.get("BM_ObsOverhead/1/real_time")
+if off and on:
+    delta = 100.0 * (on - off) / off
+    print(f"obs overhead: off {off:.0f}ns  on {on:.0f}ns  delta {delta:+.2f}%")
+else:
+    print("obs overhead: BM_ObsOverhead not in this run (FLUXFP_OBS=OFF?)")
+EOF
+fi

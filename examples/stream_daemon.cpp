@@ -10,8 +10,11 @@
 //
 // Run: ./stream_daemon [--sessions N] [--rounds R] [--workers W]
 //                      [--speed S] [--seed X] [--trace PATH] [--faulty]
+//                      [--metrics]
 //   --speed 0 (default) replays as fast as the service accepts;
 //   --speed 1 is real time, 8 is 8x real time.
+//   --metrics dumps the Prometheus text exposition of every metric the
+//   run recorded (requires a build with FLUXFP_OBS=ON).
 
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +35,10 @@
 #include "stream/manager.hpp"
 #include "stream/trace_io.hpp"
 
+#if defined(FLUXFP_OBS_ENABLED)
+#include "obs/obs.hpp"
+#endif
+
 int main(int argc, char** argv) {
   using namespace fluxfp;
 
@@ -42,6 +49,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   std::string trace_path = "stream_daemon.trace";
   bool faulty = false;
+  bool metrics = false;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -64,6 +72,8 @@ int main(int argc, char** argv) {
       trace_path = next("--trace");
     } else if (!std::strcmp(argv[i], "--faulty")) {
       faulty = true;
+    } else if (!std::strcmp(argv[i], "--metrics")) {
+      metrics = true;
     } else {
       std::fprintf(stderr, "unknown option %s\n", argv[i]);
       return 2;
@@ -170,6 +180,15 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(ss.late),
                 static_cast<unsigned long long>(ss.forced_closes),
                 errors.empty() ? -1.0 : numeric::mean(errors));
+  }
+
+  if (metrics) {
+#if defined(FLUXFP_OBS_ENABLED)
+    std::puts("\n# metrics (Prometheus text exposition)");
+    std::fputs(obs::MetricsRegistry::global().export_text().c_str(), stdout);
+#else
+    std::puts("\nmetrics: this binary was built with FLUXFP_OBS=OFF");
+#endif
   }
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "core/flux_model.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace fluxfp::core {
@@ -13,6 +14,13 @@ FluxModel::FluxModel(const geom::Field& field, double d_min)
 }
 
 double FluxModel::shape(geom::Vec2 sink, geom::Vec2 node) const {
+  // A NaN/inf coordinate would flow through distance() and the boundary
+  // ray into a NaN shape value, which SparseObjective folds into every fit
+  // it touches without any error surfacing. Refuse it at the boundary.
+  if (!std::isfinite(sink.x) || !std::isfinite(sink.y) ||
+      !std::isfinite(node.x) || !std::isfinite(node.y)) {
+    throw std::invalid_argument("FluxModel::shape: non-finite position");
+  }
   const double d = geom::distance(sink, node);
   // Clamp the sink into the field (candidate positions may sit on the
   // boundary within rounding); boundary_distance_through handles the

@@ -25,7 +25,11 @@ class FluxModel {
 
   /// The unit-stretch "shape" phi(p, q) = (l^2 - d^2) / (2 max(d, d_min)).
   /// Multiply by s (continuous) or s/r (discrete) to get a flux amount.
-  /// Always >= 0 for q inside the field.
+  /// Always >= 0 for q inside the field, and always finite: the d_min clamp
+  /// caps the d -> 0 singularity at l^2 / (2 d_min) — the value returned
+  /// for a node exactly at the sink. Throws std::invalid_argument on
+  /// non-finite coordinates (a NaN position must never reach the objective
+  /// as a silently-NaN column).
   double shape(geom::Vec2 sink, geom::Vec2 node) const;
 
   /// Continuous-model flux (Eq. 3.2): s * shape.

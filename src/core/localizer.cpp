@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "numeric/parallel.hpp"
+#include "obs/instrument.hpp"
 
 namespace fluxfp::core {
 namespace {
@@ -69,7 +70,11 @@ LocalizationResult InstantLocalizer::localize(
   // re-run the search on the reweighted objective. Byzantine sniffers get
   // huge residuals at a near-correct fit, so a round or two of IRLS
   // removes their pull on the position estimates.
+  FLUXFP_OBS_COUNTER_INC("fluxfp_core_localizer_robust_refits_total",
+                         "Localizations that entered IRLS refinement");
   for (int round = 0; round < config_.robust.reweight_rounds; ++round) {
+    FLUXFP_OBS_COUNTER_INC("fluxfp_core_localizer_irls_rounds_total",
+                           "IRLS reweight-and-research rounds run");
     const std::vector<double> r =
         objective.residuals_at(result.positions, result.stretches);
     const SparseObjective weighted =

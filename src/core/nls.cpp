@@ -8,6 +8,7 @@
 #include "numeric/matrix.hpp"
 #include "numeric/nnls.hpp"
 #include "numeric/parallel.hpp"
+#include "obs/instrument.hpp"
 
 namespace fluxfp::core {
 
@@ -67,6 +68,16 @@ void robust_weights(std::span<const double> residuals,
   for (std::size_t i = 0; i < abs_r.size(); ++i) {
     w[i] = abs_r[i] > clip ? clip / abs_r[i] : 1.0;
   }
+#if defined(FLUXFP_OBS_ENABLED)
+  if (obs::enabled()) {
+    std::uint64_t down = 0;
+    for (double wi : w) {
+      down += wi < 1.0 ? 1 : 0;
+    }
+    FLUXFP_OBS_COUNTER_ADD("fluxfp_core_robust_downweighted_total",
+                           "Readings clipped by the Huber weight", down);
+  }
+#endif
 }
 
 SparseObjective::SparseObjective(const FluxModel& model,

@@ -7,6 +7,8 @@
 #include <optional>
 #include <stdexcept>
 
+#include "obs/instrument.hpp"
+
 namespace fluxfp::core {
 
 SmcTracker::SmcTracker(const geom::Field& field, std::size_t num_users,
@@ -134,6 +136,9 @@ SmcStepResult SmcTracker::step(double time, const SparseObjective& raw_objective
   result.stretches.assign(k, 0.0);
   result.best.resize(k);
 
+  FLUXFP_OBS_COUNTER_INC("fluxfp_core_smc_steps_total",
+                         "SMC filtering rounds executed");
+
   // Empty window (including all readings missing): nothing to fit, nobody
   // moves, and divergence counting is suspended — no evidence either way.
   if (raw_objective.measured_norm() < config_.empty_measurement_tol) {
@@ -141,6 +146,8 @@ SmcStepResult SmcTracker::step(double time, const SparseObjective& raw_objective
       result.best[j] = estimate(j);
     }
     result.residual = raw_objective.measured_norm();
+    FLUXFP_OBS_COUNTER_INC("fluxfp_core_smc_empty_windows_total",
+                           "Steps skipped on an all-missing window");
     return result;
   }
 
@@ -315,6 +322,25 @@ SmcStepResult SmcTracker::step(double time, const SparseObjective& raw_objective
       }
     }
     particles_[j] = std::move(next);
+#if defined(FLUXFP_OBS_ENABLED)
+    // Effective sample size 1/sum(w^2) of the refreshed weights: a
+    // degeneracy monitor (ESS -> 1 means one particle carries all mass).
+    // Pure function of the weights, so it stays in the stable export.
+    if (obs::enabled()) {
+      double sum_sq = 0.0;
+      for (const Particle& p : particles_[j]) {
+        sum_sq += p.weight * p.weight;
+      }
+      if (sum_sq > 0.0) {
+        const double ess = 1.0 / sum_sq;
+        FLUXFP_OBS_COUNT_OBSERVE("fluxfp_core_smc_ess",
+                                 "Effective sample size after each update",
+                                 std::llround(ess));
+        FLUXFP_OBS_GAUGE_MAX("fluxfp_core_smc_ess_max",
+                             "Largest effective sample size seen", ess);
+      }
+    }
+#endif
     const bool had_prior_update = t_last_[j] > 0.0;
     t_last_[j] = time;
     result.updated[j] = true;
@@ -342,7 +368,13 @@ SmcStepResult SmcTracker::step(double time, const SparseObjective& raw_objective
                                            objective.measured_norm() ||
                      !any_updated;
     bad_rounds_ = bad ? bad_rounds_ + 1 : 0;
+    if (bad) {
+      FLUXFP_OBS_COUNTER_INC("fluxfp_core_smc_bad_rounds_total",
+                             "Rounds flagged by divergence detection");
+    }
     if (bad_rounds_ >= config_.divergence_rounds) {
+      FLUXFP_OBS_COUNTER_INC("fluxfp_core_smc_recoveries_total",
+                             "Grid-scan re-acquisitions of a lost track");
       reseed_from_grid(time, objective, reps, rep_cols);
       const StretchFit refit = objective.fit(reps);
       result.stretches = refit.stretches;

@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/instrument.hpp"
+
 namespace fluxfp::numeric {
 namespace {
 
@@ -168,6 +170,10 @@ class Pool {
 
 SerialRegionGuard::SerialRegionGuard() : prev_(t_in_parallel_region) {
   t_in_parallel_region = true;
+  // Guard count tracks how often callers opt out of the pool; the number of
+  // guard-holding threads is a worker-layout fact, hence kScheduling.
+  FLUXFP_OBS_COUNTER_INC_SCHED("fluxfp_numeric_serial_region_entries_total",
+                               "SerialRegionGuard scopes entered");
 }
 
 SerialRegionGuard::~SerialRegionGuard() { t_in_parallel_region = prev_; }
@@ -190,7 +196,13 @@ void parallel_for_ranges(
   }
   const std::size_t count = end - begin;
   const std::size_t threads = thread_count();
+  // Total call count is content-driven (stable across layouts); how the
+  // calls split between the inline-serial and pooled paths is not.
+  FLUXFP_OBS_COUNTER_INC("fluxfp_numeric_parallel_calls_total",
+                         "parallel_for regions entered");
   if (threads <= 1 || count == 1 || t_in_parallel_region) {
+    FLUXFP_OBS_COUNTER_INC_SCHED("fluxfp_numeric_parallel_serial_calls_total",
+                                 "Regions degraded to serial inline");
     fn(begin, end);
     return;
   }
@@ -203,6 +215,11 @@ void parallel_for_ranges(
   batch.chunk_count =
       (count + batch.chunk_size - 1) / batch.chunk_size;
   batch.fn = &fn;
+  FLUXFP_OBS_COUNTER_INC_SCHED("fluxfp_numeric_parallel_pooled_calls_total",
+                               "Regions fanned out over the pool");
+  FLUXFP_OBS_COUNTER_ADD_SCHED("fluxfp_numeric_parallel_chunks_total",
+                               "Chunks dispatched to pool workers",
+                               batch.chunk_count);
   // The caller is one of the workers.
   Pool::instance().run(batch, threads - 1);
   if (batch.error) {

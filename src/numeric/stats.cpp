@@ -56,7 +56,20 @@ double percentile(std::span<const double> xs, double p) {
   if (xs.empty() || p < 0.0 || p > 1.0) {
     throw std::invalid_argument("percentile: empty sample or p outside [0,1]");
   }
-  std::vector<double> sorted(xs.begin(), xs.end());
+  // NaN compares false against everything, so sorting a NaN-bearing range
+  // violates std::sort's strict-weak-order contract: the permutation (and
+  // thus every order statistic) would depend on where the NaNs happened to
+  // sit. Rank the finite subset instead.
+  std::vector<double> sorted;
+  sorted.reserve(xs.size());
+  for (double x : xs) {
+    if (!std::isnan(x)) {
+      sorted.push_back(x);
+    }
+  }
+  if (sorted.empty()) {
+    throw std::invalid_argument("percentile: every sample is NaN");
+  }
   std::sort(sorted.begin(), sorted.end());
   const double pos = p * static_cast<double>(sorted.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(pos);

@@ -1,0 +1,92 @@
+#pragma once
+
+// Instrumentation call sites for the hot paths. Compiled out entirely when
+// FLUXFP_OBS is OFF (no obs symbol is referenced, so hot-path libraries do
+// not even link fluxfp_obs); when ON, each macro caches its metric behind a
+// function-local static and pays one relaxed atomic op per hit, skipped
+// when obs::enabled() is false.
+//
+// The name/help arguments must be string literals: the first expansion to
+// run registers the metric, later ones reuse the cached reference.
+
+#if defined(FLUXFP_OBS_ENABLED)
+
+#include <cstdint>
+
+#include "obs/obs.hpp"
+
+#define FLUXFP_OBS_CAT_INNER(a, b) a##b
+#define FLUXFP_OBS_CAT(a, b) FLUXFP_OBS_CAT_INNER(a, b)
+
+/// Adds `n` to a kStable counter.
+#define FLUXFP_OBS_COUNTER_ADD(name, help, n)                                \
+  do {                                                                       \
+    static ::fluxfp::obs::Counter& FLUXFP_OBS_CAT(fluxfp_obs_c_, __LINE__) = \
+        ::fluxfp::obs::MetricsRegistry::global().counter((name), (help));    \
+    if (::fluxfp::obs::enabled()) {                                          \
+      FLUXFP_OBS_CAT(fluxfp_obs_c_, __LINE__).inc((n));                      \
+    }                                                                        \
+  } while (false)
+
+/// Adds `n` to a kScheduling counter (value depends on thread interleaving
+/// or worker layout; excluded from stable exports).
+#define FLUXFP_OBS_COUNTER_ADD_SCHED(name, help, n)                          \
+  do {                                                                       \
+    static ::fluxfp::obs::Counter& FLUXFP_OBS_CAT(fluxfp_obs_c_, __LINE__) = \
+        ::fluxfp::obs::MetricsRegistry::global().counter(                    \
+            (name), (help), ::fluxfp::obs::Determinism::kScheduling);        \
+    if (::fluxfp::obs::enabled()) {                                          \
+      FLUXFP_OBS_CAT(fluxfp_obs_c_, __LINE__).inc((n));                      \
+    }                                                                        \
+  } while (false)
+
+#define FLUXFP_OBS_COUNTER_INC(name, help) \
+  FLUXFP_OBS_COUNTER_ADD(name, help, 1)
+
+#define FLUXFP_OBS_COUNTER_INC_SCHED(name, help) \
+  FLUXFP_OBS_COUNTER_ADD_SCHED(name, help, 1)
+
+/// Observes an integer value into a kStable histogram with count_bounds()
+/// (powers of two, 1..1024) — iteration counts, effective sample sizes.
+#define FLUXFP_OBS_COUNT_OBSERVE(name, help, v)                               \
+  do {                                                                        \
+    static ::fluxfp::obs::Histogram& FLUXFP_OBS_CAT(fluxfp_obs_h_,            \
+                                                    __LINE__) =               \
+        ::fluxfp::obs::MetricsRegistry::global().histogram(                   \
+            (name), (help), ::fluxfp::obs::count_bounds());                   \
+    if (::fluxfp::obs::enabled()) {                                           \
+      FLUXFP_OBS_CAT(fluxfp_obs_h_, __LINE__)                                 \
+          .observe(static_cast<std::uint64_t>(v));                            \
+    }                                                                         \
+  } while (false)
+
+/// Folds a value into a kStable max-gauge (record_max commutes, so worker
+/// threads may race on it without breaking stable exports).
+#define FLUXFP_OBS_GAUGE_MAX(name, help, v)                                \
+  do {                                                                     \
+    static ::fluxfp::obs::Gauge& FLUXFP_OBS_CAT(fluxfp_obs_g_, __LINE__) = \
+        ::fluxfp::obs::MetricsRegistry::global().gauge((name), (help));    \
+    if (::fluxfp::obs::enabled()) {                                        \
+      FLUXFP_OBS_CAT(fluxfp_obs_g_, __LINE__).record_max((v));             \
+    }                                                                      \
+  } while (false)
+
+/// Declares a scoped span `var` timing the rest of the enclosing block into
+/// a kScheduling latency histogram (bounds 1us..1s).
+#define FLUXFP_OBS_SPAN(var, name, help)                                      \
+  static ::fluxfp::obs::Histogram& FLUXFP_OBS_CAT(var, _hist) =               \
+      ::fluxfp::obs::MetricsRegistry::global().latency_histogram((name),      \
+                                                                 (help));     \
+  const ::fluxfp::obs::ObsSpan var(FLUXFP_OBS_CAT(var, _hist))
+
+#else  // !FLUXFP_OBS_ENABLED
+
+#define FLUXFP_OBS_COUNTER_ADD(name, help, n) ((void)0)
+#define FLUXFP_OBS_COUNTER_ADD_SCHED(name, help, n) ((void)0)
+#define FLUXFP_OBS_COUNTER_INC(name, help) ((void)0)
+#define FLUXFP_OBS_COUNTER_INC_SCHED(name, help) ((void)0)
+#define FLUXFP_OBS_COUNT_OBSERVE(name, help, v) ((void)0)
+#define FLUXFP_OBS_GAUGE_MAX(name, help, v) ((void)0)
+#define FLUXFP_OBS_SPAN(var, name, help) ((void)0)
+
+#endif  // FLUXFP_OBS_ENABLED

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/instrument.hpp"
+
 namespace fluxfp::stream {
 
 std::vector<FluxEvent> merge_by_time(
@@ -41,6 +43,7 @@ EventQueue::EventQueue(std::size_t capacity, QueuePolicy policy)
 }
 
 bool EventQueue::push(const FluxEvent& event) {
+  bool evicted = false;
   std::unique_lock<std::mutex> lock(mutex_);
   if (policy_ == QueuePolicy::kBlock) {
     not_full_.wait(lock,
@@ -55,6 +58,7 @@ bool EventQueue::push(const FluxEvent& event) {
     if (items_.size() >= capacity_) {
       items_.pop_front();
       ++stats_.dropped;
+      evicted = true;
     }
   }
   items_.push_back(event);
@@ -62,6 +66,15 @@ bool EventQueue::push(const FluxEvent& event) {
   stats_.max_depth = std::max(stats_.max_depth, items_.size());
   lock.unlock();
   not_empty_.notify_one();
+  // Obs mirrors of QueueStats, recorded outside the critical section.
+  // Accepted pushes are content-driven (stable); evictions depend on how
+  // fast the consumer drains, i.e. on scheduling.
+  FLUXFP_OBS_COUNTER_INC("fluxfp_stream_queue_pushed_total",
+                         "Events accepted by ingest queues");
+  if (evicted) {
+    FLUXFP_OBS_COUNTER_INC_SCHED("fluxfp_stream_queue_dropped_total",
+                                 "Oldest-event evictions under kDropOldest");
+  }
   return true;
 }
 
@@ -76,6 +89,8 @@ bool EventQueue::pop(FluxEvent& out) {
   ++stats_.popped;
   lock.unlock();
   not_full_.notify_one();
+  FLUXFP_OBS_COUNTER_INC("fluxfp_stream_queue_popped_total",
+                         "Events handed to consumers");
   return true;
 }
 
@@ -89,6 +104,8 @@ bool EventQueue::try_pop(FluxEvent& out) {
   ++stats_.popped;
   lock.unlock();
   not_full_.notify_one();
+  FLUXFP_OBS_COUNTER_INC("fluxfp_stream_queue_popped_total",
+                         "Events handed to consumers");
   return true;
 }
 

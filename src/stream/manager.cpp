@@ -3,6 +3,13 @@
 #include <stdexcept>
 
 #include "numeric/parallel.hpp"
+#include "obs/instrument.hpp"
+
+#if defined(FLUXFP_OBS_ENABLED)
+#include <string>
+
+#include "obs/obs.hpp"
+#endif
 
 namespace fluxfp::stream {
 
@@ -48,6 +55,28 @@ void TrackerManager::start() {
         std::make_unique<EventQueue>(config_.queue_capacity, config_.policy));
   }
   started_ = true;
+#if defined(FLUXFP_OBS_ENABLED)
+  // Shard gauges carry the worker index in the name, so the metric SET
+  // depends on the layout — everything here is tagged kScheduling except
+  // the layout-independent session total. set() is safe: start() runs on
+  // one thread, before any worker exists.
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.gauge("fluxfp_stream_sessions", "Registered tracking sessions")
+        .set(static_cast<double>(sessions_.size()));
+    reg.gauge("fluxfp_stream_workers", "Worker threads sessions shard over",
+              obs::Determinism::kScheduling)
+        .set(static_cast<double>(workers));
+    for (std::size_t w = 0; w < workers; ++w) {
+      // Round-robin pinning: worker w owns sessions w, w+workers, ...
+      const std::size_t owned = (sessions_.size() - w - 1) / workers + 1;
+      reg.gauge("fluxfp_stream_shard" + std::to_string(w) + "_sessions",
+                "Sessions pinned to this shard",
+                obs::Determinism::kScheduling)
+          .set(static_cast<double>(owned));
+    }
+  }
+#endif
   start_time_ = std::chrono::steady_clock::now();
   threads_.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
@@ -62,6 +91,8 @@ bool TrackerManager::push(const FluxEvent& event) {
   const auto it = user_index_.find(event.user);
   if (it == user_index_.end()) {
     unknown_user_.fetch_add(1, std::memory_order_relaxed);
+    FLUXFP_OBS_COUNTER_INC("fluxfp_stream_unknown_user_total",
+                           "Pushes for sessions never registered");
     return false;
   }
   return queues_[it->second % queues_.size()]->push(event);
@@ -113,6 +144,18 @@ void TrackerManager::finish() {
     final_stats_.events_processed += qs.popped;
     final_stats_.events_dropped += qs.dropped;
   }
+#if defined(FLUXFP_OBS_ENABLED)
+  if (obs::enabled()) {
+    for (std::size_t w = 0; w < queues_.size(); ++w) {
+      obs::MetricsRegistry::global()
+          .gauge("fluxfp_stream_shard" + std::to_string(w) +
+                     "_queue_max_depth",
+                 "High-water mark of this shard's ingest backlog",
+                 obs::Determinism::kScheduling)
+          .set(static_cast<double>(queues_[w]->stats().max_depth));
+    }
+  }
+#endif
   final_stats_.unknown_user = unknown_user_.load(std::memory_order_relaxed);
   for (const Session& s : sessions_) {
     const StreamStats& st = s.tracker.stats();

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "obs/instrument.hpp"
+
 namespace fluxfp::stream {
 
 namespace {
@@ -71,6 +73,8 @@ std::vector<EpochResult> StreamTracker::on_event(const FluxEvent& event) {
   const auto slot_it = node_slot_.find(event.node);
   if (slot_it == node_slot_.end()) {
     ++stats_.unknown_node;
+    FLUXFP_OBS_COUNTER_INC("fluxfp_stream_fold_unknown_node_total",
+                           "Events from nodes outside the sniffer set");
     collect_ripe(fired);
     return fired;
   }
@@ -80,8 +84,16 @@ std::vector<EpochResult> StreamTracker::on_event(const FluxEvent& event) {
     // drop it — the paper's asynchronous updating tolerates the slot
     // simply having carried less evidence.
     ++stats_.late;
+    FLUXFP_OBS_COUNTER_INC("fluxfp_stream_fold_late_total",
+                           "Events for an already-fired epoch, dropped");
     collect_ripe(fired);
     return fired;
+  }
+  if (!open_.empty() && open_.rbegin()->first > event.epoch) {
+    ++stats_.out_of_order;
+    FLUXFP_OBS_COUNTER_INC(
+        "fluxfp_stream_fold_out_of_order_total",
+        "Events folded while a newer epoch window was already open");
   }
 
   Window& w = open_[event.epoch];
@@ -92,6 +104,8 @@ std::vector<EpochResult> StreamTracker::on_event(const FluxEvent& event) {
   const std::size_t slot = slot_it->second;
   if (w.seen[slot]) {
     ++stats_.duplicates;  // keep the latest report for the slot
+    FLUXFP_OBS_COUNTER_INC("fluxfp_stream_fold_duplicate_total",
+                           "Re-reports of a (epoch, node) slot");
   } else {
     w.seen[slot] = true;
     ++w.seen_count;
@@ -99,6 +113,8 @@ std::vector<EpochResult> StreamTracker::on_event(const FluxEvent& event) {
   w.readings[slot] = event.reading;
   w.newest_time = std::max(w.newest_time, event.time);
   ++stats_.events;
+  FLUXFP_OBS_COUNTER_INC("fluxfp_stream_fold_events_total",
+                         "Events folded into epoch windows");
 
   collect_ripe(fired);
   return fired;
@@ -116,6 +132,8 @@ void StreamTracker::collect_ripe(std::vector<EpochResult>& out) {
     }
     if (crowded && !complete && !lapsed) {
       ++stats_.forced_closes;
+      FLUXFP_OBS_COUNTER_INC("fluxfp_stream_forced_closes_total",
+                             "Windows force-closed by max_open_epochs");
     }
     out.push_back(fire_oldest());
   }
@@ -135,14 +153,18 @@ EpochResult StreamTracker::fire_oldest() {
   const double bump = 1e-9 * (1.0 + std::abs(last_step_time_));
   result.time = std::max(window.newest_time, last_step_time_ + bump);
 
-  const auto t0 = std::chrono::steady_clock::now();
-  const core::SparseObjective objective(model_, sniffer_positions_,
-                                        std::move(window.readings));
-  result.readings = objective.sample_count();
-  result.step = smc_.step(result.time, objective, rng_);
-  const auto t1 = std::chrono::steady_clock::now();
-  result.filter_micros =
-      std::chrono::duration<double, std::micro>(t1 - t0).count();
+  {
+    FLUXFP_OBS_SPAN(step_span, "fluxfp_stream_epoch_filter_micros",
+                    "Wall-clock cost of one epoch window's SMC step");
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::SparseObjective objective(model_, sniffer_positions_,
+                                          std::move(window.readings));
+    result.readings = objective.sample_count();
+    result.step = smc_.step(result.time, objective, rng_);
+    const auto t1 = std::chrono::steady_clock::now();
+    result.filter_micros =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+  }
 
   result.estimates.resize(smc_.num_users());
   for (std::size_t u = 0; u < smc_.num_users(); ++u) {
@@ -153,6 +175,8 @@ EpochResult StreamTracker::fire_oldest() {
   fired_any_ = true;
   last_fired_epoch_ = epoch;
   ++stats_.epochs_fired;
+  FLUXFP_OBS_COUNTER_INC("fluxfp_stream_epochs_fired_total",
+                         "Epoch windows fired through the SMC");
   stats_.filter_micros.push_back(result.filter_micros);
   return result;
 }

@@ -48,6 +48,9 @@ struct StreamStats {
   std::uint64_t events = 0;        ///< events folded into windows
   std::uint64_t duplicates = 0;    ///< re-reports of a (epoch, node) slot
   std::uint64_t late = 0;          ///< events for an already-fired epoch
+  /// Events folded while a newer epoch's window was already open — the
+  /// reordering that multi-window accumulation exists to absorb.
+  std::uint64_t out_of_order = 0;
   std::uint64_t unknown_node = 0;  ///< events from nodes not in the set
   std::uint64_t epochs_fired = 0;
   std::uint64_t forced_closes = 0;       ///< closed by max_open_epochs

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <random>
+#include <stdexcept>
 
 namespace fluxfp::core {
 namespace {
@@ -47,6 +50,36 @@ TEST(FluxModel, ClampsNearSink) {
   const double l = 15.0;  // ray from center through (16,15) exits at x=30
   EXPECT_DOUBLE_EQ(m.shape({15, 15}, {16, 15}),
                    (l * l - d * d) / (2.0 * 2.0));
+}
+
+TEST(FluxModel, FiniteCapAtTheSinkItself) {
+  // d -> 0 is the model's singularity; the d_min clamp must cap it at
+  // l^2 / (2 d_min) — here l = 15 (center of a 30x30 field), d_min = 1.2,
+  // cap = 93.75 — with a continuous approach from d = epsilon.
+  const geom::RectField f(30.0, 30.0);
+  const FluxModel m(f, 1.2);
+  const double cap = 15.0 * 15.0 / (2.0 * 1.2);
+  EXPECT_DOUBLE_EQ(m.shape({15, 15}, {15, 15}), cap);
+  const double eps = 1e-12;
+  const double near = m.shape({15, 15}, {15 + eps, 15});
+  EXPECT_TRUE(std::isfinite(near));
+  EXPECT_NEAR(near, cap, 1e-6);
+}
+
+TEST(FluxModel, RejectsNonFinitePositions) {
+  // A NaN coordinate used to flow straight through into a NaN shape value,
+  // which SparseObjective would fold into every fit without complaint.
+  const geom::RectField f(30.0, 30.0);
+  const FluxModel m(f, 1.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(m.shape({nan, 15}, {20, 15}), std::invalid_argument);
+  EXPECT_THROW(m.shape({15, 15}, {20, nan}), std::invalid_argument);
+  EXPECT_THROW(m.shape({inf, 15}, {20, 15}), std::invalid_argument);
+  EXPECT_THROW(m.continuous_flux({15, nan}, {20, 15}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(m.discrete_flux({15, 15}, {inf, 15}, 1.0, 0.5),
+               std::invalid_argument);
 }
 
 TEST(FluxModel, DegenerateNodeAtSink) {

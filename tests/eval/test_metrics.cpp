@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 
 namespace fluxfp::eval {
 namespace {
@@ -86,6 +87,25 @@ TEST(Metrics, SummarizeLatencies) {
   const LatencySummary empty = summarize_latencies(std::vector<double>{});
   EXPECT_EQ(empty.count, 0u);
   EXPECT_DOUBLE_EQ(empty.p99, 0.0);
+}
+
+TEST(Metrics, SummarizeLatenciesDropsNanSamples) {
+  // A kMissingReading leaking into a latency feed is NaN; before the
+  // filter it silently corrupted the percentile sort (the result depended
+  // on where the NaNs sat). Only the finite subset {1,2,3,5} may count.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> samples{3.0, nan, 1.0, 2.0, nan, 5.0};
+  const LatencySummary s = summarize_latencies(samples);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.75);
+  EXPECT_DOUBLE_EQ(s.p50, 2.5);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+
+  const LatencySummary all_nan =
+      summarize_latencies(std::vector<double>{nan, nan});
+  EXPECT_EQ(all_nan.count, 0u);
+  EXPECT_DOUBLE_EQ(all_nan.p50, 0.0);
+  EXPECT_DOUBLE_EQ(all_nan.max, 0.0);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -45,6 +46,38 @@ TEST(Stats, PercentileUnsortedInput) {
 TEST(Stats, PercentileRejectsBadInput) {
   EXPECT_THROW(percentile(std::vector<double>{}, 0.5), std::invalid_argument);
   EXPECT_THROW(percentile(std::vector<double>{1.0}, 1.5),
+               std::invalid_argument);
+}
+
+TEST(Stats, PercentileSmallSamples) {
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 1.0), 7.0);
+  const std::vector<double> two{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(two, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(two, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(two, 0.99), 2.98);
+  EXPECT_DOUBLE_EQ(percentile(two, 1.0), 3.0);
+}
+
+TEST(Stats, PercentileIgnoresNanWhereverItSits) {
+  // NaN violates std::sort's strict weak order: before the filter the
+  // result depended on where the NaNs sat in the input (these two inputs
+  // disagreed). Both must rank the finite subset {1,2,3,5}.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> nan_mid{3.0, nan, 1.0, 2.0, nan, 5.0};
+  const std::vector<double> nan_ends{nan, 1.0, 2.0, 3.0, 5.0, nan};
+  EXPECT_DOUBLE_EQ(percentile(nan_mid, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(nan_ends, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(nan_mid, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(nan_mid, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(median(nan_ends), 2.5);
+}
+
+TEST(Stats, PercentileAllNanThrows) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(percentile(std::vector<double>{nan, nan}, 0.5),
                std::invalid_argument);
 }
 

@@ -4,11 +4,16 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "net/flux.hpp"
+
+#if defined(FLUXFP_OBS_ENABLED)
+#include "obs/obs.hpp"
+#endif
 
 namespace fluxfp::stream {
 namespace {
@@ -99,6 +104,64 @@ TEST(EventQueue, DropOldestEvictsAndCounts) {
   EXPECT_EQ(s.pushed, 7u);
   EXPECT_EQ(s.dropped, 4u);
   EXPECT_EQ(s.popped, 3u);
+}
+
+TEST(EventQueue, StatsSnapshotsStayConsistentUnderConcurrentDrops) {
+  // Regression guard for the kDropOldest drop accounting: a producer
+  // mutates pushed/dropped/max_depth at full speed while this thread
+  // snapshots stats() — under TSan this is the tear/race probe, and the
+  // invariants below catch a snapshot that mixed two states.
+  EventQueue q(8, QueuePolicy::kDropOldest);
+  constexpr std::uint64_t kEvents = 20000;
+#if defined(FLUXFP_OBS_ENABLED)
+  auto& reg = obs::MetricsRegistry::global();
+  obs::Counter& obs_pushed =
+      reg.counter("fluxfp_stream_queue_pushed_total", "");
+  obs::Counter& obs_popped =
+      reg.counter("fluxfp_stream_queue_popped_total", "");
+  obs::Counter& obs_dropped = reg.counter(
+      "fluxfp_stream_queue_dropped_total", "",
+      obs::Determinism::kScheduling);
+  const std::uint64_t pushed0 = obs_pushed.value();
+  const std::uint64_t popped0 = obs_popped.value();
+  const std::uint64_t dropped0 = obs_dropped.value();
+#endif
+  std::atomic<bool> done{false};
+  // fluxfp-lint: allow(no-raw-thread) -- the race under test is a producer
+  // mutating QueueStats while another thread snapshots them.
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kEvents; ++i) {
+      q.push(ev(static_cast<double>(i), static_cast<std::uint32_t>(i % 64)));
+    }
+    done.store(true);
+  });
+  FluxEvent out;
+  std::uint64_t polls = 0;
+  while (!done.load()) {
+    const QueueStats s = q.stats();
+    // Counters are taken under one lock: any snapshot, however racy the
+    // surrounding traffic, must satisfy the queue's conservation laws.
+    ASSERT_LE(s.popped + s.dropped, s.pushed);
+    ASSERT_LE(s.pushed - s.popped - s.dropped, q.capacity());
+    ASSERT_LE(s.max_depth, q.capacity());
+    ++polls;
+    if ((polls & 7u) == 0) {
+      q.try_pop(out);  // keep the consumer half of the protocol alive
+    }
+  }
+  producer.join();
+  while (q.try_pop(out)) {
+  }
+  const QueueStats s = q.stats();
+  EXPECT_EQ(s.pushed, kEvents);
+  EXPECT_EQ(s.popped + s.dropped, s.pushed);
+  EXPECT_GT(s.dropped, 0u);  // capacity 8 vs 20k pushes must evict
+#if defined(FLUXFP_OBS_ENABLED)
+  // The obs mirrors moved in lockstep with the QueueStats they replace.
+  EXPECT_EQ(obs_pushed.value() - pushed0, s.pushed);
+  EXPECT_EQ(obs_popped.value() - popped0, s.popped);
+  EXPECT_EQ(obs_dropped.value() - dropped0, s.dropped);
+#endif
 }
 
 TEST(EventQueue, CloseDrainsThenStops) {

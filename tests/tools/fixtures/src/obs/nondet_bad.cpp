@@ -1,0 +1,18 @@
+// Fixture: src/obs/ is order-sensitive — a metric export folded from an
+// unordered container would break the byte-identical-export guarantee.
+#include <string>
+#include <unordered_map>
+
+namespace fluxfp::obs {
+
+std::unordered_map<std::string, double> gauges_;
+
+std::string export_in_bucket_order() {
+  std::string out;
+  for (const auto& [name, value] : gauges_) {  // line 12: flagged
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  return out;
+}
+
+}  // namespace fluxfp::obs

@@ -142,6 +142,16 @@ TEST(NoNondeterminism, UnorderedIterationOutsideResultBearingDirsIsClean) {
   EXPECT_EQ(r.exit_code, kClean) << r.output;
 }
 
+TEST(NoNondeterminism, ObsDirectoryIsOrderSensitive) {
+  // Metric exports are part of the bit-identical-replay guarantee, so
+  // src/obs/ folds over unordered containers are violations too.
+  const RunResult r = run_lint(fixture_args("src/obs/nondet_bad.cpp"));
+  EXPECT_EQ(r.exit_code, kViolations) << r.output;
+  EXPECT_TRUE(has_line_starting(
+      r, "src/obs/nondet_bad.cpp:12: no-nondeterminism:"))
+      << r.output;
+}
+
 // ---------------------------------------------------------------------------
 // no-raw-thread
 // ---------------------------------------------------------------------------
@@ -210,7 +220,7 @@ TEST(IncludeHygiene, WellFormedHeaderIsClean) {
 TEST(Cli, WholeFixtureTreeReportsEveryViolation) {
   const RunResult r = run_lint(fixture_args("src"));
   EXPECT_EQ(r.exit_code, kViolations) << r.output;
-  EXPECT_NE(r.output.find("14 violations"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("15 violations"), std::string::npos) << r.output;
 }
 
 TEST(Cli, RuleFilterNarrowsFindings) {

@@ -23,11 +23,15 @@ bool is_header(const std::string& path) {
 
 /// Directories where merge/iteration order is result-bearing: the numeric
 /// engine, the streaming runtime, the trackers, and everything that emits
-/// committed artifacts (eval tables, trace files).
+/// committed artifacts (eval tables, trace files). src/obs/ qualifies too:
+/// metric exports are part of the bit-identical-replay guarantee, so their
+/// iteration order must never depend on an unordered container. (obs is
+/// deliberately NOT raw-thread-sanctioned — it observes workers, it does
+/// not own any.)
 bool order_sensitive_dir(const std::string& path) {
   return starts_with(path, "src/numeric/") || starts_with(path, "src/stream/") ||
          starts_with(path, "src/core/") || starts_with(path, "src/eval/") ||
-         starts_with(path, "src/trace/");
+         starts_with(path, "src/trace/") || starts_with(path, "src/obs/");
 }
 
 /// The only places allowed to own raw threads: the pool itself and the
