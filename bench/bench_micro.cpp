@@ -19,6 +19,7 @@
 #include "stream/emit.hpp"
 #include "stream/event_queue.hpp"
 #include "stream/manager.hpp"
+#include "stream/supervisor.hpp"
 
 #if defined(FLUXFP_OBS_ENABLED)
 #include "obs/obs.hpp"
@@ -313,6 +314,43 @@ void BM_StreamEpoch(benchmark::State& state) {
                           kStreamSessions * kStreamRounds);
 }
 BENCHMARK(BM_StreamEpoch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+/// Same workload through the crash-recovery loop at the default checkpoint
+/// cadence — the cost of supervision (journal + periodic quiesce/encode)
+/// on the hot path. Acceptance bar: within 2% of BM_StreamEpoch at the
+/// same worker count. On the single-core reference container run-to-run
+/// noise exceeds that bar; measure the pair with --benchmark_repetitions
+/// and --benchmark_enable_random_interleaving and compare medians.
+void BM_StreamEpochSupervised(benchmark::State& state) {
+  const std::size_t workers = static_cast<std::size_t>(state.range(0));
+  static const core::FluxModel model(field(), 1.2);
+  const auto make_manager = [workers] {
+    stream::StreamTrackerConfig tcfg;
+    tcfg.smc.num_predictions = 200;
+    tcfg.expected_readings = stream_sniffers().size();
+    stream::ManagerConfig mcfg;
+    mcfg.workers = workers;
+    auto manager = std::make_unique<stream::TrackerManager>(mcfg);
+    for (std::uint32_t u = 0; u < kStreamSessions; ++u) {
+      manager->add_session(
+          u, stream::StreamTracker(model, graph(), stream_sniffers(), 1,
+                                   tcfg, 100 + u));
+    }
+    return manager;
+  };
+  for (auto _ : state) {
+    stream::Supervisor sup(make_manager, {});  // default cadence
+    sup.start();
+    for (const stream::FluxEvent& e : stream_events()) {
+      sup.offer(e);
+    }
+    sup.finish();
+    benchmark::DoNotOptimize(sup.stats().checkpoints);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kStreamSessions * kStreamRounds);
+}
+BENCHMARK(BM_StreamEpochSupervised)->Arg(2)->UseRealTime();
 
 // Arg(0) = obs runtime-disabled, Arg(1) = obs recording. Same binary, same
 // workload as BM_StreamEpoch at 2 workers: the pair quantifies the cost of

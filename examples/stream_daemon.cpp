@@ -3,24 +3,36 @@
 // sessions (asynchronous collections, §4.E/§5.C); their sniffer reports
 // become a single interleaved FluxEvent stream, optionally mangled by
 // event-level transport faults (drops / duplicates / stragglers /
-// reordering), recorded to a binary trace, then replayed into a sharded
-// TrackerManager at a configurable speed. Because window deadlines are
-// virtual time, the same trace produces bit-identical estimates at any
-// replay speed and any worker count (under the blocking queue policy).
+// reordering), recorded to a binary trace, then replayed into a sharded,
+// supervised TrackerManager at a configurable speed. Because window
+// deadlines are virtual time, the same trace produces bit-identical
+// estimates at any replay speed and any worker count (under the blocking
+// queue policy).
 //
-// Run: ./stream_daemon [--sessions N] [--rounds R] [--workers W]
-//                      [--speed S] [--seed X] [--trace PATH] [--faulty]
-//                      [--metrics]
-//   --speed 0 (default) replays as fast as the service accepts;
-//   --speed 1 is real time, 8 is 8x real time.
-//   --metrics dumps the Prometheus text exposition of every metric the
-//   run recorded (requires a build with FLUXFP_OBS=ON).
+// Crash recovery recipe (see README "Surviving crashes"): the trace file
+// is the durable journal. With --checkpoint the supervisor periodically
+// snapshots the quiesced service as a FLUXFPC1 image and the daemon
+// records the trace offset the snapshot covers in PATH.pos; a later run
+// with --restore PATH rebuilds the same deployment from the seed,
+// restores the snapshot, skips the already-committed trace prefix, and
+// folds the rest bit-identically to a run that never died.
+//
+// SIGINT/SIGTERM drain cleanly: the replay loop stops, open windows
+// flush, the final snapshot + resume offset are written, --metrics prints
+// once, and the daemon exits 0.
+//
+// Run: ./stream_daemon --help for the full flag list.
 
+#include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/flux_model.hpp"
@@ -33,11 +45,62 @@
 #include "sim/sniffer.hpp"
 #include "stream/emit.hpp"
 #include "stream/manager.hpp"
+#include "stream/supervisor.hpp"
 #include "stream/trace_io.hpp"
 
 #if defined(FLUXFP_OBS_ENABLED)
 #include "obs/obs.hpp"
 #endif
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_signal(int) { g_stop = 1; }
+
+void print_help() {
+  std::puts(
+      "stream_daemon - streaming tracking service demo\n"
+      "\n"
+      "  --sessions N          concurrent tracking sessions (default 4)\n"
+      "  --rounds R            observation rounds per session (default 30)\n"
+      "  --workers W           worker threads (default 2)\n"
+      "  --speed S             replay pacing: 0 = max speed (default),\n"
+      "                        1 = real time, 8 = 8x real time\n"
+      "  --seed X              deployment + mobility seed (default 42)\n"
+      "  --trace PATH          event trace file (default "
+      "stream_daemon.trace)\n"
+      "  --faulty              apply transport faults "
+      "(drop/dup/late/jitter)\n"
+      "  --checkpoint PATH     write FLUXFPC1 snapshots to PATH and the\n"
+      "                        covered trace offset to PATH.pos\n"
+      "  --checkpoint-every N  snapshot cadence in accepted events "
+      "(default 256)\n"
+      "  --restore PATH        resume from PATH (+ PATH.pos): restore the\n"
+      "                        snapshot, skip the committed trace prefix,\n"
+      "                        continue (same seed/flags as the run that\n"
+      "                        wrote it)\n"
+      "  --metrics             print the Prometheus text exposition once "
+      "at exit\n"
+      "  --help                this text\n"
+      "\n"
+      "SIGINT/SIGTERM drain cleanly: replay stops, open windows flush, "
+      "the\n"
+      "final snapshot + resume offset are written, --metrics prints once,\n"
+      "exit status 0.");
+}
+
+bool read_pos_file(const std::string& path, std::uint64_t& out) {
+  std::ifstream in(path);
+  return static_cast<bool>(in >> out);
+}
+
+void write_pos_file(const std::string& path, std::uint64_t pos) {
+  std::ofstream out(path, std::ios::trunc);
+  out << pos << "\n";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace fluxfp;
@@ -48,6 +111,9 @@ int main(int argc, char** argv) {
   double speed = 0.0;
   std::uint64_t seed = 42;
   std::string trace_path = "stream_daemon.trace";
+  std::string checkpoint_path;
+  std::string restore_path;
+  std::size_t checkpoint_every = 256;
   bool faulty = false;
   bool metrics = false;
   for (int i = 1; i < argc; ++i) {
@@ -70,12 +136,21 @@ int main(int argc, char** argv) {
       seed = std::strtoull(next("--seed"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--trace")) {
       trace_path = next("--trace");
+    } else if (!std::strcmp(argv[i], "--checkpoint")) {
+      checkpoint_path = next("--checkpoint");
+    } else if (!std::strcmp(argv[i], "--checkpoint-every")) {
+      checkpoint_every = std::strtoull(next("--checkpoint-every"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--restore")) {
+      restore_path = next("--restore");
     } else if (!std::strcmp(argv[i], "--faulty")) {
       faulty = true;
     } else if (!std::strcmp(argv[i], "--metrics")) {
       metrics = true;
+    } else if (!std::strcmp(argv[i], "--help")) {
+      print_help();
+      return 0;
     } else {
-      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      std::fprintf(stderr, "unknown option %s (try --help)\n", argv[i]);
       return 2;
     }
   }
@@ -84,8 +159,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
   // Shared deployment: one sensor field, one calibrated flux model, one
   // sniffer set — the tracking service watches many users on it at once.
+  // Everything derives from the seed, which is what makes --restore able
+  // to rebuild the deployment a snapshot was taken against.
   geom::Rng rng(seed);
   const geom::RectField field(20.0, 20.0);
   const net::UnitDiskGraph graph =
@@ -134,28 +214,141 @@ int main(int argc, char** argv) {
               stream::kTraceHeaderBytes +
                   events.size() * stream::kTraceRecordBytes);
 
+  // Resume state: the snapshot plus the trace offset it covers.
+  stream::ManagerCheckpoint restored;
+  bool have_restore = false;
+  std::uint64_t skip = 0;
+  if (!restore_path.empty()) {
+    if (const auto err =
+            stream::read_checkpoint_file(restore_path, restored)) {
+      std::fprintf(stderr, "restore %s: %s\n", restore_path.c_str(),
+                   err->to_string().c_str());
+      return 1;
+    }
+    if (!read_pos_file(restore_path + ".pos", skip)) {
+      std::fprintf(stderr, "restore: cannot read %s.pos\n",
+                   restore_path.c_str());
+      return 1;
+    }
+    have_restore = true;
+    std::printf("restoring %zu sessions from %s, skipping %llu committed "
+                "events\n",
+                restored.sessions.size(), restore_path.c_str(),
+                static_cast<unsigned long long>(skip));
+  }
+
   stream::ManagerConfig mcfg;
   mcfg.workers = workers;
-  stream::TrackerManager manager(mcfg);
   stream::StreamTrackerConfig tcfg;
   tcfg.expected_readings = sniffed.size();
-  for (std::size_t s = 0; s < sessions; ++s) {
-    manager.add_session(
-        static_cast<std::uint32_t>(s),
-        stream::StreamTracker(model, graph, sniffed, 1, tcfg,
-                              seed + 500 * (s + 1)));
-  }
-  manager.start();
-  const std::uint64_t pushed =
-      stream::replay_trace_file(trace_path, manager, speed);
-  manager.finish();
+  // The supervisor rebuilds incarnations through this factory; every
+  // incarnation gets the same construction inputs, which is the restore
+  // contract of the checkpoint format.
+  auto factory = [&]() {
+    auto m = std::make_unique<stream::TrackerManager>(mcfg);
+    for (std::size_t s = 0; s < sessions; ++s) {
+      m->add_session(
+          static_cast<std::uint32_t>(s),
+          stream::StreamTracker(model, graph, sniffed, 1, tcfg,
+                                seed + 500 * (s + 1)));
+    }
+    if (have_restore) {
+      m->restore(restored);
+    }
+    return m;
+  };
 
-  const stream::ManagerStats stats = manager.stats();
+  stream::SupervisorConfig scfg2;
+  // The daemon advances the .pos resume offset per committed snapshot, so
+  // its cadence is the exact-event-count flag; the default epoch cadence
+  // is turned off to keep --checkpoint-every the single knob.
+  scfg2.checkpoint_every_events = checkpoint_every;
+  scfg2.checkpoint_every_epochs = 0;
+  scfg2.checkpoint_path = checkpoint_path;
+  stream::Supervisor supervisor(factory, scfg2);
+  supervisor.start();
+
+  // The replay loop is the daemon's own (rather than replay_trace_file)
+  // so SIGINT/SIGTERM can stop it between events and pacing sleeps stay
+  // interruptible; the resume offset advances in lockstep with committed
+  // checkpoints.
+  std::ifstream trace_in(trace_path, std::ios::binary);
+  stream::TraceReplayer replayer(trace_in);
+  std::uint64_t offered = 0;
+  std::uint64_t checkpoints_seen = supervisor.stats().checkpoints;
+  {
+    stream::FluxEvent skipped;
+    for (std::uint64_t i = 0; i < skip && replayer.next(skipped); ++i) {
+    }
+  }
+  const auto wall_start = std::chrono::steady_clock::now();
+  bool have_origin = false;
+  double time_origin = 0.0;
+  stream::FluxEvent event;
+  bool trace_ok = true;
+  while (!g_stop && replayer.try_next(event)) {
+    if (speed > 0.0) {
+      if (!have_origin) {
+        time_origin = event.time;
+        have_origin = true;
+      }
+      // Deliver no earlier than the event's trace-time offset, scaled —
+      // in short sleeps, so a signal drains within ~50ms.
+      const auto due =
+          wall_start + std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(
+                               (event.time - time_origin) / speed));
+      while (!g_stop && std::chrono::steady_clock::now() < due) {
+        const auto remaining = due - std::chrono::steady_clock::now();
+        std::this_thread::sleep_for(
+            std::min<std::chrono::steady_clock::duration>(
+                remaining, std::chrono::milliseconds(50)));
+      }
+      if (g_stop) {
+        break;  // the un-offered event replays on the next --restore run
+      }
+    }
+    supervisor.offer(event);
+    ++offered;
+    if (!checkpoint_path.empty() &&
+        supervisor.stats().checkpoints != checkpoints_seen) {
+      // A snapshot just committed; everything up to `offered` is in it.
+      checkpoints_seen = supervisor.stats().checkpoints;
+      write_pos_file(checkpoint_path + ".pos", skip + offered);
+    }
+  }
+  if (replayer.error()) {
+    std::fprintf(stderr, "trace %s: %s\n", trace_path.c_str(),
+                 replayer.error()->to_string().c_str());
+    trace_ok = false;
+  }
+  if (g_stop) {
+    std::puts("\nsignal received: draining...");
+  }
+  supervisor.finish();
+  if (!checkpoint_path.empty()) {
+    // finish() wrote the final post-flush snapshot; record its coverage.
+    write_pos_file(checkpoint_path + ".pos", skip + offered);
+  }
+
+  const stream::TrackerManager* manager = supervisor.manager();
+  if (manager == nullptr) {
+    std::fputs("service unrecoverable; committed results only\n", stderr);
+    return 1;
+  }
+  const stream::ManagerStats stats = manager->stats();
+  const stream::SupervisorStats sstats = supervisor.stats();
   std::printf("\nreplayed %llu events at %s over %zu workers in %.3fs "
               "(%.0f events/s)\n",
-              static_cast<unsigned long long>(pushed),
-              speed <= 0.0 ? "max speed" : "paced speed", manager.workers(),
+              static_cast<unsigned long long>(offered),
+              speed <= 0.0 ? "max speed" : "paced speed", manager->workers(),
               stats.wall_seconds, stats.events_per_second);
+  std::printf("checkpoints: %llu committed, newest %llu bytes%s%s\n",
+              static_cast<unsigned long long>(sstats.checkpoints),
+              static_cast<unsigned long long>(sstats.checkpoint_bytes),
+              checkpoint_path.empty() ? "" : ", persisted to ",
+              checkpoint_path.c_str());
   const eval::LatencySummary lat =
       eval::summarize_latencies(stats.filter_micros);
   std::printf("epochs fired: %llu, filter latency us: p50 %.0f  p99 %.0f  "
@@ -166,9 +359,9 @@ int main(int argc, char** argv) {
   std::puts("\nsession  epochs  dup  late  forced  mean-err");
   for (std::size_t s = 0; s < sessions; ++s) {
     const auto user = static_cast<std::uint32_t>(s);
-    const stream::StreamStats& ss = manager.session(user).stats();
+    const stream::StreamStats& ss = manager->session(user).stats();
     std::vector<double> errors;
-    for (const stream::EpochResult& r : manager.results(user)) {
+    for (const stream::EpochResult& r : supervisor.results(user)) {
       if (r.epoch < truths[s].size()) {
         errors.push_back(
             geom::distance(r.estimates[0], truths[s][r.epoch]));
@@ -190,5 +383,5 @@ int main(int argc, char** argv) {
     std::puts("\nmetrics: this binary was built with FLUXFP_OBS=OFF");
 #endif
   }
-  return 0;
+  return trace_ok ? 0 : 1;
 }

@@ -58,6 +58,43 @@ SmcTracker::SmcTracker(const geom::Field& field, std::size_t num_users,
   }
 }
 
+SmcState SmcTracker::save_state() const {
+  SmcState state;
+  state.users.resize(particles_.size());
+  for (std::size_t u = 0; u < particles_.size(); ++u) {
+    SmcUserState& us = state.users[u];
+    us.particles = particles_[u];
+    us.t_last = t_last_[u];
+    us.prev_estimate = prev_estimate_[u];
+    us.heading = heading_[u];
+  }
+  state.bad_rounds = bad_rounds_;
+  return state;
+}
+
+void SmcTracker::restore_state(const SmcState& state) {
+  if (state.users.size() != particles_.size()) {
+    throw std::invalid_argument(
+        "SmcTracker: snapshot user count does not match this tracker");
+  }
+  for (const SmcUserState& us : state.users) {
+    if (us.particles.empty() ||
+        us.particles.size() > config_.num_predictions) {
+      throw std::invalid_argument(
+          "SmcTracker: snapshot particle set empty or larger than "
+          "num_predictions");
+    }
+  }
+  for (std::size_t u = 0; u < particles_.size(); ++u) {
+    const SmcUserState& us = state.users[u];
+    particles_[u] = us.particles;
+    t_last_[u] = us.t_last;
+    prev_estimate_[u] = us.prev_estimate;
+    heading_[u] = us.heading;
+  }
+  bad_rounds_ = state.bad_rounds;
+}
+
 geom::Vec2 SmcTracker::estimate(std::size_t user) const {
   const auto& set = particles_.at(user);
   geom::Vec2 acc;

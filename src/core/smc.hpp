@@ -73,6 +73,24 @@ struct SmcStepResult {
   bool recovered = false;          ///< divergence recovery re-seeded this round
 };
 
+/// Serializable mutable state of one tracked user — the checkpoint currency
+/// of the streaming runtime (FLUXFPC1, DESIGN.md §13). Everything step()
+/// mutates per user is here; copying it out and back is bit-exact.
+struct SmcUserState {
+  std::vector<Particle> particles;
+  double t_last = 0.0;
+  geom::Vec2 prev_estimate;
+  geom::Vec2 heading;
+};
+
+/// Complete mutable state of an SmcTracker. Configuration and the field are
+/// deliberately absent: a restore target must be constructed with the same
+/// inputs, and restore_state() only validates shapes.
+struct SmcState {
+  std::vector<SmcUserState> users;
+  int bad_rounds = 0;
+};
+
 /// Sequential Monte Carlo estimation of mobile-user positions from a time
 /// series of sparse flux observations (§4.B–E, Algorithm 4.1):
 ///
@@ -124,6 +142,17 @@ class SmcTracker {
   /// Consecutive non-empty rounds the fit has looked divergent (resets to
   /// 0 on a good round or after a recovery re-seed).
   int consecutive_bad_rounds() const { return bad_rounds_; }
+
+  /// Snapshot of every mutable filter variable (particles, weights, update
+  /// times, headings, divergence counter). A tracker constructed with the
+  /// same inputs and restored from the snapshot continues bit-identically
+  /// to one that never stopped — the checkpoint half of the streaming
+  /// runtime's durability contract.
+  SmcState save_state() const;
+  /// Restores a snapshot taken from a tracker constructed with the same
+  /// inputs. Throws std::invalid_argument on a shape mismatch (wrong user
+  /// count, empty particle sets, or sets larger than num_predictions).
+  void restore_state(const SmcState& state);
 
  private:
   const geom::Field* field_;

@@ -109,6 +109,23 @@ bool EventQueue::try_pop(FluxEvent& out) {
   return true;
 }
 
+bool EventQueue::evict_one(std::uint32_t user) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (auto it = items_.begin(); it != items_.end(); ++it) {
+    if (it->user == user) {
+      items_.erase(it);
+      ++stats_.evicted;
+      lock.unlock();
+      not_full_.notify_one();
+      FLUXFP_OBS_COUNTER_INC_SCHED(
+          "fluxfp_stream_queue_evicted_total",
+          "Targeted removals via evict_one (priority displacement)");
+      return true;
+    }
+  }
+  return false;
+}
+
 void EventQueue::close() {
   {
     std::lock_guard<std::mutex> lock(mutex_);

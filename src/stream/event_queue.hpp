@@ -23,11 +23,14 @@ enum class QueuePolicy {
   kDropOldest,
 };
 
-/// Monotonic counters describing a queue's life so far.
+/// Monotonic counters describing a queue's life so far. Conservation
+/// invariant at any instant (under the lock): pushed == popped + dropped +
+/// evicted + size().
 struct QueueStats {
   std::uint64_t pushed = 0;   ///< accepted events (includes later-evicted)
   std::uint64_t popped = 0;   ///< events handed to consumers
   std::uint64_t dropped = 0;  ///< evictions under kDropOldest
+  std::uint64_t evicted = 0;  ///< targeted removals via evict_one()
   std::size_t max_depth = 0;  ///< high-water mark of the backlog
 };
 
@@ -58,6 +61,13 @@ class EventQueue {
   /// Non-blocking pop; false when currently empty (queue may still be
   /// open).
   bool try_pop(FluxEvent& out);
+
+  /// Removes the oldest queued event of `user` (admission-policy
+  /// displacement: TrackerManager's kShedLowestPriority evicts a queued
+  /// low-priority event to admit a higher-priority one). Returns false
+  /// when no event of that user is queued. Frees a slot, so a kBlock
+  /// producer waiting for room is woken.
+  bool evict_one(std::uint32_t user);
 
   /// Closes the queue: subsequent pushes fail, blocked producers and the
   /// consumer wake up. Already-queued events remain poppable.

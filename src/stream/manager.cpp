@@ -1,5 +1,6 @@
 #include "stream/manager.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "numeric/parallel.hpp"
@@ -29,7 +30,8 @@ TrackerManager::~TrackerManager() {
   }
 }
 
-void TrackerManager::add_session(std::uint32_t user, StreamTracker tracker) {
+void TrackerManager::add_session(std::uint32_t user, StreamTracker tracker,
+                                 SessionOptions options) {
   if (started_) {
     throw std::logic_error(
         "TrackerManager: sessions must be registered before start()");
@@ -37,7 +39,7 @@ void TrackerManager::add_session(std::uint32_t user, StreamTracker tracker) {
   if (!user_index_.emplace(user, sessions_.size()).second) {
     throw std::invalid_argument("TrackerManager: duplicate user id");
   }
-  sessions_.push_back({user, std::move(tracker), {}});
+  sessions_.push_back({user, std::move(tracker), options, {}});
 }
 
 void TrackerManager::start() {
@@ -53,6 +55,13 @@ void TrackerManager::start() {
   for (std::size_t w = 0; w < workers; ++w) {
     queues_.push_back(
         std::make_unique<EventQueue>(config_.queue_capacity, config_.policy));
+  }
+  queued_.assign(sessions_.size(), 0);
+  if (config_.tenant_quota > 0) {
+    for (std::size_t i = 0; i < sessions_.size(); ++i) {
+      tenant_in_flight_[sessions_[i].options.tenant] = 0;
+      tenant_sessions_[sessions_[i].options.tenant].push_back(i);
+    }
   }
   started_ = true;
 #if defined(FLUXFP_OBS_ENABLED)
@@ -84,18 +93,110 @@ void TrackerManager::start() {
   }
 }
 
-bool TrackerManager::push(const FluxEvent& event) {
+PushStatus TrackerManager::admit(std::size_t session_index) {
+  const std::uint32_t tenant = sessions_[session_index].options.tenant;
+  const std::uint32_t priority = sessions_[session_index].options.priority;
+  std::unique_lock<std::mutex> lock(flow_mutex_);
+  std::uint64_t& in_flight = tenant_in_flight_.at(tenant);
+  if (in_flight >= config_.tenant_quota) {
+    switch (config_.admission) {
+      case AdmissionPolicy::kBlock: {
+        ++flow_waiters_;
+        flow_cv_.wait(lock, [&] {
+          return flow_closed_ || in_flight < config_.tenant_quota;
+        });
+        --flow_waiters_;
+        if (flow_closed_) {
+          return PushStatus::kClosed;
+        }
+        break;
+      }
+      case AdmissionPolicy::kShedNewest: {
+        ++shed_;
+        FLUXFP_OBS_COUNTER_INC_SCHED(
+            "fluxfp_stream_quota_shed_total",
+            "Events shed because their tenant was over quota");
+        return PushStatus::kShedQuota;
+      }
+      case AdmissionPolicy::kShedLowestPriority: {
+        // Victim: the tenant's lowest-priority session that still has
+        // queued events and ranks strictly below the incoming session.
+        const std::vector<std::size_t>& members =
+            tenant_sessions_.at(tenant);
+        std::size_t victim = sessions_.size();
+        for (const std::size_t m : members) {
+          if (queued_[m] == 0 || sessions_[m].options.priority >= priority) {
+            continue;
+          }
+          if (victim == sessions_.size() ||
+              sessions_[m].options.priority <
+                  sessions_[victim].options.priority) {
+            victim = m;
+          }
+        }
+        if (victim == sessions_.size()) {
+          ++shed_;
+          FLUXFP_OBS_COUNTER_INC_SCHED(
+              "fluxfp_stream_quota_shed_total",
+              "Events shed because their tenant was over quota");
+          return PushStatus::kShedQuota;
+        }
+        // Lock order is flow -> queue; workers take them strictly in
+        // sequence (pop returns before flow is locked), so no cycle.
+        if (queues_[victim % queues_.size()]->evict_one(
+                sessions_[victim].user)) {
+          --in_flight;
+          --queued_[victim];
+          // The evicted event will never be popped: take it back out of
+          // the quiesce ledger so processed can still catch up to routed.
+          --routed_flow_;
+          FLUXFP_OBS_COUNTER_INC_SCHED(
+              "fluxfp_stream_quota_evicted_total",
+              "Queued events displaced by a higher-priority session");
+        }
+        // Evict failure means the worker drained the victim's event in
+        // the meantime — the quota has room either way.
+        break;
+      }
+    }
+  }
+  ++in_flight;
+  ++queued_[session_index];
+  return PushStatus::kAccepted;
+}
+
+PushStatus TrackerManager::offer(const FluxEvent& event) {
   if (!started_ || finished_) {
-    return false;
+    return PushStatus::kClosed;
   }
   const auto it = user_index_.find(event.user);
   if (it == user_index_.end()) {
     unknown_user_.fetch_add(1, std::memory_order_relaxed);
     FLUXFP_OBS_COUNTER_INC("fluxfp_stream_unknown_user_total",
                            "Pushes for sessions never registered");
-    return false;
+    return PushStatus::kUnknownUser;
   }
-  return queues_[it->second % queues_.size()]->push(event);
+  const std::size_t idx = it->second;
+  const bool quota = config_.tenant_quota > 0;
+  if (quota) {
+    const PushStatus admitted = admit(idx);
+    if (admitted != PushStatus::kAccepted) {
+      return admitted;
+    }
+  }
+  if (!queues_[idx % queues_.size()]->push(event)) {
+    if (quota) {
+      std::lock_guard<std::mutex> lock(flow_mutex_);
+      --tenant_in_flight_.at(sessions_[idx].options.tenant);
+      --queued_[idx];
+    }
+    return PushStatus::kClosed;
+  }
+  {
+    std::lock_guard<std::mutex> lock(flow_mutex_);
+    ++routed_flow_;
+  }
+  return PushStatus::kAccepted;
 }
 
 void TrackerManager::worker_loop(std::size_t worker) {
@@ -104,23 +205,114 @@ void TrackerManager::worker_loop(std::size_t worker) {
   // and the shared pool admits one external caller at a time.
   numeric::SerialRegionGuard serial;
   EventQueue& queue = *queues_[worker];
+  const bool quota = config_.tenant_quota > 0;
   FluxEvent event;
   while (queue.pop(event)) {
     // Routing guarantees the session belongs to this worker.
-    Session& s = sessions_[user_index_.at(event.user)];
+    const std::size_t idx = user_index_.at(event.user);
+    Session& s = sessions_[idx];
     auto fired = s.tracker.on_event(event);
+    epochs_fired_live_.fetch_add(fired.size(), std::memory_order_relaxed);
     for (auto& r : fired) {
       s.results.push_back(std::move(r));
     }
+    processed_live_.fetch_add(1, std::memory_order_relaxed);
+    // Flow accounting AFTER the results landed: a quiesce() that observes
+    // processed == routed therefore also observes every result (the mutex
+    // handshake publishes them).
+    {
+      std::lock_guard<std::mutex> lock(flow_mutex_);
+      ++processed_flow_;
+      if (quota) {
+        --tenant_in_flight_.at(s.options.tenant);
+        --queued_[idx];
+      }
+    }
+    flow_cv_.notify_all();
   }
   // Stream over: fire every still-open window, in session order.
   for (std::size_t i = worker; i < sessions_.size();
        i += queues_.size()) {
     Session& s = sessions_[i];
     auto fired = s.tracker.flush();
+    epochs_fired_live_.fetch_add(fired.size(), std::memory_order_relaxed);
     for (auto& r : fired) {
       s.results.push_back(std::move(r));
     }
+  }
+}
+
+void TrackerManager::quiesce() {
+  if (!started_ || finished_) {
+    return;
+  }
+  if (config_.policy != QueuePolicy::kBlock) {
+    // kDropOldest evicts events that will never be popped, so "processed
+    // catches up to routed" is unreachable — and a checkpoint cut would
+    // not be an event boundary anyway.
+    throw std::logic_error(
+        "TrackerManager: quiesce()/checkpoint() while running require "
+        "QueuePolicy::kBlock");
+  }
+  std::unique_lock<std::mutex> lock(flow_mutex_);
+  flow_cv_.wait(lock, [&] { return processed_flow_ == routed_flow_; });
+}
+
+ManagerCheckpoint TrackerManager::checkpoint() {
+  quiesce();  // no-op unless running
+  ManagerCheckpoint cp;
+  cp.workers = static_cast<std::uint32_t>(config_.workers);
+  cp.sessions.reserve(sessions_.size());
+  for (const Session& s : sessions_) {
+    SessionCheckpoint sc;
+    sc.user = s.user;
+    sc.num_users = static_cast<std::uint32_t>(s.tracker.num_users());
+    const std::vector<std::size_t>& nodes = s.tracker.sniffer_nodes();
+    sc.sniffer_nodes.assign(nodes.begin(), nodes.end());
+    sc.state = s.tracker.save_state();
+    cp.sessions.push_back(std::move(sc));
+  }
+  return cp;
+}
+
+void TrackerManager::restore(const ManagerCheckpoint& cp) {
+  if (started_) {
+    throw std::logic_error(
+        "TrackerManager: restore() must run before start()");
+  }
+  if (cp.sessions.size() != sessions_.size()) {
+    throw std::invalid_argument(
+        "TrackerManager: checkpoint session count does not match the "
+        "registered sessions");
+  }
+  // Validate the whole image against the registered sessions first, then
+  // apply — a mismatch must not leave some sessions restored and others
+  // fresh.
+  std::vector<std::size_t> targets;
+  targets.reserve(cp.sessions.size());
+  for (const SessionCheckpoint& sc : cp.sessions) {
+    const auto it = user_index_.find(sc.user);
+    if (it == user_index_.end()) {
+      throw std::invalid_argument(
+          "TrackerManager: checkpoint session for an unregistered user");
+    }
+    const StreamTracker& t = sessions_[it->second].tracker;
+    const std::vector<std::size_t>& nodes = t.sniffer_nodes();
+    const bool nodes_match =
+        sc.sniffer_nodes.size() == nodes.size() &&
+        std::equal(nodes.begin(), nodes.end(), sc.sniffer_nodes.begin(),
+                   [](std::size_t a, std::uint64_t b) {
+                     return static_cast<std::uint64_t>(a) == b;
+                   });
+    if (!nodes_match || sc.num_users != t.num_users()) {
+      throw std::invalid_argument(
+          "TrackerManager: checkpoint session does not match the "
+          "registered deployment (sniffer set or user count)");
+    }
+    targets.push_back(it->second);
+  }
+  for (std::size_t i = 0; i < cp.sessions.size(); ++i) {
+    sessions_[targets[i]].tracker.restore_state(cp.sessions[i].state);
   }
 }
 
@@ -128,6 +320,13 @@ void TrackerManager::finish() {
   if (!started_ || finished_) {
     return;
   }
+  {
+    // Wake producers blocked on a tenant quota before closing the queues,
+    // so shutdown never waits on a pop that will not come.
+    std::lock_guard<std::mutex> lock(flow_mutex_);
+    flow_closed_ = true;
+  }
+  flow_cv_.notify_all();
   for (auto& q : queues_) {
     q->close();
   }
@@ -143,6 +342,7 @@ void TrackerManager::finish() {
     final_stats_.events_routed += qs.pushed;
     final_stats_.events_processed += qs.popped;
     final_stats_.events_dropped += qs.dropped;
+    final_stats_.events_evicted += qs.evicted;
   }
 #if defined(FLUXFP_OBS_ENABLED)
   if (obs::enabled()) {
@@ -157,6 +357,10 @@ void TrackerManager::finish() {
   }
 #endif
   final_stats_.unknown_user = unknown_user_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(flow_mutex_);
+    final_stats_.events_shed = shed_;
+  }
   for (const Session& s : sessions_) {
     const StreamStats& st = s.tracker.stats();
     final_stats_.epochs_fired += st.epochs_fired;
@@ -169,6 +373,15 @@ void TrackerManager::finish() {
           ? static_cast<double>(final_stats_.events_processed) /
                 final_stats_.wall_seconds
           : 0.0;
+}
+
+std::vector<std::uint32_t> TrackerManager::users() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(sessions_.size());
+  for (const Session& s : sessions_) {
+    out.push_back(s.user);
+  }
+  return out;
 }
 
 const TrackerManager::Session& TrackerManager::find_session(

@@ -2,16 +2,53 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "stream/checkpoint.hpp"
 #include "stream/event_queue.hpp"
 #include "stream/stream_tracker.hpp"
 
 namespace fluxfp::stream {
+
+/// What the service does with an event whose tenant is over quota —
+/// graceful degradation under overload, chosen per deployment.
+enum class AdmissionPolicy {
+  /// offer() blocks until the tenant drains below quota — lossless
+  /// backpressure, the default. A blocked producer observes finish()
+  /// promptly (same contract as EventQueue close()).
+  kBlock,
+  /// The incoming event is shed (offer() returns kShedQuota) — newest
+  /// work is the cheapest to lose when the tracker will re-estimate next
+  /// epoch anyway.
+  kShedNewest,
+  /// The incoming event displaces the oldest queued event of the
+  /// tenant's lowest-priority session when the incoming session outranks
+  /// it; otherwise the incoming event is shed. Keeps high-priority
+  /// sessions tracking through a low-priority flood.
+  kShedLowestPriority,
+};
+
+/// Admission outcome of one offer()ed event.
+enum class PushStatus {
+  kAccepted,     ///< routed to the session's worker queue
+  kUnknownUser,  ///< no such session registered (counted)
+  kShedQuota,    ///< tenant over quota and policy chose to shed (counted)
+  kClosed,       ///< service not started, finished, or closing
+};
+
+/// Per-session admission attributes. Sessions of one tenant share that
+/// tenant's quota; priority orders sessions within a tenant for
+/// kShedLowestPriority (higher value = more important).
+struct SessionOptions {
+  std::uint32_t tenant = 0;
+  std::uint32_t priority = 0;
+};
 
 /// Sharding and backpressure policy of the tracking service.
 struct ManagerConfig {
@@ -25,13 +62,22 @@ struct ManagerConfig {
   /// trades the lossless-delivery half of the determinism contract for
   /// bounded producer latency.
   QueuePolicy policy = QueuePolicy::kBlock;
+  /// Max in-flight (queued, not yet folded) events per tenant; 0 disables
+  /// admission control entirely — the default keeps the no-quota hot path
+  /// free of admission bookkeeping.
+  std::size_t tenant_quota = 0;
+  /// What an over-quota tenant's next event meets. Ignored while
+  /// tenant_quota == 0.
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
 };
 
 /// Service-level counters, valid after finish().
 struct ManagerStats {
-  std::uint64_t events_routed = 0;     ///< accepted by push()
+  std::uint64_t events_routed = 0;     ///< accepted by offer()/push()
   std::uint64_t events_processed = 0;  ///< popped and folded by workers
   std::uint64_t events_dropped = 0;    ///< queue evictions (kDropOldest)
+  std::uint64_t events_shed = 0;       ///< rejected by the admission policy
+  std::uint64_t events_evicted = 0;    ///< displaced by a higher priority
   std::uint64_t unknown_user = 0;      ///< pushes for unregistered sessions
   std::uint64_t epochs_fired = 0;
   double wall_seconds = 0.0;           ///< start() -> finish(), wall-clock
@@ -49,11 +95,17 @@ struct ManagerStats {
 /// Determinism contract (the streaming extension of PR 2's): every session
 /// owns its RNG (seeded at StreamTracker construction) and consumes its own
 /// events in push order — routing never reorders a session's events, and
-/// sessions never share mutable state. Under QueuePolicy::kBlock the same
-/// pushed sequence therefore yields bit-identical per-user estimates at ANY
-/// worker count. Worker threads hold a numeric::SerialRegionGuard, so the
-/// per-step candidate evaluation runs inline and the shared pool is left to
+/// sessions never share mutable state. Under QueuePolicy::kBlock (and no
+/// tenant quota, or AdmissionPolicy::kBlock) the same pushed sequence
+/// therefore yields bit-identical per-user estimates at ANY worker count.
+/// Worker threads hold a numeric::SerialRegionGuard, so the per-step
+/// candidate evaluation runs inline and the shared pool is left to
 /// single-threaded callers; the service's parallelism axis is sessions.
+///
+/// Durability: quiesce() + checkpoint() snapshot every session as a
+/// FLUXFPC1 image; a new manager re-registered with the same trackers and
+/// restore()d from the image continues bit-identically (see
+/// stream/supervisor.hpp for the crash-recovery loop built on top).
 class TrackerManager {
  public:
   explicit TrackerManager(ManagerConfig config);
@@ -67,29 +119,70 @@ class TrackerManager {
   /// are assigned to workers round-robin in registration order. Throws
   /// std::logic_error after start(), std::invalid_argument on a duplicate
   /// user.
-  void add_session(std::uint32_t user, StreamTracker tracker);
+  void add_session(std::uint32_t user, StreamTracker tracker,
+                   SessionOptions options = {});
 
   /// Spins up the workers. Throws std::logic_error when already started or
   /// no session is registered.
   void start();
 
-  /// Routes one event to its session's worker. Returns false when the
-  /// user is unknown (counted) or the service is shut down; under kBlock
-  /// this call provides the backpressure. Any thread may push.
-  bool push(const FluxEvent& event);
+  /// Routes one event to its session's worker and reports the admission
+  /// outcome. Under kBlock (queue or quota) this call provides the
+  /// backpressure. Any thread may offer.
+  PushStatus offer(const FluxEvent& event);
 
-  /// Closes the ingest queues, drains and joins every worker (each worker
-  /// flushes its sessions' open windows), and freezes the stats. Safe to
-  /// call once; push() fails afterwards.
+  /// Legacy boolean form: true iff offer() returned kAccepted.
+  bool push(const FluxEvent& event) {
+    return offer(event) == PushStatus::kAccepted;
+  }
+
+  /// Blocks until every event accepted so far has been folded by its
+  /// worker (queues drained, workers idle). The caller must not offer()
+  /// concurrently — one coordinating thread (the Supervisor pattern), or
+  /// external synchronization. No-op before start() or after finish().
+  void quiesce();
+
+  /// Snapshot of every session in registration order. Quiesces first when
+  /// the service is running, so the image is a consistent cut at an event
+  /// boundary; callable before start() and after finish() as well. The
+  /// same single-producer caveat as quiesce() applies.
+  ManagerCheckpoint checkpoint();
+
+  /// Restores a checkpoint into the registered sessions — only before
+  /// start(). Each checkpointed session must match a registered session
+  /// (same user, sniffer nodes, and user count), and every registered
+  /// session must be covered; the worker count may differ (results stay
+  /// bit-identical — the layout hint is ignored). Throws
+  /// std::invalid_argument on any mismatch, std::logic_error after
+  /// start().
+  void restore(const ManagerCheckpoint& cp);
+
+  /// Closes the ingest queues, wakes any producer blocked on a queue or a
+  /// tenant quota, drains and joins every worker (each worker flushes its
+  /// sessions' open windows), and freezes the stats. Safe to call once;
+  /// offer() fails afterwards.
   void finish();
 
   bool started() const { return started_.load(); }
   bool finished() const { return finished_.load(); }
   std::size_t num_sessions() const { return sessions_.size(); }
   std::size_t workers() const { return config_.workers; }
+  /// Registered user ids in registration (= checkpoint) order.
+  std::vector<std::uint32_t> users() const;
+
+  /// Epochs fired so far across all sessions (relaxed read — a live
+  /// progress signal for supervision cadence, exact after quiesce()).
+  std::uint64_t epochs_fired_live() const {
+    return epochs_fired_live_.load(std::memory_order_relaxed);
+  }
+  /// Events folded so far (relaxed read — the supervisor's heartbeat).
+  std::uint64_t processed_live() const {
+    return processed_live_.load(std::memory_order_relaxed);
+  }
 
   /// Per-epoch results of one session, in fired order. Valid after
-  /// finish(). Throws std::invalid_argument on an unknown user.
+  /// finish(), and after quiesce() while nothing is being offered. Throws
+  /// std::invalid_argument on an unknown user.
   const std::vector<EpochResult>& results(std::uint32_t user) const;
   /// The session's tracker (final estimates, ingestion stats).
   const StreamTracker& session(std::uint32_t user) const;
@@ -101,11 +194,16 @@ class TrackerManager {
   struct Session {
     std::uint32_t user = 0;
     StreamTracker tracker;
+    SessionOptions options;
     std::vector<EpochResult> results;
   };
 
   void worker_loop(std::size_t worker);
   const Session& find_session(std::uint32_t user) const;
+  /// Quota admission for one event; returns the status to propagate or
+  /// kAccepted when the event may proceed to its queue. Only called when
+  /// tenant_quota > 0.
+  PushStatus admit(std::size_t session_index);
 
   ManagerConfig config_;
   std::vector<Session> sessions_;
@@ -117,6 +215,24 @@ class TrackerManager {
   std::chrono::steady_clock::time_point start_time_;
   ManagerStats final_stats_;
   std::atomic<std::uint64_t> unknown_user_{0};
+  std::atomic<std::uint64_t> epochs_fired_live_{0};
+  std::atomic<std::uint64_t> processed_live_{0};
+
+  /// Flow accounting: routed/processed totals for quiesce(), and — when a
+  /// tenant quota is configured — per-tenant in-flight counts and
+  /// per-session queued counts for admission. One mutex guards it all;
+  /// the per-event cost is one uncontended lock, dwarfed by the SMC step.
+  mutable std::mutex flow_mutex_;
+  std::condition_variable flow_cv_;
+  std::uint64_t routed_flow_ = 0;
+  std::uint64_t processed_flow_ = 0;
+  std::uint64_t shed_ = 0;
+  bool flow_closed_ = false;
+  std::size_t flow_waiters_ = 0;
+  std::unordered_map<std::uint32_t, std::uint64_t> tenant_in_flight_;
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>>
+      tenant_sessions_;
+  std::vector<std::uint64_t> queued_;  ///< per session, under flow_mutex_
 };
 
 }  // namespace fluxfp::stream

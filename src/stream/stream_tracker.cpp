@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <sstream>
 #include <stdexcept>
 
 #include "obs/instrument.hpp"
@@ -179,6 +180,77 @@ EpochResult StreamTracker::fire_oldest() {
                          "Epoch windows fired through the SMC");
   stats_.filter_micros.push_back(result.filter_micros);
   return result;
+}
+
+StreamTrackerState StreamTracker::save_state() const {
+  StreamTrackerState state;
+  {
+    // mt19937_64's stream operators serialize the engine's integral words
+    // in decimal; reading them back reproduces the exact stream position.
+    std::ostringstream os;
+    os << rng_;
+    state.rng = os.str();
+  }
+  state.smc = smc_.save_state();
+  state.open.reserve(open_.size());
+  for (const auto& [epoch, window] : open_) {
+    WindowState ws;
+    ws.epoch = epoch;
+    ws.newest_time = window.newest_time;
+    ws.seen_count = window.seen_count;
+    ws.readings = window.readings;
+    ws.seen = window.seen;
+    state.open.push_back(std::move(ws));
+  }
+  state.now = now_;
+  state.last_step_time = last_step_time_;
+  state.fired_any = fired_any_;
+  state.last_fired_epoch = last_fired_epoch_;
+  state.stats = stats_;
+  return state;
+}
+
+void StreamTracker::restore_state(const StreamTrackerState& state) {
+  const std::size_t slots = sniffer_nodes_.size();
+  for (std::size_t i = 0; i < state.open.size(); ++i) {
+    const WindowState& ws = state.open[i];
+    if (ws.readings.size() != slots || ws.seen.size() != slots ||
+        ws.seen_count > slots) {
+      throw std::invalid_argument(
+          "StreamTracker: snapshot window does not match this tracker's "
+          "sniffer set");
+    }
+    if (i > 0 && state.open[i - 1].epoch >= ws.epoch) {
+      throw std::invalid_argument(
+          "StreamTracker: snapshot windows not in ascending epoch order");
+    }
+  }
+  geom::Rng restored_rng;
+  {
+    std::istringstream is(state.rng);
+    if (!(is >> restored_rng)) {
+      throw std::invalid_argument(
+          "StreamTracker: snapshot RNG stream is unparseable");
+    }
+  }
+  // All validation above throws before any member is touched, so a bad
+  // snapshot never leaves the tracker half-restored.
+  smc_.restore_state(state.smc);  // validates its own shapes; throws first
+  rng_ = restored_rng;
+  open_.clear();
+  for (const WindowState& ws : state.open) {
+    Window w;
+    w.readings = ws.readings;
+    w.seen = ws.seen;
+    w.seen_count = ws.seen_count;
+    w.newest_time = ws.newest_time;
+    open_.emplace(ws.epoch, std::move(w));
+  }
+  now_ = state.now;
+  last_step_time_ = state.last_step_time;
+  fired_any_ = state.fired_any;
+  last_fired_epoch_ = state.last_fired_epoch;
+  stats_ = state.stats;
 }
 
 std::vector<EpochResult> StreamTracker::flush() {

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -55,6 +56,35 @@ struct StreamStats {
   std::uint64_t epochs_fired = 0;
   std::uint64_t forced_closes = 0;       ///< closed by max_open_epochs
   std::vector<double> filter_micros;     ///< per fired epoch, wall-clock
+};
+
+/// One open (not yet fired) epoch window in checkpoint form.
+struct WindowState {
+  std::uint32_t epoch = 0;
+  double newest_time = 0.0;
+  std::size_t seen_count = 0;
+  std::vector<double> readings;  ///< per sniffer slot; NaN = missing
+  std::vector<bool> seen;        ///< slot reported at least once
+};
+
+/// Complete mutable state of a StreamTracker — everything on_event() and
+/// flush() touch: the SMC filter state, the RNG stream position, every open
+/// epoch window, the virtual-time cursors, and the ingestion counters.
+/// Construction inputs (model, sniffer set, config, seed) are deliberately
+/// absent: a restore target must be built with the same inputs, and
+/// restore_state() validates only shapes. Serialized as FLUXFPC1 by
+/// stream/checkpoint.hpp.
+struct StreamTrackerState {
+  /// mt19937_64 engine state, text-serialized via operator<< — integral
+  /// words, so the round-trip is exact.
+  std::string rng;
+  core::SmcState smc;
+  std::vector<WindowState> open;  ///< strictly ascending epoch order
+  double now = 0.0;
+  double last_step_time = 0.0;
+  bool fired_any = false;
+  std::uint32_t last_fired_epoch = 0;
+  StreamStats stats;
 };
 
 /// The paper's asynchronous-updating SMC tracker (§4.E, Algorithm 4.1)
@@ -112,6 +142,18 @@ class StreamTracker {
   const std::vector<std::size_t>& sniffer_nodes() const {
     return sniffer_nodes_;
   }
+
+  /// Snapshot of all mutable session state. A tracker constructed with the
+  /// same inputs and restored from the snapshot folds every subsequent
+  /// event bit-identically to one that never stopped (readings round-trip
+  /// NaN-exactly; the RNG resumes mid-stream).
+  StreamTrackerState save_state() const;
+  /// Restores a snapshot from a tracker with the same sniffer count.
+  /// Throws std::invalid_argument on malformed state (window slot counts
+  /// that do not match this tracker's sniffer set, non-ascending window
+  /// epochs, an unparseable RNG stream) — the checkpoint layer converts
+  /// these into typed errors.
+  void restore_state(const StreamTrackerState& state);
 
  private:
   struct Window {

@@ -7,6 +7,7 @@
 #include <ostream>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "stream/manager.hpp"
 
@@ -27,7 +28,32 @@ double unpack_f64(const char* src) {
   return v;
 }
 
+const char* kind_name(TraceError::Kind kind) {
+  switch (kind) {
+    case TraceError::Kind::kTruncatedHeader:
+      return "truncated header";
+    case TraceError::Kind::kBadMagic:
+      return "bad magic";
+    case TraceError::Kind::kBadVersion:
+      return "unsupported version";
+    case TraceError::Kind::kTruncatedRecord:
+      return "truncated record";
+    case TraceError::Kind::kBadStream:
+      return "stream failure";
+  }
+  return "unknown";
+}
+
 }  // namespace
+
+std::string TraceError::to_string() const {
+  return "offset " + std::to_string(offset) + ": " + kind_name(kind) +
+         (reason.empty() ? "" : " — " + reason);
+}
+
+TraceFormatError::TraceFormatError(TraceError err)
+    : std::runtime_error("TraceReplayer: " + err.to_string()),
+      err_(std::move(err)) {}
 
 TraceRecorder::TraceRecorder(std::ostream& os) : os_(&os) {
   char header[kTraceHeaderBytes];
@@ -63,26 +89,51 @@ void TraceRecorder::write(std::span<const FluxEvent> events) {
 TraceReplayer::TraceReplayer(std::istream& is) : is_(&is) {
   char header[kTraceHeaderBytes];
   is_->read(header, sizeof(header));
-  if (is_->gcount() != static_cast<std::streamsize>(sizeof(header)) ||
-      std::memcmp(header, kTraceMagic, sizeof(kTraceMagic)) != 0) {
-    throw std::runtime_error("TraceReplayer: not a fluxfp event trace");
+  const std::streamsize got = is_->gcount();
+  if (got != static_cast<std::streamsize>(sizeof(header))) {
+    error_ = TraceError{TraceError::Kind::kTruncatedHeader,
+                        static_cast<std::uint64_t>(got),
+                        "got " + std::to_string(got) + " of " +
+                            std::to_string(kTraceHeaderBytes) +
+                            " header bytes"};
+    throw TraceFormatError(*error_);
+  }
+  if (std::memcmp(header, kTraceMagic, sizeof(kTraceMagic)) != 0) {
+    error_ = TraceError{TraceError::Kind::kBadMagic, 0,
+                        "not a fluxfp event trace"};
+    throw TraceFormatError(*error_);
   }
   const std::uint32_t version = unpack_u32(header + 8);
   if (version != kTraceVersion) {
-    throw std::runtime_error("TraceReplayer: unsupported trace version " +
-                             std::to_string(version));
+    error_ = TraceError{TraceError::Kind::kBadVersion, 8,
+                        "trace version " + std::to_string(version) +
+                            ", this build speaks " +
+                            std::to_string(kTraceVersion)};
+    throw TraceFormatError(*error_);
   }
+  offset_ = kTraceHeaderBytes;
 }
 
-bool TraceReplayer::next(FluxEvent& out) {
+bool TraceReplayer::try_next(FluxEvent& out) {
+  if (error_) {
+    return false;  // the stream already ended badly; stay ended
+  }
   char record[kTraceRecordBytes];
   is_->read(record, sizeof(record));
   const std::streamsize got = is_->gcount();
   if (got == 0) {
+    if (is_->bad()) {
+      error_ = TraceError{TraceError::Kind::kBadStream, offset_,
+                          "read failed mid-trace"};
+    }
     return false;
   }
   if (got != static_cast<std::streamsize>(sizeof(record))) {
-    throw std::runtime_error("TraceReplayer: truncated record");
+    error_ = TraceError{
+        TraceError::Kind::kTruncatedRecord, offset_,
+        "record " + std::to_string(read_) + " has " + std::to_string(got) +
+            " of " + std::to_string(kTraceRecordBytes) + " bytes"};
+    return false;
   }
   out.time = unpack_f64(record + 0);
   out.user = unpack_u32(record + 8);
@@ -90,7 +141,16 @@ bool TraceReplayer::next(FluxEvent& out) {
   out.node = unpack_u32(record + 16);
   out.reading = unpack_f64(record + 20);
   ++read_;
+  offset_ += kTraceRecordBytes;
   return true;
+}
+
+bool TraceReplayer::next(FluxEvent& out) {
+  const bool filled = try_next(out);
+  if (!filled && error_) {
+    throw TraceFormatError(*error_);
+  }
+  return filled;
 }
 
 std::vector<FluxEvent> TraceReplayer::read_all() {

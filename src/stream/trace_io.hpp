@@ -2,7 +2,9 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -48,24 +50,71 @@ class TraceRecorder {
   std::uint64_t written_ = 0;
 };
 
-/// Reads a binary trace back, either one event at a time (next()) or
-/// whole (read_all()). Throws std::runtime_error on a bad magic/version
-/// or a truncated record.
+/// Typed malformation report of a trace stream: what went wrong, at which
+/// byte offset of the trace, and why — precise enough to locate the bad
+/// record in a multi-gigabyte capture.
+struct TraceError {
+  enum class Kind {
+    kTruncatedHeader,  ///< fewer than 16 header bytes
+    kBadMagic,         ///< not a FLUXFPT1 trace
+    kBadVersion,       ///< version this build does not speak
+    kTruncatedRecord,  ///< a record cut short mid-field
+    kBadStream,        ///< the stream itself failed (open/read error)
+  };
+  Kind kind = Kind::kBadStream;
+  std::uint64_t offset = 0;  ///< byte offset where the failure was detected
+  std::string reason;
+
+  /// "offset 16: truncated record ..." — for logs and error messages.
+  std::string to_string() const;
+};
+
+/// The throwing face of a TraceError. Derives std::runtime_error so
+/// callers that only care that the trace is bad keep working; callers
+/// that want the offset catch this and read error().
+class TraceFormatError : public std::runtime_error {
+ public:
+  explicit TraceFormatError(TraceError err);
+  const TraceError& error() const { return err_; }
+
+ private:
+  TraceError err_;
+};
+
+/// Reads a binary trace back, either one event at a time or whole.
+/// Malformations are reported as TraceError — thrown (as TraceFormatError)
+/// by the constructor / next() / read_all(), or returned without throwing
+/// by try_next() for callers that must keep running past a corrupt tail.
 class TraceReplayer {
  public:
+  /// Parses the header. Throws TraceFormatError on a short header, bad
+  /// magic, or unsupported version.
   explicit TraceReplayer(std::istream& is);
 
   /// Reads the next record into `out`; false at a clean end of stream.
+  /// Throws TraceFormatError on a truncated record.
   bool next(FluxEvent& out);
+
+  /// Non-throwing form of next(): true when `out` was filled; false at
+  /// end of input — a clean end when error() is empty, a malformed tail
+  /// otherwise (and every later call keeps returning false).
+  bool try_next(FluxEvent& out);
+
+  /// The malformation that ended the stream, if any.
+  const std::optional<TraceError>& error() const { return error_; }
 
   /// Remaining records, in order.
   std::vector<FluxEvent> read_all();
 
   std::uint64_t read_count() const { return read_; }
+  /// Bytes of the trace consumed so far (header + whole records).
+  std::uint64_t offset() const { return offset_; }
 
  private:
   std::istream* is_;
   std::uint64_t read_ = 0;
+  std::uint64_t offset_ = 0;
+  std::optional<TraceError> error_;
 };
 
 /// Convenience: records `events` to / reads a whole trace from a file.

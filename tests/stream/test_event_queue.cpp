@@ -175,6 +175,80 @@ TEST(EventQueue, CloseDrainsThenStops) {
   EXPECT_FALSE(q.pop(out));
 }
 
+TEST(EventQueue, CloseWakesBlockedProducerPromptly) {
+  // Shutdown-wakeup regression guard: a producer parked in a kBlock push
+  // must observe close() promptly and return false — shutdown must never
+  // wait for a pop that will not come.
+  EventQueue q(1, QueuePolicy::kBlock);
+  ASSERT_TRUE(q.push(ev(0, 0)));
+  std::atomic<bool> push_returned{false};
+  std::atomic<bool> push_result{true};
+  // fluxfp-lint: allow(no-raw-thread) -- must park a producer mid-push and
+  // watch close() release it from outside.
+  std::thread producer([&] {
+    push_result.store(q.push(ev(1, 1)));
+    push_returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_FALSE(push_returned.load());  // parked on the full queue
+  q.close();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!push_returned.load() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(push_returned.load());  // woke without a pop
+  producer.join();
+  EXPECT_FALSE(push_result.load());   // and reported the closure
+  FluxEvent out;
+  EXPECT_TRUE(q.pop(out));  // the pre-close backlog still drains
+  EXPECT_EQ(out.node, 0u);
+  EXPECT_FALSE(q.pop(out));
+}
+
+TEST(EventQueue, EvictOneRemovesOldestOfUserAndCounts) {
+  EventQueue q(8, QueuePolicy::kBlock);
+  ASSERT_TRUE(q.push({0.0, 5, 0, 10, 1.0}));
+  ASSERT_TRUE(q.push({1.0, 9, 0, 11, 1.0}));
+  ASSERT_TRUE(q.push({2.0, 5, 1, 12, 1.0}));
+  EXPECT_FALSE(q.evict_one(77));  // no such user queued
+  EXPECT_TRUE(q.evict_one(5));    // removes user 5's OLDEST event
+  FluxEvent out;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out.user, 9u);
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out.user, 5u);
+  EXPECT_EQ(out.node, 12u);  // the newer of user 5's events survived
+  EXPECT_FALSE(q.try_pop(out));
+  const QueueStats s = q.stats();
+  EXPECT_EQ(s.pushed, 3u);
+  EXPECT_EQ(s.evicted, 1u);
+  EXPECT_EQ(s.popped, 2u);
+  // Conservation: pushed == popped + dropped + evicted + size().
+  EXPECT_EQ(s.pushed, s.popped + s.dropped + s.evicted + q.size());
+}
+
+TEST(EventQueue, EvictOneFreesASlotForABlockedProducer) {
+  EventQueue q(1, QueuePolicy::kBlock);
+  ASSERT_TRUE(q.push({0.0, 4, 0, 0, 1.0}));
+  std::atomic<bool> second_done{false};
+  // fluxfp-lint: allow(no-raw-thread) -- a parked producer observing the
+  // slot evict_one() frees is the contract under test.
+  std::thread producer([&] {
+    q.push({1.0, 6, 0, 1, 1.0});
+    second_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_done.load());
+  EXPECT_TRUE(q.evict_one(4));  // displacement frees the slot
+  producer.join();
+  EXPECT_TRUE(second_done.load());
+  FluxEvent out;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out.user, 6u);
+}
+
 TEST(EventQueue, MultipleProducersLoseNothingUnderBlock) {
   EventQueue q(4, QueuePolicy::kBlock);
   constexpr int kProducers = 4;

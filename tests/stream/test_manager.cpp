@@ -2,11 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -15,6 +19,10 @@
 #include "sim/scenario.hpp"
 #include "stream/emit.hpp"
 #include "stream/trace_io.hpp"
+
+#if defined(FLUXFP_OBS_ENABLED)
+#include "obs/obs.hpp"
+#endif
 
 namespace fluxfp::stream {
 namespace {
@@ -225,6 +233,203 @@ TEST(TrackerManager, SurvivesFiftyFaultInjectedRounds) {
   // The deterministic fault plan exercised both anomaly paths.
   EXPECT_GT(duplicates, 0u);
   EXPECT_GT(late, 0u);
+}
+
+/// A tracker whose every event completes a window and runs an SMC step:
+/// folding is orders of magnitude slower than offering, so quota pressure
+/// is sustained without sleeping in the producer.
+StreamTracker slow_tracker(const Bed& bed, std::uint64_t seed,
+                           std::size_t num_predictions = 30) {
+  StreamTrackerConfig cfg;
+  cfg.smc.num_predictions = num_predictions;
+  cfg.smc.num_keep = 4;
+  cfg.expected_readings = 1;
+  return StreamTracker(bed.model, bed.graph, bed.sniffers, 1, cfg, seed);
+}
+
+FluxEvent epoch_event(std::uint32_t user, std::uint32_t epoch,
+                      const Bed& bed) {
+  return {static_cast<double>(epoch), user, epoch,
+          static_cast<std::uint32_t>(bed.sniffers[0]), 1.0};
+}
+
+TEST(TrackerManager, UnknownUserAndShedCountersMatchReturnedStatuses) {
+  const Bed bed;
+  ManagerConfig mc;
+  mc.workers = 1;
+  mc.queue_capacity = 64;
+  mc.tenant_quota = 1;
+  mc.admission = AdmissionPolicy::kShedNewest;
+  TrackerManager m(mc);
+  // ~tens of ms per fold: the first accepted event pins the quota for the
+  // whole (microseconds-long) offer loop, so shedding is structural, not
+  // a scheduling race.
+  m.add_session(0, slow_tracker(bed, 1, 50000));
+#if defined(FLUXFP_OBS_ENABLED)
+  auto& reg = obs::MetricsRegistry::global();
+  const std::uint64_t shed0 =
+      reg.counter("fluxfp_stream_quota_shed_total", "",
+                  obs::Determinism::kScheduling)
+          .value();
+  const std::uint64_t unknown0 =
+      reg.counter("fluxfp_stream_unknown_user_total", "").value();
+#endif
+  m.start();
+  std::uint64_t accepted = 0;
+  std::uint64_t shed = 0;
+  for (std::uint32_t e = 0; e < 40; ++e) {
+    switch (m.offer(epoch_event(0, e, bed))) {
+      case PushStatus::kAccepted:
+        ++accepted;
+        break;
+      case PushStatus::kShedQuota:
+        ++shed;
+        break;
+      default:
+        FAIL() << "unexpected status at epoch " << e;
+    }
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(m.offer(epoch_event(99, 0, bed)), PushStatus::kUnknownUser);
+  }
+  m.finish();
+
+  const ManagerStats stats = m.stats();
+  // The counters ARE the returned statuses — no private second ledger.
+  EXPECT_EQ(stats.events_routed, accepted);
+  EXPECT_EQ(stats.events_shed, shed);
+  EXPECT_EQ(stats.unknown_user, 3u);
+  // Quota 1 against a flood: the policy must actually have shed, and
+  // everything admitted was folded (kShedNewest loses only at admission).
+  EXPECT_GT(shed, 0u);
+  EXPECT_EQ(stats.events_processed, stats.events_routed);
+  EXPECT_EQ(stats.events_dropped, 0u);
+  EXPECT_EQ(stats.events_evicted, 0u);
+#if defined(FLUXFP_OBS_ENABLED)
+  // The obs mirrors moved in lockstep with the statuses offer() returned.
+  EXPECT_EQ(reg.counter("fluxfp_stream_quota_shed_total", "",
+                        obs::Determinism::kScheduling)
+                    .value() -
+                shed0,
+            shed);
+  EXPECT_EQ(
+      reg.counter("fluxfp_stream_unknown_user_total", "").value() - unknown0,
+      3u);
+#endif
+}
+
+TEST(TrackerManager, ShedLowestPriorityDisplacesForTheImportantSession) {
+  const Bed bed;
+  ManagerConfig mc;
+  mc.workers = 1;
+  mc.queue_capacity = 64;
+  mc.tenant_quota = 2;
+  mc.admission = AdmissionPolicy::kShedLowestPriority;
+  TrackerManager m(mc);
+  SessionOptions low;
+  low.tenant = 7;
+  low.priority = 0;
+  SessionOptions high;
+  high.tenant = 7;
+  high.priority = 9;
+  m.add_session(0, slow_tracker(bed, 1, 50000), low);
+  m.add_session(1, slow_tracker(bed, 2, 50000), high);
+#if defined(FLUXFP_OBS_ENABLED)
+  auto& reg = obs::MetricsRegistry::global();
+  const std::uint64_t shed0 =
+      reg.counter("fluxfp_stream_quota_shed_total", "",
+                  obs::Determinism::kScheduling)
+          .value();
+  const std::uint64_t evicted0 =
+      reg.counter("fluxfp_stream_quota_evicted_total", "",
+                  obs::Determinism::kScheduling)
+          .value();
+#endif
+  m.start();
+  std::uint64_t accepted = 0;
+  std::uint64_t shed = 0;
+  const auto offer_counted = [&](const FluxEvent& e) {
+    switch (m.offer(e)) {
+      case PushStatus::kAccepted:
+        ++accepted;
+        break;
+      case PushStatus::kShedQuota:
+        ++shed;
+        break;
+      default:
+        FAIL() << "unexpected admission status";
+    }
+  };
+  // A low-priority flood first (equal rank cannot displace itself), then
+  // the high-priority session arrives and must displace queued low work.
+  for (std::uint32_t e = 0; e < 20; ++e) {
+    offer_counted(epoch_event(0, e, bed));
+  }
+  for (std::uint32_t e = 0; e < 20; ++e) {
+    offer_counted(epoch_event(1, e, bed));
+  }
+  m.finish();
+
+  const ManagerStats stats = m.stats();
+  EXPECT_EQ(stats.events_routed, accepted);
+  EXPECT_EQ(stats.events_shed, shed);
+  EXPECT_GT(shed, 0u);             // the flood exceeded the quota
+  EXPECT_GT(stats.events_evicted, 0u);  // and the VIP displaced queued work
+  // Conservation: every routed event was folded or displaced — a
+  // displaced event leaves the quota ledger AND the queue accounting.
+  EXPECT_EQ(stats.events_processed + stats.events_evicted,
+            stats.events_routed);
+  EXPECT_EQ(stats.events_dropped, 0u);
+#if defined(FLUXFP_OBS_ENABLED)
+  EXPECT_EQ(reg.counter("fluxfp_stream_quota_shed_total", "",
+                        obs::Determinism::kScheduling)
+                    .value() -
+                shed0,
+            stats.events_shed);
+  EXPECT_EQ(reg.counter("fluxfp_stream_quota_evicted_total", "",
+                        obs::Determinism::kScheduling)
+                    .value() -
+                evicted0,
+            stats.events_evicted);
+#endif
+}
+
+TEST(TrackerManager, BlockQuotaProducerIsWokenByFinish) {
+  const Bed bed;
+  ManagerConfig mc;
+  mc.workers = 1;
+  mc.queue_capacity = 64;
+  mc.tenant_quota = 2;
+  mc.admission = AdmissionPolicy::kBlock;
+  TrackerManager m(mc);
+  // Heavy SMC settings: one fold takes hundreds of milliseconds, so the
+  // quota stays saturated across the whole handshake below.
+  m.add_session(0, slow_tracker(bed, 1, 500000));
+  m.start();
+  ASSERT_EQ(m.offer(epoch_event(0, 0, bed)), PushStatus::kAccepted);
+  ASSERT_EQ(m.offer(epoch_event(0, 1, bed)), PushStatus::kAccepted);
+  std::atomic<bool> offer_returned{false};
+  std::atomic<PushStatus> offer_status{PushStatus::kAccepted};
+  // fluxfp-lint: allow(no-raw-thread) -- must park a producer inside a
+  // quota-blocked offer() and watch finish() release it from outside.
+  std::thread producer([&] {
+    offer_status.store(m.offer(epoch_event(0, 2, bed)));
+    offer_returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(offer_returned.load());  // quota held the producer
+  m.finish();  // must wake the parked producer, not wait for it
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!offer_returned.load() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(offer_returned.load());
+  producer.join();
+  EXPECT_EQ(offer_status.load(), PushStatus::kClosed);
+  // The two admitted events were still folded on the way out.
+  EXPECT_EQ(m.stats().events_processed, 2u);
 }
 
 TEST(TrackerManager, DropOldestKeepsConservation) {

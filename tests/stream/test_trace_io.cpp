@@ -102,6 +102,101 @@ TEST(TraceIo, RejectsTruncatedRecord) {
   EXPECT_THROW(rep.next(out), std::runtime_error);
 }
 
+/// Serialized bytes of a valid trace holding `events`.
+std::string trace_bytes(const std::vector<FluxEvent>& events) {
+  std::stringstream buffer;
+  TraceRecorder rec(buffer);
+  rec.write(std::span<const FluxEvent>(events));
+  return buffer.str();
+}
+
+TEST(TraceError, TruncatedHeaderIsTyped) {
+  std::stringstream short_header(trace_bytes({}).substr(0, 10));
+  try {
+    TraceReplayer rep(short_header);
+    FAIL() << "a 10-byte header must not parse";
+  } catch (const TraceFormatError& e) {
+    EXPECT_EQ(e.error().kind, TraceError::Kind::kTruncatedHeader);
+    EXPECT_EQ(e.error().offset, 10u);  // how many bytes there were
+    EXPECT_NE(std::string(e.what()).find("offset 10"), std::string::npos);
+  }
+}
+
+TEST(TraceError, BadMagicIsTyped) {
+  std::string bytes = trace_bytes({});
+  bytes[0] = 'X';
+  std::stringstream bad(bytes);
+  try {
+    TraceReplayer rep(bad);
+    FAIL() << "a corrupt magic must not parse";
+  } catch (const TraceFormatError& e) {
+    EXPECT_EQ(e.error().kind, TraceError::Kind::kBadMagic);
+    EXPECT_EQ(e.error().offset, 0u);
+  }
+}
+
+TEST(TraceError, BadVersionIsTyped) {
+  std::string bytes = trace_bytes({});
+  bytes[8] = 9;  // version field
+  std::stringstream bad(bytes);
+  try {
+    TraceReplayer rep(bad);
+    FAIL() << "a future version must not parse";
+  } catch (const TraceFormatError& e) {
+    EXPECT_EQ(e.error().kind, TraceError::Kind::kBadVersion);
+    EXPECT_EQ(e.error().offset, 8u);  // where the version field lives
+    // The message names both versions so the operator can tell which side
+    // is stale.
+    EXPECT_NE(e.error().reason.find('9'), std::string::npos);
+  }
+}
+
+TEST(TraceError, TryNextReportsTruncationWithoutThrowing) {
+  // One whole record, then a record cut off mid-way — a crashed recorder's
+  // typical tail.
+  const std::string bytes = trace_bytes(sample_events());
+  std::stringstream cut(
+      bytes.substr(0, kTraceHeaderBytes + kTraceRecordBytes + 11));
+  TraceReplayer rep(cut);
+  FluxEvent out;
+  ASSERT_TRUE(rep.try_next(out));  // the intact prefix still replays
+  EXPECT_EQ(out.node, sample_events()[0].node);
+  EXPECT_FALSE(rep.try_next(out));  // the torn record does not
+  ASSERT_TRUE(rep.error().has_value());
+  EXPECT_EQ(rep.error()->kind, TraceError::Kind::kTruncatedRecord);
+  // The error pinpoints where the good bytes ended and which record tore.
+  EXPECT_EQ(rep.error()->offset, kTraceHeaderBytes + kTraceRecordBytes);
+  EXPECT_NE(rep.error()->reason.find("record 1"), std::string::npos);
+  // The error is sticky: the reader stays ended instead of resyncing into
+  // garbage, and the throwing API surfaces the SAME typed error.
+  EXPECT_FALSE(rep.try_next(out));
+  try {
+    rep.next(out);
+    FAIL() << "next() must throw on a torn record";
+  } catch (const TraceFormatError& e) {
+    EXPECT_EQ(e.error().kind, TraceError::Kind::kTruncatedRecord);
+    EXPECT_EQ(e.error().offset, rep.error()->offset);
+  }
+}
+
+TEST(TraceError, OffsetTracksBytesConsumedAndCleanEofIsNotAnError) {
+  const std::vector<FluxEvent> events = sample_events();
+  std::stringstream buffer(trace_bytes(events));
+  TraceReplayer rep(buffer);
+  EXPECT_EQ(rep.offset(), kTraceHeaderBytes);
+  FluxEvent out;
+  std::size_t n = 0;
+  while (rep.try_next(out)) {
+    ++n;
+    EXPECT_EQ(rep.offset(), kTraceHeaderBytes + n * kTraceRecordBytes);
+  }
+  EXPECT_EQ(n, events.size());
+  // End-of-trace is a normal outcome, not a TraceError.
+  EXPECT_FALSE(rep.error().has_value());
+  EXPECT_FALSE(rep.try_next(out));
+  EXPECT_NO_THROW(rep.next(out));
+}
+
 TEST(TraceIo, FileRoundTrip) {
   const std::vector<FluxEvent> events = sample_events();
   const std::string path =
