@@ -5,6 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <span>
+#include <string>
+
 #include "core/localizer.hpp"
 #include "core/nls.hpp"
 #include "core/smc.hpp"
@@ -12,8 +16,10 @@
 #include "net/deployment.hpp"
 #include "net/flux.hpp"
 #include "net/routing.hpp"
+#include "numeric/arena.hpp"
 #include "numeric/hungarian.hpp"
 #include "numeric/parallel.hpp"
+#include "numeric/simd/kernels.hpp"
 #include "sim/measurement.hpp"
 #include "sim/sniffer.hpp"
 #include "stream/emit.hpp"
@@ -97,7 +103,10 @@ void BM_SmoothFlux900(benchmark::State& state) {
 }
 BENCHMARK(BM_SmoothFlux900);
 
-void BM_ShapeColumn(benchmark::State& state) {
+// One shape column at a time — the latency floor of a single candidate.
+// The throughput path is BM_ShapeColumns (batch ColumnBlock build) below;
+// the two used to differ by one letter, hence the explicit "Single".
+void BM_ShapeColumnSingle(benchmark::State& state) {
   const core::SparseObjective obj =
       make_objective(static_cast<std::size_t>(state.range(0)), 1);
   std::vector<double> col;
@@ -107,17 +116,17 @@ void BM_ShapeColumn(benchmark::State& state) {
     benchmark::DoNotOptimize(col.data());
   }
 }
-BENCHMARK(BM_ShapeColumn)->Arg(90)->Arg(360);
+BENCHMARK(BM_ShapeColumnSingle)->Arg(90)->Arg(360);
 
 void BM_ConditionalFitEvaluate(benchmark::State& state) {
   const std::size_t k = static_cast<std::size_t>(state.range(0));
   const core::SparseObjective obj = make_objective(90, k);
   geom::Rng rng(8);
   std::vector<std::vector<double>> cols(k - 1);
-  std::vector<const std::vector<double>*> fixed;
+  std::vector<std::span<const double>> fixed;
   for (std::size_t j = 0; j + 1 < k; ++j) {
     obj.shape_column(geom::uniform_in_field(field(), rng), cols[j]);
-    fixed.push_back(&cols[j]);
+    fixed.push_back(cols[j]);
   }
   const core::ConditionalFit cond(obj, fixed, 0);
   std::vector<double> cand;
@@ -127,6 +136,47 @@ void BM_ConditionalFitEvaluate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ConditionalFitEvaluate)->Arg(1)->Arg(3)->Arg(8)->Arg(20);
+
+// ConditionalFit construction: the fixed Gram block + fixed c dot products
+// that every conditional sweep pays before its first candidate.
+void BM_GramBuild(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const core::SparseObjective obj = make_objective(90, k);
+  geom::Rng rng(8);
+  std::vector<std::vector<double>> cols(k - 1);
+  std::vector<std::span<const double>> fixed;
+  for (std::size_t j = 0; j + 1 < k; ++j) {
+    obj.shape_column(geom::uniform_in_field(field(), rng), cols[j]);
+    fixed.push_back(cols[j]);
+  }
+  for (auto _ : state) {
+    const core::ConditionalFit cond(obj, fixed, 0);
+    benchmark::DoNotOptimize(&cond);
+  }
+}
+BENCHMARK(BM_GramBuild)->Arg(3)->Arg(8)->Arg(20);
+
+// Arena bump-allocation round trip: the per-epoch scratch pattern of the
+// SMC step (a handful of spans, then reset). Steady state must be a few ns
+// per alloc — no heap traffic once the high-water mark is reached.
+void BM_ArenaScratch(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  numeric::Arena arena;
+  for (auto _ : state) {
+    arena.reset();
+    const auto a = arena.alloc<double>(n);
+    const auto b = arena.alloc<double>(n);
+    const auto c = arena.alloc<std::size_t>(n);
+    a[0] = 1.0;
+    b[n - 1] = 2.0;
+    c[n / 2] = 3;
+    benchmark::DoNotOptimize(a.data());
+    benchmark::DoNotOptimize(b.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 3);
+}
+BENCHMARK(BM_ArenaScratch)->Arg(1000)->Arg(100000);
 
 void BM_NnlsFromGram(benchmark::State& state) {
   const std::size_t k = static_cast<std::size_t>(state.range(0));
@@ -387,6 +437,53 @@ void BM_Hungarian(benchmark::State& state) {
 }
 BENCHMARK(BM_Hungarian)->Arg(4)->Arg(20);
 
+/// First "model name" line of /proc/cpuinfo, or "unknown".
+std::string cpu_model_name() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto colon = line.find(':');
+    if (line.rfind("model name", 0) == 0 && colon != std::string::npos) {
+      std::size_t start = colon + 1;
+      while (start < line.size() && line[start] == ' ') {
+        ++start;
+      }
+      return line.substr(start);
+    }
+  }
+  return "unknown";
+}
+
+/// cpu0's cpufreq governor, or "unknown" (containers often hide cpufreq).
+std::string cpu_governor() {
+  std::ifstream in(
+      "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor");
+  std::string governor;
+  if (in >> governor) {
+    return governor;
+  }
+  return "unknown";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): stamps the machine/build context
+// the perf-regression gate needs into the JSON "context" block, so a
+// baseline and a fresh run can be checked for comparability (same SIMD
+// backend, same CPU, same governor) before their medians are diffed.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("fluxfp_simd_backend",
+                              fluxfp::numeric::simd::backend_name());
+  benchmark::AddCustomContext(
+      "fluxfp_simd_lanes",
+      std::to_string(fluxfp::numeric::simd::lane_count()));
+  benchmark::AddCustomContext("fluxfp_cpu_model", cpu_model_name());
+  benchmark::AddCustomContext("fluxfp_cpu_governor", cpu_governor());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,13 +1,31 @@
 #!/usr/bin/env bash
 # Builds bench_micro in Release and regenerates the benchmark-regression
-# baseline BENCH_micro.json at the repo root.
+# baseline BENCH_micro.json at the repo root — or, with --check, measures
+# into a scratch file and diffs medians against the committed baseline.
 #
-# Usage: bench/run_benchmarks.sh [--lint] [extra --benchmark_* flags...]
+# Usage: bench/run_benchmarks.sh [--lint] [--check] [extra --benchmark_* flags...]
 #
 # --lint runs the static-analysis gate (fluxfp-lint, header hygiene,
 # clang-tidy when installed) first and refuses to measure a tree that
 # fails it: numbers from a tree that violates the determinism contracts
 # are not comparable to the committed baseline.
+#
+# --check is the perf-regression gate: a fresh run is compared
+# per-benchmark (median real_time) against the committed BENCH_micro.json;
+# any benchmark slower than the baseline median by more than the tolerance
+# (FLUXFP_BENCH_TOLERANCE, default 25% — sized for the reference
+# container's host-contention noise) exits 3. Benchmarks present on only
+# one side (renames, additions) are listed, not failed. The comparison
+# refuses to judge runs from a different CPU model or SIMD backend than
+# the baseline records — regenerate the baseline on the new machine
+# instead.
+#
+# Regenerating the baseline (after an intentional perf change, a new
+# benchmark, or a machine change):
+#   bench/run_benchmarks.sh          # rewrites BENCH_micro.json in place
+#   git add BENCH_micro.json         # commit it with the change
+# then re-run `bench/run_benchmarks.sh --check` once to confirm the fresh
+# baseline passes its own gate.
 #
 # The baseline is machine-specific: compare candidate runs only against a
 # baseline produced on the same hardware (google-benchmark's
@@ -32,9 +50,23 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${BUILD_DIR:-$repo_root/build-bench}"
 
 run_lint=0
-if [[ "${1:-}" == "--lint" ]]; then
-  run_lint=1
+run_check=0
+while [[ "${1:-}" == "--lint" || "${1:-}" == "--check" ]]; do
+  if [[ "$1" == "--lint" ]]; then
+    run_lint=1
+  else
+    run_check=1
+  fi
   shift
+done
+
+out_json="$repo_root/BENCH_micro.json"
+if [[ "$run_check" == 1 ]]; then
+  if [[ ! -f "$repo_root/BENCH_micro.json" ]]; then
+    echo "run_benchmarks.sh: --check needs a committed BENCH_micro.json" >&2
+    exit 1
+  fi
+  out_json="$(mktemp /tmp/fluxfp-bench-XXXXXX.json)"
 fi
 
 cmake -S "$repo_root" -B "$build_dir" \
@@ -54,21 +86,78 @@ fi
 cmake --build "$build_dir" --target bench_micro -j "$(nproc)"
 
 "$build_dir/bench/bench_micro" \
-  --benchmark_out="$repo_root/BENCH_micro.json" \
+  --benchmark_out="$out_json" \
   --benchmark_out_format=json \
   --benchmark_repetitions=3 \
   --benchmark_enable_random_interleaving \
   --benchmark_report_aggregates_only=true \
   "$@"
 
-echo "Wrote $repo_root/BENCH_micro.json"
+echo "Wrote $out_json"
+
+if [[ "$run_check" == 1 ]]; then
+  echo "== perf-regression gate: fresh medians vs committed baseline =="
+  python3 - "$repo_root/BENCH_micro.json" "$out_json" \
+      "${FLUXFP_BENCH_TOLERANCE:-25}" <<'EOF'
+import json
+import sys
+
+baseline_path, fresh_path, tolerance_pct = sys.argv[1:4]
+tolerance = float(tolerance_pct) / 100.0
+
+def load(path):
+    with open(path) as f:
+        report = json.load(f)
+    medians = {}
+    for b in report.get("benchmarks", []):
+        name = b["name"]
+        if name.endswith("_median") or name.endswith("/real_time_median"):
+            key = name.rsplit("_median", 1)[0]
+            key = key[: -len("/real_time")] if key.endswith("/real_time") else key
+            medians[key] = float(b["real_time"])
+    return report.get("context", {}), medians
+
+base_ctx, base = load(baseline_path)
+fresh_ctx, fresh = load(fresh_path)
+
+# Comparability preflight: numbers from a different machine or SIMD
+# backend are not regressions, they are a different baseline.
+for key in ("fluxfp_simd_backend", "fluxfp_cpu_model"):
+    b, f = base_ctx.get(key), fresh_ctx.get(key)
+    if b is not None and f is not None and b != f:
+        print(f"INCOMPARABLE: {key} baseline={b!r} fresh={f!r}; "
+              "regenerate the baseline on this machine/build instead")
+        sys.exit(2)
+
+failures = []
+for name in sorted(base):
+    if name not in fresh:
+        print(f"  baseline-only (renamed/removed?): {name}")
+        continue
+    ratio = fresh[name] / base[name] if base[name] > 0 else 1.0
+    status = "ok"
+    if ratio > 1.0 + tolerance:
+        status = "REGRESSION"
+        failures.append(name)
+    print(f"  {status:>10}  {name}: {base[name]:.0f} -> {fresh[name]:.0f} ns"
+          f"  ({(ratio - 1.0) * 100.0:+.1f}%)")
+for name in sorted(set(fresh) - set(base)):
+    print(f"  fresh-only (new benchmark?): {name}")
+
+if failures:
+    print(f"perf gate FAILED: {len(failures)} benchmark(s) regressed more "
+          f"than {tolerance_pct}% over the committed baseline")
+    sys.exit(3)
+print(f"perf gate passed (tolerance {tolerance_pct}%)")
+EOF
+fi
 
 # Surface the observability-overhead delta recorded in the baseline:
 # BM_ObsOverhead/0 (obs disabled) vs BM_ObsOverhead/1 (obs recording) run
 # the BM_StreamEpoch workload in the same binary, so their ratio is the
 # instrumentation cost on the hottest path. The acceptance bar is < 2%.
 if command -v python3 >/dev/null 2>&1; then
-  python3 - "$repo_root/BENCH_micro.json" <<'EOF'
+  python3 - "$out_json" <<'EOF'
 import json
 import sys
 

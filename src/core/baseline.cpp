@@ -1,8 +1,10 @@
 #include "core/baseline.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
+#include <span>
 #include <stdexcept>
 
 #include "numeric/hungarian.hpp"
@@ -97,13 +99,16 @@ LocalizationResult GridLocalizer::localize(const SparseObjective& objective,
   // into the field).
   std::vector<double> cand_col;
   auto sweep_user = [&](std::size_t j, geom::Vec2 center, double half) {
-    std::vector<const std::vector<double>*> fixed;
+    std::array<std::span<const double>, kMaxGramUsers> fixed;
+    std::size_t nf = 0;
     for (std::size_t o = 0; o < num_users; ++o) {
       if (o != j) {
-        fixed.push_back(&columns[o]);
+        fixed[nf++] = columns[o];
       }
     }
-    const ConditionalFit cond(objective, fixed, fixed.size());
+    const ConditionalFit cond(
+        objective, std::span<const std::span<const double>>(fixed.data(), nf),
+        nf);
     double best = std::numeric_limits<double>::infinity();
     geom::Vec2 best_p = positions[j];
     for (std::size_t iy = 0; iy < config_.grid; ++iy) {

@@ -1,9 +1,16 @@
 #pragma once
 
+#include <cstddef>
+
 #include "geom/field.hpp"
 #include "geom/vec2.hpp"
 
 namespace fluxfp::core {
+
+/// Concrete field geometry recognized by the vectorized shape kernels.
+/// Detected once at FluxModel construction so the per-row hot path never
+/// pays for a dynamic_cast.
+enum class FieldKind { kGeneric, kRect, kCircle };
 
 /// The parameterized network-flux model of §3.B.
 ///
@@ -32,6 +39,19 @@ class FluxModel {
   /// as a silently-NaN column).
   double shape(geom::Vec2 sink, geom::Vec2 node) const;
 
+  /// Batch shape row: out[i] = shape(sink, {qx[i], qy[i]}) for i in [0, n),
+  /// evaluated by the SIMD kernels (structure-of-arrays input). Returns
+  /// false — leaving out in an unspecified state — when no vector backend
+  /// is compiled in, the field is not a recognized Rect/Circle geometry,
+  /// or any coordinate is non-finite; the caller must then run the scalar
+  /// shape() loop on the same buffer,
+  /// which preserves the exact legacy arithmetic and the throw on
+  /// non-finite positions. When it returns true, every out[i] is
+  /// bit-identical to shape(sink, {qx[i], qy[i]}) (element-wise lanes, no
+  /// reductions — see DESIGN.md section 14).
+  bool shape_row(geom::Vec2 sink, const double* qx, const double* qy,
+                 std::size_t n, double* out) const;
+
   /// Continuous-model flux (Eq. 3.2): s * shape.
   double continuous_flux(geom::Vec2 sink, geom::Vec2 node, double s) const;
 
@@ -41,10 +61,18 @@ class FluxModel {
 
   const geom::Field& field() const { return *field_; }
   double d_min() const { return d_min_; }
+  FieldKind field_kind() const { return kind_; }
 
  private:
   const geom::Field* field_;
   double d_min_;
+  FieldKind kind_ = FieldKind::kGeneric;
+  // Cached geometry parameters for the recognized field kinds; unused for
+  // kGeneric.
+  double rect_width_ = 0.0;
+  double rect_height_ = 0.0;
+  geom::Vec2 circle_center_{0.0, 0.0};
+  double circle_radius_ = 0.0;
 };
 
 }  // namespace fluxfp::core

@@ -1,9 +1,11 @@
 #include "core/localizer.hpp"
 
 #include <algorithm>
+#include <array>
 #include <limits>
 #include <stdexcept>
 
+#include "numeric/arena.hpp"
 #include "numeric/parallel.hpp"
 #include "obs/instrument.hpp"
 
@@ -142,29 +144,39 @@ LocalizationResult InstantLocalizer::search(
                         [&](std::size_t restart) {
     const RestartPlan& plan = plans[restart];
     RestartOutcome& outcome = outcomes[restart];
+    // Per-worker scratch arena, reset at each restart: the columns and
+    // batch-score buffers below live for one restart and then vanish
+    // without ever hitting the heap.
+    thread_local numeric::Arena arena;
+    arena.reset();
+    const std::size_t n = objective.sample_count();
     // Current combination and cached shape columns.
     std::vector<geom::Vec2> positions = plan.init;
-    std::vector<std::vector<double>> columns(num_users);
+    const std::span<double> col_storage = arena.alloc<double>(num_users * n);
+    std::array<std::span<double>, kMaxGramUsers> columns;
     for (std::size_t j = 0; j < num_users; ++j) {
+      columns[j] = col_storage.subspan(j * n, n);
       objective.shape_column(positions[j], columns[j]);
     }
 
     outcome.last_scores.resize(num_users);
     ColumnBlock block;
-    std::vector<double> residuals(per_sweep);
-    std::vector<double> stretches(per_sweep);
+    const std::span<double> residuals = arena.alloc<double>(per_sweep);
+    const std::span<double> stretches = arena.alloc<double>(per_sweep);
 
     for (int sweep = 0; sweep < sweeps; ++sweep) {
       for (std::size_t j = 0; j < num_users; ++j) {
         // Fix all other users' columns; sweep user j's candidates.
-        std::vector<const std::vector<double>*> fixed;
-        fixed.reserve(num_users - 1);
+        std::array<std::span<const double>, kMaxGramUsers> fixed;
+        std::size_t nf = 0;
         for (std::size_t o = 0; o < num_users; ++o) {
           if (o != j) {
-            fixed.push_back(&columns[o]);
+            fixed[nf++] = columns[o];
           }
         }
-        const ConditionalFit cond(objective, fixed, j);
+        const ConditionalFit cond(
+            objective,
+            std::span<const std::span<const double>>(fixed.data(), nf), j);
 
         const std::vector<geom::Vec2>& cand =
             plan.candidates[static_cast<std::size_t>(sweep) * num_users + j];
@@ -182,7 +194,8 @@ LocalizationResult InstantLocalizer::search(
         keep_top(scored, std::max(config_.top_m, std::size_t{1}));
 
         positions[j] = scored.front().position;
-        objective.shape_column(positions[j], columns[j]);
+        objective.shape_column(positions[j],
+                               std::span<double>(columns[j]));
         outcome.residual = scored.front().residual;
         if (sweep == sweeps - 1) {
           outcome.last_scores[j] = std::move(scored);

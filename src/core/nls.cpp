@@ -8,6 +8,7 @@
 #include "numeric/matrix.hpp"
 #include "numeric/nnls.hpp"
 #include "numeric/parallel.hpp"
+#include "numeric/simd/kernels.hpp"
 #include "obs/instrument.hpp"
 
 namespace fluxfp::core {
@@ -131,6 +132,14 @@ SparseObjective::SparseObjective(const FluxModel& model,
   sample_positions_.resize(live);
   measured_.resize(live);
   measured_norm_ = numeric::norm(measured_);
+  // Structure-of-arrays coordinate rows for the SIMD shape kernels, built
+  // once per objective over the compacted live samples.
+  qx_.resize(live);
+  qy_.resize(live);
+  for (std::size_t i = 0; i < live; ++i) {
+    qx_[i] = sample_positions_[i].x;
+    qy_[i] = sample_positions_[i].y;
+  }
 }
 
 std::vector<double> SparseObjective::shape_column(geom::Vec2 sink) const {
@@ -147,11 +156,19 @@ void SparseObjective::shape_column(geom::Vec2 sink,
 
 void SparseObjective::shape_column_into(geom::Vec2 sink,
                                         std::span<double> out) const {
-  for (std::size_t i = 0; i < sample_positions_.size(); ++i) {
-    out[i] = model_.shape(sink, sample_positions_[i]);
-    if (!row_scale_.empty()) {
-      out[i] *= row_scale_[i];
+  const std::size_t n = sample_positions_.size();
+  // Vectorized fast path over the SoA coordinate rows; falls back to the
+  // scalar loop (which preserves the legacy throw-on-non-finite behavior)
+  // when no vector backend is built, the field is generic, or any
+  // coordinate is non-finite. Row scaling is a separate element-wise pass:
+  // same per-element arithmetic as the legacy fused loop, bit for bit.
+  if (!model_.shape_row(sink, qx_.data(), qy_.data(), n, out.data())) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = model_.shape(sink, sample_positions_[i]);
     }
+  }
+  if (!row_scale_.empty()) {
+    numeric::simd::scale_rows(out.data(), row_scale_.data(), n);
   }
 }
 
@@ -169,20 +186,20 @@ StretchFit SparseObjective::fit(std::span<const geom::Vec2> sinks) const {
   // would race, while per-call vectors would re-pay the allocations this
   // reuse exists to remove.
   thread_local std::vector<std::vector<double>> cols;
-  thread_local std::vector<const std::vector<double>*> ptrs;
+  thread_local std::vector<std::span<const double>> spans;
   if (cols.size() < sinks.size()) {
     cols.resize(sinks.size());
   }
-  ptrs.resize(sinks.size());
+  spans.resize(sinks.size());
   for (std::size_t j = 0; j < sinks.size(); ++j) {
     shape_column(sinks[j], cols[j]);
-    ptrs[j] = &cols[j];
+    spans[j] = cols[j];
   }
-  return fit_columns(ptrs);
+  return fit_columns(spans);
 }
 
 StretchFit SparseObjective::fit_columns(
-    std::span<const std::vector<double>* const> columns) const {
+    std::span<const std::span<const double>> columns) const {
   const std::size_t n = sample_positions_.size();
   const std::size_t k = columns.size();
   StretchFit out;
@@ -196,7 +213,7 @@ StretchFit SparseObjective::fit_columns(
     return out;
   }
   if (k == 1) {
-    const std::vector<double>& f = *columns[0];
+    const std::span<const double> f = columns[0];
     const double s = numeric::nnls_single(f, measured_);
     double acc = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
@@ -209,7 +226,7 @@ StretchFit SparseObjective::fit_columns(
   }
   numeric::Matrix a(n, k);
   for (std::size_t j = 0; j < k; ++j) {
-    const std::vector<double>& col = *columns[j];
+    const std::span<const double> col = columns[j];
     if (col.size() != n) {
       throw std::invalid_argument("fit_columns: column length mismatch");
     }
@@ -270,6 +287,28 @@ SparseObjective SparseObjective::reweighted(
   }
   out.measured_norm_ = numeric::norm(out.measured_);
   return out;
+}
+
+void SparseObjective::reweighted_into(std::span<const double> weights,
+                                      SparseObjective& out) const {
+  if (weights.size() != sample_positions_.size()) {
+    throw std::invalid_argument("reweighted: weight count mismatch");
+  }
+  // Copy-assignment reuses out's vector capacity, so a per-epoch IRLS
+  // round allocates nothing once the buffers are warm.
+  out = *this;
+  if (out.row_scale_.empty()) {
+    out.row_scale_.assign(weights.size(), 1.0);
+  }
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (!(weights[i] >= 0.0)) {
+      throw std::invalid_argument("reweighted: negative weight");
+    }
+    const double s = std::sqrt(weights[i]);
+    out.row_scale_[i] *= s;
+    out.measured_[i] = measured_[i] * s;
+  }
+  out.measured_norm_ = numeric::norm(out.measured_);
 }
 
 StretchFit SparseObjective::fit_robust(std::span<const geom::Vec2> sinks,
@@ -567,44 +606,38 @@ StretchFit nnls_from_gram(std::span<const double> g, std::size_t k,
 
 ConditionalFit::ConditionalFit(
     const SparseObjective& obj,
-    std::span<const std::vector<double>* const> fixed_columns,
+    std::span<const std::span<const double>> fixed_columns,
     std::size_t vary_index)
-    : obj_(&obj),
-      fixed_(fixed_columns.begin(), fixed_columns.end()),
-      vary_index_(vary_index) {
-  const std::size_t kf = fixed_.size();
+    : obj_(&obj), fixed_count_(fixed_columns.size()), vary_index_(vary_index) {
+  const std::size_t kf = fixed_count_;
   if (kf + 1 > kMaxGramUsers || vary_index > kf) {
     throw std::invalid_argument("ConditionalFit: bad dimensions");
   }
   const std::size_t n = obj.sample_count();
-  for (const auto* col : fixed_columns) {
-    if (col->size() != n) {
+  for (std::size_t a = 0; a < kf; ++a) {
+    if (fixed_columns[a].size() != n) {
       throw std::invalid_argument("ConditionalFit: column length mismatch");
     }
+    fixed_[a] = fixed_columns[a];
   }
-  fixed_gram_.assign(kf * kf, 0.0);
-  fixed_c_.assign(kf, 0.0);
   const std::vector<double>& b = obj.measured();
+  // Gram block of the fixed columns via the dot kernel: exact legacy
+  // accumulation in the scalar backend; vector backends change only the
+  // summation order (tolerance-tested).
   for (std::size_t a = 0; a < kf; ++a) {
     for (std::size_t bI = a; bI < kf; ++bI) {
-      double acc = 0.0;
-      for (std::size_t i = 0; i < n; ++i) {
-        acc += (*fixed_[a])[i] * (*fixed_[bI])[i];
-      }
+      const double acc =
+          numeric::simd::dot(fixed_[a].data(), fixed_[bI].data(), n);
       fixed_gram_[a * kf + bI] = acc;
       fixed_gram_[bI * kf + a] = acc;
     }
-    double acc = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      acc += (*fixed_[a])[i] * b[i];
-    }
-    fixed_c_[a] = acc;
+    fixed_c_[a] = numeric::simd::dot(fixed_[a].data(), b.data(), n);
   }
 }
 
 StretchFit ConditionalFit::evaluate(
     std::span<const double> candidate_column) const {
-  const std::size_t k = fixed_.size() + 1;
+  const std::size_t k = fixed_count_ + 1;
   StretchFit out;
   double s[kMaxGramUsers];
   out.residual = evaluate_into(candidate_column, s);
@@ -638,27 +671,22 @@ void ConditionalFit::evaluate_batch(const ColumnBlock& block,
 
 double ConditionalFit::evaluate_into(std::span<const double> candidate_column,
                                      double* stretches) const {
-  const std::size_t kf = fixed_.size();
+  const std::size_t kf = fixed_count_;
   const std::size_t k = kf + 1;
   const std::size_t n = obj_->sample_count();
   const std::vector<double>& b = obj_->measured();
 
-  // Cross terms of the candidate with the fixed columns, itself, and b.
+  // Cross terms of the candidate with the fixed columns, itself, and b —
+  // all through the dot kernels (the measured hot path of the sweep).
   double cross[kMaxGramUsers];
   for (std::size_t a = 0; a < kf; ++a) {
-    double acc = 0.0;
-    const std::vector<double>& fa = *fixed_[a];
-    for (std::size_t i = 0; i < n; ++i) {
-      acc += fa[i] * candidate_column[i];
-    }
-    cross[a] = acc;
+    cross[a] =
+        numeric::simd::dot(fixed_[a].data(), candidate_column.data(), n);
   }
   double self = 0.0;
   double cb = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    self += candidate_column[i] * candidate_column[i];
-    cb += candidate_column[i] * b[i];
-  }
+  numeric::simd::dot_self_and_b(candidate_column.data(), b.data(), n, &self,
+                                &cb);
 
   // Assemble the K x K Gram with the candidate inserted at vary_index_.
   // Slot mapping: output index vary_index_ -> candidate; fixed column a

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <array>
+#include <memory>
+#include <new>
 #include <span>
 #include <vector>
 
@@ -8,9 +11,12 @@
 
 namespace fluxfp::core {
 
-/// Contiguous storage for a batch of shape columns: C columns of length n
-/// in one allocation, column c occupying data()[c * rows()] onward. The
-/// candidate-evaluation engine fills one block per user per round
+/// Contiguous structure-of-arrays storage for a batch of shape columns:
+/// C columns in one 64-byte-aligned allocation, column c occupying
+/// data()[c * stride()] onward. stride() is rows() rounded up to a
+/// multiple of 8 doubles so every column starts on its own cache line;
+/// the padding tail of a column is never read or written by the kernels.
+/// The candidate-evaluation engine fills one block per user per round
 /// (SparseObjective::shape_columns) and scores it in cache-friendly chunks
 /// (ConditionalFit::evaluate_batch), replacing the per-candidate
 /// vector<vector<double>> heap churn of the serial implementation.
@@ -20,31 +26,46 @@ class ColumnBlock {
   ColumnBlock(std::size_t rows, std::size_t cols) { resize(rows, cols); }
 
   /// Reshapes to rows x cols; existing contents are unspecified afterwards.
-  /// Capacity is retained across shrinks, so a reused block stops
-  /// allocating once it has seen its largest batch.
+  /// Capacity is retained across shrinks (high-water semantics), so a
+  /// reused block stops allocating once it has seen its largest batch.
   void resize(std::size_t rows, std::size_t cols) {
     rows_ = rows;
     cols_ = cols;
-    data_.resize(rows * cols);
+    stride_ = (rows + 7) / 8 * 8;
+    const std::size_t need = stride_ * cols;
+    if (need > capacity_) {
+      data_.reset(new (std::align_val_t{64}) double[need]());
+      capacity_ = need;
+    }
   }
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
+  /// Doubles between consecutive column starts; >= rows(), multiple of 8.
+  std::size_t stride() const { return stride_; }
 
   std::span<double> column(std::size_t c) {
-    return {data_.data() + c * rows_, rows_};
+    return {data_.get() + c * stride_, rows_};
   }
   std::span<const double> column(std::size_t c) const {
-    return {data_.data() + c * rows_, rows_};
+    return {data_.get() + c * stride_, rows_};
   }
 
-  double* data() { return data_.data(); }
-  const double* data() const { return data_.data(); }
+  double* data() { return data_.get(); }
+  const double* data() const { return data_.get(); }
 
  private:
+  struct AlignedFree {
+    void operator()(double* p) const {
+      ::operator delete[](p, std::align_val_t{64});
+    }
+  };
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  std::size_t stride_ = 0;
+  std::size_t capacity_ = 0;  // allocated doubles
+  std::unique_ptr<double[], AlignedFree> data_;
 };
 
 /// Result of fitting stretch factors for one candidate set of sink
@@ -136,6 +157,11 @@ class SparseObjective {
   std::vector<double> shape_column(geom::Vec2 sink) const;
   /// In-place variant (out resized to n) to avoid allocation in hot loops.
   void shape_column(geom::Vec2 sink, std::vector<double>& out) const;
+  /// Span variant for arena-backed scratch: `out` must already have
+  /// sample_count() entries.
+  void shape_column(geom::Vec2 sink, std::span<double> out) const {
+    shape_column_into(sink, out);
+  }
 
   /// Batch column build: `out` is resized to n x sinks.size() and column c
   /// is filled with shape_column(sinks[c]). The work fans out over the
@@ -149,8 +175,7 @@ class SparseObjective {
 
   /// Fit from precomputed shape columns (all length n). Used by the search
   /// loops where K-1 columns stay fixed while one candidate varies.
-  StretchFit fit_columns(
-      std::span<const std::vector<double>* const> columns) const;
+  StretchFit fit_columns(std::span<const std::span<const double>> columns) const;
 
   /// Per-live-sample signed residuals F(sinks, stretches) - F' (length
   /// sample_count()). Throws std::invalid_argument on size mismatch.
@@ -168,6 +193,13 @@ class SparseObjective {
   /// every fit path (Gram NNLS, ConditionalFit) unchanged.
   SparseObjective reweighted(std::span<const double> weights) const;
 
+  /// In-place variant for the per-epoch IRLS loop: overwrites `out` with
+  /// the weighted copy, reusing its vector capacity so steady-state rounds
+  /// allocate nothing. `out` is typically optional<SparseObjective>
+  /// storage seeded once via reweighted().
+  void reweighted_into(std::span<const double> weights,
+                       SparseObjective& out) const;
+
   /// Convenience robust fit: plain fit, then config.reweight_rounds of
   /// (residuals -> robust_weights -> reweighted fit). The returned
   /// residual/stretches are evaluated on the *unweighted* objective so
@@ -181,6 +213,11 @@ class SparseObjective {
 
   FluxModel model_;
   std::vector<geom::Vec2> sample_positions_;
+  /// Structure-of-arrays mirror of sample_positions_ (built once at
+  /// construction, after compaction) — the contiguous coordinate rows the
+  /// SIMD shape kernels consume.
+  std::vector<double> qx_;
+  std::vector<double> qy_;
   std::vector<double> measured_;
   double measured_norm_ = 0.0;
   std::size_t masked_count_ = 0;
@@ -213,9 +250,10 @@ class ConditionalFit {
  public:
   /// `fixed_columns` are the K-1 other users' shape columns (each length
   /// n); `vary_index` in [0, K) is the slot of the varying user in the
-  /// output stretch vector. The objective and columns must outlive this.
+  /// output stretch vector. The objective and the storage the spans view
+  /// must outlive this; the span-of-spans itself is copied.
   ConditionalFit(const SparseObjective& obj,
-                 std::span<const std::vector<double>* const> fixed_columns,
+                 std::span<const std::span<const double>> fixed_columns,
                  std::size_t vary_index);
 
   /// Fit with the varying user's column = `candidate_column` (length n).
@@ -236,7 +274,7 @@ class ConditionalFit {
                       std::span<double> residuals_out,
                       std::span<double> vary_stretch_out = {}) const;
 
-  std::size_t user_count() const { return fixed_.size() + 1; }
+  std::size_t user_count() const { return fixed_count_ + 1; }
 
  private:
   /// Shared core: fit with the candidate column, writing the full stretch
@@ -245,10 +283,13 @@ class ConditionalFit {
                        double* stretches) const;
 
   const SparseObjective* obj_;
-  std::vector<const std::vector<double>*> fixed_;
+  std::size_t fixed_count_;
   std::size_t vary_index_;
-  std::vector<double> fixed_gram_;  // (K-1)^2 row-major
-  std::vector<double> fixed_c_;     // K-1
+  // Fixed-size storage (kMaxGramUsers bounds K) so constructing a
+  // ConditionalFit per sweep allocates nothing.
+  std::array<std::span<const double>, kMaxGramUsers> fixed_;
+  std::array<double, kMaxGramUsers * kMaxGramUsers> fixed_gram_;  // row-major
+  std::array<double, kMaxGramUsers> fixed_c_;
 };
 
 }  // namespace fluxfp::core

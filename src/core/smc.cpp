@@ -4,7 +4,6 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
-#include <optional>
 #include <stdexcept>
 
 #include "obs/instrument.hpp"
@@ -49,13 +48,29 @@ SmcTracker::SmcTracker(const geom::Field& field, std::size_t num_users,
   t_last_.assign(num_users, 0.0);
   prev_estimate_.assign(num_users, geom::Vec2{});
   heading_.assign(num_users, geom::Vec2{});
+  rep_cols_.resize(num_users);
+  cand_cols_.resize(num_users);
   const double w0 = 1.0 / static_cast<double>(config_.num_keep);
-  for (auto& set : particles_) {
-    set.reserve(config_.num_keep);
+  for (ParticleSet& set : particles_) {
+    set.x.reserve(config_.num_keep);
+    set.y.reserve(config_.num_keep);
+    set.w.reserve(config_.num_keep);
     for (std::size_t i = 0; i < config_.num_keep; ++i) {
-      set.push_back({geom::uniform_in_field(*field_, rng), w0});
+      const geom::Vec2 p = geom::uniform_in_field(*field_, rng);
+      set.x.push_back(p.x);
+      set.y.push_back(p.y);
+      set.w.push_back(w0);
     }
   }
+}
+
+std::vector<Particle> SmcTracker::particles(std::size_t user) const {
+  const ParticleSet& set = particles_.at(user);
+  std::vector<Particle> out(set.size());
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    out[i] = {{set.x[i], set.y[i]}, set.w[i]};
+  }
+  return out;
 }
 
 SmcState SmcTracker::save_state() const {
@@ -63,7 +78,7 @@ SmcState SmcTracker::save_state() const {
   state.users.resize(particles_.size());
   for (std::size_t u = 0; u < particles_.size(); ++u) {
     SmcUserState& us = state.users[u];
-    us.particles = particles_[u];
+    us.particles = particles(u);
     us.t_last = t_last_[u];
     us.prev_estimate = prev_estimate_[u];
     us.heading = heading_[u];
@@ -87,7 +102,16 @@ void SmcTracker::restore_state(const SmcState& state) {
   }
   for (std::size_t u = 0; u < particles_.size(); ++u) {
     const SmcUserState& us = state.users[u];
-    particles_[u] = us.particles;
+    ParticleSet& set = particles_[u];
+    const std::size_t m = us.particles.size();
+    set.x.resize(m);
+    set.y.resize(m);
+    set.w.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      set.x[i] = us.particles[i].position.x;
+      set.y[i] = us.particles[i].position.y;
+      set.w[i] = us.particles[i].weight;
+    }
     t_last_[u] = us.t_last;
     prev_estimate_[u] = us.prev_estimate;
     heading_[u] = us.heading;
@@ -96,26 +120,26 @@ void SmcTracker::restore_state(const SmcState& state) {
 }
 
 geom::Vec2 SmcTracker::estimate(std::size_t user) const {
-  const auto& set = particles_.at(user);
+  const ParticleSet& set = particles_.at(user);
   geom::Vec2 acc;
   double wsum = 0.0;
-  for (const Particle& p : set) {
-    acc += p.position * p.weight;
-    wsum += p.weight;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    acc += geom::Vec2{set.x[i], set.y[i]} * set.w[i];
+    wsum += set.w[i];
   }
-  return wsum > 0.0 ? acc / wsum : set.front().position;
+  return wsum > 0.0 ? acc / wsum : geom::Vec2{set.x.front(), set.y.front()};
 }
 
 std::array<double, 4> SmcTracker::covariance(std::size_t user) const {
-  const auto& set = particles_.at(user);
+  const ParticleSet& set = particles_.at(user);
   const geom::Vec2 mean = estimate(user);
   double xx = 0.0, xy = 0.0, yy = 0.0, wsum = 0.0;
-  for (const Particle& p : set) {
-    const geom::Vec2 d = p.position - mean;
-    xx += p.weight * d.x * d.x;
-    xy += p.weight * d.x * d.y;
-    yy += p.weight * d.y * d.y;
-    wsum += p.weight;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const geom::Vec2 d = geom::Vec2{set.x[i], set.y[i]} - mean;
+    xx += set.w[i] * d.x * d.x;
+    xy += set.w[i] * d.x * d.y;
+    yy += set.w[i] * d.y * d.y;
+    wsum += set.w[i];
   }
   if (wsum <= 0.0) {
     return {0.0, 0.0, 0.0, 0.0};
@@ -128,45 +152,48 @@ double SmcTracker::spread(std::size_t user) const {
   return std::sqrt(std::max(c[0] + c[3], 0.0));
 }
 
-std::vector<SmcTracker::Prediction> SmcTracker::predict(std::size_t user,
-                                                        double radius,
-                                                        geom::Rng& rng) const {
-  const auto& set = particles_[user];
-  std::vector<double> weights(set.size());
+void SmcTracker::predict(std::size_t user, double radius, geom::Rng& rng,
+                         std::span<double> weights_scratch,
+                         std::span<Prediction> out) const {
+  const ParticleSet& set = particles_[user];
   for (std::size_t i = 0; i < set.size(); ++i) {
-    weights[i] = config_.importance_sampling ? set[i].weight : 1.0;
+    weights_scratch[i] = config_.importance_sampling ? set.w[i] : 1.0;
   }
-  std::discrete_distribution<std::size_t> origin_dist(weights.begin(),
-                                                      weights.end());
+  std::discrete_distribution<std::size_t> origin_dist(weights_scratch.begin(),
+                                                      weights_scratch.end());
   const geom::Vec2 h = heading_[user];
   const bool use_cone =
       config_.heading_aware && h.norm2() > 0.0 && config_.heading_mix > 0.0;
   const double base_angle = std::atan2(h.y, h.x);
   std::uniform_real_distribution<double> unit(0.0, 1.0);
 
-  std::vector<Prediction> out;
-  out.reserve(config_.num_predictions);
-  for (std::size_t i = 0; i < config_.num_predictions; ++i) {
+  for (std::size_t i = 0; i < out.size(); ++i) {
     const std::size_t o = origin_dist(rng);
+    const geom::Vec2 origin{set.x[o], set.y[o]};
     geom::Vec2 p;
     if (use_cone && unit(rng) < config_.heading_mix) {
       // Area-uniform sample in the cone of half-angle around the heading.
       const double r = radius * std::sqrt(unit(rng));
       const double a =
           base_angle + (2.0 * unit(rng) - 1.0) * config_.heading_half_angle;
-      p = field_->clamp(set[o].position +
-                        geom::Vec2{r * std::cos(a), r * std::sin(a)});
+      p = field_->clamp(origin + geom::Vec2{r * std::cos(a), r * std::sin(a)});
     } else {
-      p = geom::uniform_in_disc_clipped(set[o].position, radius, *field_,
-                                        rng);
+      p = geom::uniform_in_disc_clipped(origin, radius, *field_, rng);
     }
-    out.push_back({p, o});
+    out[i] = {p, o};
   }
-  return out;
 }
 
-SmcStepResult SmcTracker::step(double time, const SparseObjective& raw_objective,
+SmcStepResult SmcTracker::step(double time,
+                               const SparseObjective& objective,
                                geom::Rng& rng) {
+  return step(time, objective, rng, arena_);
+}
+
+SmcStepResult SmcTracker::step(double time,
+                               const SparseObjective& raw_objective,
+                               geom::Rng& rng, numeric::Arena& arena) {
+  arena.reset();
   const std::size_t k = num_users();
   SmcStepResult result;
   result.updated.assign(k, false);
@@ -191,41 +218,49 @@ SmcStepResult SmcTracker::step(double time, const SparseObjective& raw_objective
   // --- Optional robust reweighting against the current estimates ---
   // Byzantine readings get large residuals at the incumbent fit; one IRLS
   // pass removes most of their pull before the filtering sweeps see them.
-  std::optional<SparseObjective> robust_storage;
   const SparseObjective* obj_ptr = &raw_objective;
   if (config_.robust.loss != RobustLoss::kNone &&
       raw_objective.sample_count() > 0) {
-    std::vector<geom::Vec2> current(k);
+    const std::span<geom::Vec2> current = arena.alloc<geom::Vec2>(k);
     for (std::size_t j = 0; j < k; ++j) {
       current[j] = estimate(j);
     }
     const StretchFit incumbent = raw_objective.fit(current);
-    const std::vector<double> r =
-        raw_objective.residuals_at(current, incumbent.stretches);
-    robust_storage.emplace(
-        raw_objective.reweighted(robust_weights(r, config_.robust)));
-    obj_ptr = &*robust_storage;
+    raw_objective.residuals_at(current, incumbent.stretches, robust_r_);
+    robust_weights(robust_r_, config_.robust, robust_w_);
+    if (!robust_storage_) {
+      robust_storage_.emplace(raw_objective.reweighted(robust_w_));
+    } else {
+      raw_objective.reweighted_into(robust_w_, *robust_storage_);
+    }
+    obj_ptr = &*robust_storage_;
   }
   const SparseObjective& objective = *obj_ptr;
 
   // --- Prediction (Eq. 4.2) ---
-  std::vector<std::vector<Prediction>> predictions(k);
+  const std::size_t n_pred = config_.num_predictions;
+  const std::span<Prediction> predictions_flat =
+      arena.alloc<Prediction>(k * n_pred);
+  const auto predictions = [&](std::size_t j) {
+    return predictions_flat.subspan(j * n_pred, n_pred);
+  };
   for (std::size_t j = 0; j < k; ++j) {
     const double dt = std::max(time - t_last_[j], 0.0);
     const double radius =
         std::clamp(config_.vmax * dt, 1e-6, field_->diameter());
-    predictions[j] = predict(j, radius, rng);
+    const std::span<double> weights_scratch =
+        arena.alloc<double>(particles_[j].size());
+    predict(j, radius, rng, weights_scratch, predictions(j));
   }
 
   // --- Filtering: conditional sweeps over users ---
-  std::vector<geom::Vec2> reps(k);
-  std::vector<std::vector<double>> rep_cols(k);
+  const std::span<geom::Vec2> reps = arena.alloc<geom::Vec2>(k);
   for (std::size_t j = 0; j < k; ++j) {
     reps[j] = estimate(j);
-    objective.shape_column(reps[j], rep_cols[j]);
+    objective.shape_column(reps[j], rep_cols_[j]);
   }
 
-  // Per-user scores of the *last* sweep; index into predictions[j].
+  // Per-user scores of the *last* sweep; index into predictions(j).
   //
   // Scaling note: the conditional NNLS is pruned to the joint fit's
   // *support* — the users whose fitted s/r is currently non-zero. With
@@ -233,21 +268,23 @@ SmcStepResult SmcTracker::step(double time, const SparseObjective& raw_objective
   // this turns each candidate evaluation from a K-dimensional NNLS into a
   // (active+1)-dimensional one; columns outside the support are zero in
   // the full fit anyway, so the pruned fit is exact at the current point.
-  std::vector<std::vector<double>> last_residuals(k);
+  const std::span<double> last_residuals_flat =
+      arena.alloc<double>(k * n_pred);
+  const auto last_residuals = [&](std::size_t j) {
+    return last_residuals_flat.subspan(j * n_pred, n_pred);
+  };
   // Candidate shape columns are fixed for the round; build them once per
   // user into a contiguous ColumnBlock. The batch build and the per-sweep
   // scoring below fan out over the thread pool, while every RNG draw
   // (prediction sampling above, resampling below) stays on this thread —
   // so step() output is bit-identical at any thread count.
-  std::vector<ColumnBlock> cand_cols(k);
   {
-    std::vector<geom::Vec2> cand_pos;
+    const std::span<geom::Vec2> cand_pos = arena.alloc<geom::Vec2>(n_pred);
     for (std::size_t j = 0; j < k; ++j) {
-      cand_pos.resize(predictions[j].size());
-      for (std::size_t c = 0; c < predictions[j].size(); ++c) {
-        cand_pos[c] = predictions[j][c].position;
+      for (std::size_t c = 0; c < n_pred; ++c) {
+        cand_pos[c] = predictions(j)[c].position;
       }
-      objective.shape_columns(cand_pos, cand_cols[j]);
+      objective.shape_columns(cand_pos, cand_cols_[j]);
     }
   }
   for (int sweep = 0; sweep < config_.sweeps; ++sweep) {
@@ -259,25 +296,27 @@ SmcStepResult SmcTracker::step(double time, const SparseObjective& raw_objective
     for (double s : sweep_fit.stretches) {
       max_stretch = std::max(max_stretch, s);
     }
-    std::vector<std::size_t> support;
+    std::array<std::size_t, kMaxGramUsers> support;
+    std::size_t support_count = 0;
     for (std::size_t o = 0; o < k; ++o) {
       if (sweep_fit.stretches[o] > 0.02 * max_stretch) {
-        support.push_back(o);
+        support[support_count++] = o;
       }
     }
     for (std::size_t j = 0; j < k; ++j) {
-      std::vector<const std::vector<double>*> fixed;
-      fixed.reserve(support.size());
-      for (std::size_t o : support) {
-        if (o != j) {
-          fixed.push_back(&rep_cols[o]);
+      std::array<std::span<const double>, kMaxGramUsers> fixed;
+      std::size_t nf = 0;
+      for (std::size_t s = 0; s < support_count; ++s) {
+        if (support[s] != j) {
+          fixed[nf++] = rep_cols_[support[s]];
         }
       }
       // Candidate column sits in the last slot of the pruned fit.
-      const ConditionalFit cond(objective, fixed, fixed.size());
-      std::vector<double>& residuals = last_residuals[j];
-      residuals.resize(predictions[j].size());
-      cond.evaluate_batch(cand_cols[j], residuals);
+      const ConditionalFit cond(
+          objective, std::span<const std::span<const double>>(fixed.data(), nf),
+          nf);
+      const std::span<double> residuals = last_residuals(j);
+      cond.evaluate_batch(cand_cols_[j], residuals);
       // Serial argmin in index order: ties break to the lowest candidate
       // index exactly as the serial loop did.
       double best_res = std::numeric_limits<double>::infinity();
@@ -288,9 +327,9 @@ SmcStepResult SmcTracker::step(double time, const SparseObjective& raw_objective
           best_idx = c;
         }
       }
-      reps[j] = predictions[j][best_idx].position;
-      const std::span<const double> best_col = cand_cols[j].column(best_idx);
-      rep_cols[j].assign(best_col.begin(), best_col.end());
+      reps[j] = predictions(j)[best_idx].position;
+      const std::span<const double> best_col = cand_cols_[j].column(best_idx);
+      rep_cols_[j].assign(best_col.begin(), best_col.end());
     }
   }
 
@@ -298,7 +337,7 @@ SmcStepResult SmcTracker::step(double time, const SparseObjective& raw_objective
   StretchFit joint = objective.fit(reps);
   result.stretches = joint.stretches;
   result.residual = joint.residual;
-  result.best = reps;
+  result.best.assign(reps.begin(), reps.end());
 
   // --- Asynchronous updating + importance sampling (Eq. 4.3) ---
   for (std::size_t j = 0; j < k; ++j) {
@@ -308,15 +347,18 @@ SmcStepResult SmcTracker::step(double time, const SparseObjective& raw_objective
     // unchanged), so only support members need the refit.
     double improvement = 0.0;
     if (joint.stretches[j] > 0.0) {
-      std::vector<const std::vector<double>*> without;
-      without.reserve(k - 1);
+      std::array<std::span<const double>, kMaxGramUsers> without;
+      std::size_t nw = 0;
       for (std::size_t o = 0; o < k; ++o) {
         if (o != j && joint.stretches[o] > 0.0) {
-          without.push_back(&rep_cols[o]);
+          without[nw++] = rep_cols_[o];
         }
       }
       const double residual_without =
-          objective.fit_columns(without).residual;
+          objective
+              .fit_columns(
+                  std::span<const std::span<const double>>(without.data(), nw))
+              .residual;
       improvement =
           (residual_without - joint.residual) / objective.measured_norm();
     }
@@ -326,47 +368,59 @@ SmcStepResult SmcTracker::step(double time, const SparseObjective& raw_objective
     }
 
     // Rank this user's predictions by the last sweep's residuals, keep M.
-    std::vector<std::size_t> order(predictions[j].size());
+    const std::span<std::size_t> order = arena.alloc<std::size_t>(n_pred);
     std::iota(order.begin(), order.end(), std::size_t{0});
     const std::size_t keep = std::min(config_.num_keep, order.size());
     std::partial_sort(order.begin(), order.begin() + static_cast<long>(keep),
                       order.end(), [&](std::size_t a, std::size_t b) {
-                        return last_residuals[j][a] < last_residuals[j][b];
+                        return last_residuals(j)[a] < last_residuals(j)[b];
                       });
 
     const double eps = 1e-9 * (1.0 + objective.measured_norm());
-    std::vector<Particle> next;
-    next.reserve(keep);
+    // Build the surviving set in arena scratch first: the importance
+    // weights read the *current* particle weights via pred.origin, so the
+    // SoA arrays cannot be overwritten in place.
+    const std::span<Prediction> kept = arena.alloc<Prediction>(keep);
+    const std::span<double> next_w = arena.alloc<double>(keep);
     double wsum = 0.0;
     for (std::size_t t = 0; t < keep; ++t) {
-      const Prediction& pred = predictions[j][order[t]];
+      const Prediction& pred = predictions(j)[order[t]];
       double w = 1.0;
       if (config_.importance_sampling) {
-        const double w_origin = particles_[j][pred.origin].weight;
-        w = w_origin / (last_residuals[j][order[t]] + eps);
+        const double w_origin = particles_[j].w[pred.origin];
+        w = w_origin / (last_residuals(j)[order[t]] + eps);
       }
-      next.push_back({pred.position, w});
+      kept[t] = pred;
+      next_w[t] = w;
       wsum += w;
     }
     if (wsum <= 0.0) {
       // Degenerate weights (all origins at weight 0): fall back to uniform.
-      for (Particle& p : next) {
-        p.weight = 1.0 / static_cast<double>(next.size());
+      for (double& w : next_w) {
+        w = 1.0 / static_cast<double>(keep);
       }
     } else {
-      for (Particle& p : next) {
-        p.weight /= wsum;
+      for (double& w : next_w) {
+        w /= wsum;
       }
     }
-    particles_[j] = std::move(next);
+    ParticleSet& set = particles_[j];
+    set.x.resize(keep);
+    set.y.resize(keep);
+    set.w.resize(keep);
+    for (std::size_t t = 0; t < keep; ++t) {
+      set.x[t] = kept[t].position.x;
+      set.y[t] = kept[t].position.y;
+      set.w[t] = next_w[t];
+    }
 #if defined(FLUXFP_OBS_ENABLED)
     // Effective sample size 1/sum(w^2) of the refreshed weights: a
     // degeneracy monitor (ESS -> 1 means one particle carries all mass).
     // Pure function of the weights, so it stays in the stable export.
     if (obs::enabled()) {
       double sum_sq = 0.0;
-      for (const Particle& p : particles_[j]) {
-        sum_sq += p.weight * p.weight;
+      for (double w : set.w) {
+        sum_sq += w * w;
       }
       if (sum_sq > 0.0) {
         const double ess = 1.0 / sum_sq;
@@ -412,11 +466,11 @@ SmcStepResult SmcTracker::step(double time, const SparseObjective& raw_objective
     if (bad_rounds_ >= config_.divergence_rounds) {
       FLUXFP_OBS_COUNTER_INC("fluxfp_core_smc_recoveries_total",
                              "Grid-scan re-acquisitions of a lost track");
-      reseed_from_grid(time, objective, reps, rep_cols);
+      reseed_from_grid(time, objective, reps, arena);
       const StretchFit refit = objective.fit(reps);
       result.stretches = refit.stretches;
       result.residual = refit.residual;
-      result.best = reps;
+      result.best.assign(reps.begin(), reps.end());
       result.updated.assign(k, true);
       result.recovered = true;
       bad_rounds_ = 0;
@@ -427,48 +481,52 @@ SmcStepResult SmcTracker::step(double time, const SparseObjective& raw_objective
 
 void SmcTracker::reseed_from_grid(double time,
                                   const SparseObjective& objective,
-                                  std::vector<geom::Vec2>& reps,
-                                  std::vector<std::vector<double>>& rep_cols) {
+                                  std::span<geom::Vec2> reps,
+                                  numeric::Arena& arena) {
   const std::size_t g = config_.recovery_grid;
-  std::vector<geom::Vec2> grid;
-  grid.reserve(g * g);
+  const std::span<geom::Vec2> grid = arena.alloc<geom::Vec2>(g * g);
   for (std::size_t iy = 0; iy < g; ++iy) {
     for (std::size_t ix = 0; ix < g; ++ix) {
-      grid.push_back(field_->from_unit_square(
+      grid[iy * g + ix] = field_->from_unit_square(
           (static_cast<double>(ix) + 0.5) / static_cast<double>(g),
-          (static_cast<double>(iy) + 0.5) / static_cast<double>(g)));
+          (static_cast<double>(iy) + 0.5) / static_cast<double>(g));
     }
   }
   ColumnBlock grid_cols;
   objective.shape_columns(grid, grid_cols);
   const std::size_t k = num_users();
-  std::vector<double> scores(grid.size());
+  const std::span<double> scores = arena.alloc<double>(grid.size());
+  const std::span<std::size_t> order = arena.alloc<std::size_t>(grid.size());
   for (std::size_t j = 0; j < k; ++j) {
-    std::vector<const std::vector<double>*> fixed;
-    fixed.reserve(k - 1);
+    std::array<std::span<const double>, kMaxGramUsers> fixed;
+    std::size_t nf = 0;
     for (std::size_t o = 0; o < k; ++o) {
       if (o != j) {
-        fixed.push_back(&rep_cols[o]);
+        fixed[nf++] = rep_cols_[o];
       }
     }
-    const ConditionalFit cond(objective, fixed, fixed.size());
+    const ConditionalFit cond(
+        objective, std::span<const std::span<const double>>(fixed.data(), nf),
+        nf);
     cond.evaluate_batch(grid_cols, scores);
-    std::vector<std::size_t> order(grid.size());
     std::iota(order.begin(), order.end(), std::size_t{0});
     const std::size_t keep = std::min(config_.num_keep, order.size());
     std::partial_sort(order.begin(), order.begin() + static_cast<long>(keep),
                       order.end(), [&](std::size_t a, std::size_t b) {
                         return scores[a] < scores[b];
                       });
-    std::vector<Particle> next;
-    next.reserve(keep);
+    ParticleSet& set = particles_[j];
+    set.x.resize(keep);
+    set.y.resize(keep);
+    set.w.resize(keep);
     for (std::size_t t = 0; t < keep; ++t) {
-      next.push_back({grid[order[t]], 1.0 / static_cast<double>(keep)});
+      set.x[t] = grid[order[t]].x;
+      set.y[t] = grid[order[t]].y;
+      set.w[t] = 1.0 / static_cast<double>(keep);
     }
-    particles_[j] = std::move(next);
     reps[j] = grid[order[0]];
     const std::span<const double> best_col = grid_cols.column(order[0]);
-    rep_cols[j].assign(best_col.begin(), best_col.end());
+    rep_cols_[j].assign(best_col.begin(), best_col.end());
     t_last_[j] = time;
     heading_[j] = geom::Vec2{};
     prev_estimate_[j] = estimate(j);

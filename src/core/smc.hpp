@@ -1,10 +1,12 @@
 #pragma once
 
 #include <array>
+#include <optional>
 #include <vector>
 
 #include "core/nls.hpp"
 #include "geom/sampling.hpp"
+#include "numeric/arena.hpp"
 
 namespace fluxfp::core {
 
@@ -117,6 +119,14 @@ class SmcTracker {
   SmcStepResult step(double time, const SparseObjective& objective,
                      geom::Rng& rng);
 
+  /// As above, drawing all per-step scratch (prediction sets, candidate
+  /// residuals, orderings) from `arena`, which is reset on entry — the
+  /// streaming runtime threads one epoch arena through every step so the
+  /// hot path stops allocating. Arena choice never affects results: the
+  /// scratch holds the same values wherever it lives.
+  SmcStepResult step(double time, const SparseObjective& objective,
+                     geom::Rng& rng, numeric::Arena& arena);
+
   std::size_t num_users() const { return particles_.size(); }
   const SmcConfig& config() const { return config_; }
 
@@ -128,10 +138,10 @@ class SmcTracker {
   /// Scalar uncertainty: RMS particle spread around the estimate
   /// (sqrt of the covariance trace).
   double spread(std::size_t user) const;
-  /// Current sample set for `user` (weights sum to 1).
-  const std::vector<Particle>& particles(std::size_t user) const {
-    return particles_[user];
-  }
+  /// Current sample set for `user` (weights sum to 1). Materialized from
+  /// the tracker's structure-of-arrays storage; bind the result to a
+  /// (const) reference or iterate it directly.
+  std::vector<Particle> particles(std::size_t user) const;
   /// Time of the user's last accepted update (0 before the first).
   double last_update_time(std::size_t user) const { return t_last_[user]; }
 
@@ -155,27 +165,51 @@ class SmcTracker {
   void restore_state(const SmcState& state);
 
  private:
+  /// Structure-of-arrays particle storage: positions and weights of one
+  /// user's sample set in three parallel arrays (the layout half of the
+  /// SIMD + SoA overhaul; estimate/covariance/prediction sweep these
+  /// contiguously). Particle i is {x[i], y[i]} at weight w[i].
+  struct ParticleSet {
+    std::vector<double> x;
+    std::vector<double> y;
+    std::vector<double> w;
+    std::size_t size() const { return x.size(); }
+  };
+
   const geom::Field* field_;
   SmcConfig config_;
-  std::vector<std::vector<Particle>> particles_;
+  std::vector<ParticleSet> particles_;
   std::vector<double> t_last_;
   std::vector<geom::Vec2> prev_estimate_;  // estimate at the last update
   std::vector<geom::Vec2> heading_;        // unit heading, zero if unknown
   int bad_rounds_ = 0;
 
+  /// Default scratch arena for the 3-argument step() overload.
+  numeric::Arena arena_;
+  /// Round-persistent scratch reused across steps (capacity high-water):
+  /// the robust-reweighting buffers and the per-user representative /
+  /// candidate columns.
+  std::optional<SparseObjective> robust_storage_;
+  std::vector<double> robust_r_;
+  std::vector<double> robust_w_;
+  std::vector<std::vector<double>> rep_cols_;
+  std::vector<ColumnBlock> cand_cols_;
+
   struct Prediction {
     geom::Vec2 position;
     std::size_t origin;  // index of the particle it was drawn from
   };
-  std::vector<Prediction> predict(std::size_t user, double radius,
-                                  geom::Rng& rng) const;
+  /// Fills `out` (num_predictions entries) with motion-model samples;
+  /// `weights_scratch` must hold particles_[user].size() entries.
+  void predict(std::size_t user, double radius, geom::Rng& rng,
+               std::span<double> weights_scratch,
+               std::span<Prediction> out) const;
 
   /// Coarse-grid re-seed of every user's particle set against `objective`
-  /// (divergence recovery). Updates reps/rep_cols in place. Grid scoring
+  /// (divergence recovery). Updates reps/rep_cols_ in place. Grid scoring
   /// runs through the parallel batch evaluator; no RNG involved.
   void reseed_from_grid(double time, const SparseObjective& objective,
-                        std::vector<geom::Vec2>& reps,
-                        std::vector<std::vector<double>>& rep_cols);
+                        std::span<geom::Vec2> reps, numeric::Arena& arena);
 };
 
 }  // namespace fluxfp::core

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <limits>
+#include <span>
 #include <stdexcept>
 
+#include "numeric/arena.hpp"
 #include "numeric/parallel.hpp"
 
 namespace fluxfp::core {
@@ -66,17 +68,24 @@ SmoothLocalizationResult smooth_search(const geom::Field& field,
   // residual vector is F(theta, s*(theta)) - F'.
   const auto residual_fn =
       [&](const std::vector<double>& theta) -> std::vector<double> {
-    std::vector<geom::Vec2> sinks(num_users);
+    // Per-worker arena, reset every evaluation: LM calls this inside its
+    // iteration loop, so the sink/column scratch here used to dominate the
+    // allocator traffic of a smooth localization.
+    thread_local numeric::Arena arena;
+    arena.reset();
+    const std::span<geom::Vec2> sinks = arena.alloc<geom::Vec2>(num_users);
     for (std::size_t j = 0; j < num_users; ++j) {
       sinks[j] = field_->clamp({theta[2 * j], theta[2 * j + 1]});
     }
-    std::vector<std::vector<double>> cols(num_users);
-    std::vector<const std::vector<double>*> ptrs(num_users);
+    const std::span<double> col_storage = arena.alloc<double>(num_users * n);
+    const std::span<std::span<const double>> cols =
+        arena.alloc<std::span<const double>>(num_users);
     for (std::size_t j = 0; j < num_users; ++j) {
-      objective.shape_column(sinks[j], cols[j]);
-      ptrs[j] = &cols[j];
+      const std::span<double> col = col_storage.subspan(j * n, n);
+      objective.shape_column(sinks[j], col);
+      cols[j] = col;
     }
-    const StretchFit fit = objective.fit_columns(ptrs);
+    const StretchFit fit = objective.fit_columns(cols);
     std::vector<double> r(n, 0.0);
     for (std::size_t i = 0; i < n; ++i) {
       double predicted = 0.0;

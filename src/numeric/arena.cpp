@@ -1,0 +1,76 @@
+#include "numeric/arena.hpp"
+
+#include <algorithm>
+
+namespace fluxfp::numeric {
+
+namespace {
+
+constexpr std::size_t kArenaAlign = 64;
+
+std::size_t round_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) / align * align;
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t initial_bytes) {
+  head_.size = std::max<std::size_t>(round_up(initial_bytes, kArenaAlign), kArenaAlign);
+  head_.data = std::make_unique<std::byte[]>(head_.size + kArenaAlign);
+}
+
+void* Arena::allocate_bytes(std::size_t bytes, std::size_t align) {
+  // Every allocation is cache-line aligned; `align` can only be smaller
+  // for the trivial types the arena accepts.
+  (void)align;
+  const std::size_t need = round_up(std::max<std::size_t>(bytes, 1), kArenaAlign);
+  // Base of the head block, rounded up to the alignment boundary once.
+  auto base = reinterpret_cast<std::uintptr_t>(head_.data.get());
+  const std::size_t skew = round_up(base, kArenaAlign) - base;
+  if (offset_ + need > head_.size) {
+    grow(need);
+    base = reinterpret_cast<std::uintptr_t>(overflow_.back().data.get());
+    const std::size_t oskew = round_up(base, kArenaAlign) - base;
+    epoch_used_ += need;
+    high_water_ = std::max(high_water_, epoch_used_);
+    return overflow_.back().data.get() + oskew;
+  }
+  std::byte* p = head_.data.get() + skew + offset_;
+  offset_ += need;
+  epoch_used_ += need;
+  high_water_ = std::max(high_water_, epoch_used_);
+  return p;
+}
+
+void Arena::grow(std::size_t min_bytes) {
+  // Overflow blocks are one-shot: each serves a single oversized request,
+  // and reset() folds the accumulated demand into a bigger head block so
+  // the overflow path is cold after warm-up.
+  Block b;
+  b.size = round_up(min_bytes, kArenaAlign);
+  b.data = std::make_unique<std::byte[]>(b.size + kArenaAlign);
+  overflow_.push_back(std::move(b));
+}
+
+void Arena::reset() {
+  if (!overflow_.empty() || epoch_used_ > head_.size) {
+    // Rebuild the head so the next epoch of the same shape fits in one
+    // block. Old blocks die here — all outstanding spans are invalid.
+    const std::size_t want =
+        std::max(round_up(std::max(high_water_, epoch_used_), kArenaAlign),
+                 head_.size);
+    overflow_.clear();
+    if (want > head_.size) {
+      head_.size = want;
+      head_.data = std::make_unique<std::byte[]>(head_.size + kArenaAlign);
+    }
+  }
+  offset_ = 0;
+  epoch_used_ = 0;
+}
+
+Arena::Stats Arena::stats() const {
+  return Stats{head_.size, epoch_used_, high_water_, overflow_.size()};
+}
+
+}  // namespace fluxfp::numeric

@@ -134,12 +134,20 @@ NnlsResult nnls(const Matrix& a, const std::vector<double>& b, int max_iter) {
   return out;
 }
 
-double nnls_single(const std::vector<double>& f, const std::vector<double>& b) {
-  const double ff = dot(f, f);
+double nnls_single(std::span<const double> f, std::span<const double> b) {
+  // Serial accumulation, same order as numeric::dot on vectors.
+  double ff = 0.0;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    ff += f[i] * f[i];
+  }
   if (ff <= 0.0) {
     return 0.0;
   }
-  return std::max(0.0, dot(f, b) / ff);
+  double fb = 0.0;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    fb += f[i] * b[i];
+  }
+  return std::max(0.0, fb / ff);
 }
 
 }  // namespace fluxfp::numeric

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "numeric/matrix.hpp"
@@ -26,6 +27,6 @@ NnlsResult nnls(const Matrix& a, const std::vector<double>& b,
 /// Closed-form single-column NNLS: min_{s>=0} ||s*f - b||.
 /// Returns the optimal s (0 if f is zero or the unconstrained optimum is
 /// negative).
-double nnls_single(const std::vector<double>& f, const std::vector<double>& b);
+double nnls_single(std::span<const double> f, std::span<const double> b);
 
 }  // namespace fluxfp::numeric

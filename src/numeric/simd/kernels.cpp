@@ -1,0 +1,294 @@
+// The only translation unit compiled with architecture flags (see
+// cmake/Simd.cmake), and always with -ffp-contract=off: every formula here
+// must round exactly like its scalar counterpart, so the compiler may not
+// fuse multiply-adds behind our back.
+
+#include "numeric/simd/kernels.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "numeric/simd/simd.hpp"
+
+namespace fluxfp::numeric::simd {
+
+bool enabled() { return kVectorBackend; }
+
+const char* backend_name() { return kBackendName; }
+
+std::size_t lane_count() { return kLanes; }
+
+double dot(const double* a, const double* b, std::size_t n) {
+  if (!kVectorBackend) {
+    // Strict-determinism mode: the legacy serial accumulation, bit for bit.
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += a[i] * b[i];
+    }
+    return acc;
+  }
+  // Two independent accumulators hide the add latency; the reduction order
+  // (acc0 of even groups, acc1 of odd groups, then (acc0+acc1) summed
+  // lane-pair-wise) is fixed and deterministic, but it differs from the
+  // serial order — dot results are tolerance-tested across backends.
+  DoubleVec acc0 = zero();
+  DoubleVec acc1 = zero();
+  std::size_t i = 0;
+  for (; i + 2 * kLanes <= n; i += 2 * kLanes) {
+    acc0 = add(acc0, mul(load(a + i), load(b + i)));
+    acc1 = add(acc1, mul(load(a + i + kLanes), load(b + i + kLanes)));
+  }
+  if (i + kLanes <= n) {
+    acc0 = add(acc0, mul(load(a + i), load(b + i)));
+    i += kLanes;
+  }
+  double total = reduce_add(add(acc0, acc1));
+  for (; i < n; ++i) {
+    total += a[i] * b[i];
+  }
+  return total;
+}
+
+void dot_self_and_b(const double* x, const double* b, std::size_t n,
+                    double* self_out, double* xb_out) {
+  if (!kVectorBackend) {
+    // Identical to two legacy loops: the accumulations are independent.
+    double self = 0.0;
+    double xb = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      self += x[i] * x[i];
+      xb += x[i] * b[i];
+    }
+    *self_out = self;
+    *xb_out = xb;
+    return;
+  }
+  DoubleVec self_acc = zero();
+  DoubleVec xb_acc = zero();
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const DoubleVec xv = load(x + i);
+    self_acc = add(self_acc, mul(xv, xv));
+    xb_acc = add(xb_acc, mul(xv, load(b + i)));
+  }
+  double self = reduce_add(self_acc);
+  double xb = reduce_add(xb_acc);
+  for (; i < n; ++i) {
+    self += x[i] * x[i];
+    xb += x[i] * b[i];
+  }
+  *self_out = self;
+  *xb_out = xb;
+}
+
+void scale_rows(double* out, const double* scale, std::size_t n) {
+  // Element-wise multiply: bit-identical in every backend.
+  std::size_t i = 0;
+  if (kVectorBackend) {
+    for (; i + kLanes <= n; i += kLanes) {
+      store(out + i, mul(load(out + i), load(scale + i)));
+    }
+  }
+  for (; i < n; ++i) {
+    out[i] *= scale[i];
+  }
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Scalar replica of FluxModel::shape for the rectangular field, used for
+/// remainder lanes. Operation-for-operation the same as the legacy
+/// composition (distance -> RectField::boundary_distance -> cap), so tail
+/// elements are bit-identical to full vector lanes AND to the scalar path.
+/// Returns false on a non-finite node coordinate.
+inline bool rect_shape_tail(double sx, double sy, double px, double py,
+                            double width, double height, double d_min,
+                            double l_degenerate, double qx, double qy,
+                            double* out) {
+  if (!std::isfinite(qx) || !std::isfinite(qy)) {
+    return false;
+  }
+  const double ddx = sx - qx;
+  const double ddy = sy - qy;
+  const double d = std::sqrt(ddx * ddx + ddy * ddy);
+  const double rx = qx - px;
+  const double ry = qy - py;
+  const double n2 = rx * rx + ry * ry;
+  double l = l_degenerate;
+  if (n2 > 0.0) {
+    const double nrm = std::sqrt(rx * rx + ry * ry);
+    const double ux = rx / nrm;
+    const double uy = ry / nrm;
+    double t_exit = kInf;
+    if (ux > 0.0) {
+      t_exit = std::min(t_exit, (width - px) / ux);
+    } else if (ux < 0.0) {
+      t_exit = std::min(t_exit, -px / ux);
+    }
+    if (uy > 0.0) {
+      t_exit = std::min(t_exit, (height - py) / uy);
+    } else if (uy < 0.0) {
+      t_exit = std::min(t_exit, -py / uy);
+    }
+    l = std::max(t_exit, 0.0);
+  }
+  const double l2_minus_d2 = std::max(l * l - d * d, 0.0);
+  *out = l2_minus_d2 / (2.0 * std::max(d, d_min));
+  return true;
+}
+
+/// Scalar replica of the circular-field shape (distance ->
+/// CircleField::boundary_distance -> cap). `c_const` = |p-center|^2 - R^2.
+inline bool circle_shape_tail(double sx, double sy, double px, double py,
+                              double ocx, double ocy, double c_const,
+                              double d_min, double l_degenerate, double qx,
+                              double qy, double* out) {
+  if (!std::isfinite(qx) || !std::isfinite(qy)) {
+    return false;
+  }
+  const double ddx = sx - qx;
+  const double ddy = sy - qy;
+  const double d = std::sqrt(ddx * ddx + ddy * ddy);
+  const double rx = qx - px;
+  const double ry = qy - py;
+  const double n2 = rx * rx + ry * ry;
+  double l = l_degenerate;
+  if (n2 > 0.0) {
+    const double nrm = std::sqrt(rx * rx + ry * ry);
+    const double ux = rx / nrm;
+    const double uy = ry / nrm;
+    const double b = ux * ocx + uy * ocy;
+    const double disc = std::max(b * b - c_const, 0.0);
+    l = std::max(-b + std::sqrt(disc), 0.0);
+  }
+  const double l2_minus_d2 = std::max(l * l - d * d, 0.0);
+  *out = l2_minus_d2 / (2.0 * std::max(d, d_min));
+  return true;
+}
+
+}  // namespace
+
+bool rect_shape_row(double sx, double sy, double px, double py, double width,
+                    double height, double d_min, double l_degenerate,
+                    const double* qx, const double* qy, std::size_t n,
+                    double* out) {
+  if (!kVectorBackend) {
+    return false;  // strict-determinism mode: caller runs the legacy loop
+  }
+  const DoubleVec vsx = broadcast(sx);
+  const DoubleVec vsy = broadcast(sy);
+  const DoubleVec vpx = broadcast(px);
+  const DoubleVec vpy = broadcast(py);
+  // (width - px) and -px are per-row constants; hoisting them out of the
+  // loop reproduces the per-element scalar arithmetic exactly because the
+  // operands never change.
+  const DoubleVec vwx = broadcast(width - px);
+  const DoubleVec vnx = broadcast(-px);
+  const DoubleVec vhy = broadcast(height - py);
+  const DoubleVec vny = broadcast(-py);
+  const DoubleVec vldeg = broadcast(l_degenerate);
+  const DoubleVec vdmin = broadcast(d_min);
+  const DoubleVec vtwo = broadcast(2.0);
+  const DoubleVec vinf = broadcast(kInf);
+  const DoubleVec vzero = zero();
+
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const DoubleVec x = load(qx + i);
+    const DoubleVec y = load(qy + i);
+    // NaN/inf nodes as a lane mask: any bad lane aborts the whole row so
+    // the caller's scalar loop can reproduce the legacy throw.
+    if (!all_lanes(mask_and(finite_mask(x), finite_mask(y)))) {
+      return false;
+    }
+    const DoubleVec ddx = sub(vsx, x);
+    const DoubleVec ddy = sub(vsy, y);
+    const DoubleVec d = sqrt(add(mul(ddx, ddx), mul(ddy, ddy)));
+    const DoubleVec rx = sub(x, vpx);
+    const DoubleVec ry = sub(y, vpy);
+    const DoubleVec n2 = add(mul(rx, rx), mul(ry, ry));
+    const DoubleVec nrm = sqrt(n2);
+    const DoubleVec ux = div(rx, nrm);
+    const DoubleVec uy = div(ry, nrm);
+    // Slab exits: numerator (width-px) for ux > 0, -px for ux < 0; a zero
+    // component leaves that axis at +inf exactly like the scalar branches.
+    DoubleVec tx = div(blend(cmp_gt(ux, vzero), vwx, vnx), ux);
+    tx = blend(cmp_eq(ux, vzero), vinf, tx);
+    DoubleVec ty = div(blend(cmp_gt(uy, vzero), vhy, vny), uy);
+    ty = blend(cmp_eq(uy, vzero), vinf, ty);
+    const DoubleVec t_exit = min(min(vinf, tx), ty);
+    const DoubleVec l_ray = max(t_exit, vzero);
+    // Degenerate node == clamped-sink lanes take the nearest-boundary
+    // fallback, exactly like boundary_distance_through.
+    const DoubleVec l = blend(cmp_gt(n2, vzero), l_ray, vldeg);
+    const DoubleVec l2md2 = max(sub(mul(l, l), mul(d, d)), vzero);
+    store(out + i, div(l2md2, mul(vtwo, max(d, vdmin))));
+  }
+  for (; i < n; ++i) {
+    if (!rect_shape_tail(sx, sy, px, py, width, height, d_min, l_degenerate,
+                         qx[i], qy[i], out + i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool circle_shape_row(double sx, double sy, double px, double py, double cx,
+                      double cy, double radius, double d_min,
+                      double l_degenerate, const double* qx, const double* qy,
+                      std::size_t n, double* out) {
+  if (!kVectorBackend) {
+    return false;
+  }
+  // oc = clamped sink - center and c = |oc|^2 - R^2 are per-row scalars,
+  // computed with the same expressions as CircleField::boundary_distance.
+  const double ocx = px - cx;
+  const double ocy = py - cy;
+  const double c_const = (ocx * ocx + ocy * ocy) - radius * radius;
+  const DoubleVec vsx = broadcast(sx);
+  const DoubleVec vsy = broadcast(sy);
+  const DoubleVec vpx = broadcast(px);
+  const DoubleVec vpy = broadcast(py);
+  const DoubleVec vocx = broadcast(ocx);
+  const DoubleVec vocy = broadcast(ocy);
+  const DoubleVec vc = broadcast(c_const);
+  const DoubleVec vldeg = broadcast(l_degenerate);
+  const DoubleVec vdmin = broadcast(d_min);
+  const DoubleVec vtwo = broadcast(2.0);
+  const DoubleVec vzero = zero();
+
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const DoubleVec x = load(qx + i);
+    const DoubleVec y = load(qy + i);
+    if (!all_lanes(mask_and(finite_mask(x), finite_mask(y)))) {
+      return false;
+    }
+    const DoubleVec ddx = sub(vsx, x);
+    const DoubleVec ddy = sub(vsy, y);
+    const DoubleVec d = sqrt(add(mul(ddx, ddx), mul(ddy, ddy)));
+    const DoubleVec rx = sub(x, vpx);
+    const DoubleVec ry = sub(y, vpy);
+    const DoubleVec n2 = add(mul(rx, rx), mul(ry, ry));
+    const DoubleVec nrm = sqrt(n2);
+    const DoubleVec ux = div(rx, nrm);
+    const DoubleVec uy = div(ry, nrm);
+    const DoubleVec b = add(mul(ux, vocx), mul(uy, vocy));
+    const DoubleVec disc = max(sub(mul(b, b), vc), vzero);
+    const DoubleVec l_ray = max(add(neg(b), sqrt(disc)), vzero);
+    const DoubleVec l = blend(cmp_gt(n2, vzero), l_ray, vldeg);
+    const DoubleVec l2md2 = max(sub(mul(l, l), mul(d, d)), vzero);
+    store(out + i, div(l2md2, mul(vtwo, max(d, vdmin))));
+  }
+  for (; i < n; ++i) {
+    if (!circle_shape_tail(sx, sy, px, py, ocx, ocy, c_const, d_min,
+                           l_degenerate, qx[i], qy[i], out + i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fluxfp::numeric::simd

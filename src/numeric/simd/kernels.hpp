@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+
+// Vectorized inner-loop kernels behind a plain-function interface: the
+// rest of the tree calls these without ever seeing an intrinsic type, so
+// every translation unit outside src/numeric/simd/ compiles identically
+// under every backend. The single implementation TU (kernels.cpp) is the
+// only file compiled with architecture flags, and always with
+// -ffp-contract=off — no hidden FMA contraction can make a "bit-identical
+// element-wise kernel" quietly diverge from the scalar formula.
+//
+// Numeric contract (DESIGN.md §14):
+//  * In the scalar backend (FLUXFP_SIMD=OFF), dot()/dot_self_and_b()/
+//    scale_rows() run the exact legacy accumulation loops, and the shape
+//    kernels report "not handled" so callers take the pre-SIMD scalar
+//    path: a scalar build is bit-identical to the pre-SIMD tree. This is
+//    the strict-determinism mode.
+//  * In a vector backend, the shape kernels are element-wise over lanes
+//    with the same operation sequence as FluxModel::shape, so their
+//    outputs are bit-identical to the scalar formula; dot products use
+//    multi-lane accumulators, which changes the summation ORDER (not the
+//    inputs) — those results are equivalence-tested under a tolerance,
+//    never assumed bit-equal across backends.
+//  * Non-finite inputs (NaN missing-reading sentinels, inf) are detected
+//    via lane masks and make the shape kernels return false; out[] may
+//    hold partial results for the lane groups already processed. The
+//    caller falls back to the scalar loop, which preserves the legacy
+//    throw-on-non-finite behavior exactly (and itself leaves partial
+//    writes behind when it throws).
+
+namespace fluxfp::numeric::simd {
+
+/// True when a vector backend (AVX2/SSE2/NEON) was selected at configure
+/// time; false for the scalar strict-determinism build.
+bool enabled();
+
+/// "avx2", "sse2", "neon", or "scalar".
+const char* backend_name();
+
+/// Vector width in doubles (1 for the scalar backend).
+std::size_t lane_count();
+
+/// sum_i a[i] * b[i]. Scalar backend: the legacy serial accumulation.
+double dot(const double* a, const double* b, std::size_t n);
+
+/// One-pass fused self- and cross-product: *self_out = sum x[i]^2,
+/// *xb_out = sum x[i] * b[i]. The two accumulations are independent, so
+/// the scalar backend's fused loop is bit-identical to two separate
+/// legacy loops.
+void dot_self_and_b(const double* x, const double* b, std::size_t n,
+                    double* self_out, double* xb_out);
+
+/// out[i] *= scale[i] — the reweighted-objective row scaling.
+void scale_rows(double* out, const double* scale, std::size_t n);
+
+/// Rectangular-field shape row: out[i] = phi(sink, q_i) for the
+/// [0,width] x [0,height] field, where (sx, sy) is the raw sink,
+/// (px, py) = clamp(sink) and l_degenerate is the field's
+/// nearest-boundary distance at the clamped sink (the q == p ray
+/// fallback). Returns false — leaving out[] in an unspecified state — when
+/// the backend is scalar or any input coordinate is non-finite; the caller
+/// must then run the scalar FluxModel::shape loop.
+bool rect_shape_row(double sx, double sy, double px, double py, double width,
+                    double height, double d_min, double l_degenerate,
+                    const double* qx, const double* qy, std::size_t n,
+                    double* out);
+
+/// Circular-field shape row; (cx, cy) is the field center, radius its
+/// radius. Same contract as rect_shape_row.
+bool circle_shape_row(double sx, double sy, double px, double py, double cx,
+                      double cy, double radius, double d_min,
+                      double l_degenerate, const double* qx, const double* qy,
+                      std::size_t n, double* out);
+
+}  // namespace fluxfp::numeric::simd

@@ -161,7 +161,7 @@ EpochResult StreamTracker::fire_oldest() {
     const core::SparseObjective objective(model_, sniffer_positions_,
                                           std::move(window.readings));
     result.readings = objective.sample_count();
-    result.step = smc_.step(result.time, objective, rng_);
+    result.step = smc_.step(result.time, objective, rng_, epoch_arena_);
     const auto t1 = std::chrono::steady_clock::now();
     result.filter_micros =
         std::chrono::duration<double, std::micro>(t1 - t0).count();

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/localizer.hpp"
@@ -56,11 +57,14 @@ TEST(ColumnBlock, LayoutAndSpans) {
   ColumnBlock block(4, 3);
   EXPECT_EQ(block.rows(), 4u);
   EXPECT_EQ(block.cols(), 3u);
+  // Column starts are stride() (rows rounded up to 8) doubles apart, so
+  // every column begins on its own cache line.
+  EXPECT_EQ(block.stride(), 8u);
   for (std::size_t c = 0; c < 3; ++c) {
     auto col = block.column(c);
     ASSERT_EQ(col.size(), 4u);
-    // Columns are contiguous slices of one allocation.
-    EXPECT_EQ(col.data(), block.data() + c * 4);
+    // Columns are padded slices of one allocation.
+    EXPECT_EQ(col.data(), block.data() + c * block.stride());
     for (std::size_t i = 0; i < 4; ++i) {
       col[i] = static_cast<double>(c * 10 + i);
     }
@@ -118,7 +122,7 @@ TEST(BatchEvaluation, EvaluateBatchMatchesSerialEvaluate) {
 
   std::vector<double> fixed_col;
   obj.shape_column({22.0, 20.0}, fixed_col);
-  const std::vector<const std::vector<double>*> fixed{&fixed_col};
+  const std::vector<std::span<const double>> fixed{fixed_col};
   const ConditionalFit cond(obj, fixed, 0);
 
   std::vector<geom::Vec2> cands(123);

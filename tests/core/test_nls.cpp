@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <random>
+#include <span>
 
 #include "geom/sampling.hpp"
 #include "net/flux.hpp"
@@ -101,7 +102,7 @@ TEST(SparseObjective, FitColumnsMatchesFit) {
   const StretchFit direct = obj.fit(guess);
   const auto c0 = obj.shape_column(guess[0]);
   const auto c1 = obj.shape_column(guess[1]);
-  const std::vector<const std::vector<double>*> cols{&c0, &c1};
+  const std::vector<std::span<const double>> cols{c0, c1};
   const StretchFit via_cols = obj.fit_columns(cols);
   EXPECT_NEAR(direct.residual, via_cols.residual, 1e-9);
   EXPECT_NEAR(direct.stretches[0], via_cols.stretches[0], 1e-9);
@@ -361,7 +362,7 @@ TEST(ConditionalFit, MatchesFullFit) {
   const SparseObjective obj = syn.objective();
   const auto c0 = obj.shape_column({6, 6});
   const auto c2 = obj.shape_column({10, 26});
-  const std::vector<const std::vector<double>*> fixed{&c0, &c2};
+  const std::vector<std::span<const double>> fixed{c0, c2};
   const ConditionalFit cond(obj, fixed, 1);  // middle slot varies
   const geom::Vec2 candidate{19, 23};
   const auto c1 = obj.shape_column(candidate);
@@ -448,11 +449,8 @@ TEST(ConditionalFit, RejectsTooManyUsers) {
   const SparseObjective obj = syn.objective();
   std::vector<std::vector<double>> cols(kMaxGramUsers,
                                         std::vector<double>(10, 1.0));
-  std::vector<const std::vector<double>*> ptrs;
-  for (const auto& c : cols) {
-    ptrs.push_back(&c);
-  }
-  EXPECT_THROW(ConditionalFit(obj, ptrs, 0), std::invalid_argument);
+  std::vector<std::span<const double>> spans(cols.begin(), cols.end());
+  EXPECT_THROW(ConditionalFit(obj, spans, 0), std::invalid_argument);
 }
 
 }  // namespace

@@ -11,15 +11,21 @@ namespace {
 
 TEST(NnlsSingle, PositiveOptimum) {
   // min_s ||s*(1,1) - (2,2)|| -> s = 2.
-  EXPECT_DOUBLE_EQ(nnls_single({1, 1}, {2, 2}), 2.0);
+  const std::vector<double> f{1, 1};
+  const std::vector<double> b{2, 2};
+  EXPECT_DOUBLE_EQ(nnls_single(f, b), 2.0);
 }
 
 TEST(NnlsSingle, ClampsNegativeOptimumToZero) {
-  EXPECT_DOUBLE_EQ(nnls_single({1, 1}, {-2, -2}), 0.0);
+  const std::vector<double> f{1, 1};
+  const std::vector<double> b{-2, -2};
+  EXPECT_DOUBLE_EQ(nnls_single(f, b), 0.0);
 }
 
 TEST(NnlsSingle, ZeroColumn) {
-  EXPECT_DOUBLE_EQ(nnls_single({0, 0}, {1, 2}), 0.0);
+  const std::vector<double> f{0, 0};
+  const std::vector<double> b{1, 2};
+  EXPECT_DOUBLE_EQ(nnls_single(f, b), 0.0);
 }
 
 TEST(Nnls, UnconstrainedInteriorSolution) {

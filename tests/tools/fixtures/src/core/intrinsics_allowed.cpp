@@ -1,0 +1,12 @@
+// Fixture: a justified one-off intrinsic under an inline allow — tallied
+// as a suppression, not reported.
+
+namespace fluxfp {
+
+void warm(const char* p) {
+  // fluxfp-lint: allow(no-raw-intrinsics) -- fixture: justified one-off.
+  __builtin_ia32_pause();
+  (void)p;
+}
+
+}  // namespace fluxfp

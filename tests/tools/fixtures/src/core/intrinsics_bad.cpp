@@ -1,0 +1,16 @@
+// Fixture: raw SIMD intrinsics outside src/numeric/simd/ — the include,
+// the vector type, and the intrinsic calls must each be flagged (once per
+#include <immintrin.h>
+// line). Never compiled; linted only.
+
+namespace fluxfp {
+
+double sum2(const double* p) {
+  __m128d v = _mm_loadu_pd(p);
+  v = _mm_add_pd(v, v);
+  double out[2];
+  _mm_storeu_pd(out, v);
+  return out[0] + out[1];
+}
+
+}  // namespace fluxfp

@@ -1,0 +1,15 @@
+// Fixture: the same intrinsics are sanctioned inside src/numeric/simd/ —
+// the kernel layer is where architecture-specific code lives.
+#include <immintrin.h>
+
+namespace fluxfp::numeric::simd {
+
+double sum2(const double* p) {
+  __m128d v = _mm_loadu_pd(p);
+  v = _mm_add_pd(v, v);
+  double out[2];
+  _mm_storeu_pd(out, v);
+  return out[0] + out[1];
+}
+
+}  // namespace fluxfp::numeric::simd

@@ -214,13 +214,51 @@ TEST(IncludeHygiene, WellFormedHeaderIsClean) {
 }
 
 // ---------------------------------------------------------------------------
+// no-raw-intrinsics
+// ---------------------------------------------------------------------------
+
+TEST(NoRawIntrinsics, FlagsHeaderTypeAndCallsOutsideSimdDir) {
+  const RunResult r = run_lint(fixture_args("src/core/intrinsics_bad.cpp"));
+  EXPECT_EQ(r.exit_code, kViolations) << r.output;
+  // The include, the __m128d/_mm_loadu_pd line, and each intrinsic call
+  // line — one finding per source line.
+  EXPECT_TRUE(has_line_starting(
+      r, "src/core/intrinsics_bad.cpp:3: no-raw-intrinsics:"))
+      << r.output;
+  EXPECT_TRUE(has_line_starting(
+      r, "src/core/intrinsics_bad.cpp:9: no-raw-intrinsics:"))
+      << r.output;
+  EXPECT_TRUE(has_line_starting(
+      r, "src/core/intrinsics_bad.cpp:10: no-raw-intrinsics:"))
+      << r.output;
+  EXPECT_TRUE(has_line_starting(
+      r, "src/core/intrinsics_bad.cpp:12: no-raw-intrinsics:"))
+      << r.output;
+}
+
+TEST(NoRawIntrinsics, SimdKernelDirIsSanctioned) {
+  const RunResult r =
+      run_lint(fixture_args("src/numeric/simd/kernels_ok.cpp"));
+  EXPECT_EQ(r.exit_code, kClean) << r.output;
+}
+
+TEST(NoRawIntrinsics, InlineAllowSuppressesAndIsTallied) {
+  const RunResult r =
+      run_lint(fixture_args("src/core/intrinsics_allowed.cpp"));
+  EXPECT_EQ(r.exit_code, kClean) << r.output;
+  EXPECT_NE(r.output.find("1 suppressions (no-raw-intrinsics x1)"),
+            std::string::npos)
+      << r.output;
+}
+
+// ---------------------------------------------------------------------------
 // CLI contract
 // ---------------------------------------------------------------------------
 
 TEST(Cli, WholeFixtureTreeReportsEveryViolation) {
   const RunResult r = run_lint(fixture_args("src"));
   EXPECT_EQ(r.exit_code, kViolations) << r.output;
-  EXPECT_NE(r.output.find("15 violations"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("19 violations"), std::string::npos) << r.output;
 }
 
 TEST(Cli, RuleFilterNarrowsFindings) {
@@ -232,12 +270,12 @@ TEST(Cli, RuleFilterNarrowsFindings) {
   EXPECT_EQ(r.output.find("no-nan-compare:"), std::string::npos) << r.output;
 }
 
-TEST(Cli, ListRulesNamesAllFive) {
+TEST(Cli, ListRulesNamesAllSix) {
   const RunResult r = run_lint("--list-rules");
   EXPECT_EQ(r.exit_code, kClean) << r.output;
   for (const char* rule :
        {"no-nan-compare", "no-nondeterminism", "no-raw-thread",
-        "pool-serial-guard", "include-hygiene"}) {
+        "pool-serial-guard", "include-hygiene", "no-raw-intrinsics"}) {
     EXPECT_NE(r.output.find(rule), std::string::npos) << r.output;
   }
 }

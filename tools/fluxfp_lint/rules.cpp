@@ -41,6 +41,14 @@ bool raw_thread_sanctioned(const std::string& path) {
          path.find("src/numeric/parallel") != std::string::npos;
 }
 
+/// The only home for architecture-specific vector code: the SIMD kernel
+/// layer. Everything else must call the portable kernels in
+/// numeric/simd/kernels.hpp, so one TU carries the arch flags and the
+/// scalar/vector numeric contract stays auditable in one place.
+bool intrinsics_sanctioned(const std::string& path) {
+  return starts_with(path, "src/numeric/simd/");
+}
+
 // ---------------------------------------------------------------------------
 // Token helpers
 // ---------------------------------------------------------------------------
@@ -428,6 +436,73 @@ void rule_pool_serial_guard(const LexedFile& f, Reporter& r) {
   }
 }
 
+/// no-raw-intrinsics: SIMD intrinsics headers and identifiers are confined
+/// to src/numeric/simd/. A stray _mm256_* in a localizer would be compiled
+/// without the kernel TU's arch flags and -ffp-contract=off, silently
+/// breaking both portability and the element-wise bit-exactness contract.
+void rule_no_raw_intrinsics(const LexedFile& f, Reporter& r) {
+  if (intrinsics_sanctioned(f.path)) {
+    return;
+  }
+  const char* kRule = "no-raw-intrinsics";
+  static const char* const kHeaders[] = {
+      "immintrin", "emmintrin", "xmmintrin", "pmmintrin", "tmmintrin",
+      "smmintrin", "nmmintrin", "wmmintrin", "x86intrin", "x86gprintrin",
+      "arm_neon",  "arm_sve"};
+  static const char* const kIdentPrefixes[] = {
+      "_mm",     "__m128", "__m256", "__m512", "__builtin_ia32",
+      "vld1q_",  "vst1q_", "vaddq_", "vsubq_", "vmulq_",
+      "vdivq_",  "vminq_", "vmaxq_", "vsqrtq_", "vdupq_",
+      "vbslq_",  "vceqq_", "vcltq_", "vcgtq_", "vnegq_"};
+  static const char* const kIdentExact[] = {
+      "float64x2_t", "float32x4_t", "uint64x2_t", "uint32x4_t", "int64x2_t"};
+  int last_line = -1;  // one finding per source line, not per token
+  for (const Token& t : f.tokens) {
+    if (t.line == last_line) {
+      continue;
+    }
+    if (t.kind == TokKind::kPreproc &&
+        t.text.find("include") != std::string::npos) {
+      for (const char* header : kHeaders) {
+        if (t.text.find(header) != std::string::npos) {
+          r.report(t.line, kRule,
+                   std::string("intrinsics header <") + header +
+                       ".h> outside src/numeric/simd/; call the portable "
+                       "kernels in numeric/simd/kernels.hpp instead");
+          last_line = t.line;
+          break;
+        }
+      }
+      continue;
+    }
+    if (t.kind != TokKind::kIdent) {
+      continue;
+    }
+    bool hit = false;
+    for (const char* prefix : kIdentPrefixes) {
+      if (starts_with(t.text, prefix)) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) {
+      for (const char* exact : kIdentExact) {
+        if (t.text == exact) {
+          hit = true;
+          break;
+        }
+      }
+    }
+    if (hit) {
+      r.report(t.line, kRule,
+               "raw SIMD intrinsic '" + t.text +
+                   "' outside src/numeric/simd/; extend the kernel layer "
+                   "instead of inlining architecture-specific code");
+      last_line = t.line;
+    }
+  }
+}
+
 /// include-hygiene: headers must open with #pragma once and must not leak
 /// `using namespace` into includers. (Self-containment is compile-checked
 /// by the generated lint_include_hygiene target.)
@@ -461,7 +536,7 @@ void rule_include_hygiene(const LexedFile& f, Reporter& r) {
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames = {
       "no-nan-compare", "no-nondeterminism", "no-raw-thread",
-      "pool-serial-guard", "include-hygiene"};
+      "pool-serial-guard", "include-hygiene", "no-raw-intrinsics"};
   return kNames;
 }
 
@@ -495,6 +570,7 @@ void check_file(const LexedFile& file, const GlobalCtx& ctx,
   rule_no_raw_thread(file, r);
   rule_pool_serial_guard(file, r);
   rule_include_hygiene(file, r);
+  rule_no_raw_intrinsics(file, r);
 }
 
 }  // namespace fluxfp::lint
