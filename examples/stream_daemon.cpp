@@ -1,36 +1,37 @@
-// Streaming tracking service demo: the full online pipeline of the
-// streaming runtime. A simulator drives several concurrent tracking
-// sessions (asynchronous collections, §4.E/§5.C); their sniffer reports
-// become a single interleaved FluxEvent stream, optionally mangled by
-// event-level transport faults (drops / duplicates / stragglers /
-// reordering), recorded to a binary trace, then replayed into a sharded,
-// supervised TrackerManager at a configurable speed. Because window
-// deadlines are virtual time, the same trace produces bit-identical
-// estimates at any replay speed and any worker count (under the blocking
-// queue policy).
+// Streaming tracking service CLI — four subcommands over one seeded
+// deployment:
 //
-// Crash recovery recipe (see README "Surviving crashes"): the trace file
-// is the durable journal. With --checkpoint the supervisor periodically
-// snapshots the quiesced service as a FLUXFPC1 image and the daemon
-// records the trace offset the snapshot covers in PATH.pos; a later run
-// with --restore PATH rebuilds the same deployment from the seed,
-// restores the snapshot, skips the already-committed trace prefix, and
-// folds the rest bit-identically to a run that never died.
+//   local      the self-contained demo: simulate sessions, record the
+//              event stream to a FLUXFPT1 trace, replay it into a
+//              supervised TrackerManager in-process (crash recovery via
+//              --checkpoint/--restore, see README "Surviving crashes");
+//   serve      run the FXN1 network service: the same deployment behind
+//              a TCP/Unix socket, multi-tenant admission, supervised
+//              crash recovery under live connections;
+//   replay-to  stream a recorded trace to a running server at Nx speed
+//              over one connection (netio::Client);
+//   query      ask a running server for a quiesced estimate, service
+//              metrics, or the newest checkpoint image.
 //
-// SIGINT/SIGTERM drain cleanly: the replay loop stops, open windows
-// flush, the final snapshot + resume offset are written, --metrics prints
-// once, and the daemon exits 0.
+// Invoked with flags only (no subcommand), `local` is assumed — the
+// pre-subcommand invocations in older docs keep working.
 //
-// Run: ./stream_daemon --help for the full flag list.
+// Every parse failure — unknown subcommand, unknown flag, missing or
+// non-numeric value — goes through one usage_error() path: message to
+// stderr, brief usage, exit 2. `--help` prints the full help to stdout
+// and exits 0.
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -39,6 +40,8 @@
 #include "eval/experiment.hpp"
 #include "eval/metrics.hpp"
 #include "geom/field.hpp"
+#include "netio/client.hpp"
+#include "netio/server.hpp"
 #include "numeric/stats.hpp"
 #include "sim/faults.hpp"
 #include "sim/scenario.hpp"
@@ -54,20 +57,44 @@
 
 namespace {
 
+using namespace fluxfp;
+
 volatile std::sig_atomic_t g_stop = 0;
 
 void handle_signal(int) { g_stop = 1; }
 
+constexpr const char* kUsageBrief =
+    "usage: stream_daemon [local|serve|replay-to ADDR|query ADDR] "
+    "[flags]\n"
+    "       stream_daemon --help\n";
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "stream_daemon: %s\n%s", message.c_str(),
+               kUsageBrief);
+  std::exit(2);
+}
+
 void print_help() {
   std::puts(
-      "stream_daemon - streaming tracking service demo\n"
+      "stream_daemon - streaming tracking service\n"
       "\n"
-      "  --sessions N          concurrent tracking sessions (default 4)\n"
-      "  --rounds R            observation rounds per session (default 30)\n"
+      "  stream_daemon local [flags]       in-process demo "
+      "(default subcommand)\n"
+      "  stream_daemon serve [flags]       run the FXN1 network service\n"
+      "  stream_daemon replay-to ADDR      stream a trace to a server\n"
+      "  stream_daemon query ADDR          query a running server\n"
+      "\n"
+      "ADDR is unix:/path/to.sock or tcp:HOST:PORT.\n"
+      "\n"
+      "shared deployment flags (local, serve):\n"
+      "  --sessions N          tracking sessions (default 4)\n"
       "  --workers W           worker threads (default 2)\n"
+      "  --seed X              deployment + mobility seed (default 42)\n"
+      "\n"
+      "local:\n"
+      "  --rounds R            observation rounds per session (default 30)\n"
       "  --speed S             replay pacing: 0 = max speed (default),\n"
       "                        1 = real time, 8 = 8x real time\n"
-      "  --seed X              deployment + mobility seed (default 42)\n"
       "  --trace PATH          event trace file (default "
       "stream_daemon.trace)\n"
       "  --faulty              apply transport faults "
@@ -76,18 +103,133 @@ void print_help() {
       "                        covered trace offset to PATH.pos\n"
       "  --checkpoint-every N  snapshot cadence in accepted events "
       "(default 256)\n"
-      "  --restore PATH        resume from PATH (+ PATH.pos): restore the\n"
-      "                        snapshot, skip the committed trace prefix,\n"
-      "                        continue (same seed/flags as the run that\n"
-      "                        wrote it)\n"
-      "  --metrics             print the Prometheus text exposition once "
-      "at exit\n"
-      "  --help                this text\n"
+      "  --restore PATH        resume from PATH (+ PATH.pos)\n"
+      "  --metrics             print the Prometheus exposition at exit\n"
       "\n"
-      "SIGINT/SIGTERM drain cleanly: replay stops, open windows flush, "
-      "the\n"
-      "final snapshot + resume offset are written, --metrics prints once,\n"
-      "exit status 0.");
+      "serve:\n"
+      "  --listen ADDR         endpoint (default tcp:127.0.0.1:7440;\n"
+      "                        tcp port 0 = ephemeral, printed at start)\n"
+      "  --tenants T           spread sessions over T tenants, session s\n"
+      "                        owned by tenant s%T, priority s (default 1)\n"
+      "  --token T:TOK         require token TOK for tenant T "
+      "(repeatable;\n"
+      "                        none = open auth)\n"
+      "  --quota N             max in-flight events per tenant "
+      "(default 0 = off)\n"
+      "  --admission P         over-quota policy: block, shed-newest,\n"
+      "                        shed-lowest (default block)\n"
+      "  --queue-capacity N    per-worker ingest queue bound "
+      "(default 256)\n"
+      "  --checkpoint PATH     persist FLUXFPC1 snapshots to PATH\n"
+      "  --checkpoint-epochs N snapshot cadence in fired epochs "
+      "(default 32)\n"
+      "  --latency-sample N    sample every Nth accepted event "
+      "(default 16)\n"
+      "\n"
+      "replay-to ADDR:\n"
+      "  --trace PATH          trace to stream (default "
+      "stream_daemon.trace)\n"
+      "  --tenant T --token K  authenticate as tenant T (default 0, "
+      "open)\n"
+      "  --speed S             pacing as in local (default 0 = max)\n"
+      "  --batch B             events per EVENT_BATCH frame (default 64)\n"
+      "\n"
+      "query ADDR:\n"
+      "  --tenant T --token K  authenticate as tenant T\n"
+      "  --user U              print the quiesced estimate of session U\n"
+      "  --metrics             print the server's METRICS report\n"
+      "  --snapshot PATH       save the newest checkpoint image to PATH\n"
+      "\n"
+      "exit status: 0 ok, 1 runtime failure, 2 usage error.");
+}
+
+std::uint64_t parse_u64(const char* flag, const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    usage_error(std::string(flag) + " needs a non-negative integer, got '" +
+                text + "'");
+  }
+  return v;
+}
+
+double parse_f64(const char* flag, const std::string& text) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    usage_error(std::string(flag) + " needs a number, got '" + text + "'");
+  }
+  return v;
+}
+
+netio::Endpoint parse_endpoint(const std::string& spec) {
+  std::string why;
+  const auto ep = netio::Endpoint::parse(spec, &why);
+  if (!ep) {
+    usage_error(why);
+  }
+  return *ep;
+}
+
+/// Pulls flag values off argv; missing values go through usage_error.
+struct ArgCursor {
+  int argc;
+  char** argv;
+  int i;
+
+  std::string value(const char* flag) {
+    if (i + 1 >= argc) {
+      usage_error(std::string(flag) + " needs a value");
+    }
+    return argv[++i];
+  }
+};
+
+/// The shared seeded deployment: one sensor field, one calibrated flux
+/// model, one sniffer set. Everything derives from the seed — `serve` on
+/// one host and `local --restore` on another rebuild the same network,
+/// and a snapshot taken against it restores cleanly.
+struct Deployment {
+  geom::Rng rng;
+  geom::RectField field;
+  net::UnitDiskGraph graph;
+  core::FluxModel model;
+  std::vector<std::size_t> sniffed;
+
+  explicit Deployment(std::uint64_t seed)
+      : rng(seed),
+        field(20.0, 20.0),
+        graph(eval::build_connected_network({}, field, rng)),
+        model(field, eval::estimate_d_min(graph, field, rng)),
+        sniffed(sim::sample_nodes_fraction(graph.size(), 0.12, rng)) {}
+};
+
+/// Supervisor factory over the shared deployment: sessions 0..N-1, tenant
+/// s%tenants, priority s. Every incarnation gets the same construction
+/// inputs (the restore contract of the checkpoint format).
+stream::Supervisor::ManagerFactory make_factory(
+    const Deployment& dep, std::size_t sessions, std::size_t tenants,
+    stream::ManagerConfig mcfg, std::uint64_t seed,
+    const stream::ManagerCheckpoint* restored) {
+  stream::StreamTrackerConfig tcfg;
+  tcfg.expected_readings = dep.sniffed.size();
+  return [&dep, sessions, tenants, mcfg, tcfg, seed, restored]() {
+    auto m = std::make_unique<stream::TrackerManager>(mcfg);
+    for (std::size_t s = 0; s < sessions; ++s) {
+      stream::SessionOptions opts;
+      opts.tenant = static_cast<std::uint32_t>(s % tenants);
+      opts.priority = static_cast<std::uint32_t>(s);
+      m->add_session(static_cast<std::uint32_t>(s),
+                     stream::StreamTracker(dep.model, dep.graph, dep.sniffed,
+                                           1, tcfg, seed + 500 * (s + 1)),
+                     opts);
+    }
+    if (restored != nullptr) {
+      m->restore(*restored);
+    }
+    return m;
+  };
 }
 
 bool read_pos_file(const std::string& path, std::uint64_t& out) {
@@ -100,11 +242,11 @@ void write_pos_file(const std::string& path, std::uint64_t pos) {
   out << pos << "\n";
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// local
+// ---------------------------------------------------------------------------
 
-int main(int argc, char** argv) {
-  using namespace fluxfp;
-
+int run_local(int argc, char** argv, int first) {
   std::size_t sessions = 4;
   int rounds = 30;
   std::size_t workers = 2;
@@ -116,64 +258,48 @@ int main(int argc, char** argv) {
   std::size_t checkpoint_every = 256;
   bool faulty = false;
   bool metrics = false;
-  for (int i = 1; i < argc; ++i) {
-    auto next = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s needs a value\n", flag);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (!std::strcmp(argv[i], "--sessions")) {
-      sessions = std::strtoull(next("--sessions"), nullptr, 10);
-    } else if (!std::strcmp(argv[i], "--rounds")) {
-      rounds = std::atoi(next("--rounds"));
-    } else if (!std::strcmp(argv[i], "--workers")) {
-      workers = std::strtoull(next("--workers"), nullptr, 10);
-    } else if (!std::strcmp(argv[i], "--speed")) {
-      speed = std::atof(next("--speed"));
-    } else if (!std::strcmp(argv[i], "--seed")) {
-      seed = std::strtoull(next("--seed"), nullptr, 10);
-    } else if (!std::strcmp(argv[i], "--trace")) {
-      trace_path = next("--trace");
-    } else if (!std::strcmp(argv[i], "--checkpoint")) {
-      checkpoint_path = next("--checkpoint");
-    } else if (!std::strcmp(argv[i], "--checkpoint-every")) {
-      checkpoint_every = std::strtoull(next("--checkpoint-every"), nullptr, 10);
-    } else if (!std::strcmp(argv[i], "--restore")) {
-      restore_path = next("--restore");
-    } else if (!std::strcmp(argv[i], "--faulty")) {
+  ArgCursor args{argc, argv, first};
+  for (; args.i < argc; ++args.i) {
+    const char* a = argv[args.i];
+    if (!std::strcmp(a, "--sessions")) {
+      sessions = parse_u64(a, args.value(a));
+    } else if (!std::strcmp(a, "--rounds")) {
+      rounds = static_cast<int>(parse_u64(a, args.value(a)));
+    } else if (!std::strcmp(a, "--workers")) {
+      workers = parse_u64(a, args.value(a));
+    } else if (!std::strcmp(a, "--speed")) {
+      speed = parse_f64(a, args.value(a));
+    } else if (!std::strcmp(a, "--seed")) {
+      seed = parse_u64(a, args.value(a));
+    } else if (!std::strcmp(a, "--trace")) {
+      trace_path = args.value(a);
+    } else if (!std::strcmp(a, "--checkpoint")) {
+      checkpoint_path = args.value(a);
+    } else if (!std::strcmp(a, "--checkpoint-every")) {
+      checkpoint_every = parse_u64(a, args.value(a));
+    } else if (!std::strcmp(a, "--restore")) {
+      restore_path = args.value(a);
+    } else if (!std::strcmp(a, "--faulty")) {
       faulty = true;
-    } else if (!std::strcmp(argv[i], "--metrics")) {
+    } else if (!std::strcmp(a, "--metrics")) {
       metrics = true;
-    } else if (!std::strcmp(argv[i], "--help")) {
+    } else if (!std::strcmp(a, "--help")) {
       print_help();
       return 0;
     } else {
-      std::fprintf(stderr, "unknown option %s (try --help)\n", argv[i]);
-      return 2;
+      usage_error(std::string("unknown flag '") + a + "' for local");
     }
   }
   if (sessions == 0 || rounds <= 0 || workers == 0) {
-    std::fputs("need sessions/rounds/workers >= 1\n", stderr);
-    return 2;
+    usage_error("need --sessions/--rounds/--workers >= 1");
   }
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
 
-  // Shared deployment: one sensor field, one calibrated flux model, one
-  // sniffer set — the tracking service watches many users on it at once.
-  // Everything derives from the seed, which is what makes --restore able
-  // to rebuild the deployment a snapshot was taken against.
-  geom::Rng rng(seed);
-  const geom::RectField field(20.0, 20.0);
-  const net::UnitDiskGraph graph =
-      eval::build_connected_network({}, field, rng);
-  const core::FluxModel model(field, eval::estimate_d_min(graph, field, rng));
-  const auto sniffed = sim::sample_nodes_fraction(graph.size(), 0.12, rng);
+  Deployment dep(seed);
   std::printf("network: %zu nodes, %zu sniffers, field %.0fx%.0f\n",
-              graph.size(), sniffed.size(), 20.0, 20.0);
+              dep.graph.size(), dep.sniffed.size(), 20.0, 20.0);
 
   // Simulate each session independently with a staggered start so the
   // merged stream interleaves sessions (asynchronous collections).
@@ -183,16 +309,16 @@ int main(int argc, char** argv) {
     geom::Rng srng(seed + 1000 * (s + 1));
     sim::SimUser user;
     user.mobility = std::make_shared<sim::RandomWaypointMobility>(
-        field, 0.8, static_cast<double>(rounds) + 1.0, srng);
+        dep.field, 0.8, static_cast<double>(rounds) + 1.0, srng);
     sim::ScenarioConfig scfg;
     scfg.rounds = rounds;
     scfg.start_time = 0.13 * static_cast<double>(s);
-    const auto obs = sim::run_scenario(graph, {user}, scfg, srng);
+    const auto obs = sim::run_scenario(dep.graph, {user}, scfg, srng);
     for (const auto& o : obs) {
       truths[s].push_back(o.true_positions[0]);
     }
     per_session.push_back(stream::scenario_events(
-        graph, obs, sniffed, static_cast<std::uint32_t>(s)));
+        dep.graph, obs, dep.sniffed, static_cast<std::uint32_t>(s)));
   }
   std::vector<stream::FluxEvent> events =
       stream::merge_by_time(per_session);
@@ -239,24 +365,8 @@ int main(int argc, char** argv) {
 
   stream::ManagerConfig mcfg;
   mcfg.workers = workers;
-  stream::StreamTrackerConfig tcfg;
-  tcfg.expected_readings = sniffed.size();
-  // The supervisor rebuilds incarnations through this factory; every
-  // incarnation gets the same construction inputs, which is the restore
-  // contract of the checkpoint format.
-  auto factory = [&]() {
-    auto m = std::make_unique<stream::TrackerManager>(mcfg);
-    for (std::size_t s = 0; s < sessions; ++s) {
-      m->add_session(
-          static_cast<std::uint32_t>(s),
-          stream::StreamTracker(model, graph, sniffed, 1, tcfg,
-                                seed + 500 * (s + 1)));
-    }
-    if (have_restore) {
-      m->restore(restored);
-    }
-    return m;
-  };
+  const auto factory = make_factory(dep, sessions, 1, mcfg, seed,
+                                    have_restore ? &restored : nullptr);
 
   stream::SupervisorConfig scfg2;
   // The daemon advances the .pos resume offset per committed snapshot, so
@@ -281,31 +391,15 @@ int main(int argc, char** argv) {
     for (std::uint64_t i = 0; i < skip && replayer.next(skipped); ++i) {
     }
   }
-  const auto wall_start = std::chrono::steady_clock::now();
-  bool have_origin = false;
-  double time_origin = 0.0;
+  std::optional<stream::ReplayPacer> pacer;
   stream::FluxEvent event;
   bool trace_ok = true;
   while (!g_stop && replayer.try_next(event)) {
     if (speed > 0.0) {
-      if (!have_origin) {
-        time_origin = event.time;
-        have_origin = true;
+      if (!pacer) {
+        pacer.emplace(speed, event.time);
       }
-      // Deliver no earlier than the event's trace-time offset, scaled —
-      // in short sleeps, so a signal drains within ~50ms.
-      const auto due =
-          wall_start + std::chrono::duration_cast<
-                           std::chrono::steady_clock::duration>(
-                           std::chrono::duration<double>(
-                               (event.time - time_origin) / speed));
-      while (!g_stop && std::chrono::steady_clock::now() < due) {
-        const auto remaining = due - std::chrono::steady_clock::now();
-        std::this_thread::sleep_for(
-            std::min<std::chrono::steady_clock::duration>(
-                remaining, std::chrono::milliseconds(50)));
-      }
-      if (g_stop) {
+      if (!pacer->pace(event.time, [] { return g_stop != 0; })) {
         break;  // the un-offered event replays on the next --restore run
       }
     }
@@ -344,6 +438,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(offered),
               speed <= 0.0 ? "max speed" : "paced speed", manager->workers(),
               stats.wall_seconds, stats.events_per_second);
+  if (pacer && pacer->max_behind_seconds() > 0.0) {
+    std::printf("pacing: worst lag behind schedule %.1f ms\n",
+                1e3 * pacer->max_behind_seconds());
+  }
   std::printf("checkpoints: %llu committed, newest %llu bytes%s%s\n",
               static_cast<unsigned long long>(sstats.checkpoints),
               static_cast<unsigned long long>(sstats.checkpoint_bytes),
@@ -384,4 +482,407 @@ int main(int argc, char** argv) {
 #endif
   }
   return trace_ok ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// serve
+// ---------------------------------------------------------------------------
+
+int run_serve(int argc, char** argv, int first) {
+  std::string listen = "tcp:127.0.0.1:7440";
+  std::size_t sessions = 4;
+  std::size_t tenants = 1;
+  std::size_t workers = 2;
+  std::uint64_t seed = 42;
+  std::size_t quota = 0;
+  std::size_t queue_capacity = 256;
+  std::size_t checkpoint_epochs = 32;
+  std::size_t latency_sample = 16;
+  std::string checkpoint_path;
+  stream::AdmissionPolicy admission = stream::AdmissionPolicy::kBlock;
+  std::map<std::uint32_t, std::uint64_t> tokens;
+  ArgCursor args{argc, argv, first};
+  for (; args.i < argc; ++args.i) {
+    const char* a = argv[args.i];
+    if (!std::strcmp(a, "--listen")) {
+      listen = args.value(a);
+    } else if (!std::strcmp(a, "--sessions")) {
+      sessions = parse_u64(a, args.value(a));
+    } else if (!std::strcmp(a, "--tenants")) {
+      tenants = parse_u64(a, args.value(a));
+    } else if (!std::strcmp(a, "--workers")) {
+      workers = parse_u64(a, args.value(a));
+    } else if (!std::strcmp(a, "--seed")) {
+      seed = parse_u64(a, args.value(a));
+    } else if (!std::strcmp(a, "--quota")) {
+      quota = parse_u64(a, args.value(a));
+    } else if (!std::strcmp(a, "--queue-capacity")) {
+      queue_capacity = parse_u64(a, args.value(a));
+    } else if (!std::strcmp(a, "--checkpoint")) {
+      checkpoint_path = args.value(a);
+    } else if (!std::strcmp(a, "--checkpoint-epochs")) {
+      checkpoint_epochs = parse_u64(a, args.value(a));
+    } else if (!std::strcmp(a, "--latency-sample")) {
+      latency_sample = parse_u64(a, args.value(a));
+    } else if (!std::strcmp(a, "--admission")) {
+      const std::string policy = args.value(a);
+      if (policy == "block") {
+        admission = stream::AdmissionPolicy::kBlock;
+      } else if (policy == "shed-newest") {
+        admission = stream::AdmissionPolicy::kShedNewest;
+      } else if (policy == "shed-lowest") {
+        admission = stream::AdmissionPolicy::kShedLowestPriority;
+      } else {
+        usage_error("--admission must be block, shed-newest, or "
+                    "shed-lowest, got '" +
+                    policy + "'");
+      }
+    } else if (!std::strcmp(a, "--token")) {
+      const std::string pair = args.value(a);
+      const std::size_t colon = pair.find(':');
+      if (colon == std::string::npos) {
+        usage_error("--token needs TENANT:TOKEN, got '" + pair + "'");
+      }
+      const std::uint64_t tenant =
+          parse_u64("--token tenant", pair.substr(0, colon));
+      tokens[static_cast<std::uint32_t>(tenant)] =
+          parse_u64("--token value", pair.substr(colon + 1));
+    } else if (!std::strcmp(a, "--help")) {
+      print_help();
+      return 0;
+    } else {
+      usage_error(std::string("unknown flag '") + a + "' for serve");
+    }
+  }
+  if (sessions == 0 || tenants == 0 || workers == 0) {
+    usage_error("need --sessions/--tenants/--workers >= 1");
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  Deployment dep(seed);
+  stream::ManagerConfig mcfg;
+  mcfg.workers = workers;
+  mcfg.queue_capacity = queue_capacity;
+  mcfg.tenant_quota = quota;
+  mcfg.admission = admission;
+  const auto factory =
+      make_factory(dep, sessions, tenants, mcfg, seed, nullptr);
+  stream::SupervisorConfig scfg;
+  scfg.checkpoint_every_epochs = checkpoint_epochs;
+  scfg.checkpoint_path = checkpoint_path;
+
+  netio::ServerConfig ncfg;
+  ncfg.endpoint = parse_endpoint(listen);
+  ncfg.tenant_tokens = std::move(tokens);
+  ncfg.latency_sample_every = latency_sample;
+
+  netio::Server server(factory, scfg, ncfg);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve: %s\n", e.what());
+    return 1;
+  }
+  std::printf("serving %zu sessions (%zu tenants) on %s over %zu workers; "
+              "Ctrl-C to stop\n",
+              sessions, tenants, server.endpoint().to_string().c_str(),
+              workers);
+  std::fflush(stdout);
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  const netio::MetricsMsg m = server.metrics();
+  server.stop();
+  std::printf("\nserved %llu connections: %llu events accepted, %llu "
+              "processed, %llu shed, %llu foreign, %llu error frames\n",
+              static_cast<unsigned long long>(m.connections_opened),
+              static_cast<unsigned long long>(m.events_accepted),
+              static_cast<unsigned long long>(m.events_processed),
+              static_cast<unsigned long long>(m.events_shed),
+              static_cast<unsigned long long>(m.events_foreign),
+              static_cast<unsigned long long>(m.error_frames));
+  std::printf("checkpoints %llu, restarts %llu, ingest-to-estimate us: "
+              "p50 %.0f  p99 %.0f (%llu samples)\n",
+              static_cast<unsigned long long>(m.checkpoints),
+              static_cast<unsigned long long>(m.restarts), m.ingest_p50_us,
+              m.ingest_p99_us,
+              static_cast<unsigned long long>(m.ingest_samples));
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// replay-to
+// ---------------------------------------------------------------------------
+
+int run_replay_to(int argc, char** argv, int first) {
+  if (first >= argc || argv[first][0] == '-') {
+    usage_error("replay-to needs an ADDR operand");
+  }
+  const netio::Endpoint endpoint = parse_endpoint(argv[first]);
+  std::string trace_path = "stream_daemon.trace";
+  std::uint64_t tenant = 0;
+  std::uint64_t token = 0;
+  double speed = 0.0;
+  std::size_t batch_size = 64;
+  ArgCursor args{argc, argv, first + 1};
+  for (; args.i < argc; ++args.i) {
+    const char* a = argv[args.i];
+    if (!std::strcmp(a, "--trace")) {
+      trace_path = args.value(a);
+    } else if (!std::strcmp(a, "--tenant")) {
+      tenant = parse_u64(a, args.value(a));
+    } else if (!std::strcmp(a, "--token")) {
+      token = parse_u64(a, args.value(a));
+    } else if (!std::strcmp(a, "--speed")) {
+      speed = parse_f64(a, args.value(a));
+    } else if (!std::strcmp(a, "--batch")) {
+      batch_size = parse_u64(a, args.value(a));
+    } else if (!std::strcmp(a, "--help")) {
+      print_help();
+      return 0;
+    } else {
+      usage_error(std::string("unknown flag '") + a + "' for replay-to");
+    }
+  }
+  if (batch_size == 0) {
+    usage_error("--batch must be >= 1");
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  std::ifstream trace_in(trace_path, std::ios::binary);
+  if (!trace_in) {
+    std::fprintf(stderr, "replay-to: cannot open %s\n", trace_path.c_str());
+    return 1;
+  }
+
+  netio::Client client;
+  if (!client.connect(endpoint, static_cast<std::uint32_t>(tenant),
+                      token)) {
+    std::fprintf(stderr, "replay-to: %s\n", client.last_error().c_str());
+    return 1;
+  }
+  std::printf("connected to %s as tenant %llu (%u sessions registered)\n",
+              endpoint.to_string().c_str(),
+              static_cast<unsigned long long>(tenant),
+              client.welcome().sessions);
+
+  netio::BatchAckMsg totals;
+  auto flush = [&](std::vector<stream::FluxEvent>& batch) {
+    if (batch.empty()) {
+      return true;
+    }
+    netio::BatchAckMsg ack;
+    if (!client.send_batch(batch, ack)) {
+      std::fprintf(stderr, "replay-to: %s\n", client.last_error().c_str());
+      return false;
+    }
+    totals.accepted += ack.accepted;
+    totals.shed += ack.shed;
+    totals.unknown += ack.unknown;
+    totals.foreign += ack.foreign;
+    totals.closed += ack.closed;
+    batch.clear();
+    return true;
+  };
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::optional<stream::ReplayPacer> pacer;
+  std::vector<stream::FluxEvent> batch;
+  stream::FluxEvent event;
+  std::uint64_t sent = 0;
+  bool ok = true;
+  try {
+    stream::TraceReplayer replayer(trace_in);
+    while (!g_stop && replayer.next(event)) {
+      if (speed > 0.0) {
+        if (!pacer) {
+          pacer.emplace(speed, event.time);
+        }
+        if (!pacer->pace(event.time, [] { return g_stop != 0; })) {
+          break;
+        }
+      }
+      batch.push_back(event);
+      ++sent;
+      if (batch.size() >= batch_size && !flush(batch)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && !flush(batch)) {
+      ok = false;
+    }
+  } catch (const stream::TraceFormatError& e) {
+    std::fprintf(stderr, "replay-to: trace %s: %s\n", trace_path.c_str(),
+                 e.what());
+    ok = false;
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  std::printf("streamed %llu events in %.3fs (%.0f events/s offered): "
+              "%llu accepted, %llu shed, %llu unknown, %llu foreign, "
+              "%llu closed\n",
+              static_cast<unsigned long long>(sent), wall,
+              wall > 0.0 ? static_cast<double>(sent) / wall : 0.0,
+              static_cast<unsigned long long>(totals.accepted),
+              static_cast<unsigned long long>(totals.shed),
+              static_cast<unsigned long long>(totals.unknown),
+              static_cast<unsigned long long>(totals.foreign),
+              static_cast<unsigned long long>(totals.closed));
+  if (pacer && pacer->max_behind_seconds() > 0.0) {
+    std::printf("pacing: worst lag behind schedule %.1f ms\n",
+                1e3 * pacer->max_behind_seconds());
+  }
+  if (ok) {
+    client.goodbye();
+  }
+  return ok ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// query
+// ---------------------------------------------------------------------------
+
+int run_query(int argc, char** argv, int first) {
+  if (first >= argc || argv[first][0] == '-') {
+    usage_error("query needs an ADDR operand");
+  }
+  const netio::Endpoint endpoint = parse_endpoint(argv[first]);
+  std::uint64_t tenant = 0;
+  std::uint64_t token = 0;
+  std::optional<std::uint32_t> user;
+  bool metrics = false;
+  std::string snapshot_path;
+  ArgCursor args{argc, argv, first + 1};
+  for (; args.i < argc; ++args.i) {
+    const char* a = argv[args.i];
+    if (!std::strcmp(a, "--tenant")) {
+      tenant = parse_u64(a, args.value(a));
+    } else if (!std::strcmp(a, "--token")) {
+      token = parse_u64(a, args.value(a));
+    } else if (!std::strcmp(a, "--user")) {
+      user = static_cast<std::uint32_t>(parse_u64(a, args.value(a)));
+    } else if (!std::strcmp(a, "--metrics")) {
+      metrics = true;
+    } else if (!std::strcmp(a, "--snapshot")) {
+      snapshot_path = args.value(a);
+    } else if (!std::strcmp(a, "--help")) {
+      print_help();
+      return 0;
+    } else {
+      usage_error(std::string("unknown flag '") + a + "' for query");
+    }
+  }
+  if (!user && !metrics && snapshot_path.empty()) {
+    usage_error("query needs --user, --metrics, or --snapshot");
+  }
+
+  netio::Client client;
+  if (!client.connect(endpoint, static_cast<std::uint32_t>(tenant),
+                      token)) {
+    std::fprintf(stderr, "query: %s\n", client.last_error().c_str());
+    return 1;
+  }
+
+  if (user) {
+    netio::EstimateMsg est;
+    if (!client.query_estimate(*user, est)) {
+      std::fprintf(stderr, "query: %s\n", client.last_error().c_str());
+      return 1;
+    }
+    std::printf("session %u: %llu epochs fired, %llu events folded, "
+                "t=%.3f\n",
+                est.user,
+                static_cast<unsigned long long>(est.epochs_fired),
+                static_cast<unsigned long long>(est.events_folded),
+                est.time);
+    for (std::size_t slot = 0; slot < est.estimates.size(); ++slot) {
+      std::printf("  slot %zu: (%.3f, %.3f)\n", slot,
+                  est.estimates[slot].x, est.estimates[slot].y);
+    }
+  }
+  if (metrics) {
+    netio::MetricsMsg m;
+    if (!client.metrics(m)) {
+      std::fprintf(stderr, "query: %s\n", client.last_error().c_str());
+      return 1;
+    }
+    std::printf("events: %llu accepted, %llu processed, %llu shed, %llu "
+                "unknown, %llu foreign (%llu batches, %llu error frames)\n",
+                static_cast<unsigned long long>(m.events_accepted),
+                static_cast<unsigned long long>(m.events_processed),
+                static_cast<unsigned long long>(m.events_shed),
+                static_cast<unsigned long long>(m.events_unknown),
+                static_cast<unsigned long long>(m.events_foreign),
+                static_cast<unsigned long long>(m.batches),
+                static_cast<unsigned long long>(m.error_frames));
+    std::printf("connections: %llu opened, %llu active; sessions %llu; "
+                "checkpoints %llu; restarts %llu\n",
+                static_cast<unsigned long long>(m.connections_opened),
+                static_cast<unsigned long long>(m.connections_active),
+                static_cast<unsigned long long>(m.sessions),
+                static_cast<unsigned long long>(m.checkpoints),
+                static_cast<unsigned long long>(m.restarts));
+    std::printf("throughput %.0f events/s over %.3fs; ingest-to-estimate "
+                "us: p50 %.0f  p99 %.0f  max %.0f (%llu samples)\n",
+                m.events_per_second, m.wall_seconds, m.ingest_p50_us,
+                m.ingest_p99_us, m.ingest_max_us,
+                static_cast<unsigned long long>(m.ingest_samples));
+  }
+  if (!snapshot_path.empty()) {
+    std::string image;
+    if (!client.snapshot(image)) {
+      std::fprintf(stderr, "query: %s\n", client.last_error().c_str());
+      return 1;
+    }
+    std::ofstream out(snapshot_path, std::ios::binary | std::ios::trunc);
+    out.write(image.data(),
+              static_cast<std::streamsize>(image.size()));
+    if (!out) {
+      std::fprintf(stderr, "query: cannot write %s\n",
+                   snapshot_path.c_str());
+      return 1;
+    }
+    std::printf("snapshot: %zu bytes -> %s\n", image.size(),
+                snapshot_path.c_str());
+  }
+  client.goodbye();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && (!std::strcmp(argv[1], "--help") ||
+                    !std::strcmp(argv[1], "help"))) {
+    print_help();
+    return 0;
+  }
+  // Flags-only invocation (or none) keeps the historical behavior: local.
+  std::string cmd = "local";
+  int first = 1;
+  if (argc >= 2 && argv[1][0] != '-') {
+    cmd = argv[1];
+    first = 2;
+  }
+  if (cmd == "local") {
+    return run_local(argc, argv, first);
+  }
+  if (cmd == "serve") {
+    return run_serve(argc, argv, first);
+  }
+  if (cmd == "replay-to") {
+    return run_replay_to(argc, argv, first);
+  }
+  if (cmd == "query") {
+    return run_query(argc, argv, first);
+  }
+  usage_error("unknown subcommand '" + cmd + "'");
 }

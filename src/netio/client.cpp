@@ -1,0 +1,132 @@
+#include "netio/client.hpp"
+
+namespace fluxfp::netio {
+
+bool Client::connect(const Endpoint& endpoint, std::uint32_t tenant,
+                     std::uint64_t token) {
+  close();
+  std::string why;
+  socket_ = connect_to(endpoint, &why);
+  if (!socket_.valid()) {
+    return fail(why);
+  }
+  reader_.emplace(socket_);
+  HelloMsg hello;
+  hello.version = kWireVersion;
+  hello.tenant = tenant;
+  hello.token = token;
+  Frame reply;
+  if (!roundtrip(FrameType::kHello, encode_hello(hello), FrameType::kWelcome,
+                 reply)) {
+    return false;
+  }
+  if (const auto err = decode_welcome(reply.payload, welcome_)) {
+    return fail("malformed WELCOME: " + err->to_string());
+  }
+  return true;
+}
+
+bool Client::send_batch(std::span<const stream::FluxEvent> events,
+                        BatchAckMsg& ack) {
+  Frame reply;
+  if (!roundtrip(FrameType::kEventBatch, encode_event_batch(events),
+                 FrameType::kBatchAck, reply)) {
+    return false;
+  }
+  if (const auto err = decode_batch_ack(reply.payload, ack)) {
+    return fail("malformed BATCH_ACK: " + err->to_string());
+  }
+  return true;
+}
+
+bool Client::query_estimate(std::uint32_t user, EstimateMsg& out) {
+  QueryMsg query;
+  query.user = user;
+  Frame reply;
+  if (!roundtrip(FrameType::kQueryEstimate, encode_query(query),
+                 FrameType::kEstimate, reply)) {
+    return false;
+  }
+  if (const auto err = decode_estimate(reply.payload, out)) {
+    return fail("malformed ESTIMATE: " + err->to_string());
+  }
+  return true;
+}
+
+bool Client::snapshot(std::string& image) {
+  Frame reply;
+  if (!roundtrip(FrameType::kSnapshotRequest, std::string(),
+                 FrameType::kSnapshotImage, reply)) {
+    return false;
+  }
+  image = std::move(reply.payload);
+  return true;
+}
+
+bool Client::metrics(MetricsMsg& out) {
+  Frame reply;
+  if (!roundtrip(FrameType::kMetricsRequest, std::string(),
+                 FrameType::kMetricsReport, reply)) {
+    return false;
+  }
+  if (const auto err = decode_metrics(reply.payload, out)) {
+    return fail("malformed METRICS_REPORT: " + err->to_string());
+  }
+  return true;
+}
+
+bool Client::goodbye() {
+  Frame reply;
+  const bool acked = roundtrip(FrameType::kGoodbye, std::string(),
+                               FrameType::kGoodbyeOk, reply);
+  close();
+  return acked;
+}
+
+void Client::close() {
+  socket_.close();
+  reader_.reset();
+}
+
+bool Client::roundtrip(FrameType type, const std::string& payload,
+                       FrameType want, Frame& reply) {
+  server_error_.reset();
+  if (!socket_.valid() || !reader_) {
+    return fail("not connected");
+  }
+  if (!socket_.write_all(encode_frame(type, payload))) {
+    return fail(std::string("writing ") + frame_type_name(type) +
+                " failed (peer gone)");
+  }
+  const FrameReader::Status status = reader_->read(reply);
+  if (status == FrameReader::Status::kEnd) {
+    return fail(std::string("server closed instead of answering ") +
+                frame_type_name(type));
+  }
+  if (status == FrameReader::Status::kError) {
+    return fail("reply stream broke: " + reader_->error()->to_string());
+  }
+  if (reply.type == FrameType::kError) {
+    ErrorMsg err;
+    if (decode_error(reply.payload, err) == std::nullopt) {
+      server_error_ = err;
+      return fail(std::string("server error: ") + error_code_name(err.code) +
+                  (err.message.empty() ? "" : " — " + err.message));
+    }
+    return fail("server sent an undecodable ERROR frame");
+  }
+  if (reply.type != want) {
+    return fail(std::string("expected ") + frame_type_name(want) + ", got " +
+                frame_type_name(reply.type));
+  }
+  return true;
+}
+
+bool Client::fail(const std::string& why) {
+  last_error_ = why;
+  socket_.close();
+  reader_.reset();
+  return false;
+}
+
+}  // namespace fluxfp::netio

@@ -1,0 +1,455 @@
+#include "netio/server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "numeric/stats.hpp"
+#include "obs/instrument.hpp"
+
+namespace fluxfp::netio {
+
+using stream::PushStatus;
+
+Server::Server(stream::Supervisor::ManagerFactory factory,
+               stream::SupervisorConfig supervisor_config,
+               ServerConfig config)
+    : supervisor_(std::move(factory), std::move(supervisor_config)),
+      config_(std::move(config)) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_.load()) {
+    throw std::logic_error("Server: already running");
+  }
+  supervisor_.start();
+  // Freeze the user -> tenant map: sessions are registered before start and
+  // never after, so connection threads read it without a lock.
+  const stream::TrackerManager* manager = supervisor_.manager();
+  for (const std::uint32_t user : supervisor_.users()) {
+    const std::uint32_t tenant = manager->session_options(user).tenant;
+    user_tenant_[user] = tenant;
+    ++tenant_sessions_[tenant];
+  }
+  listener_ = Listener::listen_on(config_.endpoint);
+  endpoint_ = listener_.endpoint();
+  started_at_ = std::chrono::steady_clock::now();
+  running_.store(true);
+  accept_thread_ = std::thread(&Server::accept_loop, this);
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  listener_.shutdown();
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (Connection& conn : conns_) {
+      conn.socket.shutdown_both();  // wakes a thread blocked in read_some
+    }
+    for (Connection& conn : conns_) {
+      if (conn.thread.joinable()) {
+        conn.thread.join();
+      }
+    }
+    conns_.clear();
+  }
+  std::lock_guard<std::mutex> lock(ingest_mutex_);
+  supervisor_.finish();
+}
+
+bool Server::running() const { return running_.load(); }
+
+void Server::inject_crash() {
+  std::lock_guard<std::mutex> lock(ingest_mutex_);
+  supervisor_.inject_crash();
+}
+
+MetricsMsg Server::metrics() {
+  std::lock_guard<std::mutex> lock(ingest_mutex_);
+  if (supervisor_.quiesce()) {
+    mark_quiesced_locked();
+  }
+  return metrics_locked();
+}
+
+void Server::accept_loop() {
+  while (true) {
+    Socket conn_socket = listener_.accept_one();
+    if (!conn_socket.valid()) {
+      return;  // shutdown() — or the listener itself died
+    }
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    // Reap finished connections so fds and thread handles do not pile up
+    // over a long-lived server's lifetime.
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if (it->done.load()) {
+        if (it->thread.joinable()) {
+          it->thread.join();
+        }
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    conns_.emplace_back();
+    Connection& conn = conns_.back();
+    conn.socket = std::move(conn_socket);
+    conn.id = next_connection_id_++;
+    {
+      std::lock_guard<std::mutex> ingest(ingest_mutex_);
+      ++connections_opened_;
+      ++connections_active_;
+    }
+    FLUXFP_OBS_COUNTER_INC_SCHED("fluxfp_netio_connections_opened_total",
+                                 "Connections accepted by the service");
+    FLUXFP_OBS_GAUGE_ADD_SCHED("fluxfp_netio_connections_active",
+                               "Connections currently being served", 1.0);
+    conn.thread = std::thread(&Server::serve_connection, this,
+                              std::ref(conn));
+  }
+}
+
+void Server::serve_connection(Connection& conn) {
+  FrameReader reader(conn.socket, config_.limits);
+  bool authed = false;
+  std::uint32_t tenant = 0;
+  Frame frame;
+  while (true) {
+    const FrameReader::Status status = reader.read(frame);
+    if (status == FrameReader::Status::kEnd) {
+      break;  // clean close at a frame boundary
+    }
+    if (status == FrameReader::Status::kError) {
+      // Malformed/hostile input never crashes the service: answer a typed
+      // ERROR frame (best effort — on kBadStream the write may fail too)
+      // and close.
+      const WireError& err = *reader.error();
+      send_error(conn, ErrorCode::kMalformedFrame, err.offset,
+                 err.to_string());
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(ingest_mutex_);
+      ++frames_in_total_;
+    }
+    if (!handle_frame(conn, authed, tenant, frame)) {
+      break;
+    }
+  }
+  conn.socket.shutdown_both();
+  {
+    std::lock_guard<std::mutex> lock(ingest_mutex_);
+    --connections_active_;
+  }
+  FLUXFP_OBS_GAUGE_ADD_SCHED("fluxfp_netio_connections_active",
+                             "Connections currently being served", -1.0);
+  conn.done.store(true);
+}
+
+bool Server::handle_frame(Connection& conn, bool& authed,
+                          std::uint32_t& tenant, const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kHello: {
+      HelloMsg hello;
+      if (const auto err = decode_hello(frame.payload, hello)) {
+        return send_error(conn, ErrorCode::kMalformedFrame, err->offset,
+                          err->to_string());
+      }
+      if (authed) {
+        return send_error(conn, ErrorCode::kMalformedFrame, 0,
+                          "duplicate HELLO");
+      }
+      if (hello.version != kWireVersion) {
+        return send_error(conn, ErrorCode::kUnsupportedVersion, 0,
+                          "client speaks version " +
+                              std::to_string(hello.version) +
+                              ", this server speaks " +
+                              std::to_string(kWireVersion));
+      }
+      if (!config_.tenant_tokens.empty()) {
+        const auto it = config_.tenant_tokens.find(hello.tenant);
+        if (it == config_.tenant_tokens.end() || it->second != hello.token) {
+          // One message for both failures: naming which part was wrong
+          // would confirm tenant ids to a guessing client.
+          return send_error(conn, ErrorCode::kAuthFailed, 0,
+                            "unknown tenant or wrong token");
+        }
+      }
+      authed = true;
+      tenant = hello.tenant;
+      WelcomeMsg welcome;
+      welcome.version = kWireVersion;
+      const auto sessions = tenant_sessions_.find(tenant);
+      welcome.sessions =
+          sessions == tenant_sessions_.end() ? 0 : sessions->second;
+      welcome.connection_id = conn.id;
+      return send_frame(conn, FrameType::kWelcome, encode_welcome(welcome));
+    }
+
+    case FrameType::kEventBatch: {
+      if (!authed) {
+        return send_error(conn, ErrorCode::kNotAuthenticated, 0,
+                          "first frame must be HELLO");
+      }
+      std::vector<stream::FluxEvent> events;
+      if (const auto err =
+              decode_event_batch(frame.payload, config_.limits, events)) {
+        return send_error(conn, ErrorCode::kMalformedFrame, err->offset,
+                          err->to_string());
+      }
+      BatchAckMsg ack;
+      {
+        std::lock_guard<std::mutex> lock(ingest_mutex_);
+        ++batches_total_;
+        const auto now = std::chrono::steady_clock::now();
+        for (const stream::FluxEvent& event : events) {
+          const auto owner = user_tenant_.find(event.user);
+          if (owner == user_tenant_.end()) {
+            ++ack.unknown;
+            ++unknown_total_;
+            continue;
+          }
+          if (owner->second != tenant) {
+            // Cross-tenant isolation: the event is counted, never offered
+            // — one tenant cannot pollute (or probe) another's sessions.
+            ++ack.foreign;
+            ++foreign_total_;
+            continue;
+          }
+          switch (supervisor_.offer(event)) {
+            case PushStatus::kAccepted:
+              ++ack.accepted;
+              ++accepted_total_;
+              if (config_.latency_sample_every > 0 &&
+                  accepted_total_ % config_.latency_sample_every == 0 &&
+                  pending_samples_.size() < config_.max_latency_samples) {
+                pending_samples_.push_back({accepted_total_, now});
+              }
+              break;
+            case PushStatus::kShedQuota:
+              ++ack.shed;
+              ++shed_total_;
+              break;
+            case PushStatus::kUnknownUser:
+              ++ack.unknown;
+              ++unknown_total_;
+              break;
+            case PushStatus::kClosed:
+              ++ack.closed;
+              ++closed_total_;
+              break;
+          }
+        }
+        observe_progress_locked();
+      }
+      FLUXFP_OBS_COUNTER_ADD_SCHED("fluxfp_netio_events_accepted_total",
+                                   "Events admitted over the wire",
+                                   ack.accepted);
+      FLUXFP_OBS_COUNTER_ADD_SCHED("fluxfp_netio_events_shed_total",
+                                   "Events shed by tenant admission",
+                                   ack.shed);
+      return send_frame(conn, FrameType::kBatchAck, encode_batch_ack(ack));
+    }
+
+    case FrameType::kQueryEstimate: {
+      if (!authed) {
+        return send_error(conn, ErrorCode::kNotAuthenticated, 0,
+                          "first frame must be HELLO");
+      }
+      QueryMsg query;
+      if (const auto err = decode_query(frame.payload, query)) {
+        return send_error(conn, ErrorCode::kMalformedFrame, err->offset,
+                          err->to_string());
+      }
+      const auto owner = user_tenant_.find(query.user);
+      if (owner == user_tenant_.end() || owner->second != tenant) {
+        // A foreign user reads as unknown: tenants cannot enumerate each
+        // other's sessions by probing ids.
+        return send_error(conn, ErrorCode::kUnknownUser, 0,
+                          "no session " + std::to_string(query.user) +
+                              " for this tenant");
+      }
+      EstimateMsg estimate;
+      bool shard_up = false;
+      {
+        std::lock_guard<std::mutex> lock(ingest_mutex_);
+        shard_up = supervisor_.quiesce();
+        if (shard_up) {
+          mark_quiesced_locked();
+          const stream::StreamTracker& tracker =
+              supervisor_.manager()->session(query.user);
+          estimate.user = query.user;
+          estimate.epochs_fired = tracker.stats().epochs_fired;
+          estimate.events_folded = tracker.stats().events;
+          estimate.time = tracker.now();
+          for (std::size_t slot = 0; slot < tracker.num_users(); ++slot) {
+            estimate.estimates.push_back(tracker.estimate(slot));
+          }
+        }
+      }
+      if (!shard_up) {
+        return send_error(conn, ErrorCode::kUnavailable, 0,
+                          "shard down (crash-restore in progress)");
+      }
+      return send_frame(conn, FrameType::kEstimate,
+                        encode_estimate(estimate));
+    }
+
+    case FrameType::kSnapshotRequest: {
+      if (!authed) {
+        return send_error(conn, ErrorCode::kNotAuthenticated, 0,
+                          "first frame must be HELLO");
+      }
+      std::string image;
+      {
+        std::lock_guard<std::mutex> lock(ingest_mutex_);
+        image = supervisor_.checkpoint_image();
+      }
+      if (image.size() > config_.limits.max_payload) {
+        return send_error(conn, ErrorCode::kInternal, 0,
+                          "checkpoint image (" +
+                              std::to_string(image.size()) +
+                              " bytes) exceeds the frame payload limit");
+      }
+      return send_frame(conn, FrameType::kSnapshotImage, image);
+    }
+
+    case FrameType::kMetricsRequest: {
+      if (!authed) {
+        return send_error(conn, ErrorCode::kNotAuthenticated, 0,
+                          "first frame must be HELLO");
+      }
+      MetricsMsg report;
+      {
+        std::lock_guard<std::mutex> lock(ingest_mutex_);
+        if (supervisor_.quiesce()) {
+          mark_quiesced_locked();
+        }
+        report = metrics_locked();
+      }
+      return send_frame(conn, FrameType::kMetricsReport,
+                        encode_metrics(report));
+    }
+
+    case FrameType::kGoodbye:
+      send_frame(conn, FrameType::kGoodbyeOk, std::string());
+      return false;
+
+    case FrameType::kWelcome:
+    case FrameType::kBatchAck:
+    case FrameType::kEstimate:
+    case FrameType::kSnapshotImage:
+    case FrameType::kMetricsReport:
+    case FrameType::kGoodbyeOk:
+    case FrameType::kError:
+      return send_error(conn, ErrorCode::kMalformedFrame, 0,
+                        std::string(frame_type_name(frame.type)) +
+                            " is a server-to-client frame");
+  }
+  return send_error(conn, ErrorCode::kInternal, 0, "unhandled frame type");
+}
+
+bool Server::send_error(Connection& conn, ErrorCode code,
+                        std::uint64_t offset, const std::string& message) {
+  {
+    std::lock_guard<std::mutex> lock(ingest_mutex_);
+    ++error_frames_total_;
+  }
+  FLUXFP_OBS_COUNTER_INC_SCHED("fluxfp_netio_error_frames_total",
+                               "ERROR frames sent to clients");
+  ErrorMsg msg;
+  msg.code = code;
+  msg.offset = offset;
+  msg.message = message;
+  conn.socket.write_all(encode_frame(FrameType::kError, encode_error(msg)));
+  return false;
+}
+
+bool Server::send_frame(Connection& conn, FrameType type,
+                        const std::string& payload) {
+  return conn.socket.write_all(encode_frame(type, payload));
+}
+
+void Server::observe_progress_locked() {
+  const stream::SupervisorStats sup = supervisor_.stats();
+  if (sup.restarts != restarts_seen_) {
+    // The new incarnation's processed_live() restarts at zero and re-folds
+    // the journal; carry the floor so the estimate stays monotone.
+    restarts_seen_ = sup.restarts;
+    folded_floor_ = folded_estimate_;
+  }
+  const stream::TrackerManager* manager = supervisor_.manager();
+  if (manager != nullptr) {
+    const std::uint64_t estimate =
+        std::min(accepted_total_, folded_floor_ + manager->processed_live());
+    folded_estimate_ = std::max(folded_estimate_, estimate);
+  }
+  resolve_samples_locked(std::chrono::steady_clock::now());
+}
+
+void Server::mark_quiesced_locked() {
+  // A successful quiesce is the exact barrier: everything accepted so far
+  // has been folded.
+  folded_estimate_ = accepted_total_;
+  resolve_samples_locked(std::chrono::steady_clock::now());
+}
+
+void Server::resolve_samples_locked(
+    std::chrono::steady_clock::time_point now) {
+  while (!pending_samples_.empty() &&
+         pending_samples_.front().accepted_index <= folded_estimate_) {
+    const double micros =
+        std::chrono::duration<double, std::micro>(
+            now - pending_samples_.front().stamped)
+            .count();
+    if (latency_micros_.size() < config_.max_latency_samples) {
+      latency_micros_.push_back(micros);
+    } else if (config_.max_latency_samples > 0) {
+      latency_micros_[latency_ring_pos_] = micros;
+      latency_ring_pos_ =
+          (latency_ring_pos_ + 1) % config_.max_latency_samples;
+    }
+    pending_samples_.pop_front();
+  }
+}
+
+MetricsMsg Server::metrics_locked() {
+  MetricsMsg out;
+  out.events_accepted = accepted_total_;
+  out.events_processed = folded_estimate_;
+  out.events_shed = shed_total_;
+  out.events_unknown = unknown_total_;
+  out.events_foreign = foreign_total_;
+  out.batches = batches_total_;
+  out.frames_in = frames_in_total_;
+  out.error_frames = error_frames_total_;
+  out.connections_opened = connections_opened_;
+  out.connections_active = connections_active_;
+  const stream::SupervisorStats sup = supervisor_.stats();
+  out.checkpoints = sup.checkpoints;
+  out.restarts = sup.restarts;
+  out.sessions = user_tenant_.size();
+  out.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - started_at_)
+                         .count();
+  out.events_per_second =
+      out.wall_seconds > 0.0
+          ? static_cast<double>(out.events_processed) / out.wall_seconds
+          : 0.0;
+  out.ingest_samples = latency_micros_.size();
+  if (!latency_micros_.empty()) {
+    out.ingest_p50_us = numeric::percentile(latency_micros_, 0.5);
+    out.ingest_p99_us = numeric::percentile(latency_micros_, 0.99);
+    out.ingest_max_us = *std::max_element(latency_micros_.begin(),
+                                          latency_micros_.end());
+  }
+  return out;
+}
+
+}  // namespace fluxfp::netio

@@ -1,0 +1,347 @@
+#include "netio/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace fluxfp::netio {
+
+namespace {
+
+std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Parses a base-10 port; false on junk or out-of-range.
+bool parse_port(std::string_view text, std::uint16_t& out) {
+  if (text.empty() || text.size() > 5) {
+    return false;
+  }
+  std::uint32_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    value = value * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  if (value > 0xffff) {
+    return false;
+  }
+  out = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+/// Fills a sockaddr_in for the endpoint's host:port; false on a host that
+/// is neither an IPv4 literal nor "localhost" (no resolver here — the
+/// service is a loopback/cluster tool, DNS would drag in getaddrinfo and
+/// its failure modes).
+bool fill_inet(const Endpoint& ep, sockaddr_in& addr, std::string* error) {
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  const std::string host = ep.host == "localhost" ? "127.0.0.1" : ep.host;
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error) {
+      *error = "not an IPv4 address: " + ep.host;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool fill_unix(const Endpoint& ep, sockaddr_un& addr, std::string* error) {
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (ep.path.empty() || ep.path.size() >= sizeof(addr.sun_path)) {
+    if (error) {
+      *error = "unix socket path empty or longer than " +
+               std::to_string(sizeof(addr.sun_path) - 1) + " bytes: " +
+               ep.path;
+    }
+    return false;
+  }
+  std::memcpy(addr.sun_path, ep.path.c_str(), ep.path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+std::optional<Endpoint> Endpoint::parse(std::string_view spec,
+                                        std::string* error) {
+  Endpoint ep;
+  if (spec.rfind("unix:", 0) == 0) {
+    ep.kind = Kind::kUnix;
+    ep.path = std::string(spec.substr(5));
+    if (ep.path.empty()) {
+      if (error) {
+        *error = "unix: needs a path";
+      }
+      return std::nullopt;
+    }
+    return ep;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    const std::string_view rest = spec.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      if (error) {
+        *error = "tcp: needs HOST:PORT";
+      }
+      return std::nullopt;
+    }
+    ep.kind = Kind::kTcp;
+    ep.host = std::string(rest.substr(0, colon));
+    if (!parse_port(rest.substr(colon + 1), ep.port)) {
+      if (error) {
+        *error = "bad port: " + std::string(rest.substr(colon + 1));
+      }
+      return std::nullopt;
+    }
+    return ep;
+  }
+  if (error) {
+    *error = "address must start with unix: or tcp: — got " +
+             std::string(spec);
+  }
+  return std::nullopt;
+}
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::kUnix) {
+    return "unix:" + path;
+  }
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+long Socket::read_some(char* buf, std::size_t n) {
+  if (fd_ < 0) {
+    return -1;
+  }
+  while (true) {
+    const ssize_t got = ::recv(fd_, buf, n, 0);
+    if (got >= 0) {
+      return static_cast<long>(got);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return -1;
+  }
+}
+
+bool Socket::write_all(std::string_view bytes) {
+  if (fd_ < 0) {
+    return false;
+  }
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t put =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (put < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+  if (unlink_on_close_ && !endpoint_.path.empty()) {
+    ::unlink(endpoint_.path.c_str());
+  }
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_),
+      endpoint_(std::move(other.endpoint_)),
+      unlink_on_close_(other.unlink_on_close_) {
+  other.fd_ = -1;
+  other.unlink_on_close_ = false;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+    if (unlink_on_close_ && !endpoint_.path.empty()) {
+      ::unlink(endpoint_.path.c_str());
+    }
+    fd_ = other.fd_;
+    endpoint_ = std::move(other.endpoint_);
+    unlink_on_close_ = other.unlink_on_close_;
+    other.fd_ = -1;
+    other.unlink_on_close_ = false;
+  }
+  return *this;
+}
+
+Listener Listener::listen_on(const Endpoint& endpoint) {
+  Listener out;
+  out.endpoint_ = endpoint;
+  std::string why;
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    sockaddr_un addr;
+    if (!fill_unix(endpoint, addr, &why)) {
+      throw std::runtime_error("listen_on: " + why);
+    }
+    out.fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (out.fd_ < 0) {
+      throw std::runtime_error(errno_text("listen_on: socket"));
+    }
+    // A stale socket file from a dead server would make bind fail with
+    // EADDRINUSE even though nobody is listening; replace it.
+    ::unlink(endpoint.path.c_str());
+    if (::bind(out.fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      throw std::runtime_error(
+          errno_text(("listen_on: bind " + endpoint.to_string()).c_str()));
+    }
+    out.unlink_on_close_ = true;
+  } else {
+    sockaddr_in addr;
+    if (!fill_inet(endpoint, addr, &why)) {
+      throw std::runtime_error("listen_on: " + why);
+    }
+    out.fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (out.fd_ < 0) {
+      throw std::runtime_error(errno_text("listen_on: socket"));
+    }
+    const int one = 1;
+    ::setsockopt(out.fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(out.fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      throw std::runtime_error(
+          errno_text(("listen_on: bind " + endpoint.to_string()).c_str()));
+    }
+    // Port 0 asked the kernel to pick; report what it chose.
+    sockaddr_in bound;
+    socklen_t len = sizeof(bound);
+    if (::getsockname(out.fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+        0) {
+      out.endpoint_.port = ntohs(bound.sin_port);
+    }
+  }
+  if (::listen(out.fd_, 64) != 0) {
+    throw std::runtime_error(errno_text("listen_on: listen"));
+  }
+  return out;
+}
+
+Socket Listener::accept_one() {
+  if (fd_ < 0) {
+    return Socket();
+  }
+  while (true) {
+    const int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn >= 0) {
+      return Socket(conn);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    // shutdown() surfaces here (EINVAL on Linux); any other persistent
+    // failure also ends the accept loop.
+    return Socket();
+  }
+}
+
+void Listener::shutdown() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+Socket connect_to(const Endpoint& endpoint, std::string* error) {
+  std::string why;
+  int fd = -1;
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    sockaddr_un addr;
+    if (!fill_unix(endpoint, addr, &why)) {
+      if (error) {
+        *error = why;
+      }
+      return Socket();
+    }
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      if (error) {
+        *error = errno_text("socket");
+      }
+      return Socket();
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      if (error) {
+        *error = errno_text(("connect " + endpoint.to_string()).c_str());
+      }
+      ::close(fd);
+      return Socket();
+    }
+  } else {
+    sockaddr_in addr;
+    if (!fill_inet(endpoint, addr, &why)) {
+      if (error) {
+        *error = why;
+      }
+      return Socket();
+    }
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      if (error) {
+        *error = errno_text("socket");
+      }
+      return Socket();
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      if (error) {
+        *error = errno_text(("connect " + endpoint.to_string()).c_str());
+      }
+      ::close(fd);
+      return Socket();
+    }
+  }
+  return Socket(fd);
+}
+
+}  // namespace fluxfp::netio

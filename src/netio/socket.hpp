@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "netio/wire.hpp"
+
+namespace fluxfp::netio {
+
+/// Where a service listens / a client connects. Parsed from the CLI
+/// address syntax shared by stream_daemon and fluxfp_loadgen:
+///   "unix:/tmp/fluxfp.sock"  — Unix domain stream socket at that path
+///   "tcp:HOST:PORT"          — TCP; HOST is an IPv4 literal or "localhost"
+/// TCP port 0 asks the kernel for an ephemeral port; Listener reports the
+/// resolved one (tests bind port 0 and read it back).
+struct Endpoint {
+  enum class Kind { kTcp, kUnix };
+  Kind kind = Kind::kTcp;
+  std::string host = "127.0.0.1";  ///< kTcp: IPv4 literal or "localhost"
+  std::uint16_t port = 0;          ///< kTcp
+  std::string path;                ///< kUnix: filesystem path
+
+  /// Parses the address syntax above; on failure returns nullopt and, when
+  /// `error` is non-null, a human-readable reason.
+  static std::optional<Endpoint> parse(std::string_view spec,
+                                       std::string* error = nullptr);
+
+  /// Round-trips through parse(): "unix:PATH" / "tcp:HOST:PORT".
+  std::string to_string() const;
+};
+
+/// RAII wrapper of one connected stream-socket fd — the ONLY place in the
+/// tree (with Listener below) that issues raw socket syscalls; everything
+/// above speaks ByteSource / write_all. Move-only; the destructor closes.
+///
+/// Reads and writes retry EINTR; writes suppress SIGPIPE (MSG_NOSIGNAL),
+/// so a peer hanging up surfaces as a false return, never a signal.
+/// shutdown_both() wakes a thread blocked in read_some() on ANOTHER thread
+/// — that is how Server::stop() unsticks its connection threads.
+class Socket final : public ByteSource {
+ public:
+  Socket() = default;
+  /// Adopts an already-connected fd (Listener::accept_one, connect_to).
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() override;
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// ByteSource: up to `n` bytes; > 0 read, 0 clean close, -1 error.
+  long read_some(char* buf, std::size_t n) override;
+
+  /// Writes all of `bytes`; false when the peer is gone or the socket
+  /// failed (the connection is unusable afterwards).
+  bool write_all(std::string_view bytes);
+
+  /// Half-closes both directions without releasing the fd: any thread
+  /// blocked in read_some() returns 0 promptly. Safe to call repeatedly
+  /// and from a thread other than the reader.
+  void shutdown_both();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// RAII listening socket. listen_on() binds immediately (SO_REUSEADDR for
+/// TCP; a stale Unix socket file at the path is unlinked first), so a
+/// throw means the address is genuinely unusable. The destructor closes
+/// and removes the Unix socket file it created.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds and listens. Throws std::runtime_error (with errno text) when
+  /// the endpoint cannot be bound.
+  static Listener listen_on(const Endpoint& endpoint);
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// The bound address with TCP port 0 resolved to the kernel's choice.
+  const Endpoint& endpoint() const { return endpoint_; }
+
+  /// Blocks for the next connection. Returns an invalid Socket once
+  /// shutdown() was called (or on a non-transient accept failure) — the
+  /// accept loop's exit signal.
+  Socket accept_one();
+
+  /// Wakes a thread blocked in accept_one() on another thread; every
+  /// later accept_one() returns an invalid Socket.
+  void shutdown();
+
+ private:
+  int fd_ = -1;
+  Endpoint endpoint_;
+  bool unlink_on_close_ = false;
+};
+
+/// Connects a blocking client socket to `endpoint`. Returns an invalid
+/// Socket on failure and, when `error` is non-null, the reason.
+Socket connect_to(const Endpoint& endpoint, std::string* error = nullptr);
+
+}  // namespace fluxfp::netio

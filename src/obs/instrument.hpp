@@ -60,6 +60,19 @@
     }                                                                         \
   } while (false)
 
+/// Adds a signed delta to a kScheduling gauge. add() commutes, so
+/// concurrent +1/-1 call sites (connection open/close, queue depth) keep
+/// the level exact without ordering.
+#define FLUXFP_OBS_GAUGE_ADD_SCHED(name, help, delta)                       \
+  do {                                                                      \
+    static ::fluxfp::obs::Gauge& FLUXFP_OBS_CAT(fluxfp_obs_g_, __LINE__) =  \
+        ::fluxfp::obs::MetricsRegistry::global().gauge(                     \
+            (name), (help), ::fluxfp::obs::Determinism::kScheduling);       \
+    if (::fluxfp::obs::enabled()) {                                         \
+      FLUXFP_OBS_CAT(fluxfp_obs_g_, __LINE__).add((delta));                 \
+    }                                                                       \
+  } while (false)
+
 /// Folds a value into a kStable max-gauge (record_max commutes, so worker
 /// threads may race on it without breaking stable exports).
 #define FLUXFP_OBS_GAUGE_MAX(name, help, v)                                \
@@ -85,6 +98,7 @@
 #define FLUXFP_OBS_COUNTER_ADD_SCHED(name, help, n) ((void)0)
 #define FLUXFP_OBS_COUNTER_INC(name, help) ((void)0)
 #define FLUXFP_OBS_COUNTER_INC_SCHED(name, help) ((void)0)
+#define FLUXFP_OBS_GAUGE_ADD_SCHED(name, help, delta) ((void)0)
 #define FLUXFP_OBS_COUNT_OBSERVE(name, help, v) ((void)0)
 #define FLUXFP_OBS_GAUGE_MAX(name, help, v) ((void)0)
 #define FLUXFP_OBS_SPAN(var, name, help) ((void)0)

@@ -402,6 +402,11 @@ const StreamTracker& TrackerManager::session(std::uint32_t user) const {
   return find_session(user).tracker;
 }
 
+const SessionOptions& TrackerManager::session_options(
+    std::uint32_t user) const {
+  return find_session(user).options;
+}
+
 ManagerStats TrackerManager::stats() const { return final_stats_; }
 
 }  // namespace fluxfp::stream

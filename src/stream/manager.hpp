@@ -186,6 +186,9 @@ class TrackerManager {
   const std::vector<EpochResult>& results(std::uint32_t user) const;
   /// The session's tracker (final estimates, ingestion stats).
   const StreamTracker& session(std::uint32_t user) const;
+  /// The session's admission attributes (tenant, priority). Throws
+  /// std::invalid_argument on an unknown user.
+  const SessionOptions& session_options(std::uint32_t user) const;
 
   /// Aggregated counters; meaningful after finish().
   ManagerStats stats() const;

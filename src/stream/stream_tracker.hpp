@@ -136,6 +136,9 @@ class StreamTracker {
   /// Current position estimate per tracked slot.
   geom::Vec2 estimate(std::size_t user) const { return smc_.estimate(user); }
   std::size_t num_users() const { return smc_.num_users(); }
+  /// Virtual-time cursor: the newest event timestamp folded so far (what a
+  /// quiesced-estimate reader reports as the estimate's time).
+  double now() const { return now_; }
   std::size_t open_windows() const { return open_.size(); }
   const StreamStats& stats() const { return stats_; }
   const StreamTrackerConfig& config() const { return config_; }

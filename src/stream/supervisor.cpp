@@ -255,6 +255,14 @@ bool Supervisor::try_restart() {
   return true;
 }
 
+bool Supervisor::quiesce() {
+  if (!started_ || finished_ || failed_ || !manager_) {
+    return false;
+  }
+  manager_->quiesce();
+  return true;
+}
+
 void Supervisor::finish() {
   if (!started_ || finished_) {
     return;

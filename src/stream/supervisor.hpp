@@ -131,6 +131,14 @@ class Supervisor {
   /// restart; a supervisor that gave up reports kClosed.
   PushStatus offer(const FluxEvent& event);
 
+  /// Drains the live shard until every accepted event has been folded —
+  /// the read barrier for mid-stream queries (netio answers QUERY_ESTIMATE
+  /// and METRICS off a quiesced shard). Returns true when the shard is up
+  /// and now idle; false while it is down (backoff) or after give-up —
+  /// journaled deferred events are NOT folded until the restart. Same
+  /// single-coordinator contract as offer().
+  bool quiesce();
+
   /// Drains and stops: restarts the shard if it is down (the final drain
   /// ignores the backoff clock), finishes it (flushing open windows),
   /// commits all remaining results, and takes the final post-flush image.

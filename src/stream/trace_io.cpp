@@ -46,6 +46,22 @@ const char* kind_name(TraceError::Kind kind) {
 
 }  // namespace
 
+void encode_trace_record(char* dst, const FluxEvent& event) {
+  pack_f64(dst + 0, event.time);
+  pack_u32(dst + 8, event.user);
+  pack_u32(dst + 12, event.epoch);
+  pack_u32(dst + 16, event.node);
+  pack_f64(dst + 20, event.reading);
+}
+
+void decode_trace_record(const char* src, FluxEvent& out) {
+  out.time = unpack_f64(src + 0);
+  out.user = unpack_u32(src + 8);
+  out.epoch = unpack_u32(src + 12);
+  out.node = unpack_u32(src + 16);
+  out.reading = unpack_f64(src + 20);
+}
+
 std::string TraceError::to_string() const {
   return "offset " + std::to_string(offset) + ": " + kind_name(kind) +
          (reason.empty() ? "" : " — " + reason);
@@ -68,11 +84,7 @@ TraceRecorder::TraceRecorder(std::ostream& os) : os_(&os) {
 
 void TraceRecorder::write(const FluxEvent& event) {
   char record[kTraceRecordBytes];
-  pack_f64(record + 0, event.time);
-  pack_u32(record + 8, event.user);
-  pack_u32(record + 12, event.epoch);
-  pack_u32(record + 16, event.node);
-  pack_f64(record + 20, event.reading);
+  encode_trace_record(record, event);
   os_->write(record, sizeof(record));
   if (!*os_) {
     throw std::runtime_error("TraceRecorder: write failed");
@@ -135,11 +147,7 @@ bool TraceReplayer::try_next(FluxEvent& out) {
             " of " + std::to_string(kTraceRecordBytes) + " bytes"};
     return false;
   }
-  out.time = unpack_f64(record + 0);
-  out.user = unpack_u32(record + 8);
-  out.epoch = unpack_u32(record + 12);
-  out.node = unpack_u32(record + 16);
-  out.reading = unpack_f64(record + 20);
+  decode_trace_record(record, out);
   ++read_;
   offset_ += kTraceRecordBytes;
   return true;
@@ -181,28 +189,69 @@ std::vector<FluxEvent> read_trace_file(const std::string& path) {
   return replayer.read_all();
 }
 
+namespace {
+
+/// Deadlines within this much of "now" are released without sleeping: the
+/// scheduler cannot honor sub-slack sleeps anyway, and attempting them at
+/// high Nx speedups (per-event syscall + oversleep) throttles the offered
+/// rate below the advertised one.
+constexpr double kPacingSlackSeconds = 500e-6;
+/// Longest single sleep, so a stop flag is honored promptly.
+constexpr auto kPacingChunk = std::chrono::milliseconds(50);
+
+}  // namespace
+
+ReplayPacer::ReplayPacer(double speed, double epoch_time)
+    : speed_(speed), epoch_time_(epoch_time) {}
+
+bool ReplayPacer::pace(double event_time) {
+  return pace(event_time, nullptr);
+}
+
+bool ReplayPacer::pace(double event_time,
+                       const std::function<bool()>& stop) {
+  if (speed_ <= 0.0) {
+    return true;  // max-speed mode: no pacing, no clock reads
+  }
+  if (!have_origin_) {
+    wall_origin_ = std::chrono::steady_clock::now();
+    have_origin_ = true;
+  }
+  // Reordered traces (event-level faults) have non-monotonic times; a
+  // negative offset simply means "due already".
+  const double due_offset = (event_time - epoch_time_) / speed_;
+  const auto due =
+      wall_origin_ +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(due_offset));
+  auto now = std::chrono::steady_clock::now();
+  while (due - now > std::chrono::duration<double>(kPacingSlackSeconds)) {
+    if (stop && stop()) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::min<std::chrono::steady_clock::duration>(
+        due - now, kPacingChunk));
+    now = std::chrono::steady_clock::now();
+  }
+  const double behind = std::chrono::duration<double>(now - due).count();
+  if (behind > max_behind_) {
+    max_behind_ = behind;
+  }
+  return true;
+}
+
 std::uint64_t replay_trace(TraceReplayer& replayer, TrackerManager& manager,
                            double speed) {
   std::uint64_t pushed = 0;
-  const auto wall_start = std::chrono::steady_clock::now();
-  bool have_origin = false;
-  double time_origin = 0.0;
   FluxEvent event;
+  std::optional<ReplayPacer> pacer;
   while (replayer.next(event)) {
     if (speed > 0.0) {
-      if (!have_origin) {
-        time_origin = event.time;
-        have_origin = true;
+      if (!pacer) {
+        // The first event's timestamp is the stream epoch.
+        pacer.emplace(speed, event.time);
       }
-      // Deliver no earlier than the event's trace-time offset, scaled.
-      // Reordered traces (event-level faults) have non-monotonic times;
-      // a negative offset simply means "due already".
-      const auto due =
-          wall_start + std::chrono::duration_cast<
-                           std::chrono::steady_clock::duration>(
-                           std::chrono::duration<double>(
-                               (event.time - time_origin) / speed));
-      std::this_thread::sleep_until(due);
+      pacer->pace(event.time);
     }
     if (manager.push(event)) {
       ++pushed;

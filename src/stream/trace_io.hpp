@@ -1,6 +1,8 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <optional>
 #include <span>
@@ -30,6 +32,13 @@ inline constexpr char kTraceMagic[8] = {'F', 'L', 'U', 'X',
 inline constexpr std::uint32_t kTraceVersion = 1;
 inline constexpr std::size_t kTraceHeaderBytes = 16;
 inline constexpr std::size_t kTraceRecordBytes = 28;
+
+/// The FLUXFPT1 record codec, exposed so other framings can reuse it:
+/// netio's EVENT_BATCH frames carry exactly these 28-byte records, which is
+/// what makes a recorded trace and a wire capture interchangeable. `dst`
+/// and `src` must point at kTraceRecordBytes of storage.
+void encode_trace_record(char* dst, const FluxEvent& event);
+void decode_trace_record(const char* src, FluxEvent& out);
 
 /// Streams events into a binary trace. The header is written on
 /// construction; every write() appends one record. The recorder never
@@ -123,15 +132,62 @@ void write_trace_file(const std::string& path,
                       std::span<const FluxEvent> events);
 std::vector<FluxEvent> read_trace_file(const std::string& path);
 
+/// Absolute-deadline replay pacing. Every event's delivery deadline is
+/// computed against ONE fixed pair of origins — the stream epoch clock
+/// (`epoch_time`, usually the trace's first event timestamp) on the virtual
+/// axis and the wall instant of the first pace() call on the real axis:
+///
+///   due(t) = wall_origin + (t - epoch_time) / speed
+///
+/// so scheduling error can never accumulate: an oversleep on one event
+/// leaves every later deadline where it was, and the replay self-corrects
+/// by releasing overdue events without sleeping. Deadlines closer than a
+/// small slack are released immediately rather than slept for — at high Nx
+/// speedups inter-event gaps shrink below the scheduler's sleep
+/// granularity, and paying a syscall (plus its oversleep) per event would
+/// quietly throttle the offered rate below the advertised one. The honest
+/// residual is reported instead: max_behind_seconds() is the worst lag
+/// between an event's deadline and its actual release.
+///
+/// Several pacers (one per loadgen connection) given the same `epoch_time`
+/// stay mutually aligned: each connection's slice replays on the shared
+/// trace clock, not on its own first event.
+class ReplayPacer {
+ public:
+  /// speed <= 0 disables pacing entirely (max-speed mode: pace() never
+  /// sleeps, never reads the clock).
+  ReplayPacer(double speed, double epoch_time);
+
+  /// Blocks until `event_time` is due. Sleeps in short chunks and polls
+  /// `stop` (when provided) about every 50 ms; returns false when stopped
+  /// before the deadline, true when the event is due for delivery.
+  bool pace(double event_time);
+  bool pace(double event_time, const std::function<bool()>& stop);
+
+  /// Worst observed lag (seconds) between a deadline and its release; 0.0
+  /// while the replay has kept up (or in max-speed mode).
+  double max_behind_seconds() const { return max_behind_; }
+
+ private:
+  double speed_;
+  double epoch_time_;
+  bool have_origin_ = false;
+  std::chrono::steady_clock::time_point wall_origin_;
+  double max_behind_ = 0.0;
+};
+
 /// Replays a trace into a running TrackerManager, pacing deliveries by the
 /// events' timestamps scaled by 1/`speed`:
 ///   speed <= 0  — as fast as the manager accepts (benchmarking mode);
 ///   speed == 1  — real-time (1 trace-time unit per wall second);
 ///   speed == 8  — 8x faster than real time.
-/// Pacing affects wall-clock only — under QueuePolicy::kBlock the folding
-/// and estimates are bit-identical at every speed, which is what makes
-/// recorded runs a regression currency. Returns the number of events
-/// pushed (events for unknown users are skipped and not counted).
+/// Deliveries are scheduled by a ReplayPacer against absolute deadlines
+/// from the stream epoch clock (the first event's timestamp), so the
+/// offered rate stays honest at any speedup. Pacing affects wall-clock
+/// only — under QueuePolicy::kBlock the folding and estimates are
+/// bit-identical at every speed, which is what makes recorded runs a
+/// regression currency. Returns the number of events pushed (events for
+/// unknown users are skipped and not counted).
 std::uint64_t replay_trace(TraceReplayer& replayer, TrackerManager& manager,
                            double speed = 0.0);
 

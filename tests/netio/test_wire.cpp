@@ -1,0 +1,385 @@
+// FXN1 codec coverage: round-trips for every message payload (bit-exact
+// doubles including NaN readings), frame-stream decoding over an in-memory
+// ByteSource, and the hostile-input contract — truncated headers/payloads,
+// bad magic, unknown types, oversized declared lengths, and inconsistent
+// payload internals must all come back as typed WireErrors, never as a
+// crash, a throw, or an over-allocation.
+
+#include "netio/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "net/flux.hpp"
+
+namespace fluxfp::netio {
+namespace {
+
+/// ByteSource over a string, delivering at most `chunk` bytes per read —
+/// small chunks exercise the reader's partial-read loop the way a real
+/// socket does.
+class StringSource : public ByteSource {
+ public:
+  explicit StringSource(std::string data, std::size_t chunk = 3)
+      : data_(std::move(data)), chunk_(chunk) {}
+
+  long read_some(char* buf, std::size_t n) override {
+    if (pos_ >= data_.size()) {
+      return 0;
+    }
+    const std::size_t take = std::min({n, chunk_, data_.size() - pos_});
+    std::memcpy(buf, data_.data() + pos_, take);
+    pos_ += take;
+    return static_cast<long>(take);
+  }
+
+ private:
+  std::string data_;
+  std::size_t chunk_;
+  std::size_t pos_ = 0;
+};
+
+/// ByteSource that fails mid-stream (transport error, not clean close).
+class FailingSource : public ByteSource {
+ public:
+  explicit FailingSource(std::string prefix) : prefix_(std::move(prefix)) {}
+
+  long read_some(char* buf, std::size_t n) override {
+    if (pos_ >= prefix_.size()) {
+      return -1;
+    }
+    const std::size_t take = std::min(n, prefix_.size() - pos_);
+    std::memcpy(buf, prefix_.data() + pos_, take);
+    pos_ += take;
+    return static_cast<long>(take);
+  }
+
+ private:
+  std::string prefix_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<stream::FluxEvent> sample_events() {
+  std::vector<stream::FluxEvent> events;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    stream::FluxEvent e;
+    e.time = 0.25 * i;
+    e.user = i % 2;
+    e.epoch = i;
+    e.node = 100 + i;
+    e.reading = 1.5 * i;
+    events.push_back(e);
+  }
+  events[3].reading = net::kMissingReading;  // NaN must survive the wire
+  return events;
+}
+
+// ---------------------------------------------------------------------------
+// Message payload round-trips
+// ---------------------------------------------------------------------------
+
+TEST(WireCodec, HelloRoundTrips) {
+  HelloMsg in;
+  in.version = 7;
+  in.tenant = 42;
+  in.token = 0xdeadbeefcafe1234ull;
+  HelloMsg out;
+  ASSERT_EQ(decode_hello(encode_hello(in), out), std::nullopt);
+  EXPECT_EQ(out.version, in.version);
+  EXPECT_EQ(out.tenant, in.tenant);
+  EXPECT_EQ(out.token, in.token);
+}
+
+TEST(WireCodec, WelcomeRoundTrips) {
+  WelcomeMsg in;
+  in.version = kWireVersion;
+  in.sessions = 9;
+  in.connection_id = 77;
+  WelcomeMsg out;
+  ASSERT_EQ(decode_welcome(encode_welcome(in), out), std::nullopt);
+  EXPECT_EQ(out.sessions, 9u);
+  EXPECT_EQ(out.connection_id, 77u);
+}
+
+TEST(WireCodec, EventBatchRoundTripsBitExactIncludingNaN) {
+  const auto events = sample_events();
+  std::vector<stream::FluxEvent> out;
+  ASSERT_EQ(decode_event_batch(encode_event_batch(events), WireLimits{}, out),
+            std::nullopt);
+  ASSERT_EQ(out.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(out[i].user, events[i].user);
+    EXPECT_EQ(out[i].epoch, events[i].epoch);
+    EXPECT_EQ(out[i].node, events[i].node);
+    // Bit-compare so the NaN payload counts too.
+    EXPECT_EQ(std::memcmp(&out[i].time, &events[i].time, sizeof(double)), 0);
+    EXPECT_EQ(
+        std::memcmp(&out[i].reading, &events[i].reading, sizeof(double)), 0);
+  }
+  EXPECT_TRUE(std::isnan(out[3].reading));
+}
+
+TEST(WireCodec, BatchAckRoundTrips) {
+  BatchAckMsg in;
+  in.accepted = 10;
+  in.shed = 2;
+  in.unknown = 3;
+  in.foreign = 4;
+  in.closed = 5;
+  BatchAckMsg out;
+  ASSERT_EQ(decode_batch_ack(encode_batch_ack(in), out), std::nullopt);
+  EXPECT_EQ(out.accepted, 10u);
+  EXPECT_EQ(out.shed, 2u);
+  EXPECT_EQ(out.unknown, 3u);
+  EXPECT_EQ(out.foreign, 4u);
+  EXPECT_EQ(out.closed, 5u);
+}
+
+TEST(WireCodec, EstimateRoundTrips) {
+  EstimateMsg in;
+  in.user = 3;
+  in.epochs_fired = 21;
+  in.events_folded = 999;
+  in.time = 8.125;
+  in.estimates = {{1.5, -2.25}, {0.0, 19.75}};
+  EstimateMsg out;
+  ASSERT_EQ(decode_estimate(encode_estimate(in), out), std::nullopt);
+  EXPECT_EQ(out.user, 3u);
+  EXPECT_EQ(out.epochs_fired, 21u);
+  EXPECT_EQ(out.events_folded, 999u);
+  EXPECT_EQ(out.time, 8.125);
+  ASSERT_EQ(out.estimates.size(), 2u);
+  EXPECT_EQ(out.estimates[0].x, 1.5);
+  EXPECT_EQ(out.estimates[1].y, 19.75);
+}
+
+TEST(WireCodec, MetricsRoundTrips) {
+  MetricsMsg in;
+  in.events_accepted = 1;
+  in.events_processed = 2;
+  in.events_shed = 3;
+  in.events_unknown = 4;
+  in.events_foreign = 5;
+  in.batches = 6;
+  in.frames_in = 7;
+  in.error_frames = 8;
+  in.connections_opened = 9;
+  in.connections_active = 10;
+  in.checkpoints = 11;
+  in.restarts = 12;
+  in.sessions = 13;
+  in.wall_seconds = 1.5;
+  in.events_per_second = 2000.25;
+  in.ingest_p50_us = 120.0;
+  in.ingest_p99_us = 900.0;
+  in.ingest_max_us = 1500.0;
+  in.ingest_samples = 64;
+  MetricsMsg out;
+  ASSERT_EQ(decode_metrics(encode_metrics(in), out), std::nullopt);
+  EXPECT_EQ(out.events_accepted, 1u);
+  EXPECT_EQ(out.events_foreign, 5u);
+  EXPECT_EQ(out.error_frames, 8u);
+  EXPECT_EQ(out.restarts, 12u);
+  EXPECT_EQ(out.wall_seconds, 1.5);
+  EXPECT_EQ(out.ingest_p99_us, 900.0);
+  EXPECT_EQ(out.ingest_samples, 64u);
+}
+
+TEST(WireCodec, ErrorRoundTrips) {
+  ErrorMsg in;
+  in.code = ErrorCode::kAuthFailed;
+  in.offset = 1234;
+  in.message = "unknown tenant or wrong token";
+  ErrorMsg out;
+  ASSERT_EQ(decode_error(encode_error(in), out), std::nullopt);
+  EXPECT_EQ(out.code, ErrorCode::kAuthFailed);
+  EXPECT_EQ(out.offset, 1234u);
+  EXPECT_EQ(out.message, in.message);
+}
+
+// ---------------------------------------------------------------------------
+// Hostile message payloads
+// ---------------------------------------------------------------------------
+
+TEST(WireCodecHostile, TruncatedPayloadsReportMalformed) {
+  const std::string hello = encode_hello(HelloMsg{});
+  for (std::size_t cut = 0; cut < hello.size(); ++cut) {
+    HelloMsg out;
+    const auto err = decode_hello(hello.substr(0, cut), out);
+    ASSERT_TRUE(err.has_value()) << "cut=" << cut;
+    EXPECT_EQ(err->kind, WireError::Kind::kMalformedPayload);
+  }
+}
+
+TEST(WireCodecHostile, EventBatchCountFieldMustMatchBytes) {
+  const auto events = sample_events();
+  std::string payload = encode_event_batch(events);
+  // Claim one more record than the payload carries.
+  const std::uint32_t lied = static_cast<std::uint32_t>(events.size()) + 1;
+  std::memcpy(payload.data(), &lied, sizeof(lied));
+  std::vector<stream::FluxEvent> out;
+  const auto err = decode_event_batch(payload, WireLimits{}, out);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->kind, WireError::Kind::kMalformedPayload);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(WireCodecHostile, EventBatchCountOverLimitRejectedBeforeAllocating) {
+  std::string payload = encode_event_batch(sample_events());
+  const std::uint32_t huge = 0x7fffffff;  // would be ~56 GB of records
+  std::memcpy(payload.data(), &huge, sizeof(huge));
+  WireLimits limits;
+  std::vector<stream::FluxEvent> out;
+  const auto err = decode_event_batch(payload, limits, out);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->kind, WireError::Kind::kMalformedPayload);
+  EXPECT_EQ(out.capacity(), 0u) << "decoder reserved off a hostile count";
+}
+
+TEST(WireCodecHostile, ErrorCodeOutOfRangeRejected) {
+  ErrorMsg in;
+  in.code = ErrorCode::kInternal;
+  std::string payload = encode_error(in);
+  const std::uint32_t bogus = 999;
+  std::memcpy(payload.data(), &bogus, sizeof(bogus));
+  ErrorMsg out;
+  const auto err = decode_error(payload, out);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->kind, WireError::Kind::kMalformedPayload);
+}
+
+// ---------------------------------------------------------------------------
+// Frame stream decoding
+// ---------------------------------------------------------------------------
+
+TEST(FrameReader, DecodesASequenceThenCleanEnd) {
+  std::string wire;
+  wire += encode_frame(FrameType::kHello, encode_hello(HelloMsg{}));
+  wire += encode_frame(FrameType::kEventBatch,
+                       encode_event_batch(sample_events()));
+  wire += encode_frame(FrameType::kGoodbye, "");
+  StringSource src(wire);
+  FrameReader reader(src);
+  Frame frame;
+  ASSERT_EQ(reader.read(frame), FrameReader::Status::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kHello);
+  ASSERT_EQ(reader.read(frame), FrameReader::Status::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kEventBatch);
+  ASSERT_EQ(reader.read(frame), FrameReader::Status::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kGoodbye);
+  EXPECT_TRUE(frame.payload.empty());
+  EXPECT_EQ(reader.read(frame), FrameReader::Status::kEnd);
+  EXPECT_EQ(reader.offset(), wire.size());
+}
+
+TEST(FrameReader, BadMagicIsTypedAndSticky) {
+  std::string wire = encode_frame(FrameType::kHello, encode_hello(HelloMsg{}));
+  wire[0] = 'Z';
+  StringSource src(wire);
+  FrameReader reader(src);
+  Frame frame;
+  ASSERT_EQ(reader.read(frame), FrameReader::Status::kError);
+  ASSERT_TRUE(reader.error().has_value());
+  EXPECT_EQ(reader.error()->kind, WireError::Kind::kBadMagic);
+  // Sticky: the stream is over, repeated reads do not "resynchronize".
+  EXPECT_EQ(reader.read(frame), FrameReader::Status::kError);
+  EXPECT_EQ(reader.error()->kind, WireError::Kind::kBadMagic);
+}
+
+TEST(FrameReader, UnknownFrameTypeRejected) {
+  std::string wire = encode_frame(FrameType::kHello, "");
+  const std::uint16_t bogus = 999;
+  std::memcpy(wire.data() + 4, &bogus, sizeof(bogus));
+  StringSource src(wire);
+  FrameReader reader(src);
+  Frame frame;
+  ASSERT_EQ(reader.read(frame), FrameReader::Status::kError);
+  EXPECT_EQ(reader.error()->kind, WireError::Kind::kUnknownType);
+}
+
+TEST(FrameReader, OversizedDeclaredLengthRejectedBeforeAllocation) {
+  std::string wire = encode_frame(FrameType::kEventBatch, "abc");
+  const std::uint32_t huge = 0xffffffff;
+  std::memcpy(wire.data() + 8, &huge, sizeof(huge));
+  StringSource src(wire);
+  FrameReader reader(src);
+  Frame frame;
+  ASSERT_EQ(reader.read(frame), FrameReader::Status::kError);
+  EXPECT_EQ(reader.error()->kind, WireError::Kind::kOversized);
+}
+
+TEST(FrameReader, TruncatedHeaderMidFrameIsTyped) {
+  const std::string whole =
+      encode_frame(FrameType::kHello, encode_hello(HelloMsg{}));
+  StringSource src(whole.substr(0, kFrameHeaderBytes / 2));
+  FrameReader reader(src);
+  Frame frame;
+  ASSERT_EQ(reader.read(frame), FrameReader::Status::kError);
+  EXPECT_EQ(reader.error()->kind, WireError::Kind::kTruncatedHeader);
+}
+
+TEST(FrameReader, TruncatedPayloadMidFrameIsTyped) {
+  const std::string whole =
+      encode_frame(FrameType::kHello, encode_hello(HelloMsg{}));
+  StringSource src(whole.substr(0, whole.size() - 1));
+  FrameReader reader(src);
+  Frame frame;
+  ASSERT_EQ(reader.read(frame), FrameReader::Status::kError);
+  EXPECT_EQ(reader.error()->kind, WireError::Kind::kTruncatedPayload);
+  EXPECT_GT(reader.error()->offset, 0u);
+}
+
+TEST(FrameReader, TransportFailureIsBadStream) {
+  FailingSource src(
+      encode_frame(FrameType::kHello, encode_hello(HelloMsg{})).substr(0, 6));
+  FrameReader reader(src);
+  Frame frame;
+  ASSERT_EQ(reader.read(frame), FrameReader::Status::kError);
+  EXPECT_EQ(reader.error()->kind, WireError::Kind::kBadStream);
+}
+
+TEST(FrameReader, EveryTruncationPointOfAFrameIsAnErrorNeverACrash) {
+  const std::string whole = encode_frame(
+      FrameType::kEventBatch, encode_event_batch(sample_events()));
+  for (std::size_t cut = 0; cut < whole.size(); ++cut) {
+    StringSource src(whole.substr(0, cut), 5);
+    FrameReader reader(src);
+    Frame frame;
+    if (cut == 0) {
+      EXPECT_EQ(reader.read(frame), FrameReader::Status::kEnd);
+    } else {
+      EXPECT_EQ(reader.read(frame), FrameReader::Status::kError)
+          << "cut=" << cut;
+      EXPECT_TRUE(reader.error().has_value());
+    }
+  }
+}
+
+TEST(FrameReader, EncodeFrameRefusesPayloadBeyondU32) {
+  // Can't build a >4GB string in a unit test; the guard is exercised via
+  // the documented contract on the exact boundary arithmetic instead:
+  // anything that fits in u32 encodes, and the header length matches.
+  const std::string frame = encode_frame(FrameType::kGoodbye, "xyz");
+  std::uint32_t len = 0;
+  std::memcpy(&len, frame.data() + 8, sizeof(len));
+  EXPECT_EQ(len, 3u);
+  EXPECT_EQ(frame.size(), kFrameHeaderBytes + 3);
+}
+
+TEST(WireError, ToStringCarriesOffsetAndReason) {
+  WireError err;
+  err.kind = WireError::Kind::kBadMagic;
+  err.offset = 24;
+  err.reason = "header does not start with FXN1";
+  const std::string s = err.to_string();
+  EXPECT_NE(s.find("24"), std::string::npos) << s;
+  EXPECT_NE(s.find("FXN1"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace fluxfp::netio

@@ -2,12 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "net/flux.hpp"
@@ -226,6 +228,90 @@ TEST(TraceIo, MergeByTimeInterleavesStably) {
       EXPECT_LE(merged[i - 1].time, merged[i].time);
     }
   }
+}
+
+double seconds_of(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+TEST(ReplayPacer, MaxSpeedModeNeverSleepsOrReadsTheClock) {
+  ReplayPacer pacer(0.0, 0.0);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(pacer.pace(static_cast<double>(i) * 1000.0));
+  }
+  // 10k deliveries spanning "10M seconds" of trace time must take
+  // essentially no wall time and report no lag.
+  EXPECT_LT(seconds_of(std::chrono::steady_clock::now() - start), 1.0);
+  EXPECT_EQ(pacer.max_behind_seconds(), 0.0);
+}
+
+TEST(ReplayPacer, PacesAgainstAbsoluteDeadlinesFromTheEpoch) {
+  // 2.0 trace-seconds at 20x → the last event is due 100 ms after the
+  // first release. Loose bounds: the box is slow, never fast.
+  ReplayPacer pacer(20.0, 10.0);  // epoch is the first event's timestamp
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i <= 4; ++i) {
+    EXPECT_TRUE(pacer.pace(10.0 + 0.5 * static_cast<double>(i)));
+  }
+  const double elapsed = seconds_of(std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed, 0.08);  // cannot finish before the schedule allows
+  EXPECT_LT(elapsed, 5.0);   // and must not be sleeping wildly long
+}
+
+TEST(ReplayPacer, ALateDeliveryDoesNotShiftLaterDeadlines) {
+  // Deadlines are absolute (wall_origin + (t - epoch) / speed), so a stall
+  // mid-replay makes later events due IMMEDIATELY rather than re-anchoring
+  // the schedule — and the stall shows up in max_behind_seconds().
+  ReplayPacer pacer(10.0, 0.0);
+  EXPECT_TRUE(pacer.pace(0.0));  // anchors the wall origin
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  // Event at t=0.5 was due 50 ms after the origin; we are ~70 ms late.
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(pacer.pace(0.5));
+  EXPECT_LT(seconds_of(std::chrono::steady_clock::now() - start), 0.05);
+  EXPECT_GT(pacer.max_behind_seconds(), 0.0);
+}
+
+TEST(ReplayPacer, KeepingUpReportsOnlySleepJitterAsLag) {
+  // The pacer records real wake-up overshoot, so "keeping up" means lag on
+  // the order of scheduler jitter — well under a pacing interval.
+  ReplayPacer pacer(100.0, 0.0);
+  for (int i = 0; i <= 3; ++i) {
+    EXPECT_TRUE(pacer.pace(0.5 * static_cast<double>(i)));
+  }
+  EXPECT_LT(pacer.max_behind_seconds(), 0.004);
+}
+
+TEST(ReplayPacer, StopFlagAbortsAFarFutureDeadline) {
+  ReplayPacer pacer(1.0, 0.0);
+  EXPECT_TRUE(pacer.pace(0.0));
+  int polls = 0;
+  const auto start = std::chrono::steady_clock::now();
+  // An event an hour of wall time away; the stop callback fires on the
+  // second poll, so pace must return false within a few poll intervals.
+  const bool delivered = pacer.pace(3600.0, [&polls] { return ++polls >= 2; });
+  EXPECT_FALSE(delivered);
+  EXPECT_GE(polls, 2);
+  EXPECT_LT(seconds_of(std::chrono::steady_clock::now() - start), 2.0);
+}
+
+TEST(ReplayPacer, SharedEpochKeepsSeparatePacersAligned) {
+  // The loadgen spawns one pacer per connection, all constructed with the
+  // SAME epoch time; an event at trace time t must be released at (nearly)
+  // the same wall offset by each of them.
+  ReplayPacer a(50.0, 0.0);
+  ReplayPacer b(50.0, 0.0);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(a.pace(0.0));
+  EXPECT_TRUE(b.pace(0.0));
+  EXPECT_TRUE(a.pace(2.0));  // due 40 ms after a's origin
+  const double a_done = seconds_of(std::chrono::steady_clock::now() - start);
+  EXPECT_TRUE(b.pace(2.0));  // b's origin is within microseconds of a's
+  const double b_done = seconds_of(std::chrono::steady_clock::now() - start);
+  EXPECT_GE(a_done, 0.03);
+  // b's deadline had already passed while a slept, so b releases at once.
+  EXPECT_LT(b_done - a_done, 0.5);
 }
 
 }  // namespace

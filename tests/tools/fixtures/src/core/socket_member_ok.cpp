@@ -1,0 +1,22 @@
+// Fixture: syscall-shaped names used as member calls or class-qualified
+// names are clean — only free/global-scope calls of the BSD socket names
+// are confined to src/netio/.
+#include <functional>
+
+namespace fluxfp::core {
+
+struct FakeClient {
+  bool connect(int) { return true; }
+  int send(const char*, int) { return 0; }
+  static int listen(int backlog) { return backlog; }
+};
+
+int drive(FakeClient& c, FakeClient* p) {
+  c.connect(1);
+  p->send("x", 1);
+  FakeClient::listen(8);
+  auto bound = std::bind(&FakeClient::listen, 4);
+  return bound();
+}
+
+}  // namespace fluxfp::core

@@ -1,0 +1,18 @@
+// Fixture: the same raw socket usage is sanctioned inside src/netio/ —
+// the transport layer is the one place allowed to own fds and syscalls.
+#include <cstdint>
+#include <sys/socket.h>
+#include <sys/un.h>
+
+namespace fluxfp::netio {
+
+int open_listener() {
+  const int fd = socket(1, 1, 0);
+  const int one = 1;
+  setsockopt(fd, 1, 2, &one, sizeof(one));
+  bind(fd, nullptr, 0);
+  listen(fd, 64);
+  return accept(fd, nullptr, nullptr);
+}
+
+}  // namespace fluxfp::netio

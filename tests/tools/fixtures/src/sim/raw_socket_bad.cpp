@@ -1,0 +1,18 @@
+// Fixture: raw socket usage outside src/netio/. Every flagged line is a
+// syscall-shaped free call or a socket header include; the rule must hit
+// lines 5, 10, 11, 12, and 15.
+#include <cstdint>
+#include <sys/socket.h>
+
+namespace fluxfp::sim {
+
+int leak_telemetry(const char* buf, std::uint64_t n) {
+  const int fd = socket(2, 1, 0);
+  ::connect(fd, nullptr, 0);
+  send(fd, buf, n, 0);
+  // A member call must NOT be flagged even on a hit name:
+  struct Wrapper { int shutdown(int) { return 0; } } w;
+  return shutdown(fd, 2) + w.shutdown(2);
+}
+
+}  // namespace fluxfp::sim

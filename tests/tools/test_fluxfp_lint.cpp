@@ -252,13 +252,46 @@ TEST(NoRawIntrinsics, InlineAllowSuppressesAndIsTallied) {
 }
 
 // ---------------------------------------------------------------------------
+// no-raw-sockets
+// ---------------------------------------------------------------------------
+
+TEST(NoRawSockets, FlagsHeaderAndFreeCallsOutsideNetio) {
+  const RunResult r = run_lint(fixture_args("src/sim/raw_socket_bad.cpp"));
+  EXPECT_EQ(r.exit_code, kViolations) << r.output;
+  const char* expected[] = {
+      "src/sim/raw_socket_bad.cpp:5: no-raw-sockets:",   // <sys/socket.h>
+      "src/sim/raw_socket_bad.cpp:10: no-raw-sockets:",  // socket(
+      "src/sim/raw_socket_bad.cpp:11: no-raw-sockets:",  // ::connect(
+      "src/sim/raw_socket_bad.cpp:12: no-raw-sockets:",  // send(
+      "src/sim/raw_socket_bad.cpp:15: no-raw-sockets:",  // return shutdown(
+  };
+  for (const char* prefix : expected) {
+    EXPECT_TRUE(has_line_starting(r, prefix)) << prefix << "\n" << r.output;
+  }
+  // The in-struct declaration `int shutdown(int)` on line 14 is not a call.
+  EXPECT_FALSE(has_line_starting(r, "src/sim/raw_socket_bad.cpp:14:"))
+      << r.output;
+}
+
+TEST(NoRawSockets, NetioTransportLayerIsSanctioned) {
+  const RunResult r = run_lint(fixture_args("src/netio/raw_socket_ok.cpp"));
+  EXPECT_EQ(r.exit_code, kClean) << r.output;
+}
+
+TEST(NoRawSockets, MemberCallsAndQualifiedNamesAreClean) {
+  const RunResult r =
+      run_lint(fixture_args("src/core/socket_member_ok.cpp"));
+  EXPECT_EQ(r.exit_code, kClean) << r.output;
+}
+
+// ---------------------------------------------------------------------------
 // CLI contract
 // ---------------------------------------------------------------------------
 
 TEST(Cli, WholeFixtureTreeReportsEveryViolation) {
   const RunResult r = run_lint(fixture_args("src"));
   EXPECT_EQ(r.exit_code, kViolations) << r.output;
-  EXPECT_NE(r.output.find("19 violations"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("24 violations"), std::string::npos) << r.output;
 }
 
 TEST(Cli, RuleFilterNarrowsFindings) {
@@ -270,12 +303,13 @@ TEST(Cli, RuleFilterNarrowsFindings) {
   EXPECT_EQ(r.output.find("no-nan-compare:"), std::string::npos) << r.output;
 }
 
-TEST(Cli, ListRulesNamesAllSix) {
+TEST(Cli, ListRulesNamesAllSeven) {
   const RunResult r = run_lint("--list-rules");
   EXPECT_EQ(r.exit_code, kClean) << r.output;
   for (const char* rule :
        {"no-nan-compare", "no-nondeterminism", "no-raw-thread",
-        "pool-serial-guard", "include-hygiene", "no-raw-intrinsics"}) {
+        "pool-serial-guard", "include-hygiene", "no-raw-intrinsics",
+        "no-raw-sockets"}) {
     EXPECT_NE(r.output.find(rule), std::string::npos) << r.output;
   }
 }

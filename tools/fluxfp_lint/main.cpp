@@ -8,13 +8,16 @@
 //   no-nondeterminism  no entropy sources, wall-clock seeding, thread-id
 //                      keying; no range-for over unordered containers where
 //                      iteration order is result-bearing
-//   no-raw-thread      std::thread / std::async only in src/numeric/parallel*
-//                      and src/stream/ — everything else uses parallel_for
+//   no-raw-thread      std::thread / std::async only in src/numeric/parallel*,
+//                      src/stream/, and src/netio/ — everything else uses
+//                      parallel_for
 //   pool-serial-guard  worker-thread bodies that re-enter the shared pool
 //                      must hold numeric::SerialRegionGuard
 //   include-hygiene    headers start with #pragma once, never
 //                      `using namespace` (self-containment is compile-checked
 //                      by the lint_include_hygiene CMake target)
+//   no-raw-sockets     BSD socket headers/syscalls only in src/netio/ —
+//                      everything else goes through netio::Socket/Listener
 //
 // Violations print `file:line: rule: message` and exit 1. Intended
 // exceptions carry `// fluxfp-lint: allow(rule) -- why` inline; every

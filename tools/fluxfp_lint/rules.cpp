@@ -31,14 +31,25 @@ bool is_header(const std::string& path) {
 bool order_sensitive_dir(const std::string& path) {
   return starts_with(path, "src/numeric/") || starts_with(path, "src/stream/") ||
          starts_with(path, "src/core/") || starts_with(path, "src/eval/") ||
-         starts_with(path, "src/trace/") || starts_with(path, "src/obs/");
+         starts_with(path, "src/trace/") || starts_with(path, "src/obs/") ||
+         starts_with(path, "src/netio/");
 }
 
-/// The only places allowed to own raw threads: the pool itself and the
-/// streaming runtime's sharded workers.
+/// The only places allowed to own raw threads: the pool itself, the
+/// streaming runtime's sharded workers, and the network service's
+/// accept/connection threads.
 bool raw_thread_sanctioned(const std::string& path) {
   return starts_with(path, "src/stream/") ||
+         starts_with(path, "src/netio/") ||
          path.find("src/numeric/parallel") != std::string::npos;
+}
+
+/// The only home for raw socket syscalls: the netio transport layer.
+/// Everything else talks to the service through netio::Socket / Listener /
+/// Client, so fd lifetimes, EINTR handling, and SIGPIPE suppression are
+/// audited in one place.
+bool sockets_sanctioned(const std::string& path) {
+  return starts_with(path, "src/netio/");
 }
 
 /// The only home for architecture-specific vector code: the SIMD kernel
@@ -294,8 +305,9 @@ void rule_no_raw_thread(const LexedFile& f, Reporter& r) {
          (i + 3 >= toks.size() || !is_punct(toks[i + 3], "::")))) {
       r.report(what.line, "no-raw-thread",
                "raw std::" + what.text +
-                   " outside src/numeric/parallel* and src/stream/; use "
-                   "numeric::parallel_for (or justify with an inline allow)");
+                   " outside src/numeric/parallel*, src/stream/, and "
+                   "src/netio/; use numeric::parallel_for (or justify with "
+                   "an inline allow)");
     }
   }
 }
@@ -503,6 +515,84 @@ void rule_no_raw_intrinsics(const LexedFile& f, Reporter& r) {
   }
 }
 
+/// no-raw-sockets: BSD socket headers and syscalls are confined to
+/// src/netio/. A stray ::connect() elsewhere would dodge the Socket
+/// wrapper's EINTR retries and MSG_NOSIGNAL discipline, and network I/O
+/// would no longer be auditable in one directory. Member calls
+/// (`client.connect(...)`) and class-qualified names (`Client::connect`)
+/// are fine — only free/global-scope calls of the syscall names count.
+void rule_no_raw_sockets(const LexedFile& f, Reporter& r) {
+  if (sockets_sanctioned(f.path)) {
+    return;
+  }
+  const char* kRule = "no-raw-sockets";
+  static const char* const kHeaders[] = {"sys/socket", "sys/un", "netinet/",
+                                         "arpa/inet", "netdb"};
+  static const std::set<std::string> kCalls = {
+      "socket",      "bind",        "listen",      "accept",
+      "accept4",     "connect",     "recv",        "send",
+      "recvfrom",    "sendto",      "recvmsg",     "sendmsg",
+      "setsockopt",  "getsockopt",  "getsockname", "getpeername",
+      "shutdown",    "inet_pton",   "inet_ntop",   "getaddrinfo",
+      "freeaddrinfo"};
+  const auto& toks = f.tokens;
+  int last_line = -1;  // one finding per source line, not per token
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.line == last_line) {
+      continue;
+    }
+    if (t.kind == TokKind::kPreproc &&
+        t.text.find("include") != std::string::npos) {
+      for (const char* header : kHeaders) {
+        if (t.text.find(header) != std::string::npos) {
+          r.report(t.line, kRule,
+                   std::string("socket header (") + header +
+                       ") outside src/netio/; route network I/O through "
+                       "netio::Socket/Listener");
+          last_line = t.line;
+          break;
+        }
+      }
+      continue;
+    }
+    if (t.kind != TokKind::kIdent || !kCalls.count(t.text)) {
+      continue;
+    }
+    if (i + 1 >= toks.size() || !is_punct(toks[i + 1], "(")) {
+      continue;
+    }
+    if (i > 0) {
+      const Token& prev = toks[i - 1];
+      if (is_punct(prev, ".") || is_punct(prev, "->")) {
+        continue;  // member call on a wrapper object
+      }
+      if (is_punct(prev, "::") && i >= 2 &&
+          toks[i - 2].kind == TokKind::kIdent) {
+        continue;  // class/namespace-qualified (std::bind, Client::connect)
+      }
+      // `int listen(` / `vector<int> accept(` / `char* recv(` are
+      // declarations, not calls: a call is never preceded by a bare
+      // identifier (two adjacent identifiers form a declaration) except
+      // after statement keywords.
+      static const std::set<std::string> kCallKeywords = {
+          "return", "else", "do", "throw", "case", "co_return", "co_await",
+          "co_yield"};
+      if (prev.kind == TokKind::kIdent && !kCallKeywords.count(prev.text)) {
+        continue;
+      }
+      if (is_punct(prev, "*") || is_punct(prev, "&") || is_punct(prev, ">")) {
+        continue;  // pointer/ref/template return type of a declaration
+      }
+    }
+    r.report(t.line, kRule,
+             "raw socket call '" + t.text +
+                 "' outside src/netio/; route network I/O through "
+                 "netio::Socket/Listener");
+    last_line = t.line;
+  }
+}
+
 /// include-hygiene: headers must open with #pragma once and must not leak
 /// `using namespace` into includers. (Self-containment is compile-checked
 /// by the generated lint_include_hygiene target.)
@@ -535,8 +625,9 @@ void rule_include_hygiene(const LexedFile& f, Reporter& r) {
 
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames = {
-      "no-nan-compare", "no-nondeterminism", "no-raw-thread",
-      "pool-serial-guard", "include-hygiene", "no-raw-intrinsics"};
+      "no-nan-compare",   "no-nondeterminism", "no-raw-thread",
+      "pool-serial-guard", "include-hygiene",  "no-raw-intrinsics",
+      "no-raw-sockets"};
   return kNames;
 }
 
@@ -571,6 +662,7 @@ void check_file(const LexedFile& file, const GlobalCtx& ctx,
   rule_pool_serial_guard(file, r);
   rule_include_hygiene(file, r);
   rule_no_raw_intrinsics(file, r);
+  rule_no_raw_sockets(file, r);
 }
 
 }  // namespace fluxfp::lint
