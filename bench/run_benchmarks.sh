@@ -5,10 +5,11 @@
 #
 # Usage: bench/run_benchmarks.sh [--lint] [--check] [extra --benchmark_* flags...]
 #
-# --lint runs the static-analysis gate (fluxfp-lint, header hygiene,
-# clang-tidy when installed) first and refuses to measure a tree that
-# fails it: numbers from a tree that violates the determinism contracts
-# are not comparable to the committed baseline.
+# --lint runs the static-analysis gate (fluxfp-lint including the
+# concurrency rules guarded-member / lock-order / atomics-policy, header
+# hygiene, clang-tidy when installed) first and refuses to measure a tree
+# that fails it: numbers from a tree that violates the determinism or
+# locking contracts are not comparable to the committed baseline.
 #
 # --check is the perf-regression gate: a fresh run is compared
 # per-benchmark (median real_time) against the committed BENCH_micro.json;

@@ -20,27 +20,38 @@ Server::Server(stream::Supervisor::ManagerFactory factory,
 Server::~Server() { stop(); }
 
 void Server::start() {
-  if (running_.load()) {
+  if (running_.load(std::memory_order_relaxed)) {
     throw std::logic_error("Server: already running");
   }
-  supervisor_.start();
+  // Every supervisor interaction happens under ingest_mutex_, including
+  // this pre-thread one — the capability analysis knows no "no threads
+  // yet" phase, and keeping a single access regime costs one uncontended
+  // lock at startup.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> session_tenants;
+  {
+    support::MutexLock lock(ingest_mutex_);
+    supervisor_.start();
+    const stream::TrackerManager* manager = supervisor_.manager();
+    for (const std::uint32_t user : supervisor_.users()) {
+      session_tenants.emplace_back(user,
+                                   manager->session_options(user).tenant);
+    }
+  }
   // Freeze the user -> tenant map: sessions are registered before start and
   // never after, so connection threads read it without a lock.
-  const stream::TrackerManager* manager = supervisor_.manager();
-  for (const std::uint32_t user : supervisor_.users()) {
-    const std::uint32_t tenant = manager->session_options(user).tenant;
+  for (const auto& [user, tenant] : session_tenants) {
     user_tenant_[user] = tenant;
     ++tenant_sessions_[tenant];
   }
   listener_ = Listener::listen_on(config_.endpoint);
   endpoint_ = listener_.endpoint();
   started_at_ = std::chrono::steady_clock::now();
-  running_.store(true);
+  running_.store(true, std::memory_order_relaxed);
   accept_thread_ = std::thread(&Server::accept_loop, this);
 }
 
 void Server::stop() {
-  if (!running_.exchange(false)) {
+  if (!running_.exchange(false, std::memory_order_relaxed)) {
     return;
   }
   listener_.shutdown();
@@ -48,7 +59,7 @@ void Server::stop() {
     accept_thread_.join();
   }
   {
-    std::lock_guard<std::mutex> lock(conns_mutex_);
+    support::MutexLock lock(conns_mutex_);
     for (Connection& conn : conns_) {
       conn.socket.shutdown_both();  // wakes a thread blocked in read_some
     }
@@ -59,19 +70,21 @@ void Server::stop() {
     }
     conns_.clear();
   }
-  std::lock_guard<std::mutex> lock(ingest_mutex_);
+  support::MutexLock lock(ingest_mutex_);
   supervisor_.finish();
 }
 
-bool Server::running() const { return running_.load(); }
+bool Server::running() const {
+  return running_.load(std::memory_order_relaxed);
+}
 
 void Server::inject_crash() {
-  std::lock_guard<std::mutex> lock(ingest_mutex_);
+  support::MutexLock lock(ingest_mutex_);
   supervisor_.inject_crash();
 }
 
 MetricsMsg Server::metrics() {
-  std::lock_guard<std::mutex> lock(ingest_mutex_);
+  support::MutexLock lock(ingest_mutex_);
   if (supervisor_.quiesce()) {
     mark_quiesced_locked();
   }
@@ -84,11 +97,12 @@ void Server::accept_loop() {
     if (!conn_socket.valid()) {
       return;  // shutdown() — or the listener itself died
     }
-    std::lock_guard<std::mutex> lock(conns_mutex_);
+    support::MutexLock lock(conns_mutex_);
     // Reap finished connections so fds and thread handles do not pile up
     // over a long-lived server's lifetime.
     for (auto it = conns_.begin(); it != conns_.end();) {
-      if (it->done.load()) {
+      // Relaxed: join() below is the real synchronization point.
+      if (it->done.load(std::memory_order_relaxed)) {
         if (it->thread.joinable()) {
           it->thread.join();
         }
@@ -102,7 +116,7 @@ void Server::accept_loop() {
     conn.socket = std::move(conn_socket);
     conn.id = next_connection_id_++;
     {
-      std::lock_guard<std::mutex> ingest(ingest_mutex_);
+      support::MutexLock ingest(ingest_mutex_);
       ++connections_opened_;
       ++connections_active_;
     }
@@ -135,7 +149,7 @@ void Server::serve_connection(Connection& conn) {
       break;
     }
     {
-      std::lock_guard<std::mutex> lock(ingest_mutex_);
+      support::MutexLock lock(ingest_mutex_);
       ++frames_in_total_;
     }
     if (!handle_frame(conn, authed, tenant, frame)) {
@@ -144,12 +158,13 @@ void Server::serve_connection(Connection& conn) {
   }
   conn.socket.shutdown_both();
   {
-    std::lock_guard<std::mutex> lock(ingest_mutex_);
+    support::MutexLock lock(ingest_mutex_);
     --connections_active_;
   }
   FLUXFP_OBS_GAUGE_ADD_SCHED("fluxfp_netio_connections_active",
                              "Connections currently being served", -1.0);
-  conn.done.store(true);
+  // Relaxed: the reaper's (or stop()'s) join provides the ordering.
+  conn.done.store(true, std::memory_order_relaxed);
 }
 
 bool Server::handle_frame(Connection& conn, bool& authed,
@@ -205,7 +220,7 @@ bool Server::handle_frame(Connection& conn, bool& authed,
       }
       BatchAckMsg ack;
       {
-        std::lock_guard<std::mutex> lock(ingest_mutex_);
+        support::MutexLock lock(ingest_mutex_);
         ++batches_total_;
         const auto now = std::chrono::steady_clock::now();
         for (const stream::FluxEvent& event : events) {
@@ -278,7 +293,7 @@ bool Server::handle_frame(Connection& conn, bool& authed,
       EstimateMsg estimate;
       bool shard_up = false;
       {
-        std::lock_guard<std::mutex> lock(ingest_mutex_);
+        support::MutexLock lock(ingest_mutex_);
         shard_up = supervisor_.quiesce();
         if (shard_up) {
           mark_quiesced_locked();
@@ -308,7 +323,7 @@ bool Server::handle_frame(Connection& conn, bool& authed,
       }
       std::string image;
       {
-        std::lock_guard<std::mutex> lock(ingest_mutex_);
+        support::MutexLock lock(ingest_mutex_);
         image = supervisor_.checkpoint_image();
       }
       if (image.size() > config_.limits.max_payload) {
@@ -327,7 +342,7 @@ bool Server::handle_frame(Connection& conn, bool& authed,
       }
       MetricsMsg report;
       {
-        std::lock_guard<std::mutex> lock(ingest_mutex_);
+        support::MutexLock lock(ingest_mutex_);
         if (supervisor_.quiesce()) {
           mark_quiesced_locked();
         }
@@ -358,7 +373,7 @@ bool Server::handle_frame(Connection& conn, bool& authed,
 bool Server::send_error(Connection& conn, ErrorCode code,
                         std::uint64_t offset, const std::string& message) {
   {
-    std::lock_guard<std::mutex> lock(ingest_mutex_);
+    support::MutexLock lock(ingest_mutex_);
     ++error_frames_total_;
   }
   FLUXFP_OBS_COUNTER_INC_SCHED("fluxfp_netio_error_frames_total",

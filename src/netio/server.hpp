@@ -6,7 +6,6 @@
 #include <deque>
 #include <list>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -15,6 +14,7 @@
 #include "netio/socket.hpp"
 #include "netio/wire.hpp"
 #include "stream/supervisor.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace fluxfp::netio {
 
@@ -127,55 +127,69 @@ class Server {
   bool send_frame(Connection& conn, FrameType type,
                   const std::string& payload);
 
-  // --- all of the below require ingest_mutex_ ---
+  // The `_locked` methods require ingest_mutex_ — the requirement is now
+  // compiler-checked (FLUXFP_REQUIRES), not a naming convention.
   /// Folds freshly observed progress into folded_estimate_ and resolves
   /// every pending latency sample the progress covers.
-  void observe_progress_locked();
+  void observe_progress_locked() FLUXFP_REQUIRES(ingest_mutex_);
   /// Marks everything accepted so far folded (call after a successful
   /// quiesce — the exact barrier).
-  void mark_quiesced_locked();
-  void resolve_samples_locked(std::chrono::steady_clock::time_point now);
-  MetricsMsg metrics_locked();
+  void mark_quiesced_locked() FLUXFP_REQUIRES(ingest_mutex_);
+  void resolve_samples_locked(std::chrono::steady_clock::time_point now)
+      FLUXFP_REQUIRES(ingest_mutex_);
+  MetricsMsg metrics_locked() FLUXFP_REQUIRES(ingest_mutex_);
 
-  stream::Supervisor supervisor_;
+  /// The Supervisor demands a single coordinating thread; guarding the
+  /// object itself with ingest_mutex_ is how that contract is enforced
+  /// statically (see stream/supervisor.hpp "Threading").
+  stream::Supervisor supervisor_ FLUXFP_GUARDED_BY(ingest_mutex_);
   ServerConfig config_;
   Endpoint endpoint_;
   Listener listener_;
   std::thread accept_thread_;
-  std::atomic<bool> running_{false};
+  /// Lifecycle flag. Relaxed everywhere: start/stop publication happens
+  /// via thread creation and the shutdown/join handshake; this flag only
+  /// makes stop() idempotent and running() advisory.
+  std::atomic<bool> running_{false};  // fluxfp-lint: allow(atomics-policy) -- lifecycle flag read lock-free by accept/conn loops; folding it under conns_mutex_ would deadlock stop() against join
 
-  /// user id -> owning tenant, frozen at start().
+  /// user id -> owning tenant, frozen at start() before any connection
+  /// thread exists; read bare afterwards (never guarded, never written).
   std::unordered_map<std::uint32_t, std::uint32_t> user_tenant_;
   /// tenant -> registered session count (WELCOME's `sessions`).
   std::unordered_map<std::uint32_t, std::uint32_t> tenant_sessions_;
 
-  std::mutex conns_mutex_;
-  std::list<Connection> conns_;
-  std::uint64_t next_connection_id_ = 1;
+  support::Mutex conns_mutex_;
+  std::list<Connection> conns_ FLUXFP_GUARDED_BY(conns_mutex_);
+  std::uint64_t next_connection_id_ FLUXFP_GUARDED_BY(conns_mutex_) = 1;
 
   /// Serializes every Supervisor interaction and guards the counters.
-  std::mutex ingest_mutex_;
+  /// Canonical order: conns_mutex_ before ingest_mutex_ (the accept loop
+  /// nests them that way); see DESIGN.md's lock-order graph.
+  support::Mutex ingest_mutex_;
   std::chrono::steady_clock::time_point started_at_;
-  std::uint64_t accepted_total_ = 0;
-  std::uint64_t shed_total_ = 0;
-  std::uint64_t unknown_total_ = 0;
-  std::uint64_t foreign_total_ = 0;
-  std::uint64_t closed_total_ = 0;
-  std::uint64_t batches_total_ = 0;
-  std::uint64_t frames_in_total_ = 0;
-  std::uint64_t error_frames_total_ = 0;
-  std::uint64_t connections_opened_ = 0;
-  std::uint64_t connections_active_ = 0;
+  std::uint64_t accepted_total_ FLUXFP_GUARDED_BY(ingest_mutex_) = 0;
+  std::uint64_t shed_total_ FLUXFP_GUARDED_BY(ingest_mutex_) = 0;
+  std::uint64_t unknown_total_ FLUXFP_GUARDED_BY(ingest_mutex_) = 0;
+  std::uint64_t foreign_total_ FLUXFP_GUARDED_BY(ingest_mutex_) = 0;
+  std::uint64_t closed_total_ FLUXFP_GUARDED_BY(ingest_mutex_) = 0;
+  std::uint64_t batches_total_ FLUXFP_GUARDED_BY(ingest_mutex_) = 0;
+  std::uint64_t frames_in_total_ FLUXFP_GUARDED_BY(ingest_mutex_) = 0;
+  std::uint64_t error_frames_total_ FLUXFP_GUARDED_BY(ingest_mutex_) = 0;
+  std::uint64_t connections_opened_ FLUXFP_GUARDED_BY(ingest_mutex_) = 0;
+  std::uint64_t connections_active_ FLUXFP_GUARDED_BY(ingest_mutex_) = 0;
   /// Monotone lower bound on "events folded": advanced by processed_live
   /// observations while one incarnation runs, snapped exact to
   /// accepted_total_ at every quiesce barrier. Restart replays make the
   /// in-between estimate approximate — documented as kScheduling-grade.
-  std::uint64_t folded_estimate_ = 0;
-  std::uint64_t folded_floor_ = 0;  ///< carried across shard restarts
-  std::uint64_t restarts_seen_ = 0;
-  std::deque<LatencySample> pending_samples_;
-  std::vector<double> latency_micros_;  ///< resolved, bounded ring
-  std::size_t latency_ring_pos_ = 0;
+  std::uint64_t folded_estimate_ FLUXFP_GUARDED_BY(ingest_mutex_) = 0;
+  /// Carried across shard restarts.
+  std::uint64_t folded_floor_ FLUXFP_GUARDED_BY(ingest_mutex_) = 0;
+  std::uint64_t restarts_seen_ FLUXFP_GUARDED_BY(ingest_mutex_) = 0;
+  std::deque<LatencySample> pending_samples_
+      FLUXFP_GUARDED_BY(ingest_mutex_);
+  /// Resolved samples, bounded ring.
+  std::vector<double> latency_micros_ FLUXFP_GUARDED_BY(ingest_mutex_);
+  std::size_t latency_ring_pos_ FLUXFP_GUARDED_BY(ingest_mutex_) = 0;
 };
 
 }  // namespace fluxfp::netio

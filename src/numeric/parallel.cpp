@@ -6,11 +6,12 @@
 #include <cstdint>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "obs/instrument.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace fluxfp::numeric {
 namespace {
@@ -50,10 +51,10 @@ struct Batch {
   std::size_t chunk_size = 1;
   std::size_t chunk_count = 0;
   const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> cancelled{false};
-  std::exception_ptr error;
-  std::mutex error_mutex;
+  std::atomic<std::size_t> next{0};     // fluxfp-lint: allow(atomics-policy) -- lock-free chunk ticket; taking error_mutex per chunk would serialize the parallel region
+  std::atomic<bool> cancelled{false};   // fluxfp-lint: allow(atomics-policy) -- advisory early-exit flag polled per chunk; a stale read costs one extra chunk, never correctness
+  support::Mutex error_mutex;
+  std::exception_ptr error FLUXFP_GUARDED_BY(error_mutex);
 
   void work() {
     for (;;) {
@@ -66,7 +67,7 @@ struct Batch {
       try {
         (*fn)(lo, hi);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        support::MutexLock lock(error_mutex);
         if (!error) {
           error = std::current_exception();
         }
@@ -74,6 +75,14 @@ struct Batch {
         return;
       }
     }
+  }
+
+  /// The first exception thrown by any chunk, read under the lock. The
+  /// check-in barrier in Pool::run has already happened when the caller
+  /// asks, but the lock keeps one access regime (and Clang satisfied).
+  std::exception_ptr take_error() {
+    support::MutexLock lock(error_mutex);
+    return std::exchange(error, nullptr);
   }
 };
 
@@ -89,7 +98,7 @@ class Pool {
   }
 
   void run(Batch& batch, std::size_t workers_wanted) {
-    std::unique_lock<std::mutex> lock(mutex_);
+    support::UniqueLock lock(mutex_);
     ensure_workers(workers_wanted);
     current_ = &batch;
     ++generation_;
@@ -102,18 +111,26 @@ class Pool {
     t_in_parallel_region = false;
 
     lock.lock();
-    done_cv_.wait(lock, [&] { return active_ == 0; });
+    done_cv_.wait(lock.native(), [&] {
+      mutex_.assert_held();  // predicate runs under the re-acquired lock
+      return active_ == 0;
+    });
     current_ = nullptr;
   }
 
   ~Pool() {
+    // Move the handles out under the lock, then join without it: after
+    // stop_ is set no worker touches workers_, and keeping the join outside
+    // the critical section means teardown needs no analysis suppression.
+    std::vector<std::thread> workers;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      support::MutexLock lock(mutex_);
       stop_ = true;
       ++generation_;
+      workers.swap(workers_);
     }
     work_cv_.notify_all();
-    for (std::thread& t : workers_) {
+    for (std::thread& t : workers) {
       t.join();
     }
   }
@@ -124,7 +141,7 @@ class Pool {
   /// Grows (never shrinks) the worker set under the held lock. Extra
   /// workers beyond a batch's wanted count just find no chunks — keeping
   /// the check-in protocol uniform across thread-count changes.
-  void ensure_workers(std::size_t wanted) {
+  void ensure_workers(std::size_t wanted) FLUXFP_REQUIRES(mutex_) {
     while (workers_.size() < wanted) {
       workers_.emplace_back([this] { worker_loop(); });
     }
@@ -136,8 +153,11 @@ class Pool {
     for (;;) {
       Batch* batch = nullptr;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        support::UniqueLock lock(mutex_);
+        work_cv_.wait(lock.native(), [&] {
+          mutex_.assert_held();  // predicate runs under the lock
+          return stop_ || generation_ != seen;
+        });
         if (stop_) {
           return;
         }
@@ -148,7 +168,7 @@ class Pool {
         batch->work();
       }
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        support::MutexLock lock(mutex_);
         if (--active_ == 0) {
           done_cv_.notify_one();
         }
@@ -156,14 +176,14 @@ class Pool {
     }
   }
 
-  std::mutex mutex_;
+  support::Mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  std::vector<std::thread> workers_;
-  Batch* current_ = nullptr;
-  std::uint64_t generation_ = 0;
-  std::size_t active_ = 0;
-  bool stop_ = false;
+  std::vector<std::thread> workers_ FLUXFP_GUARDED_BY(mutex_);
+  Batch* current_ FLUXFP_GUARDED_BY(mutex_) = nullptr;
+  std::uint64_t generation_ FLUXFP_GUARDED_BY(mutex_) = 0;
+  std::size_t active_ FLUXFP_GUARDED_BY(mutex_) = 0;
+  bool stop_ FLUXFP_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace
@@ -222,8 +242,8 @@ void parallel_for_ranges(
                                batch.chunk_count);
   // The caller is one of the workers.
   Pool::instance().run(batch, threads - 1);
-  if (batch.error) {
-    std::rethrow_exception(batch.error);
+  if (std::exception_ptr err = batch.take_error()) {
+    std::rethrow_exception(err);
   }
 }
 

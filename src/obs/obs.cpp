@@ -155,7 +155,7 @@ MetricsRegistry::~MetricsRegistry() = default;
 MetricsRegistry::Entry& MetricsRegistry::find_or_create(
     std::string_view name, std::string_view help, MetricKind kind,
     Determinism det, std::span<const std::uint64_t> bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   const auto it = index_.find(name);
   if (it != index_.end()) {
     Entry& e = *entries_[it->second];
@@ -230,7 +230,7 @@ void MetricsRegistry::set_clock(const SpanClock* clock) {
 }
 
 std::string MetricsRegistry::export_text(bool include_scheduling) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   std::string out;
   for (const auto& [name, idx] : index_) {
     const Entry& e = *entries_[idx];
@@ -269,7 +269,7 @@ std::string MetricsRegistry::export_text(bool include_scheduling) const {
 }
 
 std::string MetricsRegistry::export_json(bool include_scheduling) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   std::string out = "{\n  \"metrics\": [";
   bool first = true;
   for (const auto& [name, idx] : index_) {
@@ -312,7 +312,7 @@ std::string MetricsRegistry::export_json(bool include_scheduling) const {
 }
 
 void MetricsRegistry::reset_values() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   for (const auto& entry : entries_) {
     switch (entry->kind) {
       case MetricKind::kCounter:
@@ -329,7 +329,7 @@ void MetricsRegistry::reset_values() {
 }
 
 std::size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   return entries_.size();
 }
 

@@ -5,11 +5,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "support/thread_annotations.hpp"
 
 namespace fluxfp::obs {
 
@@ -179,10 +180,14 @@ class MetricsRegistry {
                         MetricKind kind, Determinism det,
                         std::span<const std::uint64_t> bounds);
 
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Entry>> entries_;
+  /// Leaf of the canonical lock order: acquirable under any runtime lock
+  /// (the instrumentation macros fire inside flow/ingest/conns critical
+  /// sections on first registration), and never holds another lock itself.
+  mutable support::Mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_ FLUXFP_GUARDED_BY(mutex_);
   /// name -> entries_ index; export iterates this (sorted) view.
-  std::map<std::string, std::size_t, std::less<>> index_;
+  std::map<std::string, std::size_t, std::less<>> index_
+      FLUXFP_GUARDED_BY(mutex_);
   std::atomic<const SpanClock*> clock_;
 };
 

@@ -44,10 +44,12 @@ EventQueue::EventQueue(std::size_t capacity, QueuePolicy policy)
 
 bool EventQueue::push(const FluxEvent& event) {
   bool evicted = false;
-  std::unique_lock<std::mutex> lock(mutex_);
+  support::UniqueLock lock(mutex_);
   if (policy_ == QueuePolicy::kBlock) {
-    not_full_.wait(lock,
-                   [&] { return closed_ || items_.size() < capacity_; });
+    not_full_.wait(lock.native(), [&] {
+      mutex_.assert_held();  // predicate runs under the re-acquired lock
+      return closed_ || items_.size() < capacity_;
+    });
     if (closed_) {
       return false;
     }
@@ -79,8 +81,11 @@ bool EventQueue::push(const FluxEvent& event) {
 }
 
 bool EventQueue::pop(FluxEvent& out) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  support::UniqueLock lock(mutex_);
+  not_empty_.wait(lock.native(), [&] {
+    mutex_.assert_held();  // predicate runs under the re-acquired lock
+    return closed_ || !items_.empty();
+  });
   if (items_.empty()) {
     return false;  // closed and drained
   }
@@ -95,7 +100,7 @@ bool EventQueue::pop(FluxEvent& out) {
 }
 
 bool EventQueue::try_pop(FluxEvent& out) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  support::UniqueLock lock(mutex_);
   if (items_.empty()) {
     return false;
   }
@@ -110,7 +115,7 @@ bool EventQueue::try_pop(FluxEvent& out) {
 }
 
 bool EventQueue::evict_one(std::uint32_t user) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  support::UniqueLock lock(mutex_);
   for (auto it = items_.begin(); it != items_.end(); ++it) {
     if (it->user == user) {
       items_.erase(it);
@@ -128,7 +133,7 @@ bool EventQueue::evict_one(std::uint32_t user) {
 
 void EventQueue::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     closed_ = true;
   }
   not_empty_.notify_all();
@@ -136,17 +141,17 @@ void EventQueue::close() {
 }
 
 bool EventQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   return closed_;
 }
 
 std::size_t EventQueue::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   return items_.size();
 }
 
 QueueStats EventQueue::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   return stats_;
 }
 

@@ -3,9 +3,9 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 
 #include "stream/event.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace fluxfp::stream {
 
@@ -85,12 +85,12 @@ class EventQueue {
   const std::size_t capacity_;
   const QueuePolicy policy_;
 
-  mutable std::mutex mutex_;
+  mutable support::Mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<FluxEvent> items_;
-  QueueStats stats_;
-  bool closed_ = false;
+  std::deque<FluxEvent> items_ FLUXFP_GUARDED_BY(mutex_);
+  QueueStats stats_ FLUXFP_GUARDED_BY(mutex_);
+  bool closed_ FLUXFP_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace fluxfp::stream

@@ -25,14 +25,15 @@ TrackerManager::TrackerManager(ManagerConfig config) : config_(config) {
 }
 
 TrackerManager::~TrackerManager() {
-  if (started_ && !finished_) {
+  if (started_.load(std::memory_order_relaxed) &&
+      !finished_.load(std::memory_order_relaxed)) {
     finish();
   }
 }
 
 void TrackerManager::add_session(std::uint32_t user, StreamTracker tracker,
                                  SessionOptions options) {
-  if (started_) {
+  if (started_.load(std::memory_order_relaxed)) {
     throw std::logic_error(
         "TrackerManager: sessions must be registered before start()");
   }
@@ -43,7 +44,7 @@ void TrackerManager::add_session(std::uint32_t user, StreamTracker tracker,
 }
 
 void TrackerManager::start() {
-  if (started_) {
+  if (started_.load(std::memory_order_relaxed)) {
     throw std::logic_error("TrackerManager: already started");
   }
   if (sessions_.empty()) {
@@ -56,14 +57,20 @@ void TrackerManager::start() {
     queues_.push_back(
         std::make_unique<EventQueue>(config_.queue_capacity, config_.policy));
   }
-  queued_.assign(sessions_.size(), 0);
-  if (config_.tenant_quota > 0) {
-    for (std::size_t i = 0; i < sessions_.size(); ++i) {
-      tenant_in_flight_[sessions_[i].options.tenant] = 0;
-      tenant_sessions_[sessions_[i].options.tenant].push_back(i);
+  {
+    // No worker exists yet, but the admission ledger is flow-state:
+    // initialize it under its mutex so there is exactly one access regime
+    // (this is what the capability analysis checks).
+    support::MutexLock lock(flow_mutex_);
+    queued_.assign(sessions_.size(), 0);
+    if (config_.tenant_quota > 0) {
+      for (std::size_t i = 0; i < sessions_.size(); ++i) {
+        tenant_in_flight_[sessions_[i].options.tenant] = 0;
+        tenant_sessions_[sessions_[i].options.tenant].push_back(i);
+      }
     }
   }
-  started_ = true;
+  started_.store(true, std::memory_order_relaxed);
 #if defined(FLUXFP_OBS_ENABLED)
   // Shard gauges carry the worker index in the name, so the metric SET
   // depends on the layout — everything here is tagged kScheduling except
@@ -96,13 +103,14 @@ void TrackerManager::start() {
 PushStatus TrackerManager::admit(std::size_t session_index) {
   const std::uint32_t tenant = sessions_[session_index].options.tenant;
   const std::uint32_t priority = sessions_[session_index].options.priority;
-  std::unique_lock<std::mutex> lock(flow_mutex_);
+  support::UniqueLock lock(flow_mutex_);
   std::uint64_t& in_flight = tenant_in_flight_.at(tenant);
   if (in_flight >= config_.tenant_quota) {
     switch (config_.admission) {
       case AdmissionPolicy::kBlock: {
         ++flow_waiters_;
-        flow_cv_.wait(lock, [&] {
+        flow_cv_.wait(lock.native(), [&] {
+          flow_mutex_.assert_held();  // predicate runs under the lock
           return flow_closed_ || in_flight < config_.tenant_quota;
         });
         --flow_waiters_;
@@ -166,7 +174,8 @@ PushStatus TrackerManager::admit(std::size_t session_index) {
 }
 
 PushStatus TrackerManager::offer(const FluxEvent& event) {
-  if (!started_ || finished_) {
+  if (!started_.load(std::memory_order_relaxed) ||
+      finished_.load(std::memory_order_relaxed)) {
     return PushStatus::kClosed;
   }
   const auto it = user_index_.find(event.user);
@@ -186,14 +195,14 @@ PushStatus TrackerManager::offer(const FluxEvent& event) {
   }
   if (!queues_[idx % queues_.size()]->push(event)) {
     if (quota) {
-      std::lock_guard<std::mutex> lock(flow_mutex_);
+      support::MutexLock lock(flow_mutex_);
       --tenant_in_flight_.at(sessions_[idx].options.tenant);
       --queued_[idx];
     }
     return PushStatus::kClosed;
   }
   {
-    std::lock_guard<std::mutex> lock(flow_mutex_);
+    support::MutexLock lock(flow_mutex_);
     ++routed_flow_;
   }
   return PushStatus::kAccepted;
@@ -221,7 +230,7 @@ void TrackerManager::worker_loop(std::size_t worker) {
     // processed == routed therefore also observes every result (the mutex
     // handshake publishes them).
     {
-      std::lock_guard<std::mutex> lock(flow_mutex_);
+      support::MutexLock lock(flow_mutex_);
       ++processed_flow_;
       if (quota) {
         --tenant_in_flight_.at(s.options.tenant);
@@ -243,7 +252,8 @@ void TrackerManager::worker_loop(std::size_t worker) {
 }
 
 void TrackerManager::quiesce() {
-  if (!started_ || finished_) {
+  if (!started_.load(std::memory_order_relaxed) ||
+      finished_.load(std::memory_order_relaxed)) {
     return;
   }
   if (config_.policy != QueuePolicy::kBlock) {
@@ -254,8 +264,11 @@ void TrackerManager::quiesce() {
         "TrackerManager: quiesce()/checkpoint() while running require "
         "QueuePolicy::kBlock");
   }
-  std::unique_lock<std::mutex> lock(flow_mutex_);
-  flow_cv_.wait(lock, [&] { return processed_flow_ == routed_flow_; });
+  support::UniqueLock lock(flow_mutex_);
+  flow_cv_.wait(lock.native(), [&] {
+    flow_mutex_.assert_held();  // predicate runs under the lock
+    return processed_flow_ == routed_flow_;
+  });
 }
 
 ManagerCheckpoint TrackerManager::checkpoint() {
@@ -276,7 +289,7 @@ ManagerCheckpoint TrackerManager::checkpoint() {
 }
 
 void TrackerManager::restore(const ManagerCheckpoint& cp) {
-  if (started_) {
+  if (started_.load(std::memory_order_relaxed)) {
     throw std::logic_error(
         "TrackerManager: restore() must run before start()");
   }
@@ -317,13 +330,14 @@ void TrackerManager::restore(const ManagerCheckpoint& cp) {
 }
 
 void TrackerManager::finish() {
-  if (!started_ || finished_) {
+  if (!started_.load(std::memory_order_relaxed) ||
+      finished_.load(std::memory_order_relaxed)) {
     return;
   }
   {
     // Wake producers blocked on a tenant quota before closing the queues,
     // so shutdown never waits on a pop that will not come.
-    std::lock_guard<std::mutex> lock(flow_mutex_);
+    support::MutexLock lock(flow_mutex_);
     flow_closed_ = true;
   }
   flow_cv_.notify_all();
@@ -333,7 +347,7 @@ void TrackerManager::finish() {
   for (std::thread& t : threads_) {
     t.join();
   }
-  finished_ = true;
+  finished_.store(true, std::memory_order_relaxed);
   const auto end = std::chrono::steady_clock::now();
   final_stats_.wall_seconds =
       std::chrono::duration<double>(end - start_time_).count();
@@ -358,8 +372,14 @@ void TrackerManager::finish() {
 #endif
   final_stats_.unknown_user = unknown_user_.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(flow_mutex_);
-    final_stats_.events_shed = shed_;
+    // Copy out under the lock; final_stats_ itself is coordinator-owned
+    // (workers are joined), so it is not flow-state and stays unguarded.
+    std::uint64_t shed = 0;
+    {
+      support::MutexLock lock(flow_mutex_);
+      shed = shed_;
+    }
+    final_stats_.events_shed = shed;
   }
   for (const Session& s : sessions_) {
     const StreamStats& st = s.tracker.stats();

@@ -5,7 +5,6 @@
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -13,6 +12,7 @@
 #include "stream/checkpoint.hpp"
 #include "stream/event_queue.hpp"
 #include "stream/stream_tracker.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace fluxfp::stream {
 
@@ -163,8 +163,8 @@ class TrackerManager {
   /// offer() fails afterwards.
   void finish();
 
-  bool started() const { return started_.load(); }
-  bool finished() const { return finished_.load(); }
+  bool started() const { return started_.load(std::memory_order_relaxed); }
+  bool finished() const { return finished_.load(std::memory_order_relaxed); }
   std::size_t num_sessions() const { return sessions_.size(); }
   std::size_t workers() const { return config_.workers; }
   /// Registered user ids in registration (= checkpoint) order.
@@ -213,29 +213,35 @@ class TrackerManager {
   std::unordered_map<std::uint32_t, std::size_t> user_index_;
   std::vector<std::unique_ptr<EventQueue>> queues_;  ///< one per worker
   std::vector<std::thread> threads_;
-  std::atomic<bool> started_{false};
-  std::atomic<bool> finished_{false};
+  /// Lifecycle flags. Relaxed everywhere: the actual publication points
+  /// are thread creation (start), the queue close/join handshake (finish),
+  /// and the flow_mutex_ ledger — these flags only gate the fast-fail
+  /// paths, where a stale read degrades to kClosed, never to a race.
+  std::atomic<bool> started_{false};   // fluxfp-lint: allow(atomics-policy) -- fast-fail gate documented above; real publication is thread creation, not this flag
+  std::atomic<bool> finished_{false};  // fluxfp-lint: allow(atomics-policy) -- fast-fail gate documented above; real publication is the close/join handshake
   std::chrono::steady_clock::time_point start_time_;
   ManagerStats final_stats_;
-  std::atomic<std::uint64_t> unknown_user_{0};
-  std::atomic<std::uint64_t> epochs_fired_live_{0};
-  std::atomic<std::uint64_t> processed_live_{0};
+  std::atomic<std::uint64_t> unknown_user_{0};       // fluxfp-lint: allow(atomics-policy) -- monotonic stat bumped on the hot path; flow_mutex_ there would serialize workers
+  std::atomic<std::uint64_t> epochs_fired_live_{0};  // fluxfp-lint: allow(atomics-policy) -- monotonic stat bumped on the hot path; flow_mutex_ there would serialize workers
+  std::atomic<std::uint64_t> processed_live_{0};     // fluxfp-lint: allow(atomics-policy) -- monotonic stat bumped on the hot path; flow_mutex_ there would serialize workers
 
   /// Flow accounting: routed/processed totals for quiesce(), and — when a
   /// tenant quota is configured — per-tenant in-flight counts and
   /// per-session queued counts for admission. One mutex guards it all;
   /// the per-event cost is one uncontended lock, dwarfed by the SMC step.
-  mutable std::mutex flow_mutex_;
+  mutable support::Mutex flow_mutex_;
   std::condition_variable flow_cv_;
-  std::uint64_t routed_flow_ = 0;
-  std::uint64_t processed_flow_ = 0;
-  std::uint64_t shed_ = 0;
-  bool flow_closed_ = false;
-  std::size_t flow_waiters_ = 0;
-  std::unordered_map<std::uint32_t, std::uint64_t> tenant_in_flight_;
+  std::uint64_t routed_flow_ FLUXFP_GUARDED_BY(flow_mutex_) = 0;
+  std::uint64_t processed_flow_ FLUXFP_GUARDED_BY(flow_mutex_) = 0;
+  std::uint64_t shed_ FLUXFP_GUARDED_BY(flow_mutex_) = 0;
+  bool flow_closed_ FLUXFP_GUARDED_BY(flow_mutex_) = false;
+  std::size_t flow_waiters_ FLUXFP_GUARDED_BY(flow_mutex_) = 0;
+  std::unordered_map<std::uint32_t, std::uint64_t> tenant_in_flight_
+      FLUXFP_GUARDED_BY(flow_mutex_);
   std::unordered_map<std::uint32_t, std::vector<std::size_t>>
-      tenant_sessions_;
-  std::vector<std::uint64_t> queued_;  ///< per session, under flow_mutex_
+      tenant_sessions_ FLUXFP_GUARDED_BY(flow_mutex_);
+  /// Per-session queued counts, one slot per registered session.
+  std::vector<std::uint64_t> queued_ FLUXFP_GUARDED_BY(flow_mutex_);
 };
 
 }  // namespace fluxfp::stream

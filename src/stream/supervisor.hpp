@@ -106,6 +106,14 @@ struct SupervisorStats {
 /// the supervisor owns start/restore/replay. Like quiesce(), the
 /// supervisor is driven by one coordinating thread: offer() and the
 /// lifecycle calls must not race each other.
+///
+/// Threading: the Supervisor deliberately owns no mutex — the
+/// single-coordinator contract above IS its synchronization. Where the
+/// coordinator role is shared across threads (netio::Server), the
+/// Supervisor object itself is declared FLUXFP_GUARDED_BY the caller's
+/// serializing mutex (Server::ingest_mutex_), so Clang's capability
+/// analysis rejects any unserialized interaction at compile time instead
+/// of leaving the contract to this comment.
 class Supervisor {
  public:
   using ManagerFactory = std::function<std::unique_ptr<TrackerManager>()>;

@@ -1,0 +1,113 @@
+#pragma once
+
+// Clang -Wthread-safety capability annotations, compiled away everywhere
+// else. The macros wrap the attributes; the Mutex / MutexLock / UniqueLock
+// wrappers below carry the capability so the guarded-by relation over the
+// runtime's five threaded layers (pool, queue, manager, supervisor/netio,
+// obs registry) is checked exhaustively at compile time instead of only on
+// the interleavings a TSan run happens to exercise.
+//
+// Conventions (enforced by fluxfp-lint's guarded-member rule and by the
+// clang-thread-safety CI job):
+//   - every member mutated under a mutex carries FLUXFP_GUARDED_BY(m);
+//   - functions that assume the caller holds a mutex carry
+//     FLUXFP_REQUIRES(m) (the `_locked` suffix convention);
+//   - condition-variable wait predicates run with the lock re-acquired but
+//     are analyzed as separate functions — open them with
+//     `m.assert_held();` so the analysis knows the capability is live;
+//   - teardown code that reads state after a join handshake either moves
+//     the state out under the lock (preferred) or carries
+//     FLUXFP_NO_THREAD_SAFETY_ANALYSIS with a justification.
+//
+// The canonical lock-acquisition order (outer to inner) is documented in
+// DESIGN.md and pinned by fluxfp-lint's lock-order rule:
+//   Server::conns_mutex_ -> Server::ingest_mutex_ ->
+//   TrackerManager::flow_mutex_ -> EventQueue::mutex_ ->
+//   Pool::mutex_ -> MetricsRegistry::mutex_
+
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define FLUXFP_TSA(x) __attribute__((x))
+#else
+#define FLUXFP_TSA(x)  // no-op: GCC/MSVC have no capability analysis
+#endif
+
+#define FLUXFP_CAPABILITY(x) FLUXFP_TSA(capability(x))
+#define FLUXFP_SCOPED_CAPABILITY FLUXFP_TSA(scoped_lockable)
+#define FLUXFP_GUARDED_BY(x) FLUXFP_TSA(guarded_by(x))
+#define FLUXFP_PT_GUARDED_BY(x) FLUXFP_TSA(pt_guarded_by(x))
+#define FLUXFP_ACQUIRED_BEFORE(...) FLUXFP_TSA(acquired_before(__VA_ARGS__))
+#define FLUXFP_ACQUIRED_AFTER(...) FLUXFP_TSA(acquired_after(__VA_ARGS__))
+#define FLUXFP_REQUIRES(...) FLUXFP_TSA(requires_capability(__VA_ARGS__))
+#define FLUXFP_ACQUIRE(...) FLUXFP_TSA(acquire_capability(__VA_ARGS__))
+#define FLUXFP_RELEASE(...) FLUXFP_TSA(release_capability(__VA_ARGS__))
+#define FLUXFP_TRY_ACQUIRE(...) FLUXFP_TSA(try_acquire_capability(__VA_ARGS__))
+#define FLUXFP_EXCLUDES(...) FLUXFP_TSA(locks_excluded(__VA_ARGS__))
+#define FLUXFP_ASSERT_CAPABILITY(x) FLUXFP_TSA(assert_capability(x))
+#define FLUXFP_RETURN_CAPABILITY(x) FLUXFP_TSA(lock_returned(x))
+#define FLUXFP_NO_THREAD_SAFETY_ANALYSIS FLUXFP_TSA(no_thread_safety_analysis)
+
+namespace fluxfp::support {
+
+/// std::mutex carrying the "mutex" capability. Same cost, same TSan
+/// visibility; the only addition is that Clang now tracks who holds it.
+class FLUXFP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FLUXFP_ACQUIRE() { m_.lock(); }
+  void unlock() FLUXFP_RELEASE() { m_.unlock(); }
+  bool try_lock() FLUXFP_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  /// Tells the analysis (not the runtime) that the calling context holds
+  /// this mutex. The one sanctioned use is the first statement of a
+  /// condition-variable wait predicate, which really does run under the
+  /// re-acquired lock but is analyzed as a standalone function.
+  void assert_held() const FLUXFP_ASSERT_CAPABILITY(this) {}
+
+  /// The underlying mutex, for std::condition_variable interop.
+  std::mutex& native() { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// std::lock_guard over Mutex: scope-long exclusive hold, no early unlock.
+class FLUXFP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) FLUXFP_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~MutexLock() FLUXFP_RELEASE() { m_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// std::unique_lock over Mutex: supports early unlock() / re-lock() (the
+/// unlock-before-notify pattern) and condition-variable waits via
+/// native(). Construction acquires; destruction releases if still held.
+class FLUXFP_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& m) FLUXFP_ACQUIRE(m) : lock_(m.native()) {}
+  ~UniqueLock() FLUXFP_RELEASE() {}
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() FLUXFP_ACQUIRE() { lock_.lock(); }
+  void unlock() FLUXFP_RELEASE() { lock_.unlock(); }
+
+  /// The underlying lock, for std::condition_variable::wait. The wait
+  /// predicate must open with `m.assert_held()` on the owning Mutex.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace fluxfp::support

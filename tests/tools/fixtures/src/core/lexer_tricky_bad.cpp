@@ -1,0 +1,34 @@
+// Fixture: lexer edge cases. Everything above the violation exercises a
+// construct that once desynced the token stream or the line counter —
+// the single no-nan-compare finding at the bottom must be reported at
+// its exact line.
+#include <limits>
+
+namespace fluxfp {
+
+inline constexpr double kMissingReading =
+    std::numeric_limits<double>::quiet_NaN();
+
+// Non-empty delimiter: the `)"` inside must not close the literal.
+inline const char* kRawTrap = R"xx(contains a fake closer )" right here)xx";
+
+// Encoding-prefixed raw strings, one spanning multiple lines.
+inline const char8_t* kU8 = u8R"seq(line one
+line two)seq";
+inline const wchar_t* kWide = LR"(wide and raw)";
+
+// Line splice inside an ordinary literal: the backslash-newline below
+// must still advance the line counter.
+inline const char* kSpliced = "first half \
+second half";
+
+// Digit separators in every base, incl. a separated float.
+inline constexpr long kBig = 1'000'000;
+inline constexpr int kMask = 0xFF'FF;
+inline constexpr double kFloat = 1'234.5;
+
+bool bad(double reading) {
+  return reading == kMissingReading;  // line 31: the probe violation
+}
+
+}  // namespace fluxfp

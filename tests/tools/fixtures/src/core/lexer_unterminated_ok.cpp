@@ -1,0 +1,5 @@
+// Fixture: a raw-string opener cut off at end-of-file. The lexer must
+// degrade gracefully (no crash, no violations) — this file once threw
+// std::out_of_range scanning for the delimiter.
+namespace fluxfp {
+inline const char* kCut = R"

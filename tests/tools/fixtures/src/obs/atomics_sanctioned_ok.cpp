@@ -1,0 +1,21 @@
+// Fixture: src/obs/ is a sanctioned path — acquire/release orderings are
+// the observability layer's documented design and must not be flagged.
+#include <atomic>
+#include <cstdint>
+
+namespace fluxfp {
+
+class ObsClockCell {
+ public:
+  void publish(std::uint64_t v) {
+    value_.store(v, std::memory_order_release);
+  }
+  std::uint64_t read() const {
+    return value_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+}  // namespace fluxfp

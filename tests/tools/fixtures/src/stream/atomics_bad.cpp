@@ -1,0 +1,27 @@
+// Fixture: every atomics-policy failure mode outside the sanctioned
+// paths — a non-relaxed ordering, atomics mixed with a mutex in one
+// class without justification, and an implicit-seq_cst operation.
+#include <atomic>
+
+#include "support/thread_annotations.hpp"
+
+namespace fluxfp {
+
+class ApBadGate {
+ public:
+  void open() {
+    flag_.store(true, std::memory_order_release);  // line 13: non-relaxed
+  }
+
+  void tick() {
+    ++ticks_;  // line 17: implicit seq_cst on an atomic member
+  }
+
+ private:
+  support::Mutex mu_;
+  int state_ FLUXFP_GUARDED_BY(mu_) = 0;
+  std::atomic<bool> flag_{false};  // line 23: mixed with mu_, no allow
+  std::atomic<int> ticks_{0};      // line 24: mixed with mu_, no allow
+};
+
+}  // namespace fluxfp

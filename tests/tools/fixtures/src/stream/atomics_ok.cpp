@@ -1,0 +1,36 @@
+// Fixture: the sanctioned shapes — relaxed-only stats in a lock-free
+// class, and an atomic beside a mutex carrying an inline justification.
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "support/thread_annotations.hpp"
+
+namespace fluxfp {
+
+class ApOkCounter {
+ public:
+  void tick() { hits_.fetch_add(1, std::memory_order_relaxed); }
+  std::uint64_t read() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> hits_{0};
+};
+
+class ApOkMixed {
+ public:
+  void add(int v) {
+    support::MutexLock lock(mu_);
+    items_.push_back(v);
+  }
+  bool closed() const { return closed_.load(std::memory_order_relaxed); }
+
+ private:
+  support::Mutex mu_;
+  std::vector<int> items_ FLUXFP_GUARDED_BY(mu_);
+  std::atomic<bool> closed_{false};  // fluxfp-lint: allow(atomics-policy) -- fixture: advisory close flag, real publication elsewhere
+};
+
+}  // namespace fluxfp

@@ -1,0 +1,40 @@
+// Fixture: the sanctioned shapes — every guarded access under the lock,
+// FLUXFP_REQUIRES carrying the obligation to a helper, and one justified
+// suppressed bare read.
+#include <cstddef>
+
+#include "support/thread_annotations.hpp"
+
+namespace fluxfp {
+
+class GmOkCounter {
+ public:
+  void bump() {
+    support::MutexLock lock(mu_);
+    ++hits_;
+    trim_locked();
+  }
+
+  std::size_t snapshot() {
+    support::MutexLock lock(mu_);
+    return hits_;
+  }
+
+  std::size_t racy_peek() const {
+    // fluxfp-lint: allow(guarded-member) -- fixture: approximate stats
+    // read; staleness is acceptable and torn reads impossible for size_t.
+    return hits_;
+  }
+
+ private:
+  void trim_locked() FLUXFP_REQUIRES(mu_) {
+    if (hits_ > 1000) {
+      hits_ = 0;  // fine: caller holds mu_ per the annotation
+    }
+  }
+
+  support::Mutex mu_;
+  std::size_t hits_ FLUXFP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fluxfp

@@ -1,0 +1,54 @@
+// Fixture: both lock-order failure modes — a pinned-rank inversion
+// (EventQueue::mutex_ held while taking Server::conns_mutex_, backwards
+// in the canonical order) and a two-mutex acquisition cycle between
+// unpinned locks.
+#include "support/thread_annotations.hpp"
+
+namespace fluxfp {
+
+class Server {
+ public:
+  void kick_everyone() { support::MutexLock lock(conns_mutex_); }
+
+ private:
+  support::Mutex conns_mutex_;
+};
+
+class EventQueue {
+ public:
+  void drain(Server& srv) {
+    support::MutexLock lock(mutex_);
+    srv.kick_everyone();  // line 21: queue -> conns, against the order
+  }
+
+ private:
+  support::Mutex mutex_;
+};
+
+class LoPong;
+
+class LoPing {
+ public:
+  void grab_then_pong(LoPong& p);
+  void grab_ping() { support::MutexLock lock(ping_mutex_); }
+
+  support::Mutex ping_mutex_;
+};
+
+class LoPong {
+ public:
+  void grab_then_ping(LoPing& p) {
+    support::MutexLock lock(pong_mutex_);
+    p.grab_ping();  // edge pong -> ping
+  }
+  void grab_pong() { support::MutexLock lock(pong_mutex_); }
+
+  support::Mutex pong_mutex_;
+};
+
+void LoPing::grab_then_pong(LoPong& p) {
+  support::MutexLock lock(ping_mutex_);
+  p.grab_pong();  // edge ping -> pong: completes the cycle
+}
+
+}  // namespace fluxfp

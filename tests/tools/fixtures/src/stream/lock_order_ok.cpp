@@ -1,0 +1,37 @@
+// Fixture: nesting that follows the canonical order (flow -> queue) is
+// clean, and a documented back-edge carries a lock-order suppression.
+#include "support/thread_annotations.hpp"
+
+namespace fluxfp {
+
+class EventQueue {
+ public:
+  void push_one() { support::MutexLock lock(mutex_); }
+
+ private:
+  support::Mutex mutex_;
+};
+
+class TrackerManager {
+ public:
+  void route(EventQueue& q) {
+    support::MutexLock lock(flow_mutex_);
+    q.push_one();  // flow -> queue: forward in the canonical order
+  }
+
+ private:
+  support::Mutex flow_mutex_;
+};
+
+class Pool {
+ public:
+  void flush(EventQueue& q) {
+    support::MutexLock lock(mutex_);
+    q.push_one();  // fluxfp-lint: allow(lock-order) -- fixture: documented pool->queue exception
+  }
+
+ private:
+  support::Mutex mutex_;
+};
+
+}  // namespace fluxfp

@@ -1,0 +1,29 @@
+// TSA smoke, passing half: a correctly annotated miniature of the
+// EventQueue shape. Must compile clean under Clang with
+// -Werror=thread-safety; if it does not, the annotation macros or the
+// compiler wiring are broken.
+#include <cstddef>
+#include <deque>
+
+#include "support/thread_annotations.hpp"
+
+namespace fluxfp {
+
+class SmokeQueue {
+ public:
+  void push(int v) {
+    support::MutexLock lock(mutex_);
+    items_.push_back(v);
+  }
+
+  std::size_t size() const {
+    support::MutexLock lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable support::Mutex mutex_;
+  std::deque<int> items_ FLUXFP_GUARDED_BY(mutex_);
+};
+
+}  // namespace fluxfp

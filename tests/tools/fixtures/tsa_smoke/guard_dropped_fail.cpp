@@ -1,0 +1,29 @@
+// TSA smoke, failing half: identical to annotated_ok.cpp except push()
+// drops the lock, exactly what deleting a FLUXFP_GUARDED_BY-protected
+// acquisition looks like. Clang with -Werror=thread-safety MUST refuse
+// to compile this file; if it compiles, the analysis is not running and
+// the guard annotations have silently stopped being enforced.
+#include <cstddef>
+#include <deque>
+
+#include "support/thread_annotations.hpp"
+
+namespace fluxfp {
+
+class SmokeQueue {
+ public:
+  void push(int v) {
+    items_.push_back(v);  // guarded member, no lock: must not compile
+  }
+
+  std::size_t size() const {
+    support::MutexLock lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable support::Mutex mutex_;
+  std::deque<int> items_ FLUXFP_GUARDED_BY(mutex_);
+};
+
+}  // namespace fluxfp

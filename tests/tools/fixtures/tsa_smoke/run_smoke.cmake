@@ -1,0 +1,41 @@
+# Thread-safety-analysis smoke driver, run as a ctest under Clang only.
+# Proves the -Werror=thread-safety gate both accepts correct code and
+# rejects a dropped guard — a green build that cannot fail is no gate.
+#
+# Expects: -DCXX=<clang++> -DSRC_DIR=<repo root> -DSMOKE_DIR=<this dir>
+
+foreach(var CXX SRC_DIR SMOKE_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_smoke.cmake: missing -D${var}=")
+  endif()
+endforeach()
+
+set(flags -std=c++20 -fsyntax-only -Wthread-safety -Werror=thread-safety
+    -I${SRC_DIR}/src)
+
+execute_process(
+  COMMAND ${CXX} ${flags} ${SMOKE_DIR}/annotated_ok.cpp
+  RESULT_VARIABLE ok_rc
+  ERROR_VARIABLE ok_err)
+if(NOT ok_rc EQUAL 0)
+  message(FATAL_ERROR
+      "annotated_ok.cpp must compile under -Werror=thread-safety but "
+      "failed:\n${ok_err}")
+endif()
+
+execute_process(
+  COMMAND ${CXX} ${flags} ${SMOKE_DIR}/guard_dropped_fail.cpp
+  RESULT_VARIABLE bad_rc
+  ERROR_VARIABLE bad_err)
+if(bad_rc EQUAL 0)
+  message(FATAL_ERROR
+      "guard_dropped_fail.cpp compiled clean: thread-safety analysis is "
+      "not catching a dropped guard — the annotation gate is dead")
+endif()
+if(NOT bad_err MATCHES "thread-safety|guarded_by|guarded by")
+  message(FATAL_ERROR
+      "guard_dropped_fail.cpp failed for the wrong reason:\n${bad_err}")
+endif()
+
+message(STATUS "thread-safety smoke: gate accepts good code, rejects "
+        "a dropped guard")

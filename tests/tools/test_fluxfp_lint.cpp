@@ -5,6 +5,7 @@
 // exact `file:line: rule` output and exit codes.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <array>
 #include <cstdio>
@@ -291,7 +292,7 @@ TEST(NoRawSockets, MemberCallsAndQualifiedNamesAreClean) {
 TEST(Cli, WholeFixtureTreeReportsEveryViolation) {
   const RunResult r = run_lint(fixture_args("src"));
   EXPECT_EQ(r.exit_code, kViolations) << r.output;
-  EXPECT_NE(r.output.find("24 violations"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("34 violations"), std::string::npos) << r.output;
 }
 
 TEST(Cli, RuleFilterNarrowsFindings) {
@@ -303,15 +304,30 @@ TEST(Cli, RuleFilterNarrowsFindings) {
   EXPECT_EQ(r.output.find("no-nan-compare:"), std::string::npos) << r.output;
 }
 
-TEST(Cli, ListRulesNamesAllSeven) {
+TEST(Cli, ListRulesNamesAllTen) {
   const RunResult r = run_lint("--list-rules");
   EXPECT_EQ(r.exit_code, kClean) << r.output;
   for (const char* rule :
        {"no-nan-compare", "no-nondeterminism", "no-raw-thread",
         "pool-serial-guard", "include-hygiene", "no-raw-intrinsics",
-        "no-raw-sockets"}) {
+        "no-raw-sockets", "guarded-member", "lock-order",
+        "atomics-policy"}) {
     EXPECT_NE(r.output.find(rule), std::string::npos) << r.output;
   }
+}
+
+TEST(Cli, ExpectSuppressionsFailsOnDriftEitherWay) {
+  // The fixture has exactly one exercised suppression; expecting two must
+  // fail even though two is ABOVE the actual count (drift, not budget).
+  const RunResult drift = run_lint(
+      fixture_args("--expect-suppressions 2 src/core/nan_compare_ok.cpp"));
+  EXPECT_EQ(drift.exit_code, kViolations) << drift.output;
+  EXPECT_NE(drift.output.find("suppression tally drifted"),
+            std::string::npos)
+      << drift.output;
+  const RunResult exact = run_lint(
+      fixture_args("--expect-suppressions 1 src/core/nan_compare_ok.cpp"));
+  EXPECT_EQ(exact.exit_code, kClean) << exact.output;
 }
 
 TEST(Cli, MissingPathExitsUsage) {
@@ -322,6 +338,163 @@ TEST(Cli, MissingPathExitsUsage) {
 TEST(Cli, UnknownRuleExitsUsage) {
   const RunResult r = run_lint(fixture_args("--rule no-such-rule src"));
   EXPECT_EQ(r.exit_code, kUsage) << r.output;
+}
+
+// ---------------------------------------------------------------------------
+// guarded-member
+// ---------------------------------------------------------------------------
+
+TEST(GuardedMember, FlagsUnannotatedWriteAndBareGuardedRead) {
+  const RunResult r =
+      run_lint(fixture_args("src/stream/guarded_member_bad.cpp"));
+  EXPECT_EQ(r.exit_code, kViolations) << r.output;
+  // ++hits_ under mu_ with no FLUXFP_GUARDED_BY on the declaration.
+  EXPECT_TRUE(has_line_starting(
+      r, "src/stream/guarded_member_bad.cpp:14: guarded-member:"))
+      << r.output;
+  // total_ is guarded but read with no lock held.
+  EXPECT_TRUE(has_line_starting(
+      r, "src/stream/guarded_member_bad.cpp:18: guarded-member:"))
+      << r.output;
+}
+
+TEST(GuardedMember, AnnotatedAccessRequiresHelperAndAllowAreClean) {
+  const RunResult r =
+      run_lint(fixture_args("src/stream/guarded_member_ok.cpp"));
+  EXPECT_EQ(r.exit_code, kClean) << r.output;
+  EXPECT_NE(r.output.find("1 suppressions (guarded-member x1)"),
+            std::string::npos)
+      << r.output;
+}
+
+// ---------------------------------------------------------------------------
+// atomics-policy
+// ---------------------------------------------------------------------------
+
+TEST(AtomicsPolicy, FlagsOrderingMixingAndImplicitSeqCst) {
+  const RunResult r = run_lint(fixture_args("src/stream/atomics_bad.cpp"));
+  EXPECT_EQ(r.exit_code, kViolations) << r.output;
+  const char* expected[] = {
+      "src/stream/atomics_bad.cpp:13: atomics-policy:",  // release order
+      "src/stream/atomics_bad.cpp:17: atomics-policy:",  // implicit ++
+      "src/stream/atomics_bad.cpp:23: atomics-policy:",  // flag_ + mutex
+      "src/stream/atomics_bad.cpp:24: atomics-policy:",  // ticks_ + mutex
+  };
+  for (const char* prefix : expected) {
+    EXPECT_TRUE(has_line_starting(r, prefix)) << prefix << "\n" << r.output;
+  }
+}
+
+TEST(AtomicsPolicy, RelaxedOnlyAndJustifiedMixAreClean) {
+  const RunResult r = run_lint(fixture_args("src/stream/atomics_ok.cpp"));
+  EXPECT_EQ(r.exit_code, kClean) << r.output;
+  EXPECT_NE(r.output.find("1 suppressions (atomics-policy x1)"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(AtomicsPolicy, ObsDirectoryIsSanctionedForAcquireRelease) {
+  const RunResult r =
+      run_lint(fixture_args("src/obs/atomics_sanctioned_ok.cpp"));
+  EXPECT_EQ(r.exit_code, kClean) << r.output;
+}
+
+// ---------------------------------------------------------------------------
+// lock-order
+// ---------------------------------------------------------------------------
+
+TEST(LockOrder, FlagsPinnedRankInversionAndCycle) {
+  const RunResult r = run_lint(fixture_args("src/stream/lock_order_bad.cpp"));
+  EXPECT_EQ(r.exit_code, kViolations) << r.output;
+  // queue -> conns runs backwards through the canonical order.
+  EXPECT_TRUE(has_line_starting(
+      r, "src/stream/lock_order_bad.cpp:21: lock-order:"))
+      << r.output;
+  // Both edges of the ping/pong cycle are reported.
+  EXPECT_TRUE(has_line_starting(
+      r, "src/stream/lock_order_bad.cpp:42: lock-order:"))
+      << r.output;
+  EXPECT_TRUE(has_line_starting(
+      r, "src/stream/lock_order_bad.cpp:51: lock-order:"))
+      << r.output;
+  EXPECT_NE(r.output.find("acquisition cycle"), std::string::npos)
+      << r.output;
+}
+
+TEST(LockOrder, ForwardNestingIsCleanAndBackEdgeAllowIsTallied) {
+  const RunResult r = run_lint(fixture_args("src/stream/lock_order_ok.cpp"));
+  EXPECT_EQ(r.exit_code, kClean) << r.output;
+  EXPECT_NE(r.output.find("1 suppressions (lock-order x1)"),
+            std::string::npos)
+      << r.output;
+}
+
+// ---------------------------------------------------------------------------
+// lexer regressions
+// ---------------------------------------------------------------------------
+
+TEST(Lexer, LineNumbersSurviveRawStringsSplicesAndSeparators) {
+  // The fixture stacks prefixed raw strings (incl. a fake `)"` closer and
+  // a multi-line body), a line splice inside a literal, and digit
+  // separators above a single violation: the finding must land on its
+  // exact line, and nothing above it may be flagged.
+  const RunResult r =
+      run_lint(fixture_args("src/core/lexer_tricky_bad.cpp"));
+  EXPECT_EQ(r.exit_code, kViolations) << r.output;
+  EXPECT_TRUE(has_line_starting(
+      r, "src/core/lexer_tricky_bad.cpp:31: no-nan-compare:"))
+      << r.output;
+  EXPECT_NE(r.output.find("1 violations"), std::string::npos) << r.output;
+}
+
+TEST(Lexer, RawStringOpenerAtEofDoesNotCrash) {
+  const RunResult r =
+      run_lint(fixture_args("src/core/lexer_unterminated_ok.cpp"));
+  EXPECT_EQ(r.exit_code, kClean) << r.output;
+}
+
+// ---------------------------------------------------------------------------
+// incremental cache
+// ---------------------------------------------------------------------------
+
+TEST(Cache, SecondRunIsByteIdenticalAndPopulatesCacheFile) {
+  const std::string cache_path =
+      std::string(::testing::TempDir()) + "fluxfp_lint_cache_test_" +
+      std::to_string(::getpid());
+  std::remove(cache_path.c_str());
+  const std::string args =
+      fixture_args("--cache-file " + cache_path + " src");
+  const RunResult cold = run_lint(args);
+  const RunResult warm = run_lint(args);
+  EXPECT_EQ(cold.exit_code, kViolations) << cold.output;
+  EXPECT_EQ(warm.exit_code, cold.exit_code);
+  EXPECT_EQ(warm.output, cold.output)
+      << "cache hit must reproduce the cold run byte for byte";
+  FILE* f = std::fopen(cache_path.c_str(), "r");
+  ASSERT_NE(f, nullptr) << "cache file was not written";
+  std::fclose(f);
+  // A poisoned cache must be ignored, not trusted.
+  f = std::fopen(cache_path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a cache\n", f);
+  std::fclose(f);
+  const RunResult repaired = run_lint(args);
+  EXPECT_EQ(repaired.output, cold.output) << repaired.output;
+  std::remove(cache_path.c_str());
+}
+
+TEST(Cache, NoCacheFlagMatchesCachedOutput) {
+  const RunResult uncached = run_lint(fixture_args("--no-cache src"));
+  const std::string cache_path =
+      std::string(::testing::TempDir()) + "fluxfp_lint_nocache_test_" +
+      std::to_string(::getpid());
+  std::remove(cache_path.c_str());
+  const std::string args =
+      fixture_args("--cache-file " + cache_path + " src");
+  run_lint(args);  // populate
+  const RunResult warm = run_lint(args);
+  EXPECT_EQ(warm.output, uncached.output);
+  std::remove(cache_path.c_str());
 }
 
 }  // namespace

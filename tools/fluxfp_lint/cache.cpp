@@ -1,0 +1,188 @@
+#include "cache.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace fluxfp::lint {
+
+namespace {
+
+/// Bump whenever a rule's behavior or the cached format changes: stale
+/// results must miss, not deserialize into wrong output.
+constexpr const char* kCacheHeader = "fluxfp-lint-cache v1 rules-10";
+
+void fnv_bytes(std::uint64_t& h, const std::string& s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  // Length terminator so {"ab","c"} and {"a","bc"} hash differently.
+  h ^= 0xFFu;
+  h *= 1099511628211ULL;
+}
+
+void fnv_int(std::uint64_t& h, long long v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= static_cast<unsigned char>(v >> (i * 8));
+    h *= 1099511628211ULL;
+  }
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(const std::string& bytes, std::uint64_t seed) {
+  std::uint64_t h = seed == 0 ? 1469598103934665603ULL : seed;
+  fnv_bytes(h, bytes);
+  return h;
+}
+
+std::uint64_t file_content_key(const LexedFile& file) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const Token& t : file.tokens) {
+    fnv_int(h, static_cast<int>(t.kind));
+    fnv_bytes(h, t.text);
+    fnv_int(h, t.line);
+  }
+  for (const auto& [line, rules] : file.allows) {
+    fnv_int(h, line);
+    for (const std::string& r : rules) {
+      fnv_bytes(h, r);
+    }
+  }
+  return h;
+}
+
+std::uint64_t context_digest(const GlobalCtx& ctx) {
+  std::uint64_t h = 1469598103934665603ULL;
+  fnv_bytes(h, kCacheHeader);
+  for (const std::string& n : ctx.unordered_names) {
+    fnv_bytes(h, n);
+  }
+  for (const auto& [name, model] : ctx.classes) {
+    fnv_bytes(h, name);
+    for (const std::string& m : model.mutexes) {
+      fnv_bytes(h, m);
+    }
+    for (const auto& [member, mutex] : model.guarded) {
+      fnv_bytes(h, member);
+      fnv_bytes(h, mutex);
+    }
+    // Atomic declaration *sites* are excluded: a line shift in the
+    // declaring file already changes that file's own content key, and
+    // no other file's findings depend on the position.
+    for (const auto& [member, site] : model.atomics) {
+      fnv_bytes(h, member);
+    }
+    for (const std::string& m : model.members) {
+      fnv_bytes(h, m);
+    }
+  }
+  for (const auto& [fn, mutexes] : ctx.fn_requires) {
+    fnv_bytes(h, fn);
+    for (const std::string& m : mutexes) {
+      fnv_bytes(h, m);
+    }
+  }
+  return h;
+}
+
+bool LintCache::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kCacheHeader) {
+    return false;
+  }
+  while (std::getline(in, line)) {
+    // Entry header: "E <hex-key>".
+    if (line.size() < 3 || line[0] != 'E' || line[1] != ' ') {
+      return false;  // corrupt tail: keep what parsed so far
+    }
+    std::uint64_t key = 0;
+    try {
+      key = std::stoull(line.substr(2), nullptr, 16);
+    } catch (...) {
+      return false;
+    }
+    CachedFileResult result;
+    bool closed = false;
+    while (std::getline(in, line)) {
+      if (line == ".") {
+        closed = true;
+        break;
+      }
+      if (line.size() >= 2 && line[0] == 'V' && line[1] == ' ') {
+        // "V <line> <rule> <message...>"
+        std::istringstream ss(line.substr(2));
+        CachedFileResult::Finding fnd;
+        if (!(ss >> fnd.line >> fnd.rule)) {
+          return false;
+        }
+        std::getline(ss, fnd.message);
+        if (!fnd.message.empty() && fnd.message.front() == ' ') {
+          fnd.message.erase(0, 1);
+        }
+        result.findings.push_back(std::move(fnd));
+      } else if (line.size() >= 2 && line[0] == 'S' && line[1] == ' ') {
+        // "S <count> <rule>"
+        std::istringstream ss(line.substr(2));
+        int count = 0;
+        std::string rule;
+        if (!(ss >> count >> rule)) {
+          return false;
+        }
+        result.used[rule] = count;
+      } else {
+        return false;
+      }
+    }
+    if (!closed) {
+      return false;  // truncated entry: drop it
+    }
+    entries_[key] = std::move(result);
+  }
+  return true;
+}
+
+bool LintCache::save(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    out << kCacheHeader << '\n';
+    for (const auto& [key, result] : entries_) {
+      char keybuf[32];
+      std::snprintf(keybuf, sizeof(keybuf), "%016llx",
+                    static_cast<unsigned long long>(key));
+      out << "E " << keybuf << '\n';
+      for (const auto& fnd : result.findings) {
+        out << "V " << fnd.line << ' ' << fnd.rule << ' ' << fnd.message
+            << '\n';
+      }
+      for (const auto& [rule, count] : result.used) {
+        out << "S " << count << ' ' << rule << '\n';
+      }
+      out << ".\n";
+    }
+    if (!out) {
+      return false;
+    }
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+const CachedFileResult* LintCache::lookup(std::uint64_t key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void LintCache::store(std::uint64_t key, CachedFileResult result) {
+  entries_[key] = std::move(result);
+}
+
+}  // namespace fluxfp::lint

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "rules.hpp"
+
+namespace fluxfp::lint {
+
+/// The per-file result of check_file, as stored in the cache. Violations
+/// are kept pathless: the key is pure content, so identical files at two
+/// paths legitimately share an entry and the caller re-attaches its own
+/// display path.
+struct CachedFileResult {
+  struct Finding {
+    int line = 0;
+    std::string rule;
+    std::string message;
+  };
+  std::vector<Finding> findings;
+  SuppressionTally used;
+};
+
+/// FNV-1a 64-bit over a byte string. The cache key; not cryptographic,
+/// just stable and collision-resistant enough for a lint cache.
+std::uint64_t fnv1a(const std::string& bytes, std::uint64_t seed = 0);
+
+/// Content key of one lexed file: every token (kind, text, line) plus the
+/// suppression table. Line numbers are included on purpose — findings
+/// carry them, so a pure-whitespace shift must miss the cache.
+std::uint64_t file_content_key(const LexedFile& file);
+
+/// Digest of the cross-file context a cached per-file result depends on:
+/// class models (structure only, no source positions), FLUXFP_REQUIRES
+/// tables, unordered-container names, and the rule-set version. The lock
+/// graph is deliberately excluded — lock-order is a global rule computed
+/// fresh every run and never cached.
+std::uint64_t context_digest(const GlobalCtx& ctx);
+
+/// On-disk cache: `fluxfp-lint-cache v1` header, one block per entry.
+/// Load tolerates a missing, truncated, or corrupt file by returning an
+/// empty (or partially read) cache — the cache is an accelerator, never a
+/// source of truth.
+class LintCache {
+ public:
+  /// Reads `path`. Returns false (empty cache) when unreadable or when
+  /// the header/version does not match.
+  bool load(const std::string& path);
+
+  /// Writes atomically (temp file + rename). Returns false on I/O errors,
+  /// which callers are expected to ignore.
+  bool save(const std::string& path) const;
+
+  const CachedFileResult* lookup(std::uint64_t key) const;
+  void store(std::uint64_t key, CachedFileResult result);
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::uint64_t, CachedFileResult> entries_;
+};
+
+}  // namespace fluxfp::lint

@@ -152,26 +152,57 @@ LexedFile lex(const std::string& path, const std::string& text) {
       out.tokens.push_back(Token{TokKind::kPreproc, directive, start_line});
       continue;
     }
-    // Raw string literal R"delim( ... )delim".
-    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
-      std::size_t j = i + 2;
-      std::string delim;
-      while (j < n && text[j] != '(') {
-        delim += text[j++];
-      }
-      const std::string closer = ")" + delim + "\"";
-      const std::size_t end = text.find(closer, j);
-      std::string body = text.substr(j + 1, end == std::string::npos
-                                                ? std::string::npos
-                                                : end - j - 1);
-      push(TokKind::kString, body);
-      for (char b : body) {
-        if (b == '\n') {
-          ++line;
+    // Raw string literal R"delim( ... )delim", with optional encoding
+    // prefix (LR, uR, UR, u8R). The delimiter is validated per the
+    // grammar (<= 16 chars, no space/paren/backslash/quote); a malformed
+    // opener — including `R"` at EOF — falls through to the ordinary
+    // ident/string paths instead of crashing or mis-lexing.
+    {
+      std::size_t r = std::string::npos;  // index of the 'R' in R"
+      if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+        r = i;
+      } else if (c == 'L' || c == 'u' || c == 'U') {
+        std::size_t q = i + 1;
+        if (c == 'u' && q < n && text[q] == '8') {
+          ++q;
+        }
+        if (q + 1 < n && text[q] == 'R' && text[q + 1] == '"') {
+          r = q;
         }
       }
-      i = (end == std::string::npos) ? n : end + closer.size();
-      continue;
+      if (r != std::string::npos) {
+        std::size_t j = r + 2;
+        std::string delim;
+        bool ok = true;
+        while (j < n && text[j] != '(') {
+          const char d = text[j];
+          if (delim.size() >= 16 || d == ')' || d == '\\' || d == '"' ||
+              std::isspace(static_cast<unsigned char>(d))) {
+            ok = false;
+            break;
+          }
+          delim += d;
+          ++j;
+        }
+        if (j >= n) {
+          ok = false;  // opener never closed with '('
+        }
+        if (ok) {
+          const std::string closer = ")" + delim + "\"";
+          const std::size_t end = text.find(closer, j + 1);
+          std::string body =
+              text.substr(j + 1, end == std::string::npos ? std::string::npos
+                                                          : end - j - 1);
+          push(TokKind::kString, body);
+          for (char b : body) {
+            if (b == '\n') {
+              ++line;
+            }
+          }
+          i = (end == std::string::npos) ? n : end + closer.size();
+          continue;
+        }
+      }
     }
     // String / char literals.
     if (c == '"' || c == '\'') {
@@ -180,6 +211,9 @@ LexedFile lex(const std::string& path, const std::string& text) {
       ++i;
       while (i < n && text[i] != quote) {
         if (text[i] == '\\' && i + 1 < n) {
+          if (text[i + 1] == '\n') {
+            ++line;  // line splice inside the literal
+          }
           body += text[i];
           body += text[i + 1];
           i += 2;

@@ -18,11 +18,28 @@
 //                      by the lint_include_hygiene CMake target)
 //   no-raw-sockets     BSD socket headers/syscalls only in src/netio/ —
 //                      everything else goes through netio::Socket/Listener
+//   guarded-member     in classes that own a mutex, members written under a
+//                      lock must be declared FLUXFP_GUARDED_BY, and guarded
+//                      members are never touched without their guard held
+//   lock-order         the cross-file lock-acquisition graph must be acyclic
+//                      and follow the canonical order pinned in DESIGN.md
+//                      (conns -> ingest -> flow -> queue -> pool -> registry)
+//   atomics-policy     non-relaxed memory orders only in src/obs/ and
+//                      src/support/; no implicit-seq_cst ops on modeled
+//                      atomic members; no atomic member mixed with a mutex
+//                      in one class without an inline justification
 //
 // Violations print `file:line: rule: message` and exit 1. Intended
 // exceptions carry `// fluxfp-lint: allow(rule) -- why` inline; every
-// suppression is tallied in the budget report and --suppression-budget N
-// fails the run if the total grows past N.
+// suppression is tallied in the budget report, --suppression-budget N
+// fails the run if the total grows past N, and --expect-suppressions N
+// fails it when the tally drifts from N in either direction.
+//
+// Per-file results are cached by content hash (<root>/build/.fluxfp_lint_cache
+// when that build directory exists; --cache-file overrides, --no-cache
+// disables). Only per-file findings are cached — the lock-order rule is
+// global and recomputed every run — and cached output is byte-identical
+// to a cold run.
 
 #include <algorithm>
 #include <cstring>
@@ -31,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "cache.hpp"
 #include "lexer.hpp"
 #include "rules.hpp"
 
@@ -62,7 +80,10 @@ std::string to_display(const fs::path& p, const fs::path& root) {
 
 void usage(std::ostream& os) {
   os << "usage: fluxfp_lint [--root DIR] [--rule NAME]... "
-        "[--suppression-budget N] [--list-rules] PATH...\n"
+        "[--suppression-budget N]\n"
+        "                   [--expect-suppressions N] [--cache-file PATH] "
+        "[--no-cache]\n"
+        "                   [--list-rules] PATH...\n"
         "Paths are files or directories, resolved relative to --root "
         "(default: cwd).\n";
 }
@@ -74,6 +95,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> inputs;
   std::vector<std::string> only_rules;
   long suppression_budget = -1;
+  long expect_suppressions = -1;
+  bool use_cache = true;
+  std::string cache_file;  // empty = default under <root>/build when present
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -83,6 +107,12 @@ int main(int argc, char** argv) {
       only_rules.push_back(argv[++i]);
     } else if (arg == "--suppression-budget" && i + 1 < argc) {
       suppression_budget = std::strtol(argv[++i], nullptr, 10);
+    } else if (arg == "--expect-suppressions" && i + 1 < argc) {
+      expect_suppressions = std::strtol(argv[++i], nullptr, 10);
+    } else if (arg == "--cache-file" && i + 1 < argc) {
+      cache_file = argv[++i];
+    } else if (arg == "--no-cache") {
+      use_cache = false;
     } else if (arg == "--list-rules") {
       for (const std::string& r : rule_names()) {
         std::cout << r << '\n';
@@ -141,7 +171,8 @@ int main(int argc, char** argv) {
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  // Pass 1: lex everything and harvest cross-file declarations.
+  // Pass 1: lex everything and harvest cross-file declarations (unordered
+  // containers, class concurrency models, FLUXFP_REQUIRES tables).
   std::vector<LexedFile> lexed;
   lexed.reserve(files.size());
   GlobalCtx ctx;
@@ -155,12 +186,79 @@ int main(int argc, char** argv) {
     collect_declarations(lexed.back(), ctx);
   }
 
-  // Pass 2: rules.
+  // Pass 2: lock-scope walk over every function body, building the global
+  // acquisition graph. Needs every class model, so it cannot fold into
+  // pass 1; feeds a global rule, so it runs on every file every time and
+  // is never cached.
+  for (const LexedFile& f : lexed) {
+    collect_lock_graph(f, ctx);
+  }
+
+  // Cache setup. The default location lives inside the build tree and is
+  // only used when that directory already exists — the linter never
+  // plants a build/ directory into a checkout on its own.
+  LintCache cache;
+  if (use_cache && cache_file.empty()) {
+    const fs::path candidate = root / "build";
+    std::error_code ec;
+    if (fs::is_directory(candidate, ec)) {
+      cache_file = (candidate / ".fluxfp_lint_cache").string();
+    } else {
+      use_cache = false;
+    }
+  }
+  if (use_cache) {
+    cache.load(cache_file);  // missing/corrupt cache = cold cache
+  }
+  const std::uint64_t ctx_digest = context_digest(ctx);
+
+  // Pass 3: per-file rules, cached by (content, context) key.
   std::vector<Violation> violations;
   SuppressionTally used;
+  bool cache_dirty = false;
   for (const LexedFile& f : lexed) {
-    check_file(f, ctx, violations, used);
+    const std::uint64_t key =
+        fnv1a(std::to_string(ctx_digest), file_content_key(f));
+    if (use_cache) {
+      if (const CachedFileResult* hit = cache.lookup(key)) {
+        for (const auto& fnd : hit->findings) {
+          violations.push_back(
+              Violation{f.path, fnd.line, fnd.rule, fnd.message});
+        }
+        for (const auto& [rule, count] : hit->used) {
+          used[rule] += count;
+        }
+        continue;
+      }
+    }
+    std::vector<Violation> file_violations;
+    SuppressionTally file_used;
+    check_file(f, ctx, file_violations, file_used);
+    if (use_cache) {
+      CachedFileResult entry;
+      for (const Violation& v : file_violations) {
+        entry.findings.push_back(
+            CachedFileResult::Finding{v.line, v.rule, v.message});
+      }
+      entry.used = file_used;
+      cache.store(key, std::move(entry));
+      cache_dirty = true;
+    }
+    for (Violation& v : file_violations) {
+      violations.push_back(std::move(v));
+    }
+    for (const auto& [rule, count] : file_used) {
+      used[rule] += count;
+    }
   }
+  if (use_cache && cache_dirty) {
+    cache.save(cache_file);  // best effort; a failed save costs a re-lint
+  }
+
+  // Global rules: lock-order over the graph pass 2 built. Runs before the
+  // --rule filter so `--rule lock-order` works like any other rule.
+  check_global(ctx, violations, used);
+
   if (!only_rules.empty()) {
     violations.erase(
         std::remove_if(violations.begin(), violations.end(),
@@ -178,8 +276,18 @@ int main(int argc, char** argv) {
               if (a.line != b.line) {
                 return a.line < b.line;
               }
-              return a.rule < b.rule;
+              if (a.rule != b.rule) {
+                return a.rule < b.rule;
+              }
+              return a.message < b.message;
             });
+  violations.erase(
+      std::unique(violations.begin(), violations.end(),
+                  [](const Violation& a, const Violation& b) {
+                    return a.path == b.path && a.line == b.line &&
+                           a.rule == b.rule && a.message == b.message;
+                  }),
+      violations.end());
   for (const Violation& v : violations) {
     std::cout << v.path << ':' << v.line << ": " << v.rule << ": "
               << v.message << '\n';
@@ -199,10 +307,21 @@ int main(int argc, char** argv) {
             << violations.size() << " violations, " << total_suppressed
             << " suppressions"
             << (detail.empty() ? std::string() : " (" + detail + ")") << '\n';
+  bool tally_failed = false;
   if (suppression_budget >= 0 && total_suppressed > suppression_budget) {
     std::cout << "fluxfp-lint: suppression budget exceeded ("
               << total_suppressed << " > " << suppression_budget
               << "); trim allows or raise --suppression-budget\n";
+    tally_failed = true;
+  }
+  if (expect_suppressions >= 0 && total_suppressed != expect_suppressions) {
+    std::cout << "fluxfp-lint: suppression tally drifted (" << total_suppressed
+              << " != expected " << expect_suppressions
+              << "); audit the changed allows, then update "
+                 "FLUXFP_LINT_SUPPRESSION_EXPECTED\n";
+    tally_failed = true;
+  }
+  if (tally_failed) {
     return kExitViolations;
   }
   return violations.empty() ? kExitClean : kExitViolations;

@@ -627,11 +627,16 @@ const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kNames = {
       "no-nan-compare",   "no-nondeterminism", "no-raw-thread",
       "pool-serial-guard", "include-hygiene",  "no-raw-intrinsics",
-      "no-raw-sockets"};
+      "no-raw-sockets",   "guarded-member",    "lock-order",
+      "atomics-policy"};
   return kNames;
 }
 
 void collect_declarations(const LexedFile& file, GlobalCtx& ctx) {
+  // Class concurrency models, FLUXFP_REQUIRES tables, and the per-file
+  // suppression tables the global rules need (concurrency.cpp).
+  collect_concurrency_decls(file, ctx);
+
   const auto& toks = file.tokens;
   for (std::size_t i = 0; i < toks.size(); ++i) {
     if (!is_unordered_container(toks[i])) {
@@ -663,6 +668,11 @@ void check_file(const LexedFile& file, const GlobalCtx& ctx,
   rule_include_hygiene(file, r);
   rule_no_raw_intrinsics(file, r);
   rule_no_raw_sockets(file, r);
+  // guarded-member + atomics-policy (concurrency.cpp); routed through the
+  // same Reporter so inline allows and the budget apply uniformly.
+  for (Violation& v : concurrency_file_findings(file, ctx)) {
+    r.report(v.line, v.rule, std::move(v.message));
+  }
 }
 
 }  // namespace fluxfp::lint
