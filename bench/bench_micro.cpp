@@ -11,6 +11,8 @@
 
 #include "core/localizer.hpp"
 #include "core/nls.hpp"
+#include "core/passive_trace_model.hpp"
+#include "core/rss_link_model.hpp"
 #include "core/smc.hpp"
 #include "eval/experiment.hpp"
 #include "net/deployment.hpp"
@@ -238,6 +240,53 @@ void BM_ShapeColumns(benchmark::State& state) {
                           static_cast<int64_t>(batch));
 }
 BENCHMARK(BM_ShapeColumns)->Arg(1000)->Arg(10000);
+
+// The same batched ColumnBlock build through the other two observation
+// backends — shows the virtual-dispatch-at-column-granularity seam keeps
+// every model on the SIMD row kernels (per-column dispatch, per-element
+// vector math).
+core::SparseObjective make_model_objective(const core::ObservationModel& m,
+                                           std::size_t n_sites) {
+  geom::Rng rng(2);
+  std::vector<core::Site> sites;
+  for (std::size_t i = 0; i < n_sites; ++i) {
+    const geom::Vec2 a = geom::uniform_in_field(field(), rng);
+    const geom::Vec2 b = m.sites_are_links()
+                             ? geom::uniform_in_field(field(), rng)
+                             : a;
+    sites.push_back(core::Site{a, b});
+  }
+  std::vector<double> readings(n_sites, 1.0);
+  return core::SparseObjective(m, std::move(sites), std::move(readings));
+}
+
+template <typename Model>
+void shape_columns_model(benchmark::State& state, const Model& model) {
+  const core::SparseObjective obj = make_model_objective(model, 90);
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  geom::Rng rng(13);
+  std::vector<geom::Vec2> sinks(batch);
+  for (geom::Vec2& s : sinks) {
+    s = geom::uniform_in_field(field(), rng);
+  }
+  core::ColumnBlock block;
+  for (auto _ : state) {
+    obj.shape_columns(sinks, block);
+    benchmark::DoNotOptimize(block.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+
+void BM_ShapeColumnsRss(benchmark::State& state) {
+  shape_columns_model(state, core::RssLinkModel(1.0, 0.05));
+}
+BENCHMARK(BM_ShapeColumnsRss)->Arg(1000)->Arg(10000);
+
+void BM_ShapeColumnsPassive(benchmark::State& state) {
+  shape_columns_model(state, core::PassiveTraceModel(4.0));
+}
+BENCHMARK(BM_ShapeColumnsPassive)->Arg(1000)->Arg(10000);
 
 // One full SMC round (2 users, default 1000 predictions) at 1/2/4/8 worker
 // threads. Output is bit-identical across the thread counts (all RNG stays

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
+#include "core/observation_model.hpp"
 #include "geom/field.hpp"
 #include "geom/vec2.hpp"
 
@@ -24,7 +26,12 @@ enum class FieldKind { kGeneric, kRect, kCircle };
 /// immediate neighbors), so predictions clamp d at `d_min` — typically the
 /// average hop length. The paper's own accuracy analysis (Fig. 3(b))
 /// likewise excludes the innermost hops.
-class FluxModel {
+///
+/// FluxModel is the reference ObservationModel backend (ModelId::kFlux):
+/// site_shape/site_shape_row forward to the legacy shape/shape_row on the
+/// point endpoint site.a, so the polymorphic path is bit-identical to the
+/// pre-interface tree.
+class FluxModel final : public ObservationModel {
  public:
   /// `d_min` > 0 is the distance clamp. The field reference must outlive
   /// the model.
@@ -58,6 +65,22 @@ class FluxModel {
   /// Discrete-model flux (Eq. 3.4): (s/r) * shape.
   double discrete_flux(geom::Vec2 sink, geom::Vec2 node, double s,
                        double r) const;
+
+  // ObservationModel backend: point sites, site.a is the sniffer position.
+  ModelId id() const override { return ModelId::kFlux; }
+  std::unique_ptr<ObservationModel> clone() const override {
+    return std::make_unique<FluxModel>(*this);
+  }
+  const char* stretch_unit() const override {
+    return "traffic rate over hop length (s/r)";
+  }
+  double site_shape(geom::Vec2 sink, const Site& site) const override {
+    return shape(sink, site.a);
+  }
+  bool site_shape_row(geom::Vec2 sink, const SiteRows& sites, std::size_t n,
+                      double* out) const override {
+    return shape_row(sink, sites.ax, sites.ay, n, out);
+  }
 
   const geom::Field& field() const { return *field_; }
   double d_min() const { return d_min_; }

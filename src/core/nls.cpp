@@ -81,19 +81,55 @@ void robust_weights(std::span<const double> residuals,
 #endif
 }
 
-SparseObjective::SparseObjective(const FluxModel& model,
+SparseObjective::SparseObjective(const ObservationModel& model,
                                  std::vector<geom::Vec2> sample_positions,
                                  std::vector<double> measured)
     : SparseObjective(model, std::move(sample_positions), std::move(measured),
                       std::vector<bool>()) {}
 
-SparseObjective::SparseObjective(const FluxModel& model,
+SparseObjective::SparseObjective(const ObservationModel& model,
                                  std::vector<geom::Vec2> sample_positions,
                                  std::vector<double> measured,
                                  const std::vector<bool>& valid)
-    : model_(model),
+    : model_(model.clone()),
       sample_positions_(std::move(sample_positions)),
+      // Point sites: both endpoints at the sniffer position.
+      positions_b_(sample_positions_),
       measured_(std::move(measured)) {
+  compact(valid);
+}
+
+SparseObjective::SparseObjective(const ObservationModel& model,
+                                 std::vector<Site> sites,
+                                 std::vector<double> measured)
+    : SparseObjective(model.clone(), std::move(sites), std::move(measured),
+                      std::vector<bool>()) {}
+
+SparseObjective::SparseObjective(const ObservationModel& model,
+                                 std::vector<Site> sites,
+                                 std::vector<double> measured,
+                                 const std::vector<bool>& valid)
+    : SparseObjective(model.clone(), std::move(sites), std::move(measured),
+                      valid) {}
+
+SparseObjective::SparseObjective(std::shared_ptr<const ObservationModel> model,
+                                 std::vector<Site> sites,
+                                 std::vector<double> measured,
+                                 const std::vector<bool>& valid)
+    : model_(std::move(model)), measured_(std::move(measured)) {
+  if (!model_) {
+    throw std::invalid_argument("SparseObjective: null model");
+  }
+  sample_positions_.reserve(sites.size());
+  positions_b_.reserve(sites.size());
+  for (const Site& s : sites) {
+    sample_positions_.push_back(s.a);
+    positions_b_.push_back(s.b);
+  }
+  compact(valid);
+}
+
+void SparseObjective::compact(const std::vector<bool>& valid) {
   if (sample_positions_.empty() ||
       sample_positions_.size() != measured_.size() ||
       (!valid.empty() && valid.size() != measured_.size())) {
@@ -101,10 +137,15 @@ SparseObjective::SparseObjective(const FluxModel& model,
         "SparseObjective: samples empty or size mismatch");
   }
   // Compact to live samples: masked-out or missing readings carry no
-  // evidence and are excluded from the fit entirely. A repeated sample
-  // position (the same sniffer reported twice in one snapshot — routine in
-  // the streaming runtime, where transports duplicate reports) keeps the
-  // LATEST live reading rather than double-counting the row.
+  // evidence and are excluded from the fit entirely. A repeated site (the
+  // same sniffer — or the same link, BOTH endpoints equal — reported twice
+  // in one snapshot; routine in the streaming runtime, where transports
+  // duplicate reports) keeps the LATEST live reading rather than
+  // double-counting the row. "Latest" is pinned by arrival order: the
+  // ascending-index scan overwrites the surviving row with every later
+  // duplicate it meets, so the tie-break at equal timestamps is
+  // last-arrival wins, index-ordered — independent of thread count, which
+  // never reorders the input vector.
   std::size_t live = 0;
   for (std::size_t i = 0; i < measured_.size(); ++i) {
     const bool ok =
@@ -115,7 +156,9 @@ SparseObjective::SparseObjective(const FluxModel& model,
     bool duplicate = false;
     for (std::size_t j = 0; j < live; ++j) {
       if (sample_positions_[j].x == sample_positions_[i].x &&
-          sample_positions_[j].y == sample_positions_[i].y) {
+          sample_positions_[j].y == sample_positions_[i].y &&
+          positions_b_[j].x == positions_b_[i].x &&
+          positions_b_[j].y == positions_b_[i].y) {
         measured_[j] = measured_[i];
         duplicate = true;
         break;
@@ -125,20 +168,26 @@ SparseObjective::SparseObjective(const FluxModel& model,
       continue;
     }
     sample_positions_[live] = sample_positions_[i];
+    positions_b_[live] = positions_b_[i];
     measured_[live] = measured_[i];
     ++live;
   }
   masked_count_ = measured_.size() - live;
   sample_positions_.resize(live);
+  positions_b_.resize(live);
   measured_.resize(live);
   measured_norm_ = numeric::norm(measured_);
   // Structure-of-arrays coordinate rows for the SIMD shape kernels, built
-  // once per objective over the compacted live samples.
+  // once per objective over the compacted live sites.
   qx_.resize(live);
   qy_.resize(live);
+  bx_.resize(live);
+  by_.resize(live);
   for (std::size_t i = 0; i < live; ++i) {
     qx_[i] = sample_positions_[i].x;
     qy_[i] = sample_positions_[i].y;
+    bx_[i] = positions_b_[i].x;
+    by_[i] = positions_b_[i].y;
   }
 }
 
@@ -157,14 +206,18 @@ void SparseObjective::shape_column(geom::Vec2 sink,
 void SparseObjective::shape_column_into(geom::Vec2 sink,
                                         std::span<double> out) const {
   const std::size_t n = sample_positions_.size();
-  // Vectorized fast path over the SoA coordinate rows; falls back to the
-  // scalar loop (which preserves the legacy throw-on-non-finite behavior)
-  // when no vector backend is built, the field is generic, or any
-  // coordinate is non-finite. Row scaling is a separate element-wise pass:
-  // same per-element arithmetic as the legacy fused loop, bit for bit.
-  if (!model_.shape_row(sink, qx_.data(), qy_.data(), n, out.data())) {
+  // Vectorized fast path over the SoA coordinate rows — ONE virtual call
+  // per column, never per element, so the SIMD hot path is untouched by
+  // the model polymorphism. Falls back to the scalar loop (which preserves
+  // the legacy throw-on-non-finite behavior) when the backend declines:
+  // no vector backend built, unrecognized geometry, or a non-finite
+  // coordinate. Row scaling is a separate element-wise pass: same
+  // per-element arithmetic as the legacy fused loop, bit for bit.
+  const SiteRows rows{qx_.data(), qy_.data(), bx_.data(), by_.data()};
+  if (!model_->site_shape_row(sink, rows, n, out.data())) {
     for (std::size_t i = 0; i < n; ++i) {
-      out[i] = model_.shape(sink, sample_positions_[i]);
+      out[i] = model_->site_shape(
+          sink, Site{sample_positions_[i], positions_b_[i]});
     }
   }
   if (!row_scale_.empty()) {

@@ -120,9 +120,16 @@ void robust_weights(std::span<const double> residuals,
 /// failed sniffer contributes *no* evidence instead of a poisoned zero.
 /// An all-missing window is legal and behaves as an empty measurement
 /// (sample_count() == 0, measured_norm() == 0).
+///
+/// The objective is model-polymorphic: any ObservationModel backend
+/// (flux, RSS link-attenuation, passive traces) plugs in, with virtual
+/// dispatch at COLUMN granularity (one site_shape_row call per column) so
+/// the SIMD/SoA hot path is untouched. Point-model callers keep the
+/// Vec2-vector constructors; link models use the Site-vector ones.
 class SparseObjective {
  public:
-  /// `model` is copied; `sample_positions` are the sniffed nodes' positions;
+  /// `model` is cloned (the objective owns an immutable copy);
+  /// `sample_positions` are the sniffed nodes' positions (point sites);
   /// `measured` is F' (same length). Readings that are missing
   /// (net::is_missing) are masked out. Exact-duplicate sample positions
   /// (one sniffer reported twice in a snapshot — duplicated delivery in
@@ -130,27 +137,47 @@ class SparseObjective {
   /// live reading, so a re-report updates the evidence instead of
   /// double-weighting it. Throws std::invalid_argument on size mismatch
   /// or empty inputs.
-  SparseObjective(const FluxModel& model,
+  SparseObjective(const ObservationModel& model,
                   std::vector<geom::Vec2> sample_positions,
                   std::vector<double> measured);
 
   /// As above with an explicit observation mask: sample i participates in
   /// the fit only when valid[i] is true AND the reading is not missing.
   /// `valid` must match the sample count.
-  SparseObjective(const FluxModel& model,
+  SparseObjective(const ObservationModel& model,
                   std::vector<geom::Vec2> sample_positions,
                   std::vector<double> measured, const std::vector<bool>& valid);
+
+  /// Site-vector forms for link models (and uniformly for any backend):
+  /// site i carries both endpoints. Duplicate collapse compares BOTH
+  /// endpoints, so distinct links sharing one sniffer stay distinct rows.
+  SparseObjective(const ObservationModel& model, std::vector<Site> sites,
+                  std::vector<double> measured);
+  SparseObjective(const ObservationModel& model, std::vector<Site> sites,
+                  std::vector<double> measured, const std::vector<bool>& valid);
+
+  /// Sharing form for per-epoch hot loops (the streaming runtime): the
+  /// model is shared, not cloned, so building an objective per epoch costs
+  /// no model copy. `model` must be non-null.
+  SparseObjective(std::shared_ptr<const ObservationModel> model,
+                  std::vector<Site> sites, std::vector<double> measured,
+                  const std::vector<bool>& valid);
 
   /// Live (unmasked) samples — the n the fit actually uses.
   std::size_t sample_count() const { return sample_positions_.size(); }
   /// Samples excluded as missing/invalid/duplicate at construction.
   std::size_t masked_count() const { return masked_count_; }
+  /// Live sites' primary endpoints (the sniffer position for point models).
   const std::vector<geom::Vec2>& sample_positions() const {
     return sample_positions_;
   }
+  /// Live site i with both endpoints (b == a for point models).
+  Site site(std::size_t i) const {
+    return Site{sample_positions_[i], positions_b_[i]};
+  }
   const std::vector<double>& measured() const { return measured_; }
   double measured_norm() const { return measured_norm_; }
-  const FluxModel& model() const { return model_; }
+  const ObservationModel& model() const { return *model_; }
 
   /// The model shape column [phi(sink, q_1) ... phi(sink, q_n)] over the
   /// live samples (scaled by the row weights for a reweighted objective).
@@ -211,13 +238,25 @@ class SparseObjective {
   /// Fills exactly out.size() == sample_count() entries; no resize.
   void shape_column_into(geom::Vec2 sink, std::span<double> out) const;
 
-  FluxModel model_;
+  /// Shared constructor tail: masks, dedups (both endpoints), compacts to
+  /// the live sites and builds the SoA coordinate rows. Expects
+  /// sample_positions_ / positions_b_ / measured_ to hold the raw inputs.
+  void compact(const std::vector<bool>& valid);
+
+  /// Shared immutable model: copies of the objective (reweighted IRLS)
+  /// share the backend instead of cloning it per round.
+  std::shared_ptr<const ObservationModel> model_;
+  /// Primary endpoints of the live sites (== the site.a coordinates).
   std::vector<geom::Vec2> sample_positions_;
-  /// Structure-of-arrays mirror of sample_positions_ (built once at
+  /// Secondary endpoints (== sample_positions_ values for point models).
+  std::vector<geom::Vec2> positions_b_;
+  /// Structure-of-arrays mirror of the site endpoints (built once at
   /// construction, after compaction) — the contiguous coordinate rows the
   /// SIMD shape kernels consume.
   std::vector<double> qx_;
   std::vector<double> qy_;
+  std::vector<double> bx_;
+  std::vector<double> by_;
   std::vector<double> measured_;
   double measured_norm_ = 0.0;
   std::size_t masked_count_ = 0;

@@ -1,0 +1,21 @@
+#include "core/observation_model.hpp"
+
+namespace fluxfp::core {
+
+const char* model_name(ModelId id) {
+  switch (id) {
+    case ModelId::kFlux:
+      return "flux";
+    case ModelId::kRssLink:
+      return "rss-link";
+    case ModelId::kPassiveTrace:
+      return "passive-trace";
+  }
+  return "unknown";
+}
+
+bool known_model_id(std::uint8_t raw) {
+  return raw <= static_cast<std::uint8_t>(ModelId::kPassiveTrace);
+}
+
+}  // namespace fluxfp::core

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "geom/vec2.hpp"
+
+namespace fluxfp::core {
+
+/// Stable numeric tags of the observation-model backends. These values are
+/// serialized (FLUXFPT1 model-id header byte, FXN1 HELLO model byte), so
+/// they are append-only: never renumber, never reuse.
+enum class ModelId : std::uint8_t {
+  kFlux = 0,          ///< network-flux fingerprint (the paper's model)
+  kRssLink = 1,       ///< RSS link-crossing attenuation (Patwari & Wilson)
+  kPassiveTrace = 2,  ///< passive binary detections (Marculescu et al.)
+};
+
+/// "flux", "rss-link", "passive-trace", or "unknown".
+const char* model_name(ModelId id);
+
+/// True for ids this build can deserialize (trace/netio validation).
+bool known_model_id(std::uint8_t raw);
+
+/// Where one observation physically lives. Point models (flux magnitudes,
+/// passive detections) observe at a single sniffer position (`b == a` by
+/// convention); link models (RSS attenuation) observe on a sniffer *pair*,
+/// with `a` and `b` the two endpoints of the link.
+struct Site {
+  geom::Vec2 a;
+  geom::Vec2 b;
+};
+
+/// Point-site convenience: both endpoints at `p`.
+inline Site point_site(geom::Vec2 p) { return Site{p, p}; }
+
+/// Structure-of-arrays view of a compacted site list — the contiguous
+/// coordinate rows the SIMD shape kernels consume. For point-site
+/// objectives `bx`/`by` alias `ax`/`ay`; they are never null.
+struct SiteRows {
+  const double* ax = nullptr;
+  const double* ay = nullptr;
+  const double* bx = nullptr;
+  const double* by = nullptr;
+};
+
+/// One physics backend of the estimation machinery: how a user (sink) at
+/// position p shows up in the reading observed at a site.
+///
+/// Contract (DESIGN.md section 16):
+///  * Predicted readings are LINEAR in one non-negative per-user factor
+///    ("stretch"): reading_i = sum_j s_j * site_shape(p_j, site_i). The
+///    NLS objective profiles the stretches out through the same NNLS
+///    machinery for every backend; stretch_unit() names what one unit of
+///    fitted s means under this model's physics.
+///  * site_shape() is finite and >= 0 for finite inputs, and throws
+///    std::invalid_argument on any non-finite coordinate — a NaN position
+///    must never reach the objective as a silently-NaN column. Each
+///    model's likelihood denominator is clamped away from zero at
+///    construction-validated parameters (the flux d_min pattern).
+///  * Missing-reading semantics are uniform across backends and live
+///    ABOVE the model: a reading equal to net::kMissingReading is no
+///    evidence at all, and SparseObjective compacts it away before any
+///    shape is evaluated. Models only ever see live sites.
+///  * site_shape_row() is the batch form over SoA coordinate rows,
+///    dispatched once per column so the SIMD hot path keeps its layout.
+///    When it returns true every out[i] is bit-identical to
+///    site_shape(sink, site_i) (element-wise lanes, same operation
+///    sequence — DESIGN.md section 14); when it returns false (scalar
+///    backend, unrecognized geometry, non-finite input) out[] is
+///    unspecified and the caller must run the scalar site_shape() loop,
+///    which preserves the throw-on-non-finite behavior.
+class ObservationModel {
+ public:
+  virtual ~ObservationModel() = default;
+
+  virtual ModelId id() const = 0;
+  /// Deep copy with value semantics (objectives own an immutable copy).
+  virtual std::unique_ptr<ObservationModel> clone() const = 0;
+  /// True when observations live on sniffer pairs (site.b meaningful).
+  virtual bool sites_are_links() const { return false; }
+  /// What one unit of profiled stretch means (report labels).
+  virtual const char* stretch_unit() const = 0;
+
+  /// Scalar shape phi(sink, site) — see the class contract.
+  virtual double site_shape(geom::Vec2 sink, const Site& site) const = 0;
+
+  /// Batch shape row over n sites; see the class contract. The default
+  /// declines, which keeps scalar-only backends trivially correct.
+  virtual bool site_shape_row(geom::Vec2 sink, const SiteRows& sites,
+                              std::size_t n, double* out) const {
+    (void)sink;
+    (void)sites;
+    (void)n;
+    (void)out;
+    return false;
+  }
+};
+
+}  // namespace fluxfp::core

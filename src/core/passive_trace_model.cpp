@@ -1,0 +1,42 @@
+#include "core/passive_trace_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/simd/kernels.hpp"
+
+namespace fluxfp::core {
+
+PassiveTraceModel::PassiveTraceModel(double detection_radius)
+    : radius_(detection_radius) {
+  if (!std::isfinite(detection_radius) || !(detection_radius > 0.0)) {
+    throw std::invalid_argument(
+        "PassiveTraceModel: detection_radius must be positive");
+  }
+  inv_r2_ = 1.0 / (detection_radius * detection_radius);
+}
+
+double PassiveTraceModel::site_shape(geom::Vec2 sink, const Site& site) const {
+  if (!std::isfinite(sink.x) || !std::isfinite(sink.y) ||
+      !std::isfinite(site.a.x) || !std::isfinite(site.a.y)) {
+    throw std::invalid_argument(
+        "PassiveTraceModel::site_shape: non-finite position");
+  }
+  const double dx = sink.x - site.a.x;
+  const double dy = sink.y - site.a.y;
+  const double d2 = dx * dx + dy * dy;
+  return std::max(1.0 - d2 * inv_r2_, 0.0);
+}
+
+bool PassiveTraceModel::site_shape_row(geom::Vec2 sink, const SiteRows& sites,
+                                       std::size_t n, double* out) const {
+  if (!numeric::simd::enabled() || !std::isfinite(sink.x) ||
+      !std::isfinite(sink.y)) {
+    return false;
+  }
+  return numeric::simd::detect_shape_row(sink.x, sink.y, inv_r2_, sites.ax,
+                                         sites.ay, n, out);
+}
+
+}  // namespace fluxfp::core

@@ -1,0 +1,49 @@
+#pragma once
+
+#include "core/observation_model.hpp"
+
+namespace fluxfp::core {
+
+/// Passive binary detection traces (Marculescu et al., PAPERS.md): a
+/// sniffer reports 1 when it overhears the user's transmissions during an
+/// epoch, 0 otherwise. The detection probability falls off with distance
+/// inside a radius R as the truncated quadratic (Epanechnikov) kernel
+///
+///   phi(p, {a}) = max(0, 1 - |pa|^2 / R^2)
+///
+/// and the profiled stretch is the per-user detection rate at zero range
+/// (transmission activity x at-range detection probability), so the
+/// linear predicted reading s * phi is the Bernoulli success probability
+/// of the epoch's detection bit. Least squares on the 0/1 readings is the
+/// Gaussian working approximation of that Bernoulli likelihood — exactly
+/// the moment-matching used for flux counts, so the NNLS machinery
+/// applies unchanged. Sites are points (b == a).
+///
+/// Denominator guard (the flux d_min pattern): R -> 0 would make 1/R^2
+/// non-finite, so a non-positive or non-finite radius is rejected at
+/// construction.
+class PassiveTraceModel final : public ObservationModel {
+ public:
+  /// Throws std::invalid_argument unless the radius is finite and positive.
+  explicit PassiveTraceModel(double detection_radius);
+
+  ModelId id() const override { return ModelId::kPassiveTrace; }
+  std::unique_ptr<ObservationModel> clone() const override {
+    return std::make_unique<PassiveTraceModel>(*this);
+  }
+  const char* stretch_unit() const override {
+    return "detection rate at zero range";
+  }
+
+  double site_shape(geom::Vec2 sink, const Site& site) const override;
+  bool site_shape_row(geom::Vec2 sink, const SiteRows& sites, std::size_t n,
+                      double* out) const override;
+
+  double detection_radius() const { return radius_; }
+
+ private:
+  double radius_ = 0.0;
+  double inv_r2_ = 0.0;
+};
+
+}  // namespace fluxfp::core

@@ -1,0 +1,57 @@
+#include "core/rss_link_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/simd/kernels.hpp"
+
+namespace fluxfp::core {
+
+RssLinkModel::RssLinkModel(double lambda, double min_link_length)
+    : lambda_(lambda), min_link_(min_link_length) {
+  if (!std::isfinite(lambda) || !(lambda > 0.0)) {
+    throw std::invalid_argument("RssLinkModel: lambda must be positive");
+  }
+  if (!std::isfinite(min_link_length) || !(min_link_length > 0.0)) {
+    throw std::invalid_argument(
+        "RssLinkModel: min_link_length must be positive");
+  }
+  inv_lambda_ = 1.0 / lambda;
+}
+
+double RssLinkModel::site_shape(geom::Vec2 sink, const Site& site) const {
+  // Same boundary rule as FluxModel::shape: a NaN/inf coordinate would
+  // turn into a silently-NaN column, so refuse it here.
+  if (!std::isfinite(sink.x) || !std::isfinite(sink.y) ||
+      !std::isfinite(site.a.x) || !std::isfinite(site.a.y) ||
+      !std::isfinite(site.b.x) || !std::isfinite(site.b.y)) {
+    throw std::invalid_argument(
+        "RssLinkModel::site_shape: non-finite position");
+  }
+  const double dax = sink.x - site.a.x;
+  const double day = sink.y - site.a.y;
+  const double da = std::sqrt(dax * dax + day * day);
+  const double dbx = sink.x - site.b.x;
+  const double dby = sink.y - site.b.y;
+  const double db = std::sqrt(dbx * dbx + dby * dby);
+  const double abx = site.a.x - site.b.x;
+  const double aby = site.a.y - site.b.y;
+  const double dab = std::sqrt(abx * abx + aby * aby);
+  const double excess = (da + db - dab) * inv_lambda_;
+  const double gate = std::max(1.0 - excess, 0.0);
+  return gate / std::sqrt(std::max(dab, min_link_));
+}
+
+bool RssLinkModel::site_shape_row(geom::Vec2 sink, const SiteRows& sites,
+                                  std::size_t n, double* out) const {
+  if (!numeric::simd::enabled() || !std::isfinite(sink.x) ||
+      !std::isfinite(sink.y)) {
+    return false;
+  }
+  return numeric::simd::rss_link_shape_row(sink.x, sink.y, inv_lambda_,
+                                           min_link_, sites.ax, sites.ay,
+                                           sites.bx, sites.by, n, out);
+}
+
+}  // namespace fluxfp::core

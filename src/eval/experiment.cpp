@@ -35,7 +35,7 @@ double estimate_d_min(const net::UnitDiskGraph& graph,
   return r > 0.0 ? 0.5 * r : graph.radius() / 4.0;
 }
 
-core::SparseObjective make_objective(const core::FluxModel& model,
+core::SparseObjective make_objective(const core::ObservationModel& model,
                                      const net::UnitDiskGraph& graph,
                                      const net::FluxMap& flux,
                                      std::span<const std::size_t> samples,
@@ -58,7 +58,7 @@ std::vector<double> sniffed_readings(const net::UnitDiskGraph& graph,
 }
 
 core::SparseObjective make_objective_from_readings(
-    const core::FluxModel& model, const net::UnitDiskGraph& graph,
+    const core::ObservationModel& model, const net::UnitDiskGraph& graph,
     std::span<const std::size_t> samples, std::vector<double> readings) {
   std::vector<geom::Vec2> positions;
   positions.reserve(samples.size());

@@ -39,7 +39,7 @@ double estimate_d_min(const net::UnitDiskGraph& graph,
 /// 1-hop neighborhood averages of the flux map — §3.B's smoothing, which
 /// both damps tree-construction randomness and matches what a passive
 /// sniffer physically overhears (every transmission in its radio range).
-core::SparseObjective make_objective(const core::FluxModel& model,
+core::SparseObjective make_objective(const core::ObservationModel& model,
                                      const net::UnitDiskGraph& graph,
                                      const net::FluxMap& flux,
                                      std::span<const std::size_t> samples,
@@ -57,7 +57,7 @@ std::vector<double> sniffed_readings(const net::UnitDiskGraph& graph,
 /// readings; missing readings (net::kMissingReading) are masked out by the
 /// objective itself.
 core::SparseObjective make_objective_from_readings(
-    const core::FluxModel& model, const net::UnitDiskGraph& graph,
+    const core::ObservationModel& model, const net::UnitDiskGraph& graph,
     std::span<const std::size_t> samples, std::vector<double> readings);
 
 /// Deterministic per-experiment seed derivation: combines a base seed with

@@ -1,0 +1,46 @@
+#include "eval/models.hpp"
+
+#include <stdexcept>
+
+namespace fluxfp::eval {
+
+std::vector<core::Site> point_sites(std::span<const geom::Vec2> positions) {
+  std::vector<core::Site> sites;
+  sites.reserve(positions.size());
+  for (geom::Vec2 p : positions) {
+    sites.push_back(core::point_site(p));
+  }
+  return sites;
+}
+
+std::vector<core::Site> link_sites(const net::UnitDiskGraph& graph,
+                                   std::span<const net::Link> links) {
+  std::vector<core::Site> sites;
+  sites.reserve(links.size());
+  for (const net::Link& l : links) {
+    if (l.a >= graph.size() || l.b >= graph.size()) {
+      throw std::invalid_argument("link_sites: endpoint out of range");
+    }
+    sites.push_back(core::Site{graph.position(l.a), graph.position(l.b)});
+  }
+  return sites;
+}
+
+std::vector<double> forward_readings(const core::ObservationModel& model,
+                                     std::span<const core::Site> sites,
+                                     std::span<const geom::Vec2> users,
+                                     std::span<const double> stretches) {
+  if (users.size() != stretches.size()) {
+    throw std::invalid_argument(
+        "forward_readings: users/stretches size mismatch");
+  }
+  std::vector<double> readings(sites.size(), 0.0);
+  for (std::size_t j = 0; j < users.size(); ++j) {
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      readings[i] += stretches[j] * model.site_shape(users[j], sites[i]);
+    }
+  }
+  return readings;
+}
+
+}  // namespace fluxfp::eval

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/observation_model.hpp"
+#include "geom/vec2.hpp"
+#include "net/graph.hpp"
+#include "net/links.hpp"
+
+namespace fluxfp::eval {
+
+/// Point sites (b == a) from sniffer positions — the site list every
+/// point-backend harness hands to SparseObjective / StreamTracker.
+std::vector<core::Site> point_sites(std::span<const geom::Vec2> positions);
+
+/// Link sites from graph geometry: site i is the endpoint pair of
+/// links[i]. Throws std::invalid_argument on an out-of-range endpoint.
+std::vector<core::Site> link_sites(const net::UnitDiskGraph& graph,
+                                   std::span<const net::Link> links);
+
+/// Noise-free forward readings of any backend: reading_i =
+/// sum_j stretches[j] * site_shape(users[j], sites[i]) — the linear
+/// predicted measurement the NLS objective inverts. Lives in eval (not
+/// sim) because forward generation needs the core model layer. Throws
+/// std::invalid_argument on a users/stretches size mismatch.
+std::vector<double> forward_readings(const core::ObservationModel& model,
+                                     std::span<const core::Site> sites,
+                                     std::span<const geom::Vec2> users,
+                                     std::span<const double> stretches);
+
+}  // namespace fluxfp::eval

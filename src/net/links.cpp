@@ -1,0 +1,41 @@
+#include "net/links.hpp"
+
+#include <stdexcept>
+
+#include "geom/vec2.hpp"
+
+namespace fluxfp::net {
+
+std::vector<Link> enumerate_links(const UnitDiskGraph& graph,
+                                  double max_length) {
+  std::vector<Link> links;
+  for (std::size_t a = 0; a < graph.size(); ++a) {
+    for (std::size_t b : graph.neighbors(a)) {
+      if (b <= a) {
+        continue;  // undirected edge: keep the a < b orientation only
+      }
+      if (max_length > 0.0 &&
+          geom::distance(graph.position(a), graph.position(b)) > max_length) {
+        continue;
+      }
+      links.push_back(Link{a, b});
+    }
+  }
+  return links;
+}
+
+std::vector<double> gather_link_readings(std::span<const double> link_values,
+                                         std::span<const std::size_t> links) {
+  std::vector<double> readings;
+  readings.reserve(links.size());
+  for (std::size_t i : links) {
+    if (i >= link_values.size()) {
+      throw std::invalid_argument(
+          "gather_link_readings: link index out of range");
+    }
+    readings.push_back(link_values[i]);
+  }
+  return readings;
+}
+
+}  // namespace fluxfp::net

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace fluxfp::net {
+
+/// One communication link of the unit-disk graph, endpoints as node
+/// indices with a < b (each undirected edge appears exactly once).
+struct Link {
+  std::size_t a = 0;
+  std::size_t b = 0;
+};
+
+/// All links of the graph in deterministic order: ascending by a, then by
+/// b — the order neighbors(a) enumerates, filtered to b > a. Link i's
+/// index is the stable site key the RSS pipeline uses everywhere
+/// (readings, FluxEvent::node, checkpoint validation). `max_length` > 0
+/// keeps only links no longer than that (RSS hardware measures reliably
+/// on short links); 0 keeps all.
+std::vector<Link> enumerate_links(const UnitDiskGraph& graph,
+                                  double max_length = 0.0);
+
+/// The readings a link-monitoring deployment gathers from a per-link
+/// value map: link_values[links[i]] for each sniffed link index, in
+/// order. Missing entries (kMissingReading) stay missing — same
+/// no-evidence semantics as gather_readings. Throws
+/// std::invalid_argument when a link index is out of range.
+std::vector<double> gather_link_readings(std::span<const double> link_values,
+                                         std::span<const std::size_t> links);
+
+}  // namespace fluxfp::net

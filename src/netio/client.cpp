@@ -3,7 +3,7 @@
 namespace fluxfp::netio {
 
 bool Client::connect(const Endpoint& endpoint, std::uint32_t tenant,
-                     std::uint64_t token) {
+                     std::uint64_t token, std::uint8_t model) {
   close();
   std::string why;
   socket_ = connect_to(endpoint, &why);
@@ -15,6 +15,7 @@ bool Client::connect(const Endpoint& endpoint, std::uint32_t tenant,
   hello.version = kWireVersion;
   hello.tenant = tenant;
   hello.token = token;
+  hello.model = model;
   Frame reply;
   if (!roundtrip(FrameType::kHello, encode_hello(hello), FrameType::kWelcome,
                  reply)) {

@@ -26,8 +26,11 @@ class Client {
   Client() = default;
 
   /// Connects and completes the HELLO/WELCOME handshake as `tenant`.
+  /// `model` declares which observation model the readings belong to
+  /// (core::ModelId values); the default 0 (flux) keeps the HELLO payload
+  /// byte-identical to pre-model-tag clients.
   bool connect(const Endpoint& endpoint, std::uint32_t tenant,
-               std::uint64_t token = 0);
+               std::uint64_t token = 0, std::uint8_t model = 0);
 
   bool connected() const { return socket_.valid(); }
 

@@ -187,6 +187,13 @@ bool Server::handle_frame(Connection& conn, bool& authed,
                               ", this server speaks " +
                               std::to_string(kWireVersion));
       }
+      if (hello.model != config_.model) {
+        return send_error(conn, ErrorCode::kModelMismatch, 0,
+                          "client readings are model " +
+                              std::to_string(hello.model) +
+                              ", this server tracks model " +
+                              std::to_string(config_.model));
+      }
       if (!config_.tenant_tokens.empty()) {
         const auto it = config_.tenant_tokens.find(hello.tenant);
         if (it == config_.tenant_tokens.end() || it->second != hello.token) {

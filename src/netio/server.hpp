@@ -34,6 +34,13 @@ struct ServerConfig {
   /// the wrong token is refused with ERROR{kAuthFailed}.
   std::map<std::uint32_t, std::uint64_t> tenant_tokens;
 
+  /// Observation model the hosted trackers fold (core::ModelId values).
+  /// A HELLO declaring a different model is refused with
+  /// ERROR{kModelMismatch} — readings are meaningless to a tracker built
+  /// for another sensing modality. Clients that predate the model byte
+  /// implicitly declare flux (0), so a flux server keeps accepting them.
+  std::uint8_t model = 0;
+
   /// Ingest-to-estimate latency sampling: every Nth accepted event is
   /// stamped on arrival and resolved when the server next observes that
   /// the event has been folded. 0 disables sampling.

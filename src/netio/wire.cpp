@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "core/observation_model.hpp"
+
 namespace fluxfp::netio {
 
 namespace {
@@ -18,6 +20,7 @@ class PayloadReader {
  public:
   explicit PayloadReader(std::string_view bytes) : bytes_(bytes) {}
 
+  bool u8(std::uint8_t& v) { return fixed(&v, sizeof(v), "u8"); }
   bool u16(std::uint16_t& v) { return fixed(&v, sizeof(v), "u16"); }
   bool u32(std::uint32_t& v) { return fixed(&v, sizeof(v), "u32"); }
   bool u64(std::uint64_t& v) { return fixed(&v, sizeof(v), "u64"); }
@@ -51,6 +54,7 @@ class PayloadReader {
   }
 
   std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
   const std::optional<WireError>& error() const { return error_; }
 
   std::optional<WireError> fail(const std::string& reason) {
@@ -92,6 +96,7 @@ class PayloadReader {
 struct PayloadWriter {
   std::string bytes;
 
+  void u8(std::uint8_t v) { raw(&v, sizeof(v)); }
   void u16(std::uint16_t v) { raw(&v, sizeof(v)); }
   void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
   void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
@@ -196,6 +201,8 @@ const char* error_code_name(ErrorCode code) {
       return "service closing";
     case ErrorCode::kInternal:
       return "internal error";
+    case ErrorCode::kModelMismatch:
+      return "observation model mismatch";
   }
   return "?";
 }
@@ -296,6 +303,12 @@ std::string encode_hello(const HelloMsg& msg) {
   w.u32(msg.version);
   w.u32(msg.tenant);
   w.u64(msg.token);
+  // The model byte is appended only when it carries information: a flux
+  // HELLO stays byte-identical to the pre-model-tag encoding, so peers
+  // that predate the field keep interoperating.
+  if (msg.model != 0) {
+    w.u8(msg.model);
+  }
   return w.bytes;
 }
 
@@ -305,6 +318,14 @@ std::optional<WireError> decode_hello(std::string_view payload,
   r.u32(out.version);
   r.u32(out.tenant);
   r.u64(out.token);
+  out.model = 0;  // absent trailing byte means flux
+  if (!r.error() && r.remaining() > 0) {
+    r.u8(out.model);
+    if (!r.error() && !core::known_model_id(out.model)) {
+      return r.fail("unknown observation-model id " +
+                    std::to_string(out.model));
+    }
+  }
   if (!r.done()) {
     return r.error();
   }
@@ -536,7 +557,7 @@ std::optional<WireError> decode_error(std::string_view payload,
     return r.error();
   }
   if (code < static_cast<std::uint32_t>(ErrorCode::kMalformedFrame) ||
-      code > static_cast<std::uint32_t>(ErrorCode::kInternal)) {
+      code > static_cast<std::uint32_t>(ErrorCode::kModelMismatch)) {
     return r.fail("unknown error code " + std::to_string(code));
   }
   out.code = static_cast<ErrorCode>(code);

@@ -71,6 +71,7 @@ enum class ErrorCode : std::uint32_t {
   kUnknownUser = 6,         ///< QUERY_ESTIMATE for an unregistered session
   kServiceClosing = 7,      ///< server is draining; retry elsewhere
   kInternal = 8,            ///< server-side failure, connection unusable
+  kModelMismatch = 9,       ///< HELLO observation model differs from server's
 };
 const char* error_code_name(ErrorCode code);
 
@@ -161,6 +162,14 @@ struct HelloMsg {
   std::uint32_t version = kWireVersion;
   std::uint32_t tenant = 0;
   std::uint64_t token = 0;
+  /// Observation model the client's readings belong to (core::ModelId
+  /// values). Encoded as an OPTIONAL trailing u8: a flux client (model 0)
+  /// sends the original 16-byte payload byte-identically, so version-1
+  /// peers that predate the field interoperate unchanged; a non-flux
+  /// client appends one byte, and a decoder missing the byte reads
+  /// model 0. A server tracking a different model answers
+  /// ERROR{kModelMismatch} and closes.
+  std::uint8_t model = 0;
 };
 
 struct WelcomeMsg {

@@ -168,6 +168,45 @@ inline bool circle_shape_tail(double sx, double sy, double px, double py,
   return true;
 }
 
+/// Scalar replica of RssLinkModel::site_shape for remainder lanes —
+/// operation-for-operation the same sequence as the model's scalar path,
+/// so tail elements are bit-identical to full vector lanes AND to the
+/// scalar fallback loop. Returns false on a non-finite endpoint.
+inline bool rss_link_tail(double sx, double sy, double inv_lambda,
+                          double min_link, double ax, double ay, double bx,
+                          double by, double* out) {
+  if (!std::isfinite(ax) || !std::isfinite(ay) || !std::isfinite(bx) ||
+      !std::isfinite(by)) {
+    return false;
+  }
+  const double dax = sx - ax;
+  const double day = sy - ay;
+  const double da = std::sqrt(dax * dax + day * day);
+  const double dbx = sx - bx;
+  const double dby = sy - by;
+  const double db = std::sqrt(dbx * dbx + dby * dby);
+  const double abx = ax - bx;
+  const double aby = ay - by;
+  const double dab = std::sqrt(abx * abx + aby * aby);
+  const double excess = (da + db - dab) * inv_lambda;
+  const double gate = std::max(1.0 - excess, 0.0);
+  *out = gate / std::sqrt(std::max(dab, min_link));
+  return true;
+}
+
+/// Scalar replica of PassiveTraceModel::site_shape for remainder lanes.
+inline bool detect_tail(double sx, double sy, double inv_r2, double ax,
+                        double ay, double* out) {
+  if (!std::isfinite(ax) || !std::isfinite(ay)) {
+    return false;
+  }
+  const double dx = sx - ax;
+  const double dy = sy - ay;
+  const double d2 = dx * dx + dy * dy;
+  *out = std::max(1.0 - d2 * inv_r2, 0.0);
+  return true;
+}
+
 }  // namespace
 
 bool rect_shape_row(double sx, double sy, double px, double py, double width,
@@ -285,6 +324,83 @@ bool circle_shape_row(double sx, double sy, double px, double py, double cx,
   for (; i < n; ++i) {
     if (!circle_shape_tail(sx, sy, px, py, ocx, ocy, c_const, d_min,
                            l_degenerate, qx[i], qy[i], out + i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool rss_link_shape_row(double sx, double sy, double inv_lambda,
+                        double min_link, const double* ax, const double* ay,
+                        const double* bx, const double* by, std::size_t n,
+                        double* out) {
+  if (!kVectorBackend) {
+    return false;  // strict-determinism mode: caller runs the scalar loop
+  }
+  const DoubleVec vsx = broadcast(sx);
+  const DoubleVec vsy = broadcast(sy);
+  const DoubleVec vinvl = broadcast(inv_lambda);
+  const DoubleVec vminl = broadcast(min_link);
+  const DoubleVec vone = broadcast(1.0);
+  const DoubleVec vzero = zero();
+
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const DoubleVec eax = load(ax + i);
+    const DoubleVec eay = load(ay + i);
+    const DoubleVec ebx = load(bx + i);
+    const DoubleVec eby = load(by + i);
+    if (!all_lanes(mask_and(mask_and(finite_mask(eax), finite_mask(eay)),
+                            mask_and(finite_mask(ebx), finite_mask(eby))))) {
+      return false;
+    }
+    const DoubleVec dax = sub(vsx, eax);
+    const DoubleVec day = sub(vsy, eay);
+    const DoubleVec da = sqrt(add(mul(dax, dax), mul(day, day)));
+    const DoubleVec dbx = sub(vsx, ebx);
+    const DoubleVec dby = sub(vsy, eby);
+    const DoubleVec db = sqrt(add(mul(dbx, dbx), mul(dby, dby)));
+    const DoubleVec abx = sub(eax, ebx);
+    const DoubleVec aby = sub(eay, eby);
+    const DoubleVec dab = sqrt(add(mul(abx, abx), mul(aby, aby)));
+    const DoubleVec excess = mul(sub(add(da, db), dab), vinvl);
+    const DoubleVec gate = max(sub(vone, excess), vzero);
+    store(out + i, div(gate, sqrt(max(dab, vminl))));
+  }
+  for (; i < n; ++i) {
+    if (!rss_link_tail(sx, sy, inv_lambda, min_link, ax[i], ay[i], bx[i],
+                       by[i], out + i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool detect_shape_row(double sx, double sy, double inv_r2, const double* ax,
+                      const double* ay, std::size_t n, double* out) {
+  if (!kVectorBackend) {
+    return false;
+  }
+  const DoubleVec vsx = broadcast(sx);
+  const DoubleVec vsy = broadcast(sy);
+  const DoubleVec vinvr2 = broadcast(inv_r2);
+  const DoubleVec vone = broadcast(1.0);
+  const DoubleVec vzero = zero();
+
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const DoubleVec x = load(ax + i);
+    const DoubleVec y = load(ay + i);
+    if (!all_lanes(mask_and(finite_mask(x), finite_mask(y)))) {
+      return false;
+    }
+    const DoubleVec dx = sub(vsx, x);
+    const DoubleVec dy = sub(vsy, y);
+    const DoubleVec d2 = add(mul(dx, dx), mul(dy, dy));
+    store(out + i, max(sub(vone, mul(d2, vinvr2)), vzero));
+  }
+  for (; i < n; ++i) {
+    if (!detect_tail(sx, sy, inv_r2, ax[i], ay[i], out + i)) {
       return false;
     }
   }

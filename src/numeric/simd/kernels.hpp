@@ -73,4 +73,20 @@ bool circle_shape_row(double sx, double sy, double px, double py, double cx,
                       double l_degenerate, const double* qx, const double* qy,
                       std::size_t n, double* out);
 
+/// RSS link-attenuation shape row (core::RssLinkModel): out[i] is the
+/// ellipse-gated link-shadowing weight of the sink (sx, sy) on the link
+/// with endpoints (ax[i], ay[i])-(bx[i], by[i]). Same return-false
+/// contract as rect_shape_row (scalar backend or non-finite endpoint).
+bool rss_link_shape_row(double sx, double sy, double inv_lambda,
+                        double min_link, const double* ax, const double* ay,
+                        const double* bx, const double* by, std::size_t n,
+                        double* out);
+
+/// Passive-detection shape row (core::PassiveTraceModel): out[i] is the
+/// truncated-quadratic detection kernel of the sink (sx, sy) at the
+/// sniffer (ax[i], ay[i]), inv_r2 = 1 / R^2. Same return-false contract
+/// as rect_shape_row.
+bool detect_shape_row(double sx, double sy, double inv_r2, const double* ax,
+                      const double* ay, std::size_t n, double* out);
+
 }  // namespace fluxfp::numeric::simd

@@ -1,0 +1,43 @@
+#include "sim/detection.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+#include "net/flux.hpp"
+
+namespace fluxfp::sim {
+
+std::vector<double> bernoulli_detections(std::span<const double> probabilities,
+                                         geom::Rng& rng) {
+  std::vector<double> out;
+  out.reserve(probabilities.size());
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  for (double p : probabilities) {
+    if (net::is_missing(p)) {
+      out.push_back(net::kMissingReading);
+      continue;
+    }
+    const double clamped = std::clamp(p, 0.0, 1.0);
+    out.push_back(uni(rng) < clamped ? 1.0 : 0.0);
+  }
+  return out;
+}
+
+void flip_detections(std::vector<double>& readings, double flip_prob,
+                     geom::Rng& rng) {
+  if (!(flip_prob >= 0.0) || !(flip_prob <= 1.0)) {
+    throw std::invalid_argument("flip_detections: flip_prob outside [0, 1]");
+  }
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  for (double& r : readings) {
+    if (net::is_missing(r)) {
+      continue;  // no draw: masks must not shift live sniffers' streams
+    }
+    if (uni(rng) < flip_prob) {
+      r = r != 0.0 ? 0.0 : 1.0;
+    }
+  }
+}
+
+}  // namespace fluxfp::sim

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/sampling.hpp"
+
+namespace fluxfp::sim {
+
+/// Draws one Bernoulli detection bit per probability: out[i] = 1.0 with
+/// probability clamp(probabilities[i], 0, 1), else 0.0 — the passive
+/// sniffer's binary "overheard this user during the epoch" trace. Missing
+/// entries (net::kMissingReading NaN) stay missing and consume NO draw,
+/// so fault masks do not shift the RNG stream of the live sniffers that
+/// follow them.
+std::vector<double> bernoulli_detections(std::span<const double> probabilities,
+                                         geom::Rng& rng);
+
+/// Symmetric bit-flip noise on a binary trace: each live reading flips
+/// (1 <-> 0) with probability flip_prob — false alarms and missed
+/// detections in one knob. Missing entries stay missing, again without
+/// consuming a draw. Throws std::invalid_argument unless flip_prob is in
+/// [0, 1].
+void flip_detections(std::vector<double>& readings, double flip_prob,
+                     geom::Rng& rng);
+
+}  // namespace fluxfp::sim

@@ -24,21 +24,30 @@ std::vector<geom::Vec2> positions_from_graph(
 
 geom::Rng seeded_rng(std::uint64_t seed) { return geom::Rng(seed); }
 
+std::vector<core::Site> point_sites_of(const std::vector<geom::Vec2>& p) {
+  std::vector<core::Site> sites;
+  sites.reserve(p.size());
+  for (geom::Vec2 v : p) {
+    sites.push_back(core::point_site(v));
+  }
+  return sites;
+}
+
 }  // namespace
 
-StreamTracker::StreamTracker(const core::FluxModel& model,
-                             std::vector<std::size_t> sniffer_nodes,
-                             std::vector<geom::Vec2> sniffer_positions,
+StreamTracker::StreamTracker(const core::ObservationModel& model,
+                             const geom::Field& field,
+                             std::vector<std::size_t> site_keys,
+                             std::vector<core::Site> sites,
                              std::size_t num_users,
                              StreamTrackerConfig config, std::uint64_t seed)
-    : model_(model),
-      sniffer_nodes_(std::move(sniffer_nodes)),
-      sniffer_positions_(std::move(sniffer_positions)),
+    : model_(model.clone()),
+      sniffer_nodes_(std::move(site_keys)),
+      sites_(std::move(sites)),
       config_(config),
       rng_(seeded_rng(seed)),
-      smc_(model.field(), num_users, config.smc, rng_) {
-  if (sniffer_nodes_.empty() ||
-      sniffer_nodes_.size() != sniffer_positions_.size()) {
+      smc_(field, num_users, config.smc, rng_) {
+  if (sniffer_nodes_.empty() || sniffer_nodes_.size() != sites_.size()) {
     throw std::invalid_argument(
         "StreamTracker: sniffer set empty or size mismatch");
   }
@@ -57,6 +66,15 @@ StreamTracker::StreamTracker(const core::FluxModel& model,
     }
   }
 }
+
+StreamTracker::StreamTracker(const core::FluxModel& model,
+                             std::vector<std::size_t> sniffer_nodes,
+                             std::vector<geom::Vec2> sniffer_positions,
+                             std::size_t num_users,
+                             StreamTrackerConfig config, std::uint64_t seed)
+    : StreamTracker(model, model.field(), std::move(sniffer_nodes),
+                    point_sites_of(sniffer_positions), num_users, config,
+                    seed) {}
 
 StreamTracker::StreamTracker(const core::FluxModel& model,
                              const net::UnitDiskGraph& graph,
@@ -158,8 +176,11 @@ EpochResult StreamTracker::fire_oldest() {
     FLUXFP_OBS_SPAN(step_span, "fluxfp_stream_epoch_filter_micros",
                     "Wall-clock cost of one epoch window's SMC step");
     const auto t0 = std::chrono::steady_clock::now();
-    const core::SparseObjective objective(model_, sniffer_positions_,
-                                          std::move(window.readings));
+    // The sharing constructor: the model is shared, not cloned, so a
+    // fired window costs one sites copy and no model copy.
+    const core::SparseObjective objective(model_, sites_,
+                                          std::move(window.readings),
+                                          std::vector<bool>());
     result.readings = objective.sample_count();
     result.step = smc_.step(result.time, objective, rng_, epoch_arena_);
     const auto t1 = std::chrono::steady_clock::now();

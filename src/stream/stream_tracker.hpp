@@ -2,10 +2,12 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "core/observation_model.hpp"
 #include "core/smc.hpp"
 #include "net/graph.hpp"
 #include "stream/event.hpp"
@@ -109,11 +111,24 @@ struct StreamTrackerState {
 /// by the session and seeded at construction.
 class StreamTracker {
  public:
-  /// `sniffer_nodes` are original-graph node indices, `sniffer_positions`
-  /// their positions (same length, non-empty). `num_users` is the number of
-  /// jointly tracked users in this session (usually 1). Throws
-  /// std::invalid_argument on size mismatch, empty sniffers, duplicate
-  /// sniffer nodes, or a bad config.
+  /// Model-generic form: any ObservationModel backend (cloned — the
+  /// session owns an immutable copy). `field` is the tracking domain the
+  /// SMC samples candidates in (must outlive the tracker). `site_keys` are
+  /// the FluxEvent::node values that address the observation sites —
+  /// original-graph node indices for point models, link indices (see
+  /// net::enumerate_links) for link models — and `sites` their geometry
+  /// (same length, non-empty). `num_users` is the number of jointly
+  /// tracked users in this session (usually 1). Throws
+  /// std::invalid_argument on size mismatch, empty sites, duplicate keys,
+  /// or a bad config.
+  StreamTracker(const core::ObservationModel& model, const geom::Field& field,
+                std::vector<std::size_t> site_keys,
+                std::vector<core::Site> sites, std::size_t num_users,
+                StreamTrackerConfig config, std::uint64_t seed);
+
+  /// Flux form: `sniffer_nodes` are original-graph node indices,
+  /// `sniffer_positions` their positions (same length, non-empty); the
+  /// tracking field is the model's own.
   StreamTracker(const core::FluxModel& model,
                 std::vector<std::size_t> sniffer_nodes,
                 std::vector<geom::Vec2> sniffer_positions,
@@ -145,6 +160,8 @@ class StreamTracker {
   const std::vector<std::size_t>& sniffer_nodes() const {
     return sniffer_nodes_;
   }
+  /// The session's observation backend (shared, immutable).
+  const core::ObservationModel& model() const { return *model_; }
 
   /// Snapshot of all mutable session state. A tracker constructed with the
   /// same inputs and restored from the snapshot folds every subsequent
@@ -171,9 +188,11 @@ class StreamTracker {
   /// Closes every window made eligible by the current virtual time.
   void collect_ripe(std::vector<EpochResult>& out);
 
-  core::FluxModel model_;
-  std::vector<std::size_t> sniffer_nodes_;
-  std::vector<geom::Vec2> sniffer_positions_;
+  /// Shared immutable backend: per-epoch objectives share it instead of
+  /// cloning a model copy per fired window.
+  std::shared_ptr<const core::ObservationModel> model_;
+  std::vector<std::size_t> sniffer_nodes_;  ///< site keys (see ctor)
+  std::vector<core::Site> sites_;
   std::unordered_map<std::uint32_t, std::size_t> node_slot_;
   StreamTrackerConfig config_;
   geom::Rng rng_;

@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/observation_model.hpp"
 #include "stream/manager.hpp"
 
 namespace fluxfp::stream {
@@ -71,11 +72,24 @@ TraceFormatError::TraceFormatError(TraceError err)
     : std::runtime_error("TraceReplayer: " + err.to_string()),
       err_(std::move(err)) {}
 
-TraceRecorder::TraceRecorder(std::ostream& os) : os_(&os) {
+TraceRecorder::TraceRecorder(std::ostream& os, std::uint8_t model_id)
+    : os_(&os), model_id_(model_id) {
+  if (!core::known_model_id(model_id)) {
+    throw std::invalid_argument("TraceRecorder: unknown model id " +
+                                std::to_string(model_id));
+  }
   char header[kTraceHeaderBytes];
   std::memcpy(header, kTraceMagic, sizeof(kTraceMagic));
-  pack_u32(header + 8, kTraceVersion);
-  pack_u32(header + 12, 0);
+  // Flux (model 0) stays version 1, byte-identical to pre-model-tag
+  // recorders; only a non-flux model needs the version-2 header.
+  if (model_id == 0) {
+    pack_u32(header + 8, kTraceVersion);
+    pack_u32(header + 12, 0);
+  } else {
+    pack_u32(header + 8, kTraceVersionModel);
+    pack_u32(header + 12, 0);
+    header[12] = static_cast<char>(model_id);
+  }
   os_->write(header, sizeof(header));
   if (!*os_) {
     throw std::runtime_error("TraceRecorder: failed to write header");
@@ -116,12 +130,23 @@ TraceReplayer::TraceReplayer(std::istream& is) : is_(&is) {
     throw TraceFormatError(*error_);
   }
   const std::uint32_t version = unpack_u32(header + 8);
-  if (version != kTraceVersion) {
+  if (version != kTraceVersion && version != kTraceVersionModel) {
     error_ = TraceError{TraceError::Kind::kBadVersion, 8,
                         "trace version " + std::to_string(version) +
                             ", this build speaks " +
-                            std::to_string(kTraceVersion)};
+                            std::to_string(kTraceVersion) + " and " +
+                            std::to_string(kTraceVersionModel)};
     throw TraceFormatError(*error_);
+  }
+  if (version == kTraceVersionModel) {
+    const auto raw = static_cast<std::uint8_t>(header[12]);
+    if (!core::known_model_id(raw)) {
+      error_ = TraceError{TraceError::Kind::kBadVersion, 12,
+                          "unknown observation-model id " +
+                              std::to_string(raw)};
+      throw TraceFormatError(*error_);
+    }
+    model_id_ = raw;
   }
   offset_ = kTraceHeaderBytes;
 }

@@ -16,10 +16,12 @@ namespace fluxfp::stream {
 
 class TrackerManager;
 
-/// Binary event-trace format, version 1. Fixed 16-byte header
+/// Binary event-trace format. Fixed 16-byte header
 ///   bytes 0..7   magic "FLUXFPT1"
-///   bytes 8..11  u32 version (1)
-///   bytes 12..15 u32 reserved (0)
+///   bytes 8..11  u32 version (1 or 2)
+///   bytes 12..15 version 1: u32 reserved (0)
+///                version 2: u8 observation-model id (core::ModelId),
+///                           3 reserved zero bytes
 /// followed by one 28-byte record per event:
 ///   f64 time, u32 user, u32 epoch, u32 node, f64 reading
 /// Values are raw host-endian bytes (memcpy) — readings round-trip
@@ -27,9 +29,17 @@ class TrackerManager;
 /// recorded run replays into bit-identical estimates. The event count is
 /// implied by the stream length; a recorder can therefore stream records
 /// without seeking back.
+///
+/// Versioning is backward-compatible both ways: a flux trace (model 0) is
+/// always written as version 1, byte-identical to pre-model-tag traces,
+/// so old readers keep reading new flux captures; version 2 exists solely
+/// to carry a non-flux model id, and readers accept both versions (a v1
+/// trace reads back as model 0).
 inline constexpr char kTraceMagic[8] = {'F', 'L', 'U', 'X',
                                         'F', 'P', 'T', '1'};
 inline constexpr std::uint32_t kTraceVersion = 1;
+/// Header revision carrying the observation-model id byte.
+inline constexpr std::uint32_t kTraceVersionModel = 2;
 inline constexpr std::size_t kTraceHeaderBytes = 16;
 inline constexpr std::size_t kTraceRecordBytes = 28;
 
@@ -45,18 +55,24 @@ void decode_trace_record(const char* src, FluxEvent& out);
 /// seeks, so any ostream works (files, pipes, stringstreams).
 class TraceRecorder {
  public:
-  /// Writes the header. Throws std::runtime_error on a bad stream.
-  explicit TraceRecorder(std::ostream& os);
+  /// Writes the header. `model_id` tags which observation model the
+  /// readings belong to (core::ModelId values): 0 (flux) writes a
+  /// version-1 header byte-identical to pre-model-tag recorders; any
+  /// other id writes version 2. Throws std::runtime_error on a bad
+  /// stream, std::invalid_argument on an unknown model id.
+  explicit TraceRecorder(std::ostream& os, std::uint8_t model_id = 0);
 
   /// Appends one event (or a batch, in order).
   void write(const FluxEvent& event);
   void write(std::span<const FluxEvent> events);
 
   std::uint64_t written() const { return written_; }
+  std::uint8_t model_id() const { return model_id_; }
 
  private:
   std::ostream* os_;
   std::uint64_t written_ = 0;
+  std::uint8_t model_id_ = 0;
 };
 
 /// Typed malformation report of a trace stream: what went wrong, at which
@@ -118,11 +134,15 @@ class TraceReplayer {
   std::uint64_t read_count() const { return read_; }
   /// Bytes of the trace consumed so far (header + whole records).
   std::uint64_t offset() const { return offset_; }
+  /// Observation-model tag of the trace (core::ModelId values); 0 (flux)
+  /// for version-1 traces, the header byte for version 2.
+  std::uint8_t model_id() const { return model_id_; }
 
  private:
   std::istream* is_;
   std::uint64_t read_ = 0;
   std::uint64_t offset_ = 0;
+  std::uint8_t model_id_ = 0;
   std::optional<TraceError> error_;
 };
 

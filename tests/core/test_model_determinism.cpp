@@ -1,0 +1,149 @@
+// Cross-model determinism: the thread-count bit-identity contract pinned
+// by test_determinism.cpp for the flux backend must hold for EVERY
+// observation model, because the parallel engine dispatches per column and
+// never per model. Each backend drives the same 50-round fault-injected
+// SMC pipeline at 1 and 4 worker threads and must produce bit-identical
+// estimates, residuals, and recovery flags.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/flux_model.hpp"
+#include "core/nls.hpp"
+#include "core/observation_model.hpp"
+#include "core/passive_trace_model.hpp"
+#include "core/rss_link_model.hpp"
+#include "core/smc.hpp"
+#include "geom/sampling.hpp"
+#include "numeric/parallel.hpp"
+#include "sim/faults.hpp"
+
+namespace fluxfp::core {
+namespace {
+
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { numeric::set_thread_count(0); }
+};
+
+/// Synthetic observation source over an arbitrary backend: sites laid out
+/// per the model's geometry (points, or short links for the RSS backend),
+/// readings generated directly from site_shape.
+struct ModelWorld {
+  geom::RectField field{30.0, 30.0};
+  std::shared_ptr<const ObservationModel> model;
+  std::vector<Site> sites;
+
+  ModelWorld(const ObservationModel& m, std::uint64_t seed,
+             std::size_t n = 80)
+      : model(m.clone()) {
+    geom::Rng rng(seed);
+    std::uniform_real_distribution<double> angle(0.0, 6.283185307179586);
+    for (std::size_t i = 0; i < n; ++i) {
+      const geom::Vec2 a = geom::uniform_in_field(field, rng);
+      geom::Vec2 b = a;
+      if (m.sites_are_links()) {
+        const double t = angle(rng);
+        b = field.clamp({a.x + 2.0 * std::cos(t), a.y + 2.0 * std::sin(t)});
+      }
+      sites.push_back(Site{a, b});
+    }
+  }
+
+  std::vector<double> readings(const std::vector<geom::Vec2>& sinks,
+                               const std::vector<double>& stretches) const {
+    std::vector<double> measured(sites.size(), 0.0);
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      for (std::size_t j = 0; j < sinks.size(); ++j) {
+        measured[i] += stretches[j] * model->site_shape(sinks[j], sites[i]);
+      }
+    }
+    return measured;
+  }
+};
+
+/// Full pipeline fingerprint of one fault-injected 50-round tracking run.
+struct TrackRun {
+  std::vector<geom::Vec2> estimates;  // 2 users x 50 rounds, interleaved
+  std::vector<double> residuals;
+  std::vector<char> recovered;
+};
+
+TrackRun run_faulty_tracking(const ModelWorld& w, std::size_t threads) {
+  numeric::set_thread_count(threads);
+
+  sim::FaultPlan plan;
+  plan.seed = 77;
+  plan.outage_prob = 0.15;
+  plan.byzantine_fraction = 0.1;
+  plan.byzantine_gain = 4.0;
+  plan.burst_start = 20;
+  plan.burst_length = 3;
+  std::vector<std::size_t> sniffers(w.sites.size());
+  for (std::size_t i = 0; i < sniffers.size(); ++i) {
+    sniffers[i] = i;
+  }
+  sim::FaultInjector injector(plan, w.sites.size(), std::move(sniffers));
+
+  SmcConfig cfg;
+  cfg.num_predictions = 300;
+  cfg.num_keep = 10;
+  cfg.sweeps = 2;
+  cfg.divergence_recovery = true;
+  cfg.recovery_grid = 12;
+  cfg.robust.loss = RobustLoss::kHuber;
+  cfg.robust.reweight_rounds = 1;
+
+  geom::Rng rng(47);
+  SmcTracker tracker(w.field, 2, cfg, rng);
+
+  TrackRun out;
+  for (int round = 1; round <= 50; ++round) {
+    const double r = static_cast<double>(round);
+    const std::vector<geom::Vec2> truths{
+        {3.0 + 0.45 * r, 10.0 + 0.2 * r}, {27.0 - 0.45 * r, 22.0 - 0.15 * r}};
+    std::vector<double> readings = w.readings(truths, {2.0, 2.5});
+    injector.begin_round(round);
+    injector.corrupt(readings);
+    const SparseObjective obj(*w.model, w.sites, std::move(readings));
+    const SmcStepResult res = tracker.step(r, obj, rng);
+    out.estimates.push_back(tracker.estimate(0));
+    out.estimates.push_back(tracker.estimate(1));
+    out.residuals.push_back(res.residual);
+    out.recovered.push_back(res.recovered ? 1 : 0);
+  }
+  return out;
+}
+
+void expect_thread_count_invariant(const ObservationModel& model) {
+  ThreadCountGuard guard;
+  const ModelWorld w(model, 46);
+  const TrackRun serial = run_faulty_tracking(w, 1);
+  const TrackRun parallel = run_faulty_tracking(w, 4);
+  ASSERT_EQ(serial.estimates.size(), parallel.estimates.size());
+  for (std::size_t i = 0; i < serial.estimates.size(); ++i) {
+    ASSERT_EQ(serial.estimates[i], parallel.estimates[i])
+        << model_name(model.id()) << " round " << i / 2 + 1 << " user "
+        << i % 2;
+  }
+  EXPECT_EQ(serial.residuals, parallel.residuals);
+  EXPECT_EQ(serial.recovered, parallel.recovered);
+}
+
+TEST(CrossModelDeterminism, FluxFaultInjectedRunThreadInvariant) {
+  const geom::RectField field(30.0, 30.0);
+  expect_thread_count_invariant(FluxModel(field, 1.0));
+}
+
+TEST(CrossModelDeterminism, RssLinkFaultInjectedRunThreadInvariant) {
+  expect_thread_count_invariant(RssLinkModel(4.0, 0.05));
+}
+
+TEST(CrossModelDeterminism, PassiveTraceFaultInjectedRunThreadInvariant) {
+  expect_thread_count_invariant(PassiveTraceModel(6.0));
+}
+
+}  // namespace
+}  // namespace fluxfp::core

@@ -6,10 +6,12 @@
 #include <random>
 #include <span>
 
+#include "core/rss_link_model.hpp"
 #include "geom/sampling.hpp"
 #include "net/flux.hpp"
 #include "numeric/matrix.hpp"
 #include "numeric/nnls.hpp"
+#include "numeric/parallel.hpp"
 
 namespace fluxfp::core {
 namespace {
@@ -45,8 +47,12 @@ struct Synthetic {
 TEST(SparseObjective, RejectsBadInputs) {
   const geom::RectField f(30.0, 30.0);
   const FluxModel m(f, 1.0);
-  EXPECT_THROW(SparseObjective(m, {}, {}), std::invalid_argument);
-  EXPECT_THROW(SparseObjective(m, {{1, 1}}, {1.0, 2.0}),
+  EXPECT_THROW(SparseObjective(m, std::vector<geom::Vec2>{}, {}),
+               std::invalid_argument);
+  EXPECT_THROW(SparseObjective(m, std::vector<geom::Vec2>{{1, 1}}, {1.0, 2.0}),
+               std::invalid_argument);
+  // The Site-vector forms reject the same bad inputs.
+  EXPECT_THROW(SparseObjective(m, std::vector<Site>{}, {}),
                std::invalid_argument);
 }
 
@@ -151,6 +157,55 @@ TEST(SparseObjective, DuplicateSamplePositionKeepsLatestReading) {
   const SparseObjective obj2(syn.model, samples2, measured2);
   EXPECT_EQ(obj2.sample_count(), 20u);
   EXPECT_NEAR(obj2.fit(syn.sinks).residual, 0.0, 1e-9);
+}
+
+// The dedup tie-break at EQUAL timestamps: snapshot order is the only
+// order — the ascending-index scan makes "latest" mean highest input
+// index, never arrival thread. Pinned against measured() directly, and
+// pinned to be byte-identical whether the engine runs 1 or 4 worker
+// threads (construction is serial; the thread pool must not be able to
+// change what the objective holds).
+TEST(SparseObjective, EqualTimestampDuplicatesAreIndexOrderedAtAnyThreads) {
+  const geom::RectField f(30.0, 30.0);
+  const FluxModel m(f, 1.0);
+  const std::vector<geom::Vec2> samples{
+      {5.0, 5.0}, {9.0, 9.0}, {5.0, 5.0}, {7.0, 3.0}, {5.0, 5.0}};
+  const std::vector<double> measured{1.0, 2.0, 3.0, 4.0, 5.0};
+
+  std::vector<std::vector<double>> kept;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    numeric::set_thread_count(threads);
+    const SparseObjective obj(m, samples, measured);
+    EXPECT_EQ(obj.sample_count(), 3u);
+    EXPECT_EQ(obj.masked_count(), 2u);
+    kept.push_back(obj.measured());
+  }
+  numeric::set_thread_count(0);
+  // Row 0 is the {5,5} survivor: its reading must be the HIGHEST-index
+  // duplicate (5.0), not the first (1.0) or middle (3.0).
+  ASSERT_EQ(kept[0].size(), 3u);
+  EXPECT_EQ(kept[0][0], 5.0);
+  EXPECT_EQ(kept[0][1], 2.0);
+  EXPECT_EQ(kept[0][2], 4.0);
+  EXPECT_EQ(kept[0], kept[1]);  // bit-identical across worker counts
+}
+
+// Link sites dedup on the PAIR, not the primary endpoint: two links
+// sharing endpoint a are distinct rows.
+TEST(SparseObjective, LinkSitesSharingOneEndpointAreNotDeduped) {
+  const RssLinkModel m(1.0, 0.05);
+  const std::vector<Site> sites{
+      Site{{2.0, 2.0}, {6.0, 2.0}},
+      Site{{2.0, 2.0}, {2.0, 6.0}},   // same a, different b: keep
+      Site{{2.0, 2.0}, {6.0, 2.0}},   // exact pair duplicate: dedup
+  };
+  const std::vector<double> measured{1.5, 2.5, 3.5};
+  const SparseObjective obj(m, sites, measured);
+  EXPECT_EQ(obj.sample_count(), 2u);
+  EXPECT_EQ(obj.masked_count(), 1u);
+  ASSERT_EQ(obj.measured().size(), 2u);
+  EXPECT_EQ(obj.measured()[0], 3.5);  // last-arrival of the duplicate pair
+  EXPECT_EQ(obj.measured()[1], 2.5);
 }
 
 TEST(SparseObjective, ValidityMaskExcludesSamples) {
@@ -441,6 +496,55 @@ TEST(SparseObjective, RotationInvarianceOnCenteredCircle) {
     const geom::Vec2 node = geom::uniform_in_field(field, rng);
     EXPECT_NEAR(model.shape(sink, node),
                 model.shape(rot(sink), rot(node)), 1e-9);
+  }
+}
+
+// Capacity-retaining ColumnBlock reuse must never leak stale data into
+// results: after any grow/shrink sequence, a reused block's batch output
+// — and everything computed FROM that block — must be bit-identical to a
+// fresh block's. The sweep deliberately walks sizes across the stride
+// rounding (rows padded to multiples of 8) so shrunk regions and padding
+// tails hold live garbage from earlier, larger batches.
+TEST(ColumnBlockReuse, GrowShrinkSequencesMatchFreshBlocksBitExactly) {
+  const Synthetic syn(61, 45, {{9.0, 9.0}, {21.0, 17.0}}, {2.0, 2.5});
+  const SparseObjective obj = syn.objective();
+  geom::Rng rng(62);
+
+  std::vector<double> fixed_col;
+  obj.shape_column({21.0, 17.0}, fixed_col);
+  const std::vector<std::span<const double>> fixed{fixed_col};
+  const ConditionalFit cond(obj, fixed, 0);
+
+  ColumnBlock reused;
+  // Sizes chosen to grow, shrink sharply, regrow within capacity, and end
+  // tiny — every transition capacity-retaining after the first.
+  const std::size_t batch_sizes[] = {64, 7, 33, 128, 5, 97, 1};
+  for (const std::size_t batch : batch_sizes) {
+    std::vector<geom::Vec2> sinks(batch);
+    for (geom::Vec2& s : sinks) {
+      s = geom::uniform_in_field(syn.field, rng);
+    }
+    obj.shape_columns(sinks, reused);
+    ColumnBlock fresh;
+    obj.shape_columns(sinks, fresh);
+    ASSERT_EQ(reused.rows(), fresh.rows());
+    ASSERT_EQ(reused.cols(), fresh.cols());
+    for (std::size_t c = 0; c < batch; ++c) {
+      const auto rcol = reused.column(c);
+      const auto fcol = fresh.column(c);
+      for (std::size_t i = 0; i < rcol.size(); ++i) {
+        ASSERT_EQ(rcol[i], fcol[i]) << "batch " << batch << " col " << c
+                                    << " row " << i;
+      }
+    }
+    // The downstream consumer of the block must agree too — this is what
+    // would surface a padding-tail leak even if column() spans hid it.
+    std::vector<double> r_res(batch), r_str(batch);
+    std::vector<double> f_res(batch), f_str(batch);
+    cond.evaluate_batch(reused, r_res, r_str);
+    cond.evaluate_batch(fresh, f_res, f_str);
+    ASSERT_EQ(r_res, f_res) << "batch " << batch;
+    ASSERT_EQ(r_str, f_str) << "batch " << batch;
   }
 }
 

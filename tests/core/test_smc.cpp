@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "eval/metrics.hpp"
+#include "net/flux.hpp"
 
 namespace fluxfp::core {
 namespace {
@@ -305,6 +306,60 @@ TEST(SmcTracker, SpreadShrinksAsFilterConverges) {
   }
   EXPECT_LT(tracker.spread(0), 0.8 * initial);
   EXPECT_GT(initial, 5.0);  // uniform over a 30x30 field is wide
+}
+
+// Divergence-recovery seam audit: a window with ZERO valid readings (all
+// sniffers missing) must be a true no-op — no RNG draw, no divergence
+// counting, no recovery grid scan, and a finite estimate — so a run that
+// hits an outage round continues bit-identically to one whose outage round
+// never arrived. geom::Rng is mt19937_64, so operator== compares the full
+// engine state: any hidden draw on the empty path fails these directly.
+TEST(SmcTracker, AllMissingWindowConsumesNoRngAndStaysFinite) {
+  const World w(23);
+  SmcConfig cfg = fast_config();
+  cfg.divergence_recovery = true;  // the recovery path must NOT trigger
+  cfg.recovery_grid = 12;
+  cfg.divergence_rounds = 1;       // hair trigger: any counted bad round
+  cfg.robust.loss = RobustLoss::kHuber;
+
+  geom::Rng with_gap_rng(24);
+  geom::Rng no_gap_rng(24);
+  SmcTracker with_gap(w.field, 2, cfg, with_gap_rng);
+  SmcTracker no_gap(w.field, 2, cfg, no_gap_rng);
+  ASSERT_TRUE(with_gap_rng == no_gap_rng);
+
+  const std::vector<geom::Vec2> truths{{8.0, 12.0}, {22.0, 18.0}};
+  const SparseObjective good = w.observe(truths, {2.0, 2.5});
+  with_gap.step(1.0, good, with_gap_rng);
+  no_gap.step(1.0, good, no_gap_rng);
+
+  // Round 2 of the gap run: every reading missing. The twin simply never
+  // sees a round-2 window.
+  std::vector<double> missing(w.samples.size(), net::kMissingReading);
+  const SparseObjective empty(w.model, w.samples, std::move(missing));
+  ASSERT_EQ(empty.sample_count(), 0u);
+  const geom::Rng before_empty = with_gap_rng;
+  const SmcStepResult gap_res = with_gap.step(2.0, empty, with_gap_rng);
+  EXPECT_TRUE(with_gap_rng == before_empty) << "empty window drew from RNG";
+  EXPECT_EQ(with_gap.consecutive_bad_rounds(), 0);
+  for (std::size_t u = 0; u < 2; ++u) {
+    EXPECT_FALSE(gap_res.updated[u]);
+    EXPECT_TRUE(std::isfinite(gap_res.best[u].x));
+    EXPECT_TRUE(std::isfinite(gap_res.best[u].y));
+    EXPECT_EQ(gap_res.best[u], with_gap.estimate(u));
+  }
+  EXPECT_FALSE(gap_res.recovered);
+
+  // Round 3 resumes: both runs must agree bit-exactly, RNG included.
+  const std::vector<geom::Vec2> moved{{8.5, 12.4}, {21.5, 17.7}};
+  const SparseObjective next = w.observe(moved, {2.0, 2.5});
+  with_gap.step(3.0, next, with_gap_rng);
+  no_gap.step(3.0, next, no_gap_rng);
+  EXPECT_TRUE(with_gap_rng == no_gap_rng);
+  for (std::size_t u = 0; u < 2; ++u) {
+    EXPECT_EQ(with_gap.estimate(u), no_gap.estimate(u));
+    EXPECT_EQ(with_gap.spread(u), no_gap.spread(u));
+  }
 }
 
 TEST(SmcTracker, StepReportsStretches) {

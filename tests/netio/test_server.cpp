@@ -99,6 +99,34 @@ TEST(Server, FirstFrameMustBeHello) {
   server.stop();
 }
 
+TEST(Server, ObservationModelMismatchRefused) {
+  Bed bed;
+  stream::ManagerConfig mc;
+  ServerConfig cfg = server_config(unix_endpoint("model"));
+  cfg.model = 1;  // this service folds rss-link readings
+  Server server(bed.factory(1, 1, mc), {}, cfg);
+  server.start();
+
+  // A client declaring the matching model is welcome.
+  Client good;
+  ASSERT_TRUE(good.connect(server.endpoint(), 0, 0, /*model=*/1))
+      << good.last_error();
+  EXPECT_TRUE(good.goodbye());
+
+  // A legacy flux client (no model byte on the wire) is refused with the
+  // typed code — before auth, like the version check.
+  Client flux;
+  ASSERT_FALSE(flux.connect(server.endpoint(), 0));
+  ASSERT_TRUE(flux.server_error().has_value());
+  EXPECT_EQ(flux.server_error()->code, ErrorCode::kModelMismatch);
+
+  Client passive;
+  ASSERT_FALSE(passive.connect(server.endpoint(), 0, 0, /*model=*/2));
+  ASSERT_TRUE(passive.server_error().has_value());
+  EXPECT_EQ(passive.server_error()->code, ErrorCode::kModelMismatch);
+  server.stop();
+}
+
 TEST(Server, UnsupportedHelloVersionRefused) {
   Bed bed;
   stream::ManagerConfig mc;

@@ -93,6 +93,45 @@ TEST(WireCodec, HelloRoundTrips) {
   EXPECT_EQ(out.version, in.version);
   EXPECT_EQ(out.tenant, in.tenant);
   EXPECT_EQ(out.token, in.token);
+  EXPECT_EQ(out.model, 0);
+}
+
+TEST(WireCodec, HelloModelByteIsOptionalAndBackwardCompatible) {
+  // A flux HELLO (model 0) must stay byte-identical to the pre-model-tag
+  // 16-byte payload: old servers keep decoding new flux clients.
+  HelloMsg flux;
+  flux.tenant = 3;
+  flux.token = 77;
+  EXPECT_EQ(encode_hello(flux).size(), 16u);
+
+  // A non-flux HELLO appends exactly one byte and round-trips.
+  HelloMsg rss;
+  rss.tenant = 3;
+  rss.token = 77;
+  rss.model = 1;
+  const std::string payload = encode_hello(rss);
+  EXPECT_EQ(payload.size(), 17u);
+  HelloMsg out;
+  ASSERT_EQ(decode_hello(payload, out), std::nullopt);
+  EXPECT_EQ(out.tenant, rss.tenant);
+  EXPECT_EQ(out.token, rss.token);
+  EXPECT_EQ(out.model, 1);
+
+  // A bare 16-byte payload decodes as model 0 even into a reused struct.
+  out.model = 9;
+  ASSERT_EQ(decode_hello(encode_hello(flux), out), std::nullopt);
+  EXPECT_EQ(out.model, 0);
+}
+
+TEST(WireCodec, HelloRejectsUnknownModelByte) {
+  HelloMsg in;
+  in.model = 2;
+  std::string payload = encode_hello(in);
+  payload.back() = static_cast<char>(99);
+  HelloMsg out;
+  const auto err = decode_hello(payload, out);
+  ASSERT_NE(err, std::nullopt);
+  EXPECT_EQ(err->kind, WireError::Kind::kMalformedPayload);
 }
 
 TEST(WireCodec, WelcomeRoundTrips) {

@@ -1,0 +1,73 @@
+// Bernoulli detection sampling — the passive backend's measurement layer.
+// The load-bearing invariant is RNG-draw discipline: missing entries
+// consume NO draw, so a fault mask upstream cannot shift the random
+// stream of the live sniffers behind it (the same rule the SMC's
+// empty-window path follows).
+
+#include "sim/detection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/flux.hpp"
+
+namespace fluxfp::sim {
+namespace {
+
+TEST(BernoulliDetections, ProducesBitsAndHonorsExtremes) {
+  geom::Rng rng(3);
+  const std::vector<double> p{0.0, 1.0, 0.5, -2.0, 7.0};
+  const std::vector<double> bits = bernoulli_detections(p, rng);
+  ASSERT_EQ(bits.size(), p.size());
+  EXPECT_EQ(bits[0], 0.0);  // p clamped to 0
+  EXPECT_EQ(bits[1], 1.0);  // p clamped to 1
+  EXPECT_TRUE(bits[2] == 0.0 || bits[2] == 1.0);
+  EXPECT_EQ(bits[3], 0.0);  // below range clamps to never
+  EXPECT_EQ(bits[4], 1.0);  // above range clamps to always
+}
+
+TEST(BernoulliDetections, MissingEntriesConsumeNoDraw) {
+  const std::vector<double> with_gap{0.5, net::kMissingReading, 0.5, 0.5};
+  const std::vector<double> no_gap{0.5, 0.5, 0.5};
+
+  geom::Rng rng_a(11);
+  geom::Rng rng_b(11);
+  const std::vector<double> a = bernoulli_detections(with_gap, rng_a);
+  const std::vector<double> b = bernoulli_detections(no_gap, rng_b);
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_TRUE(net::is_missing(a[1]));
+  // Same draws land on the same live slots: the gap shifted nothing.
+  EXPECT_EQ(a[0], b[0]);
+  EXPECT_EQ(a[2], b[1]);
+  EXPECT_EQ(a[3], b[2]);
+  // And both engines end in the same state (3 draws each).
+  EXPECT_TRUE(rng_a == rng_b);
+}
+
+TEST(FlipDetections, ValidatesProbabilityAndKeepsMissing) {
+  geom::Rng rng(5);
+  std::vector<double> bits{1.0, 0.0, net::kMissingReading};
+  EXPECT_THROW(flip_detections(bits, -0.1, rng), std::invalid_argument);
+  EXPECT_THROW(flip_detections(bits, 1.5, rng), std::invalid_argument);
+
+  // flip_prob 1 flips every live bit deterministically.
+  flip_detections(bits, 1.0, rng);
+  EXPECT_EQ(bits[0], 0.0);
+  EXPECT_EQ(bits[1], 1.0);
+  EXPECT_TRUE(net::is_missing(bits[2]));
+
+  // flip_prob 0 leaves everything and consumes draws only for live slots.
+  geom::Rng rng_a(6);
+  geom::Rng rng_b(6);
+  std::vector<double> with_gap{1.0, net::kMissingReading, 0.0};
+  std::vector<double> no_gap{1.0, 0.0};
+  flip_detections(with_gap, 0.0, rng_a);
+  flip_detections(no_gap, 0.0, rng_b);
+  EXPECT_EQ(with_gap[0], 1.0);
+  EXPECT_EQ(with_gap[2], 0.0);
+  EXPECT_TRUE(rng_a == rng_b);
+}
+
+}  // namespace
+}  // namespace fluxfp::sim

@@ -93,6 +93,79 @@ TEST(TraceIo, RejectsBadMagicAndVersion) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// The version-2 observation-model tag.
+// ---------------------------------------------------------------------------
+
+TEST(TraceModelTag, FluxTracesStayVersionOneByteIdentical) {
+  const std::vector<FluxEvent> events = sample_events();
+  std::stringstream legacy, tagged;
+  TraceRecorder a(legacy);
+  TraceRecorder b(tagged, /*model_id=*/0);
+  a.write(std::span<const FluxEvent>(events));
+  b.write(std::span<const FluxEvent>(events));
+  // An explicit flux tag is the default: not one byte may differ, so
+  // pre-model-tag readers keep reading new flux captures.
+  EXPECT_EQ(legacy.str(), tagged.str());
+  const std::string bytes = legacy.str();
+  std::uint32_t version;
+  std::memcpy(&version, bytes.data() + 8, 4);
+  EXPECT_EQ(version, kTraceVersion);
+
+  TraceReplayer rep(legacy);
+  EXPECT_EQ(rep.model_id(), 0);  // v1 reads back as flux
+}
+
+TEST(TraceModelTag, NonFluxModelRoundTripsThroughVersionTwo) {
+  const std::vector<FluxEvent> events = sample_events();
+  std::stringstream buffer;
+  TraceRecorder rec(buffer, /*model_id=*/2);
+  EXPECT_EQ(rec.model_id(), 2);
+  rec.write(std::span<const FluxEvent>(events));
+
+  const std::string bytes = buffer.str();
+  std::uint32_t version;
+  std::memcpy(&version, bytes.data() + 8, 4);
+  EXPECT_EQ(version, kTraceVersionModel);
+  EXPECT_EQ(static_cast<std::uint8_t>(bytes[12]), 2);
+
+  TraceReplayer rep(buffer);
+  EXPECT_EQ(rep.model_id(), 2);
+  const std::vector<FluxEvent> back = rep.read_all();
+  ASSERT_EQ(back.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&back[i].time, &events[i].time, sizeof(double)),
+              0);
+    EXPECT_EQ(back[i].user, events[i].user);
+    EXPECT_EQ(back[i].epoch, events[i].epoch);
+    EXPECT_EQ(back[i].node, events[i].node);
+    EXPECT_EQ(
+        std::memcmp(&back[i].reading, &events[i].reading, sizeof(double)),
+        0);
+  }
+}
+
+TEST(TraceModelTag, RecorderRejectsUnknownModelId) {
+  std::stringstream buffer;
+  EXPECT_THROW(TraceRecorder(buffer, 3), std::invalid_argument);
+  EXPECT_THROW(TraceRecorder(buffer, 255), std::invalid_argument);
+}
+
+TEST(TraceModelTag, ReplayerRejectsUnknownModelByte) {
+  std::stringstream buffer;
+  TraceRecorder rec(buffer, /*model_id=*/1);
+  std::string bytes = buffer.str();
+  bytes[12] = 42;  // corrupt the model-id byte of a v2 header
+  std::stringstream bad(bytes);
+  try {
+    TraceReplayer rep(bad);
+    FAIL() << "unknown model byte accepted";
+  } catch (const TraceFormatError& e) {
+    EXPECT_EQ(e.error().kind, TraceError::Kind::kBadVersion);
+    EXPECT_EQ(e.error().offset, 12u);
+  }
+}
+
 TEST(TraceIo, RejectsTruncatedRecord) {
   std::stringstream buffer;
   TraceRecorder rec(buffer);

@@ -32,7 +32,12 @@ bool order_sensitive_dir(const std::string& path) {
   return starts_with(path, "src/numeric/") || starts_with(path, "src/stream/") ||
          starts_with(path, "src/core/") || starts_with(path, "src/eval/") ||
          starts_with(path, "src/trace/") || starts_with(path, "src/obs/") ||
-         starts_with(path, "src/netio/");
+         starts_with(path, "src/netio/") ||
+         // Observation-model site layers: link enumeration defines the
+         // stable site keys of the RSS backend, and detection sampling's
+         // draw order is part of the replay contract.
+         starts_with(path, "src/net/links") ||
+         starts_with(path, "src/sim/detection");
 }
 
 /// The only places allowed to own raw threads: the pool itself, the
